@@ -1,0 +1,153 @@
+//! Criterion benchmarks for planning: abstract graph construction,
+//! concrete-graph build/merge, pruning, pool sampling, and draws.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sand_config::{parse_task_config, SamplingConfig};
+use sand_graph::{
+    coordinated_draw, prune_to_budget, AbstractGraph, FramePool, PlanInput, Planner,
+    PlannerOptions,
+};
+use std::hint::black_box;
+
+const TASK: &str = r#"
+dataset:
+  tag: bench
+  input_source: file
+  video_dataset_path: /d
+  sampling:
+    videos_per_batch: 4
+    frames_per_video: 8
+    frame_stride: 4
+  augmentation:
+    - name: resize
+      branch_type: single
+      inputs: ["frame"]
+      outputs: ["a0"]
+      config:
+        - resize:
+            shape: [48, 48]
+    - name: crop
+      branch_type: single
+      inputs: ["a0"]
+      outputs: ["a1"]
+      config:
+        - random_crop:
+            shape: [40, 40]
+        - flip:
+            flip_prob: 0.5
+"#;
+
+fn videos(n: usize) -> Vec<sand_graph::VideoMeta> {
+    (0..n as u64)
+        .map(|video_id| sand_graph::VideoMeta {
+            video_id,
+            frames: 96,
+            width: 96,
+            height: 96,
+            channels: 3,
+            gop_size: 24,
+            encoded_bytes: 100_000,
+        })
+        .collect()
+}
+
+fn bench_abstract(c: &mut Criterion) {
+    let cfg = parse_task_config(TASK).unwrap();
+    c.bench_function("abstract_graph_from_config", |b| {
+        b.iter(|| black_box(AbstractGraph::from_config(&cfg)))
+    });
+}
+
+fn bench_plan(c: &mut Criterion) {
+    let cfg = parse_task_config(TASK).unwrap();
+    let mut group = c.benchmark_group("concrete_plan");
+    for n_videos in [16usize, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("one_task_one_epoch", n_videos),
+            &n_videos,
+            |b, &n| {
+                b.iter(|| {
+                    let planner = Planner::new(
+                        vec![PlanInput { task_id: 0, config: cfg.clone() }],
+                        videos(n),
+                        PlannerOptions { seed: 7, coordinate: true, epochs: 0..1 },
+                    )
+                    .unwrap();
+                    black_box(planner.plan().unwrap())
+                })
+            },
+        );
+    }
+    group.bench_function("two_tasks_four_epochs_64v", |b| {
+        b.iter(|| {
+            let planner = Planner::new(
+                vec![
+                    PlanInput { task_id: 0, config: cfg.clone() },
+                    PlanInput { task_id: 1, config: cfg.clone() },
+                ],
+                videos(64),
+                PlannerOptions { seed: 7, coordinate: true, epochs: 0..4 },
+            )
+            .unwrap();
+            black_box(planner.plan().unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_prune(c: &mut Criterion) {
+    let cfg = parse_task_config(TASK).unwrap();
+    let planner = Planner::new(
+        vec![PlanInput { task_id: 0, config: cfg }],
+        videos(64),
+        PlannerOptions { seed: 7, coordinate: true, epochs: 0..4 },
+    )
+    .unwrap();
+    let graph = planner.plan().unwrap();
+    let full = graph.cached_bytes();
+    let mut group = c.benchmark_group("prune");
+    for frac in [75u64, 50, 25] {
+        group.bench_with_input(BenchmarkId::new("to_budget_pct", frac), &frac, |b, &frac| {
+            b.iter_batched(
+                || graph.clone(),
+                |mut g| black_box(prune_to_budget(&mut g, full * frac / 100)),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_pool_and_draw(c: &mut Criterion) {
+    let samplings = [
+        SamplingConfig {
+            videos_per_batch: 4,
+            frames_per_video: 8,
+            frame_stride: 4,
+            samples_per_video: 1,
+        },
+        SamplingConfig {
+            videos_per_batch: 4,
+            frames_per_video: 8,
+            frame_stride: 2,
+            samples_per_video: 2,
+        },
+    ];
+    c.bench_function("pool_build", |b| {
+        b.iter(|| black_box(FramePool::build(300, &samplings, 0.37).unwrap()))
+    });
+    let pool = FramePool::build(300, &samplings, 0.37).unwrap();
+    c.bench_function("pool_select", |b| {
+        b.iter(|| black_box(pool.select(&samplings[0], 0.7)))
+    });
+    c.bench_function("coordinated_draw", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(coordinated_draw(7, i, 3, 0, 2, 5))
+        })
+    });
+}
+
+criterion_group!(benches, bench_abstract, bench_plan, bench_prune, bench_pool_and_draw);
+criterion_main!(benches);

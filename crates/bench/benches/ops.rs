@@ -1,0 +1,153 @@
+//! Criterion micro-benchmarks for the hot data-plane primitives: decode,
+//! augmentation, frame compression, and tensor assembly. These are the
+//! measurements behind the cost-model constants in `sand_frame::cost`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sand_codec::{Dataset, DatasetSpec, Decoder, EncoderConfig};
+use sand_frame::ops::{ColorJitter, Crop, Flip, FlipAxis, FrameOp, Interpolation, Resize};
+use sand_frame::tensor::clip_to_tensor;
+use sand_frame::{compress_frame, decompress_frame, Frame};
+use std::hint::black_box;
+
+fn dataset(w: usize, h: usize) -> Dataset {
+    dataset_b(w, h, 0)
+}
+
+fn dataset_b(w: usize, h: usize, b_frames: usize) -> Dataset {
+    Dataset::generate(&DatasetSpec {
+        num_videos: 1,
+        width: w,
+        height: h,
+        frames_per_video: 48,
+        encoder: EncoderConfig { gop_size: 24, quantizer: 4, fps_milli: 30_000, b_frames },
+        ..Default::default()
+    })
+    .expect("dataset")
+}
+
+fn decoded_frames(ds: &Dataset) -> Vec<Frame> {
+    let mut dec = Decoder::new(&ds.videos()[0].encoded);
+    dec.decode_all().expect("decode")
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode");
+    for (w, h) in [(64usize, 64usize), (96, 96), (160, 160)] {
+        let ds = dataset(w, h);
+        let video = &ds.videos()[0].encoded;
+        group.bench_with_input(
+            BenchmarkId::new("sequential_48", format!("{w}x{h}")),
+            video,
+            |b, video| {
+                b.iter(|| {
+                    let mut dec = Decoder::new(video);
+                    black_box(dec.decode_all().unwrap())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("random_access_1", format!("{w}x{h}")),
+            video,
+            |b, video| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let mut dec = Decoder::new(video);
+                    i = (i + 7) % 48;
+                    black_box(dec.decode_indices(&[i]).unwrap())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sparse_clip_8_stride_4", format!("{w}x{h}")),
+            video,
+            |b, video| {
+                let indices: Vec<usize> = (0..8).map(|k| 3 + k * 4).collect();
+                b.iter(|| {
+                    let mut dec = Decoder::new(video);
+                    black_box(dec.decode_indices(&indices).unwrap())
+                })
+            },
+        );
+    }
+    // B-frame streams: random access pays for the anchor chain plus the
+    // bidirectional target itself.
+    let ds_b = dataset_b(96, 96, 2);
+    let video_b = &ds_b.videos()[0].encoded;
+    group.bench_function("random_access_1_bframes", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let mut dec = Decoder::new(video_b);
+            i = (i + 7) % 48;
+            black_box(dec.decode_indices(&[i]).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_augmentation(c: &mut Criterion) {
+    let ds = dataset(96, 96);
+    let frames = decoded_frames(&ds);
+    let frame = &frames[5];
+    let mut group = c.benchmark_group("augment");
+    let resize = Resize::new(48, 48, Interpolation::Bilinear).unwrap();
+    group.bench_function("resize_96_to_48_bilinear", |b| {
+        b.iter(|| black_box(resize.apply(frame).unwrap()))
+    });
+    let resize_n = Resize::new(48, 48, Interpolation::Nearest).unwrap();
+    group.bench_function("resize_96_to_48_nearest", |b| {
+        b.iter(|| black_box(resize_n.apply(frame).unwrap()))
+    });
+    let small = resize.apply(frame).unwrap();
+    let crop = Crop::new(4, 4, 40, 40).unwrap();
+    group.bench_function("crop_40_from_48", |b| {
+        b.iter(|| black_box(crop.apply(&small).unwrap()))
+    });
+    let flip = Flip::new(FlipAxis::Horizontal);
+    group.bench_function("flip_48", |b| b.iter(|| black_box(flip.apply(&small).unwrap())));
+    let jitter = ColorJitter::new(1.1, 0.9, 1.05).unwrap();
+    group.bench_function("color_jitter_48", |b| {
+        b.iter(|| black_box(jitter.apply(&small).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let ds = dataset(96, 96);
+    let frames = decoded_frames(&ds);
+    let frame = &frames[5];
+    let compressed = compress_frame(frame);
+    let mut group = c.benchmark_group("frame_cache");
+    group.bench_function("compress_96", |b| b.iter(|| black_box(compress_frame(frame))));
+    group.bench_function("decompress_96", |b| {
+        b.iter(|| black_box(decompress_frame(&compressed).unwrap()))
+    });
+    // A flat frame exercises the RLE path instead of the raw path.
+    let flat = Frame::zeroed(96, 96, sand_frame::PixelFormat::Rgb8).unwrap();
+    group.bench_function("compress_96_flat_rle", |b| {
+        b.iter(|| black_box(compress_frame(&flat)))
+    });
+    group.finish();
+}
+
+fn bench_tensor(c: &mut Criterion) {
+    let ds = dataset(96, 96);
+    let frames = decoded_frames(&ds);
+    let resize = Resize::new(48, 48, Interpolation::Bilinear).unwrap();
+    let clip: Vec<Frame> = frames.iter().take(8).map(|f| resize.apply(f).unwrap()).collect();
+    let mean = [0.45f32, 0.45, 0.45];
+    let std = [0.225f32, 0.225, 0.225];
+    let mut group = c.benchmark_group("tensor");
+    group.bench_function("clip_to_tensor_8x48", |b| {
+        b.iter(|| black_box(clip_to_tensor(&clip, &mean, &std).unwrap()))
+    });
+    let t = clip_to_tensor(&clip, &mean, &std).unwrap();
+    group.bench_function("tensor_to_bytes", |b| b.iter(|| black_box(t.to_bytes())));
+    let bytes = t.to_bytes();
+    group.bench_function("tensor_from_bytes", |b| {
+        b.iter(|| black_box(sand_frame::Tensor::from_bytes(&bytes).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decode, bench_augmentation, bench_compression, bench_tensor);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benchmarks for the materialization scheduler: submit/execute
+//! throughput and pick overhead under queue depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sand_sched::{Job, JobKind, Policy, SchedConfig, Scheduler};
+use std::hint::black_box;
+
+fn job(kind: JobKind, deadline: u64) -> Job {
+    Job { kind, deadline, remaining_work: 1, run: Box::new(|| {}) }
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched_throughput");
+    group.sample_size(20);
+    for policy in [Policy::Priority, Policy::Fifo] {
+        group.bench_with_input(
+            BenchmarkId::new("submit_drain_1k", format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let sched = Scheduler::new(SchedConfig {
+                        threads: 4,
+                        policy,
+                        reserved_demand_threads: 0,
+                        ..Default::default()
+                    });
+                    for i in 0..1000u64 {
+                        sched.submit(job(JobKind::PreMaterialize, i % 64));
+                    }
+                    sched.wait_idle();
+                    black_box(sched.stats())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_demand_latency(c: &mut Criterion) {
+    // Measures a demand job's end-to-end latency while the queue holds a
+    // backlog of pre-materialization work.
+    c.bench_function("sched_demand_latency_under_backlog", |b| {
+        let sched = Scheduler::new(SchedConfig { threads: 2, ..Default::default() });
+        for i in 0..256u64 {
+            sched.submit(Job {
+                kind: JobKind::PreMaterialize,
+                deadline: i,
+                remaining_work: 4,
+                run: Box::new(|| std::thread::sleep(std::time::Duration::from_micros(50))),
+            });
+        }
+        b.iter(|| {
+            let (tx, rx) = crossbeam::channel::bounded(1);
+            sched.submit(Job {
+                kind: JobKind::Demand,
+                deadline: 0,
+                remaining_work: 1,
+                run: Box::new(move || {
+                    let _ = tx.send(());
+                }),
+            });
+            rx.recv().unwrap();
+        });
+        sched.shutdown();
+    });
+}
+
+criterion_group!(benches, bench_throughput, bench_demand_latency);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion benchmarks for the tiered object store: put/get on both
+//! tiers, spill, and eviction sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sand_storage::{ObjectMeta, ObjectStore, StoreConfig};
+use std::hint::black_box;
+
+fn meta(deadline: u64) -> ObjectMeta {
+    ObjectMeta { deadline: Some(deadline), future_uses: 2 }
+}
+
+fn bench_memory_tier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_memory");
+    for size in [4096usize, 65536] {
+        group.bench_with_input(BenchmarkId::new("put_replace", size), &size, |b, &size| {
+            let store = ObjectStore::memory_only(StoreConfig {
+                memory_budget: 1 << 30,
+                ..Default::default()
+            })
+            .unwrap();
+            let payload = vec![7u8; size];
+            b.iter(|| store.put("bench/key", payload.clone(), meta(1)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("get_hit", size), &size, |b, &size| {
+            let store = ObjectStore::memory_only(StoreConfig {
+                memory_budget: 1 << 30,
+                ..Default::default()
+            })
+            .unwrap();
+            store.put("bench/key", vec![7u8; size], meta(1)).unwrap();
+            b.iter(|| black_box(store.get("bench/key").unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_disk_tier(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("sand_bench_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ObjectStore::open(
+        StoreConfig { memory_budget: 1 << 20, memory_horizon: 0, ..Default::default() },
+        Some(dir.clone()),
+    )
+    .unwrap();
+    store.set_clock(0);
+    let payload = vec![7u8; 16384];
+    let mut group = c.benchmark_group("store_disk");
+    group.bench_function("put_write_through", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            store
+                .put(&format!("k{}", i % 64), payload.clone(), meta(1_000))
+                .unwrap()
+        })
+    });
+    store.put("stable", payload.clone(), meta(1_000)).unwrap();
+    group.bench_function("get_disk_readback", |b| {
+        b.iter(|| black_box(store.get("stable").unwrap()))
+    });
+    group.finish();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_eviction(c: &mut Criterion) {
+    c.bench_function("store_eviction_churn", |b| {
+        // A store small enough that every put evicts something.
+        let store = ObjectStore::memory_only(StoreConfig {
+            memory_budget: 64 * 1024,
+            ..Default::default()
+        })
+        .unwrap();
+        let payload = vec![7u8; 8192];
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            store.put(&format!("churn{i}"), payload.clone(), meta(i)).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_memory_tier, bench_disk_tier, bench_eviction);
+criterion_main!(benches);

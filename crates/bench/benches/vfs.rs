@@ -1,0 +1,89 @@
+//! Criterion benchmarks for the view filesystem and end-to-end serving:
+//! path parsing, fd lifecycle, and batch reads through a live engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sand_codec::{Dataset, DatasetSpec, EncoderConfig};
+use sand_config::parse_task_config;
+use sand_core::{EngineConfig, SandEngine};
+use sand_vfs::ViewPath;
+use std::hint::black_box;
+use std::sync::Arc;
+
+const TASK: &str = r#"
+dataset:
+  tag: bench
+  input_source: file
+  video_dataset_path: /d
+  sampling:
+    videos_per_batch: 2
+    frames_per_video: 4
+    frame_stride: 2
+  augmentation:
+    - name: r
+      branch_type: single
+      inputs: ["frame"]
+      outputs: ["a0"]
+      config:
+        - resize:
+            shape: [24, 24]
+"#;
+
+fn bench_paths(c: &mut Criterion) {
+    c.bench_function("viewpath_parse_batch", |b| {
+        b.iter(|| black_box(ViewPath::parse("/train/12/345/view").unwrap()))
+    });
+    c.bench_function("viewpath_parse_aug", |b| {
+        b.iter(|| black_box(ViewPath::parse("/train/video0042/frame123/aug2").unwrap()))
+    });
+    let p = ViewPath::parse("/train/video0042/frame123/aug2").unwrap();
+    c.bench_function("viewpath_format", |b| b.iter(|| black_box(p.to_string())));
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let dataset = Arc::new(
+        Dataset::generate(&DatasetSpec {
+            num_videos: 4,
+            width: 48,
+            height: 48,
+            frames_per_video: 24,
+            encoder: EncoderConfig { gop_size: 12, quantizer: 4, fps_milli: 30_000, b_frames: 0 },
+            ..Default::default()
+        })
+        .unwrap(),
+    );
+    let engine = SandEngine::new(
+        EngineConfig {
+            tasks: vec![parse_task_config(TASK).unwrap()],
+            total_epochs: 2,
+            epochs_per_chunk: 2,
+            seed: 7,
+            ..Default::default()
+        },
+        dataset,
+    )
+    .unwrap();
+    engine.start().unwrap();
+    engine.wait_idle();
+    let vfs = engine.mount();
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(30);
+    group.bench_function("open_read_close_cached_batch", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let epoch = i % 2;
+            let iter = (i / 2) % 2;
+            i += 1;
+            let fd = vfs.open(&ViewPath::batch("bench", epoch, iter)).unwrap();
+            let bytes = vfs.read_to_end(fd).unwrap();
+            vfs.close(fd).unwrap();
+            black_box(bytes.len())
+        })
+    });
+    group.bench_function("getxattr_labels", |b| {
+        b.iter(|| black_box(vfs.getxattr_path("/bench/0/0/view", "labels").unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_paths, bench_serving);
+criterion_main!(benches);

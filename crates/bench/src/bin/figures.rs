@@ -1,0 +1,62 @@
+//! The figure harness: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! figures <id> [--quick]   run one experiment (fig2a, fig3, ..., table3)
+//! figures all  [--quick]   run every experiment in paper order
+//! figures list             list experiment ids
+//! ```
+
+use sand_bench::figs;
+use std::process::ExitCode;
+
+fn usage() -> String {
+    let mut s = String::from("usage: figures <id|all|list> [--quick]\n\nexperiments:\n");
+    for (id, desc, _) in figs::all() {
+        s.push_str(&format!("  {id:<8} {desc}\n"));
+    }
+    s
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let target = args.iter().find(|a| !a.starts_with("--")).cloned();
+    let Some(target) = target else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    if target == "list" {
+        print!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let experiments = figs::all();
+    let selected: Vec<_> = if target == "all" {
+        experiments
+    } else {
+        experiments.into_iter().filter(|(id, _, _)| *id == target).collect()
+    };
+    if selected.is_empty() {
+        eprintln!("unknown experiment `{target}`\n\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for (id, desc, runner) in selected {
+        println!("=== {id}: {desc} ===\n");
+        let started = std::time::Instant::now();
+        match runner(quick) {
+            Ok(output) => {
+                println!("{output}");
+                println!("[{id} completed in {:.1}s]\n", started.elapsed().as_secs_f64());
+            }
+            Err(e) => {
+                eprintln!("[{id} FAILED: {e}]\n");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,87 @@
+//! Ablation: epochs per concrete-graph chunk (the paper's `k`).
+//!
+//! SAND decodes each video once per chunk into a pooled frame window and
+//! serves every epoch of the chunk from it. This ablation sweeps `k` and
+//! measures decode work and wall time per epoch, quantifying the
+//! amortization the end-to-end figures (11–13) ride on.
+
+use crate::strategies::{run_strategy, HarnessResult, Strategy};
+use crate::table::Table;
+use crate::workloads::{slowfast, PIPELINE_WORKERS};
+use sand_codec::Dataset;
+use sand_core::{EngineConfig, SandEngine};
+use sand_train::loaders::SandLoader;
+use sand_train::{SgdConfig, Trainer, TrainerConfig};
+use sand_sim::{GpuSim, GpuSpec, PowerModel};
+use std::sync::Arc;
+
+/// Runs the chunk-size sweep.
+pub fn run(quick: bool) -> HarnessResult<String> {
+    let mut w = slowfast();
+    if quick {
+        w.dataset.num_videos = 4;
+        w.profile.iter_time /= 4;
+    }
+    let ds = Arc::new(Dataset::generate(&w.dataset)?);
+    let total_epochs: u64 = if quick { 4 } else { 6 };
+    let iters = (ds.len() as u64).div_ceil(w.task.sampling.videos_per_batch as u64);
+    let mut table = Table::new(&[
+        "epochs per chunk (k)",
+        "frames decoded / epoch",
+        "wall / epoch",
+        "utilization",
+    ]);
+    for k in [1u64, 2, 3, total_epochs] {
+        let engine = SandEngine::new(
+            EngineConfig {
+                tasks: vec![w.task.clone()],
+                total_epochs,
+                epochs_per_chunk: k,
+                seed: 7,
+                sched: sand_sched::SchedConfig {
+                    threads: PIPELINE_WORKERS,
+                    reserved_demand_threads: 0,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            Arc::clone(&ds),
+        )?;
+        engine.start()?;
+        let mut loader =
+            SandLoader::with_prefetch(engine.clone(), &w.task.tag, 0..total_epochs, 2);
+        let gpu = Arc::new(GpuSim::new(GpuSpec::a100()));
+        let trainer = Trainer::new(Arc::clone(&gpu), PowerModel::default());
+        let report = trainer.run(
+            &mut loader,
+            &TrainerConfig {
+                profile: w.profile.clone(),
+                epochs: 0..total_epochs,
+                iters_per_epoch: iters,
+                train_model: false,
+                classes: w.classes as usize,
+                opt: SgdConfig::default(),
+                vcpus: PIPELINE_WORKERS,
+            },
+        )?;
+        table.row(vec![
+            k.to_string(),
+            format!("{:.0}", engine.stats().decode.frames_decoded as f64 / total_epochs as f64),
+            format!("{:.1} ms", report.wall.as_secs_f64() * 1e3 / total_epochs as f64),
+            format!("{:.0}%", report.utilization * 100.0),
+        ]);
+    }
+    // Reference: the on-demand baseline decodes fresh every epoch.
+    let cpu = run_strategy(&w, &ds, Strategy::OnDemandCpu, 0..total_epochs, 7, false)?;
+    table.row(vec![
+        "(on-demand cpu)".into(),
+        format!("{:.0}", cpu.decode.frames_decoded as f64 / total_epochs as f64),
+        format!("{:.1} ms", cpu.wall.as_secs_f64() * 1e3 / total_epochs as f64),
+        format!("{:.0}%", cpu.utilization * 100.0),
+    ]);
+    Ok(format!(
+        "Ablation: epochs per chunk (k). Decode work per epoch falls roughly\nas 1/k — the amortization behind Figs. 11-13 ({} pipeline, {total_epochs} epochs).\n\n{}",
+        w.name,
+        table.render()
+    ))
+}

@@ -1,0 +1,74 @@
+//! Figure 11: single-task training time and GPU utilization.
+//!
+//! Paper: SAND trains 2.4–5.6x faster than the CPU baseline and 1.4–1.7x
+//! faster than the GPU baseline, raising utilization 2.5–5.7x / 1.4–1.7x.
+
+use crate::strategies::{run_strategy, HarnessResult, Strategy};
+use crate::table::Table;
+use crate::workloads::{workloads, Workload};
+use sand_codec::Dataset;
+use std::sync::Arc;
+
+fn shrink(mut w: Workload, quick: bool) -> Workload {
+    if quick {
+        w.dataset.num_videos = 4;
+        w.profile.iter_time /= 4;
+    }
+    w
+}
+
+/// Runs the single-task comparison.
+pub fn run(quick: bool) -> HarnessResult<String> {
+    let mut time_table = Table::new(&[
+        "model",
+        "cpu",
+        "gpu",
+        "sand",
+        "ideal",
+        "sand vs cpu",
+        "sand vs gpu",
+        "paper (cpu/gpu)",
+    ]);
+    let mut util_table = Table::new(&[
+        "model",
+        "cpu util",
+        "gpu util",
+        "sand util",
+        "ideal util",
+        "util vs cpu",
+        "util vs gpu",
+    ]);
+    for w in workloads() {
+        let w = shrink(w, quick);
+        let ds = Arc::new(Dataset::generate(&w.dataset)?);
+        let epochs = if quick { 0..2 } else { 0..10u64 };
+        let cpu = run_strategy(&w, &ds, Strategy::OnDemandCpu, epochs.clone(), 7, false)?;
+        let gpu = run_strategy(&w, &ds, Strategy::OnDemandGpu, epochs.clone(), 7, false)?;
+        let sand = run_strategy(&w, &ds, Strategy::Sand, epochs.clone(), 7, false)?;
+        let ideal = run_strategy(&w, &ds, Strategy::Ideal, epochs, 7, false)?;
+        time_table.row(vec![
+            w.name.into(),
+            format!("{:.2}s", cpu.wall.as_secs_f64()),
+            format!("{:.2}s", gpu.wall.as_secs_f64()),
+            format!("{:.2}s", sand.wall.as_secs_f64()),
+            format!("{:.2}s", ideal.wall.as_secs_f64()),
+            format!("{:.2}x", sand.speedup_over(&cpu)),
+            format!("{:.2}x", sand.speedup_over(&gpu)),
+            "2.4-5.6x / 1.4-1.7x".into(),
+        ]);
+        util_table.row(vec![
+            w.name.into(),
+            format!("{:.0}%", cpu.utilization * 100.0),
+            format!("{:.0}%", gpu.utilization * 100.0),
+            format!("{:.0}%", sand.utilization * 100.0),
+            format!("{:.0}%", ideal.utilization * 100.0),
+            format!("{:.2}x", sand.utilization / cpu.utilization.max(1e-9)),
+            format!("{:.2}x", sand.utilization / gpu.utilization.max(1e-9)),
+        ]);
+    }
+    Ok(format!(
+        "Figure 11(a): single-task end-to-end training time\n\n{}\nFigure 11(b): single-task GPU utilization\n(paper: SAND 2.5-5.7x over CPU, 1.4-1.7x over GPU)\n\n{}",
+        time_table.render(),
+        util_table.render()
+    ))
+}

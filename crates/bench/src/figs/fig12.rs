@@ -1,0 +1,129 @@
+//! Figure 12: hyperparameter search (Ray Tune + ASHA).
+//!
+//! All trials share one dataset; SAND's merging means the preprocessing
+//! is done once and served to every trial. Paper: SAND speeds up the
+//! search 2.9–10.2x over the CPU baseline and 1.4–2.8x over the GPU
+//! baseline, raising utilization 3.1–12.3x / 1.8–2.9x, within 5–14% of
+//! the ideal.
+
+use crate::strategies::{nvdec_spec, HarnessResult};
+use crate::table::Table;
+use crate::workloads::{workloads, Workload, PIPELINE_WORKERS};
+use sand_codec::Dataset;
+use sand_core::{EngineConfig, SandEngine};
+use sand_ray::{run_asha, AshaConfig, AshaOutcome, LoaderKind, RunnerEnv};
+use sand_sim::{GpuSim, GpuSpec, PowerModel};
+use std::sync::Arc;
+
+fn shrink(mut w: Workload, quick: bool) -> Workload {
+    if quick {
+        w.dataset.num_videos = 4;
+        w.profile.iter_time /= 4;
+    }
+    w
+}
+
+/// Runs one search with the given strategy.
+pub(crate) fn search(
+    w: &Workload,
+    ds: &Arc<Dataset>,
+    kind: LoaderKind,
+    asha: &AshaConfig,
+    gpus: usize,
+) -> HarnessResult<AshaOutcome> {
+    let engine = if kind == LoaderKind::Sand {
+        let e = SandEngine::new(
+            EngineConfig {
+                tasks: vec![w.task.clone()],
+                total_epochs: asha.max_epochs,
+                epochs_per_chunk: asha.max_epochs,
+                seed: 7,
+                sched: sand_sched::SchedConfig {
+                    threads: PIPELINE_WORKERS,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            Arc::clone(ds),
+        )?;
+        e.start()?;
+        Some(e)
+    } else {
+        None
+    };
+    let gpu_sims: Vec<Arc<GpuSim>> =
+        (0..gpus).map(|_| Arc::new(GpuSim::new(GpuSpec::a100()))).collect();
+    // The ideal baseline pre-stages everything before the clock starts.
+    let ideal_prestage = if kind == LoaderKind::Ideal {
+        let plan = sand_train::TaskPlan::single_task(&w.task, ds, 0..asha.max_epochs, 7)?;
+        Some(sand_train::loaders::IdealLoader::stage(ds, &plan)?)
+    } else {
+        None
+    };
+    let env = RunnerEnv {
+        dataset: Arc::clone(ds),
+        kind,
+        engine,
+        seed: 7,
+        workers_per_job: PIPELINE_WORKERS / 2,
+        vcpus: PIPELINE_WORKERS,
+        gpu_spec: nvdec_spec(),
+        power: PowerModel::default(),
+        ideal_prestage,
+    };
+    Ok(run_asha(asha, &w.task, &w.profile, &gpu_sims, &env, w.classes as usize)?)
+}
+
+/// Runs the hyperparameter-search comparison.
+pub fn run(quick: bool) -> HarnessResult<String> {
+    let mut table = Table::new(&[
+        "model",
+        "cpu",
+        "gpu",
+        "sand",
+        "ideal",
+        "sand vs cpu",
+        "sand vs gpu",
+        "util cpu/gpu/sand",
+        "paper",
+    ]);
+    let asha = if quick {
+        AshaConfig { trials: 3, eta: 2, min_epochs: 1, max_epochs: 2, seed: 3 }
+    } else {
+        AshaConfig { trials: 6, eta: 2, min_epochs: 1, max_epochs: 4, seed: 3 }
+    };
+    let gpus = if quick { 2 } else { 4 };
+    let selected: Vec<Workload> = if quick {
+        workloads().into_iter().take(1).collect()
+    } else {
+        workloads()
+    };
+    for w in selected {
+        let w = shrink(w, quick);
+        let ds = Arc::new(Dataset::generate(&w.dataset)?);
+        let cpu = search(&w, &ds, LoaderKind::OnDemandCpu, &asha, gpus)?;
+        let gpu = search(&w, &ds, LoaderKind::OnDemandGpu, &asha, gpus)?;
+        let sand = search(&w, &ds, LoaderKind::Sand, &asha, gpus)?;
+        let ideal = search(&w, &ds, LoaderKind::Ideal, &asha, gpus)?;
+        table.row(vec![
+            w.name.into(),
+            format!("{:.2}s", cpu.wall.as_secs_f64()),
+            format!("{:.2}s", gpu.wall.as_secs_f64()),
+            format!("{:.2}s", sand.wall.as_secs_f64()),
+            format!("{:.2}s", ideal.wall.as_secs_f64()),
+            format!("{:.2}x", cpu.wall.as_secs_f64() / sand.wall.as_secs_f64()),
+            format!("{:.2}x", gpu.wall.as_secs_f64() / sand.wall.as_secs_f64()),
+            format!(
+                "{:.0}%/{:.0}%/{:.0}%",
+                cpu.utilization * 100.0,
+                gpu.utilization * 100.0,
+                sand.utilization * 100.0
+            ),
+            "2.9-10.2x / 1.4-2.8x".into(),
+        ]);
+    }
+    Ok(format!(
+        "Figure 12: ASHA hyperparameter search, {gpus} GPUs, shared dataset\n(paper: SAND 2.9-10.2x vs CPU, 1.4-2.8x vs GPU; util 3.1-12.3x / 1.8-2.9x)\n\n{}",
+        table.render()
+    ))
+}

@@ -1,0 +1,55 @@
+//! Figure 15: power consumption of hyperparameter search.
+//!
+//! Sums the energy of every rung job of a Fig. 12-style search per
+//! strategy. Paper: SAND cuts total energy 42–82% vs the CPU pipeline and
+//! 15–38% vs the GPU pipeline.
+
+use crate::figs::fig12::search;
+use crate::strategies::HarnessResult;
+use crate::table::Table;
+use crate::workloads::slowfast;
+use sand_codec::Dataset;
+use sand_ray::{AshaConfig, LoaderKind};
+use std::sync::Arc;
+
+/// Runs the search-energy comparison.
+pub fn run(quick: bool) -> HarnessResult<String> {
+    let mut w = slowfast();
+    if quick {
+        w.dataset.num_videos = 4;
+        w.profile.iter_time /= 4;
+    }
+    let ds = Arc::new(Dataset::generate(&w.dataset)?);
+    let asha = if quick {
+        AshaConfig { trials: 3, eta: 2, min_epochs: 1, max_epochs: 2, seed: 3 }
+    } else {
+        AshaConfig { trials: 6, eta: 2, min_epochs: 1, max_epochs: 4, seed: 3 }
+    };
+    let gpus = 2;
+    let total_energy = |outcome: &sand_ray::AshaOutcome| -> f64 {
+        outcome.reports.iter().map(|r| r.energy.total()).sum()
+    };
+    let cpu = search(&w, &ds, LoaderKind::OnDemandCpu, &asha, gpus)?;
+    let gpu = search(&w, &ds, LoaderKind::OnDemandGpu, &asha, gpus)?;
+    let sand = search(&w, &ds, LoaderKind::Sand, &asha, gpus)?;
+    let (e_cpu, e_gpu, e_sand) = (total_energy(&cpu), total_energy(&gpu), total_energy(&sand));
+    let mut table = Table::new(&["strategy", "energy (J)", "sand saves", "paper"]);
+    table.row(vec![
+        "on-demand cpu".into(),
+        format!("{e_cpu:.1}"),
+        format!("-{:.0}%", (1.0 - e_sand / e_cpu) * 100.0),
+        "-42% to -82%".into(),
+    ]);
+    table.row(vec![
+        "on-demand gpu".into(),
+        format!("{e_gpu:.1}"),
+        format!("-{:.0}%", (1.0 - e_sand / e_gpu) * 100.0),
+        "-15% to -38%".into(),
+    ]);
+    table.row(vec!["sand".into(), format!("{e_sand:.1}"), String::new(), String::new()]);
+    Ok(format!(
+        "Figure 15: total energy of a hyperparameter search ({})\n\n{}",
+        w.name,
+        table.render()
+    ))
+}

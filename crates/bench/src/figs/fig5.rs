@@ -1,0 +1,43 @@
+//! Figure 5: component-wise energy during CPU-bound VDL training.
+//!
+//! Runs the on-demand CPU pipeline and integrates the power model over
+//! the run. Paper: the CPU accounts for 41.6% of total energy, most of it
+//! decoding.
+
+use crate::strategies::{run_strategy, HarnessResult, Strategy};
+use crate::table::Table;
+use crate::workloads::slowfast;
+use sand_codec::Dataset;
+use std::sync::Arc;
+
+/// Runs the energy-split experiment.
+pub fn run(quick: bool) -> HarnessResult<String> {
+    let mut w = slowfast();
+    if quick {
+        w.dataset.num_videos = 4;
+        w.profile.iter_time /= 4;
+    }
+    let ds = Arc::new(Dataset::generate(&w.dataset)?);
+    let epochs = if quick { 0..1 } else { 0..2u64 };
+    let report = run_strategy(&w, &ds, Strategy::OnDemandCpu, epochs, 7, false)?;
+    let mut table = Table::new(&["component", "energy (J)", "share", "paper share"]);
+    let total = report.energy.total();
+    table.row(vec![
+        "CPU (preprocessing)".into(),
+        format!("{:.1}", report.energy.cpu_j),
+        format!("{:.1}%", report.energy.cpu_share() * 100.0),
+        "41.6%".into(),
+    ]);
+    table.row(vec![
+        "GPU (training + idle)".into(),
+        format!("{:.1}", report.energy.gpu_j),
+        format!("{:.1}%", (1.0 - report.energy.cpu_share()) * 100.0),
+        "58.4%".into(),
+    ]);
+    table.row(vec!["total".into(), format!("{total:.1}"), "100%".into(), String::new()]);
+    Ok(format!(
+        "Figure 5: component-wise energy of CPU-preprocessed training ({})\n\n{}",
+        w.name,
+        table.render()
+    ))
+}

@@ -1,0 +1,92 @@
+//! Table 3: lines of preprocessing code.
+//!
+//! The paper counts the preprocessing LoC of the official SlowFast
+//! (2254) and HD-VILA (297) repositories against their SAND ports (8 and
+//! 7). We count the analogous artifacts in this repository: the manual
+//! preprocessing example (`examples/manual_pipeline.rs`, a faithful
+//! PyAV-style pipeline written against the codec and frame APIs
+//! directly) against the data-path lines of the SAND quickstart
+//! (`examples/quickstart.rs`, marked region).
+
+use crate::strategies::HarnessResult;
+use crate::table::Table;
+use std::path::Path;
+
+/// Counts non-blank, non-comment lines of code in a source file.
+fn loc(path: &Path) -> HarnessResult<usize> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(count_loc_str(&text))
+}
+
+/// LoC counting rule shared by both artifacts.
+fn count_loc_str(text: &str) -> usize {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//"))
+        .count()
+}
+
+/// Counts the lines between `// SAND-DATA-PATH-BEGIN/END` markers.
+fn marked_loc(path: &Path) -> HarnessResult<usize> {
+    let text = std::fs::read_to_string(path)?;
+    let mut inside = false;
+    let mut count = 0;
+    for line in text.lines() {
+        let t = line.trim();
+        if t.contains("SAND-DATA-PATH-BEGIN") {
+            inside = true;
+            continue;
+        }
+        if t.contains("SAND-DATA-PATH-END") {
+            inside = false;
+            continue;
+        }
+        if inside && !t.is_empty() && !t.starts_with("//") {
+            count += 1;
+        }
+    }
+    Ok(count)
+}
+
+/// Locates the repository root (works from the crate or the workspace).
+fn repo_root() -> std::path::PathBuf {
+    let here = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    here.ancestors()
+        .find(|p| p.join("examples").join("quickstart.rs").exists())
+        .map(Path::to_path_buf)
+        .unwrap_or(here)
+}
+
+/// Runs the LoC comparison.
+pub fn run(_quick: bool) -> HarnessResult<String> {
+    let root = repo_root();
+    let manual = loc(&root.join("examples").join("manual_pipeline.rs"))?;
+    let sand = marked_loc(&root.join("examples").join("quickstart.rs"))?;
+    let mut table = Table::new(&["implementation", "preprocessing LoC", "paper analogue"]);
+    table.row(vec![
+        "manual pipeline (examples/manual_pipeline.rs)".into(),
+        manual.to_string(),
+        "SlowFast official: 2254, HD-VILA official: 297".into(),
+    ]);
+    table.row(vec![
+        "with SAND abstractions (quickstart data path)".into(),
+        sand.to_string(),
+        "SlowFast w/ SAND: 8, HD-VILA w/ SAND: 7".into(),
+    ]);
+    let factor = manual as f64 / sand.max(1) as f64;
+    Ok(format!(
+        "Table 3: preprocessing lines of code ({factor:.0}x reduction in this repo;\npaper reports 282x for SlowFast, 42x for HD-VILA)\n\n{}",
+        table.render()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loc_counter_skips_blanks_and_comments() {
+        let text = "// comment\n\nlet x = 1;\n  // more\nlet y = 2;\n";
+        assert_eq!(count_loc_str(text), 2);
+    }
+}

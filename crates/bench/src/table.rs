@@ -1,0 +1,92 @@
+//! Fixed-width table rendering for harness output.
+
+/// A simple left-aligned text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(|s| (*s).to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (cells are stringified by the caller).
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len().max(
+            self.rows.iter().map(Vec::len).max().unwrap_or(0),
+        );
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map_or("", String::as_str);
+                line.push_str(&format!("{cell:<w$}  "));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total.saturating_sub(2)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::iter::FromIterator<String> for Table {
+    fn from_iter<T: IntoIterator<Item = String>>(iter: T) -> Self {
+        Table { header: iter.into_iter().collect(), rows: Vec::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["short".into(), "1".into()]);
+        t.row(vec!["a-much-longer-name".into(), "2.5x".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(lines.len(), 4);
+        // Columns align: "value" column starts at the same offset.
+        let off0 = lines[2].find('1').unwrap();
+        let off1 = lines[3].find("2.5x").unwrap();
+        assert_eq!(off0, off1);
+    }
+
+    #[test]
+    fn handles_missing_cells() {
+        let mut t = Table::new(&["a", "b", "c"]);
+        t.row(vec!["x".into()]);
+        let s = t.render();
+        assert!(s.contains('x'));
+    }
+}

@@ -1,0 +1,325 @@
+//! Synthetic dataset generation and loading.
+//!
+//! A dataset is a directory of `.svid` files (or an in-memory equivalent)
+//! plus a manifest. It plays the role of Kinetics-400 / HD-VILA in the
+//! paper's experiments: many videos, each belonging to a class, each
+//! encoded with GOP structure.
+
+use crate::container::EncodedVideo;
+use crate::encode::{Encoder, EncoderConfig};
+use crate::synth::{SynthSpec, VideoSynthesizer};
+use crate::{CodecError, Result};
+use sand_frame::PixelFormat;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Parameters describing a whole synthetic dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetSpec {
+    /// Number of videos to generate.
+    pub num_videos: usize,
+    /// Number of classes; video `i` gets class `i % num_classes`.
+    pub num_classes: u32,
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Frames per video.
+    pub frames_per_video: usize,
+    /// Pixel format.
+    pub format: PixelFormat,
+    /// Encoder parameters (GOP size, quantizer, fps).
+    pub encoder: EncoderConfig,
+    /// Additive noise amplitude for synthesis.
+    pub noise_level: u8,
+    /// Base random seed.
+    pub seed: u64,
+}
+
+impl Default for DatasetSpec {
+    fn default() -> Self {
+        DatasetSpec {
+            num_videos: 16,
+            num_classes: 4,
+            width: 64,
+            height: 64,
+            frames_per_video: 48,
+            format: PixelFormat::Rgb8,
+            encoder: EncoderConfig::default(),
+            noise_level: 6,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl DatasetSpec {
+    /// Validates the specification.
+    pub fn validate(&self) -> Result<()> {
+        if self.num_videos == 0 {
+            return Err(CodecError::InvalidConfig { what: "num_videos must be nonzero" });
+        }
+        self.encoder.validate()?;
+        SynthSpec {
+            video_id: 0,
+            class_id: 0,
+            num_classes: self.num_classes,
+            width: self.width,
+            height: self.height,
+            frames: self.frames_per_video,
+            format: self.format,
+            noise_level: self.noise_level,
+            seed: self.seed,
+        }
+        .validate()
+    }
+
+    /// The synthesis spec for video `video_id` of this dataset.
+    #[must_use]
+    pub fn synth_spec(&self, video_id: u64) -> SynthSpec {
+        SynthSpec {
+            video_id,
+            class_id: (video_id % u64::from(self.num_classes)) as u32,
+            num_classes: self.num_classes,
+            width: self.width,
+            height: self.height,
+            frames: self.frames_per_video,
+            format: self.format,
+            noise_level: self.noise_level,
+            seed: self.seed,
+        }
+    }
+}
+
+/// One video of a dataset: id, class, and the encoded stream.
+#[derive(Debug, Clone)]
+pub struct VideoEntry {
+    /// Video identifier (equals its index in the dataset).
+    pub video_id: u64,
+    /// Ground-truth class label.
+    pub class_id: u32,
+    /// Stable name used in view paths, e.g. `video0007`.
+    pub name: String,
+    /// The encoded video (shared; decoding never mutates it).
+    pub encoded: Arc<EncodedVideo>,
+}
+
+/// A loaded dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    videos: Vec<VideoEntry>,
+    spec: Option<DatasetSpec>,
+}
+
+/// Canonical `.svid` file name for a video id.
+#[must_use]
+pub fn video_file_name(video_id: u64) -> String {
+    format!("video{video_id:04}.svid")
+}
+
+/// Canonical view name (no extension) for a video id.
+#[must_use]
+pub fn video_name(video_id: u64) -> String {
+    format!("video{video_id:04}")
+}
+
+impl Dataset {
+    /// Generates a dataset fully in memory.
+    pub fn generate(spec: &DatasetSpec) -> Result<Self> {
+        spec.validate()?;
+        let encoder = Encoder::new(spec.encoder)?;
+        let mut videos = Vec::with_capacity(spec.num_videos);
+        for vid in 0..spec.num_videos as u64 {
+            let synth = VideoSynthesizer::new(spec.synth_spec(vid))?;
+            let frames = synth.render_all()?;
+            let class_id = (vid % u64::from(spec.num_classes)) as u32;
+            let encoded = encoder.encode(&frames, vid, class_id)?;
+            videos.push(VideoEntry {
+                video_id: vid,
+                class_id,
+                name: video_name(vid),
+                encoded: Arc::new(encoded),
+            });
+        }
+        Ok(Dataset { videos, spec: Some(*spec) })
+    }
+
+    /// Generates a dataset and writes each video as a `.svid` file in `dir`.
+    pub fn generate_to_dir(spec: &DatasetSpec, dir: &Path) -> Result<Self> {
+        let ds = Dataset::generate(spec)?;
+        fs::create_dir_all(dir)?;
+        for v in &ds.videos {
+            fs::write(dir.join(video_file_name(v.video_id)), v.encoded.to_bytes())?;
+        }
+        Ok(ds)
+    }
+
+    /// Loads every `.svid` file from `dir`, sorted by file name.
+    pub fn open_dir(dir: &Path) -> Result<Self> {
+        let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|e| e == "svid"))
+            .collect();
+        paths.sort();
+        if paths.is_empty() {
+            return Err(CodecError::InvalidConfig { what: "no .svid files in dataset dir" });
+        }
+        let mut videos = Vec::with_capacity(paths.len());
+        for p in paths {
+            let bytes = fs::read(&p)?;
+            let encoded = EncodedVideo::from_bytes(&bytes)?;
+            videos.push(VideoEntry {
+                video_id: encoded.header.video_id,
+                class_id: encoded.header.class_id,
+                name: video_name(encoded.header.video_id),
+                encoded: Arc::new(encoded),
+            });
+        }
+        Ok(Dataset { videos, spec: None })
+    }
+
+    /// Builds a dataset from pre-encoded videos (used by tests).
+    #[must_use]
+    pub fn from_videos(videos: Vec<VideoEntry>) -> Self {
+        Dataset { videos, spec: None }
+    }
+
+    /// All videos in id order.
+    #[must_use]
+    pub fn videos(&self) -> &[VideoEntry] {
+        &self.videos
+    }
+
+    /// Number of videos.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.videos.len()
+    }
+
+    /// True when the dataset holds no videos.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.videos.is_empty()
+    }
+
+    /// Looks up a video by id.
+    #[must_use]
+    pub fn get(&self, video_id: u64) -> Option<&VideoEntry> {
+        self.videos.iter().find(|v| v.video_id == video_id)
+    }
+
+    /// Looks up a video by its view name (e.g. `video0003`).
+    #[must_use]
+    pub fn get_by_name(&self, name: &str) -> Option<&VideoEntry> {
+        self.videos.iter().find(|v| v.name == name)
+    }
+
+    /// The generating spec, when the dataset was synthesized in-process.
+    #[must_use]
+    pub const fn spec(&self) -> Option<&DatasetSpec> {
+        self.spec.as_ref()
+    }
+
+    /// Total encoded size in bytes (what "dataset size on disk" means).
+    #[must_use]
+    pub fn encoded_size(&self) -> u64 {
+        self.videos.iter().map(|v| v.encoded.encoded_size()).sum()
+    }
+
+    /// Total decoded size in bytes if every frame were materialized raw.
+    #[must_use]
+    pub fn decoded_size(&self) -> u64 {
+        self.videos
+            .iter()
+            .map(|v| {
+                let h = &v.encoded.header;
+                (h.width * h.height * h.format.channels() * v.encoded.frame_count()) as u64
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::Decoder;
+
+    fn small_spec() -> DatasetSpec {
+        DatasetSpec {
+            num_videos: 4,
+            num_classes: 2,
+            width: 16,
+            height: 16,
+            frames_per_video: 12,
+            encoder: EncoderConfig { gop_size: 6, quantizer: 4, fps_milli: 30_000, b_frames: 0 },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn generate_assigns_round_robin_classes() {
+        let ds = Dataset::generate(&small_spec()).unwrap();
+        assert_eq!(ds.len(), 4);
+        let classes: Vec<u32> = ds.videos().iter().map(|v| v.class_id).collect();
+        assert_eq!(classes, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn generated_videos_decode() {
+        let ds = Dataset::generate(&small_spec()).unwrap();
+        for v in ds.videos() {
+            let mut dec = Decoder::new(&v.encoded);
+            let frames = dec.decode_all().unwrap();
+            assert_eq!(frames.len(), 12);
+        }
+    }
+
+    #[test]
+    fn dir_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("sand_ds_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let ds = Dataset::generate_to_dir(&small_spec(), &dir).unwrap();
+        let loaded = Dataset::open_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), ds.len());
+        for (a, b) in ds.videos().iter().zip(loaded.videos().iter()) {
+            assert_eq!(a.video_id, b.video_id);
+            assert_eq!(a.class_id, b.class_id);
+            assert_eq!(*a.encoded, *b.encoded);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_empty_dir_fails() {
+        let dir = std::env::temp_dir().join(format!("sand_empty_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        assert!(Dataset::open_dir(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lookup_by_id_and_name() {
+        let ds = Dataset::generate(&small_spec()).unwrap();
+        assert_eq!(ds.get(2).unwrap().name, "video0002");
+        assert_eq!(ds.get_by_name("video0003").unwrap().video_id, 3);
+        assert!(ds.get(99).is_none());
+        assert!(ds.get_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn compression_actually_compresses() {
+        let ds = Dataset::generate(&small_spec()).unwrap();
+        assert!(
+            ds.encoded_size() < ds.decoded_size() / 2,
+            "encoded {} vs decoded {}",
+            ds.encoded_size(),
+            ds.decoded_size()
+        );
+    }
+
+    #[test]
+    fn zero_videos_rejected() {
+        let spec = DatasetSpec { num_videos: 0, ..small_spec() };
+        assert!(Dataset::generate(&spec).is_err());
+    }
+}

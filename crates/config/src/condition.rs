@@ -1,0 +1,178 @@
+//! The expression language of conditional branches.
+//!
+//! A conditional branch arm carries a condition string such as
+//! `"iteration > 10000"` or `"else"`. The grammar is deliberately tiny:
+//!
+//! ```text
+//! condition := "else" | var op integer
+//! var       := "iteration" | "epoch"
+//! op        := "<" | "<=" | ">" | ">=" | "=="
+//! ```
+
+use crate::{ConfigError, Result};
+
+/// The variable a condition tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CondVar {
+    /// Global training iteration counter.
+    Iteration,
+    /// Epoch counter.
+    Epoch,
+}
+
+/// The comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CondOp {
+    /// Strictly less.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Strictly greater.
+    Gt,
+    /// Greater or equal.
+    Ge,
+    /// Equal.
+    Eq,
+}
+
+/// A parsed condition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Condition {
+    /// The fallback arm; matches when no earlier arm did.
+    Else,
+    /// A comparison against the current iteration or epoch.
+    Compare {
+        /// Variable under test.
+        var: CondVar,
+        /// Comparison operator.
+        op: CondOp,
+        /// Constant to compare against.
+        value: u64,
+    },
+}
+
+impl Condition {
+    /// Parses a condition string.
+    pub fn parse(s: &str) -> Result<Self> {
+        let t = s.trim();
+        if t.eq_ignore_ascii_case("else") {
+            return Ok(Condition::Else);
+        }
+        let err = |what: &str| ConfigError::InvalidField {
+            field: "condition".into(),
+            what: format!("{what} in `{t}`"),
+        };
+        let tokens: Vec<&str> = t.split_whitespace().collect();
+        if tokens.len() != 3 {
+            return Err(err("expected `<var> <op> <value>`"));
+        }
+        let var = match tokens[0] {
+            "iteration" => CondVar::Iteration,
+            "epoch" => CondVar::Epoch,
+            _ => return Err(err("unknown variable")),
+        };
+        let op = match tokens[1] {
+            "<" => CondOp::Lt,
+            "<=" => CondOp::Le,
+            ">" => CondOp::Gt,
+            ">=" => CondOp::Ge,
+            "==" => CondOp::Eq,
+            _ => return Err(err("unknown operator")),
+        };
+        let value: u64 = tokens[2].parse().map_err(|_| err("value must be an integer"))?;
+        Ok(Condition::Compare { var, op, value })
+    }
+
+    /// Evaluates the condition at a training point.
+    ///
+    /// [`Condition::Else`] evaluates to `true`; arm ordering is the
+    /// caller's concern (first matching arm wins).
+    #[must_use]
+    pub fn eval(&self, iteration: u64, epoch: u64) -> bool {
+        match self {
+            Condition::Else => true,
+            Condition::Compare { var, op, value } => {
+                let lhs = match var {
+                    CondVar::Iteration => iteration,
+                    CondVar::Epoch => epoch,
+                };
+                match op {
+                    CondOp::Lt => lhs < *value,
+                    CondOp::Le => lhs <= *value,
+                    CondOp::Gt => lhs > *value,
+                    CondOp::Ge => lhs >= *value,
+                    CondOp::Eq => lhs == *value,
+                }
+            }
+        }
+    }
+
+    /// Canonical string form (inverse of [`Condition::parse`]).
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        match self {
+            Condition::Else => "else".to_string(),
+            Condition::Compare { var, op, value } => {
+                let v = match var {
+                    CondVar::Iteration => "iteration",
+                    CondVar::Epoch => "epoch",
+                };
+                let o = match op {
+                    CondOp::Lt => "<",
+                    CondOp::Le => "<=",
+                    CondOp::Gt => ">",
+                    CondOp::Ge => ">=",
+                    CondOp::Eq => "==",
+                };
+                format!("{v} {o} {value}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example() {
+        let c = Condition::parse("iteration > 10000").unwrap();
+        assert!(!c.eval(10_000, 0));
+        assert!(c.eval(10_001, 0));
+    }
+
+    #[test]
+    fn parses_else() {
+        assert_eq!(Condition::parse("else").unwrap(), Condition::Else);
+        assert_eq!(Condition::parse(" ELSE ").unwrap(), Condition::Else);
+        assert!(Condition::Else.eval(0, 0));
+    }
+
+    #[test]
+    fn all_operators() {
+        assert!(Condition::parse("epoch < 5").unwrap().eval(0, 4));
+        assert!(!Condition::parse("epoch < 5").unwrap().eval(0, 5));
+        assert!(Condition::parse("epoch <= 5").unwrap().eval(0, 5));
+        assert!(Condition::parse("epoch >= 5").unwrap().eval(0, 5));
+        assert!(Condition::parse("epoch == 5").unwrap().eval(0, 5));
+        assert!(!Condition::parse("epoch == 5").unwrap().eval(0, 6));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Condition::parse("").is_err());
+        assert!(Condition::parse("iteration >").is_err());
+        assert!(Condition::parse("steps > 10").is_err());
+        assert!(Condition::parse("iteration ~ 10").is_err());
+        assert!(Condition::parse("iteration > ten").is_err());
+        assert!(Condition::parse("iteration > 10 extra").is_err());
+    }
+
+    #[test]
+    fn canonical_roundtrip() {
+        for s in ["else", "iteration > 10000", "epoch <= 3", "iteration == 0"] {
+            let c = Condition::parse(s).unwrap();
+            assert_eq!(Condition::parse(&c.canonical()).unwrap(), c);
+        }
+    }
+}

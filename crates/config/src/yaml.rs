@@ -1,0 +1,556 @@
+//! A dependency-free parser for the YAML subset SAND configs use.
+//!
+//! Supported constructs:
+//!
+//! - indentation-nested maps (`key:` followed by a deeper block),
+//! - scalar entries (`key: value`),
+//! - block lists (`- item`, including `- key: value` starting an inline
+//!   map item whose remaining keys sit on deeper lines),
+//! - inline lists (`[a, b, c]`),
+//! - scalars with type inference: integers, floats, booleans, null,
+//!   quoted and bare strings,
+//! - `#` comments and blank lines.
+//!
+//! Anchors, aliases, multi-document streams, flow maps, and block scalars
+//! are intentionally out of scope.
+
+use crate::{ConfigError, Result};
+use std::collections::BTreeMap;
+
+/// A parsed YAML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Null / absent.
+    Null,
+    /// Boolean scalar.
+    Bool(bool),
+    /// Integer scalar.
+    Int(i64),
+    /// Floating-point scalar.
+    Float(f64),
+    /// String scalar.
+    Str(String),
+    /// Ordered list.
+    List(Vec<Value>),
+    /// Map with stable (sorted) key order.
+    Map(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Returns the map form, if this value is a map.
+    #[must_use]
+    pub fn as_map(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns the list form, if this value is a list.
+    #[must_use]
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Returns the string form, if this value is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an integer if it is one.
+    #[must_use]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a float, widening integers.
+    #[must_use]
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a boolean if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Map field lookup; `None` when this is not a map or lacks the key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map().and_then(|m| m.get(key))
+    }
+}
+
+/// One meaningful source line.
+#[derive(Debug)]
+struct Line {
+    /// 1-based source line number (for error reporting).
+    number: usize,
+    /// Leading spaces.
+    indent: usize,
+    /// Content with indentation stripped.
+    content: String,
+}
+
+/// Strips a trailing comment that is not inside quotes.
+fn strip_comment(s: &str) -> &str {
+    let mut in_single = false;
+    let mut in_double = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '\'' if !in_double => in_single = !in_single,
+            '"' if !in_single => in_double = !in_double,
+            '#' if !in_single && !in_double
+                // A comment must be at the start or preceded by whitespace.
+                && (i == 0 || s[..i].ends_with(' ')) => {
+                    return &s[..i];
+                }
+            _ => {}
+        }
+    }
+    s
+}
+
+/// Splits the text into meaningful lines.
+fn lex(text: &str) -> Result<Vec<Line>> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        if raw.contains('\t') {
+            return Err(ConfigError::Syntax {
+                line: idx + 1,
+                what: "tabs are not allowed; use spaces".into(),
+            });
+        }
+        let no_comment = strip_comment(raw);
+        let trimmed_end = no_comment.trim_end();
+        let content = trimmed_end.trim_start();
+        if content.is_empty() {
+            continue;
+        }
+        let indent = trimmed_end.len() - content.len();
+        out.push(Line { number: idx + 1, indent, content: content.to_string() });
+    }
+    Ok(out)
+}
+
+/// Parses a scalar token with type inference.
+fn parse_scalar(token: &str) -> Value {
+    let t = token.trim();
+    if t.is_empty() || t == "~" || t == "null" || t == "None" {
+        return Value::Null;
+    }
+    if let Some(stripped) = t
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .or_else(|| t.strip_prefix('\'').and_then(|s| s.strip_suffix('\'')))
+    {
+        return Value::Str(stripped.to_string());
+    }
+    match t {
+        "true" | "True" => return Value::Bool(true),
+        "false" | "False" => return Value::Bool(false),
+        _ => {}
+    }
+    if let Ok(i) = t.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = t.parse::<f64>() {
+        return Value::Float(f);
+    }
+    Value::Str(t.to_string())
+}
+
+/// Parses an inline list `[a, b, c]`.
+fn parse_inline_list(s: &str, line: usize) -> Result<Value> {
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| ConfigError::Syntax { line, what: "malformed inline list".into() })?;
+    let inner = inner.trim();
+    if inner.is_empty() {
+        return Ok(Value::List(Vec::new()));
+    }
+    // No nesting inside inline lists — split on top-level commas.
+    Ok(Value::List(inner.split(',').map(parse_scalar).collect()))
+}
+
+/// Parses a right-hand-side value appearing after `key:` on one line.
+fn parse_rhs(s: &str, line: usize) -> Result<Value> {
+    let t = s.trim();
+    if t.starts_with('[') {
+        parse_inline_list(t, line)
+    } else {
+        Ok(parse_scalar(t))
+    }
+}
+
+/// Splits `key: value` at the first colon not inside quotes.
+fn split_key(content: &str) -> Option<(&str, &str)> {
+    let mut in_single = false;
+    let mut in_double = false;
+    for (i, c) in content.char_indices() {
+        match c {
+            '\'' if !in_double => in_single = !in_single,
+            '"' if !in_single => in_double = !in_double,
+            ':' if !in_single && !in_double => {
+                let rest = &content[i + 1..];
+                if rest.is_empty() || rest.starts_with(' ') {
+                    return Some((content[..i].trim(), rest.trim()));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Recursive-descent parser over the lexed lines.
+struct Parser {
+    lines: Vec<Line>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Line> {
+        self.lines.get(self.pos)
+    }
+
+    /// Parses a block whose lines all have indentation >= `indent`,
+    /// anchored at exactly `indent`.
+    fn parse_block(&mut self, indent: usize) -> Result<Value> {
+        let first = match self.peek() {
+            Some(l) if l.indent >= indent => l,
+            _ => return Ok(Value::Null),
+        };
+        let anchor = first.indent;
+        if first.content.starts_with("- ") || first.content == "-" {
+            self.parse_list(anchor)
+        } else {
+            self.parse_map(anchor)
+        }
+    }
+
+    fn parse_list(&mut self, anchor: usize) -> Result<Value> {
+        let mut items = Vec::new();
+        while let Some(line) = self.peek() {
+            if line.indent != anchor || !(line.content.starts_with("- ") || line.content == "-") {
+                if line.indent >= anchor {
+                    // A non-item line at or below list indentation is an error
+                    // only if it is deeper; shallower ends the list.
+                    if line.indent > anchor {
+                        return Err(ConfigError::Syntax {
+                            line: line.number,
+                            what: "unexpected indentation inside list".into(),
+                        });
+                    }
+                }
+                break;
+            }
+            let number = line.number;
+            let rest = line.content[1..].trim_start().to_string();
+            self.pos += 1;
+            if rest.is_empty() {
+                // `-` alone: the item is the following deeper block.
+                items.push(self.parse_block(anchor + 1)?);
+            } else if let Some((key, rhs)) = split_key(&rest) {
+                // `- key: value` starts a map item; subsequent deeper lines
+                // continue it.
+                let mut map = BTreeMap::new();
+                let first_val = if rhs.is_empty() {
+                    // Value is a nested block (deeper than the dash column).
+                    self.parse_block(anchor + 2)?
+                } else {
+                    parse_rhs(rhs, number)?
+                };
+                map.insert(key.to_string(), first_val);
+                // Continuation keys are indented past the dash.
+                while let Some(next) = self.peek() {
+                    if next.indent <= anchor || next.content.starts_with("- ") {
+                        break;
+                    }
+                    let n2 = next.number;
+                    let (k2, rhs2) = split_key(&next.content).ok_or_else(|| {
+                        ConfigError::Syntax { line: n2, what: "expected `key: value`".into() }
+                    })?;
+                    let k2 = k2.to_string();
+                    let rhs2 = rhs2.to_string();
+                    let item_indent = next.indent;
+                    self.pos += 1;
+                    let v2 = if rhs2.is_empty() {
+                        self.parse_block(item_indent + 1)?
+                    } else {
+                        parse_rhs(&rhs2, n2)?
+                    };
+                    if map.insert(k2.clone(), v2).is_some() {
+                        return Err(ConfigError::Syntax {
+                            line: n2,
+                            what: format!("duplicate key `{k2}`"),
+                        });
+                    }
+                }
+                items.push(Value::Map(map));
+            } else {
+                items.push(parse_rhs(&rest, number)?);
+            }
+        }
+        Ok(Value::List(items))
+    }
+
+    fn parse_map(&mut self, anchor: usize) -> Result<Value> {
+        let mut map = BTreeMap::new();
+        while let Some(line) = self.peek() {
+            if line.indent < anchor {
+                break;
+            }
+            if line.indent > anchor {
+                return Err(ConfigError::Syntax {
+                    line: line.number,
+                    what: "unexpected indentation".into(),
+                });
+            }
+            if line.content.starts_with("- ") {
+                break;
+            }
+            let number = line.number;
+            let (key, rhs) = split_key(&line.content).ok_or_else(|| ConfigError::Syntax {
+                line: number,
+                what: "expected `key: value`".into(),
+            })?;
+            let key = key.to_string();
+            let rhs = rhs.to_string();
+            self.pos += 1;
+            let value = if rhs.is_empty() {
+                // Nested block: any deeper indentation (or a list at the
+                // same indentation, which YAML allows).
+                match self.peek() {
+                    Some(next)
+                        if next.indent > anchor
+                            || (next.indent == anchor && next.content.starts_with("- ")) =>
+                    {
+                        let next_indent = next.indent;
+                        self.parse_block(next_indent)?
+                    }
+                    _ => Value::Null,
+                }
+            } else {
+                parse_rhs(&rhs, number)?
+            };
+            if map.insert(key.clone(), value).is_some() {
+                return Err(ConfigError::Syntax {
+                    line: number,
+                    what: format!("duplicate key `{key}`"),
+                });
+            }
+        }
+        Ok(Value::Map(map))
+    }
+}
+
+/// Parses YAML text into a [`Value`].
+pub fn parse(text: &str) -> Result<Value> {
+    let lines = lex(text)?;
+    if lines.is_empty() {
+        return Ok(Value::Null);
+    }
+    let mut parser = Parser { lines, pos: 0 };
+    let v = parser.parse_block(0)?;
+    if let Some(extra) = parser.peek() {
+        return Err(ConfigError::Syntax {
+            line: extra.number,
+            what: "trailing content after document".into(),
+        });
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_infer_types() {
+        assert_eq!(parse_scalar("42"), Value::Int(42));
+        assert_eq!(parse_scalar("-3"), Value::Int(-3));
+        assert_eq!(parse_scalar("2.5"), Value::Float(2.5));
+        assert_eq!(parse_scalar("true"), Value::Bool(true));
+        assert_eq!(parse_scalar("false"), Value::Bool(false));
+        assert_eq!(parse_scalar("null"), Value::Null);
+        assert_eq!(parse_scalar("None"), Value::Null);
+        assert_eq!(parse_scalar("hello"), Value::Str("hello".into()));
+        assert_eq!(parse_scalar("\"8 quoted\""), Value::Str("8 quoted".into()));
+        assert_eq!(parse_scalar("'single'"), Value::Str("single".into()));
+    }
+
+    #[test]
+    fn flat_map() {
+        let v = parse("a: 1\nb: two\nc: 3.5\n").unwrap();
+        assert_eq!(v.get("a").unwrap().as_int(), Some(1));
+        assert_eq!(v.get("b").unwrap().as_str(), Some("two"));
+        assert_eq!(v.get("c").unwrap().as_float(), Some(3.5));
+    }
+
+    #[test]
+    fn nested_maps() {
+        let v = parse("outer:\n  inner:\n    x: 7\n  y: 8\n").unwrap();
+        assert_eq!(v.get("outer").unwrap().get("inner").unwrap().get("x").unwrap().as_int(), Some(7));
+        assert_eq!(v.get("outer").unwrap().get("y").unwrap().as_int(), Some(8));
+    }
+
+    #[test]
+    fn block_list_of_scalars() {
+        let v = parse("items:\n  - 1\n  - 2\n  - three\n").unwrap();
+        let l = v.get("items").unwrap().as_list().unwrap();
+        assert_eq!(l.len(), 3);
+        assert_eq!(l[2].as_str(), Some("three"));
+    }
+
+    #[test]
+    fn list_of_maps_with_continuation() {
+        let text = "branches:\n  - prob: 0.5\n    config:\n      - flip:\n          flip_prob: 0.5\n  - prob: 0.5\n    config: None\n";
+        let v = parse(text).unwrap();
+        let l = v.get("branches").unwrap().as_list().unwrap();
+        assert_eq!(l.len(), 2);
+        assert_eq!(l[0].get("prob").unwrap().as_float(), Some(0.5));
+        let cfg = l[0].get("config").unwrap().as_list().unwrap();
+        assert_eq!(
+            cfg[0].get("flip").unwrap().get("flip_prob").unwrap().as_float(),
+            Some(0.5)
+        );
+        assert_eq!(l[1].get("config").unwrap(), &Value::Null);
+    }
+
+    #[test]
+    fn inline_lists() {
+        let v = parse("shape: [256, 320]\nnames: [a, b]\nempty: []\n").unwrap();
+        assert_eq!(
+            v.get("shape").unwrap().as_list().unwrap(),
+            &[Value::Int(256), Value::Int(320)]
+        );
+        assert_eq!(v.get("names").unwrap().as_list().unwrap().len(), 2);
+        assert!(v.get("empty").unwrap().as_list().unwrap().is_empty());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let v = parse("# leading comment\na: 1  # trailing\n\nb: 2\n").unwrap();
+        assert_eq!(v.get("a").unwrap().as_int(), Some(1));
+        assert_eq!(v.get("b").unwrap().as_int(), Some(2));
+    }
+
+    #[test]
+    fn hash_inside_quotes_kept() {
+        let v = parse("s: \"a # b\"\n").unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("a # b"));
+    }
+
+    #[test]
+    fn colon_inside_quoted_string() {
+        let v = parse("cond: \"iteration > 10000\"\n").unwrap();
+        assert_eq!(v.get("cond").unwrap().as_str(), Some("iteration > 10000"));
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        assert!(matches!(parse("a: 1\na: 2\n"), Err(ConfigError::Syntax { line: 2, .. })));
+    }
+
+    #[test]
+    fn tabs_rejected() {
+        assert!(parse("a:\n\tb: 1\n").is_err());
+    }
+
+    #[test]
+    fn empty_document_is_null() {
+        assert_eq!(parse("").unwrap(), Value::Null);
+        assert_eq!(parse("# only comments\n").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn top_level_list() {
+        let v = parse("- 1\n- 2\n").unwrap();
+        assert_eq!(v.as_list().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn list_at_same_indent_as_key() {
+        // YAML allows list dashes at the key's own indentation.
+        let v = parse("aug:\n- resize:\n    shape: [4, 4]\n").unwrap();
+        let l = v.get("aug").unwrap().as_list().unwrap();
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn figure9_style_config_parses() {
+        let text = r#"
+dataset:
+  tag: "train"
+  input_source: file # or streaming
+  video_dataset_path: /dataset/train
+  sampling:
+    videos_per_batch: 8
+    frames_per_video: 8
+    frame_stride: 4
+    samples_per_video: 2
+  augmentation:
+    - name: "augment_resize"
+      branch_type: "single"
+      inputs: ["frame"]
+      outputs: ["augmented_frame_0"]
+      config:
+        - resize:
+            shape: [256, 320]
+            interpolation: ["bilinear"]
+    - name: "conditional branch"
+      branch_type: "conditional"
+      inputs: ["augmented_frame_0"]
+      outputs: ["augmented_frame_1"]
+      branches:
+        - condition: "iteration > 10000"
+          config:
+            - inv_sample: true
+        - condition: "else"
+          config: None
+    - name: "random_branch"
+      branch_type: "random"
+      inputs: ["augmented_frame_1"]
+      outputs: ["augmented_frame_2"]
+      branches:
+        - prob: 0.5
+          config:
+            - flip:
+                flip_prob: 0.5
+        - prob: 0.5
+          config: None
+"#;
+        let v = parse(text).unwrap();
+        let ds = v.get("dataset").unwrap();
+        assert_eq!(ds.get("tag").unwrap().as_str(), Some("train"));
+        assert_eq!(
+            ds.get("sampling").unwrap().get("videos_per_batch").unwrap().as_int(),
+            Some(8)
+        );
+        let aug = ds.get("augmentation").unwrap().as_list().unwrap();
+        assert_eq!(aug.len(), 3);
+        assert_eq!(aug[1].get("branch_type").unwrap().as_str(), Some("conditional"));
+        let branches = aug[1].get("branches").unwrap().as_list().unwrap();
+        assert_eq!(branches[0].get("condition").unwrap().as_str(), Some("iteration > 10000"));
+    }
+}

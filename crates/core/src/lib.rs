@@ -1,0 +1,103 @@
+//! The SAND engine: planning, materialization, serving, and recovery.
+//!
+//! This crate ties the workspace together into the system the paper
+//! describes. A [`engine::SandEngine`]:
+//!
+//! 1. compiles every task's configuration into per-task abstract view
+//!    dependency graphs and, chunk by chunk (`k` epochs at a time), into a
+//!    unified concrete object dependency graph (`sand-graph`),
+//! 2. prunes the cached-object set to the storage budget (Algorithm 1),
+//! 3. drives a priority-scheduled worker pool (`sand-sched`) that
+//!    pre-materializes objects into the tiered store (`sand-storage`)
+//!    ahead of their deadlines while demand-feeding the batch the trainer
+//!    is blocked on,
+//! 4. serves everything through the POSIX-style view filesystem
+//!    (`sand-vfs`): `open("/task/epoch/iter/view")` → `read` → tensors.
+//!
+//! Fault tolerance follows the paper's three-step recovery: the plan is
+//! regenerated deterministically from configs and seed, the disk tier is
+//! scanned for surviving objects, and only the gaps are recomputed.
+
+pub mod engine;
+pub mod keys;
+pub mod service;
+
+pub use engine::{EngineConfig, EngineStats, SandEngine};
+pub use service::{AugClient, AugService, CustomOp};
+pub use keys::store_key;
+
+use std::fmt;
+
+/// Errors produced by the engine.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Configuration failed validation.
+    Config(sand_config::ConfigError),
+    /// Planning failed.
+    Graph(sand_graph::GraphError),
+    /// Codec failure while materializing.
+    Codec(sand_codec::CodecError),
+    /// Frame/tensor failure while materializing.
+    Frame(sand_frame::FrameError),
+    /// Storage failure.
+    Storage(sand_storage::StorageError),
+    /// A requested view is not part of any plan.
+    UnknownView {
+        /// Human-readable description.
+        what: String,
+    },
+    /// Engine state error (e.g. epoch beyond `total_epochs`).
+    State {
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Config(e) => write!(f, "config: {e}"),
+            CoreError::Graph(e) => write!(f, "planning: {e}"),
+            CoreError::Codec(e) => write!(f, "codec: {e}"),
+            CoreError::Frame(e) => write!(f, "frame: {e}"),
+            CoreError::Storage(e) => write!(f, "storage: {e}"),
+            CoreError::UnknownView { what } => write!(f, "unknown view: {what}"),
+            CoreError::State { what } => write!(f, "engine state: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<sand_config::ConfigError> for CoreError {
+    fn from(e: sand_config::ConfigError) -> Self {
+        CoreError::Config(e)
+    }
+}
+
+impl From<sand_graph::GraphError> for CoreError {
+    fn from(e: sand_graph::GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+impl From<sand_codec::CodecError> for CoreError {
+    fn from(e: sand_codec::CodecError) -> Self {
+        CoreError::Codec(e)
+    }
+}
+
+impl From<sand_frame::FrameError> for CoreError {
+    fn from(e: sand_frame::FrameError) -> Self {
+        CoreError::Frame(e)
+    }
+}
+
+impl From<sand_storage::StorageError> for CoreError {
+    fn from(e: sand_storage::StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

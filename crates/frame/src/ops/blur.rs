@@ -1,0 +1,130 @@
+//! Box blur operator (separable two-pass).
+
+use crate::cost::{per_pixel_cost, units, OpCost};
+use crate::frame::Frame;
+use crate::ops::FrameOp;
+use crate::{FrameError, Result};
+
+/// Blurs the frame with a `(2r+1) x (2r+1)` box kernel, applied as two
+/// separable passes. Edges clamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Blur {
+    radius: usize,
+}
+
+impl Blur {
+    /// Creates a blur with the given radius (`>= 1`).
+    pub fn new(radius: usize) -> Result<Self> {
+        if radius == 0 {
+            return Err(FrameError::InvalidDimension { what: "blur radius must be >= 1" });
+        }
+        Ok(Blur { radius })
+    }
+
+    /// The kernel radius.
+    #[must_use]
+    pub const fn radius(&self) -> usize {
+        self.radius
+    }
+}
+
+/// One blur pass along x (`horizontal = true`) or y.
+fn pass(src: &[u8], dst: &mut [u8], w: usize, h: usize, c: usize, r: usize, horizontal: bool) {
+    let norm = (2 * r + 1) as u32;
+    for y in 0..h {
+        for x in 0..w {
+            for ch in 0..c {
+                let mut sum: u32 = 0;
+                for d in -(r as isize)..=(r as isize) {
+                    let (sx, sy) = if horizontal {
+                        ((x as isize + d).clamp(0, w as isize - 1) as usize, y)
+                    } else {
+                        (x, (y as isize + d).clamp(0, h as isize - 1) as usize)
+                    };
+                    sum += u32::from(src[(sy * w + sx) * c + ch]);
+                }
+                dst[(y * w + x) * c + ch] = (sum / norm) as u8;
+            }
+        }
+    }
+}
+
+impl FrameOp for Blur {
+    fn apply(&self, input: &Frame) -> Result<Frame> {
+        let (w, h, c) = (input.width(), input.height(), input.channels());
+        let mut mid = vec![0u8; w * h * c];
+        let mut out = vec![0u8; w * h * c];
+        pass(input.as_bytes(), &mut mid, w, h, c, self.radius, true);
+        pass(&mid, &mut out, w, h, c, self.radius, false);
+        let mut frame = Frame::from_vec(w, h, input.format(), out)?;
+        frame.meta = input.meta;
+        frame.meta.aug_depth += 1;
+        Ok(frame)
+    }
+
+    fn cost(&self, width: usize, height: usize, channels: usize) -> OpCost {
+        let pixels = (width * height) as u64;
+        // Two passes, each touching 2r+1 taps per pixel.
+        let taps = (2 * self.radius + 1) as f64 * 2.0;
+        per_pixel_cost(pixels, channels as u64, units::BLUR * taps, pixels * channels as u64)
+    }
+
+    fn name(&self) -> &'static str {
+        "blur"
+    }
+
+    fn params(&self) -> String {
+        format!("r{}", self.radius)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::PixelFormat;
+
+    #[test]
+    fn zero_radius_rejected() {
+        assert!(Blur::new(0).is_err());
+    }
+
+    #[test]
+    fn flat_frame_unchanged() {
+        let mut f = Frame::zeroed(8, 8, PixelFormat::Rgb8).unwrap();
+        for b in f.as_bytes_mut() {
+            *b = 77;
+        }
+        let out = Blur::new(2).unwrap().apply(&f).unwrap();
+        assert!(out.as_bytes().iter().all(|&b| b == 77));
+    }
+
+    #[test]
+    fn blur_reduces_contrast() {
+        // A single white pixel on black spreads out and dims.
+        let mut f = Frame::zeroed(9, 9, PixelFormat::Gray8).unwrap();
+        f.set_pixel(4, 4, &[255]).unwrap();
+        let out = Blur::new(1).unwrap().apply(&f).unwrap();
+        let center = out.pixel(4, 4).unwrap()[0];
+        assert!(center < 255);
+        assert!(center > 0);
+        // Energy spread to the 3x3 neighbourhood.
+        assert!(out.pixel(3, 3).unwrap()[0] > 0);
+        assert_eq!(out.pixel(0, 0).unwrap()[0], 0);
+    }
+
+    #[test]
+    fn larger_radius_blurs_more() {
+        let mut f = Frame::zeroed(17, 17, PixelFormat::Gray8).unwrap();
+        f.set_pixel(8, 8, &[255]).unwrap();
+        let small = Blur::new(1).unwrap().apply(&f).unwrap();
+        let big = Blur::new(4).unwrap().apply(&f).unwrap();
+        assert!(big.pixel(8, 8).unwrap()[0] < small.pixel(8, 8).unwrap()[0]);
+    }
+
+    #[test]
+    fn cost_grows_with_radius() {
+        let a = Blur::new(1).unwrap().cost(32, 32, 3);
+        let b = Blur::new(3).unwrap().cost(32, 32, 3);
+        assert!(b.compute_units > a.compute_units);
+    }
+}

@@ -1,0 +1,158 @@
+//! Color jitter operator.
+
+use crate::cost::{per_pixel_cost, units, OpCost};
+use crate::frame::{Frame, PixelFormat};
+use crate::ops::FrameOp;
+use crate::{FrameError, Result};
+
+/// Adjusts brightness, contrast, and saturation by fixed factors.
+///
+/// Factors of `1.0` are identity. The planner resolves a config such as
+/// "brightness in `[0.8, 1.2]`" into concrete factors before constructing
+/// the op, keeping the transformation deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColorJitter {
+    brightness: f32,
+    contrast: f32,
+    saturation: f32,
+}
+
+impl ColorJitter {
+    /// Creates a jitter with the given multiplicative factors.
+    ///
+    /// Each factor must be finite and non-negative.
+    pub fn new(brightness: f32, contrast: f32, saturation: f32) -> Result<Self> {
+        for v in [brightness, contrast, saturation] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(FrameError::InvalidDimension {
+                    what: "jitter factors must be finite and >= 0",
+                });
+            }
+        }
+        Ok(ColorJitter { brightness, contrast, saturation })
+    }
+
+    /// Identity jitter (all factors 1.0).
+    #[must_use]
+    pub fn identity() -> Self {
+        ColorJitter { brightness: 1.0, contrast: 1.0, saturation: 1.0 }
+    }
+}
+
+/// Clamps an f32 into the u8 range with rounding.
+fn to_u8(v: f32) -> u8 {
+    v.round().clamp(0.0, 255.0) as u8
+}
+
+impl FrameOp for ColorJitter {
+    fn apply(&self, input: &Frame) -> Result<Frame> {
+        let (w, h, c) = (input.width(), input.height(), input.channels());
+        let src = input.as_bytes();
+        let mut dst = vec![0u8; src.len()];
+        // Contrast pivots around the global mean.
+        let mean: f32 = src.iter().map(|&b| f32::from(b)).sum::<f32>() / src.len() as f32;
+        match input.format() {
+            PixelFormat::Gray8 => {
+                for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                    let v = f32::from(s) * self.brightness;
+                    let v = (v - mean) * self.contrast + mean;
+                    *d = to_u8(v);
+                }
+            }
+            PixelFormat::Rgb8 => {
+                for p in 0..w * h {
+                    let base = p * c;
+                    let r = f32::from(src[base]) * self.brightness;
+                    let g = f32::from(src[base + 1]) * self.brightness;
+                    let b = f32::from(src[base + 2]) * self.brightness;
+                    // Contrast around mean.
+                    let (r, g, b) = (
+                        (r - mean) * self.contrast + mean,
+                        (g - mean) * self.contrast + mean,
+                        (b - mean) * self.contrast + mean,
+                    );
+                    // Saturation: interpolate between luma and color.
+                    let luma = 0.299 * r + 0.587 * g + 0.114 * b;
+                    let r = luma + (r - luma) * self.saturation;
+                    let g = luma + (g - luma) * self.saturation;
+                    let b = luma + (b - luma) * self.saturation;
+                    dst[base] = to_u8(r);
+                    dst[base + 1] = to_u8(g);
+                    dst[base + 2] = to_u8(b);
+                }
+            }
+        }
+        let mut out = Frame::from_vec(w, h, input.format(), dst)?;
+        out.meta = input.meta;
+        out.meta.aug_depth += 1;
+        Ok(out)
+    }
+
+    fn cost(&self, width: usize, height: usize, channels: usize) -> OpCost {
+        let pixels = (width * height) as u64;
+        per_pixel_cost(pixels, channels as u64, units::COLOR_JITTER, pixels * channels as u64)
+    }
+
+    fn name(&self) -> &'static str {
+        "color_jitter"
+    }
+
+    fn params(&self) -> String {
+        format!("b{:.4},c{:.4},s{:.4}", self.brightness, self.contrast, self.saturation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gray_with(vals: &[u8]) -> Frame {
+        Frame::from_vec(vals.len(), 1, PixelFormat::Gray8, vals.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn identity_preserves_pixels() {
+        let f = gray_with(&[0, 50, 100, 200, 255]);
+        let out = ColorJitter::identity().apply(&f).unwrap();
+        assert_eq!(out.as_bytes(), f.as_bytes());
+    }
+
+    #[test]
+    fn brightness_scales() {
+        let f = gray_with(&[100]);
+        let out = ColorJitter::new(1.5, 1.0, 1.0).unwrap().apply(&f).unwrap();
+        assert_eq!(out.as_bytes()[0], 150);
+    }
+
+    #[test]
+    fn brightness_saturates_at_255() {
+        let f = gray_with(&[200]);
+        let out = ColorJitter::new(2.0, 1.0, 1.0).unwrap().apply(&f).unwrap();
+        assert_eq!(out.as_bytes()[0], 255);
+    }
+
+    #[test]
+    fn zero_contrast_collapses_to_mean() {
+        let f = gray_with(&[0, 200]);
+        let out = ColorJitter::new(1.0, 0.0, 1.0).unwrap().apply(&f).unwrap();
+        assert_eq!(out.as_bytes()[0], out.as_bytes()[1]);
+        assert_eq!(out.as_bytes()[0], 100);
+    }
+
+    #[test]
+    fn zero_saturation_makes_gray_rgb() {
+        let mut f = Frame::zeroed(1, 1, PixelFormat::Rgb8).unwrap();
+        f.set_pixel(0, 0, &[250, 10, 10]).unwrap();
+        let out = ColorJitter::new(1.0, 1.0, 0.0).unwrap().apply(&f).unwrap();
+        let p = out.pixel(0, 0).unwrap();
+        assert_eq!(p[0], p[1]);
+        assert_eq!(p[1], p[2]);
+    }
+
+    #[test]
+    fn invalid_factors_rejected() {
+        assert!(ColorJitter::new(-0.1, 1.0, 1.0).is_err());
+        assert!(ColorJitter::new(1.0, f32::NAN, 1.0).is_err());
+        assert!(ColorJitter::new(1.0, 1.0, f32::INFINITY).is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! Crop operator.
+
+use crate::cost::{per_pixel_cost, units, OpCost};
+use crate::frame::Frame;
+use crate::ops::FrameOp;
+use crate::{FrameError, Result};
+
+/// Extracts a rectangular region at a fixed position.
+///
+/// Random cropping in SAND is expressed as a `Crop` whose position was
+/// drawn by the planner (possibly inside a shared window), keeping the op
+/// itself deterministic and therefore shareable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crop {
+    x: usize,
+    y: usize,
+    w: usize,
+    h: usize,
+}
+
+impl Crop {
+    /// Creates a crop of `w x h` pixels anchored at `(x, y)`.
+    pub fn new(x: usize, y: usize, w: usize, h: usize) -> Result<Self> {
+        if w == 0 || h == 0 {
+            return Err(FrameError::InvalidDimension { what: "crop size must be nonzero" });
+        }
+        Ok(Crop { x, y, w, h })
+    }
+
+    /// Crop anchor and size as `(x, y, w, h)`.
+    #[must_use]
+    pub const fn rect(&self) -> (usize, usize, usize, usize) {
+        (self.x, self.y, self.w, self.h)
+    }
+
+    /// A crop of the same size centered in a `src_w x src_h` frame.
+    pub fn centered(src_w: usize, src_h: usize, w: usize, h: usize) -> Result<Self> {
+        if w > src_w || h > src_h {
+            return Err(FrameError::OutOfBounds { what: "center crop larger than source" });
+        }
+        Crop::new((src_w - w) / 2, (src_h - h) / 2, w, h)
+    }
+}
+
+impl FrameOp for Crop {
+    fn apply(&self, input: &Frame) -> Result<Frame> {
+        let c = input.channels();
+        if self.x + self.w > input.width() || self.y + self.h > input.height() {
+            return Err(FrameError::OutOfBounds { what: "crop region outside frame" });
+        }
+        let src = input.as_bytes();
+        let stride = input.stride();
+        let mut dst = Vec::with_capacity(self.w * self.h * c);
+        for row in self.y..self.y + self.h {
+            let start = row * stride + self.x * c;
+            dst.extend_from_slice(&src[start..start + self.w * c]);
+        }
+        let mut out = Frame::from_vec(self.w, self.h, input.format(), dst)?;
+        out.meta = input.meta;
+        out.meta.aug_depth += 1;
+        Ok(out)
+    }
+
+    fn cost(&self, _width: usize, _height: usize, channels: usize) -> OpCost {
+        let pixels = (self.w * self.h) as u64;
+        per_pixel_cost(pixels, channels as u64, units::CROP, pixels * channels as u64)
+    }
+
+    fn name(&self) -> &'static str {
+        "crop"
+    }
+
+    fn params(&self) -> String {
+        format!("{},{}+{}x{}", self.x, self.y, self.w, self.h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::PixelFormat;
+
+    fn indexed(w: usize, h: usize) -> Frame {
+        let mut f = Frame::zeroed(w, h, PixelFormat::Gray8).unwrap();
+        for y in 0..h {
+            for x in 0..w {
+                f.set_pixel(x, y, &[(y * w + x) as u8]).unwrap();
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn crop_extracts_expected_region() {
+        let f = indexed(8, 8);
+        let out = Crop::new(2, 3, 3, 2).unwrap().apply(&f).unwrap();
+        assert_eq!((out.width(), out.height()), (3, 2));
+        assert_eq!(out.pixel(0, 0).unwrap()[0], (3 * 8 + 2) as u8);
+        assert_eq!(out.pixel(2, 1).unwrap()[0], (4 * 8 + 4) as u8);
+    }
+
+    #[test]
+    fn crop_out_of_bounds_rejected() {
+        let f = indexed(8, 8);
+        assert!(Crop::new(6, 0, 3, 3).unwrap().apply(&f).is_err());
+        assert!(Crop::new(0, 7, 2, 2).unwrap().apply(&f).is_err());
+    }
+
+    #[test]
+    fn full_frame_crop_is_identity() {
+        let f = indexed(5, 4);
+        let out = Crop::new(0, 0, 5, 4).unwrap().apply(&f).unwrap();
+        assert_eq!(out.as_bytes(), f.as_bytes());
+    }
+
+    #[test]
+    fn centered_crop_position() {
+        let c = Crop::centered(10, 10, 4, 6).unwrap();
+        assert_eq!(c.rect(), (3, 2, 4, 6));
+        assert!(Crop::centered(4, 4, 5, 4).is_err());
+    }
+
+    #[test]
+    fn zero_sized_crop_rejected() {
+        assert!(Crop::new(0, 0, 0, 3).is_err());
+    }
+
+    #[test]
+    fn rgb_crop_keeps_channels() {
+        let mut f = Frame::zeroed(4, 4, PixelFormat::Rgb8).unwrap();
+        f.set_pixel(2, 2, &[1, 2, 3]).unwrap();
+        let out = Crop::new(2, 2, 2, 2).unwrap().apply(&f).unwrap();
+        assert_eq!(out.pixel(0, 0).unwrap(), &[1, 2, 3]);
+    }
+}

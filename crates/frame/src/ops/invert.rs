@@ -1,0 +1,68 @@
+//! Pixel inversion operator (`inv_sample` in SAND configs).
+
+use crate::cost::{per_pixel_cost, units, OpCost};
+use crate::frame::Frame;
+use crate::ops::FrameOp;
+use crate::Result;
+
+/// Inverts every pixel channel (`v -> 255 - v`).
+///
+/// The paper's example configuration enables `inv_sample` on a conditional
+/// branch after iteration 10000; this is the per-frame operator backing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Invert;
+
+impl Invert {
+    /// Creates the inversion op.
+    #[must_use]
+    pub const fn new() -> Self {
+        Invert
+    }
+}
+
+impl FrameOp for Invert {
+    fn apply(&self, input: &Frame) -> Result<Frame> {
+        let mut out = input.clone();
+        for b in out.as_bytes_mut() {
+            *b = 255 - *b;
+        }
+        out.meta.aug_depth += 1;
+        Ok(out)
+    }
+
+    fn cost(&self, width: usize, height: usize, channels: usize) -> OpCost {
+        let pixels = (width * height) as u64;
+        per_pixel_cost(pixels, channels as u64, units::INVERT, pixels * channels as u64)
+    }
+
+    fn name(&self) -> &'static str {
+        "invert"
+    }
+
+    fn params(&self) -> String {
+        String::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::PixelFormat;
+
+    #[test]
+    fn inversion_is_involutive() {
+        let mut f = Frame::zeroed(4, 4, PixelFormat::Rgb8).unwrap();
+        f.set_pixel(1, 1, &[10, 128, 250]).unwrap();
+        let once = Invert::new().apply(&f).unwrap();
+        assert_eq!(once.pixel(1, 1).unwrap(), &[245, 127, 5]);
+        let twice = Invert::new().apply(&once).unwrap();
+        assert_eq!(twice.as_bytes(), f.as_bytes());
+    }
+
+    #[test]
+    fn black_becomes_white() {
+        let f = Frame::zeroed(2, 2, PixelFormat::Gray8).unwrap();
+        let out = Invert::new().apply(&f).unwrap();
+        assert!(out.as_bytes().iter().all(|&b| b == 255));
+    }
+}

@@ -1,0 +1,105 @@
+//! Augmentation operators.
+//!
+//! Each operator is a real pixel transformation implementing [`FrameOp`].
+//! Operators are *parameterized deterministically*: any randomness (crop
+//! position, jitter factors, flip coin) is resolved by the planner before
+//! the op is constructed, so the same op applied to the same frame always
+//! produces the same bytes. This is what makes augmented objects shareable
+//! across tasks — two tasks that agree on the parameters produce (and can
+//! therefore reuse) identical objects.
+
+mod blur;
+mod color;
+mod crop;
+mod flip;
+mod invert;
+mod resize;
+mod rotate;
+
+pub use blur::Blur;
+pub use color::ColorJitter;
+pub use crop::Crop;
+pub use flip::{Flip, FlipAxis};
+pub use invert::Invert;
+pub use resize::{Interpolation, Resize};
+pub use rotate::{Rotate, Rotation};
+
+use crate::cost::OpCost;
+use crate::frame::Frame;
+use crate::Result;
+
+/// A deterministic frame-to-frame transformation.
+pub trait FrameOp: Send + Sync {
+    /// Applies the operator, producing a new frame.
+    ///
+    /// Implementations must bump `meta.aug_depth` on the output.
+    fn apply(&self, input: &Frame) -> Result<Frame>;
+
+    /// Predicted cost of applying this operator to a frame of the given
+    /// input dimensions, without touching any pixels.
+    fn cost(&self, width: usize, height: usize, channels: usize) -> OpCost;
+
+    /// Stable human-readable name (used in view paths and op traces).
+    fn name(&self) -> &'static str;
+
+    /// Canonical parameter string; two ops with equal `name` and `params`
+    /// are interchangeable, which the concrete-graph merger relies on.
+    fn params(&self) -> String;
+}
+
+/// A fully resolved augmentation step: op name + canonical parameters.
+///
+/// This is the unit the concrete object dependency graph hangs on its
+/// edges. Equality of `AugStep`s is exactly the "same augmentation
+/// configuration" condition the paper uses for node merging.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AugStep {
+    /// Operator name as returned by [`FrameOp::name`].
+    pub name: String,
+    /// Canonical parameters as returned by [`FrameOp::params`].
+    pub params: String,
+}
+
+impl AugStep {
+    /// Builds the step descriptor for an op instance.
+    pub fn of(op: &dyn FrameOp) -> Self {
+        AugStep { name: op.name().to_string(), params: op.params() }
+    }
+}
+
+/// Applies a chain of operators in sequence.
+pub fn apply_chain(input: &Frame, ops: &[Box<dyn FrameOp>]) -> Result<Frame> {
+    let mut cur = input.clone();
+    for op in ops {
+        cur = op.apply(&cur)?;
+    }
+    Ok(cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::PixelFormat;
+
+    #[test]
+    fn apply_chain_composes_and_tracks_depth() {
+        let f = Frame::zeroed(8, 8, PixelFormat::Rgb8).unwrap();
+        let ops: Vec<Box<dyn FrameOp>> = vec![
+            Box::new(Resize::new(4, 4, Interpolation::Nearest).unwrap()),
+            Box::new(Invert::new()),
+        ];
+        let out = apply_chain(&f, &ops).unwrap();
+        assert_eq!(out.width(), 4);
+        assert_eq!(out.meta.aug_depth, 2);
+        assert!(out.as_bytes().iter().all(|&b| b == 255));
+    }
+
+    #[test]
+    fn aug_step_equality_tracks_params() {
+        let a = Resize::new(4, 4, Interpolation::Nearest).unwrap();
+        let b = Resize::new(4, 4, Interpolation::Nearest).unwrap();
+        let c = Resize::new(4, 4, Interpolation::Bilinear).unwrap();
+        assert_eq!(AugStep::of(&a), AugStep::of(&b));
+        assert_ne!(AugStep::of(&a), AugStep::of(&c));
+    }
+}

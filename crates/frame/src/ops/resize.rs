@@ -1,0 +1,221 @@
+//! Resize operators (bilinear and nearest-neighbour).
+
+use crate::cost::{per_pixel_cost, units, OpCost};
+use crate::frame::Frame;
+use crate::ops::FrameOp;
+use crate::{FrameError, Result};
+
+/// Interpolation mode for [`Resize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Interpolation {
+    /// Bilinear filtering (four-tap weighted average).
+    Bilinear,
+    /// Nearest-neighbour sampling.
+    Nearest,
+}
+
+impl Interpolation {
+    /// Canonical string form used in op parameters and configs.
+    #[must_use]
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            Interpolation::Bilinear => "bilinear",
+            Interpolation::Nearest => "nearest",
+        }
+    }
+
+    /// Parses the canonical string form.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "bilinear" => Some(Interpolation::Bilinear),
+            "nearest" => Some(Interpolation::Nearest),
+            _ => None,
+        }
+    }
+}
+
+/// Resizes a frame to fixed output dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resize {
+    out_w: usize,
+    out_h: usize,
+    interp: Interpolation,
+}
+
+impl Resize {
+    /// Creates a resize to `out_w x out_h`.
+    pub fn new(out_w: usize, out_h: usize, interp: Interpolation) -> Result<Self> {
+        if out_w == 0 || out_h == 0 {
+            return Err(FrameError::InvalidDimension { what: "resize target must be nonzero" });
+        }
+        Ok(Resize { out_w, out_h, interp })
+    }
+
+    /// Target width.
+    #[must_use]
+    pub const fn out_width(&self) -> usize {
+        self.out_w
+    }
+
+    /// Target height.
+    #[must_use]
+    pub const fn out_height(&self) -> usize {
+        self.out_h
+    }
+}
+
+impl FrameOp for Resize {
+    fn apply(&self, input: &Frame) -> Result<Frame> {
+        let (iw, ih, c) = (input.width(), input.height(), input.channels());
+        let (ow, oh) = (self.out_w, self.out_h);
+        let src = input.as_bytes();
+        let mut dst = vec![0u8; ow * oh * c];
+        // Scale factors map output pixel centers back into source space.
+        let sx = iw as f64 / ow as f64;
+        let sy = ih as f64 / oh as f64;
+        match self.interp {
+            Interpolation::Nearest => {
+                for oy in 0..oh {
+                    let iy = (((oy as f64 + 0.5) * sy) as usize).min(ih - 1);
+                    for ox in 0..ow {
+                        let ix = (((ox as f64 + 0.5) * sx) as usize).min(iw - 1);
+                        let s = (iy * iw + ix) * c;
+                        let d = (oy * ow + ox) * c;
+                        dst[d..d + c].copy_from_slice(&src[s..s + c]);
+                    }
+                }
+            }
+            Interpolation::Bilinear => {
+                for oy in 0..oh {
+                    let fy = ((oy as f64 + 0.5) * sy - 0.5).max(0.0);
+                    let y0 = (fy as usize).min(ih - 1);
+                    let y1 = (y0 + 1).min(ih - 1);
+                    let wy = fy - y0 as f64;
+                    for ox in 0..ow {
+                        let fx = ((ox as f64 + 0.5) * sx - 0.5).max(0.0);
+                        let x0 = (fx as usize).min(iw - 1);
+                        let x1 = (x0 + 1).min(iw - 1);
+                        let wx = fx - x0 as f64;
+                        let d = (oy * ow + ox) * c;
+                        for ch in 0..c {
+                            let p00 = f64::from(src[(y0 * iw + x0) * c + ch]);
+                            let p01 = f64::from(src[(y0 * iw + x1) * c + ch]);
+                            let p10 = f64::from(src[(y1 * iw + x0) * c + ch]);
+                            let p11 = f64::from(src[(y1 * iw + x1) * c + ch]);
+                            let top = p00 * (1.0 - wx) + p01 * wx;
+                            let bot = p10 * (1.0 - wx) + p11 * wx;
+                            let v = top * (1.0 - wy) + bot * wy;
+                            dst[d + ch] = v.round().clamp(0.0, 255.0) as u8;
+                        }
+                    }
+                }
+            }
+        }
+        let mut out = Frame::from_vec(ow, oh, input.format(), dst)?;
+        out.meta = input.meta;
+        out.meta.aug_depth += 1;
+        Ok(out)
+    }
+
+    fn cost(&self, _width: usize, _height: usize, channels: usize) -> OpCost {
+        let pixels = (self.out_w * self.out_h) as u64;
+        let unit = match self.interp {
+            Interpolation::Bilinear => units::RESIZE_BILINEAR,
+            Interpolation::Nearest => units::RESIZE_NEAREST,
+        };
+        per_pixel_cost(pixels, channels as u64, unit, pixels * channels as u64)
+    }
+
+    fn name(&self) -> &'static str {
+        "resize"
+    }
+
+    fn params(&self) -> String {
+        format!("{}x{}:{}", self.out_w, self.out_h, self.interp.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::PixelFormat;
+
+    fn gradient(w: usize, h: usize) -> Frame {
+        let mut f = Frame::zeroed(w, h, PixelFormat::Gray8).unwrap();
+        for y in 0..h {
+            for x in 0..w {
+                f.set_pixel(x, y, &[((x * 255) / (w - 1).max(1)) as u8]).unwrap();
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn nearest_identity_when_same_size() {
+        let f = gradient(8, 8);
+        let out = Resize::new(8, 8, Interpolation::Nearest).unwrap().apply(&f).unwrap();
+        assert_eq!(out.as_bytes(), f.as_bytes());
+    }
+
+    #[test]
+    fn bilinear_identity_when_same_size() {
+        let f = gradient(8, 8);
+        let out = Resize::new(8, 8, Interpolation::Bilinear).unwrap().apply(&f).unwrap();
+        assert_eq!(out.as_bytes(), f.as_bytes());
+    }
+
+    #[test]
+    fn downscale_dimensions() {
+        let f = gradient(16, 12);
+        let out = Resize::new(8, 6, Interpolation::Bilinear).unwrap().apply(&f).unwrap();
+        assert_eq!((out.width(), out.height()), (8, 6));
+    }
+
+    #[test]
+    fn upscale_preserves_flat_regions() {
+        let mut f = Frame::zeroed(4, 4, PixelFormat::Rgb8).unwrap();
+        for y in 0..4 {
+            for x in 0..4 {
+                f.set_pixel(x, y, &[100, 150, 200]).unwrap();
+            }
+        }
+        let out = Resize::new(9, 9, Interpolation::Bilinear).unwrap().apply(&f).unwrap();
+        for y in 0..9 {
+            for x in 0..9 {
+                assert_eq!(out.pixel(x, y).unwrap(), &[100, 150, 200]);
+            }
+        }
+    }
+
+    #[test]
+    fn bilinear_monotone_on_gradient() {
+        let f = gradient(32, 4);
+        let out = Resize::new(8, 4, Interpolation::Bilinear).unwrap().apply(&f).unwrap();
+        let row: Vec<u8> = (0..8).map(|x| out.pixel(x, 0).unwrap()[0]).collect();
+        for w in row.windows(2) {
+            assert!(w[1] >= w[0], "gradient must remain monotone: {row:?}");
+        }
+    }
+
+    #[test]
+    fn zero_target_rejected() {
+        assert!(Resize::new(0, 4, Interpolation::Nearest).is_err());
+    }
+
+    #[test]
+    fn cost_depends_on_output_size_and_mode() {
+        let small = Resize::new(4, 4, Interpolation::Bilinear).unwrap().cost(100, 100, 3);
+        let big = Resize::new(8, 8, Interpolation::Bilinear).unwrap().cost(100, 100, 3);
+        assert!(big.compute_units > small.compute_units);
+        let near = Resize::new(8, 8, Interpolation::Nearest).unwrap().cost(100, 100, 3);
+        assert!(near.compute_units < big.compute_units);
+    }
+
+    #[test]
+    fn interpolation_parse_roundtrip() {
+        for i in [Interpolation::Bilinear, Interpolation::Nearest] {
+            assert_eq!(Interpolation::parse(i.as_str()), Some(i));
+        }
+        assert_eq!(Interpolation::parse("cubic"), None);
+    }
+}

@@ -1,0 +1,131 @@
+//! Right-angle rotation operator.
+
+use crate::cost::{per_pixel_cost, units, OpCost};
+use crate::frame::Frame;
+use crate::ops::FrameOp;
+use crate::Result;
+
+/// Rotation amount, clockwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rotation {
+    /// 90 degrees clockwise.
+    Cw90,
+    /// 180 degrees.
+    Cw180,
+    /// 270 degrees clockwise (90 counter-clockwise).
+    Cw270,
+}
+
+impl Rotation {
+    /// Canonical string form.
+    #[must_use]
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            Rotation::Cw90 => "90",
+            Rotation::Cw180 => "180",
+            Rotation::Cw270 => "270",
+        }
+    }
+}
+
+/// Rotates a frame by a right angle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rotate {
+    rot: Rotation,
+}
+
+impl Rotate {
+    /// Creates a rotation op.
+    #[must_use]
+    pub const fn new(rot: Rotation) -> Self {
+        Rotate { rot }
+    }
+}
+
+impl FrameOp for Rotate {
+    fn apply(&self, input: &Frame) -> Result<Frame> {
+        let (w, h, c) = (input.width(), input.height(), input.channels());
+        let src = input.as_bytes();
+        let (ow, oh) = match self.rot {
+            Rotation::Cw90 | Rotation::Cw270 => (h, w),
+            Rotation::Cw180 => (w, h),
+        };
+        let mut dst = vec![0u8; src.len()];
+        for y in 0..h {
+            for x in 0..w {
+                let (dx, dy) = match self.rot {
+                    Rotation::Cw90 => (h - 1 - y, x),
+                    Rotation::Cw180 => (w - 1 - x, h - 1 - y),
+                    Rotation::Cw270 => (y, w - 1 - x),
+                };
+                let s = (y * w + x) * c;
+                let d = (dy * ow + dx) * c;
+                dst[d..d + c].copy_from_slice(&src[s..s + c]);
+            }
+        }
+        let mut out = Frame::from_vec(ow, oh, input.format(), dst)?;
+        out.meta = input.meta;
+        out.meta.aug_depth += 1;
+        Ok(out)
+    }
+
+    fn cost(&self, width: usize, height: usize, channels: usize) -> OpCost {
+        let pixels = (width * height) as u64;
+        per_pixel_cost(pixels, channels as u64, units::ROTATE, pixels * channels as u64)
+    }
+
+    fn name(&self) -> &'static str {
+        "rotate"
+    }
+
+    fn params(&self) -> String {
+        self.rot.as_str().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::PixelFormat;
+
+    fn marked() -> Frame {
+        let mut f = Frame::zeroed(3, 2, PixelFormat::Gray8).unwrap();
+        f.set_pixel(0, 0, &[1]).unwrap(); // top-left
+        f.set_pixel(2, 0, &[2]).unwrap(); // top-right
+        f
+    }
+
+    #[test]
+    fn cw90_moves_top_left_to_top_right() {
+        let out = Rotate::new(Rotation::Cw90).apply(&marked()).unwrap();
+        assert_eq!((out.width(), out.height()), (2, 3));
+        assert_eq!(out.pixel(1, 0).unwrap()[0], 1);
+        assert_eq!(out.pixel(1, 2).unwrap()[0], 2);
+    }
+
+    #[test]
+    fn cw180_moves_top_left_to_bottom_right() {
+        let out = Rotate::new(Rotation::Cw180).apply(&marked()).unwrap();
+        assert_eq!(out.pixel(2, 1).unwrap()[0], 1);
+        assert_eq!(out.pixel(0, 1).unwrap()[0], 2);
+    }
+
+    #[test]
+    fn four_quarter_turns_are_identity() {
+        let f = marked();
+        let op = Rotate::new(Rotation::Cw90);
+        let mut cur = f.clone();
+        for _ in 0..4 {
+            cur = op.apply(&cur).unwrap();
+        }
+        assert_eq!(cur.as_bytes(), f.as_bytes());
+    }
+
+    #[test]
+    fn cw90_then_cw270_is_identity() {
+        let f = marked();
+        let once = Rotate::new(Rotation::Cw90).apply(&f).unwrap();
+        let back = Rotate::new(Rotation::Cw270).apply(&once).unwrap();
+        assert_eq!(back.as_bytes(), f.as_bytes());
+    }
+}

@@ -1,0 +1,273 @@
+//! Planar `f32` tensors for model input.
+//!
+//! After augmentation, SAND normalizes clips of frames into `(N, C, T, H, W)`
+//! style batches. This module provides the minimal dense tensor needed for
+//! that: a flat `f32` buffer with an explicit shape, plus batch assembly.
+
+use crate::frame::Frame;
+use crate::{FrameError, Result};
+
+/// A dense row-major `f32` tensor with an explicit shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a shape and matching buffer.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Result<Self> {
+        let expected: usize = shape.iter().product();
+        if shape.contains(&0) {
+            return Err(FrameError::InvalidDimension { what: "tensor dims must be nonzero" });
+        }
+        if data.len() != expected {
+            return Err(FrameError::ShapeMismatch { expected, actual: data.len() });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a zero-filled tensor.
+    pub fn zeros(shape: Vec<usize>) -> Result<Self> {
+        let n: usize = shape.iter().product();
+        if shape.contains(&0) {
+            return Err(FrameError::InvalidDimension { what: "tensor dims must be nonzero" });
+        }
+        Tensor::from_vec(shape, vec![0.0; n])
+    }
+
+    /// The tensor shape.
+    #[must_use]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements (never, by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the element buffer.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the element buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Mean of all elements.
+    #[must_use]
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Serializes the tensor to little-endian bytes (shape-prefixed).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.shape.len() * 8 + self.data.len() * 4);
+        out.extend_from_slice(&(self.shape.len() as u64).to_le_bytes());
+        for &d in &self.shape {
+            out.extend_from_slice(&(d as u64).to_le_bytes());
+        }
+        let base = out.len();
+        out.resize(base + self.data.len() * 4, 0);
+        for (chunk, v) in out[base..].chunks_exact_mut(4).zip(self.data.iter()) {
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`Tensor::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let read_u64 = |off: usize| -> Result<u64> {
+            let end = off + 8;
+            if end > bytes.len() {
+                return Err(FrameError::CorruptData { what: "truncated tensor header" });
+            }
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[off..end]);
+            Ok(u64::from_le_bytes(b))
+        };
+        let rank = read_u64(0)? as usize;
+        if rank > 8 {
+            return Err(FrameError::CorruptData { what: "tensor rank too large" });
+        }
+        let mut shape = Vec::with_capacity(rank);
+        for i in 0..rank {
+            shape.push(read_u64(8 + i * 8)? as usize);
+        }
+        let data_off = 8 + rank * 8;
+        let n: usize = shape.iter().product();
+        let need = data_off + n * 4;
+        if bytes.len() < need {
+            return Err(FrameError::CorruptData { what: "truncated tensor data" });
+        }
+        let mut data = Vec::with_capacity(n);
+        data.extend(
+            bytes[data_off..need]
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+        );
+        Tensor::from_vec(shape, data)
+    }
+}
+
+/// Converts a clip of same-shaped frames into a `(C, T, H, W)` tensor,
+/// normalizing each channel as `(x / 255 - mean) / std`.
+pub fn clip_to_tensor(frames: &[Frame], mean: &[f32], std: &[f32]) -> Result<Tensor> {
+    let refs: Vec<&Frame> = frames.iter().collect();
+    clip_refs_to_tensor(&refs, mean, std)
+}
+
+/// Reference-taking variant of [`clip_to_tensor`] (avoids cloning frames
+/// that are shared through `Arc`s in the engine's cache).
+pub fn clip_refs_to_tensor(frames: &[&Frame], mean: &[f32], std: &[f32]) -> Result<Tensor> {
+    let first = *frames
+        .first()
+        .ok_or(FrameError::InvalidDimension { what: "empty clip" })?;
+    let (w, h, c) = (first.width(), first.height(), first.channels());
+    if mean.len() != c || std.len() != c {
+        return Err(FrameError::ShapeMismatch { expected: c, actual: mean.len() });
+    }
+    if std.contains(&0.0) {
+        return Err(FrameError::InvalidDimension { what: "zero std" });
+    }
+    for f in frames {
+        if !f.same_shape(first) {
+            return Err(FrameError::IncompatibleFrames { what: "clip frames must share shape" });
+        }
+    }
+    let frames = frames.iter().copied();
+    let t = frames.len();
+    let mut data = vec![0.0f32; c * t * h * w];
+    for (ti, f) in frames.enumerate() {
+        let src = f.as_bytes();
+        for y in 0..h {
+            for x in 0..w {
+                let base = (y * w + x) * c;
+                for ch in 0..c {
+                    let v = f32::from(src[base + ch]) / 255.0;
+                    let out_idx = ((ch * t + ti) * h + y) * w + x;
+                    data[out_idx] = (v - mean[ch]) / std[ch];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![c, t, h, w], data)
+}
+
+/// Stacks per-sample tensors into a batch tensor with a leading N axis.
+pub fn stack(samples: &[Tensor]) -> Result<Tensor> {
+    let first = samples
+        .first()
+        .ok_or(FrameError::InvalidDimension { what: "empty batch" })?;
+    for s in samples {
+        if s.shape() != first.shape() {
+            return Err(FrameError::IncompatibleFrames { what: "batch samples must share shape" });
+        }
+    }
+    let mut shape = Vec::with_capacity(first.shape().len() + 1);
+    shape.push(samples.len());
+    shape.extend_from_slice(first.shape());
+    let mut data = Vec::with_capacity(samples.len() * first.len());
+    for s in samples {
+        data.extend_from_slice(s.as_slice());
+    }
+    Tensor::from_vec(shape, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::PixelFormat;
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(Tensor::from_vec(vec![2, 3], vec![0.0; 6]).is_ok());
+        assert!(Tensor::from_vec(vec![2, 3], vec![0.0; 5]).is_err());
+        assert!(Tensor::from_vec(vec![2, 0], vec![]).is_err());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let t = Tensor::from_vec(vec![2, 2], vec![1.0, -2.5, 0.0, 42.0]).unwrap();
+        assert_eq!(Tensor::from_bytes(&t.to_bytes()).unwrap(), t);
+    }
+
+    #[test]
+    fn bytes_truncation_rejected() {
+        let t = Tensor::zeros(vec![3, 3]).unwrap();
+        let b = t.to_bytes();
+        assert!(Tensor::from_bytes(&b[..b.len() - 1]).is_err());
+        assert!(Tensor::from_bytes(&b[..4]).is_err());
+    }
+
+    #[test]
+    fn clip_to_tensor_shape_and_values() {
+        let mut f0 = Frame::zeroed(2, 2, PixelFormat::Gray8).unwrap();
+        f0.set_pixel(0, 0, &[255]).unwrap();
+        let f1 = Frame::zeroed(2, 2, PixelFormat::Gray8).unwrap();
+        let t = clip_to_tensor(&[f0, f1], &[0.0], &[1.0]).unwrap();
+        assert_eq!(t.shape(), &[1, 2, 2, 2]);
+        assert!((t.as_slice()[0] - 1.0).abs() < 1e-6);
+        assert_eq!(t.as_slice()[1], 0.0);
+    }
+
+    #[test]
+    fn clip_to_tensor_normalization() {
+        let mut f = Frame::zeroed(1, 1, PixelFormat::Rgb8).unwrap();
+        f.set_pixel(0, 0, &[255, 128, 0]).unwrap();
+        let t = clip_to_tensor(&[f], &[0.5, 0.5, 0.5], &[0.25, 0.25, 0.25]).unwrap();
+        assert!((t.as_slice()[0] - 2.0).abs() < 1e-5);
+        assert!(t.as_slice()[1].abs() < 0.01);
+        assert!((t.as_slice()[2] + 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_rejects_mixed_shapes() {
+        let a = Frame::zeroed(2, 2, PixelFormat::Gray8).unwrap();
+        let b = Frame::zeroed(3, 2, PixelFormat::Gray8).unwrap();
+        assert!(clip_to_tensor(&[a, b], &[0.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn clip_rejects_zero_std() {
+        let a = Frame::zeroed(2, 2, PixelFormat::Gray8).unwrap();
+        assert!(clip_to_tensor(&[a], &[0.0], &[0.0]).is_err());
+    }
+
+    #[test]
+    fn stack_builds_batch_axis() {
+        let a = Tensor::zeros(vec![2, 3]).unwrap();
+        let b = Tensor::zeros(vec![2, 3]).unwrap();
+        let s = stack(&[a, b]).unwrap();
+        assert_eq!(s.shape(), &[2, 2, 3]);
+    }
+
+    #[test]
+    fn stack_rejects_mismatched_and_empty() {
+        let a = Tensor::zeros(vec![2, 3]).unwrap();
+        let b = Tensor::zeros(vec![3, 2]).unwrap();
+        assert!(stack(&[a, b]).is_err());
+        assert!(stack(&[]).is_err());
+    }
+
+    #[test]
+    fn mean_of_known_values() {
+        let t = Tensor::from_vec(vec![4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((t.mean() - 2.5).abs() < 1e-6);
+    }
+}

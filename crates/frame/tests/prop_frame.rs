@@ -1,0 +1,90 @@
+//! Property-based tests for frame buffers, compression, and ops.
+
+use proptest::prelude::*;
+use sand_frame::ops::{Crop, Flip, FlipAxis, FrameOp, Interpolation, Invert, Resize};
+use sand_frame::{compress_frame, decompress_frame, Frame, FrameMeta, PixelFormat};
+
+/// Strategy producing arbitrary small frames.
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (1usize..32, 1usize..32, prop::bool::ANY).prop_flat_map(|(w, h, rgb)| {
+        let fmt = if rgb { PixelFormat::Rgb8 } else { PixelFormat::Gray8 };
+        let len = w * h * fmt.channels();
+        prop::collection::vec(any::<u8>(), len..=len).prop_map(move |data| {
+            let mut f = Frame::from_vec(w, h, fmt, data).expect("strategy shape");
+            f.meta = FrameMeta { index: 3, timestamp_us: 99, video_id: 5, aug_depth: 0 };
+            f
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn compress_roundtrips_exactly(f in arb_frame()) {
+        let bytes = compress_frame(&f);
+        let back = decompress_frame(&bytes).unwrap();
+        prop_assert_eq!(back, f);
+    }
+
+    #[test]
+    fn decompress_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Must return an error or a frame, never panic.
+        let _ = decompress_frame(&data);
+    }
+
+    #[test]
+    fn decompress_never_panics_on_corrupted_valid(f in arb_frame(), idx in any::<prop::sample::Index>(), bit in 0u8..8) {
+        let mut bytes = compress_frame(&f);
+        let i = idx.index(bytes.len());
+        bytes[i] ^= 1 << bit;
+        let _ = decompress_frame(&bytes);
+    }
+
+    #[test]
+    fn flip_is_involutive(f in arb_frame(), horiz in any::<bool>()) {
+        let axis = if horiz { FlipAxis::Horizontal } else { FlipAxis::Vertical };
+        let op = Flip::new(axis);
+        let twice = op.apply(&op.apply(&f).unwrap()).unwrap();
+        prop_assert_eq!(twice.as_bytes(), f.as_bytes());
+    }
+
+    #[test]
+    fn invert_is_involutive(f in arb_frame()) {
+        let op = Invert::new();
+        let twice = op.apply(&op.apply(&f).unwrap()).unwrap();
+        prop_assert_eq!(twice.as_bytes(), f.as_bytes());
+    }
+
+    #[test]
+    fn resize_produces_requested_dims(f in arb_frame(), ow in 1usize..48, oh in 1usize..48, bilinear in any::<bool>()) {
+        let interp = if bilinear { Interpolation::Bilinear } else { Interpolation::Nearest };
+        let out = Resize::new(ow, oh, interp).unwrap().apply(&f).unwrap();
+        prop_assert_eq!(out.width(), ow);
+        prop_assert_eq!(out.height(), oh);
+        prop_assert_eq!(out.format(), f.format());
+    }
+
+    #[test]
+    fn crop_inside_bounds_always_succeeds(f in arb_frame(), xf in 0.0f64..1.0, yf in 0.0f64..1.0, wf in 0.01f64..1.0, hf in 0.01f64..1.0) {
+        let w = ((f.width() as f64 * wf) as usize).max(1);
+        let h = ((f.height() as f64 * hf) as usize).max(1);
+        let x = ((f.width() - w) as f64 * xf) as usize;
+        let y = ((f.height() - h) as f64 * yf) as usize;
+        let out = Crop::new(x, y, w, h).unwrap().apply(&f).unwrap();
+        prop_assert_eq!(out.width(), w);
+        prop_assert_eq!(out.height(), h);
+        // Every output pixel equals the corresponding source pixel.
+        for oy in 0..h {
+            for ox in 0..w {
+                prop_assert_eq!(out.pixel(ox, oy).unwrap(), f.pixel(x + ox, y + oy).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn ops_preserve_provenance_and_bump_depth(f in arb_frame()) {
+        let out = Invert::new().apply(&f).unwrap();
+        prop_assert_eq!(out.meta.video_id, f.meta.video_id);
+        prop_assert_eq!(out.meta.index, f.meta.index);
+        prop_assert_eq!(out.meta.aug_depth, f.meta.aug_depth + 1);
+    }
+}

@@ -1,0 +1,264 @@
+//! The per-task abstract view dependency graph.
+//!
+//! The abstract graph is a small template (a handful of nodes and edges)
+//! capturing the *shape* of one task's preprocessing flow: the dataset
+//! root, the decoded-frame view, one augmented view per produced stream,
+//! and the batch view. It is the blueprint the planner traverses when it
+//! looks for sharing opportunities — two tasks share video nodes when
+//! their roots match, frame nodes when their paths from the root match,
+//! and augmented nodes when their augmentation configurations match.
+
+use sand_config::types::{Branch, TaskConfig};
+
+/// The view type a node represents (Table 1 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ViewType {
+    /// The encoded video dataset root.
+    Video,
+    /// Decoded frames.
+    Frame,
+    /// An augmented-frame stream.
+    AugFrame {
+        /// The stream name this view carries (e.g. `augmented_frame_0`).
+        stream: String,
+    },
+    /// The final training-batch view.
+    Batch,
+}
+
+/// One node of the abstract graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbstractNode {
+    /// Node index within the graph.
+    pub id: usize,
+    /// What kind of view this node represents.
+    pub view: ViewType,
+}
+
+/// The operation an edge performs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbstractOp {
+    /// Decode the video into frames (includes frame selection).
+    Decode,
+    /// Apply the named augmentation branch.
+    Augment {
+        /// Branch name from the configuration.
+        branch: String,
+    },
+    /// Assemble frames into a training batch.
+    Collate,
+}
+
+/// One directed edge of the abstract graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbstractEdge {
+    /// Source node id.
+    pub from: usize,
+    /// Destination node id.
+    pub to: usize,
+    /// Operation performed along this edge.
+    pub op: AbstractOp,
+}
+
+/// The abstract view dependency graph of one task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbstractGraph {
+    /// Task tag this graph belongs to.
+    pub task: String,
+    /// Dataset path labelling the root node.
+    pub dataset_path: String,
+    /// Nodes; index 0 is always the video root.
+    pub nodes: Vec<AbstractNode>,
+    /// Edges.
+    pub edges: Vec<AbstractEdge>,
+}
+
+impl AbstractGraph {
+    /// Builds the abstract graph from a validated task configuration.
+    #[must_use]
+    pub fn from_config(cfg: &TaskConfig) -> Self {
+        let mut nodes = vec![
+            AbstractNode { id: 0, view: ViewType::Video },
+            AbstractNode { id: 1, view: ViewType::Frame },
+        ];
+        let mut edges = vec![AbstractEdge { from: 0, to: 1, op: AbstractOp::Decode }];
+        // Stream name -> producing node id. `frame` is node 1.
+        let mut stream_node: Vec<(String, usize)> = vec![("frame".to_string(), 1)];
+        for branch in &cfg.augmentation {
+            let out_ids = add_branch(&mut nodes, &mut edges, &stream_node, branch);
+            for (stream, id) in branch.outputs.iter().zip(out_ids) {
+                stream_node.push((stream.clone(), id));
+            }
+        }
+        // The batch node collates every terminal stream.
+        let batch_id = nodes.len();
+        nodes.push(AbstractNode { id: batch_id, view: ViewType::Batch });
+        for term in cfg.terminal_streams() {
+            let src = stream_node
+                .iter()
+                .find(|(n, _)| *n == term)
+                .map(|(_, id)| *id)
+                .unwrap_or(1);
+            edges.push(AbstractEdge { from: src, to: batch_id, op: AbstractOp::Collate });
+        }
+        AbstractGraph {
+            task: cfg.tag.clone(),
+            dataset_path: cfg.video_dataset_path.clone(),
+            nodes,
+            edges,
+        }
+    }
+
+    /// The batch node id (always the last node).
+    #[must_use]
+    pub fn batch_node(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// True when `self` and `other` read the same dataset — the first
+    /// merge criterion during concrete planning.
+    #[must_use]
+    pub fn shares_root(&self, other: &AbstractGraph) -> bool {
+        self.dataset_path == other.dataset_path
+    }
+
+    /// Nodes along the path from the root to the node producing `stream`.
+    #[must_use]
+    pub fn path_to_stream(&self, stream: &str) -> Vec<usize> {
+        // The graph is small; walk edges backwards from the stream node.
+        let target = self
+            .nodes
+            .iter()
+            .find(|n| matches!(&n.view, ViewType::AugFrame { stream: s } if s == stream))
+            .map(|n| n.id);
+        let Some(mut cur) = target else { return Vec::new() };
+        let mut path = vec![cur];
+        while cur != 0 {
+            let Some(e) = self.edges.iter().find(|e| e.to == cur) else { break };
+            cur = e.from;
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// Adds the nodes/edges for one branch; returns the output node ids in
+/// the order of `branch.outputs`.
+fn add_branch(
+    nodes: &mut Vec<AbstractNode>,
+    edges: &mut Vec<AbstractEdge>,
+    stream_node: &[(String, usize)],
+    branch: &Branch,
+) -> Vec<usize> {
+    let lookup = |name: &str| {
+        stream_node
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, id)| *id)
+            .unwrap_or(1)
+    };
+    let mut out_ids = Vec::with_capacity(branch.outputs.len());
+    for out in &branch.outputs {
+        let id = nodes.len();
+        nodes.push(AbstractNode { id, view: ViewType::AugFrame { stream: out.clone() } });
+        for input in &branch.inputs {
+            edges.push(AbstractEdge {
+                from: lookup(input),
+                to: id,
+                op: AbstractOp::Augment { branch: branch.name.clone() },
+            });
+        }
+        out_ids.push(id);
+    }
+    out_ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sand_config::parse_task_config;
+
+    const PIPE: &str = r#"
+dataset:
+  tag: train
+  input_source: file
+  video_dataset_path: /dataset/train
+  sampling:
+    videos_per_batch: 2
+    frames_per_video: 4
+    frame_stride: 2
+  augmentation:
+    - name: r
+      branch_type: single
+      inputs: ["frame"]
+      outputs: ["a0"]
+      config:
+        - resize:
+            shape: [32, 32]
+    - name: c
+      branch_type: single
+      inputs: ["a0"]
+      outputs: ["a1"]
+      config:
+        - random_crop:
+            shape: [16, 16]
+"#;
+
+    #[test]
+    fn builds_linear_chain() {
+        let cfg = parse_task_config(PIPE).unwrap();
+        let g = AbstractGraph::from_config(&cfg);
+        // video, frame, a0, a1, batch.
+        assert_eq!(g.nodes.len(), 5);
+        assert_eq!(g.nodes[0].view, ViewType::Video);
+        assert_eq!(g.nodes[1].view, ViewType::Frame);
+        assert_eq!(g.nodes[4].view, ViewType::Batch);
+        // decode, aug r, aug c, collate.
+        assert_eq!(g.edges.len(), 4);
+        assert_eq!(g.edges[0].op, AbstractOp::Decode);
+        assert!(matches!(&g.edges[3].op, AbstractOp::Collate));
+    }
+
+    #[test]
+    fn path_to_stream_walks_back_to_root() {
+        let cfg = parse_task_config(PIPE).unwrap();
+        let g = AbstractGraph::from_config(&cfg);
+        assert_eq!(g.path_to_stream("a1"), vec![0, 1, 2, 3]);
+        assert_eq!(g.path_to_stream("a0"), vec![0, 1, 2]);
+        assert!(g.path_to_stream("zzz").is_empty());
+    }
+
+    #[test]
+    fn shares_root_compares_dataset_paths() {
+        let cfg = parse_task_config(PIPE).unwrap();
+        let a = AbstractGraph::from_config(&cfg);
+        let mut cfg2 = cfg.clone();
+        cfg2.tag = "other".into();
+        let b = AbstractGraph::from_config(&cfg2);
+        assert!(a.shares_root(&b));
+        cfg2.video_dataset_path = "/elsewhere".into();
+        let c = AbstractGraph::from_config(&cfg2);
+        assert!(!a.shares_root(&c));
+    }
+
+    #[test]
+    fn empty_augmentation_collates_frames_directly() {
+        let text = r#"
+dataset:
+  tag: t
+  input_source: file
+  video_dataset_path: /d
+  sampling:
+    videos_per_batch: 1
+    frames_per_video: 1
+    frame_stride: 1
+"#;
+        let cfg = parse_task_config(text).unwrap();
+        let g = AbstractGraph::from_config(&cfg);
+        assert_eq!(g.nodes.len(), 3); // video, frame, batch
+        assert_eq!(g.edges.len(), 2); // decode, collate
+        assert_eq!(g.edges[1].from, 1);
+        assert_eq!(g.edges[1].to, 2);
+    }
+}

@@ -1,0 +1,599 @@
+//! Checkpointing of concrete object dependency graphs.
+//!
+//! The paper's recovery path regenerates the concrete dependency tree
+//! from configuration files, but notes it "can be checkpointed every k
+//! epochs for faster recovery". This module provides that: a compact,
+//! self-describing binary serialization of a [`ConcreteGraph`] that
+//! round-trips exactly, so a restarted engine can load the plan rather
+//! than re-deriving it.
+//!
+//! The format reuses the workspace's LEB128/length-prefix conventions
+//! (`sand_frame::wire`); floats travel as IEEE-754 bit patterns.
+
+use crate::concrete::{BatchRef, ConcreteGraph, ConcreteNode, Consumer, MergeStats, SamplePlan};
+use crate::resolve::ResolvedOp;
+use crate::{GraphError, ObjectKey, Result};
+use sand_frame::ops::Interpolation;
+use sand_frame::wire::{get_varint, put_varint};
+use std::collections::HashMap;
+
+/// Magic bytes identifying a graph checkpoint ("SGCK").
+pub const MAGIC: [u8; 4] = *b"SGCK";
+
+/// Checkpoint format version.
+pub const VERSION: u8 = 1;
+
+fn err(what: &'static str) -> GraphError {
+    GraphError::InvalidInput { what: what.to_string() }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(bytes: &[u8], pos: &mut usize) -> Result<String> {
+    let len = get_varint(bytes, pos).map_err(|_| err("truncated string length"))? as usize;
+    let end = pos.checked_add(len).ok_or(err("string length overflow"))?;
+    if end > bytes.len() {
+        return Err(err("truncated string"));
+    }
+    let s = std::str::from_utf8(&bytes[*pos..end]).map_err(|_| err("invalid utf-8"))?;
+    *pos = end;
+    Ok(s.to_string())
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn get_f64(bytes: &[u8], pos: &mut usize) -> Result<f64> {
+    let end = pos.checked_add(8).ok_or(err("f64 overflow"))?;
+    if end > bytes.len() {
+        return Err(err("truncated f64"));
+    }
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[*pos..end]);
+    *pos = end;
+    Ok(f64::from_bits(u64::from_le_bytes(b)))
+}
+
+fn put_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn get_f32(bytes: &[u8], pos: &mut usize) -> Result<f32> {
+    let end = pos.checked_add(4).ok_or(err("f32 overflow"))?;
+    if end > bytes.len() {
+        return Err(err("truncated f32"));
+    }
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&bytes[*pos..end]);
+    *pos = end;
+    Ok(f32::from_bits(u32::from_le_bytes(b)))
+}
+
+fn put_key(out: &mut Vec<u8>, key: &ObjectKey) {
+    match key {
+        ObjectKey::Video { video_id } => {
+            out.push(0);
+            put_varint(out, *video_id);
+        }
+        ObjectKey::Frame { video_id, frame } => {
+            out.push(1);
+            put_varint(out, *video_id);
+            put_varint(out, *frame as u64);
+        }
+        ObjectKey::Aug { video_id, frame, chain } => {
+            out.push(2);
+            put_varint(out, *video_id);
+            put_varint(out, *frame as u64);
+            put_varint(out, chain.len() as u64);
+            for (name, params) in chain {
+                put_str(out, name);
+                put_str(out, params);
+            }
+        }
+    }
+}
+
+fn get_key(bytes: &[u8], pos: &mut usize) -> Result<ObjectKey> {
+    let tag = *bytes.get(*pos).ok_or(err("truncated key tag"))?;
+    *pos += 1;
+    let gv = |pos: &mut usize| get_varint(bytes, pos).map_err(|_| err("truncated key"));
+    Ok(match tag {
+        0 => ObjectKey::Video { video_id: gv(pos)? },
+        1 => ObjectKey::Frame { video_id: gv(pos)?, frame: gv(pos)? as usize },
+        2 => {
+            let video_id = gv(pos)?;
+            let frame = gv(pos)? as usize;
+            let n = gv(pos)? as usize;
+            let mut chain = Vec::with_capacity(n);
+            for _ in 0..n {
+                chain.push((get_str(bytes, pos)?, get_str(bytes, pos)?));
+            }
+            ObjectKey::Aug { video_id, frame, chain }
+        }
+        _ => return Err(err("unknown key tag")),
+    })
+}
+
+fn put_op(out: &mut Vec<u8>, op: &ResolvedOp) {
+    match op {
+        ResolvedOp::Resize { w, h, interp } => {
+            out.push(0);
+            put_varint(out, *w as u64);
+            put_varint(out, *h as u64);
+            out.push(match interp {
+                Interpolation::Bilinear => 0,
+                Interpolation::Nearest => 1,
+            });
+        }
+        ResolvedOp::Crop { x, y, w, h } => {
+            out.push(1);
+            for v in [*x, *y, *w, *h] {
+                put_varint(out, v as u64);
+            }
+        }
+        ResolvedOp::Flip => out.push(2),
+        ResolvedOp::ColorJitter { b, c, s } => {
+            out.push(3);
+            put_f32(out, *b);
+            put_f32(out, *c);
+            put_f32(out, *s);
+        }
+        ResolvedOp::Rotate { rot } => {
+            out.push(4);
+            out.push(match rot {
+                sand_frame::ops::Rotation::Cw90 => 0,
+                sand_frame::ops::Rotation::Cw180 => 1,
+                sand_frame::ops::Rotation::Cw270 => 2,
+            });
+        }
+        ResolvedOp::Invert => out.push(5),
+        ResolvedOp::Blur { radius } => {
+            out.push(6);
+            put_varint(out, *radius as u64);
+        }
+        ResolvedOp::Custom { name } => {
+            out.push(7);
+            put_str(out, name);
+        }
+        ResolvedOp::Normalize { mean, std } => {
+            out.push(8);
+            put_varint(out, mean.len() as u64);
+            for v in mean {
+                put_f32(out, *v);
+            }
+            put_varint(out, std.len() as u64);
+            for v in std {
+                put_f32(out, *v);
+            }
+        }
+    }
+}
+
+fn get_op(bytes: &[u8], pos: &mut usize) -> Result<ResolvedOp> {
+    let tag = *bytes.get(*pos).ok_or(err("truncated op tag"))?;
+    *pos += 1;
+    let gv = |pos: &mut usize| get_varint(bytes, pos).map_err(|_| err("truncated op"));
+    Ok(match tag {
+        0 => {
+            let w = gv(pos)? as usize;
+            let h = gv(pos)? as usize;
+            let it = *bytes.get(*pos).ok_or(err("truncated interp"))?;
+            *pos += 1;
+            let interp = match it {
+                0 => Interpolation::Bilinear,
+                1 => Interpolation::Nearest,
+                _ => return Err(err("unknown interpolation")),
+            };
+            ResolvedOp::Resize { w, h, interp }
+        }
+        1 => ResolvedOp::Crop {
+            x: gv(pos)? as usize,
+            y: gv(pos)? as usize,
+            w: gv(pos)? as usize,
+            h: gv(pos)? as usize,
+        },
+        2 => ResolvedOp::Flip,
+        3 => ResolvedOp::ColorJitter {
+            b: get_f32(bytes, pos)?,
+            c: get_f32(bytes, pos)?,
+            s: get_f32(bytes, pos)?,
+        },
+        4 => {
+            let r = *bytes.get(*pos).ok_or(err("truncated rotation"))?;
+            *pos += 1;
+            let rot = match r {
+                0 => sand_frame::ops::Rotation::Cw90,
+                1 => sand_frame::ops::Rotation::Cw180,
+                2 => sand_frame::ops::Rotation::Cw270,
+                _ => return Err(err("unknown rotation")),
+            };
+            ResolvedOp::Rotate { rot }
+        }
+        5 => ResolvedOp::Invert,
+        6 => ResolvedOp::Blur { radius: gv(pos)? as usize },
+        7 => ResolvedOp::Custom { name: get_str(bytes, pos)? },
+        8 => {
+            let nm = gv(pos)? as usize;
+            let mut mean = Vec::with_capacity(nm);
+            for _ in 0..nm {
+                mean.push(get_f32(bytes, pos)?);
+            }
+            let ns = gv(pos)? as usize;
+            let mut std = Vec::with_capacity(ns);
+            for _ in 0..ns {
+                std.push(get_f32(bytes, pos)?);
+            }
+            ResolvedOp::Normalize { mean, std }
+        }
+        _ => return Err(err("unknown op tag")),
+    })
+}
+
+/// Serializes a concrete graph to checkpoint bytes.
+#[must_use]
+pub fn to_bytes(graph: &ConcreteGraph) -> Vec<u8> {
+    let mut out = Vec::with_capacity(graph.nodes.len() * 32);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    put_varint(&mut out, graph.epochs.start);
+    put_varint(&mut out, graph.epochs.end);
+    // Nodes (children and the key index are rebuilt on load).
+    put_varint(&mut out, graph.nodes.len() as u64);
+    for n in &graph.nodes {
+        put_key(&mut out, &n.key);
+        match n.parent {
+            Some(p) => {
+                out.push(1);
+                put_varint(&mut out, p as u64);
+            }
+            None => out.push(0),
+        }
+        put_varint(&mut out, n.size_bytes);
+        put_f64(&mut out, n.edge_cost);
+        out.push(u8::from(n.cached));
+        put_varint(&mut out, n.dims.0 as u64);
+        put_varint(&mut out, n.dims.1 as u64);
+        match &n.op {
+            Some(op) => {
+                out.push(1);
+                put_op(&mut out, op);
+            }
+            None => out.push(0),
+        }
+        put_varint(&mut out, n.consumers.len() as u64);
+        for c in &n.consumers {
+            put_varint(&mut out, u64::from(c.task));
+            put_varint(&mut out, c.epoch);
+            put_varint(&mut out, c.iteration);
+            put_varint(&mut out, c.clock);
+        }
+    }
+    // Batches.
+    put_varint(&mut out, graph.batches.len() as u64);
+    for b in &graph.batches {
+        put_varint(&mut out, u64::from(b.task));
+        put_varint(&mut out, b.epoch);
+        put_varint(&mut out, b.iteration);
+        put_varint(&mut out, b.clock);
+        put_varint(&mut out, b.samples.len() as u64);
+        for s in &b.samples {
+            put_varint(&mut out, s.video_id);
+            put_varint(&mut out, u64::from(s.sample));
+            put_varint(&mut out, u64::from(s.variant));
+            put_varint(&mut out, s.frame_nodes.len() as u64);
+            for &fnode in &s.frame_nodes {
+                put_varint(&mut out, fnode as u64);
+            }
+            put_varint(&mut out, s.frame_indices.len() as u64);
+            for &fi in &s.frame_indices {
+                put_varint(&mut out, fi as u64);
+            }
+            match &s.normalize {
+                Some((mean, std)) => {
+                    out.push(1);
+                    put_varint(&mut out, mean.len() as u64);
+                    for v in mean {
+                        put_f32(&mut out, *v);
+                    }
+                    put_varint(&mut out, std.len() as u64);
+                    for v in std {
+                        put_f32(&mut out, *v);
+                    }
+                }
+                None => out.push(0),
+            }
+        }
+    }
+    // Merge stats.
+    let st = &graph.stats;
+    put_varint(&mut out, st.decode_requests);
+    put_varint(&mut out, st.unique_frames);
+    put_varint(&mut out, st.aug_requests);
+    put_varint(&mut out, st.unique_aug_nodes);
+    let put_map = |out: &mut Vec<u8>, m: &HashMap<String, u64>| {
+        put_varint(out, m.len() as u64);
+        let mut keys: Vec<&String> = m.keys().collect();
+        keys.sort();
+        for k in keys {
+            put_str(out, k);
+            put_varint(out, m[k]);
+        }
+    };
+    put_map(&mut out, &st.op_requests);
+    put_map(&mut out, &st.op_unique);
+    put_varint(&mut out, st.frame_selection.len() as u64);
+    let mut sel: Vec<(&(u64, usize), &u32)> = st.frame_selection.iter().collect();
+    sel.sort();
+    for ((vid, frame), count) in sel {
+        put_varint(&mut out, *vid);
+        put_varint(&mut out, *frame as u64);
+        put_varint(&mut out, u64::from(*count));
+    }
+    out
+}
+
+/// Deserializes a checkpoint produced by [`to_bytes`].
+pub fn from_bytes(bytes: &[u8]) -> Result<ConcreteGraph> {
+    if bytes.len() < 5 || bytes[..4] != MAGIC {
+        return Err(err("bad checkpoint magic"));
+    }
+    if bytes[4] != VERSION {
+        return Err(err("unsupported checkpoint version"));
+    }
+    let mut pos = 5;
+    let gv =
+        |pos: &mut usize| get_varint(bytes, pos).map_err(|_| err("truncated checkpoint"));
+    let start = gv(&mut pos)?;
+    let end = gv(&mut pos)?;
+    let node_count = gv(&mut pos)? as usize;
+    if node_count > 1 << 28 {
+        return Err(err("implausible node count"));
+    }
+    let mut nodes: Vec<ConcreteNode> = Vec::with_capacity(node_count);
+    for id in 0..node_count {
+        let key = get_key(bytes, &mut pos)?;
+        let has_parent = *bytes.get(pos).ok_or(err("truncated parent flag"))?;
+        pos += 1;
+        let parent = if has_parent == 1 {
+            let p = gv(&mut pos)? as usize;
+            if p >= id {
+                return Err(err("parent must precede child"));
+            }
+            Some(p)
+        } else {
+            None
+        };
+        let size_bytes = gv(&mut pos)?;
+        let edge_cost = get_f64(bytes, &mut pos)?;
+        let cached = *bytes.get(pos).ok_or(err("truncated cached flag"))? == 1;
+        pos += 1;
+        let dims = (gv(&mut pos)? as usize, gv(&mut pos)? as usize);
+        let has_op = *bytes.get(pos).ok_or(err("truncated op flag"))?;
+        pos += 1;
+        let op = if has_op == 1 { Some(get_op(bytes, &mut pos)?) } else { None };
+        let n_consumers = gv(&mut pos)? as usize;
+        let mut consumers = Vec::with_capacity(n_consumers);
+        for _ in 0..n_consumers {
+            consumers.push(Consumer {
+                task: gv(&mut pos)? as u32,
+                epoch: gv(&mut pos)?,
+                iteration: gv(&mut pos)?,
+                clock: gv(&mut pos)?,
+            });
+        }
+        nodes.push(ConcreteNode {
+            id,
+            key,
+            parent,
+            children: Vec::new(),
+            size_bytes,
+            edge_cost,
+            cached,
+            consumers,
+            dims,
+            op,
+        });
+    }
+    // Rebuild children lists.
+    for id in 0..nodes.len() {
+        if let Some(p) = nodes[id].parent {
+            nodes[p].children.push(id);
+        }
+    }
+    let batch_count = gv(&mut pos)? as usize;
+    let mut batches = Vec::with_capacity(batch_count);
+    for _ in 0..batch_count {
+        let task = gv(&mut pos)? as u32;
+        let epoch = gv(&mut pos)?;
+        let iteration = gv(&mut pos)?;
+        let clock = gv(&mut pos)?;
+        let n_samples = gv(&mut pos)? as usize;
+        let mut samples = Vec::with_capacity(n_samples);
+        for _ in 0..n_samples {
+            let video_id = gv(&mut pos)?;
+            let sample = gv(&mut pos)? as u32;
+            let variant = gv(&mut pos)? as u32;
+            let nf = gv(&mut pos)? as usize;
+            let mut frame_nodes = Vec::with_capacity(nf);
+            for _ in 0..nf {
+                let n = gv(&mut pos)? as usize;
+                if n >= nodes.len() {
+                    return Err(err("frame node out of range"));
+                }
+                frame_nodes.push(n);
+            }
+            let ni = gv(&mut pos)? as usize;
+            let mut frame_indices = Vec::with_capacity(ni);
+            for _ in 0..ni {
+                frame_indices.push(gv(&mut pos)? as usize);
+            }
+            let has_norm = *bytes.get(pos).ok_or(err("truncated normalize flag"))?;
+            pos += 1;
+            let normalize = if has_norm == 1 {
+                let nm = gv(&mut pos)? as usize;
+                let mut mean = Vec::with_capacity(nm);
+                for _ in 0..nm {
+                    mean.push(get_f32(bytes, &mut pos)?);
+                }
+                let ns = gv(&mut pos)? as usize;
+                let mut std = Vec::with_capacity(ns);
+                for _ in 0..ns {
+                    std.push(get_f32(bytes, &mut pos)?);
+                }
+                Some((mean, std))
+            } else {
+                None
+            };
+            samples.push(SamplePlan {
+                video_id,
+                sample,
+                variant,
+                frame_nodes,
+                frame_indices,
+                normalize,
+            });
+        }
+        batches.push(BatchRef { task, epoch, iteration, clock, samples });
+    }
+    let mut stats = MergeStats {
+        decode_requests: gv(&mut pos)?,
+        unique_frames: gv(&mut pos)?,
+        aug_requests: gv(&mut pos)?,
+        unique_aug_nodes: gv(&mut pos)?,
+        ..Default::default()
+    };
+    for target in 0..2 {
+        let n = gv(&mut pos)? as usize;
+        for _ in 0..n {
+            let k = get_str(bytes, &mut pos)?;
+            let v = gv(&mut pos)?;
+            if target == 0 {
+                stats.op_requests.insert(k, v);
+            } else {
+                stats.op_unique.insert(k, v);
+            }
+        }
+    }
+    let n_sel = gv(&mut pos)? as usize;
+    for _ in 0..n_sel {
+        let vid = gv(&mut pos)?;
+        let frame = gv(&mut pos)? as usize;
+        let count = gv(&mut pos)? as u32;
+        stats.frame_selection.insert((vid, frame), count);
+    }
+    Ok(ConcreteGraph::from_parts(nodes, batches, stats, start..end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concrete::{PlanInput, Planner, PlannerOptions, VideoMeta};
+    use sand_config::parse_task_config;
+
+    const TASK: &str = r#"
+dataset:
+  tag: ckpt
+  input_source: file
+  video_dataset_path: /d
+  sampling:
+    videos_per_batch: 2
+    frames_per_video: 4
+    frame_stride: 2
+  augmentation:
+    - name: r
+      branch_type: single
+      inputs: ["frame"]
+      outputs: ["a0"]
+      config:
+        - resize:
+            shape: [16, 16]
+    - name: c
+      branch_type: single
+      inputs: ["a0"]
+      outputs: ["a1"]
+      config:
+        - random_crop:
+            shape: [8, 8]
+        - flip:
+            flip_prob: 0.5
+        - normalize:
+            mean: [0.45, 0.45, 0.45]
+            std: [0.225, 0.225, 0.225]
+"#;
+
+    fn graph() -> ConcreteGraph {
+        let videos: Vec<VideoMeta> = (0..3u64)
+            .map(|video_id| VideoMeta {
+                video_id,
+                frames: 32,
+                width: 32,
+                height: 32,
+                channels: 3,
+                gop_size: 8,
+                encoded_bytes: 10_000,
+            })
+            .collect();
+        Planner::new(
+            vec![PlanInput { task_id: 0, config: parse_task_config(TASK).unwrap() }],
+            videos,
+            PlannerOptions { seed: 9, coordinate: true, epochs: 2..4 },
+        )
+        .unwrap()
+        .plan()
+        .unwrap()
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_exactly() {
+        let g = graph();
+        let bytes = to_bytes(&g);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.epochs, g.epochs);
+        assert_eq!(back.nodes.len(), g.nodes.len());
+        for (a, b) in g.nodes.iter().zip(back.nodes.iter()) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.parent, b.parent);
+            assert_eq!(a.children, b.children);
+            assert_eq!(a.size_bytes, b.size_bytes);
+            assert_eq!(a.cached, b.cached);
+            assert_eq!(a.consumers, b.consumers);
+            assert_eq!(a.dims, b.dims);
+            assert_eq!(a.op, b.op);
+            assert!((a.edge_cost - b.edge_cost).abs() < 1e-12);
+        }
+        assert_eq!(back.batches.len(), g.batches.len());
+        for (a, b) in g.batches.iter().zip(back.batches.iter()) {
+            assert_eq!(a.task, b.task);
+            assert_eq!(a.epoch, b.epoch);
+            assert_eq!(a.samples.len(), b.samples.len());
+            for (sa, sb) in a.samples.iter().zip(b.samples.iter()) {
+                assert_eq!(sa.frame_nodes, sb.frame_nodes);
+                assert_eq!(sa.frame_indices, sb.frame_indices);
+                assert_eq!(sa.normalize, sb.normalize);
+            }
+        }
+        assert_eq!(back.stats, g.stats);
+        // The key index rebuilt correctly.
+        for n in &g.nodes {
+            assert_eq!(back.node_by_key(&n.key), Some(n.id));
+        }
+    }
+
+    #[test]
+    fn corruption_never_panics() {
+        let g = graph();
+        let bytes = to_bytes(&g);
+        for cut in [0, 4, 5, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(from_bytes(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+        let mut flipped = bytes.clone();
+        for i in (0..flipped.len()).step_by(97) {
+            flipped[i] ^= 0x55;
+        }
+        let _ = from_bytes(&flipped); // error or garbage, never a panic
+    }
+}

@@ -1,0 +1,212 @@
+//! The shared frame pool: coordinated temporal randomness.
+//!
+//! Every task needs a random clip per (video, epoch, sample). Sampling
+//! independently per task and epoch would make frame-node overlap
+//! vanishingly rare, and with it any reuse. SAND instead builds one pool
+//! per (video, **chunk**) — the same `k`-epoch horizon its concrete graphs
+//! cover ("videos are decoded once and cached for exactly k epochs"):
+//!
+//! 1. collect every task's `(frames_per_video, frame_stride)`,
+//! 2. compute the common grid as the GCD of all strides,
+//! 3. draw one random pool window covering the maximum clip span.
+//!
+//! Each (task, epoch, sample) then draws a random clip *inside* the pool
+//! on its own stride grid. Randomness survives at both levels — the pool
+//! window is uniform over the video, and the clip offset is uniform over
+//! the window — while every selected frame lands on the pool grid, so
+//! decoded frames are shared across tasks, samples, and the chunk's
+//! epochs. Fig. 19's selection-count CDF and Fig. 20's loss overlap are
+//! exactly the two sides of this trade, and both reproduce.
+
+use crate::{GraphError, Result};
+use sand_config::types::SamplingConfig;
+
+/// Greatest common divisor.
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// The coordinated frame pool for one (video, chunk).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FramePool {
+    /// First frame of the pool window.
+    pub anchor: usize,
+    /// The GCD sampling grid step.
+    pub grid: usize,
+    /// Pool window length in frames (the maximum clip span).
+    pub max_span: usize,
+    /// All grid frames in the pool.
+    pub frames: Vec<usize>,
+}
+
+impl FramePool {
+    /// Builds the pool for a video of `video_frames` frames.
+    ///
+    /// `u` is the coordinated uniform draw in `[0, 1)` selecting the pool
+    /// window (see [`crate::resolve::coordinated_draw`]).
+    pub fn build(video_frames: usize, samplings: &[SamplingConfig], u: f64) -> Result<Self> {
+        if samplings.is_empty() {
+            return Err(GraphError::InvalidInput { what: "no sampling configs".into() });
+        }
+        let grid = samplings.iter().map(|s| s.frame_stride).fold(0, gcd);
+        let need = samplings.iter().map(SamplingConfig::clip_span).max().unwrap_or(1);
+        if need > video_frames {
+            return Err(GraphError::ClipTooLong { video_frames, needed: need });
+        }
+        // The window is twice the largest clip span (capped by the video)
+        // so even the largest-geometry task keeps per-epoch temporal
+        // variety inside the pool.
+        let max_span = (need * 2).min(video_frames);
+        let slots = video_frames - max_span + 1;
+        let anchor = ((u * slots as f64) as usize).min(slots - 1);
+        let frames: Vec<usize> =
+            (0..max_span).step_by(grid.max(1)).map(|k| anchor + k).collect();
+        Ok(FramePool { anchor, grid, max_span, frames })
+    }
+
+    /// The frame indices one clip takes from the pool.
+    ///
+    /// `u` is the coordinated draw selecting the clip offset inside the
+    /// pool window, on the pool grid. Tasks with identical geometry and
+    /// identical draws take identical clips (and thus share every frame);
+    /// different epochs draw different offsets but stay inside the pool.
+    #[must_use]
+    pub fn select(&self, sampling: &SamplingConfig, u: f64) -> Vec<usize> {
+        let span = sampling.clip_span();
+        let slack = self.max_span.saturating_sub(span);
+        let slots = slack / self.grid.max(1) + 1;
+        let offset = ((u * slots as f64) as usize).min(slots - 1) * self.grid.max(1);
+        (0..sampling.frames_per_video)
+            .map(|k| self.anchor + offset + k * sampling.frame_stride)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sc(frames: usize, stride: usize) -> SamplingConfig {
+        SamplingConfig {
+            videos_per_batch: 1,
+            frames_per_video: frames,
+            frame_stride: stride,
+            samples_per_video: 1,
+        }
+    }
+
+    #[test]
+    fn grid_is_gcd_of_strides() {
+        let pool = FramePool::build(100, &[sc(4, 4), sc(4, 6)], 0.0).unwrap();
+        assert_eq!(pool.grid, 2);
+        let pool2 = FramePool::build(100, &[sc(4, 3), sc(4, 5)], 0.0).unwrap();
+        assert_eq!(pool2.grid, 1);
+    }
+
+    #[test]
+    fn span_is_double_the_largest_clip() {
+        // Clip spans: (8-1)*4+1=29 and (4-1)*10+1=31 -> window 62.
+        let pool = FramePool::build(100, &[sc(8, 4), sc(4, 10)], 0.0).unwrap();
+        assert_eq!(pool.max_span, 62);
+        // Capped by the video length.
+        let capped = FramePool::build(40, &[sc(8, 4), sc(4, 10)], 0.0).unwrap();
+        assert_eq!(capped.max_span, 40);
+    }
+
+    #[test]
+    fn selections_lie_inside_pool_on_grid() {
+        let configs = [sc(8, 4), sc(4, 6)];
+        let pool = FramePool::build(120, &configs, 0.37).unwrap();
+        for cfg in &configs {
+            for u in [0.0, 0.3, 0.7, 0.999] {
+                let sel = pool.select(cfg, u);
+                assert_eq!(sel.len(), cfg.frames_per_video);
+                for idx in &sel {
+                    assert!(*idx >= pool.anchor);
+                    assert!(*idx < pool.anchor + pool.max_span);
+                    assert_eq!((idx - pool.anchor) % pool.grid, 0);
+                    assert!(pool.frames.contains(idx), "{idx} not in pool");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identical_geometry_and_draw_share_all_frames() {
+        let a = sc(8, 4);
+        let pool = FramePool::build(64, &[a], 0.5).unwrap();
+        assert_eq!(pool.select(&a, 0.42), pool.select(&a, 0.42));
+    }
+
+    #[test]
+    fn subset_strides_share_frames() {
+        let fine = sc(8, 2);
+        let coarse = sc(4, 4);
+        let pool = FramePool::build(64, &[fine, coarse], 0.5).unwrap();
+        // Same offset draw: the coarse clip's frames all lie on the fine
+        // clip's grid; with offset 0 they are a subset.
+        let ff = pool.select(&fine, 0.0);
+        let fc = pool.select(&coarse, 0.0);
+        assert!(fc.iter().all(|i| ff.contains(i)), "{fc:?} not in {ff:?}");
+    }
+
+    #[test]
+    fn pool_anchor_uniform_over_valid_range() {
+        let cfgs = [sc(4, 2)]; // span = 7, window = 14
+        let n = 2000;
+        let mut anchors = Vec::new();
+        for i in 0..n {
+            let u = (i as f64 + 0.5) / n as f64;
+            anchors.push(FramePool::build(30, &cfgs, u).unwrap().anchor);
+        }
+        assert_eq!(*anchors.iter().min().unwrap(), 0);
+        assert_eq!(*anchors.iter().max().unwrap(), 16); // 30 - 14
+        let mean = anchors.iter().sum::<usize>() as f64 / n as f64;
+        assert!((mean - 8.0).abs() < 0.5, "mean={mean}");
+    }
+
+    #[test]
+    fn clip_offset_uniform_within_pool() {
+        // Pool window 58 (2x span 29: fpv 8 stride 4), small clip span 7
+        // (fpv 4 stride 2): offsets 0..=50 step 2 -> 26 slots.
+        let big = sc(8, 4);
+        let small = sc(4, 2);
+        let pool = FramePool::build(100, &[big, small], 0.0).unwrap();
+        let n = 3000;
+        let mut offsets = Vec::new();
+        for i in 0..n {
+            let u = (i as f64 + 0.5) / n as f64;
+            offsets.push(pool.select(&small, u)[0] - pool.anchor);
+        }
+        assert_eq!(*offsets.iter().min().unwrap(), 0);
+        assert_eq!(*offsets.iter().max().unwrap(), 50);
+        let mean = offsets.iter().sum::<usize>() as f64 / n as f64;
+        assert!((mean - 25.0).abs() < 1.2, "mean={mean}");
+    }
+
+    #[test]
+    fn too_short_video_rejected() {
+        assert!(matches!(
+            FramePool::build(10, &[sc(8, 4)], 0.0),
+            Err(GraphError::ClipTooLong { video_frames: 10, needed: 29 })
+        ));
+    }
+
+    #[test]
+    fn exact_fit_video_accepted() {
+        // Video exactly one clip long: window = video, offset slack 0.
+        let pool = FramePool::build(29, &[sc(8, 4)], 0.99).unwrap();
+        assert_eq!(pool.anchor, 0);
+        assert_eq!(pool.max_span, 29);
+        assert_eq!(pool.select(&sc(8, 4), 0.9).last(), Some(&28));
+    }
+
+    #[test]
+    fn empty_configs_rejected() {
+        assert!(FramePool::build(100, &[], 0.0).is_err());
+    }
+}

@@ -1,0 +1,339 @@
+//! ASHA hyperparameter search (Fig. 12's workload).
+//!
+//! Asynchronous Successive Halving: trials are sampled from a search
+//! space over optimizer kind / learning rate / weight decay / betas, run
+//! rung by rung (each rung multiplies the epoch budget by `eta`), and
+//! only the top `1/eta` fraction by loss advances. All trials share the
+//! same dataset and — in SAND mode — the same engine, so every trial's
+//! identical preprocessing merges into one set of materialized objects.
+
+use crate::runner::{run_jobs, JobSpec, RunnerEnv};
+use crate::{RayError, Result};
+use sand_graph::coordinated_draw;
+use sand_sim::{GpuSim, ModelProfile};
+use sand_train::model::{OptimizerKind, SgdConfig};
+use sand_train::RunReport;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Search configuration.
+#[derive(Debug, Clone)]
+pub struct AshaConfig {
+    /// Number of sampled trials.
+    pub trials: usize,
+    /// Reduction factor between rungs (paper uses the ASHA default 4;
+    /// small experiments use 2).
+    pub eta: usize,
+    /// Epoch budget of the first rung.
+    pub min_epochs: u64,
+    /// Maximum total epochs any trial may reach.
+    pub max_epochs: u64,
+    /// Seed for hyperparameter sampling.
+    pub seed: u64,
+}
+
+impl Default for AshaConfig {
+    fn default() -> Self {
+        AshaConfig { trials: 8, eta: 2, min_epochs: 1, max_epochs: 4, seed: 0xa5a }
+    }
+}
+
+/// One trial's final standing.
+#[derive(Debug, Clone)]
+pub struct TrialResult {
+    /// Trial index.
+    pub trial: usize,
+    /// Sampled optimizer configuration.
+    pub opt: SgdConfig,
+    /// Epochs the trial completed before stopping or finishing.
+    pub epochs_run: u64,
+    /// Final mean loss over the trial's last rung.
+    pub final_loss: f32,
+    /// Whether the trial survived to the last rung.
+    pub finished: bool,
+}
+
+/// Search outcome.
+#[derive(Debug, Clone)]
+pub struct AshaOutcome {
+    /// All trials, in index order.
+    pub trials: Vec<TrialResult>,
+    /// Index of the winning trial.
+    pub best: usize,
+    /// Wall time of the whole search.
+    pub wall: Duration,
+    /// Mean GPU utilization across the search GPUs.
+    pub utilization: f64,
+    /// All per-rung job reports (for energy/op accounting).
+    pub reports: Vec<RunReport>,
+}
+
+/// Samples the hyperparameter space (optimizer type and hyperparameters,
+/// as in the paper's setup).
+fn sample_config(seed: u64, trial: u64) -> SgdConfig {
+    let u = |salt: u64| coordinated_draw(seed, trial, 0, 0, 0, salt);
+    let kind = match (u(1) * 3.0) as usize {
+        0 => OptimizerKind::Sgd,
+        1 => OptimizerKind::Momentum,
+        _ => OptimizerKind::Adam,
+    };
+    SgdConfig {
+        kind,
+        // Log-uniform learning rate in [1e-3, 1].
+        lr: (10.0f32).powf(-3.0 + 3.0 * u(2) as f32),
+        weight_decay: (10.0f32).powf(-5.0 + 3.0 * u(3) as f32),
+        beta1: 0.8 + 0.19 * u(4) as f32,
+        beta2: 0.99 + 0.0099 * u(5) as f32,
+    }
+}
+
+/// Mean of the final quarter of a loss trace.
+fn tail_loss(losses: &[f32]) -> f32 {
+    if losses.is_empty() {
+        return f32::INFINITY;
+    }
+    let n = (losses.len() / 4).max(1);
+    let tail = &losses[losses.len() - n..];
+    tail.iter().sum::<f32>() / n as f32
+}
+
+/// Runs the search. Rungs execute as waves over the runner's GPUs; the
+/// bottom `1 - 1/eta` of each rung stops early (ASHA's promotion rule).
+pub fn run_asha(
+    config: &AshaConfig,
+    base_task: &sand_config::TaskConfig,
+    profile: &ModelProfile,
+    gpus: &[Arc<GpuSim>],
+    env: &RunnerEnv,
+    classes: usize,
+) -> Result<AshaOutcome> {
+    if config.trials == 0 || config.eta < 2 {
+        return Err(RayError::State { what: "need trials >= 1 and eta >= 2".into() });
+    }
+    let started = std::time::Instant::now();
+    let mut alive: Vec<usize> = (0..config.trials).collect();
+    let mut results: Vec<TrialResult> = (0..config.trials)
+        .map(|t| TrialResult {
+            trial: t,
+            opt: sample_config(config.seed, t as u64),
+            epochs_run: 0,
+            final_loss: f32::INFINITY,
+            finished: false,
+        })
+        .collect();
+    let mut all_reports = Vec::new();
+    let mut rung_start = 0u64;
+    let mut rung_len = config.min_epochs;
+    while !alive.is_empty() && rung_start < config.max_epochs {
+        let rung_end = (rung_start + rung_len).min(config.max_epochs);
+        // Every surviving trial runs this rung's epoch span.
+        let jobs: Vec<JobSpec> = alive
+            .iter()
+            .map(|&t| JobSpec {
+                // All trials share the SAND task namespace: same tag means
+                // the engine serves them the same views.
+                name: base_task.tag.clone(),
+                task: base_task.clone(),
+                profile: profile.clone(),
+                opt: results[t].opt,
+                epochs: rung_start..rung_end,
+                train_model: true,
+                classes,
+            })
+            .collect();
+        let reports = run_jobs(&jobs, gpus, env)?;
+        for (&t, report) in alive.iter().zip(reports.iter()) {
+            results[t].epochs_run = rung_end;
+            results[t].final_loss = tail_loss(&report.losses);
+        }
+        all_reports.extend(reports);
+        // Promote the top 1/eta.
+        if rung_end >= config.max_epochs {
+            for &t in &alive {
+                results[t].finished = true;
+            }
+            break;
+        }
+        let mut ranked = alive.clone();
+        ranked.sort_by(|&a, &b| {
+            results[a]
+                .final_loss
+                .partial_cmp(&results[b].final_loss)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let keep = (ranked.len() / config.eta).max(1);
+        alive = ranked[..keep].to_vec();
+        rung_start = rung_end;
+        rung_len *= config.eta as u64;
+    }
+    let best = results
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            (a.final_loss, std::cmp::Reverse(a.epochs_run))
+                .partial_cmp(&(b.final_loss, std::cmp::Reverse(b.epochs_run)))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map_or(0, |(i, _)| i);
+    let utilization =
+        gpus.iter().map(|g| g.utilization()).sum::<f64>() / gpus.len().max(1) as f64;
+    Ok(AshaOutcome {
+        trials: results,
+        best,
+        wall: started.elapsed(),
+        utilization,
+        reports: all_reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::LoaderKind;
+    use sand_codec::{Dataset, DatasetSpec};
+    use sand_config::parse_task_config;
+    use sand_core::{EngineConfig, SandEngine};
+    use sand_sim::{GpuSpec, PowerModel};
+
+    const TASK: &str = r#"
+dataset:
+  tag: search
+  input_source: file
+  video_dataset_path: /d
+  sampling:
+    videos_per_batch: 2
+    frames_per_video: 4
+    frame_stride: 2
+  augmentation:
+    - name: r
+      branch_type: single
+      inputs: ["frame"]
+      outputs: ["a0"]
+      config:
+        - resize:
+            shape: [16, 16]
+"#;
+
+    fn dataset() -> Arc<Dataset> {
+        Arc::new(
+            Dataset::generate(&DatasetSpec {
+                num_videos: 4,
+                num_classes: 2,
+                width: 32,
+                height: 32,
+                frames_per_video: 24,
+                ..Default::default()
+            })
+            .unwrap(),
+        )
+    }
+
+    fn tiny() -> ModelProfile {
+        ModelProfile {
+            name: "tiny".into(),
+            iter_time: Duration::from_millis(2),
+            ref_batch: 2,
+            mem_bytes_per_pixel: 1.0,
+            fixed_mem_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn sampled_configs_are_diverse_and_deterministic() {
+        let a = sample_config(1, 0);
+        let b = sample_config(1, 1);
+        assert_ne!(a.lr, b.lr);
+        assert_eq!(sample_config(1, 0).lr, a.lr);
+        for t in 0..16 {
+            let c = sample_config(1, t);
+            assert!((1e-3..=1.0).contains(&c.lr));
+            assert!((0.8..=0.99).contains(&c.beta1));
+        }
+    }
+
+    #[test]
+    fn asha_prunes_and_finishes_with_sand_engine() {
+        let ds = dataset();
+        let task = parse_task_config(TASK).unwrap();
+        let engine = SandEngine::new(
+            EngineConfig {
+                tasks: vec![task.clone()],
+                total_epochs: 4,
+                epochs_per_chunk: 2,
+                seed: 7,
+                ..Default::default()
+            },
+            Arc::clone(&ds),
+        )
+        .unwrap();
+        engine.start().unwrap();
+        let gpus: Vec<Arc<GpuSim>> =
+            (0..2).map(|_| Arc::new(GpuSim::new(GpuSpec::a100()))).collect();
+        let env = RunnerEnv {
+            dataset: ds,
+            kind: LoaderKind::Sand,
+            engine: Some(engine),
+            seed: 7,
+            workers_per_job: 2,
+            vcpus: 4,
+            gpu_spec: GpuSpec::a100(),
+            power: PowerModel::default(),
+            ideal_prestage: None,
+        };
+        let out = run_asha(
+            &AshaConfig { trials: 4, eta: 2, min_epochs: 1, max_epochs: 4, seed: 3 },
+            &task,
+            &tiny(),
+            &gpus,
+            &env,
+            2,
+        )
+        .unwrap();
+        assert_eq!(out.trials.len(), 4);
+        // Early stopping: not all trials ran the full budget.
+        let full_runs = out.trials.iter().filter(|t| t.finished).count();
+        assert!(full_runs >= 1);
+        assert!(full_runs < 4, "ASHA must stop some trials early");
+        let stopped = out.trials.iter().filter(|t| !t.finished).count();
+        assert!(stopped >= 1);
+        // The winner finished.
+        assert!(out.trials[out.best].finished);
+        assert!(out.utilization > 0.0);
+    }
+
+    #[test]
+    fn invalid_asha_config_rejected() {
+        let ds = dataset();
+        let task = parse_task_config(TASK).unwrap();
+        let gpus = vec![Arc::new(GpuSim::new(GpuSpec::a100()))];
+        let env = RunnerEnv {
+            dataset: ds,
+            kind: LoaderKind::Ideal,
+            engine: None,
+            seed: 7,
+            workers_per_job: 1,
+            vcpus: 4,
+            gpu_spec: GpuSpec::a100(),
+            power: PowerModel::default(),
+            ideal_prestage: None,
+        };
+        assert!(run_asha(
+            &AshaConfig { trials: 0, ..Default::default() },
+            &task,
+            &tiny(),
+            &gpus,
+            &env,
+            2
+        )
+        .is_err());
+        assert!(run_asha(
+            &AshaConfig { eta: 1, ..Default::default() },
+            &task,
+            &tiny(),
+            &gpus,
+            &env,
+            2
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,77 @@
+//! Multi-job orchestration: the paper's Ray-based scenarios.
+//!
+//! The evaluation runs SAND inside Ray / Ray Tune for three multi-job
+//! scenarios; this crate reproduces the orchestration semantics without
+//! the Ray substrate:
+//!
+//! - [`runner`]: a job runner placing queued jobs onto simulated GPUs
+//!   (one worker thread per GPU, jobs pulled in submission order),
+//! - [`asha`]: Asynchronous Successive Halving hyperparameter search over
+//!   optimizer type and hyperparameters, with early stopping by rung —
+//!   all trials sharing one dataset (and, under SAND, one engine),
+//! - [`multitask`]: heterogeneous tasks (different pipelines/models)
+//!   training concurrently over a shared dataset,
+//! - [`ddp`]: distributed data-parallel training across nodes whose
+//!   dataset lives in a bandwidth-limited remote store (Fig. 14).
+
+pub mod asha;
+pub mod ddp;
+pub mod multitask;
+pub mod runner;
+
+pub use asha::{run_asha, AshaConfig, AshaOutcome, TrialResult};
+pub use ddp::{run_ddp, DdpConfig, DdpOutcome};
+pub use multitask::{run_multitask, MultitaskConfig, MultitaskOutcome};
+pub use runner::{run_jobs, JobSpec, LoaderKind, RunnerEnv};
+
+use std::fmt;
+
+/// Errors produced by the orchestration layer.
+#[derive(Debug)]
+pub enum RayError {
+    /// Training-layer failure.
+    Train(sand_train::TrainError),
+    /// Engine failure.
+    Core(sand_core::CoreError),
+    /// Storage failure.
+    Storage(sand_storage::StorageError),
+    /// Orchestration state error.
+    State {
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl fmt::Display for RayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RayError::Train(e) => write!(f, "train: {e}"),
+            RayError::Core(e) => write!(f, "engine: {e}"),
+            RayError::Storage(e) => write!(f, "storage: {e}"),
+            RayError::State { what } => write!(f, "runner: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RayError {}
+
+impl From<sand_train::TrainError> for RayError {
+    fn from(e: sand_train::TrainError) -> Self {
+        RayError::Train(e)
+    }
+}
+
+impl From<sand_core::CoreError> for RayError {
+    fn from(e: sand_core::CoreError) -> Self {
+        RayError::Core(e)
+    }
+}
+
+impl From<sand_storage::StorageError> for RayError {
+    fn from(e: sand_storage::StorageError) -> Self {
+        RayError::Storage(e)
+    }
+}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, RayError>;

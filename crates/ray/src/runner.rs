@@ -1,0 +1,328 @@
+//! The job runner: placement of queued jobs onto simulated GPUs.
+
+use crate::{RayError, Result};
+use parking_lot::Mutex;
+use sand_codec::Dataset;
+use sand_config::TaskConfig;
+use sand_core::SandEngine;
+use sand_sim::{GpuSim, GpuSpec, ModelProfile, NvdecModel, PowerModel};
+use sand_train::loaders::{
+    IdealLoader, NaiveCacheLoader, OnDemandCpuLoader, OnDemandGpuLoader, SandLoader,
+};
+use sand_train::{Loader, RunReport, SgdConfig, TaskPlan, Trainer, TrainerConfig};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Which loading strategy a job uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoaderKind {
+    /// SAND engine (shared across jobs).
+    Sand,
+    /// On-demand CPU decode per iteration.
+    OnDemandCpu,
+    /// DALI-style GPU preprocessing.
+    OnDemandGpu,
+    /// Naive decoded-frame cache with the given byte budget.
+    NaiveCache(u64),
+    /// Pre-staged batches.
+    Ideal,
+}
+
+/// One training job.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Job name (used as the SAND task tag).
+    pub name: String,
+    /// The preprocessing pipeline.
+    pub task: TaskConfig,
+    /// GPU compute profile.
+    pub profile: ModelProfile,
+    /// Optimizer settings.
+    pub opt: SgdConfig,
+    /// Epoch span to run.
+    pub epochs: Range<u64>,
+    /// Whether to actually train the model (records losses).
+    pub train_model: bool,
+    /// Number of classes for the model.
+    pub classes: usize,
+}
+
+/// Everything the runner needs to build a loader for a job.
+pub struct RunnerEnv {
+    /// The shared dataset.
+    pub dataset: Arc<Dataset>,
+    /// The loading strategy.
+    pub kind: LoaderKind,
+    /// Shared SAND engine (required when `kind` is `Sand`).
+    pub engine: Option<SandEngine>,
+    /// Plan seed (must match the engine's for apples-to-apples batches).
+    pub seed: u64,
+    /// CPU worker threads available per concurrent job.
+    pub workers_per_job: usize,
+    /// vCPUs per GPU for energy accounting.
+    pub vcpus: usize,
+    /// GPU spec (for the NVDEC model of the GPU baseline).
+    pub gpu_spec: GpuSpec,
+    /// Power model for energy accounting.
+    pub power: PowerModel,
+    /// Pre-staged batch pool for the Ideal strategy (built before the
+    /// experiment clock starts; `None` falls back to staging per job).
+    pub ideal_prestage:
+        Option<Arc<std::collections::HashMap<(u64, u64), sand_train::LoadedBatch>>>,
+}
+
+/// Builds a loader for one job.
+fn build_loader(env: &RunnerEnv, job: &JobSpec) -> Result<Box<dyn Loader>> {
+    match env.kind {
+        LoaderKind::Sand => {
+            let engine = env.engine.as_ref().ok_or_else(|| RayError::State {
+                what: "SAND loader kind requires a shared engine".into(),
+            })?;
+            Ok(Box::new(SandLoader::with_prefetch(
+                engine.clone(),
+                &job.name,
+                job.epochs.clone(),
+                2,
+            )))
+        }
+        LoaderKind::OnDemandCpu => {
+            let plan = Arc::new(TaskPlan::single_task(
+                &job.task,
+                &env.dataset,
+                job.epochs.clone(),
+                env.seed,
+            )?);
+            Ok(Box::new(OnDemandCpuLoader::new(
+                Arc::clone(&env.dataset),
+                plan,
+                env.workers_per_job,
+                2,
+            )))
+        }
+        LoaderKind::OnDemandGpu => {
+            let plan = Arc::new(TaskPlan::single_task(
+                &job.task,
+                &env.dataset,
+                job.epochs.clone(),
+                env.seed,
+            )?);
+            Ok(Box::new(OnDemandGpuLoader::new(
+                Arc::clone(&env.dataset),
+                plan,
+                NvdecModel::new(env.gpu_spec.clone()),
+                env.workers_per_job,
+                2,
+            )))
+        }
+        LoaderKind::NaiveCache(budget) => {
+            let plan = Arc::new(TaskPlan::single_task(
+                &job.task,
+                &env.dataset,
+                job.epochs.clone(),
+                env.seed,
+            )?);
+            Ok(Box::new(NaiveCacheLoader::new(
+                Arc::clone(&env.dataset),
+                plan,
+                env.workers_per_job,
+                2,
+                budget,
+            )))
+        }
+        LoaderKind::Ideal => {
+            if let Some(pool) = &env.ideal_prestage {
+                return Ok(Box::new(IdealLoader::from_shared(Arc::clone(pool))));
+            }
+            let plan = TaskPlan::single_task(
+                &job.task,
+                &env.dataset,
+                job.epochs.clone(),
+                env.seed,
+            )?;
+            Ok(Box::new(IdealLoader::new(&env.dataset, &plan)?))
+        }
+    }
+}
+
+/// Runs `jobs` over `gpus`, one worker thread per GPU, jobs claimed in
+/// submission order. Returns per-job reports in job order.
+pub fn run_jobs(
+    jobs: &[JobSpec],
+    gpus: &[Arc<GpuSim>],
+    env: &RunnerEnv,
+) -> Result<Vec<RunReport>> {
+    if jobs.is_empty() || gpus.is_empty() {
+        return Err(RayError::State { what: "need at least one job and one GPU".into() });
+    }
+    let results: Mutex<Vec<Option<Result<RunReport>>>> =
+        Mutex::new((0..jobs.len()).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for gpu in gpus {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= jobs.len() {
+                    break;
+                }
+                let job = &jobs[i];
+                let outcome = (|| -> Result<RunReport> {
+                    let mut loader = build_loader(env, job)?;
+                    let iters = (env.dataset.len() as u64)
+                        .div_ceil(job.task.sampling.videos_per_batch as u64);
+                    let trainer = Trainer::new(Arc::clone(gpu), env.power);
+                    let config = TrainerConfig {
+                        profile: job.profile.clone(),
+                        epochs: job.epochs.clone(),
+                        iters_per_epoch: iters,
+                        train_model: job.train_model,
+                        classes: job.classes,
+                        opt: job.opt,
+                        vcpus: env.vcpus,
+                    };
+                    Ok(trainer.run(loader.as_mut(), &config)?)
+                })();
+                results.lock()[i] = Some(outcome);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.unwrap_or_else(|| {
+                Err(RayError::State { what: format!("job {i} was never run") })
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sand_codec::DatasetSpec;
+    use sand_config::parse_task_config;
+    use std::time::Duration;
+
+    pub(crate) const TASK: &str = r#"
+dataset:
+  tag: __NAME__
+  input_source: file
+  video_dataset_path: /d
+  sampling:
+    videos_per_batch: 2
+    frames_per_video: 4
+    frame_stride: 2
+  augmentation:
+    - name: r
+      branch_type: single
+      inputs: ["frame"]
+      outputs: ["a0"]
+      config:
+        - resize:
+            shape: [16, 16]
+"#;
+
+    pub(crate) fn task(name: &str) -> TaskConfig {
+        parse_task_config(&TASK.replace("__NAME__", name)).unwrap()
+    }
+
+    pub(crate) fn dataset() -> Arc<Dataset> {
+        Arc::new(
+            Dataset::generate(&DatasetSpec {
+                num_videos: 4,
+                num_classes: 2,
+                width: 32,
+                height: 32,
+                frames_per_video: 24,
+                ..Default::default()
+            })
+            .unwrap(),
+        )
+    }
+
+    pub(crate) fn tiny_profile(ms: u64) -> ModelProfile {
+        ModelProfile {
+            name: format!("tiny{ms}"),
+            iter_time: Duration::from_millis(ms),
+            ref_batch: 2,
+            mem_bytes_per_pixel: 1.0,
+            fixed_mem_bytes: 0,
+        }
+    }
+
+    fn job(name: &str) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            task: task(name),
+            profile: tiny_profile(2),
+            opt: SgdConfig::default(),
+            epochs: 0..1,
+            train_model: false,
+            classes: 2,
+        }
+    }
+
+    #[test]
+    fn jobs_spread_across_gpus() {
+        let ds = dataset();
+        let gpus: Vec<Arc<GpuSim>> =
+            (0..2).map(|_| Arc::new(GpuSim::new(GpuSpec::a100()))).collect();
+        let env = RunnerEnv {
+            dataset: Arc::clone(&ds),
+            kind: LoaderKind::OnDemandCpu,
+            engine: None,
+            seed: 7,
+            workers_per_job: 2,
+            vcpus: 4,
+            gpu_spec: GpuSpec::a100(),
+            power: PowerModel::default(),
+            ideal_prestage: None,
+        };
+        let jobs: Vec<JobSpec> = (0..4).map(|i| job(&format!("j{i}"))).collect();
+        let reports = run_jobs(&jobs, &gpus, &env).unwrap();
+        assert_eq!(reports.len(), 4);
+        for r in &reports {
+            assert_eq!(r.iterations, 2);
+        }
+        // Both GPUs did work.
+        assert!(gpus.iter().all(|g| g.iterations() > 0));
+    }
+
+    #[test]
+    fn sand_kind_requires_engine() {
+        let ds = dataset();
+        let gpus = vec![Arc::new(GpuSim::new(GpuSpec::a100()))];
+        let env = RunnerEnv {
+            dataset: ds,
+            kind: LoaderKind::Sand,
+            engine: None,
+            seed: 7,
+            workers_per_job: 1,
+            vcpus: 4,
+            gpu_spec: GpuSpec::a100(),
+            power: PowerModel::default(),
+            ideal_prestage: None,
+        };
+        assert!(run_jobs(&[job("a")], &gpus, &env).is_err());
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        let ds = dataset();
+        let env = RunnerEnv {
+            dataset: ds,
+            kind: LoaderKind::Ideal,
+            engine: None,
+            seed: 7,
+            workers_per_job: 1,
+            vcpus: 4,
+            gpu_spec: GpuSpec::a100(),
+            power: PowerModel::default(),
+            ideal_prestage: None,
+        };
+        assert!(run_jobs(&[], &[Arc::new(GpuSim::new(GpuSpec::a100()))], &env).is_err());
+        assert!(run_jobs(&[job("a")], &[], &env).is_err());
+    }
+}

@@ -1,0 +1,77 @@
+//! Cluster topology: nodes, GPUs, and vCPU counts.
+//!
+//! The paper evaluates on GCP A2 instances: 12 vCPUs per A100. The
+//! multi-job scenarios in `sand-ray` place jobs onto these nodes.
+
+use crate::gpu::{GpuSim, GpuSpec};
+use std::sync::Arc;
+
+/// Static description of one node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    /// Node name (e.g. `a2-highgpu-1g`).
+    pub name: String,
+    /// GPUs on the node.
+    pub gpus: usize,
+    /// vCPUs on the node.
+    pub vcpus: usize,
+    /// Local SSD bytes.
+    pub local_ssd_bytes: u64,
+}
+
+impl NodeSpec {
+    /// A GCP `a2-highgpu-Ng` instance: 12 vCPUs and 3 TB SSD per GPU.
+    #[must_use]
+    pub fn a2_highgpu(gpus: usize) -> Self {
+        NodeSpec {
+            name: format!("a2-highgpu-{gpus}g"),
+            gpus,
+            vcpus: 12 * gpus,
+            local_ssd_bytes: 3 << 40,
+        }
+    }
+}
+
+/// A cluster of identical nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// Per-node shape.
+    pub node: NodeSpec,
+    /// Node count.
+    pub nodes: usize,
+}
+
+impl ClusterSpec {
+    /// Total GPUs across the cluster.
+    #[must_use]
+    pub fn total_gpus(&self) -> usize {
+        self.node.gpus * self.nodes
+    }
+
+    /// Instantiates one simulated GPU per device in the cluster.
+    #[must_use]
+    pub fn spawn_gpus(&self, spec: &GpuSpec) -> Vec<Arc<GpuSim>> {
+        (0..self.total_gpus()).map(|_| Arc::new(GpuSim::new(spec.clone()))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a2_shapes_match_gcp() {
+        let n1 = NodeSpec::a2_highgpu(1);
+        assert_eq!(n1.vcpus, 12);
+        let n4 = NodeSpec::a2_highgpu(4);
+        assert_eq!(n4.vcpus, 48);
+        assert_eq!(n4.gpus, 4);
+    }
+
+    #[test]
+    fn cluster_gpu_count() {
+        let c = ClusterSpec { node: NodeSpec::a2_highgpu(2), nodes: 3 };
+        assert_eq!(c.total_gpus(), 6);
+        assert_eq!(c.spawn_gpus(&GpuSpec::a100()).len(), 6);
+    }
+}

@@ -1,0 +1,129 @@
+//! Power and energy models (Figs. 5 and 15).
+//!
+//! Energy is integrated from busy/idle windows: each device draws its
+//! idle wattage always and the active-idle delta while busy. The defaults
+//! approximate a 12-vCPU + A100 cloud node.
+
+/// Device power draw parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// CPU package idle draw, watts (whole socket share).
+    pub cpu_idle_w: f64,
+    /// CPU package fully-busy draw, watts.
+    pub cpu_active_w: f64,
+    /// GPU idle draw, watts.
+    pub gpu_idle_w: f64,
+    /// GPU fully-busy draw, watts.
+    pub gpu_active_w: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        // 12 vCPUs of a shared Xeon socket + A100.
+        PowerModel { cpu_idle_w: 30.0, cpu_active_w: 170.0, gpu_idle_w: 55.0, gpu_active_w: 330.0 }
+    }
+}
+
+/// One device's usage over a window, as busy seconds within total seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct UsageWindow {
+    /// Seconds the device was busy.
+    pub busy_s: f64,
+    /// Total wall seconds of the window.
+    pub total_s: f64,
+}
+
+impl UsageWindow {
+    /// Creates a usage window; busy is clamped to total.
+    #[must_use]
+    pub fn new(busy_s: f64, total_s: f64) -> Self {
+        UsageWindow { busy_s: busy_s.min(total_s).max(0.0), total_s: total_s.max(0.0) }
+    }
+}
+
+/// Energy split between devices, in joules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// CPU energy in joules.
+    pub cpu_j: f64,
+    /// GPU energy in joules.
+    pub gpu_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.cpu_j + self.gpu_j
+    }
+
+    /// CPU share of total energy in `[0, 1]`.
+    #[must_use]
+    pub fn cpu_share(&self) -> f64 {
+        let t = self.total();
+        if t == 0.0 {
+            return 0.0;
+        }
+        self.cpu_j / t
+    }
+}
+
+impl PowerModel {
+    /// Integrates energy for one node over matched CPU and GPU windows.
+    #[must_use]
+    pub fn energy(&self, cpu: UsageWindow, gpu: UsageWindow) -> EnergyBreakdown {
+        let cpu_j = self.cpu_idle_w * cpu.total_s
+            + (self.cpu_active_w - self.cpu_idle_w) * cpu.busy_s;
+        let gpu_j = self.gpu_idle_w * gpu.total_s
+            + (self.gpu_active_w - self.gpu_idle_w) * gpu.busy_s;
+        EnergyBreakdown { cpu_j, gpu_j }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_node_draws_idle_power() {
+        let p = PowerModel::default();
+        let e = p.energy(UsageWindow::new(0.0, 100.0), UsageWindow::new(0.0, 100.0));
+        assert!((e.cpu_j - 3000.0).abs() < 1e-9);
+        assert!((e.gpu_j - 5500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_node_draws_active_power() {
+        let p = PowerModel::default();
+        let e = p.energy(UsageWindow::new(100.0, 100.0), UsageWindow::new(100.0, 100.0));
+        assert!((e.cpu_j - 17_000.0).abs() < 1e-9);
+        assert!((e.gpu_j - 33_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavy_cpu_preprocessing_dominates_energy_share() {
+        // Fig. 5: CPU accounts for ~41.6% of energy during CPU-bound VDL
+        // training. A mostly-busy CPU with a mostly-stalled GPU lands in
+        // that regime.
+        let p = PowerModel::default();
+        let e = p.energy(UsageWindow::new(95.0, 100.0), UsageWindow::new(25.0, 100.0));
+        let share = e.cpu_share();
+        assert!((0.30..0.62).contains(&share), "cpu share {share}");
+    }
+
+    #[test]
+    fn shorter_runs_cost_less() {
+        let p = PowerModel::default();
+        let slow = p.energy(UsageWindow::new(90.0, 100.0), UsageWindow::new(20.0, 100.0));
+        let fast = p.energy(UsageWindow::new(20.0, 40.0), UsageWindow::new(36.0, 40.0));
+        assert!(fast.total() < slow.total());
+    }
+
+    #[test]
+    fn usage_window_clamps() {
+        let w = UsageWindow::new(200.0, 100.0);
+        assert_eq!(w.busy_s, 100.0);
+        let n = UsageWindow::new(-5.0, 100.0);
+        assert_eq!(n.busy_s, 0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Tiered object storage for SAND.
+//!
+//! Materialized training objects (compressed frames, augmented frames,
+//! batch tensors) live in a two-tier store:
+//!
+//! - a **memory tier** for objects needed in the current or near-future
+//!   iterations,
+//! - a **disk tier** (real files) for pre-materialized objects destined
+//!   for later epochs, with a byte budget standing in for the 1.5–3 TB
+//!   local SSD of the paper's GCP instances.
+//!
+//! The store implements the paper's eviction policy: when usage crosses
+//! 75% of the budget it evicts, in order, (1) objects that have been used
+//! and will not be needed again, then (2) objects with the longest
+//! deadlines. Disk contents are self-describing files, which is what the
+//! crash-recovery scan in `sand-core` walks on restart.
+//!
+//! The [`remote`] module models a WAN-attached dataset store (Google
+//! Filestore in the paper) with a configurable bandwidth, used by the
+//! distributed-training experiment (Fig. 14).
+
+pub mod remote;
+pub mod store;
+
+pub use remote::{BandwidthModel, RemoteStore};
+pub use store::{ObjectMeta, ObjectStore, StoreConfig, StoreStats, Tier};
+
+use std::fmt;
+
+/// Errors produced by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Filesystem I/O failed.
+    Io(std::io::Error),
+    /// The requested object does not exist.
+    NotFound {
+        /// The missing key.
+        key: String,
+    },
+    /// The object cannot fit even an empty store.
+    TooLarge {
+        /// The offending key.
+        key: String,
+        /// Object size in bytes.
+        size: u64,
+        /// The budget it exceeds.
+        budget: u64,
+    },
+    /// Invalid configuration.
+    InvalidConfig {
+        /// Human-readable description.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "io error: {e}"),
+            StorageError::NotFound { key } => write!(f, "object not found: {key}"),
+            StorageError::TooLarge { key, size, budget } => {
+                write!(f, "object {key} ({size} B) exceeds budget {budget} B")
+            }
+            StorageError::InvalidConfig { what } => write!(f, "invalid store config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// Percent-encodes an object key into a safe file name.
+#[must_use]
+pub fn encode_key(key: &str) -> String {
+    let mut out = String::with_capacity(key.len());
+    for b in key.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'.' | b'_' | b'-' => {
+                out.push(b as char);
+            }
+            _ => {
+                out.push('%');
+                out.push_str(&format!("{b:02X}"));
+            }
+        }
+    }
+    out
+}
+
+/// Inverse of [`encode_key`]; returns `None` for malformed input.
+#[must_use]
+pub fn decode_key(name: &str) -> Option<String> {
+    let bytes = name.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3)?;
+            let s = std::str::from_utf8(hex).ok()?;
+            out.push(u8::from_str_radix(s, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_encoding_roundtrip() {
+        for key in [
+            "video0001/frame3/aug2",
+            "task a/epoch 0/iter 1/view",
+            "plain",
+            "with%percent",
+            "unicode/日本語",
+        ] {
+            let enc = encode_key(key);
+            assert!(enc.bytes().all(|b| b.is_ascii_alphanumeric()
+                || b == b'.'
+                || b == b'_'
+                || b == b'-'
+                || b == b'%'));
+            assert_eq!(decode_key(&enc).as_deref(), Some(key));
+        }
+    }
+
+    #[test]
+    fn malformed_decode_rejected() {
+        assert!(decode_key("%").is_none());
+        assert!(decode_key("%G1").is_none());
+        assert!(decode_key("%2").is_none());
+    }
+}

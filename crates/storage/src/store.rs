@@ -1,0 +1,632 @@
+//! The two-tier object store.
+
+use crate::{decode_key, encode_key, Result, StorageError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Which tier an object currently occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Resident in memory.
+    Memory,
+    /// Persisted on disk.
+    Disk,
+}
+
+/// Scheduling metadata attached to each object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectMeta {
+    /// Global clock at which the object is next needed (`None` = unknown,
+    /// treated as farthest-future for eviction).
+    pub deadline: Option<u64>,
+    /// How many future reads the plan still expects.
+    pub future_uses: u32,
+}
+
+impl Default for ObjectMeta {
+    fn default() -> Self {
+        ObjectMeta { deadline: None, future_uses: 1 }
+    }
+}
+
+/// Store configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Memory-tier byte budget.
+    pub memory_budget: u64,
+    /// Disk-tier byte budget (the "local SSD" of the paper).
+    pub disk_budget: u64,
+    /// Eviction watermark as a fraction of the budget (paper: 0.75).
+    pub evict_watermark: f64,
+    /// Deadline horizon (clock ticks) within which new objects are kept
+    /// in memory rather than parked on disk.
+    pub memory_horizon: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            memory_budget: 64 << 20,
+            disk_budget: 512 << 20,
+            evict_watermark: 0.75,
+            memory_horizon: 2,
+        }
+    }
+}
+
+/// Aggregate statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Bytes currently resident in memory.
+    pub memory_bytes: u64,
+    /// Bytes currently on disk.
+    pub disk_bytes: u64,
+    /// Memory-tier hits.
+    pub memory_hits: u64,
+    /// Disk-tier hits (object had to be read back from a file).
+    pub disk_hits: u64,
+    /// Misses (object absent from both tiers).
+    pub misses: u64,
+    /// Objects evicted entirely.
+    pub evictions: u64,
+    /// Objects spilled from memory to disk.
+    pub spills: u64,
+}
+
+/// Internal per-object record.
+#[derive(Debug, Clone)]
+struct Record {
+    tier: Tier,
+    size: u64,
+    meta: ObjectMeta,
+    /// Memory-resident bytes (None when on disk).
+    bytes: Option<Arc<Vec<u8>>>,
+}
+
+/// State behind one lock: index plus tier usage.
+#[derive(Debug, Default)]
+struct Inner {
+    objects: HashMap<String, Record>,
+    memory_bytes: u64,
+    disk_bytes: u64,
+}
+
+/// The two-tier object store.
+///
+/// Thread-safe: materialization workers `put` while feeding threads `get`.
+#[derive(Debug)]
+pub struct ObjectStore {
+    config: StoreConfig,
+    dir: Option<PathBuf>,
+    inner: Mutex<Inner>,
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    spills: AtomicU64,
+    /// Current global clock, advanced by the engine each iteration; used
+    /// to decide near-future placement and "no longer needed" eviction.
+    clock: AtomicU64,
+}
+
+impl ObjectStore {
+    /// Creates a store. With `dir = Some(..)` the disk tier is real files
+    /// under that directory (created if missing); any pre-existing objects
+    /// there are adopted (crash recovery).
+    pub fn open(config: StoreConfig, dir: Option<PathBuf>) -> Result<Self> {
+        if config.memory_budget == 0 {
+            return Err(StorageError::InvalidConfig { what: "memory budget must be nonzero" });
+        }
+        if !(0.0..=1.0).contains(&config.evict_watermark) {
+            return Err(StorageError::InvalidConfig { what: "watermark must be in [0,1]" });
+        }
+        let mut inner = Inner::default();
+        if let Some(d) = &dir {
+            fs::create_dir_all(d)?;
+            for entry in fs::read_dir(d)? {
+                let entry = entry?;
+                let Ok(meta) = entry.metadata() else { continue };
+                if !meta.is_file() {
+                    continue;
+                }
+                let Some(name) = entry.file_name().to_str().map(str::to_string) else {
+                    continue;
+                };
+                let Some(key) = decode_key(&name) else { continue };
+                inner.objects.insert(
+                    key,
+                    Record {
+                        tier: Tier::Disk,
+                        size: meta.len(),
+                        meta: ObjectMeta::default(),
+                        bytes: None,
+                    },
+                );
+                inner.disk_bytes += meta.len();
+            }
+        }
+        Ok(ObjectStore {
+            config,
+            dir,
+            inner: Mutex::new(inner),
+            memory_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            spills: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
+        })
+    }
+
+    /// An in-memory-only store (no disk tier).
+    pub fn memory_only(config: StoreConfig) -> Result<Self> {
+        ObjectStore::open(config, None)
+    }
+
+    /// Advances the engine clock (one tick per training iteration).
+    pub fn set_clock(&self, clock: u64) {
+        self.clock.store(clock, Ordering::Relaxed);
+    }
+
+    /// The current engine clock.
+    #[must_use]
+    pub fn clock(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+
+    /// File path for a key on the disk tier.
+    fn file_of(&self, key: &str) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(encode_key(key)))
+    }
+
+    /// Inserts an object.
+    ///
+    /// When a disk tier exists the write is **write-through**: every
+    /// object is persisted to its file (the paper's fault-tolerance rule —
+    /// "all unpruned objects persist to the file system"), and objects
+    /// whose deadline falls within `memory_horizon` of the current clock
+    /// additionally keep a memory-resident copy for fast reads. Without a
+    /// disk tier everything lives in memory. May spill or evict to stay
+    /// within budgets.
+    pub fn put(&self, key: &str, bytes: Vec<u8>, meta: ObjectMeta) -> Result<()> {
+        let size = bytes.len() as u64;
+        if size > self.config.memory_budget && self.dir.is_none() {
+            return Err(StorageError::TooLarge {
+                key: key.to_string(),
+                size,
+                budget: self.config.memory_budget,
+            });
+        }
+        let near = match meta.deadline {
+            Some(d) => d <= self.clock().saturating_add(self.config.memory_horizon),
+            None => true,
+        };
+        {
+            let mut inner = self.inner.lock();
+            // Replace any existing record first.
+            self.remove_locked(&mut inner, key)?;
+            if let Some(path) = self.file_of(key) {
+                // Write-through persistence.
+                fs::write(&path, &bytes)?;
+                inner.disk_bytes += size;
+                if near {
+                    inner.memory_bytes += size;
+                    inner.objects.insert(
+                        key.to_string(),
+                        Record { tier: Tier::Memory, size, meta, bytes: Some(Arc::new(bytes)) },
+                    );
+                } else {
+                    inner.objects.insert(
+                        key.to_string(),
+                        Record { tier: Tier::Disk, size, meta, bytes: None },
+                    );
+                }
+            } else {
+                inner.memory_bytes += size;
+                inner.objects.insert(
+                    key.to_string(),
+                    Record { tier: Tier::Memory, size, meta, bytes: Some(Arc::new(bytes)) },
+                );
+            }
+        }
+        self.enforce_budgets()?;
+        Ok(())
+    }
+
+    /// Fetches an object's bytes; disk-tier objects are read back (and the
+    /// bytes returned without promoting, to avoid thrashing memory).
+    pub fn get(&self, key: &str) -> Result<Arc<Vec<u8>>> {
+        let (tier, path) = {
+            let inner = self.inner.lock();
+            match inner.objects.get(key) {
+                Some(rec) => match (&rec.tier, &rec.bytes) {
+                    (Tier::Memory, Some(b)) => {
+                        self.memory_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(Arc::clone(b));
+                    }
+                    _ => (Tier::Disk, self.file_of(key)),
+                },
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return Err(StorageError::NotFound { key: key.to_string() });
+                }
+            }
+        };
+        debug_assert_eq!(tier, Tier::Disk);
+        let path = path.ok_or_else(|| StorageError::NotFound { key: key.to_string() })?;
+        let bytes = fs::read(&path)?;
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        Ok(Arc::new(bytes))
+    }
+
+    /// True when the store holds the object in either tier.
+    #[must_use]
+    pub fn contains(&self, key: &str) -> bool {
+        self.inner.lock().objects.contains_key(key)
+    }
+
+    /// Which tier an object occupies, if present.
+    #[must_use]
+    pub fn tier_of(&self, key: &str) -> Option<Tier> {
+        self.inner.lock().objects.get(key).map(|r| r.tier)
+    }
+
+    /// Records a consumption: decrements `future_uses`.
+    pub fn mark_used(&self, key: &str) {
+        let mut inner = self.inner.lock();
+        if let Some(rec) = inner.objects.get_mut(key) {
+            rec.meta.future_uses = rec.meta.future_uses.saturating_sub(1);
+        }
+    }
+
+    /// Updates an object's deadline.
+    pub fn set_deadline(&self, key: &str, deadline: u64) {
+        let mut inner = self.inner.lock();
+        if let Some(rec) = inner.objects.get_mut(key) {
+            rec.meta.deadline = Some(deadline);
+        }
+    }
+
+    /// Removes an object from both tiers.
+    pub fn remove(&self, key: &str) -> Result<()> {
+        let mut inner = self.inner.lock();
+        self.remove_locked(&mut inner, key)
+    }
+
+    fn remove_locked(&self, inner: &mut Inner, key: &str) -> Result<()> {
+        if let Some(rec) = inner.objects.remove(key) {
+            if rec.tier == Tier::Memory {
+                inner.memory_bytes -= rec.size;
+            }
+            // Write-through: when a disk tier exists every object has a
+            // file, regardless of its memory residency.
+            if let Some(path) = self.file_of(key) {
+                inner.disk_bytes -= rec.size;
+                match fs::remove_file(&path) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drops one memory copy (longest deadline first). The object stays on
+    /// disk (write-through), so no data moves.
+    fn spill_one(&self, inner: &mut Inner) -> Result<bool> {
+        if self.dir.is_none() {
+            return Ok(false);
+        }
+        let victim = inner
+            .objects
+            .iter()
+            .filter(|(_, r)| r.tier == Tier::Memory)
+            .max_by_key(|(_, r)| r.meta.deadline.unwrap_or(u64::MAX))
+            .map(|(k, _)| k.clone());
+        let Some(key) = victim else { return Ok(false) };
+        let rec = inner.objects.get_mut(&key).expect("victim exists");
+        rec.bytes = None;
+        rec.tier = Tier::Disk;
+        inner.memory_bytes -= rec.size;
+        self.spills.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Evicts one object entirely, following the paper's order; returns
+    /// false when nothing is evictable.
+    fn evict_one(&self, inner: &mut Inner) -> Result<bool> {
+        // (1) used and not needed in future epochs.
+        let done = inner
+            .objects
+            .iter()
+            .filter(|(_, r)| r.meta.future_uses == 0)
+            .map(|(k, _)| k.clone())
+            .next();
+        let victim = match done {
+            Some(k) => Some(k),
+            // (2) longest deadline.
+            None => inner
+                .objects
+                .iter()
+                .max_by_key(|(_, r)| r.meta.deadline.unwrap_or(u64::MAX))
+                .map(|(k, _)| k.clone()),
+        };
+        let Some(key) = victim else { return Ok(false) };
+        self.remove_locked(inner, &key)?;
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Brings both tiers under their watermarked budgets.
+    pub fn enforce_budgets(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let mem_limit = self.config.memory_budget;
+        // Memory over budget: spill to disk (or evict when memory-only).
+        while inner.memory_bytes > mem_limit {
+            if !self.spill_one(&mut inner)? {
+                // Memory-only store: evict the longest-deadline object.
+                let victim = inner
+                    .objects
+                    .iter()
+                    .filter(|(_, r)| r.tier == Tier::Memory)
+                    .max_by_key(|(_, r)| r.meta.deadline.unwrap_or(u64::MAX))
+                    .map(|(k, _)| k.clone());
+                match victim {
+                    Some(k) => {
+                        self.remove_locked(&mut inner, &k)?;
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => break,
+                }
+            }
+        }
+        // Disk over the 75% watermark: evict per policy.
+        let disk_limit =
+            (self.config.disk_budget as f64 * self.config.evict_watermark) as u64;
+        while inner.disk_bytes > disk_limit {
+            if !self.evict_one(&mut inner)? {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Lists every key currently held (both tiers). Used by recovery.
+    #[must_use]
+    pub fn keys(&self) -> Vec<String> {
+        self.inner.lock().objects.keys().cloned().collect()
+    }
+
+    /// Aggregate statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock();
+        StoreStats {
+            memory_bytes: inner.memory_bytes,
+            disk_bytes: inner.disk_bytes,
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            spills: self.spills.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The configured budgets.
+    #[must_use]
+    pub const fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("sand_store_{}_{}", name, std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn meta(deadline: u64, uses: u32) -> ObjectMeta {
+        ObjectMeta { deadline: Some(deadline), future_uses: uses }
+    }
+
+    #[test]
+    fn put_get_roundtrip_memory() {
+        let s = ObjectStore::memory_only(StoreConfig::default()).unwrap();
+        s.put("a/b", vec![1, 2, 3], meta(0, 1)).unwrap();
+        assert_eq!(*s.get("a/b").unwrap(), vec![1, 2, 3]);
+        assert_eq!(s.tier_of("a/b"), Some(Tier::Memory));
+        assert_eq!(s.stats().memory_hits, 1);
+    }
+
+    #[test]
+    fn far_deadline_goes_to_disk() {
+        let dir = tmp("far");
+        let s = ObjectStore::open(StoreConfig::default(), Some(dir.clone())).unwrap();
+        s.set_clock(0);
+        s.put("later", vec![9; 100], meta(100, 1)).unwrap();
+        assert_eq!(s.tier_of("later"), Some(Tier::Disk));
+        assert_eq!(*s.get("later").unwrap(), vec![9; 100]);
+        assert_eq!(s.stats().disk_hits, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn near_deadline_stays_in_memory() {
+        let dir = tmp("near");
+        let s = ObjectStore::open(StoreConfig::default(), Some(dir.clone())).unwrap();
+        s.set_clock(10);
+        s.put("soon", vec![1], meta(11, 1)).unwrap();
+        assert_eq!(s.tier_of("soon"), Some(Tier::Memory));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_object_errors() {
+        let s = ObjectStore::memory_only(StoreConfig::default()).unwrap();
+        assert!(matches!(s.get("nope"), Err(StorageError::NotFound { .. })));
+        assert_eq!(s.stats().misses, 1);
+    }
+
+    #[test]
+    fn memory_pressure_spills_longest_deadline() {
+        let dir = tmp("spill");
+        let cfg = StoreConfig { memory_budget: 250, memory_horizon: 1000, ..Default::default() };
+        let s = ObjectStore::open(cfg, Some(dir.clone())).unwrap();
+        s.put("soon", vec![0; 100], meta(1, 1)).unwrap();
+        s.put("later", vec![0; 100], meta(50, 1)).unwrap();
+        s.put("third", vec![0; 100], meta(5, 1)).unwrap(); // forces a spill
+        assert_eq!(s.tier_of("later"), Some(Tier::Disk), "longest deadline spilled");
+        assert_eq!(s.tier_of("soon"), Some(Tier::Memory));
+        assert_eq!(s.tier_of("third"), Some(Tier::Memory));
+        assert!(s.stats().spills >= 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn watermark_eviction_prefers_fully_used_objects() {
+        let dir = tmp("evict");
+        let cfg = StoreConfig {
+            memory_budget: 1 << 20,
+            disk_budget: 400,
+            evict_watermark: 0.75,
+            memory_horizon: 0,
+        };
+        let s = ObjectStore::open(cfg, Some(dir.clone())).unwrap();
+        s.set_clock(0);
+        // All go to disk (deadline far beyond horizon 0).
+        s.put("used", vec![0; 150], meta(10, 0)).unwrap(); // no future uses
+        s.put("needed", vec![0; 150], meta(5, 2)).unwrap();
+        // 300 <= 300 watermark, nothing evicted yet.
+        assert!(s.contains("used"));
+        s.put("more", vec![0; 150], meta(7, 1)).unwrap();
+        // Over watermark: the used-up object goes first.
+        assert!(!s.contains("used"));
+        assert!(s.contains("needed"));
+        assert!(s.contains("more"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn watermark_eviction_falls_back_to_longest_deadline() {
+        let dir = tmp("evict2");
+        let cfg = StoreConfig {
+            memory_budget: 1 << 20,
+            disk_budget: 400,
+            evict_watermark: 0.75,
+            memory_horizon: 0,
+        };
+        let s = ObjectStore::open(cfg, Some(dir.clone())).unwrap();
+        s.put("d5", vec![0; 150], meta(5, 1)).unwrap();
+        s.put("d99", vec![0; 150], meta(99, 1)).unwrap();
+        s.put("d7", vec![0; 150], meta(7, 1)).unwrap();
+        assert!(!s.contains("d99"), "longest deadline evicted");
+        assert!(s.contains("d5"));
+        assert!(s.contains("d7"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_scan_adopts_existing_files() {
+        let dir = tmp("recover");
+        {
+            let s = ObjectStore::open(StoreConfig::default(), Some(dir.clone())).unwrap();
+            s.set_clock(0);
+            s.put("video0001/frame3", vec![42; 64], meta(1000, 3)).unwrap();
+            assert_eq!(s.tier_of("video0001/frame3"), Some(Tier::Disk));
+        }
+        // "Crash" and reopen.
+        let s2 = ObjectStore::open(StoreConfig::default(), Some(dir.clone())).unwrap();
+        assert!(s2.contains("video0001/frame3"));
+        assert_eq!(*s2.get("video0001/frame3").unwrap(), vec![42; 64]);
+        assert_eq!(s2.stats().disk_bytes, 64);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replacing_object_updates_accounting() {
+        let s = ObjectStore::memory_only(StoreConfig::default()).unwrap();
+        s.put("k", vec![0; 100], meta(0, 1)).unwrap();
+        s.put("k", vec![0; 40], meta(0, 1)).unwrap();
+        assert_eq!(s.stats().memory_bytes, 40);
+    }
+
+    #[test]
+    fn remove_clears_both_tiers() {
+        let dir = tmp("remove");
+        let cfg = StoreConfig { memory_horizon: 0, ..Default::default() };
+        let s = ObjectStore::open(cfg, Some(dir.clone())).unwrap();
+        s.put("disk", vec![0; 10], meta(100, 1)).unwrap();
+        s.put("mem", vec![0; 10], meta(0, 1)).unwrap();
+        s.remove("disk").unwrap();
+        s.remove("mem").unwrap();
+        assert!(!s.contains("disk"));
+        assert!(!s.contains("mem"));
+        let st = s.stats();
+        assert_eq!(st.memory_bytes + st.disk_bytes, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mark_used_decrements() {
+        let s = ObjectStore::memory_only(StoreConfig::default()).unwrap();
+        s.put("k", vec![1], meta(0, 2)).unwrap();
+        s.mark_used("k");
+        s.mark_used("k");
+        s.mark_used("k"); // saturates at zero
+        assert!(s.contains("k"));
+    }
+
+    #[test]
+    fn oversized_object_rejected_in_memory_only() {
+        let cfg = StoreConfig { memory_budget: 10, ..Default::default() };
+        let s = ObjectStore::memory_only(cfg).unwrap();
+        assert!(matches!(
+            s.put("big", vec![0; 100], ObjectMeta::default()),
+            Err(StorageError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        assert!(ObjectStore::memory_only(StoreConfig {
+            memory_budget: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(ObjectStore::memory_only(StoreConfig {
+            evict_watermark: 1.5,
+            ..Default::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let s = Arc::new(ObjectStore::memory_only(StoreConfig::default()).unwrap());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let key = format!("t{t}/k{i}");
+                    s.put(&key, vec![t as u8; 32], meta(i, 1)).unwrap();
+                    assert_eq!(s.get(&key).unwrap().len(), 32);
+                    s.mark_used(&key);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.keys().len(), 200);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the object store: accounting exactness under
+//! arbitrary operation sequences, and budget invariants.
+
+use proptest::prelude::*;
+use sand_storage::{ObjectMeta, ObjectStore, StoreConfig};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put { key: u8, size: usize, deadline: u64, uses: u32 },
+    Get { key: u8 },
+    Remove { key: u8 },
+    MarkUsed { key: u8 },
+    SetClock { clock: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), 1usize..4096, any::<u64>(), 0u32..4).prop_map(|(key, size, deadline, uses)| {
+            Op::Put { key, size, deadline: deadline % 1000, uses }
+        }),
+        any::<u8>().prop_map(|key| Op::Get { key }),
+        any::<u8>().prop_map(|key| Op::Remove { key }),
+        any::<u8>().prop_map(|key| Op::MarkUsed { key }),
+        (0u64..1000).prop_map(|clock| Op::SetClock { clock }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn memory_store_accounting_is_exact(ops in prop::collection::vec(arb_op(), 1..80)) {
+        let store = ObjectStore::memory_only(StoreConfig {
+            memory_budget: 64 * 1024,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut live: std::collections::HashMap<u8, usize> = std::collections::HashMap::new();
+        for op in ops {
+            match op {
+                Op::Put { key, size, deadline, uses } => {
+                    let meta = ObjectMeta { deadline: Some(deadline), future_uses: uses };
+                    if store.put(&format!("k{key}"), vec![0u8; size], meta).is_ok() {
+                        live.insert(key, size);
+                    }
+                }
+                Op::Get { key } => {
+                    let result = store.get(&format!("k{key}"));
+                    // Either the store evicted it (budget) or the bytes
+                    // must be exactly what was put.
+                    if let Ok(bytes) = result {
+                        prop_assert_eq!(bytes.len(), live[&key]);
+                    }
+                }
+                Op::Remove { key } => {
+                    store.remove(&format!("k{key}")).unwrap();
+                    live.remove(&key);
+                }
+                Op::MarkUsed { key } => store.mark_used(&format!("k{key}")),
+                Op::SetClock { clock } => store.set_clock(clock),
+            }
+            // Invariant: memory accounting equals the sum of surviving
+            // objects' sizes, and never exceeds the budget.
+            let stats = store.stats();
+            let held: u64 = store
+                .keys()
+                .iter()
+                .map(|k| {
+                    let id: u8 = k[1..].parse().unwrap();
+                    live[&id] as u64
+                })
+                .sum();
+            prop_assert_eq!(stats.memory_bytes, held);
+            prop_assert!(stats.memory_bytes <= 64 * 1024);
+        }
+    }
+
+    #[test]
+    fn disk_store_roundtrips_under_churn(ops in prop::collection::vec(arb_op(), 1..40)) {
+        let dir = std::env::temp_dir().join(format!(
+            "sand_prop_store_{}_{}",
+            std::process::id(),
+            rand_suffix()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let store = ObjectStore::open(
+                StoreConfig {
+                    memory_budget: 16 * 1024,
+                    disk_budget: 256 * 1024,
+                    evict_watermark: 0.75,
+                    memory_horizon: 1,
+                },
+                Some(dir.clone()),
+            )
+            .unwrap();
+            let mut content: std::collections::HashMap<u8, Vec<u8>> =
+                std::collections::HashMap::new();
+            for op in ops {
+                match op {
+                    Op::Put { key, size, deadline, uses } => {
+                        let payload: Vec<u8> = (0..size).map(|i| (i as u8) ^ key).collect();
+                        let meta = ObjectMeta { deadline: Some(deadline), future_uses: uses };
+                        if store.put(&format!("k{key}"), payload.clone(), meta).is_ok() {
+                            content.insert(key, payload);
+                        }
+                    }
+                    Op::Get { key } => {
+                        if let Ok(bytes) = store.get(&format!("k{key}")) {
+                            prop_assert_eq!(&*bytes, &content[&key]);
+                        }
+                    }
+                    Op::Remove { key } => {
+                        store.remove(&format!("k{key}")).unwrap();
+                        content.remove(&key);
+                    }
+                    Op::MarkUsed { key } => store.mark_used(&format!("k{key}")),
+                    Op::SetClock { clock } => store.set_clock(clock),
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Cheap unique-ish suffix without depending on clocks in test names.
+fn rand_suffix() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    N.fetch_add(1, Ordering::Relaxed)
+}

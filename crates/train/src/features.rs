@@ -1,0 +1,159 @@
+//! Clip feature extraction.
+//!
+//! The synthetic dataset's class signal lives in motion statistics (blob
+//! count, size, speed). A 10-dimensional feature vector per clip — per
+//! channel spatial mean and variance, per-channel mean absolute temporal
+//! difference, plus a bias — makes the classes linearly separable, which
+//! is all the Fig. 20 convergence experiment needs.
+
+use crate::{Result, TrainError};
+use sand_frame::Tensor;
+
+/// Feature vector length (including the trailing bias term).
+pub const FEATURE_DIM: usize = 10;
+
+/// Extracts features from one sample tensor of shape `(C, T, H, W)`.
+///
+/// Channels beyond the third are ignored; missing channels repeat the
+/// last one, so grayscale clips also produce [`FEATURE_DIM`] features.
+pub fn clip_features(sample: &Tensor) -> Result<[f32; FEATURE_DIM]> {
+    let shape = sample.shape();
+    if shape.len() != 4 {
+        return Err(TrainError::State {
+            what: format!("expected (C,T,H,W) sample, got shape {shape:?}"),
+        });
+    }
+    let (c, t, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+    let plane = h * w;
+    let data = sample.as_slice();
+    let mut means = [0.0f32; 3];
+    let mut vars = [0.0f32; 3];
+    let mut tdiffs = [0.0f32; 3];
+    for ch in 0..3 {
+        let src_ch = ch.min(c - 1);
+        let base = src_ch * t * plane;
+        let n = (t * plane) as f32;
+        let mut sum = 0.0f32;
+        let mut sum_sq = 0.0f32;
+        for i in 0..t * plane {
+            let v = data[base + i];
+            sum += v;
+            sum_sq += v * v;
+        }
+        let mean = sum / n;
+        means[ch] = mean;
+        vars[ch] = (sum_sq / n - mean * mean).max(0.0);
+        // Mean absolute temporal difference.
+        if t > 1 {
+            let mut td = 0.0f32;
+            for ti in 1..t {
+                let a = base + ti * plane;
+                let b = base + (ti - 1) * plane;
+                for i in 0..plane {
+                    td += (data[a + i] - data[b + i]).abs();
+                }
+            }
+            tdiffs[ch] = td / ((t - 1) * plane) as f32;
+        }
+    }
+    Ok([
+        means[0], means[1], means[2], vars[0], vars[1], vars[2], tdiffs[0] * 4.0,
+        tdiffs[1] * 4.0, tdiffs[2] * 4.0, 1.0,
+    ])
+}
+
+/// Extracts features for every sample of a batch tensor `(N, C, T, H, W)`.
+pub fn batch_features(batch: &Tensor) -> Result<Vec<[f32; FEATURE_DIM]>> {
+    let shape = batch.shape();
+    if shape.len() != 5 {
+        return Err(TrainError::State {
+            what: format!("expected (N,C,T,H,W) batch, got shape {shape:?}"),
+        });
+    }
+    let n = shape[0];
+    let sample_len: usize = shape[1..].iter().product();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let slice = &batch.as_slice()[i * sample_len..(i + 1) * sample_len];
+        let sample = Tensor::from_vec(shape[1..].to_vec(), slice.to_vec())
+            .map_err(TrainError::Frame)?;
+        out.push(clip_features(&sample)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor_ct(c: usize, t: usize, h: usize, w: usize, f: impl Fn(usize, usize, usize, usize) -> f32) -> Tensor {
+        let mut data = Vec::with_capacity(c * t * h * w);
+        for ci in 0..c {
+            for ti in 0..t {
+                for y in 0..h {
+                    for x in 0..w {
+                        data.push(f(ci, ti, y, x));
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(vec![c, t, h, w], data).unwrap()
+    }
+
+    #[test]
+    fn static_clip_has_zero_temporal_diff() {
+        let t = tensor_ct(3, 4, 4, 4, |c, _, _, _| c as f32);
+        let f = clip_features(&t).unwrap();
+        assert_eq!(f[0], 0.0);
+        assert_eq!(f[1], 1.0);
+        assert_eq!(f[2], 2.0);
+        assert_eq!(&f[6..9], &[0.0, 0.0, 0.0]);
+        assert_eq!(f[9], 1.0);
+    }
+
+    #[test]
+    fn moving_clip_has_positive_temporal_diff() {
+        let t = tensor_ct(3, 4, 4, 4, |_, ti, _, _| ti as f32);
+        let f = clip_features(&t).unwrap();
+        assert!(f[6] > 0.0);
+    }
+
+    #[test]
+    fn faster_motion_larger_feature() {
+        let slow = tensor_ct(1, 4, 4, 4, |_, ti, _, _| ti as f32 * 0.1);
+        let fast = tensor_ct(1, 4, 4, 4, |_, ti, _, _| ti as f32 * 0.5);
+        let fs = clip_features(&slow).unwrap();
+        let ff = clip_features(&fast).unwrap();
+        assert!(ff[6] > fs[6]);
+    }
+
+    #[test]
+    fn grayscale_replicates_channels() {
+        let t = tensor_ct(1, 2, 2, 2, |_, _, _, _| 0.5);
+        let f = clip_features(&t).unwrap();
+        assert_eq!(f[0], f[1]);
+        assert_eq!(f[1], f[2]);
+    }
+
+    #[test]
+    fn batch_features_splits_samples() {
+        let mut data = Vec::new();
+        for s in 0..2 {
+            for _ in 0..(1 * 2 * 2 * 2) {
+                data.push(s as f32);
+            }
+        }
+        let batch = Tensor::from_vec(vec![2, 1, 2, 2, 2], data).unwrap();
+        let fs = batch_features(&batch).unwrap();
+        assert_eq!(fs.len(), 2);
+        assert_eq!(fs[0][0], 0.0);
+        assert_eq!(fs[1][0], 1.0);
+    }
+
+    #[test]
+    fn wrong_rank_rejected() {
+        let t = Tensor::zeros(vec![2, 2]).unwrap();
+        assert!(clip_features(&t).is_err());
+        assert!(batch_features(&t).is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! Training loop, tiny model, baseline loaders, and metrics.
+//!
+//! This crate is the "deep learning" half of the reproduction. It keeps
+//! the model deliberately tiny — a linear softmax classifier over
+//! hand-crafted clip features trained with SGD — because the paper's
+//! claims are about the *data pipeline*, not the network: what matters is
+//! that (a) training time and GPU utilization react to how batches are
+//! produced, and (b) the loss curve of Fig. 20 can distinguish
+//! coordinated from independent randomness (it cannot, which is the
+//! point).
+//!
+//! The [`loaders`] module implements the paper's comparisons behind one
+//! [`loaders::Loader`] trait:
+//!
+//! - [`loaders::SandLoader`] — batches served by the SAND engine through
+//!   the view filesystem,
+//! - [`loaders::OnDemandCpuLoader`] — PyAV/Decord-style decode+augment per
+//!   iteration on a bounded CPU worker pool,
+//! - [`loaders::OnDemandGpuLoader`] — DALI-style: preprocessing charged to
+//!   the (simulated) GPU's NVDEC and compute, stealing device memory,
+//! - [`loaders::NaiveCacheLoader`] — cache-all-decoded-frames up to a
+//!   budget (the §7.2 naive baseline),
+//! - [`loaders::IdealLoader`] — batches pre-staged in memory (no stalls).
+//!
+//! [`trainer::Trainer`] runs any loader against a simulated GPU and
+//! reports wall/stall/compute time, utilization, and energy.
+
+pub mod features;
+pub mod loaders;
+pub mod model;
+pub mod plan;
+pub mod trainer;
+
+pub use features::{clip_features, FEATURE_DIM};
+pub use loaders::{LoadedBatch, Loader};
+pub use model::{LinearSoftmax, OptimizerKind, SgdConfig};
+pub use plan::{chain_ops, TaskPlan};
+pub use trainer::{RunReport, Trainer, TrainerConfig};
+
+use std::fmt;
+
+/// Errors produced by the training layer.
+#[derive(Debug)]
+pub enum TrainError {
+    /// Engine failure.
+    Core(sand_core::CoreError),
+    /// Planning failure.
+    Graph(sand_graph::GraphError),
+    /// Codec failure.
+    Codec(sand_codec::CodecError),
+    /// Frame/tensor failure.
+    Frame(sand_frame::FrameError),
+    /// VFS failure.
+    Vfs(sand_vfs::VfsError),
+    /// Simulation failure.
+    Sim(sand_sim::SimError),
+    /// Loader/trainer state error.
+    State {
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Core(e) => write!(f, "engine: {e}"),
+            TrainError::Graph(e) => write!(f, "planning: {e}"),
+            TrainError::Codec(e) => write!(f, "codec: {e}"),
+            TrainError::Frame(e) => write!(f, "frame: {e}"),
+            TrainError::Vfs(e) => write!(f, "vfs: {e}"),
+            TrainError::Sim(e) => write!(f, "sim: {e}"),
+            TrainError::State { what } => write!(f, "trainer: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<sand_core::CoreError> for TrainError {
+    fn from(e: sand_core::CoreError) -> Self {
+        TrainError::Core(e)
+    }
+}
+
+impl From<sand_graph::GraphError> for TrainError {
+    fn from(e: sand_graph::GraphError) -> Self {
+        TrainError::Graph(e)
+    }
+}
+
+impl From<sand_codec::CodecError> for TrainError {
+    fn from(e: sand_codec::CodecError) -> Self {
+        TrainError::Codec(e)
+    }
+}
+
+impl From<sand_frame::FrameError> for TrainError {
+    fn from(e: sand_frame::FrameError) -> Self {
+        TrainError::Frame(e)
+    }
+}
+
+impl From<sand_vfs::VfsError> for TrainError {
+    fn from(e: sand_vfs::VfsError) -> Self {
+        TrainError::Vfs(e)
+    }
+}
+
+impl From<sand_sim::SimError> for TrainError {
+    fn from(e: sand_sim::SimError) -> Self {
+        TrainError::Sim(e)
+    }
+}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, TrainError>;

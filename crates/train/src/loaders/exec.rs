@@ -1,0 +1,103 @@
+//! Shared plan-execution helpers for the baseline loaders.
+
+use crate::plan::chain_ops;
+use crate::{Result, TrainError};
+use sand_codec::{Dataset, DecodeStats, Decoder};
+use sand_frame::tensor::{clip_to_tensor, stack};
+use sand_frame::{Frame, Tensor};
+use sand_graph::{ConcreteGraph, SamplePlan};
+
+/// Decodes and augments one sample exactly as planned, with no caching.
+///
+/// This is the on-demand execution path: a fresh decode of the clip's
+/// frames (paying the full GOP dependency cost) followed by the resolved
+/// augmentation chain, per frame. Returns the frames plus decode work.
+pub fn execute_sample(
+    dataset: &Dataset,
+    graph: &ConcreteGraph,
+    plan: &SamplePlan,
+) -> Result<(Vec<Frame>, DecodeStats)> {
+    let entry = dataset.get(plan.video_id).ok_or_else(|| TrainError::State {
+        what: format!("video {} not in dataset", plan.video_id),
+    })?;
+    let mut dec = Decoder::new(&entry.encoded);
+    let frames = dec.decode_indices(&plan.frame_indices)?;
+    let stats = *dec.stats();
+    let mut out = Vec::with_capacity(frames.len());
+    for (frame, &terminal) in frames.into_iter().zip(plan.frame_nodes.iter()) {
+        let mut cur = frame;
+        for op in chain_ops(graph, terminal) {
+            if let Some(frame_op) = op.to_frame_op()? {
+                cur = frame_op.apply(&cur)?;
+            }
+        }
+        out.push(cur);
+    }
+    Ok((out, stats))
+}
+
+/// One sample's frames plus its configured normalization.
+pub type ClipWithNorm = (Vec<Frame>, Option<(Vec<f32>, Vec<f32>)>);
+
+/// Assembles sample clips into the batch tensor (normalize + stack).
+pub fn assemble(clips: Vec<ClipWithNorm>) -> Result<Tensor> {
+    let mut tensors = Vec::with_capacity(clips.len());
+    for (clip, normalize) in clips {
+        let channels = clip.first().map_or(3, Frame::channels);
+        let (mean, std) = match normalize {
+            Some((m, s)) => (m, s),
+            None => (vec![0.0; channels], vec![1.0; channels]),
+        };
+        tensors.push(clip_to_tensor(&clip, &mean, &std)?);
+    }
+    Ok(stack(&tensors)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::TaskPlan;
+    use sand_codec::DatasetSpec;
+    use sand_config::parse_task_config;
+
+    const TASK: &str = r#"
+dataset:
+  tag: t
+  input_source: file
+  video_dataset_path: /d
+  sampling:
+    videos_per_batch: 2
+    frames_per_video: 4
+    frame_stride: 2
+  augmentation:
+    - name: r
+      branch_type: single
+      inputs: ["frame"]
+      outputs: ["a0"]
+      config:
+        - resize:
+            shape: [16, 16]
+"#;
+
+    #[test]
+    fn execute_sample_matches_plan_geometry() {
+        let ds = Dataset::generate(&DatasetSpec {
+            num_videos: 2,
+            width: 32,
+            height: 32,
+            frames_per_video: 24,
+            ..Default::default()
+        })
+        .unwrap();
+        let cfg = parse_task_config(TASK).unwrap();
+        let plan = TaskPlan::single_task(&cfg, &ds, 0..1, 7).unwrap();
+        let batch = plan.batch(0, 0).unwrap();
+        let (frames, stats) = execute_sample(&ds, &plan.graph, &batch.samples[0]).unwrap();
+        assert_eq!(frames.len(), 4);
+        assert_eq!((frames[0].width(), frames[0].height()), (16, 16));
+        assert!(stats.frames_decoded >= 4);
+        let tensor =
+            assemble(vec![(frames, batch.samples[0].normalize.clone())]).unwrap();
+        assert_eq!(tensor.shape(), &[1, 3, 4, 16, 16]);
+    }
+}

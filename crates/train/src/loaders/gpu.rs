@@ -1,0 +1,130 @@
+//! The on-demand GPU baseline (DALI-style).
+//!
+//! Preprocessing runs "on the GPU": decoding is charged to the NVDEC
+//! hardware model and augmentation to GPU compute, so the returned
+//! batches carry a nonzero `gpu_preprocess` that the trainer serializes
+//! with training on the device timeline. The pixel data itself is
+//! produced on host CPUs (the simulation has no real device), but that
+//! cost is *not* billed: the billed time is the modeled device time.
+//!
+//! The memory side effect (NVDEC working set shrinking the max batch
+//! size, Fig. 4) is modelled separately by
+//! [`sand_sim::MemoryModel::max_batch_size`] and applied by experiment
+//! harnesses when they pick batch sizes.
+
+use crate::loaders::cpu::{build_batch_parallel, LoaderCounters, TaggedBatch};
+use crate::loaders::exec::execute_sample;
+use crate::loaders::{LoadedBatch, Loader};
+use crate::plan::TaskPlan;
+use crate::{Result, TrainError};
+use crossbeam::channel::{bounded, Receiver};
+use sand_codec::{Dataset, DecodeStats};
+use sand_sim::NvdecModel;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// GPU-side augmentation throughput, in pixels per second.
+///
+/// GPUs blast through pointwise augmentation; decode dominates. This
+/// constant keeps augmentation a visible but minor share of the modeled
+/// device preprocessing time, matching the paper's Fig. 2(a) GPU bars.
+const GPU_AUG_PIXELS_PER_SEC: f64 = 8.0e9;
+
+/// The on-demand GPU-preprocessing loader.
+pub struct OnDemandGpuLoader {
+    rx: Receiver<TaggedBatch>,
+    counters: Arc<LoaderCounters>,
+    _producer: JoinHandle<()>,
+}
+
+impl OnDemandGpuLoader {
+    /// Starts the producer. `nvdec` models the decode hardware of the
+    /// target GPU; `host_workers` only bounds the hidden host-side data
+    /// production.
+    #[must_use]
+    pub fn new(
+        dataset: Arc<Dataset>,
+        plan: Arc<TaskPlan>,
+        nvdec: NvdecModel,
+        host_workers: usize,
+        prefetch: usize,
+    ) -> Self {
+        let counters = Arc::new(LoaderCounters::default());
+        let (tx, rx) = bounded(prefetch.max(1));
+        let c2 = Arc::clone(&counters);
+        let producer = std::thread::spawn(move || {
+            'outer: for epoch in plan.epochs.clone() {
+                for it in 0..plan.iters_per_epoch {
+                    let before = *c2.decode.lock();
+                    let result = build_batch_parallel(
+                        &dataset,
+                        &plan,
+                        epoch,
+                        it,
+                        host_workers,
+                        &c2,
+                        &|ds, p, i| {
+                            let batch = p.batch(epoch, it)?;
+                            execute_sample(ds, &p.graph, &batch.samples[i])
+                        },
+                    );
+                    // Host CPU work is a simulation artifact, not part of
+                    // the strategy: do not bill it.
+                    c2.cpu_work_nanos.store(0, Ordering::Relaxed);
+                    let result = result.map(|mut batch| {
+                        // Bill modeled device time instead: NVDEC decode
+                        // of every frame touched plus GPU augmentation of
+                        // the produced pixels.
+                        let after = *c2.decode.lock();
+                        let frames = after.frames_decoded - before.frames_decoded;
+                        let (w, h) = dataset
+                            .videos()
+                            .first()
+                            .map(|v| (v.encoded.header.width, v.encoded.header.height))
+                            .unwrap_or((64, 64));
+                        let decode = nvdec.decode_time(frames, w, h);
+                        let aug_pixels = batch.tensor.len() as f64;
+                        let aug = Duration::from_secs_f64(aug_pixels / GPU_AUG_PIXELS_PER_SEC);
+                        batch.gpu_preprocess = decode + aug;
+                        ((epoch, it), batch)
+                    });
+                    let failed = result.is_err();
+                    if tx.send(result).is_err() || failed {
+                        break 'outer;
+                    }
+                }
+            }
+        });
+        OnDemandGpuLoader { rx, counters, _producer: producer }
+    }
+}
+
+impl Loader for OnDemandGpuLoader {
+    fn next_batch(&mut self, epoch: u64, iteration: u64) -> Result<LoadedBatch> {
+        let ((e, i), batch) = self
+            .rx
+            .recv()
+            .map_err(|_| TrainError::State { what: "producer terminated".into() })??;
+        if (e, i) != (epoch, iteration) {
+            return Err(TrainError::State {
+                what: format!("out-of-order request: want {epoch}/{iteration}, queue has {e}/{i}"),
+            });
+        }
+        Ok(batch)
+    }
+
+    fn name(&self) -> &'static str {
+        "on-demand-gpu"
+    }
+
+    fn cpu_work(&self) -> Duration {
+        // Decode is offloaded; only negligible host orchestration remains.
+        Duration::ZERO
+    }
+
+    fn decode_stats(&self) -> DecodeStats {
+        *self.counters.decode.lock()
+    }
+}

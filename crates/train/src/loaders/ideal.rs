@@ -1,0 +1,85 @@
+//! The ideal (pre-staged) baseline: every batch already in memory.
+
+use crate::loaders::exec::{assemble, execute_sample};
+use crate::loaders::{LoadedBatch, Loader};
+use crate::plan::TaskPlan;
+use crate::{Result, TrainError};
+use sand_codec::{Dataset, DecodeStats};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A loader whose batches were fully materialized before timing starts.
+pub struct IdealLoader {
+    batches: Arc<HashMap<(u64, u64), LoadedBatch>>,
+}
+
+impl IdealLoader {
+    /// Pre-stages every planned batch (done before the trainer's clock
+    /// starts, so it contributes no stall or billed CPU work).
+    pub fn new(dataset: &Arc<Dataset>, plan: &TaskPlan) -> Result<Self> {
+        Ok(IdealLoader { batches: Self::stage(dataset, plan)? })
+    }
+
+    /// Pre-stages batches into a shareable pool; several loaders (e.g.
+    /// every trial of a hyperparameter search) can then be built with
+    /// [`IdealLoader::from_shared`] at zero cost.
+    pub fn stage(
+        dataset: &Arc<Dataset>,
+        plan: &TaskPlan,
+    ) -> Result<Arc<HashMap<(u64, u64), LoadedBatch>>> {
+        let mut batches = HashMap::new();
+        for epoch in plan.epochs.clone() {
+            for it in 0..plan.iters_per_epoch {
+                let b = plan.batch(epoch, it)?;
+                let mut clips = Vec::with_capacity(b.samples.len());
+                let mut labels = Vec::with_capacity(b.samples.len());
+                for s in &b.samples {
+                    let (frames, _) = execute_sample(dataset, &plan.graph, s)?;
+                    labels.push(
+                        dataset
+                            .get(s.video_id)
+                            .map(|v| v.class_id)
+                            .ok_or_else(|| TrainError::State { what: "video missing".into() })?,
+                    );
+                    clips.push((frames, s.normalize.clone()));
+                }
+                let tensor = assemble(clips)?;
+                batches.insert(
+                    (epoch, it),
+                    LoadedBatch { tensor, labels, gpu_preprocess: Duration::ZERO },
+                );
+            }
+        }
+        Ok(Arc::new(batches))
+    }
+
+    /// Builds a loader over an already-staged batch pool.
+    #[must_use]
+    pub fn from_shared(batches: Arc<HashMap<(u64, u64), LoadedBatch>>) -> Self {
+        IdealLoader { batches }
+    }
+}
+
+impl Loader for IdealLoader {
+    fn next_batch(&mut self, epoch: u64, iteration: u64) -> Result<LoadedBatch> {
+        self.batches
+            .get(&(epoch, iteration))
+            .cloned()
+            .ok_or_else(|| TrainError::State {
+                what: format!("no staged batch at {epoch}/{iteration}"),
+            })
+    }
+
+    fn name(&self) -> &'static str {
+        "ideal"
+    }
+
+    fn cpu_work(&self) -> Duration {
+        Duration::ZERO
+    }
+
+    fn decode_stats(&self) -> DecodeStats {
+        DecodeStats::default()
+    }
+}

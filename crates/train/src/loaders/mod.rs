@@ -1,0 +1,51 @@
+//! Data-loading strategies: SAND and the paper's baselines.
+
+mod cpu;
+mod exec;
+mod gpu;
+mod ideal;
+mod naive;
+mod sand;
+
+pub use cpu::OnDemandCpuLoader;
+pub use exec::execute_sample;
+pub use gpu::OnDemandGpuLoader;
+pub use ideal::IdealLoader;
+pub use naive::NaiveCacheLoader;
+pub use sand::SandLoader;
+
+use crate::Result;
+use sand_codec::DecodeStats;
+use sand_frame::Tensor;
+use std::time::Duration;
+
+/// One training batch, ready for the (simulated) GPU.
+#[derive(Debug, Clone)]
+pub struct LoadedBatch {
+    /// The batch tensor, shape `(N, C, T, H, W)`.
+    pub tensor: Tensor,
+    /// Ground-truth labels, one per sample.
+    pub labels: Vec<u32>,
+    /// GPU time this batch's preprocessing occupies *on the device*
+    /// before training can start. Zero for CPU-side strategies; nonzero
+    /// for the DALI-style GPU-preprocessing baseline.
+    pub gpu_preprocess: Duration,
+}
+
+/// A data-loading strategy.
+///
+/// Batches must be requested in plan order (epoch-major, iteration-minor);
+/// loaders may prefetch ahead of the requests.
+pub trait Loader: Send {
+    /// Produces the batch for (epoch, iteration), blocking until ready.
+    fn next_batch(&mut self, epoch: u64, iteration: u64) -> Result<LoadedBatch>;
+
+    /// Strategy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Cumulative CPU preprocessing work performed so far.
+    fn cpu_work(&self) -> Duration;
+
+    /// Codec work performed so far.
+    fn decode_stats(&self) -> DecodeStats;
+}

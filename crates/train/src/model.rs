@@ -1,0 +1,276 @@
+//! The tiny trainable model: linear softmax + SGD variants.
+//!
+//! Hyperparameter search (Fig. 12) explores optimizer type and its
+//! hyperparameters (learning rate, weight decay, betas), so the optimizer
+//! implements plain SGD, SGD with momentum, and Adam.
+
+use crate::features::FEATURE_DIM;
+use crate::{Result, TrainError};
+
+/// Optimizer family for the search space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OptimizerKind {
+    /// Plain stochastic gradient descent.
+    Sgd,
+    /// SGD with momentum (`beta1`).
+    Momentum,
+    /// Adam (`beta1`, `beta2`).
+    Adam,
+}
+
+/// Optimizer hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SgdConfig {
+    /// Optimizer family.
+    pub kind: OptimizerKind,
+    /// Learning rate.
+    pub lr: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// First moment coefficient (momentum / Adam beta1).
+    pub beta1: f32,
+    /// Second moment coefficient (Adam beta2).
+    pub beta2: f32,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        SgdConfig { kind: OptimizerKind::Sgd, lr: 0.05, weight_decay: 1e-4, beta1: 0.9, beta2: 0.999 }
+    }
+}
+
+/// A linear softmax classifier over clip features.
+#[derive(Debug, Clone)]
+pub struct LinearSoftmax {
+    classes: usize,
+    /// Row-major `[classes x FEATURE_DIM]` weights.
+    w: Vec<f32>,
+    /// Optimizer state (first moment).
+    m: Vec<f32>,
+    /// Optimizer state (second moment).
+    v: Vec<f32>,
+    config: SgdConfig,
+    step: u64,
+}
+
+impl LinearSoftmax {
+    /// Creates a zero-initialized classifier.
+    pub fn new(classes: usize, config: SgdConfig) -> Result<Self> {
+        if classes < 2 {
+            return Err(TrainError::State { what: "need at least two classes".into() });
+        }
+        if config.lr <= 0.0 || !config.lr.is_finite() {
+            return Err(TrainError::State { what: "learning rate must be positive".into() });
+        }
+        let n = classes * FEATURE_DIM;
+        Ok(LinearSoftmax {
+            classes,
+            w: vec![0.0; n],
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            config,
+            step: 0,
+        })
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub const fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Class logits for one feature vector.
+    #[must_use]
+    pub fn logits(&self, x: &[f32; FEATURE_DIM]) -> Vec<f32> {
+        (0..self.classes)
+            .map(|c| {
+                let row = &self.w[c * FEATURE_DIM..(c + 1) * FEATURE_DIM];
+                row.iter().zip(x.iter()).map(|(w, v)| w * v).sum()
+            })
+            .collect()
+    }
+
+    /// Softmax probabilities for one feature vector.
+    #[must_use]
+    pub fn probs(&self, x: &[f32; FEATURE_DIM]) -> Vec<f32> {
+        let logits = self.logits(x);
+        let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = logits.iter().map(|l| (l - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        exps.into_iter().map(|e| e / sum).collect()
+    }
+
+    /// Predicted class for one feature vector.
+    #[must_use]
+    pub fn predict(&self, x: &[f32; FEATURE_DIM]) -> u32 {
+        let logits = self.logits(x);
+        logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map_or(0, |(i, _)| i as u32)
+    }
+
+    /// One optimizer step on a mini-batch; returns the mean cross-entropy
+    /// loss before the update.
+    pub fn train_step(&mut self, batch: &[[f32; FEATURE_DIM]], labels: &[u32]) -> Result<f32> {
+        if batch.is_empty() || batch.len() != labels.len() {
+            return Err(TrainError::State { what: "batch/labels size mismatch".into() });
+        }
+        for &l in labels {
+            if l as usize >= self.classes {
+                return Err(TrainError::State { what: format!("label {l} out of range") });
+            }
+        }
+        self.step += 1;
+        let n = batch.len() as f32;
+        let mut grad = vec![0.0f32; self.w.len()];
+        let mut loss = 0.0f32;
+        for (x, &label) in batch.iter().zip(labels.iter()) {
+            let p = self.probs(x);
+            loss -= p[label as usize].max(1e-12).ln();
+            for (c, &pc) in p.iter().enumerate() {
+                let err = pc - if c as u32 == label { 1.0 } else { 0.0 };
+                let row = c * FEATURE_DIM;
+                for (j, &xj) in x.iter().enumerate() {
+                    grad[row + j] += err * xj / n;
+                }
+            }
+        }
+        loss /= n;
+        // Weight decay.
+        if self.config.weight_decay > 0.0 {
+            for (g, w) in grad.iter_mut().zip(self.w.iter()) {
+                *g += self.config.weight_decay * w;
+            }
+        }
+        let lr = self.config.lr;
+        match self.config.kind {
+            OptimizerKind::Sgd => {
+                for (w, g) in self.w.iter_mut().zip(grad.iter()) {
+                    *w -= lr * g;
+                }
+            }
+            OptimizerKind::Momentum => {
+                let b1 = self.config.beta1;
+                for ((w, m), g) in self.w.iter_mut().zip(self.m.iter_mut()).zip(grad.iter()) {
+                    *m = b1 * *m + g;
+                    *w -= lr * *m;
+                }
+            }
+            OptimizerKind::Adam => {
+                let (b1, b2) = (self.config.beta1, self.config.beta2);
+                let t = self.step as i32;
+                let bc1 = 1.0 - b1.powi(t);
+                let bc2 = 1.0 - b2.powi(t);
+                for (i, &g) in grad.iter().enumerate() {
+                    self.m[i] = b1 * self.m[i] + (1.0 - b1) * g;
+                    self.v[i] = b2 * self.v[i] + (1.0 - b2) * g * g;
+                    let mhat = self.m[i] / bc1;
+                    let vhat = self.v[i] / bc2;
+                    self.w[i] -= lr * mhat / (vhat.sqrt() + 1e-8);
+                }
+            }
+        }
+        Ok(loss)
+    }
+
+    /// Mean accuracy over a labelled feature set.
+    #[must_use]
+    pub fn accuracy(&self, batch: &[[f32; FEATURE_DIM]], labels: &[u32]) -> f32 {
+        if batch.is_empty() {
+            return 0.0;
+        }
+        let hits = batch
+            .iter()
+            .zip(labels.iter())
+            .filter(|(x, &l)| self.predict(x) == l)
+            .count();
+        hits as f32 / batch.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two linearly separable blobs on the first feature.
+    fn toy_batch(n: usize) -> (Vec<[f32; FEATURE_DIM]>, Vec<u32>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let class = (i % 2) as u32;
+            let mut x = [0.0f32; FEATURE_DIM];
+            x[0] = if class == 0 { -1.0 } else { 1.0 };
+            x[0] += (i as f32 * 0.37).sin() * 0.2;
+            x[FEATURE_DIM - 1] = 1.0;
+            xs.push(x);
+            ys.push(class);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn loss_decreases_on_separable_data() {
+        for kind in [OptimizerKind::Sgd, OptimizerKind::Momentum, OptimizerKind::Adam] {
+            let mut m = LinearSoftmax::new(
+                2,
+                SgdConfig { kind, lr: 0.1, ..Default::default() },
+            )
+            .unwrap();
+            let (xs, ys) = toy_batch(32);
+            let first = m.train_step(&xs, &ys).unwrap();
+            let mut last = first;
+            for _ in 0..60 {
+                last = m.train_step(&xs, &ys).unwrap();
+            }
+            assert!(last < first * 0.5, "{kind:?}: {first} -> {last}");
+            assert!(m.accuracy(&xs, &ys) > 0.95, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn initial_loss_is_ln_classes() {
+        let mut m = LinearSoftmax::new(4, SgdConfig::default()).unwrap();
+        let (xs, ys) = toy_batch(8);
+        let ys: Vec<u32> = ys.iter().map(|&y| y % 4).collect();
+        let loss = m.train_step(&xs, &ys).unwrap();
+        assert!((loss - (4.0f32).ln()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn probs_sum_to_one() {
+        let m = LinearSoftmax::new(3, SgdConfig::default()).unwrap();
+        let x = [0.5; FEATURE_DIM];
+        let p = m.probs(&x);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(LinearSoftmax::new(1, SgdConfig::default()).is_err());
+        assert!(LinearSoftmax::new(2, SgdConfig { lr: -1.0, ..Default::default() }).is_err());
+        let mut m = LinearSoftmax::new(2, SgdConfig::default()).unwrap();
+        assert!(m.train_step(&[], &[]).is_err());
+        let x = [[0.0; FEATURE_DIM]];
+        assert!(m.train_step(&x, &[5]).is_err());
+        assert!(m.train_step(&x, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mk = |wd: f32| {
+            let mut m = LinearSoftmax::new(
+                2,
+                SgdConfig { lr: 0.1, weight_decay: wd, ..Default::default() },
+            )
+            .unwrap();
+            let (xs, ys) = toy_batch(16);
+            for _ in 0..100 {
+                m.train_step(&xs, &ys).unwrap();
+            }
+            m.w.iter().map(|w| w.abs()).sum::<f32>()
+        };
+        assert!(mk(0.1) < mk(0.0));
+    }
+}

@@ -1,0 +1,182 @@
+//! Shared planning helpers for loaders.
+//!
+//! Every loader (SAND and baselines alike) must draw *the same* batches —
+//! same videos per iteration, same frame selections, same resolved
+//! augmentations — so comparisons measure execution strategy, not
+//! workload luck. [`TaskPlan`] wraps one task's concrete plan for a span
+//! of epochs; baseline loaders execute it directly, while the SAND loader
+//! lets the engine (which re-derives the identical plan from the same
+//! seed) serve it.
+
+use crate::{Result, TrainError};
+use sand_codec::Dataset;
+use sand_config::TaskConfig;
+use sand_graph::{
+    BatchRef, ConcreteGraph, NodeId, PlanInput, Planner, PlannerOptions, ResolvedOp,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The resolved op chain from the decoded frame to `terminal`.
+#[must_use]
+pub fn chain_ops(graph: &ConcreteGraph, terminal: NodeId) -> Vec<ResolvedOp> {
+    let mut ops = Vec::new();
+    let mut cur = Some(terminal);
+    while let Some(id) = cur {
+        let node = &graph.nodes[id];
+        if let Some(op) = &node.op {
+            ops.push(op.clone());
+        }
+        cur = node.parent;
+    }
+    ops.reverse();
+    ops
+}
+
+/// One task's plan over a span of epochs.
+#[derive(Debug, Clone)]
+pub struct TaskPlan {
+    /// The unified concrete graph for the span.
+    pub graph: Arc<ConcreteGraph>,
+    /// Batch lookup: (epoch, iteration) -> index into `graph.batches`.
+    index: HashMap<(u64, u64), usize>,
+    /// Iterations per epoch.
+    pub iters_per_epoch: u64,
+    /// The planned epoch span.
+    pub epochs: std::ops::Range<u64>,
+}
+
+impl TaskPlan {
+    /// Plans `epochs` for a single task over `dataset` with coordinated
+    /// randomization (what the SAND engine derives too).
+    pub fn single_task(
+        config: &TaskConfig,
+        dataset: &Dataset,
+        epochs: std::ops::Range<u64>,
+        seed: u64,
+    ) -> Result<Self> {
+        Self::single_task_with(config, dataset, epochs, seed, true)
+    }
+
+    /// Plans `epochs` with explicit control over coordination; passing
+    /// `coordinate = false` draws fresh independent randomness per task,
+    /// the Fig. 20 baseline.
+    pub fn single_task_with(
+        config: &TaskConfig,
+        dataset: &Dataset,
+        epochs: std::ops::Range<u64>,
+        seed: u64,
+        coordinate: bool,
+    ) -> Result<Self> {
+        let videos: Vec<sand_graph::VideoMeta> = dataset
+            .videos()
+            .iter()
+            .map(|v| {
+                let h = &v.encoded.header;
+                sand_graph::VideoMeta {
+                    video_id: v.video_id,
+                    frames: v.encoded.frame_count(),
+                    width: h.width,
+                    height: h.height,
+                    channels: h.format.channels(),
+                    gop_size: h.gop_size,
+                    encoded_bytes: v.encoded.encoded_size(),
+                }
+            })
+            .collect();
+        let planner = Planner::new(
+            vec![PlanInput { task_id: 0, config: config.clone() }],
+            videos,
+            PlannerOptions { seed, coordinate, epochs: epochs.clone() },
+        )?;
+        let graph = planner.plan()?;
+        let mut index = HashMap::new();
+        for (i, b) in graph.batches.iter().enumerate() {
+            index.insert((b.epoch, b.iteration), i);
+        }
+        let iters_per_epoch =
+            (dataset.len() as u64).div_ceil(config.sampling.videos_per_batch as u64);
+        Ok(TaskPlan { graph: Arc::new(graph), index, iters_per_epoch, epochs })
+    }
+
+    /// The batch plan at (epoch, iteration).
+    pub fn batch(&self, epoch: u64, iteration: u64) -> Result<&BatchRef> {
+        let idx = self.index.get(&(epoch, iteration)).ok_or_else(|| TrainError::State {
+            what: format!("no planned batch at epoch {epoch} iteration {iteration}"),
+        })?;
+        Ok(&self.graph.batches[*idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sand_codec::DatasetSpec;
+    use sand_config::parse_task_config;
+
+    const TASK: &str = r#"
+dataset:
+  tag: t
+  input_source: file
+  video_dataset_path: /d
+  sampling:
+    videos_per_batch: 2
+    frames_per_video: 4
+    frame_stride: 2
+  augmentation:
+    - name: r
+      branch_type: single
+      inputs: ["frame"]
+      outputs: ["a0"]
+      config:
+        - resize:
+            shape: [16, 16]
+    - name: c
+      branch_type: single
+      inputs: ["a0"]
+      outputs: ["a1"]
+      config:
+        - random_crop:
+            shape: [8, 8]
+"#;
+
+    fn dataset() -> Dataset {
+        Dataset::generate(&DatasetSpec {
+            num_videos: 4,
+            width: 32,
+            height: 32,
+            frames_per_video: 24,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn plan_indexes_every_iteration() {
+        let cfg = parse_task_config(TASK).unwrap();
+        let ds = dataset();
+        let plan = TaskPlan::single_task(&cfg, &ds, 0..2, 7).unwrap();
+        assert_eq!(plan.iters_per_epoch, 2);
+        for epoch in 0..2 {
+            for it in 0..2 {
+                let b = plan.batch(epoch, it).unwrap();
+                assert_eq!(b.samples.len(), 2);
+            }
+        }
+        assert!(plan.batch(0, 2).is_err());
+        assert!(plan.batch(5, 0).is_err());
+    }
+
+    #[test]
+    fn chain_ops_reconstructs_pipeline() {
+        let cfg = parse_task_config(TASK).unwrap();
+        let ds = dataset();
+        let plan = TaskPlan::single_task(&cfg, &ds, 0..1, 7).unwrap();
+        let b = plan.batch(0, 0).unwrap();
+        let terminal = b.samples[0].frame_nodes[0];
+        let ops = chain_ops(&plan.graph, terminal);
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].name(), "resize");
+        assert_eq!(ops[1].name(), "crop");
+    }
+}

@@ -1,0 +1,223 @@
+//! The view path scheme (Table 1 of the paper).
+//!
+//! ```text
+//! Video       /{task}/{video}.mp4      (also .svid)
+//! Frame       /{task}/{video}/frame{i}
+//! Aug. frame  /{task}/{video}/frame{i}/aug{d}
+//! View        /{task}/{epoch}/{iteration}/view
+//! ```
+//!
+//! Paths are absolute, `/`-separated, and unambiguous: the batch view form
+//! ends in the literal `view` with two numeric components before it.
+
+use std::fmt;
+
+/// A parsed view path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ViewPath {
+    /// The encoded video object.
+    Video {
+        /// Task name.
+        task: String,
+        /// Video name (without extension).
+        video: String,
+    },
+    /// A decoded frame.
+    Frame {
+        /// Task name.
+        task: String,
+        /// Video name.
+        video: String,
+        /// Frame index.
+        index: u64,
+    },
+    /// An augmented frame at a pipeline depth.
+    AugFrame {
+        /// Task name.
+        task: String,
+        /// Video name.
+        video: String,
+        /// Frame index.
+        index: u64,
+        /// Augmentation depth (1-based position in the chain).
+        depth: u32,
+    },
+    /// A training batch view.
+    Batch {
+        /// Task name.
+        task: String,
+        /// Epoch index.
+        epoch: u64,
+        /// Iteration index within the epoch.
+        iteration: u64,
+    },
+}
+
+/// Parses a `prefix{number}` component, e.g. `frame12` -> 12.
+fn parse_numbered(component: &str, prefix: &str) -> Option<u64> {
+    component.strip_prefix(prefix)?.parse().ok()
+}
+
+impl ViewPath {
+    /// Parses an absolute view path; `None` when it matches no view form.
+    #[must_use]
+    pub fn parse(path: &str) -> Option<Self> {
+        let trimmed = path.strip_prefix('/')?;
+        let parts: Vec<&str> = trimmed.split('/').collect();
+        if parts.iter().any(|p| p.is_empty()) {
+            return None;
+        }
+        match parts.as_slice() {
+            [task, file] => {
+                let video = file
+                    .strip_suffix(".mp4")
+                    .or_else(|| file.strip_suffix(".svid"))?;
+                Some(ViewPath::Video { task: (*task).to_string(), video: video.to_string() })
+            }
+            [task, video, frame] => {
+                let index = parse_numbered(frame, "frame")?;
+                Some(ViewPath::Frame {
+                    task: (*task).to_string(),
+                    video: (*video).to_string(),
+                    index,
+                })
+            }
+            [task, a, b, last] if *last == "view" => {
+                let epoch = a.parse().ok()?;
+                let iteration = b.parse().ok()?;
+                Some(ViewPath::Batch { task: (*task).to_string(), epoch, iteration })
+            }
+            [task, video, frame, aug] => {
+                let index = parse_numbered(frame, "frame")?;
+                let depth = parse_numbered(aug, "aug")? as u32;
+                Some(ViewPath::AugFrame {
+                    task: (*task).to_string(),
+                    video: (*video).to_string(),
+                    index,
+                    depth,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// The task component of any view path.
+    #[must_use]
+    pub fn task(&self) -> &str {
+        match self {
+            ViewPath::Video { task, .. }
+            | ViewPath::Frame { task, .. }
+            | ViewPath::AugFrame { task, .. }
+            | ViewPath::Batch { task, .. } => task,
+        }
+    }
+
+    /// Builds the batch-view path for `(task, epoch, iteration)`.
+    #[must_use]
+    pub fn batch(task: &str, epoch: u64, iteration: u64) -> String {
+        format!("/{task}/{epoch}/{iteration}/view")
+    }
+}
+
+impl fmt::Display for ViewPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewPath::Video { task, video } => write!(f, "/{task}/{video}.svid"),
+            ViewPath::Frame { task, video, index } => write!(f, "/{task}/{video}/frame{index}"),
+            ViewPath::AugFrame { task, video, index, depth } => {
+                write!(f, "/{task}/{video}/frame{index}/aug{depth}")
+            }
+            ViewPath::Batch { task, epoch, iteration } => {
+                write!(f, "/{task}/{epoch}/{iteration}/view")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_forms() {
+        assert_eq!(
+            ViewPath::parse("/train/video0001.mp4"),
+            Some(ViewPath::Video { task: "train".into(), video: "video0001".into() })
+        );
+        assert_eq!(
+            ViewPath::parse("/train/video0001.svid"),
+            Some(ViewPath::Video { task: "train".into(), video: "video0001".into() })
+        );
+        assert_eq!(
+            ViewPath::parse("/train/video0001/frame12"),
+            Some(ViewPath::Frame { task: "train".into(), video: "video0001".into(), index: 12 })
+        );
+        assert_eq!(
+            ViewPath::parse("/train/video0001/frame12/aug2"),
+            Some(ViewPath::AugFrame {
+                task: "train".into(),
+                video: "video0001".into(),
+                index: 12,
+                depth: 2
+            })
+        );
+        assert_eq!(
+            ViewPath::parse("/train/3/47/view"),
+            Some(ViewPath::Batch { task: "train".into(), epoch: 3, iteration: 47 })
+        );
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for p in [
+            "/train/video0001.svid",
+            "/train/video0001/frame12",
+            "/train/video0001/frame12/aug2",
+            "/train/3/47/view",
+        ] {
+            let parsed = ViewPath::parse(p).unwrap();
+            assert_eq!(ViewPath::parse(&parsed.to_string()), Some(parsed));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "relative/path",
+            "/",
+            "/task",
+            "/task/video0001", // no extension
+            "/task/video0001/notframe3",
+            "/task/video0001/frame",
+            "/task/video0001/framex",
+            "/task/video0001/frame3/notaug1",
+            "/task/x/47/view", // non-numeric epoch
+            "/task//frame3",
+            "/task/1/2/3/view",
+        ] {
+            assert_eq!(ViewPath::parse(bad), None, "should reject `{bad}`");
+        }
+    }
+
+    #[test]
+    fn batch_view_takes_priority_over_aug_form() {
+        // `/t/0/1/view` must parse as a batch, not an aug frame.
+        assert!(matches!(ViewPath::parse("/t/0/1/view"), Some(ViewPath::Batch { .. })));
+    }
+
+    #[test]
+    fn batch_builder_matches_parser() {
+        let s = ViewPath::batch("hp0", 9, 123);
+        assert_eq!(
+            ViewPath::parse(&s),
+            Some(ViewPath::Batch { task: "hp0".into(), epoch: 9, iteration: 123 })
+        );
+    }
+
+    #[test]
+    fn task_accessor() {
+        assert_eq!(ViewPath::parse("/abc/0/0/view").unwrap().task(), "abc");
+        assert_eq!(ViewPath::parse("/xyz/v.mp4").unwrap().task(), "xyz");
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for view paths and the fd table.
+
+use proptest::prelude::*;
+use sand_vfs::{SandVfs, ViewPath, ViewProvider};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parse_never_panics(text in "\\PC{0,120}") {
+        let _ = ViewPath::parse(&text);
+    }
+
+    #[test]
+    fn parse_display_roundtrip(
+        task in "[a-z0-9_]{1,12}",
+        video in "[a-z0-9_]{1,12}",
+        index in any::<u32>(),
+        depth in 1u32..16,
+        epoch in any::<u16>(),
+        iteration in any::<u16>(),
+    ) {
+        let candidates = vec![
+            format!("/{task}/{video}.svid"),
+            format!("/{task}/{video}/frame{index}"),
+            format!("/{task}/{video}/frame{index}/aug{depth}"),
+            format!("/{task}/{epoch}/{iteration}/view"),
+        ];
+        for path in candidates {
+            if let Some(parsed) = ViewPath::parse(&path) {
+                let shown = parsed.to_string();
+                prop_assert_eq!(ViewPath::parse(&shown), Some(parsed));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_builder_always_parses(task in "[a-z0-9_]{1,12}", epoch in any::<u32>(), it in any::<u32>()) {
+        let path = ViewPath::batch(&task, u64::from(epoch), u64::from(it));
+        let is_batch = matches!(ViewPath::parse(&path), Some(ViewPath::Batch { .. }));
+        prop_assert!(is_batch);
+    }
+}
+
+struct CountingProvider;
+
+impl ViewProvider for CountingProvider {
+    fn fetch(&self, path: &ViewPath) -> sand_vfs::Result<Vec<u8>> {
+        Ok(path.to_string().into_bytes())
+    }
+
+    fn metadata(&self, _path: &ViewPath, name: &str) -> sand_vfs::Result<String> {
+        Ok(name.to_string())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fd_table_survives_arbitrary_open_close_sequences(ops in prop::collection::vec(any::<bool>(), 1..64)) {
+        let vfs = SandVfs::new(Arc::new(CountingProvider));
+        let mut open = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            if *op || open.is_empty() {
+                let fd = vfs.open(&format!("/t/0/{i}/view")).unwrap();
+                prop_assert!(!open.contains(&fd), "fd {fd} double-allocated");
+                open.push(fd);
+            } else {
+                let fd = open.remove(open.len() / 2);
+                vfs.close(fd).unwrap();
+                // Closed descriptors reject further use.
+                let mut buf = [0u8; 1];
+                prop_assert!(vfs.read(fd, &mut buf).is_err());
+            }
+        }
+        prop_assert_eq!(vfs.open_count(), open.len());
+        for fd in open {
+            vfs.close(fd).unwrap();
+        }
+        prop_assert_eq!(vfs.open_count(), 0);
+    }
+
+    #[test]
+    fn reads_are_exact_and_sequential(chunks in prop::collection::vec(1usize..16, 1..8)) {
+        let vfs = SandVfs::new(Arc::new(CountingProvider));
+        let path = "/task/3/14/view";
+        let fd = vfs.open(path).unwrap();
+        let mut collected = Vec::new();
+        for chunk in chunks {
+            let mut buf = vec![0u8; chunk];
+            let n = vfs.read(fd, &mut buf).unwrap();
+            collected.extend_from_slice(&buf[..n]);
+            if n == 0 {
+                break;
+            }
+        }
+        collected.extend(vfs.read_to_end(fd).unwrap());
+        prop_assert_eq!(collected, path.as_bytes().to_vec());
+        vfs.close(fd).unwrap();
+    }
+}

@@ -1,0 +1,290 @@
+//! The same training input pipeline as `quickstart.rs`, written by hand.
+//!
+//! This is what VDL preprocessing looks like *without* SAND: the
+//! application owns every stage — dataset discovery, per-epoch shuffling,
+//! random temporal sampling, GOP-aware decoding, each augmentation with
+//! its own random draws, normalization, batch assembly, worker
+//! parallelism, and prefetching. It is the in-repo analogue of the
+//! paper's "official repository" pipelines (SlowFast: 2254 LoC, HD-VILA:
+//! 297 LoC) and is what Table 3 counts against the marked data path in
+//! `quickstart.rs`.
+//!
+//! Run with: `cargo run --example manual_pipeline`
+
+use sand::codec::{Dataset, DatasetSpec, Decoder, VideoEntry};
+use sand::frame::ops::{Crop, Flip, FlipAxis, FrameOp, Interpolation, Resize};
+use sand::frame::{Frame, Tensor};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+
+// ---------------------------------------------------------------------
+// Configuration (everything quickstart.rs expressed in one YAML block).
+// ---------------------------------------------------------------------
+
+const VIDEOS_PER_BATCH: usize = 4;
+const FRAMES_PER_VIDEO: usize = 8;
+const FRAME_STRIDE: usize = 4;
+const RESIZE_W: usize = 48;
+const RESIZE_H: usize = 48;
+const CROP_W: usize = 40;
+const CROP_H: usize = 40;
+const FLIP_PROB: f64 = 0.5;
+const NORM_MEAN: [f32; 3] = [0.45, 0.45, 0.45];
+const NORM_STD: [f32; 3] = [0.225, 0.225, 0.225];
+const EPOCHS: u64 = 2;
+const WORKERS: usize = 4;
+const PREFETCH_DEPTH: usize = 2;
+const SEED: u64 = 7;
+
+// ---------------------------------------------------------------------
+// A tiny deterministic RNG the pipeline must carry around itself.
+// ---------------------------------------------------------------------
+
+/// SplitMix64: the application has to manage seeds per (epoch, video,
+/// purpose) by hand to keep workers deterministic.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        ((self.uniform() * n as f64) as usize).min(n.saturating_sub(1))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Epoch scheduling: every video exactly once per epoch, shuffled.
+// ---------------------------------------------------------------------
+
+/// Fisher-Yates over video indices, seeded per epoch.
+fn shuffled_order(num_videos: usize, epoch: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..num_videos).collect();
+    let mut rng = Rng::new(SEED ^ (epoch.wrapping_mul(0x1234_5678_9abc_def1)));
+    for i in (1..num_videos).rev() {
+        let j = rng.below(i + 1);
+        order.swap(i, j);
+    }
+    order
+}
+
+// ---------------------------------------------------------------------
+// Temporal sampling: a random clip anchor, stride-spaced frame indices.
+// ---------------------------------------------------------------------
+
+/// Selects the clip's frame indices for one video in one epoch.
+fn sample_clip(video: &VideoEntry, epoch: u64) -> Result<Vec<usize>, String> {
+    let total = video.encoded.frame_count();
+    let span = (FRAMES_PER_VIDEO - 1) * FRAME_STRIDE + 1;
+    if span > total {
+        return Err(format!(
+            "video {} too short: clip span {span} > {total} frames",
+            video.video_id
+        ));
+    }
+    let mut rng = Rng::new(SEED ^ video.video_id.rotate_left(13) ^ epoch.wrapping_mul(0xabcd));
+    let anchor = rng.below(total - span + 1);
+    Ok((0..FRAMES_PER_VIDEO).map(|k| anchor + k * FRAME_STRIDE).collect())
+}
+
+// ---------------------------------------------------------------------
+// Decoding: keyframe-aware random access, managed by the application.
+// ---------------------------------------------------------------------
+
+/// Decodes the selected frames (paying GOP dependency costs).
+fn decode_clip(video: &VideoEntry, indices: &[usize]) -> Result<Vec<Frame>, String> {
+    let mut decoder = Decoder::new(&video.encoded);
+    decoder
+        .decode_indices(indices)
+        .map_err(|e| format!("decode failed for video {}: {e}", video.video_id))
+}
+
+// ---------------------------------------------------------------------
+// Augmentation: each op parameterized by hand, consistent across the
+// frames of a clip (spatial transforms must not flicker within a clip).
+// ---------------------------------------------------------------------
+
+struct ClipAugmentation {
+    resize: Resize,
+    crop: Crop,
+    flip: Option<Flip>,
+}
+
+/// Draws one clip's augmentation parameters.
+fn draw_augmentation(video_id: u64, epoch: u64) -> Result<ClipAugmentation, String> {
+    let mut rng = Rng::new(SEED ^ video_id.rotate_left(29) ^ epoch.wrapping_mul(0x5555));
+    let resize = Resize::new(RESIZE_W, RESIZE_H, Interpolation::Bilinear)
+        .map_err(|e| e.to_string())?;
+    let max_x = RESIZE_W - CROP_W;
+    let max_y = RESIZE_H - CROP_H;
+    let crop = Crop::new(rng.below(max_x + 1), rng.below(max_y + 1), CROP_W, CROP_H)
+        .map_err(|e| e.to_string())?;
+    let flip = if rng.uniform() < FLIP_PROB {
+        Some(Flip::new(FlipAxis::Horizontal))
+    } else {
+        None
+    };
+    Ok(ClipAugmentation { resize, crop, flip })
+}
+
+/// Applies the drawn augmentation to every frame of the clip.
+fn augment_clip(frames: Vec<Frame>, aug: &ClipAugmentation) -> Result<Vec<Frame>, String> {
+    let mut out = Vec::with_capacity(frames.len());
+    for frame in frames {
+        let mut f = aug.resize.apply(&frame).map_err(|e| e.to_string())?;
+        f = aug.crop.apply(&f).map_err(|e| e.to_string())?;
+        if let Some(flip) = &aug.flip {
+            f = flip.apply(&f).map_err(|e| e.to_string())?;
+        }
+        out.push(f);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Normalization and batch assembly.
+// ---------------------------------------------------------------------
+
+/// Normalizes a clip into a (C, T, H, W) tensor.
+fn clip_tensor(frames: &[Frame]) -> Result<Tensor, String> {
+    sand::frame::tensor::clip_to_tensor(frames, &NORM_MEAN, &NORM_STD)
+        .map_err(|e| e.to_string())
+}
+
+/// Stacks per-clip tensors into the batch tensor.
+fn collate(clips: &[Tensor]) -> Result<Tensor, String> {
+    sand::frame::tensor::stack(clips).map_err(|e| e.to_string())
+}
+
+// ---------------------------------------------------------------------
+// One fully prepared batch.
+// ---------------------------------------------------------------------
+
+struct Batch {
+    epoch: u64,
+    iteration: u64,
+    tensor: Tensor,
+    labels: Vec<u32>,
+}
+
+/// Produces one batch: sample, decode, augment, normalize, collate —
+/// clips prepared in parallel across worker threads.
+fn produce_batch(
+    dataset: &Arc<Dataset>,
+    video_indices: &[usize],
+    epoch: u64,
+    iteration: u64,
+) -> Result<Batch, String> {
+    let (tx, rx) = mpsc::channel();
+    thread::scope(|scope| {
+        let chunk = video_indices.len().div_ceil(WORKERS);
+        for (w, part) in video_indices.chunks(chunk.max(1)).enumerate() {
+            let tx = tx.clone();
+            let dataset = Arc::clone(dataset);
+            let part: Vec<usize> = part.to_vec();
+            scope.spawn(move || {
+                for (k, &vi) in part.iter().enumerate() {
+                    let result = (|| {
+                        let video = &dataset.videos()[vi];
+                        let indices = sample_clip(video, epoch)?;
+                        let frames = decode_clip(video, &indices)?;
+                        let aug = draw_augmentation(video.video_id, epoch)?;
+                        let frames = augment_clip(frames, &aug)?;
+                        let tensor = clip_tensor(&frames)?;
+                        Ok::<(u32, Tensor), String>((video.class_id, tensor))
+                    })();
+                    let _ = tx.send((w * chunk + k, result));
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut slots: Vec<Option<(u32, Tensor)>> = (0..video_indices.len()).map(|_| None).collect();
+    for (slot, result) in rx {
+        slots[slot] = Some(result?);
+    }
+    let mut labels = Vec::with_capacity(slots.len());
+    let mut clips = Vec::with_capacity(slots.len());
+    for s in slots {
+        let (label, tensor) = s.ok_or("worker dropped a clip")?;
+        labels.push(label);
+        clips.push(tensor);
+    }
+    Ok(Batch { epoch, iteration, tensor: collate(&clips)?, labels })
+}
+
+// ---------------------------------------------------------------------
+// Prefetching: a producer thread keeps a bounded queue of ready batches
+// so the GPU does not wait on the pipeline (the application must build
+// this machinery too).
+// ---------------------------------------------------------------------
+
+fn spawn_producer(dataset: Arc<Dataset>) -> mpsc::Receiver<Result<Batch, String>> {
+    let (tx, rx) = mpsc::sync_channel(PREFETCH_DEPTH);
+    thread::spawn(move || {
+        for epoch in 0..EPOCHS {
+            let order = shuffled_order(dataset.len(), epoch);
+            let mut pending: VecDeque<usize> = order.into_iter().collect();
+            let mut iteration = 0u64;
+            while !pending.is_empty() {
+                let take = pending.len().min(VIDEOS_PER_BATCH);
+                let videos: Vec<usize> = pending.drain(..take).collect();
+                let batch = produce_batch(&dataset, &videos, epoch, iteration);
+                let failed = batch.is_err();
+                if tx.send(batch).is_err() || failed {
+                    return;
+                }
+                iteration += 1;
+            }
+        }
+    });
+    rx
+}
+
+// ---------------------------------------------------------------------
+// The training loop.
+// ---------------------------------------------------------------------
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = Arc::new(Dataset::generate(&DatasetSpec {
+        num_videos: 8,
+        frames_per_video: 48,
+        ..Default::default()
+    })?);
+    println!(
+        "dataset: {} videos, {:.1} MiB encoded",
+        dataset.len(),
+        dataset.encoded_size() as f64 / (1 << 20) as f64
+    );
+    let rx = spawn_producer(Arc::clone(&dataset));
+    let mut served = 0u64;
+    for batch in rx {
+        let batch = batch?;
+        println!(
+            "epoch {} iter {}: batch shape {:?}, labels {:?}, mean {:.4}",
+            batch.epoch,
+            batch.iteration,
+            batch.tensor.shape(),
+            batch.labels,
+            batch.tensor.mean()
+        );
+        served += 1;
+    }
+    println!("\nmanually served {served} batches — and every line above was ours to maintain");
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Guards the experiment harness: the cheap, structural experiments run
+//! in quick mode on every test sweep; the timing-heavy ones are compiled
+//! and exercised behind `--ignored` (they are meaningful only in release
+//! builds and take tens of seconds in debug).
+
+use sand_bench::figs;
+
+fn run(id: &str) -> String {
+    let (_, _, runner) = figs::all()
+        .into_iter()
+        .find(|(fid, _, _)| *fid == id)
+        .unwrap_or_else(|| panic!("unknown figure id {id}"));
+    runner(true).unwrap_or_else(|e| panic!("{id} failed: {e}"))
+}
+
+#[test]
+fn fig4_memory_model_is_structural() {
+    let out = run("fig4");
+    assert!(out.contains("1080p"));
+    assert!(out.contains("-9."), "expected the calibrated ~9% drop: {out}");
+}
+
+#[test]
+fn table3_counts_loc() {
+    let out = run("table3");
+    assert!(out.contains("manual pipeline"));
+    // The SAND data path stays under the paper's 8 lines.
+    let sand_line = out.lines().find(|l| l.contains("quickstart")).unwrap();
+    let loc: usize = sand_line
+        .split_whitespace()
+        .find_map(|tok| tok.parse().ok())
+        .expect("a LoC number on the SAND row");
+    assert!(loc <= 8, "SAND data path grew to {loc} lines");
+}
+
+#[test]
+fn fig16_reports_op_reductions() {
+    let out = run("fig16");
+    assert!(out.contains("decode"));
+    // Decode merging across the two same-geometry tasks is deterministic.
+    assert!(out.contains("-50.0%"), "{out}");
+}
+
+#[test]
+fn fig19_selection_concentrates_with_planning() {
+    let out = run("fig19");
+    let n4 = out.lines().find(|l| l.trim_start().starts_with("n = 4")).unwrap();
+    let pcts: Vec<f64> = n4
+        .split_whitespace()
+        .filter_map(|t| t.strip_suffix('%'))
+        .filter_map(|t| t.parse().ok())
+        .collect();
+    assert!(pcts.len() >= 2, "{n4}");
+    assert!(pcts[1] > pcts[0], "with SAND must exceed without: {n4}");
+}
+
+#[test]
+fn fig3_amplification_exceeds_one() {
+    let out = run("fig3");
+    let total = out.lines().find(|l| l.starts_with("TOTAL")).unwrap();
+    let amp: f64 = total
+        .split_whitespace()
+        .last()
+        .and_then(|t| t.strip_suffix('x'))
+        .and_then(|t| t.parse().ok())
+        .unwrap();
+    assert!(amp > 1.5, "decode amplification should be substantial: {amp}");
+}
+
+/// Timing-sensitive experiments: correctness of the harness only; the
+/// ratios are only meaningful in release (`figures all`).
+#[test]
+#[ignore = "timing-heavy; run explicitly with --ignored (debug ratios are meaningless)"]
+fn all_experiments_run_in_quick_mode() {
+    for (id, _, runner) in figs::all() {
+        let out = runner(true).unwrap_or_else(|e| panic!("{id} failed: {e}"));
+        assert!(!out.is_empty(), "{id} produced no output");
+    }
+}
