@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Continuous-integration gate: formatting, lints, build, tier-1 tests.
+# Run from the repository root. Fails fast on the first broken stage.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (tier-1)"
+cargo test -q
+
+echo "==> cargo test --workspace"
+cargo test -q --workspace
+
+echo "CI green."

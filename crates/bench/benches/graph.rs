@@ -1,11 +1,12 @@
 //! Criterion benchmarks for planning: abstract graph construction,
 //! concrete-graph build/merge, pruning, pool sampling, and draws.
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sand_config::{parse_task_config, SamplingConfig};
 use sand_graph::{
-    coordinated_draw, prune_to_budget, AbstractGraph, FramePool, PlanInput, Planner,
-    PlannerOptions,
+    coordinated_draw, prune_to_budget, AbstractGraph, FramePool, PlanInput, Planner, PlannerOptions,
 };
 use std::hint::black_box;
 
@@ -68,9 +69,16 @@ fn bench_plan(c: &mut Criterion) {
             |b, &n| {
                 b.iter(|| {
                     let planner = Planner::new(
-                        vec![PlanInput { task_id: 0, config: cfg.clone() }],
+                        vec![PlanInput {
+                            task_id: 0,
+                            config: cfg.clone(),
+                        }],
                         videos(n),
-                        PlannerOptions { seed: 7, coordinate: true, epochs: 0..1 },
+                        PlannerOptions {
+                            seed: 7,
+                            coordinate: true,
+                            epochs: 0..1,
+                        },
                     )
                     .unwrap();
                     black_box(planner.plan().unwrap())
@@ -82,11 +90,21 @@ fn bench_plan(c: &mut Criterion) {
         b.iter(|| {
             let planner = Planner::new(
                 vec![
-                    PlanInput { task_id: 0, config: cfg.clone() },
-                    PlanInput { task_id: 1, config: cfg.clone() },
+                    PlanInput {
+                        task_id: 0,
+                        config: cfg.clone(),
+                    },
+                    PlanInput {
+                        task_id: 1,
+                        config: cfg.clone(),
+                    },
                 ],
                 videos(64),
-                PlannerOptions { seed: 7, coordinate: true, epochs: 0..4 },
+                PlannerOptions {
+                    seed: 7,
+                    coordinate: true,
+                    epochs: 0..4,
+                },
             )
             .unwrap();
             black_box(planner.plan().unwrap())
@@ -98,22 +116,33 @@ fn bench_plan(c: &mut Criterion) {
 fn bench_prune(c: &mut Criterion) {
     let cfg = parse_task_config(TASK).unwrap();
     let planner = Planner::new(
-        vec![PlanInput { task_id: 0, config: cfg }],
+        vec![PlanInput {
+            task_id: 0,
+            config: cfg,
+        }],
         videos(64),
-        PlannerOptions { seed: 7, coordinate: true, epochs: 0..4 },
+        PlannerOptions {
+            seed: 7,
+            coordinate: true,
+            epochs: 0..4,
+        },
     )
     .unwrap();
     let graph = planner.plan().unwrap();
     let full = graph.cached_bytes();
     let mut group = c.benchmark_group("prune");
     for frac in [75u64, 50, 25] {
-        group.bench_with_input(BenchmarkId::new("to_budget_pct", frac), &frac, |b, &frac| {
-            b.iter_batched(
-                || graph.clone(),
-                |mut g| black_box(prune_to_budget(&mut g, full * frac / 100)),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("to_budget_pct", frac),
+            &frac,
+            |b, &frac| {
+                b.iter_batched(
+                    || graph.clone(),
+                    |mut g| black_box(prune_to_budget(&mut g, full * frac / 100)),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
     }
     group.finish();
 }
@@ -149,5 +178,11 @@ fn bench_pool_and_draw(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_abstract, bench_plan, bench_prune, bench_pool_and_draw);
+criterion_group!(
+    benches,
+    bench_abstract,
+    bench_plan,
+    bench_prune,
+    bench_pool_and_draw
+);
 criterion_main!(benches);

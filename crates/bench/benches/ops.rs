@@ -2,6 +2,8 @@
 //! augmentation, frame compression, and tensor assembly. These are the
 //! measurements behind the cost-model constants in `sand_frame::cost`.
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sand_codec::{Dataset, DatasetSpec, Decoder, EncoderConfig};
 use sand_frame::ops::{ColorJitter, Crop, Flip, FlipAxis, FrameOp, Interpolation, Resize};
@@ -19,7 +21,12 @@ fn dataset_b(w: usize, h: usize, b_frames: usize) -> Dataset {
         width: w,
         height: h,
         frames_per_video: 48,
-        encoder: EncoderConfig { gop_size: 24, quantizer: 4, fps_milli: 30_000, b_frames },
+        encoder: EncoderConfig {
+            gop_size: 24,
+            quantizer: 4,
+            fps_milli: 30_000,
+            b_frames,
+        },
         ..Default::default()
     })
     .expect("dataset")
@@ -103,7 +110,9 @@ fn bench_augmentation(c: &mut Criterion) {
         b.iter(|| black_box(crop.apply(&small).unwrap()))
     });
     let flip = Flip::new(FlipAxis::Horizontal);
-    group.bench_function("flip_48", |b| b.iter(|| black_box(flip.apply(&small).unwrap())));
+    group.bench_function("flip_48", |b| {
+        b.iter(|| black_box(flip.apply(&small).unwrap()))
+    });
     let jitter = ColorJitter::new(1.1, 0.9, 1.05).unwrap();
     group.bench_function("color_jitter_48", |b| {
         b.iter(|| black_box(jitter.apply(&small).unwrap()))
@@ -117,7 +126,9 @@ fn bench_compression(c: &mut Criterion) {
     let frame = &frames[5];
     let compressed = compress_frame(frame);
     let mut group = c.benchmark_group("frame_cache");
-    group.bench_function("compress_96", |b| b.iter(|| black_box(compress_frame(frame))));
+    group.bench_function("compress_96", |b| {
+        b.iter(|| black_box(compress_frame(frame)))
+    });
     group.bench_function("decompress_96", |b| {
         b.iter(|| black_box(decompress_frame(&compressed).unwrap()))
     });
@@ -133,7 +144,11 @@ fn bench_tensor(c: &mut Criterion) {
     let ds = dataset(96, 96);
     let frames = decoded_frames(&ds);
     let resize = Resize::new(48, 48, Interpolation::Bilinear).unwrap();
-    let clip: Vec<Frame> = frames.iter().take(8).map(|f| resize.apply(f).unwrap()).collect();
+    let clip: Vec<Frame> = frames
+        .iter()
+        .take(8)
+        .map(|f| resize.apply(f).unwrap())
+        .collect();
     let mean = [0.45f32, 0.45, 0.45];
     let std = [0.225f32, 0.225, 0.225];
     let mut group = c.benchmark_group("tensor");
@@ -149,5 +164,11 @@ fn bench_tensor(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_decode, bench_augmentation, bench_compression, bench_tensor);
+criterion_group!(
+    benches,
+    bench_decode,
+    bench_augmentation,
+    bench_compression,
+    bench_tensor
+);
 criterion_main!(benches);

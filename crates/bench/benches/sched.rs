@@ -1,12 +1,19 @@
 //! Criterion benchmarks for the materialization scheduler: submit/execute
 //! throughput and pick overhead under queue depth.
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sand_sched::{Job, JobKind, Policy, SchedConfig, Scheduler};
 use std::hint::black_box;
 
 fn job(kind: JobKind, deadline: u64) -> Job {
-    Job { kind, deadline, remaining_work: 1, run: Box::new(|| {}) }
+    Job {
+        kind,
+        deadline,
+        remaining_work: 1,
+        run: Box::new(|| {}),
+    }
 }
 
 fn bench_throughput(c: &mut Criterion) {
@@ -40,7 +47,10 @@ fn bench_demand_latency(c: &mut Criterion) {
     // Measures a demand job's end-to-end latency while the queue holds a
     // backlog of pre-materialization work.
     c.bench_function("sched_demand_latency_under_backlog", |b| {
-        let sched = Scheduler::new(SchedConfig { threads: 2, ..Default::default() });
+        let sched = Scheduler::new(SchedConfig {
+            threads: 2,
+            ..Default::default()
+        });
         for i in 0..256u64 {
             sched.submit(Job {
                 kind: JobKind::PreMaterialize,

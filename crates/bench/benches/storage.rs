@@ -1,12 +1,17 @@
 //! Criterion benchmarks for the tiered object store: put/get on both
 //! tiers, spill, and eviction sweeps.
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sand_storage::{ObjectMeta, ObjectStore, StoreConfig};
 use std::hint::black_box;
 
 fn meta(deadline: u64) -> ObjectMeta {
-    ObjectMeta { deadline: Some(deadline), future_uses: 2 }
+    ObjectMeta {
+        deadline: Some(deadline),
+        future_uses: 2,
+    }
 }
 
 fn bench_memory_tier(c: &mut Criterion) {
@@ -38,7 +43,11 @@ fn bench_disk_tier(c: &mut Criterion) {
     let dir = std::env::temp_dir().join(format!("sand_bench_store_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let store = ObjectStore::open(
-        StoreConfig { memory_budget: 1 << 20, memory_horizon: 0, ..Default::default() },
+        StoreConfig {
+            memory_budget: 1 << 20,
+            memory_horizon: 0,
+            ..Default::default()
+        },
         Some(dir.clone()),
     )
     .unwrap();
@@ -75,7 +84,9 @@ fn bench_eviction(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            store.put(&format!("churn{i}"), payload.clone(), meta(i)).unwrap()
+            store
+                .put(&format!("churn{i}"), payload.clone(), meta(i))
+                .unwrap()
         })
     });
 }

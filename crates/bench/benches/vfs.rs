@@ -1,6 +1,8 @@
 //! Criterion benchmarks for the view filesystem and end-to-end serving:
 //! path parsing, fd lifecycle, and batch reads through a live engine.
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use sand_codec::{Dataset, DatasetSpec, EncoderConfig};
 use sand_config::parse_task_config;
@@ -46,7 +48,12 @@ fn bench_serving(c: &mut Criterion) {
             width: 48,
             height: 48,
             frames_per_video: 24,
-            encoder: EncoderConfig { gop_size: 12, quantizer: 4, fps_milli: 30_000, b_frames: 0 },
+            encoder: EncoderConfig {
+                gop_size: 12,
+                quantizer: 4,
+                fps_milli: 30_000,
+                b_frames: 0,
+            },
             ..Default::default()
         })
         .unwrap(),

@@ -6,6 +6,8 @@
 //! figures list             list experiment ids
 //! ```
 
+#![allow(clippy::unwrap_used)]
+
 use sand_bench::figs;
 use std::process::ExitCode;
 
@@ -33,7 +35,10 @@ fn main() -> ExitCode {
     let selected: Vec<_> = if target == "all" {
         experiments
     } else {
-        experiments.into_iter().filter(|(id, _, _)| *id == target).collect()
+        experiments
+            .into_iter()
+            .filter(|(id, _, _)| *id == target)
+            .collect()
     };
     if selected.is_empty() {
         eprintln!("unknown experiment `{target}`\n\n{}", usage());
@@ -46,7 +51,10 @@ fn main() -> ExitCode {
         match runner(quick) {
             Ok(output) => {
                 println!("{output}");
-                println!("[{id} completed in {:.1}s]\n", started.elapsed().as_secs_f64());
+                println!(
+                    "[{id} completed in {:.1}s]\n",
+                    started.elapsed().as_secs_f64()
+                );
             }
             Err(e) => {
                 eprintln!("[{id} FAILED: {e}]\n");

@@ -10,9 +10,9 @@ use crate::table::Table;
 use crate::workloads::{slowfast, PIPELINE_WORKERS};
 use sand_codec::Dataset;
 use sand_core::{EngineConfig, SandEngine};
+use sand_sim::{GpuSim, GpuSpec, PowerModel};
 use sand_train::loaders::SandLoader;
 use sand_train::{SgdConfig, Trainer, TrainerConfig};
-use sand_sim::{GpuSim, GpuSpec, PowerModel};
 use std::sync::Arc;
 
 /// Runs the chunk-size sweep.
@@ -48,8 +48,7 @@ pub fn run(quick: bool) -> HarnessResult<String> {
             Arc::clone(&ds),
         )?;
         engine.start()?;
-        let mut loader =
-            SandLoader::with_prefetch(engine.clone(), &w.task.tag, 0..total_epochs, 2);
+        let mut loader = SandLoader::with_prefetch(engine.clone(), &w.task.tag, 0..total_epochs, 2);
         let gpu = Arc::new(GpuSim::new(GpuSpec::a100()));
         let trainer = Trainer::new(Arc::clone(&gpu), PowerModel::default());
         let report = trainer.run(
@@ -66,8 +65,14 @@ pub fn run(quick: bool) -> HarnessResult<String> {
         )?;
         table.row(vec![
             k.to_string(),
-            format!("{:.0}", engine.stats().decode.frames_decoded as f64 / total_epochs as f64),
-            format!("{:.1} ms", report.wall.as_secs_f64() * 1e3 / total_epochs as f64),
+            format!(
+                "{:.0}",
+                engine.stats().decode.frames_decoded as f64 / total_epochs as f64
+            ),
+            format!(
+                "{:.1} ms",
+                report.wall.as_secs_f64() * 1e3 / total_epochs as f64
+            ),
             format!("{:.0}%", report.utilization * 100.0),
         ]);
     }
@@ -75,8 +80,14 @@ pub fn run(quick: bool) -> HarnessResult<String> {
     let cpu = run_strategy(&w, &ds, Strategy::OnDemandCpu, 0..total_epochs, 7, false)?;
     table.row(vec![
         "(on-demand cpu)".into(),
-        format!("{:.0}", cpu.decode.frames_decoded as f64 / total_epochs as f64),
-        format!("{:.1} ms", cpu.wall.as_secs_f64() * 1e3 / total_epochs as f64),
+        format!(
+            "{:.0}",
+            cpu.decode.frames_decoded as f64 / total_epochs as f64
+        ),
+        format!(
+            "{:.1} ms",
+            cpu.wall.as_secs_f64() * 1e3 / total_epochs as f64
+        ),
         format!("{:.0}%", cpu.utilization * 100.0),
     ]);
     Ok(format!(

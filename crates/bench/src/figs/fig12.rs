@@ -51,8 +51,9 @@ pub(crate) fn search(
     } else {
         None
     };
-    let gpu_sims: Vec<Arc<GpuSim>> =
-        (0..gpus).map(|_| Arc::new(GpuSim::new(GpuSpec::a100()))).collect();
+    let gpu_sims: Vec<Arc<GpuSim>> = (0..gpus)
+        .map(|_| Arc::new(GpuSim::new(GpuSpec::a100())))
+        .collect();
     // The ideal baseline pre-stages everything before the clock starts.
     let ideal_prestage = if kind == LoaderKind::Ideal {
         let plan = sand_train::TaskPlan::single_task(&w.task, ds, 0..asha.max_epochs, 7)?;
@@ -71,7 +72,14 @@ pub(crate) fn search(
         power: PowerModel::default(),
         ideal_prestage,
     };
-    Ok(run_asha(asha, &w.task, &w.profile, &gpu_sims, &env, w.classes as usize)?)
+    Ok(run_asha(
+        asha,
+        &w.task,
+        &w.profile,
+        &gpu_sims,
+        &env,
+        w.classes as usize,
+    )?)
 }
 
 /// Runs the hyperparameter-search comparison.
@@ -88,9 +96,21 @@ pub fn run(quick: bool) -> HarnessResult<String> {
         "paper",
     ]);
     let asha = if quick {
-        AshaConfig { trials: 3, eta: 2, min_epochs: 1, max_epochs: 2, seed: 3 }
+        AshaConfig {
+            trials: 3,
+            eta: 2,
+            min_epochs: 1,
+            max_epochs: 2,
+            seed: 3,
+        }
     } else {
-        AshaConfig { trials: 6, eta: 2, min_epochs: 1, max_epochs: 4, seed: 3 }
+        AshaConfig {
+            trials: 6,
+            eta: 2,
+            min_epochs: 1,
+            max_epochs: 4,
+            seed: 3,
+        }
     };
     let gpus = if quick { 2 } else { 4 };
     let selected: Vec<Workload> = if quick {

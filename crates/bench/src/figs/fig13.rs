@@ -40,8 +40,9 @@ fn co_run(
     } else {
         None
     };
-    let gpus: Vec<Arc<GpuSim>> =
-        (0..jobs.len()).map(|_| Arc::new(GpuSim::new(GpuSpec::a100()))).collect();
+    let gpus: Vec<Arc<GpuSim>> = (0..jobs.len())
+        .map(|_| Arc::new(GpuSim::new(GpuSpec::a100())))
+        .collect();
     let env = RunnerEnv {
         dataset: Arc::clone(ds),
         kind,
@@ -53,7 +54,13 @@ fn co_run(
         power: PowerModel::default(),
         ideal_prestage: None,
     };
-    Ok(run_multitask(&MultitaskConfig { jobs: jobs.to_vec() }, &gpus, &env)?)
+    Ok(run_multitask(
+        &MultitaskConfig {
+            jobs: jobs.to_vec(),
+        },
+        &gpus,
+        &env,
+    )?)
 }
 
 /// Runs the heterogeneous multi-task comparison.

@@ -21,9 +21,21 @@ pub fn run(quick: bool) -> HarnessResult<String> {
     }
     let ds = Arc::new(Dataset::generate(&w.dataset)?);
     let asha = if quick {
-        AshaConfig { trials: 3, eta: 2, min_epochs: 1, max_epochs: 2, seed: 3 }
+        AshaConfig {
+            trials: 3,
+            eta: 2,
+            min_epochs: 1,
+            max_epochs: 2,
+            seed: 3,
+        }
     } else {
-        AshaConfig { trials: 6, eta: 2, min_epochs: 1, max_epochs: 4, seed: 3 }
+        AshaConfig {
+            trials: 6,
+            eta: 2,
+            min_epochs: 1,
+            max_epochs: 4,
+            seed: 3,
+        }
     };
     let gpus = 2;
     let total_energy = |outcome: &sand_ray::AshaOutcome| -> f64 {
@@ -46,7 +58,12 @@ pub fn run(quick: bool) -> HarnessResult<String> {
         format!("-{:.0}%", (1.0 - e_sand / e_gpu) * 100.0),
         "-15% to -38%".into(),
     ]);
-    table.row(vec!["sand".into(), format!("{e_sand:.1}"), String::new(), String::new()]);
+    table.row(vec![
+        "sand".into(),
+        format!("{e_sand:.1}"),
+        String::new(),
+        String::new(),
+    ]);
     Ok(format!(
         "Figure 15: total energy of a hyperparameter search ({})\n\n{}",
         w.name,

@@ -86,7 +86,12 @@ pub(crate) fn dataset_spec(quick: bool) -> DatasetSpec {
         width: 64,
         height: 64,
         frames_per_video: 96,
-        encoder: EncoderConfig { gop_size: 24, quantizer: 4, fps_milli: 30_000, b_frames: 0 },
+        encoder: EncoderConfig {
+            gop_size: 24,
+            quantizer: 4,
+            fps_milli: 30_000,
+            b_frames: 0,
+        },
         ..Default::default()
     }
 }
@@ -115,11 +120,21 @@ pub(crate) fn plan_stats(
         .collect();
     let planner = Planner::new(
         vec![
-            PlanInput { task_id: 0, config: parse_task_config(TASK_A)? },
-            PlanInput { task_id: 1, config: parse_task_config(TASK_B)? },
+            PlanInput {
+                task_id: 0,
+                config: parse_task_config(TASK_A)?,
+            },
+            PlanInput {
+                task_id: 1,
+                config: parse_task_config(TASK_B)?,
+            },
         ],
         videos,
-        PlannerOptions { seed: 7, coordinate, epochs },
+        PlannerOptions {
+            seed: 7,
+            coordinate,
+            epochs,
+        },
     )?;
     Ok(planner.plan()?.stats)
 }

@@ -98,7 +98,10 @@ fn run_case(
                 memory_horizon: 2,
             },
             store_dir: Some(dir.clone()),
-            sched: sand_sched::SchedConfig { threads: PIPELINE_WORKERS, ..Default::default() },
+            sched: sand_sched::SchedConfig {
+                threads: PIPELINE_WORKERS,
+                ..Default::default()
+            },
             ..Default::default()
         },
         Arc::clone(ds),
@@ -120,7 +123,12 @@ pub fn run(quick: bool) -> HarnessResult<String> {
         width: 96,
         height: 96,
         frames_per_video: 48,
-        encoder: EncoderConfig { gop_size: 24, quantizer: 4, fps_milli: 30_000, b_frames: 0 },
+        encoder: EncoderConfig {
+            gop_size: 24,
+            quantizer: 4,
+            fps_milli: 30_000,
+            b_frames: 0,
+        },
         ..Default::default()
     };
     let ds = Arc::new(Dataset::generate(&spec)?);
@@ -151,10 +159,17 @@ pub fn run(quick: bool) -> HarnessResult<String> {
         tasks
             .iter()
             .enumerate()
-            .map(|(i, t)| sand_graph::PlanInput { task_id: i as u32, config: t.clone() })
+            .map(|(i, t)| sand_graph::PlanInput {
+                task_id: i as u32,
+                config: t.clone(),
+            })
             .collect(),
         videos,
-        sand_graph::PlannerOptions { seed: 7, coordinate: true, epochs: 0..epochs },
+        sand_graph::PlannerOptions {
+            seed: 7,
+            coordinate: true,
+            epochs: 0..epochs,
+        },
     )?
     .plan()?;
     let leaf_bytes: u64 = probe
@@ -170,8 +185,10 @@ pub fn run(quick: bool) -> HarnessResult<String> {
         "pruning saves",
         "paper",
     ]);
-    for (name, frac, paper) in [("3TB-like (60%)", 0.60, "-10%"), ("1.5TB-like (30%)", 0.30, "-25%")]
-    {
+    for (name, frac, paper) in [
+        ("3TB-like (60%)", 0.60, "-10%"),
+        ("1.5TB-like (30%)", 0.30, "-25%"),
+    ] {
         let budget = ((leaf_bytes as f64) * frac) as u64;
         let unpruned = run_case(&ds, &tasks, epochs, budget, false)?;
         let pruned = run_case(&ds, &tasks, epochs, budget, true)?;

@@ -30,7 +30,11 @@ fn mean_iteration_time(
             total_epochs,
             epochs_per_chunk: total_epochs,
             seed: 7,
-            sched: SchedConfig { threads: PIPELINE_WORKERS, policy, ..Default::default() },
+            sched: SchedConfig {
+                threads: PIPELINE_WORKERS,
+                policy,
+                ..Default::default()
+            },
             ..Default::default()
         },
         Arc::clone(ds),
@@ -70,9 +74,22 @@ pub fn run(quick: bool) -> HarnessResult<String> {
     let mut with = Duration::ZERO;
     let mut without = Duration::ZERO;
     for _ in 0..reps {
-        with += mean_iteration_time(&ds, &w.task, &w.profile, total_epochs, serve_epochs, Policy::Priority)?;
-        without +=
-            mean_iteration_time(&ds, &w.task, &w.profile, total_epochs, serve_epochs, Policy::Fifo)?;
+        with += mean_iteration_time(
+            &ds,
+            &w.task,
+            &w.profile,
+            total_epochs,
+            serve_epochs,
+            Policy::Priority,
+        )?;
+        without += mean_iteration_time(
+            &ds,
+            &w.task,
+            &w.profile,
+            total_epochs,
+            serve_epochs,
+            Policy::Fifo,
+        )?;
     }
     let with = with / reps;
     let without = without / reps;

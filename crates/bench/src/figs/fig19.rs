@@ -56,7 +56,11 @@ pub fn run(quick: bool) -> HarnessResult<String> {
             format!("n = {n}"),
             format!("{:.1}%", at_least(&indep, n) * 100.0),
             format!("{:.1}%", at_least(&coord, n) * 100.0),
-            if n == 4 { "10.6% -> 60.1%".into() } else { String::new() },
+            if n == 4 {
+                "10.6% -> 60.1%".into()
+            } else {
+                String::new()
+            },
         ]);
     }
     Ok(format!(

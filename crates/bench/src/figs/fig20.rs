@@ -15,23 +15,43 @@ use sand_train::{SgdConfig, TaskPlan, Trainer, TrainerConfig};
 use std::sync::Arc;
 use std::time::Duration;
 
-fn losses(ds: &Arc<Dataset>, w: &crate::workloads::Workload, epochs: u64, coordinate: bool, seed: u64)
-    -> HarnessResult<Vec<f32>> {
-    let plan = Arc::new(TaskPlan::single_task_with(&w.task, ds, 0..epochs, seed, coordinate)?);
+fn losses(
+    ds: &Arc<Dataset>,
+    w: &crate::workloads::Workload,
+    epochs: u64,
+    coordinate: bool,
+    seed: u64,
+) -> HarnessResult<Vec<f32>> {
+    let plan = Arc::new(TaskPlan::single_task_with(
+        &w.task,
+        ds,
+        0..epochs,
+        seed,
+        coordinate,
+    )?);
     let iters = plan.iters_per_epoch;
     let mut loader = OnDemandCpuLoader::new(Arc::clone(ds), plan, PIPELINE_WORKERS, 2);
-    let trainer = Trainer::new(Arc::new(GpuSim::new(GpuSpec::a100())), PowerModel::default());
+    let trainer = Trainer::new(
+        Arc::new(GpuSim::new(GpuSpec::a100())),
+        PowerModel::default(),
+    );
     let mut profile = w.profile.clone();
     profile.iter_time = Duration::from_millis(1); // convergence test: no need to sleep
-    let report = trainer.run(&mut loader, &TrainerConfig {
-        profile,
-        epochs: 0..epochs,
-        iters_per_epoch: iters,
-        train_model: true,
-        classes: w.classes as usize,
-        opt: SgdConfig { lr: 0.2, ..Default::default() },
-        vcpus: VCPUS_PER_GPU,
-    })?;
+    let report = trainer.run(
+        &mut loader,
+        &TrainerConfig {
+            profile,
+            epochs: 0..epochs,
+            iters_per_epoch: iters,
+            train_model: true,
+            classes: w.classes as usize,
+            opt: SgdConfig {
+                lr: 0.2,
+                ..Default::default()
+            },
+            vcpus: VCPUS_PER_GPU,
+        },
+    )?;
     Ok(report.losses)
 }
 
@@ -56,7 +76,12 @@ pub fn run(quick: bool) -> HarnessResult<String> {
     let fresh = losses(&ds, &w, epochs, false, 1234)?;
     let lp = per_epoch(&planned, epochs);
     let lf = per_epoch(&fresh, epochs);
-    let mut table = Table::new(&["epoch", "loss (with planning)", "loss (fresh randomness)", "gap"]);
+    let mut table = Table::new(&[
+        "epoch",
+        "loss (with planning)",
+        "loss (fresh randomness)",
+        "gap",
+    ]);
     let mut max_gap = 0.0f32;
     for (e, (a, b)) in lp.iter().zip(lf.iter()).enumerate() {
         let gap = (a - b).abs();

@@ -18,8 +18,7 @@ const FIXED_OVERHEAD_FRAC: f64 = 0.2;
 /// Relative throughput at batch `b`, with the fixed overhead calibrated
 /// at `ref_b` (the unconstrained batch size).
 fn throughput(profile: &ModelProfile, b: usize, ref_b: usize) -> f64 {
-    let per_sample =
-        profile.iter_time.as_secs_f64() * (1.0 - FIXED_OVERHEAD_FRAC) / ref_b as f64;
+    let per_sample = profile.iter_time.as_secs_f64() * (1.0 - FIXED_OVERHEAD_FRAC) / ref_b as f64;
     let fixed = profile.iter_time.as_secs_f64() * FIXED_OVERHEAD_FRAC;
     b as f64 / (fixed + per_sample * b as f64)
 }

@@ -34,7 +34,12 @@ pub fn run(quick: bool) -> HarnessResult<String> {
         format!("{:.1}%", (1.0 - report.energy.cpu_share()) * 100.0),
         "58.4%".into(),
     ]);
-    table.row(vec!["total".into(), format!("{total:.1}"), "100%".into(), String::new()]);
+    table.row(vec![
+        "total".into(),
+        format!("{total:.1}"),
+        "100%".into(),
+        String::new(),
+    ]);
     Ok(format!(
         "Figure 5: component-wise energy of CPU-preprocessed training ({})\n\n{}",
         w.name,

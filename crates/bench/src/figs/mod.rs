@@ -28,30 +28,98 @@ pub mod table3;
 pub use crate::strategies::HarnessResult;
 
 /// One experiment: id, description, and its runner.
-pub type Experiment = (&'static str, &'static str, fn(bool) -> HarnessResult<String>);
+pub type Experiment = (
+    &'static str,
+    &'static str,
+    fn(bool) -> HarnessResult<String>,
+);
 
 /// All experiments in paper order.
 #[must_use]
 pub fn all() -> Vec<Experiment> {
     vec![
-        ("fig2a", "preprocessing overhead of VDL applications", fig2::run_a),
-        ("fig2b", "GPU utilization of on-demand pipelines", fig2::run_b),
-        ("fig3", "per-iteration decode trace (decode-and-discard)", fig3::run),
-        ("fig4", "GPU decoding steals device memory (batch sizes)", fig4::run),
-        ("fig5", "component-wise energy during CPU-bound training", fig5::run),
-        ("scale", "Section 3 arithmetic at true Kinetics/A100 scale", scale::run),
-        ("fig11", "single-task training time and GPU utilization", fig11::run),
-        ("naive", "naive frame-caching baseline (Sec. 7.2)", naive::run),
-        ("fig12", "hyperparameter search with Ray-style ASHA", fig12::run),
+        (
+            "fig2a",
+            "preprocessing overhead of VDL applications",
+            fig2::run_a,
+        ),
+        (
+            "fig2b",
+            "GPU utilization of on-demand pipelines",
+            fig2::run_b,
+        ),
+        (
+            "fig3",
+            "per-iteration decode trace (decode-and-discard)",
+            fig3::run,
+        ),
+        (
+            "fig4",
+            "GPU decoding steals device memory (batch sizes)",
+            fig4::run,
+        ),
+        (
+            "fig5",
+            "component-wise energy during CPU-bound training",
+            fig5::run,
+        ),
+        (
+            "scale",
+            "Section 3 arithmetic at true Kinetics/A100 scale",
+            scale::run,
+        ),
+        (
+            "fig11",
+            "single-task training time and GPU utilization",
+            fig11::run,
+        ),
+        (
+            "naive",
+            "naive frame-caching baseline (Sec. 7.2)",
+            naive::run,
+        ),
+        (
+            "fig12",
+            "hyperparameter search with Ray-style ASHA",
+            fig12::run,
+        ),
         ("fig13", "multiple heterogeneous task training", fig13::run),
-        ("fig14", "distributed training with remote storage", fig14::run),
-        ("fig15", "power consumption of hyperparameter search", fig15::run),
+        (
+            "fig14",
+            "distributed training with remote storage",
+            fig14::run,
+        ),
+        (
+            "fig15",
+            "power consumption of hyperparameter search",
+            fig15::run,
+        ),
         ("table3", "lines of preprocessing code", table3::run),
-        ("fig16", "operations per epoch with materialization planning", fig16::run),
-        ("fig17", "preprocessing time vs. storage budget (pruning)", fig17::run),
-        ("fig18", "iteration time with/without priority scheduling", fig18::run),
-        ("fig19", "CDF of frame selection counts over ten epochs", fig19::run),
+        (
+            "fig16",
+            "operations per epoch with materialization planning",
+            fig16::run,
+        ),
+        (
+            "fig17",
+            "preprocessing time vs. storage budget (pruning)",
+            fig17::run,
+        ),
+        (
+            "fig18",
+            "iteration time with/without priority scheduling",
+            fig18::run,
+        ),
+        (
+            "fig19",
+            "CDF of frame selection counts over ten epochs",
+            fig19::run,
+        ),
         ("fig20", "loss curves with and without planning", fig20::run),
-        ("ablate-chunk", "ablation: epochs per concrete-graph chunk", ablate_chunk::run),
+        (
+            "ablate-chunk",
+            "ablation: epochs per concrete-graph chunk",
+            ablate_chunk::run,
+        ),
     ]
 }

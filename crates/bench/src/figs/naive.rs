@@ -24,9 +24,22 @@ pub fn run(quick: bool) -> HarnessResult<String> {
     let budget = ds.decoded_size() * 4 / 100;
     let epochs = if quick { 0..2 } else { 0..6u64 };
     let cpu = run_strategy(&w, &ds, Strategy::OnDemandCpu, epochs.clone(), 7, false)?;
-    let naive = run_strategy(&w, &ds, Strategy::NaiveCache(budget), epochs.clone(), 7, false)?;
+    let naive = run_strategy(
+        &w,
+        &ds,
+        Strategy::NaiveCache(budget),
+        epochs.clone(),
+        7,
+        false,
+    )?;
     let sand = run_strategy(&w, &ds, Strategy::Sand, epochs, 7, false)?;
-    let mut table = Table::new(&["strategy", "wall", "frames decoded", "speedup vs cpu", "paper"]);
+    let mut table = Table::new(&[
+        "strategy",
+        "wall",
+        "frames decoded",
+        "speedup vs cpu",
+        "paper",
+    ]);
     let rows = [
         ("on-demand cpu", &cpu, String::new()),
         ("naive cache (4% of decoded)", &naive, "+2.7%".to_string()),

@@ -42,7 +42,11 @@ pub fn run(_quick: bool) -> HarnessResult<String> {
     ]);
     table.row(vec![
         "vCPUs for <10% GPU stalls".into(),
-        format!("{:.0} (= {:.1}x of 12)", training.vcpus_for_stall(0.10), training.vcpus_for_stall(0.10) / 12.0),
+        format!(
+            "{:.0} (= {:.1}x of 12)",
+            training.vcpus_for_stall(0.10),
+            training.vcpus_for_stall(0.10) / 12.0
+        ),
         "roughly 4-5x more than provided".into(),
     ]);
     Ok(format!(

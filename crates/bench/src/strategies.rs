@@ -57,8 +57,7 @@ pub fn run_strategy(
 ) -> HarnessResult<RunReport> {
     let gpu = Arc::new(GpuSim::new(GpuSpec::a100()));
     let trainer = Trainer::new(Arc::clone(&gpu), PowerModel::default());
-    let iters = (dataset.len() as u64)
-        .div_ceil(workload.task.sampling.videos_per_batch as u64);
+    let iters = (dataset.len() as u64).div_ceil(workload.task.sampling.videos_per_batch as u64);
     let config = TrainerConfig {
         profile: workload.profile.clone(),
         epochs: epochs.clone(),
@@ -86,7 +85,12 @@ pub fn run_strategy(
                 Arc::clone(dataset),
             )?;
             engine.start()?;
-            Box::new(SandLoader::with_prefetch(engine, &workload.task.tag, epochs.clone(), 2))
+            Box::new(SandLoader::with_prefetch(
+                engine,
+                &workload.task.tag,
+                epochs.clone(),
+                2,
+            ))
         }
         Strategy::OnDemandCpu => {
             let plan = Arc::new(TaskPlan::single_task(
@@ -133,8 +137,7 @@ pub fn run_strategy(
             ))
         }
         Strategy::Ideal => {
-            let plan =
-                TaskPlan::single_task(&workload.task, dataset, epochs.clone(), seed)?;
+            let plan = TaskPlan::single_task(&workload.task, dataset, epochs.clone(), seed)?;
             Box::new(IdealLoader::new(dataset, &plan)?)
         }
     };

@@ -11,7 +11,10 @@ impl Table {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new(header: &[&str]) -> Self {
-        Table { header: header.iter().map(|s| (*s).to_string()).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (cells are stringified by the caller).
@@ -22,9 +25,10 @@ impl Table {
     /// Renders the table.
     #[must_use]
     pub fn render(&self) -> String {
-        let cols = self.header.len().max(
-            self.rows.iter().map(Vec::len).max().unwrap_or(0),
-        );
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; cols];
         for (i, h) in self.header.iter().enumerate() {
             widths[i] = widths[i].max(h.len());
@@ -58,7 +62,10 @@ impl Table {
 
 impl std::iter::FromIterator<String> for Table {
     fn from_iter<T: IntoIterator<Item = String>>(iter: T) -> Self {
-        Table { header: iter.into_iter().collect(), rows: Vec::new() }
+        Table {
+            header: iter.into_iter().collect(),
+            rows: Vec::new(),
+        }
     }
 }
 

@@ -98,7 +98,12 @@ dataset:
             width: 96,
             height: 96,
             frames_per_video: 48,
-            encoder: EncoderConfig { gop_size: 24, quantizer: 4, fps_milli: 30_000, b_frames: 0 },
+            encoder: EncoderConfig {
+                gop_size: 24,
+                quantizer: 4,
+                fps_milli: 30_000,
+                b_frames: 0,
+            },
             ..Default::default()
         },
         classes: 4,
@@ -149,7 +154,12 @@ dataset:
             width: 96,
             height: 96,
             frames_per_video: 48,
-            encoder: EncoderConfig { gop_size: 24, quantizer: 4, fps_milli: 30_000, b_frames: 0 },
+            encoder: EncoderConfig {
+                gop_size: 24,
+                quantizer: 4,
+                fps_milli: 30_000,
+                b_frames: 0,
+            },
             ..Default::default()
         },
         classes: 4,
@@ -203,7 +213,12 @@ dataset:
             width: 96,
             height: 96,
             frames_per_video: 72,
-            encoder: EncoderConfig { gop_size: 24, quantizer: 4, fps_milli: 30_000, b_frames: 0 },
+            encoder: EncoderConfig {
+                gop_size: 24,
+                quantizer: 4,
+                fps_milli: 30_000,
+                b_frames: 0,
+            },
             ..Default::default()
         },
         classes: 4,
@@ -247,7 +262,12 @@ dataset:
             width: 160,
             height: 160,
             frames_per_video: 36,
-            encoder: EncoderConfig { gop_size: 18, quantizer: 4, fps_milli: 30_000, b_frames: 0 },
+            encoder: EncoderConfig {
+                gop_size: 18,
+                quantizer: 4,
+                fps_milli: 30_000,
+                b_frames: 0,
+            },
             ..Default::default()
         },
         classes: 4,
@@ -263,7 +283,9 @@ pub fn workloads() -> Vec<Workload> {
 /// Finds a workload by (case-insensitive) name.
 #[must_use]
 pub fn workload_by_name(name: &str) -> Option<Workload> {
-    workloads().into_iter().find(|w| w.name.eq_ignore_ascii_case(name))
+    workloads()
+        .into_iter()
+        .find(|w| w.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]

@@ -55,7 +55,9 @@ impl FrameKind {
             0 => Ok(FrameKind::Intra),
             1 => Ok(FrameKind::Predicted),
             2 => Ok(FrameKind::Bidirectional),
-            _ => Err(CodecError::Corrupt { what: "unknown frame kind" }),
+            _ => Err(CodecError::Corrupt {
+                what: "unknown frame kind",
+            }),
         }
     }
 
@@ -135,7 +137,10 @@ impl EncodedVideo {
     /// This is where any decode targeting `index` must start.
     pub fn keyframe_before(&self, index: usize) -> Result<usize> {
         if index >= self.frames.len() {
-            return Err(CodecError::FrameOutOfRange { index, len: self.frames.len() });
+            return Err(CodecError::FrameOutOfRange {
+                index,
+                len: self.frames.len(),
+            });
         }
         let mut k = index;
         loop {
@@ -144,7 +149,9 @@ impl EncodedVideo {
             }
             if k == 0 {
                 // Malformed stream: no leading keyframe.
-                return Err(CodecError::Corrupt { what: "stream does not start with a keyframe" });
+                return Err(CodecError::Corrupt {
+                    what: "stream does not start with a keyframe",
+                });
             }
             k -= 1;
         }
@@ -153,7 +160,10 @@ impl EncodedVideo {
     /// Index of the anchor (I or P) at or before `index`.
     pub fn anchor_before(&self, index: usize) -> Result<usize> {
         if index >= self.frames.len() {
-            return Err(CodecError::FrameOutOfRange { index, len: self.frames.len() });
+            return Err(CodecError::FrameOutOfRange {
+                index,
+                len: self.frames.len(),
+            });
         }
         let mut k = index;
         loop {
@@ -161,7 +171,9 @@ impl EncodedVideo {
                 return Ok(k);
             }
             if k == 0 {
-                return Err(CodecError::Corrupt { what: "stream does not start with an anchor" });
+                return Err(CodecError::Corrupt {
+                    what: "stream does not start with an anchor",
+                });
             }
             k -= 1;
         }
@@ -173,7 +185,10 @@ impl EncodedVideo {
     /// B-run (which a well-formed encoder never emits).
     pub fn anchor_after(&self, index: usize) -> Result<Option<usize>> {
         if index >= self.frames.len() {
-            return Err(CodecError::FrameOutOfRange { index, len: self.frames.len() });
+            return Err(CodecError::FrameOutOfRange {
+                index,
+                len: self.frames.len(),
+            });
         }
         Ok(self.frames[index + 1..]
             .iter()
@@ -210,14 +225,20 @@ impl EncodedVideo {
     /// Parses container bytes back into an [`EncodedVideo`].
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         if bytes.len() < 5 || bytes[..4] != MAGIC {
-            return Err(CodecError::Corrupt { what: "bad container magic" });
+            return Err(CodecError::Corrupt {
+                what: "bad container magic",
+            });
         }
         if bytes[4] != VERSION {
-            return Err(CodecError::Corrupt { what: "unsupported container version" });
+            return Err(CodecError::Corrupt {
+                what: "unsupported container version",
+            });
         }
         let mut pos = 5;
         let gv = |pos: &mut usize| -> Result<u64> {
-            get_varint(bytes, pos).map_err(|_| CodecError::Corrupt { what: "truncated header" })
+            get_varint(bytes, pos).map_err(|_| CodecError::Corrupt {
+                what: "truncated header",
+            })
         };
         let video_id = gv(&mut pos)?;
         let class_id = gv(&mut pos)? as u32;
@@ -225,24 +246,29 @@ impl EncodedVideo {
         let height = gv(&mut pos)? as usize;
         let fps_milli = gv(&mut pos)? as u32;
         let gop_size = gv(&mut pos)? as usize;
-        let format = PixelFormat::from_tag(
-            *bytes.get(pos).ok_or(CodecError::Corrupt { what: "truncated format" })?,
-        )
-        .map_err(|_| CodecError::Corrupt { what: "bad pixel format" })?;
+        let format = PixelFormat::from_tag(*bytes.get(pos).ok_or(CodecError::Corrupt {
+            what: "truncated format",
+        })?)
+        .map_err(|_| CodecError::Corrupt {
+            what: "bad pixel format",
+        })?;
         pos += 1;
-        let quantizer =
-            *bytes.get(pos).ok_or(CodecError::Corrupt { what: "truncated quantizer" })?;
+        let quantizer = *bytes.get(pos).ok_or(CodecError::Corrupt {
+            what: "truncated quantizer",
+        })?;
         pos += 1;
         let count = gv(&mut pos)? as usize;
         if count > 1 << 24 {
-            return Err(CodecError::Corrupt { what: "implausible frame count" });
+            return Err(CodecError::Corrupt {
+                what: "implausible frame count",
+            });
         }
         let mut kinds = Vec::with_capacity(count);
         let mut lens = Vec::with_capacity(count);
         for _ in 0..count {
-            let kind = FrameKind::from_tag(
-                *bytes.get(pos).ok_or(CodecError::Corrupt { what: "truncated frame index" })?,
-            )?;
+            let kind = FrameKind::from_tag(*bytes.get(pos).ok_or(CodecError::Corrupt {
+                what: "truncated frame index",
+            })?)?;
             pos += 1;
             let len = gv(&mut pos)? as usize;
             kinds.push(kind);
@@ -250,13 +276,18 @@ impl EncodedVideo {
         }
         let mut frames = Vec::with_capacity(count);
         for i in 0..count {
-            let end = pos
-                .checked_add(lens[i])
-                .ok_or(CodecError::Corrupt { what: "payload length overflow" })?;
+            let end = pos.checked_add(lens[i]).ok_or(CodecError::Corrupt {
+                what: "payload length overflow",
+            })?;
             if end > bytes.len() {
-                return Err(CodecError::Corrupt { what: "truncated frame payload" });
+                return Err(CodecError::Corrupt {
+                    what: "truncated frame payload",
+                });
             }
-            frames.push(EncodedFrame { kind: kinds[i], payload: bytes[pos..end].to_vec() });
+            frames.push(EncodedFrame {
+                kind: kinds[i],
+                payload: bytes[pos..end].to_vec(),
+            });
             pos = end;
         }
         Ok(EncodedVideo {
@@ -292,10 +323,22 @@ mod tests {
                 quantizer: 4,
             },
             frames: vec![
-                EncodedFrame { kind: FrameKind::Intra, payload: vec![1, 2, 3] },
-                EncodedFrame { kind: FrameKind::Predicted, payload: vec![4, 5] },
-                EncodedFrame { kind: FrameKind::Predicted, payload: vec![] },
-                EncodedFrame { kind: FrameKind::Intra, payload: vec![6] },
+                EncodedFrame {
+                    kind: FrameKind::Intra,
+                    payload: vec![1, 2, 3],
+                },
+                EncodedFrame {
+                    kind: FrameKind::Predicted,
+                    payload: vec![4, 5],
+                },
+                EncodedFrame {
+                    kind: FrameKind::Predicted,
+                    payload: vec![],
+                },
+                EncodedFrame {
+                    kind: FrameKind::Intra,
+                    payload: vec![6],
+                },
             ],
         }
     }
@@ -320,7 +363,10 @@ mod tests {
     fn missing_leading_keyframe_detected() {
         let mut v = sample();
         v.frames[0].kind = FrameKind::Predicted;
-        assert!(matches!(v.keyframe_before(1), Err(CodecError::Corrupt { .. })));
+        assert!(matches!(
+            v.keyframe_before(1),
+            Err(CodecError::Corrupt { .. })
+        ));
     }
 
     #[test]

@@ -57,7 +57,9 @@ impl DatasetSpec {
     /// Validates the specification.
     pub fn validate(&self) -> Result<()> {
         if self.num_videos == 0 {
-            return Err(CodecError::InvalidConfig { what: "num_videos must be nonzero" });
+            return Err(CodecError::InvalidConfig {
+                what: "num_videos must be nonzero",
+            });
         }
         self.encoder.validate()?;
         SynthSpec {
@@ -141,7 +143,10 @@ impl Dataset {
                 encoded: Arc::new(encoded),
             });
         }
-        Ok(Dataset { videos, spec: Some(*spec) })
+        Ok(Dataset {
+            videos,
+            spec: Some(*spec),
+        })
     }
 
     /// Generates a dataset and writes each video as a `.svid` file in `dir`.
@@ -162,7 +167,9 @@ impl Dataset {
             .collect();
         paths.sort();
         if paths.is_empty() {
-            return Err(CodecError::InvalidConfig { what: "no .svid files in dataset dir" });
+            return Err(CodecError::InvalidConfig {
+                what: "no .svid files in dataset dir",
+            });
         }
         let mut videos = Vec::with_capacity(paths.len());
         for p in paths {
@@ -251,7 +258,12 @@ mod tests {
             width: 16,
             height: 16,
             frames_per_video: 12,
-            encoder: EncoderConfig { gop_size: 6, quantizer: 4, fps_milli: 30_000, b_frames: 0 },
+            encoder: EncoderConfig {
+                gop_size: 6,
+                quantizer: 4,
+                fps_milli: 30_000,
+                b_frames: 0,
+            },
             ..Default::default()
         }
     }
@@ -319,7 +331,10 @@ mod tests {
 
     #[test]
     fn zero_videos_rejected() {
-        let spec = DatasetSpec { num_videos: 0, ..small_spec() };
+        let spec = DatasetSpec {
+            num_videos: 0,
+            ..small_spec()
+        };
         assert!(Dataset::generate(&spec).is_err());
     }
 }

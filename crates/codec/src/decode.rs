@@ -69,7 +69,10 @@ impl<'a> Decoder<'a> {
     /// Creates a decoder over `video`.
     #[must_use]
     pub fn new(video: &'a EncodedVideo) -> Self {
-        Decoder { video, stats: DecodeStats::default() }
+        Decoder {
+            video,
+            stats: DecodeStats::default(),
+        }
     }
 
     /// Work counters accumulated so far.
@@ -107,14 +110,20 @@ impl<'a> Decoder<'a> {
         self.stats.i_frames_decoded += 1;
         self.stats.payload_bytes += f.payload.len() as u64;
         self.stats.pixel_bytes += expected as u64;
-        let mut buckets = rle_unpack(&f.payload, expected)
-            .map_err(|_| CodecError::Corrupt { what: "bad i-frame payload" })?;
+        let mut buckets = rle_unpack(&f.payload, expected).map_err(|_| CodecError::Corrupt {
+            what: "bad i-frame payload",
+        })?;
         if stride == 0 {
-            return Err(CodecError::Corrupt { what: "zero stride" });
+            return Err(CodecError::Corrupt {
+                what: "zero stride",
+            });
         }
         unfilter_rows(&mut buckets, stride);
         let qv = u16::from(h.quantizer);
-        Ok(buckets.into_iter().map(|b| q::dequantize_intra(b, qv)).collect())
+        Ok(buckets
+            .into_iter()
+            .map(|b| q::dequantize_intra(b, qv))
+            .collect())
     }
 
     /// Decodes a residual-coded frame at `index` against `predictor`.
@@ -127,37 +136,47 @@ impl<'a> Decoder<'a> {
             FrameKind::Predicted => self.stats.p_frames_decoded += 1,
             FrameKind::Bidirectional => self.stats.b_frames_decoded += 1,
             FrameKind::Intra => {
-                return Err(CodecError::Corrupt { what: "intra frame in residual path" })
+                return Err(CodecError::Corrupt {
+                    what: "intra frame in residual path",
+                })
             }
         }
         self.stats.payload_bytes += f.payload.len() as u64;
         self.stats.pixel_bytes += expected as u64;
         let mut pos = 0usize;
-        let stream_len = get_varint(&f.payload, &mut pos)
-            .map_err(|_| CodecError::Corrupt { what: "bad residual stream length" })?
-            as usize;
-        let stream = rle_unpack(&f.payload[pos..], stream_len)
-            .map_err(|_| CodecError::Corrupt { what: "bad residual payload" })?;
+        let stream_len = get_varint(&f.payload, &mut pos).map_err(|_| CodecError::Corrupt {
+            what: "bad residual stream length",
+        })? as usize;
+        let stream =
+            rle_unpack(&f.payload[pos..], stream_len).map_err(|_| CodecError::Corrupt {
+                what: "bad residual payload",
+            })?;
         let qi = i16::from(h.quantizer);
         let mut out = Vec::with_capacity(expected);
         let mut spos = 0usize;
         for &p in predictor.iter() {
-            let steps = q::get_steps(&stream, &mut spos)
-                .ok_or(CodecError::Corrupt { what: "truncated residual stream" })?;
+            let steps = q::get_steps(&stream, &mut spos).ok_or(CodecError::Corrupt {
+                what: "truncated residual stream",
+            })?;
             // Widen: corrupted escape-coded streams can carry step counts
             // near i16::MAX, which would overflow in i16 arithmetic.
             let v = i32::from(p) + i32::from(steps) * i32::from(qi);
             out.push(v.clamp(0, 255) as u8);
         }
         if spos != stream.len() {
-            return Err(CodecError::Corrupt { what: "residual stream length mismatch" });
+            return Err(CodecError::Corrupt {
+                what: "residual stream length mismatch",
+            });
         }
         Ok(out)
     }
 
     /// Averages two anchor reconstructions (the B-frame predictor).
     fn average(a: &[u8], b: &[u8]) -> Vec<u8> {
-        a.iter().zip(b.iter()).map(|(&x, &y)| ((u16::from(x) + u16::from(y)) / 2) as u8).collect()
+        a.iter()
+            .zip(b.iter())
+            .map(|(&x, &y)| ((u16::from(x) + u16::from(y)) / 2) as u8)
+            .collect()
     }
 
     /// The anchor whose reconstruction a target needs before it can be
@@ -167,9 +186,9 @@ impl<'a> Decoder<'a> {
         if self.video.frames[target].kind.is_anchor() {
             Ok(target)
         } else {
-            self.video
-                .anchor_after(target)?
-                .ok_or(CodecError::Corrupt { what: "b-frame run with no following anchor" })
+            self.video.anchor_after(target)?.ok_or(CodecError::Corrupt {
+                what: "b-frame run with no following anchor",
+            })
         }
     }
 
@@ -234,19 +253,17 @@ impl<'a> Decoder<'a> {
                 }
             };
             while at < needed {
-                let next = self
-                    .video
-                    .anchor_after(at)?
-                    .ok_or(CodecError::Corrupt { what: "anchor chain ends early" })?;
+                let next = self.video.anchor_after(at)?.ok_or(CodecError::Corrupt {
+                    what: "anchor chain ends early",
+                })?;
                 // A trailing B-run's following anchor can be the next
                 // GOP's I-frame, which decodes independently.
                 let px = if self.video.frames[next].kind == FrameKind::Intra {
                     self.decode_intra(next)?
                 } else {
-                    let predictor = anchors
-                        .get(&at)
-                        .cloned()
-                        .ok_or(CodecError::Corrupt { what: "missing anchor reconstruction" })?;
+                    let predictor = anchors.get(&at).cloned().ok_or(CodecError::Corrupt {
+                        what: "missing anchor reconstruction",
+                    })?;
                     self.decode_residual(next, &predictor)?
                 };
                 if next != target && !sorted.contains(&next) {
@@ -257,18 +274,17 @@ impl<'a> Decoder<'a> {
                 chain_last = Some(at);
             }
             let pixels = if self.video.frames[target].kind.is_anchor() {
-                anchors
-                    .get(&target)
-                    .cloned()
-                    .ok_or(CodecError::Corrupt { what: "anchor not decoded" })?
+                anchors.get(&target).cloned().ok_or(CodecError::Corrupt {
+                    what: "anchor not decoded",
+                })?
             } else {
                 let before = self.video.anchor_before(target)?;
-                let pa = anchors
-                    .get(&before)
-                    .ok_or(CodecError::Corrupt { what: "preceding anchor not decoded" })?;
-                let pb = anchors
-                    .get(&needed)
-                    .ok_or(CodecError::Corrupt { what: "following anchor not decoded" })?;
+                let pa = anchors.get(&before).ok_or(CodecError::Corrupt {
+                    what: "preceding anchor not decoded",
+                })?;
+                let pb = anchors.get(&needed).ok_or(CodecError::Corrupt {
+                    what: "following anchor not decoded",
+                })?;
                 let predictor = Self::average(pa, pb);
                 self.decode_residual(target, &predictor)?
             };
@@ -318,10 +334,9 @@ impl<'a> Decoder<'a> {
                 }
             };
             while at < needed {
-                at = self
-                    .video
-                    .anchor_after(at)?
-                    .ok_or(CodecError::Corrupt { what: "anchor chain ends early" })?;
+                at = self.video.anchor_after(at)?.ok_or(CodecError::Corrupt {
+                    what: "anchor chain ends early",
+                })?;
                 touched += 1;
                 chain_last = Some(at);
             }
@@ -355,10 +370,15 @@ mod tests {
     }
 
     fn encode(frames: &[Frame], gop: usize, q: u8) -> EncodedVideo {
-        Encoder::new(EncoderConfig { gop_size: gop, quantizer: q, fps_milli: 30_000, b_frames: 0 })
-            .unwrap()
-            .encode(frames, 7, 2)
-            .unwrap()
+        Encoder::new(EncoderConfig {
+            gop_size: gop,
+            quantizer: q,
+            fps_milli: 30_000,
+            b_frames: 0,
+        })
+        .unwrap()
+        .encode(frames, 7, 2)
+        .unwrap()
     }
 
     #[test]
@@ -443,7 +463,11 @@ mod tests {
             let mut dec = Decoder::new(&v);
             let predicted = dec.decode_span(&picks).unwrap();
             dec.decode_indices(&picks).unwrap();
-            assert_eq!(predicted as u64, dec.stats().frames_decoded, "picks {picks:?}");
+            assert_eq!(
+                predicted as u64,
+                dec.stats().frames_decoded,
+                "picks {picks:?}"
+            );
         }
     }
 
@@ -471,10 +495,15 @@ mod tests {
     }
 
     fn encode_b(frames: &[Frame], gop: usize, q: u8, b: usize) -> EncodedVideo {
-        Encoder::new(EncoderConfig { gop_size: gop, quantizer: q, fps_milli: 30_000, b_frames: b })
-            .unwrap()
-            .encode(frames, 7, 2)
-            .unwrap()
+        Encoder::new(EncoderConfig {
+            gop_size: gop,
+            quantizer: q,
+            fps_milli: 30_000,
+            b_frames: b,
+        })
+        .unwrap()
+        .encode(frames, 7, 2)
+        .unwrap()
     }
 
     #[test]
@@ -527,7 +556,11 @@ mod tests {
             let mut dec = Decoder::new(&v);
             let predicted = dec.decode_span(&picks).unwrap();
             dec.decode_indices(&picks).unwrap();
-            assert_eq!(predicted as u64, dec.stats().frames_decoded, "picks {picks:?}");
+            assert_eq!(
+                predicted as u64,
+                dec.stats().frames_decoded,
+                "picks {picks:?}"
+            );
         }
     }
 
@@ -547,8 +580,16 @@ mod tests {
 
     #[test]
     fn stats_merge_adds_counters() {
-        let mut a = DecodeStats { frames_requested: 1, frames_decoded: 2, ..Default::default() };
-        let b = DecodeStats { frames_requested: 3, frames_decoded: 4, ..Default::default() };
+        let mut a = DecodeStats {
+            frames_requested: 1,
+            frames_decoded: 2,
+            ..Default::default()
+        };
+        let b = DecodeStats {
+            frames_requested: 3,
+            frames_decoded: 4,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.frames_requested, 4);
         assert_eq!(a.frames_decoded, 6);

@@ -25,7 +25,12 @@ pub struct EncoderConfig {
 
 impl Default for EncoderConfig {
     fn default() -> Self {
-        EncoderConfig { gop_size: 12, quantizer: 4, fps_milli: 30_000, b_frames: 0 }
+        EncoderConfig {
+            gop_size: 12,
+            quantizer: 4,
+            fps_milli: 30_000,
+            b_frames: 0,
+        }
     }
 }
 
@@ -33,10 +38,14 @@ impl EncoderConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
         if self.gop_size == 0 {
-            return Err(CodecError::InvalidConfig { what: "gop_size must be >= 1" });
+            return Err(CodecError::InvalidConfig {
+                what: "gop_size must be >= 1",
+            });
         }
         if self.quantizer == 0 {
-            return Err(CodecError::InvalidConfig { what: "quantizer must be >= 1" });
+            return Err(CodecError::InvalidConfig {
+                what: "quantizer must be >= 1",
+            });
         }
         if self.b_frames + 1 >= self.gop_size && self.gop_size > 1 {
             return Err(CodecError::InvalidConfig {
@@ -136,12 +145,14 @@ impl Encoder {
     ///
     /// `video_id` and `class_id` are carried verbatim into the header.
     pub fn encode(&self, frames: &[Frame], video_id: u64, class_id: u32) -> Result<EncodedVideo> {
-        let first = frames
-            .first()
-            .ok_or(CodecError::InvalidConfig { what: "cannot encode an empty video" })?;
+        let first = frames.first().ok_or(CodecError::InvalidConfig {
+            what: "cannot encode an empty video",
+        })?;
         for f in frames {
             if !f.same_shape(first) {
-                return Err(CodecError::InvalidConfig { what: "all frames must share a shape" });
+                return Err(CodecError::InvalidConfig {
+                    what: "all frames must share a shape",
+                });
             }
         }
         let q = u16::from(self.config.quantizer);
@@ -198,10 +209,12 @@ impl Encoder {
                 FrameKind::Intra => {
                     let src = frame.as_bytes();
                     let buckets: Vec<u8> = src.iter().map(|&v| quantize_intra(v, q)).collect();
-                    let recon: Vec<u8> =
-                        buckets.iter().map(|&b| dequantize_intra(b, q)).collect();
+                    let recon: Vec<u8> = buckets.iter().map(|&b| dequantize_intra(b, q)).collect();
                     let payload = rle_pack(&filter_rows(&buckets, frame.stride()));
-                    encoded[i] = Some(EncodedFrame { kind: FrameKind::Intra, payload });
+                    encoded[i] = Some(EncodedFrame {
+                        kind: FrameKind::Intra,
+                        payload,
+                    });
                     anchor_recons[i] = Some(recon);
                     prev_anchor = Some(i);
                 }
@@ -209,7 +222,10 @@ impl Encoder {
                     let prev = prev_anchor.expect("P-frame always has a prior anchor");
                     let predictor = anchor_recons[prev].as_ref().expect("anchor recon kept");
                     let (payload, recon) = encode_residual(frame.as_bytes(), predictor);
-                    encoded[i] = Some(EncodedFrame { kind: FrameKind::Predicted, payload });
+                    encoded[i] = Some(EncodedFrame {
+                        kind: FrameKind::Predicted,
+                        payload,
+                    });
                     anchor_recons[i] = Some(recon);
                     prev_anchor = Some(i);
                 }
@@ -235,10 +251,15 @@ impl Encoder {
                 .map(|(&a, &b)| ((u16::from(a) + u16::from(b)) / 2) as u8)
                 .collect();
             let (payload, _) = encode_residual(frame.as_bytes(), &predictor);
-            encoded[i] = Some(EncodedFrame { kind: FrameKind::Bidirectional, payload });
+            encoded[i] = Some(EncodedFrame {
+                kind: FrameKind::Bidirectional,
+                payload,
+            });
         }
-        let encoded: Vec<EncodedFrame> =
-            encoded.into_iter().map(|f| f.expect("all frames encoded")).collect();
+        let encoded: Vec<EncodedFrame> = encoded
+            .into_iter()
+            .map(|f| f.expect("all frames encoded"))
+            .collect();
         Ok(EncodedVideo {
             header: ContainerHeader {
                 video_id,
@@ -297,8 +318,16 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(Encoder::new(EncoderConfig { gop_size: 0, ..Default::default() }).is_err());
-        assert!(Encoder::new(EncoderConfig { quantizer: 0, ..Default::default() }).is_err());
+        assert!(Encoder::new(EncoderConfig {
+            gop_size: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(Encoder::new(EncoderConfig {
+            quantizer: 0,
+            ..Default::default()
+        })
+        .is_err());
         assert!(Encoder::new(EncoderConfig::default()).is_ok());
     }
 
@@ -318,12 +347,21 @@ mod tests {
 
     #[test]
     fn gop_structure_is_periodic() {
-        let enc =
-            Encoder::new(EncoderConfig { gop_size: 4, quantizer: 2, fps_milli: 30_000, b_frames: 0 }).unwrap();
+        let enc = Encoder::new(EncoderConfig {
+            gop_size: 4,
+            quantizer: 2,
+            fps_milli: 30_000,
+            b_frames: 0,
+        })
+        .unwrap();
         let frames: Vec<Frame> = (0..10).map(|i| flat(i * 10)).collect();
         let v = enc.encode(&frames, 1, 0).unwrap();
         for (i, f) in v.frames.iter().enumerate() {
-            let expect = if i % 4 == 0 { FrameKind::Intra } else { FrameKind::Predicted };
+            let expect = if i % 4 == 0 {
+                FrameKind::Intra
+            } else {
+                FrameKind::Predicted
+            };
             assert_eq!(f.kind, expect, "frame {i}");
         }
     }
@@ -352,7 +390,7 @@ mod tests {
                 assert_eq!(get_steps(&stream, &mut pos), Some(steps));
                 assert_eq!(pos, stream.len());
                 let back = steps * q;
-                assert!((r - back).abs() <= q - 1, "q={q} r={r} back={back}");
+                assert!((r - back).abs() < q, "q={q} r={r} back={back}");
             }
         }
     }
@@ -418,6 +456,9 @@ mod tests {
             .filter(|f| f.kind == FrameKind::Predicted)
             .map(|f| f.payload.len())
             .collect();
-        assert!(p_sizes.iter().all(|&s| s < 16), "p-frame sizes: {p_sizes:?}");
+        assert!(
+            p_sizes.iter().all(|&s| s < 16),
+            "p-frame sizes: {p_sizes:?}"
+        );
     }
 }

@@ -23,6 +23,8 @@
 //!   on a class label (so the tiny model in `sand-train` can learn),
 //! - [`dataset`]: generation and loading of whole synthetic datasets.
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod container;
 pub mod dataset;
 pub mod decode;

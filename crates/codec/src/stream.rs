@@ -59,7 +59,12 @@ impl VideoStream {
         let frames = synth.render_all()?;
         let class_id = (vid % u64::from(self.spec.num_classes)) as u32;
         let encoded = self.encoder.encode(&frames, vid, class_id)?;
-        Ok(VideoEntry { video_id: vid, class_id, name: video_name(vid), encoded: Arc::new(encoded) })
+        Ok(VideoEntry {
+            video_id: vid,
+            class_id,
+            name: video_name(vid),
+            encoded: Arc::new(encoded),
+        })
     }
 
     /// Returns the next video if it has "arrived", without blocking.

@@ -61,13 +61,19 @@ impl SynthSpec {
     /// Validates the specification.
     pub fn validate(&self) -> Result<()> {
         if self.width == 0 || self.height == 0 {
-            return Err(CodecError::InvalidConfig { what: "synth dimensions must be nonzero" });
+            return Err(CodecError::InvalidConfig {
+                what: "synth dimensions must be nonzero",
+            });
         }
         if self.frames == 0 {
-            return Err(CodecError::InvalidConfig { what: "synth frame count must be nonzero" });
+            return Err(CodecError::InvalidConfig {
+                what: "synth frame count must be nonzero",
+            });
         }
         if self.num_classes == 0 {
-            return Err(CodecError::InvalidConfig { what: "num_classes must be nonzero" });
+            return Err(CodecError::InvalidConfig {
+                what: "num_classes must be nonzero",
+            });
         }
         Ok(())
     }
@@ -119,7 +125,13 @@ impl VideoSynthesizer {
         // Static grain: per-pixel signed offsets fixed for the whole video.
         let amp = i16::from(spec.noise_level);
         let grain: Vec<i8> = (0..spec.width * spec.height)
-            .map(|_| if amp > 0 { rng.gen_range(-amp..=amp) as i8 } else { 0 })
+            .map(|_| {
+                if amp > 0 {
+                    rng.gen_range(-amp..=amp) as i8
+                } else {
+                    0
+                }
+            })
             .collect();
         // Class-dependent blobs: count, speed, and size all scale with the
         // class index, giving linearly separable temporal statistics.
@@ -138,7 +150,12 @@ impl VideoSynthesizer {
                 }
             })
             .collect();
-        Ok(VideoSynthesizer { spec, background, grain, blobs })
+        Ok(VideoSynthesizer {
+            spec,
+            background,
+            grain,
+            blobs,
+        })
     }
 
     /// The underlying spec.
@@ -191,7 +208,9 @@ impl VideoSynthesizer {
 
     /// Renders the whole video.
     pub fn render_all(&self) -> Result<Vec<Frame>> {
-        (0..self.spec.frames).map(|t| self.render_frame(t)).collect()
+        (0..self.spec.frames)
+            .map(|t| self.render_frame(t))
+            .collect()
     }
 }
 
@@ -201,22 +220,38 @@ mod tests {
 
     #[test]
     fn deterministic_rendering() {
-        let spec = SynthSpec { video_id: 9, class_id: 1, ..Default::default() };
-        let a = VideoSynthesizer::new(spec).unwrap().render_frame(5).unwrap();
-        let b = VideoSynthesizer::new(spec).unwrap().render_frame(5).unwrap();
+        let spec = SynthSpec {
+            video_id: 9,
+            class_id: 1,
+            ..Default::default()
+        };
+        let a = VideoSynthesizer::new(spec)
+            .unwrap()
+            .render_frame(5)
+            .unwrap();
+        let b = VideoSynthesizer::new(spec)
+            .unwrap()
+            .render_frame(5)
+            .unwrap();
         assert_eq!(a.as_bytes(), b.as_bytes());
     }
 
     #[test]
     fn different_videos_differ() {
-        let a = VideoSynthesizer::new(SynthSpec { video_id: 1, ..Default::default() })
-            .unwrap()
-            .render_frame(0)
-            .unwrap();
-        let b = VideoSynthesizer::new(SynthSpec { video_id: 2, ..Default::default() })
-            .unwrap()
-            .render_frame(0)
-            .unwrap();
+        let a = VideoSynthesizer::new(SynthSpec {
+            video_id: 1,
+            ..Default::default()
+        })
+        .unwrap()
+        .render_frame(0)
+        .unwrap();
+        let b = VideoSynthesizer::new(SynthSpec {
+            video_id: 2,
+            ..Default::default()
+        })
+        .unwrap()
+        .render_frame(0)
+        .unwrap();
         assert_ne!(a.as_bytes(), b.as_bytes());
     }
 
@@ -260,15 +295,30 @@ mod tests {
 
     #[test]
     fn invalid_specs_rejected() {
-        assert!(VideoSynthesizer::new(SynthSpec { width: 0, ..Default::default() }).is_err());
-        assert!(VideoSynthesizer::new(SynthSpec { frames: 0, ..Default::default() }).is_err());
-        assert!(VideoSynthesizer::new(SynthSpec { num_classes: 0, ..Default::default() })
-            .is_err());
+        assert!(VideoSynthesizer::new(SynthSpec {
+            width: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(VideoSynthesizer::new(SynthSpec {
+            frames: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(VideoSynthesizer::new(SynthSpec {
+            num_classes: 0,
+            ..Default::default()
+        })
+        .is_err());
     }
 
     #[test]
     fn metadata_carried() {
-        let s = VideoSynthesizer::new(SynthSpec { video_id: 42, ..Default::default() }).unwrap();
+        let s = VideoSynthesizer::new(SynthSpec {
+            video_id: 42,
+            ..Default::default()
+        })
+        .unwrap();
         let f = s.render_frame(7).unwrap();
         assert_eq!(f.meta.video_id, 42);
         assert_eq!(f.meta.index, 7);
@@ -276,7 +326,11 @@ mod tests {
 
     #[test]
     fn render_all_length() {
-        let s = VideoSynthesizer::new(SynthSpec { frames: 5, ..Default::default() }).unwrap();
+        let s = VideoSynthesizer::new(SynthSpec {
+            frames: 5,
+            ..Default::default()
+        })
+        .unwrap();
         assert_eq!(s.render_all().unwrap().len(), 5);
     }
 

@@ -1,6 +1,8 @@
 //! Property-based tests for the codec: round trips, dependency semantics,
 //! and container robustness.
 
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 use sand_codec::{Dataset, DatasetSpec, Decoder, EncodedVideo, Encoder, EncoderConfig};
 use sand_frame::{Frame, PixelFormat};
@@ -8,15 +10,13 @@ use sand_frame::{Frame, PixelFormat};
 /// Strategy producing a small raw video (frames share one shape).
 fn arb_video() -> impl Strategy<Value = Vec<Frame>> {
     (2usize..14, 4usize..14, 4usize..14).prop_flat_map(|(n, w, h)| {
-        prop::collection::vec(
-            prop::collection::vec(any::<u8>(), w * h..=w * h),
-            n..=n,
+        prop::collection::vec(prop::collection::vec(any::<u8>(), w * h..=w * h), n..=n).prop_map(
+            move |bufs| {
+                bufs.into_iter()
+                    .map(|b| Frame::from_vec(w, h, PixelFormat::Gray8, b).expect("shape"))
+                    .collect()
+            },
         )
-        .prop_map(move |bufs| {
-            bufs.into_iter()
-                .map(|b| Frame::from_vec(w, h, PixelFormat::Gray8, b).expect("shape"))
-                .collect()
-        })
     })
 }
 

@@ -79,7 +79,9 @@ impl Condition {
             "==" => CondOp::Eq,
             _ => return Err(err("unknown operator")),
         };
-        let value: u64 = tokens[2].parse().map_err(|_| err("value must be an integer"))?;
+        let value: u64 = tokens[2]
+            .parse()
+            .map_err(|_| err("value must be an integer"))?;
         Ok(Condition::Compare { var, op, value })
     }
 

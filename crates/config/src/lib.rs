@@ -18,6 +18,8 @@
 //! - [`condition`]: the tiny `iteration > 10000` expression language used
 //!   by conditional branches.
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod condition;
 pub mod parse;
 pub mod types;

@@ -1,9 +1,7 @@
 //! Conversion from parsed YAML to the typed configuration model.
 
 use crate::condition::Condition;
-use crate::types::{
-    AugOp, Branch, BranchArm, BranchType, InputSource, SamplingConfig, TaskConfig,
-};
+use crate::types::{AugOp, Branch, BranchArm, BranchType, InputSource, SamplingConfig, TaskConfig};
 use crate::yaml::{self, Value};
 use crate::{ConfigError, Result};
 
@@ -12,7 +10,9 @@ fn req_str(v: &Value, field: &str) -> Result<String> {
     v.get(field)
         .and_then(Value::as_str)
         .map(str::to_string)
-        .ok_or_else(|| ConfigError::MissingField { field: field.to_string() })
+        .ok_or_else(|| ConfigError::MissingField {
+            field: field.to_string(),
+        })
 }
 
 /// Fetches a required positive integer field.
@@ -20,7 +20,9 @@ fn req_usize(v: &Value, field: &str) -> Result<usize> {
     let i = v
         .get(field)
         .and_then(Value::as_int)
-        .ok_or_else(|| ConfigError::MissingField { field: field.to_string() })?;
+        .ok_or_else(|| ConfigError::MissingField {
+            field: field.to_string(),
+        })?;
     usize::try_from(i).map_err(|_| ConfigError::InvalidField {
         field: field.to_string(),
         what: "must be non-negative".into(),
@@ -32,13 +34,17 @@ fn str_list(v: &Value, field: &str) -> Result<Vec<String>> {
     let list = v
         .get(field)
         .and_then(Value::as_list)
-        .ok_or_else(|| ConfigError::MissingField { field: field.to_string() })?;
+        .ok_or_else(|| ConfigError::MissingField {
+            field: field.to_string(),
+        })?;
     list.iter()
         .map(|item| {
-            item.as_str().map(str::to_string).ok_or_else(|| ConfigError::InvalidField {
-                field: field.to_string(),
-                what: "expected string entries".into(),
-            })
+            item.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| ConfigError::InvalidField {
+                    field: field.to_string(),
+                    what: "expected string entries".into(),
+                })
         })
         .collect()
 }
@@ -105,7 +111,11 @@ fn parse_op(v: &Value) -> Result<AugOp> {
                     })
                 }
             };
-            AugOp::Resize { w, h, interpolation: interp }
+            AugOp::Resize {
+                w,
+                h,
+                interpolation: interp,
+            }
         }
         "random_crop" => {
             let shape = body.get("shape").ok_or(ConfigError::MissingField {
@@ -122,45 +132,65 @@ fn parse_op(v: &Value) -> Result<AugOp> {
             AugOp::CenterCrop { w, h }
         }
         "flip" => {
-            let prob = body.get("flip_prob").and_then(Value::as_float).unwrap_or(0.5);
+            let prob = body
+                .get("flip_prob")
+                .and_then(Value::as_float)
+                .unwrap_or(0.5);
             AugOp::Flip { prob }
         }
         "color_jitter" => AugOp::ColorJitter {
-            brightness: body.get("brightness").and_then(Value::as_float).unwrap_or(0.0),
-            contrast: body.get("contrast").and_then(Value::as_float).unwrap_or(0.0),
-            saturation: body.get("saturation").and_then(Value::as_float).unwrap_or(0.0),
+            brightness: body
+                .get("brightness")
+                .and_then(Value::as_float)
+                .unwrap_or(0.0),
+            contrast: body
+                .get("contrast")
+                .and_then(Value::as_float)
+                .unwrap_or(0.0),
+            saturation: body
+                .get("saturation")
+                .and_then(Value::as_float)
+                .unwrap_or(0.0),
         },
         "rotate" => {
             let angles = body
                 .get("angles")
                 .and_then(Value::as_list)
-                .ok_or(ConfigError::MissingField { field: "rotate.angles".into() })?
+                .ok_or(ConfigError::MissingField {
+                    field: "rotate.angles".into(),
+                })?
                 .iter()
                 .map(|a| {
-                    a.as_int().and_then(|x| u32::try_from(x).ok()).ok_or_else(|| {
-                        ConfigError::InvalidField {
+                    a.as_int()
+                        .and_then(|x| u32::try_from(x).ok())
+                        .ok_or_else(|| ConfigError::InvalidField {
                             field: "rotate.angles".into(),
                             what: "angles must be positive integers".into(),
-                        }
-                    })
+                        })
                 })
                 .collect::<Result<Vec<u32>>>()?;
             AugOp::Rotate { angles }
         }
         "inv_sample" => AugOp::Invert,
         "custom" => {
-            let name = body
-                .get("name")
-                .and_then(Value::as_str)
-                .ok_or(ConfigError::MissingField { field: "custom.name".into() })?;
-            AugOp::Custom { name: name.to_string() }
+            let name =
+                body.get("name")
+                    .and_then(Value::as_str)
+                    .ok_or(ConfigError::MissingField {
+                        field: "custom.name".into(),
+                    })?;
+            AugOp::Custom {
+                name: name.to_string(),
+            }
         }
         "blur" => {
             let radius = body
                 .get("radius")
                 .and_then(Value::as_int)
                 .and_then(|r| usize::try_from(r).ok())
-                .ok_or(ConfigError::MissingField { field: "blur.radius".into() })?;
+                .ok_or(ConfigError::MissingField {
+                    field: "blur.radius".into(),
+                })?;
             AugOp::Blur { radius }
         }
         "normalize" => {
@@ -179,7 +209,10 @@ fn parse_op(v: &Value) -> Result<AugOp> {
                     })
                     .collect()
             };
-            AugOp::Normalize { mean: floats("mean")?, std: floats("std")? }
+            AugOp::Normalize {
+                mean: floats("mean")?,
+                std: floats("std")?,
+            }
         }
         other => {
             return Err(ConfigError::InvalidField {
@@ -237,65 +270,80 @@ fn parse_branch(v: &Value) -> Result<Branch> {
     let branch_type = BranchType::parse(&req_str(v, "branch_type")?)?;
     let inputs = str_list(v, "inputs")?;
     let outputs = str_list(v, "outputs")?;
-    let arms = match branch_type {
-        BranchType::Single | BranchType::Merge => {
-            vec![BranchArm { condition: None, prob: None, ops: parse_ops(v.get("config"))? }]
-        }
-        BranchType::Conditional => {
-            let items = v
-                .get("branches")
-                .and_then(Value::as_list)
-                .ok_or(ConfigError::MissingField { field: "branches".into() })?;
-            items
-                .iter()
-                .map(|arm| {
-                    let cond = Condition::parse(&req_str(arm, "condition")?)?;
-                    Ok(BranchArm {
-                        condition: Some(cond),
-                        prob: None,
-                        ops: parse_ops_lenient(arm.get("config"))?,
+    let arms =
+        match branch_type {
+            BranchType::Single | BranchType::Merge => {
+                vec![BranchArm {
+                    condition: None,
+                    prob: None,
+                    ops: parse_ops(v.get("config"))?,
+                }]
+            }
+            BranchType::Conditional => {
+                let items = v.get("branches").and_then(Value::as_list).ok_or(
+                    ConfigError::MissingField {
+                        field: "branches".into(),
+                    },
+                )?;
+                items
+                    .iter()
+                    .map(|arm| {
+                        let cond = Condition::parse(&req_str(arm, "condition")?)?;
+                        Ok(BranchArm {
+                            condition: Some(cond),
+                            prob: None,
+                            ops: parse_ops_lenient(arm.get("config"))?,
+                        })
                     })
-                })
-                .collect::<Result<Vec<_>>>()?
-        }
-        BranchType::Random => {
-            let items = v
-                .get("branches")
-                .and_then(Value::as_list)
-                .ok_or(ConfigError::MissingField { field: "branches".into() })?;
-            items
-                .iter()
-                .map(|arm| {
-                    let prob = arm
-                        .get("prob")
-                        .and_then(Value::as_float)
-                        .ok_or(ConfigError::MissingField { field: "prob".into() })?;
-                    Ok(BranchArm {
-                        condition: None,
-                        prob: Some(prob),
-                        ops: parse_ops_lenient(arm.get("config"))?,
+                    .collect::<Result<Vec<_>>>()?
+            }
+            BranchType::Random => {
+                let items = v.get("branches").and_then(Value::as_list).ok_or(
+                    ConfigError::MissingField {
+                        field: "branches".into(),
+                    },
+                )?;
+                items
+                    .iter()
+                    .map(|arm| {
+                        let prob = arm.get("prob").and_then(Value::as_float).ok_or(
+                            ConfigError::MissingField {
+                                field: "prob".into(),
+                            },
+                        )?;
+                        Ok(BranchArm {
+                            condition: None,
+                            prob: Some(prob),
+                            ops: parse_ops_lenient(arm.get("config"))?,
+                        })
                     })
-                })
-                .collect::<Result<Vec<_>>>()?
-        }
-        BranchType::Multi => {
-            let items = v
-                .get("branches")
-                .and_then(Value::as_list)
-                .ok_or(ConfigError::MissingField { field: "branches".into() })?;
-            items
-                .iter()
-                .map(|arm| {
-                    Ok(BranchArm {
-                        condition: None,
-                        prob: None,
-                        ops: parse_ops_lenient(arm.get("config"))?,
+                    .collect::<Result<Vec<_>>>()?
+            }
+            BranchType::Multi => {
+                let items = v.get("branches").and_then(Value::as_list).ok_or(
+                    ConfigError::MissingField {
+                        field: "branches".into(),
+                    },
+                )?;
+                items
+                    .iter()
+                    .map(|arm| {
+                        Ok(BranchArm {
+                            condition: None,
+                            prob: None,
+                            ops: parse_ops_lenient(arm.get("config"))?,
+                        })
                     })
-                })
-                .collect::<Result<Vec<_>>>()?
-        }
-    };
-    Ok(Branch { name, branch_type, inputs, outputs, arms })
+                    .collect::<Result<Vec<_>>>()?
+            }
+        };
+    Ok(Branch {
+        name,
+        branch_type,
+        inputs,
+        outputs,
+        arms,
+    })
 }
 
 /// Parses a complete task configuration from YAML text.
@@ -322,12 +370,12 @@ fn parse_branch(v: &Value) -> Result<Branch> {
 /// ```
 pub fn parse_task_config(text: &str) -> Result<TaskConfig> {
     let doc = yaml::parse(text)?;
-    let ds = doc
-        .get("dataset")
-        .ok_or(ConfigError::MissingField { field: "dataset".into() })?;
-    let sampling_v = ds
-        .get("sampling")
-        .ok_or(ConfigError::MissingField { field: "dataset.sampling".into() })?;
+    let ds = doc.get("dataset").ok_or(ConfigError::MissingField {
+        field: "dataset".into(),
+    })?;
+    let sampling_v = ds.get("sampling").ok_or(ConfigError::MissingField {
+        field: "dataset.sampling".into(),
+    })?;
     let sampling = SamplingConfig {
         videos_per_batch: req_usize(sampling_v, "videos_per_batch")?,
         frames_per_video: req_usize(sampling_v, "frames_per_video")?,
@@ -339,9 +387,7 @@ pub fn parse_task_config(text: &str) -> Result<TaskConfig> {
     };
     let augmentation = match ds.get("augmentation") {
         None | Some(Value::Null) => Vec::new(),
-        Some(Value::List(items)) => {
-            items.iter().map(parse_branch).collect::<Result<Vec<_>>>()?
-        }
+        Some(Value::List(items)) => items.iter().map(parse_branch).collect::<Result<Vec<_>>>()?,
         Some(_) => {
             return Err(ConfigError::InvalidField {
                 field: "dataset.augmentation".into(),
@@ -423,14 +469,21 @@ dataset:
         assert_eq!(cfg.augmentation[0].branch_type, BranchType::Single);
         assert_eq!(
             cfg.augmentation[0].arms[0].ops,
-            vec![AugOp::Resize { w: 256, h: 320, interpolation: "bilinear".into() }]
+            vec![AugOp::Resize {
+                w: 256,
+                h: 320,
+                interpolation: "bilinear".into()
+            }]
         );
         assert_eq!(cfg.augmentation[1].branch_type, BranchType::Conditional);
         assert_eq!(cfg.augmentation[1].arms[0].ops, vec![AugOp::Invert]);
         assert_eq!(cfg.augmentation[1].arms[1].ops, vec![]);
         assert_eq!(cfg.augmentation[2].branch_type, BranchType::Random);
         assert_eq!(cfg.augmentation[2].arms[0].prob, Some(0.5));
-        assert_eq!(cfg.terminal_streams(), vec!["augmented_frame_2".to_string()]);
+        assert_eq!(
+            cfg.terminal_streams(),
+            vec!["augmented_frame_2".to_string()]
+        );
     }
 
     #[test]

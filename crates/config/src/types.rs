@@ -181,10 +181,17 @@ impl AugOp {
     /// Validates the op parameters.
     pub fn validate(&self) -> Result<()> {
         let bad = |what: String| {
-            Err(ConfigError::InvalidField { field: self.name().to_string(), what })
+            Err(ConfigError::InvalidField {
+                field: self.name().to_string(),
+                what,
+            })
         };
         match self {
-            AugOp::Resize { w, h, interpolation } => {
+            AugOp::Resize {
+                w,
+                h,
+                interpolation,
+            } => {
                 if *w == 0 || *h == 0 {
                     return bad("resize target must be nonzero".into());
                 }
@@ -202,10 +209,16 @@ impl AugOp {
                     return bad("flip probability must be in [0, 1]".into());
                 }
             }
-            AugOp::ColorJitter { brightness, contrast, saturation } => {
-                for (n, v) in
-                    [("brightness", brightness), ("contrast", contrast), ("saturation", saturation)]
-                {
+            AugOp::ColorJitter {
+                brightness,
+                contrast,
+                saturation,
+            } => {
+                for (n, v) in [
+                    ("brightness", brightness),
+                    ("contrast", contrast),
+                    ("saturation", saturation),
+                ] {
                     if !(0.0..=1.0).contains(v) {
                         return bad(format!("{n} deviation must be in [0, 1]"));
                     }
@@ -329,10 +342,15 @@ impl TaskConfig {
     /// catch-all (`else`) arm.
     pub fn validate(&self) -> Result<()> {
         if self.tag.is_empty() {
-            return Err(ConfigError::InvalidField { field: "tag".into(), what: "empty".into() });
+            return Err(ConfigError::InvalidField {
+                field: "tag".into(),
+                what: "empty".into(),
+            });
         }
         if self.video_dataset_path.is_empty() {
-            return Err(ConfigError::MissingField { field: "video_dataset_path".into() });
+            return Err(ConfigError::MissingField {
+                field: "video_dataset_path".into(),
+            });
         }
         self.sampling.validate()?;
         let mut produced: Vec<&str> = vec!["frame"];
@@ -424,7 +442,10 @@ impl TaskConfig {
                         })?;
                         if !(0.0..=1.0).contains(&p) {
                             return Err(ConfigError::InvalidGraph {
-                                what: format!("random branch `{}` arm {i} prob out of range", b.name),
+                                what: format!(
+                                    "random branch `{}` arm {i} prob out of range",
+                                    b.name
+                                ),
                             });
                         }
                         sum += p;
@@ -497,7 +518,11 @@ mod tests {
             branch_type: BranchType::Single,
             inputs: vec![input.into()],
             outputs: vec![output.into()],
-            arms: vec![BranchArm { condition: None, prob: None, ops }],
+            arms: vec![BranchArm {
+                condition: None,
+                prob: None,
+                ops,
+            }],
         }
     }
 
@@ -514,7 +539,16 @@ mod tests {
     #[test]
     fn valid_linear_pipeline() {
         let cfg = base_config(vec![
-            single("r", "frame", "a0", vec![AugOp::Resize { w: 64, h: 64, interpolation: "bilinear".into() }]),
+            single(
+                "r",
+                "frame",
+                "a0",
+                vec![AugOp::Resize {
+                    w: 64,
+                    h: 64,
+                    interpolation: "bilinear".into(),
+                }],
+            ),
             single("c", "a0", "a1", vec![AugOp::RandomCrop { w: 32, h: 32 }]),
         ]);
         cfg.validate().unwrap();
@@ -524,7 +558,10 @@ mod tests {
     #[test]
     fn undefined_input_stream_rejected() {
         let cfg = base_config(vec![single("c", "nope", "a0", vec![])]);
-        assert!(matches!(cfg.validate(), Err(ConfigError::InvalidGraph { .. })));
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::InvalidGraph { .. })
+        ));
     }
 
     #[test]
@@ -554,8 +591,16 @@ mod tests {
                 inputs: vec!["frame".into()],
                 outputs: vec!["a".into()],
                 arms: vec![
-                    BranchArm { condition: None, prob: Some(p1), ops: vec![] },
-                    BranchArm { condition: None, prob: Some(p2), ops: vec![] },
+                    BranchArm {
+                        condition: None,
+                        prob: Some(p1),
+                        ops: vec![],
+                    },
+                    BranchArm {
+                        condition: None,
+                        prob: Some(p2),
+                        ops: vec![],
+                    },
                 ],
             }])
         };
@@ -573,7 +618,11 @@ mod tests {
                 outputs: vec!["a".into()],
                 arms: conds
                     .into_iter()
-                    .map(|c| BranchArm { condition: Some(c), prob: None, ops: vec![] })
+                    .map(|c| BranchArm {
+                        condition: Some(c),
+                        prob: None,
+                        ops: vec![],
+                    })
                     .collect(),
             }])
         };
@@ -592,8 +641,16 @@ mod tests {
                 inputs: vec!["frame".into()],
                 outputs: vec!["x".into(), "y".into()],
                 arms: vec![
-                    BranchArm { condition: None, prob: None, ops: vec![] },
-                    BranchArm { condition: None, prob: None, ops: vec![AugOp::Invert] },
+                    BranchArm {
+                        condition: None,
+                        prob: None,
+                        ops: vec![],
+                    },
+                    BranchArm {
+                        condition: None,
+                        prob: None,
+                        ops: vec![AugOp::Invert],
+                    },
                 ],
             },
             Branch {
@@ -601,7 +658,11 @@ mod tests {
                 branch_type: BranchType::Merge,
                 inputs: vec!["x".into(), "y".into()],
                 outputs: vec!["z".into()],
-                arms: vec![BranchArm { condition: None, prob: None, ops: vec![] }],
+                arms: vec![BranchArm {
+                    condition: None,
+                    prob: None,
+                    ops: vec![],
+                }],
             },
         ]);
         cfg.validate().unwrap();
@@ -610,16 +671,42 @@ mod tests {
 
     #[test]
     fn op_validation() {
-        assert!(AugOp::Resize { w: 0, h: 4, interpolation: "bilinear".into() }.validate().is_err());
-        assert!(AugOp::Resize { w: 4, h: 4, interpolation: "cubic".into() }.validate().is_err());
+        assert!(AugOp::Resize {
+            w: 0,
+            h: 4,
+            interpolation: "bilinear".into()
+        }
+        .validate()
+        .is_err());
+        assert!(AugOp::Resize {
+            w: 4,
+            h: 4,
+            interpolation: "cubic".into()
+        }
+        .validate()
+        .is_err());
         assert!(AugOp::Flip { prob: 1.5 }.validate().is_err());
         assert!(AugOp::Rotate { angles: vec![45] }.validate().is_err());
         assert!(AugOp::Rotate { angles: vec![] }.validate().is_err());
-        assert!(AugOp::Normalize { mean: vec![0.5], std: vec![0.0] }.validate().is_err());
-        assert!(AugOp::Normalize { mean: vec![0.5], std: vec![0.5, 0.5] }.validate().is_err());
-        assert!(AugOp::ColorJitter { brightness: 2.0, contrast: 0.1, saturation: 0.1 }
-            .validate()
-            .is_err());
+        assert!(AugOp::Normalize {
+            mean: vec![0.5],
+            std: vec![0.0]
+        }
+        .validate()
+        .is_err());
+        assert!(AugOp::Normalize {
+            mean: vec![0.5],
+            std: vec![0.5, 0.5]
+        }
+        .validate()
+        .is_err());
+        assert!(AugOp::ColorJitter {
+            brightness: 2.0,
+            contrast: 0.1,
+            saturation: 0.1
+        }
+        .validate()
+        .is_err());
         assert!(AugOp::Invert.validate().is_ok());
     }
 
@@ -643,7 +730,12 @@ mod tests {
     fn stochastic_classification() {
         assert!(AugOp::RandomCrop { w: 4, h: 4 }.is_stochastic());
         assert!(AugOp::Flip { prob: 0.5 }.is_stochastic());
-        assert!(!AugOp::Resize { w: 4, h: 4, interpolation: "nearest".into() }.is_stochastic());
+        assert!(!AugOp::Resize {
+            w: 4,
+            h: 4,
+            interpolation: "nearest".into()
+        }
+        .is_stochastic());
         assert!(!AugOp::Invert.is_stochastic());
         assert!(!AugOp::CenterCrop { w: 4, h: 4 }.is_stochastic());
     }

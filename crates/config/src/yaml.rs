@@ -120,9 +120,10 @@ fn strip_comment(s: &str) -> &str {
             '"' if !in_single => in_double = !in_double,
             '#' if !in_single && !in_double
                 // A comment must be at the start or preceded by whitespace.
-                && (i == 0 || s[..i].ends_with(' ')) => {
-                    return &s[..i];
-                }
+                && (i == 0 || s[..i].ends_with(' ')) =>
+            {
+                return &s[..i];
+            }
             _ => {}
         }
     }
@@ -146,7 +147,11 @@ fn lex(text: &str) -> Result<Vec<Line>> {
             continue;
         }
         let indent = trimmed_end.len() - content.len();
-        out.push(Line { number: idx + 1, indent, content: content.to_string() });
+        out.push(Line {
+            number: idx + 1,
+            indent,
+            content: content.to_string(),
+        });
     }
     Ok(out)
 }
@@ -183,7 +188,10 @@ fn parse_inline_list(s: &str, line: usize) -> Result<Value> {
     let inner = s
         .strip_prefix('[')
         .and_then(|s| s.strip_suffix(']'))
-        .ok_or_else(|| ConfigError::Syntax { line, what: "malformed inline list".into() })?;
+        .ok_or_else(|| ConfigError::Syntax {
+            line,
+            what: "malformed inline list".into(),
+        })?;
     let inner = inner.trim();
     if inner.is_empty() {
         return Ok(Value::List(Vec::new()));
@@ -287,9 +295,11 @@ impl Parser {
                         break;
                     }
                     let n2 = next.number;
-                    let (k2, rhs2) = split_key(&next.content).ok_or_else(|| {
-                        ConfigError::Syntax { line: n2, what: "expected `key: value`".into() }
-                    })?;
+                    let (k2, rhs2) =
+                        split_key(&next.content).ok_or_else(|| ConfigError::Syntax {
+                            line: n2,
+                            what: "expected `key: value`".into(),
+                        })?;
                     let k2 = k2.to_string();
                     let rhs2 = rhs2.to_string();
                     let item_indent = next.indent;
@@ -410,7 +420,16 @@ mod tests {
     #[test]
     fn nested_maps() {
         let v = parse("outer:\n  inner:\n    x: 7\n  y: 8\n").unwrap();
-        assert_eq!(v.get("outer").unwrap().get("inner").unwrap().get("x").unwrap().as_int(), Some(7));
+        assert_eq!(
+            v.get("outer")
+                .unwrap()
+                .get("inner")
+                .unwrap()
+                .get("x")
+                .unwrap()
+                .as_int(),
+            Some(7)
+        );
         assert_eq!(v.get("outer").unwrap().get("y").unwrap().as_int(), Some(8));
     }
 
@@ -431,7 +450,12 @@ mod tests {
         assert_eq!(l[0].get("prob").unwrap().as_float(), Some(0.5));
         let cfg = l[0].get("config").unwrap().as_list().unwrap();
         assert_eq!(
-            cfg[0].get("flip").unwrap().get("flip_prob").unwrap().as_float(),
+            cfg[0]
+                .get("flip")
+                .unwrap()
+                .get("flip_prob")
+                .unwrap()
+                .as_float(),
             Some(0.5)
         );
         assert_eq!(l[1].get("config").unwrap(), &Value::Null);
@@ -469,7 +493,10 @@ mod tests {
 
     #[test]
     fn duplicate_keys_rejected() {
-        assert!(matches!(parse("a: 1\na: 2\n"), Err(ConfigError::Syntax { line: 2, .. })));
+        assert!(matches!(
+            parse("a: 1\na: 2\n"),
+            Err(ConfigError::Syntax { line: 2, .. })
+        ));
     }
 
     #[test]
@@ -544,13 +571,23 @@ dataset:
         let ds = v.get("dataset").unwrap();
         assert_eq!(ds.get("tag").unwrap().as_str(), Some("train"));
         assert_eq!(
-            ds.get("sampling").unwrap().get("videos_per_batch").unwrap().as_int(),
+            ds.get("sampling")
+                .unwrap()
+                .get("videos_per_batch")
+                .unwrap()
+                .as_int(),
             Some(8)
         );
         let aug = ds.get("augmentation").unwrap().as_list().unwrap();
         assert_eq!(aug.len(), 3);
-        assert_eq!(aug[1].get("branch_type").unwrap().as_str(), Some("conditional"));
+        assert_eq!(
+            aug[1].get("branch_type").unwrap().as_str(),
+            Some("conditional")
+        );
         let branches = aug[1].get("branches").unwrap().as_list().unwrap();
-        assert_eq!(branches[0].get("condition").unwrap().as_str(), Some("iteration > 10000"));
+        assert_eq!(
+            branches[0].get("condition").unwrap().as_str(),
+            Some("iteration > 10000")
+        );
     }
 }

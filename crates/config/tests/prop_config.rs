@@ -2,6 +2,8 @@
 //! the parser must never panic on arbitrary input, and valid configs must
 //! survive structural perturbation checks.
 
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 use sand_config::{parse_task_config, yaml, Condition};
 

@@ -8,12 +8,13 @@ use sand_config::TaskConfig;
 use sand_frame::tensor::{clip_refs_to_tensor, stack};
 use sand_frame::{compress_frame, decompress_frame, Frame};
 use sand_graph::{
-    prune_to_budget, BatchRef, ConcreteGraph, NodeId, ObjectKey, PlanInput, Planner,
+    prune_to_budget, AbstractGraph, BatchRef, ConcreteGraph, NodeId, ObjectKey, PlanInput, Planner,
     PlannerOptions,
 };
+use sand_lint::{lint_all, LintLevel, LintOptions};
 use sand_sched::{Job, JobKind, SchedConfig, Scheduler};
 use sand_storage::{ObjectMeta, ObjectStore, StoreConfig};
-use sand_vfs::{SandVfs, ViewPath, ViewProvider, VfsError};
+use sand_vfs::{SandVfs, VfsError, ViewPath, ViewProvider};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -50,6 +51,10 @@ pub struct EngineConfig {
     pub aug_service: Option<crate::service::AugClient>,
     /// Whether to pre-materialize ahead of demand.
     pub prematerialize: bool,
+    /// Static-analysis level for the startup lint pass: `Off` skips it,
+    /// `Warn` reports findings to stderr, `Deny` additionally fails
+    /// startup on any deny-severity finding.
+    pub lint: LintLevel,
 }
 
 impl Default for EngineConfig {
@@ -68,6 +73,7 @@ impl Default for EngineConfig {
             naive_leaf_cache: false,
             aug_service: None,
             prematerialize: true,
+            lint: LintLevel::default(),
         }
     }
 }
@@ -101,8 +107,11 @@ struct Chunk {
 impl Chunk {
     fn build(graph: ConcreteGraph) -> Self {
         let deadlines = graph.deadlines();
-        let mut future_uses: Vec<u32> =
-            graph.nodes.iter().map(|n| n.consumers.len() as u32).collect();
+        let mut future_uses: Vec<u32> = graph
+            .nodes
+            .iter()
+            .map(|n| n.consumers.len() as u32)
+            .collect();
         // Children have larger ids; one reverse sweep accumulates subtree
         // consumer counts into ancestors.
         for id in (0..graph.nodes.len()).rev() {
@@ -114,7 +123,12 @@ impl Chunk {
         for (i, b) in graph.batches.iter().enumerate() {
             batch_index.insert((b.task, b.epoch, b.iteration), i);
         }
-        Chunk { graph, deadlines, future_uses, batch_index }
+        Chunk {
+            graph,
+            deadlines,
+            future_uses,
+            batch_index,
+        }
     }
 }
 
@@ -131,6 +145,26 @@ struct Inner {
     batches_served: AtomicU64,
 }
 
+/// Projects the dataset's per-video headers into the planner's metadata.
+fn video_metas(dataset: &Dataset) -> Vec<sand_graph::VideoMeta> {
+    dataset
+        .videos()
+        .iter()
+        .map(|v| {
+            let h = &v.encoded.header;
+            sand_graph::VideoMeta {
+                video_id: v.video_id,
+                frames: v.encoded.frame_count(),
+                width: h.width,
+                height: h.height,
+                channels: h.format.channels(),
+                gop_size: h.gop_size,
+                encoded_bytes: v.encoded.encoded_size(),
+            }
+        })
+        .collect()
+}
+
 /// The SAND engine. Cheap to clone (shared state).
 #[derive(Clone)]
 pub struct SandEngine {
@@ -145,10 +179,14 @@ impl SandEngine {
     /// the same keys, so surviving objects are never recomputed.
     pub fn new(config: EngineConfig, dataset: Arc<Dataset>) -> Result<Self> {
         if config.tasks.is_empty() {
-            return Err(CoreError::State { what: "no tasks configured".into() });
+            return Err(CoreError::State {
+                what: "no tasks configured".into(),
+            });
         }
         if config.epochs_per_chunk == 0 || config.total_epochs == 0 {
-            return Err(CoreError::State { what: "epochs must be nonzero".into() });
+            return Err(CoreError::State {
+                what: "epochs must be nonzero".into(),
+            });
         }
         let mut task_ids = HashMap::new();
         for (i, t) in config.tasks.iter().enumerate() {
@@ -176,9 +214,81 @@ impl SandEngine {
         })
     }
 
-    /// Plans the first chunk and kicks off pre-materialization.
+    /// Runs the startup lint pass (per `EngineConfig::lint`), then plans
+    /// the first chunk and kicks off pre-materialization.
     pub fn start(&self) -> Result<()> {
+        self.lint_check()?;
         Inner::ensure_chunk(&self.inner, 0)?;
+        Ok(())
+    }
+
+    /// Lints the configured workload: config semantics, abstract- and
+    /// concrete-graph invariants, resource feasibility, and sharing
+    /// near-misses. Findings go to stderr; with [`LintLevel::Deny`], any
+    /// deny-severity finding aborts startup with [`CoreError::Lint`].
+    pub fn lint_check(&self) -> Result<()> {
+        let config = &self.inner.config;
+        if config.lint == LintLevel::Off {
+            return Ok(());
+        }
+        let abstract_graphs: Vec<AbstractGraph> = config
+            .tasks
+            .iter()
+            .map(AbstractGraph::from_config)
+            .collect();
+        let videos = video_metas(&self.inner.dataset);
+        // Dry-plan the first chunk, unpruned, as the concrete-graph
+        // specimen: deterministic planning makes it representative of
+        // every later chunk.
+        let end = config.epochs_per_chunk.min(config.total_epochs);
+        let inputs: Vec<PlanInput> = config
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| PlanInput {
+                task_id: i as u32,
+                config: t.clone(),
+            })
+            .collect();
+        let concrete = Planner::new(
+            inputs,
+            videos.clone(),
+            PlannerOptions {
+                seed: config.seed,
+                coordinate: config.coordinate,
+                epochs: 0..end,
+            },
+        )
+        .and_then(|p| p.plan())
+        .ok();
+        let iterations_per_epoch = config
+            .tasks
+            .iter()
+            .map(|t| (videos.len() as u64).div_ceil(t.sampling.videos_per_batch as u64))
+            .max();
+        let opts = LintOptions {
+            total_epochs: config.total_epochs,
+            iterations_per_epoch,
+            cache_budget: config.cache_budget,
+            memory_budget: config.store.memory_budget,
+        };
+        let report = lint_all(
+            &config.tasks,
+            &abstract_graphs,
+            concrete.as_ref(),
+            &videos,
+            &opts,
+        );
+        if !report.is_clean() {
+            eprintln!("{}", report.render_human());
+        }
+        let denies = report.deny_count();
+        if config.lint == LintLevel::Deny && denies > 0 {
+            return Err(CoreError::Lint {
+                denies,
+                report: report.render_human(),
+            });
+        }
         Ok(())
     }
 
@@ -203,7 +313,9 @@ impl SandEngine {
     #[must_use]
     pub fn iterations_per_epoch(&self, task: &str) -> Option<u64> {
         let id = *self.inner.task_ids.get(task)?;
-        let vpb = self.inner.config.tasks[id as usize].sampling.videos_per_batch;
+        let vpb = self.inner.config.tasks[id as usize]
+            .sampling
+            .videos_per_batch;
         Some((self.inner.dataset.len() as u64).div_ceil(vpb as u64))
     }
 
@@ -269,9 +381,7 @@ impl Inner {
                         let chunk = Arc::new(Chunk::build(graph));
                         let chunk = {
                             let mut chunks = inner.chunks.lock();
-                            Arc::clone(
-                                chunks.entry(chunk_id).or_insert_with(|| Arc::clone(&chunk)),
-                            )
+                            Arc::clone(chunks.entry(chunk_id).or_insert_with(|| Arc::clone(&chunk)))
                         };
                         if inner.config.prematerialize {
                             Self::submit_prematerialization(inner, &chunk);
@@ -286,25 +396,12 @@ impl Inner {
             .tasks
             .iter()
             .enumerate()
-            .map(|(i, t)| PlanInput { task_id: i as u32, config: t.clone() })
-            .collect();
-        let videos: Vec<sand_graph::VideoMeta> = inner
-            .dataset
-            .videos()
-            .iter()
-            .map(|v| {
-                let h = &v.encoded.header;
-                sand_graph::VideoMeta {
-                    video_id: v.video_id,
-                    frames: v.encoded.frame_count(),
-                    width: h.width,
-                    height: h.height,
-                    channels: h.format.channels(),
-                    gop_size: h.gop_size,
-                    encoded_bytes: v.encoded.encoded_size(),
-                }
+            .map(|(i, t)| PlanInput {
+                task_id: i as u32,
+                config: t.clone(),
             })
             .collect();
+        let videos = video_metas(&inner.dataset);
         let planner = Planner::new(
             tasks,
             videos,
@@ -391,11 +488,10 @@ impl Inner {
                 .unwrap_or(1);
             for &id in &todo {
                 let bucket = match chunk.deadlines[id] {
-                    Some(clock) => {
-                        ((clock / clocks_per_epoch).saturating_sub(chunk.graph.epochs.start)
-                            as usize)
-                            .min(epoch_span as usize)
-                    }
+                    Some(clock) => ((clock / clocks_per_epoch)
+                        .saturating_sub(chunk.graph.epochs.start)
+                        as usize)
+                        .min(epoch_span as usize),
                     None => epoch_span as usize,
                 };
                 buckets[bucket].push(id);
@@ -492,9 +588,12 @@ impl Inner {
                 })
             }
             ObjectKey::Frame { video_id, frame } => {
-                let entry = inner.dataset.get(*video_id).ok_or_else(|| {
-                    CoreError::UnknownView { what: format!("video {video_id} not in dataset") }
-                })?;
+                let entry = inner
+                    .dataset
+                    .get(*video_id)
+                    .ok_or_else(|| CoreError::UnknownView {
+                        what: format!("video {video_id} not in dataset"),
+                    })?;
                 let mut dec = Decoder::new(&entry.encoded);
                 let mut frames = dec.decode_indices(&[*frame])?;
                 inner.decode_stats.lock().merge(dec.stats());
@@ -509,7 +608,9 @@ impl Inner {
                 let src = Self::materialize_rec(inner, chunk, parent, scratch)?;
                 // One descendant materialized: burn one of the parent's
                 // retained uses so spent frames become evictable.
-                inner.store.mark_used(&store_key(&chunk.graph.nodes[parent].key));
+                inner
+                    .store
+                    .mark_used(&store_key(&chunk.graph.nodes[parent].key));
                 let op = node.op.as_ref().ok_or_else(|| CoreError::State {
                     what: "aug node without op".into(),
                 })?;
@@ -517,12 +618,16 @@ impl Inner {
                 if let sand_graph::ResolvedOp::Custom { name } = op {
                     // Custom ops execute through the RPC-style service.
                     let client =
-                        inner.config.aug_service.as_ref().ok_or_else(|| CoreError::State {
-                            what: format!(
-                                "pipeline uses custom op `{name}` but no augmentation \
+                        inner
+                            .config
+                            .aug_service
+                            .as_ref()
+                            .ok_or_else(|| CoreError::State {
+                                what: format!(
+                                    "pipeline uses custom op `{name}` but no augmentation \
                                  service is configured"
-                            ),
-                        })?;
+                                ),
+                            })?;
                     client.apply(name, &src)?
                 } else {
                     let frame_op = op.to_frame_op()?.ok_or_else(|| CoreError::State {
@@ -563,7 +668,9 @@ impl Inner {
             let mut covered = false;
             while let Some(nid) = cur {
                 if scratch.contains_key(&nid)
-                    || inner.store.contains(&store_key(&chunk.graph.nodes[nid].key))
+                    || inner
+                        .store
+                        .contains(&store_key(&chunk.graph.nodes[nid].key))
                 {
                     covered = true;
                     break;
@@ -594,9 +701,12 @@ impl Inner {
                 group.push((missing[i].1, missing[i].2));
                 i += 1;
             }
-            let entry = inner.dataset.get(video_id).ok_or_else(|| CoreError::UnknownView {
-                what: format!("video {video_id} not in dataset"),
-            })?;
+            let entry = inner
+                .dataset
+                .get(video_id)
+                .ok_or_else(|| CoreError::UnknownView {
+                    what: format!("video {video_id} not in dataset"),
+                })?;
             let indices: Vec<usize> = group.iter().map(|&(_, f)| f).collect();
             let mut dec = Decoder::new(&entry.encoded);
             let frames = dec.decode_indices(&indices)?;
@@ -613,7 +723,9 @@ impl Inner {
                         deadline: chunk.deadlines[nid],
                         future_uses: chunk.future_uses[nid],
                     };
-                    inner.store.put(&store_key(&node.key), compress_frame(&frame), meta)?;
+                    inner
+                        .store
+                        .put(&store_key(&node.key), compress_frame(&frame), meta)?;
                 }
                 scratch.insert(nid, Arc::new(frame));
             }
@@ -643,9 +755,12 @@ impl Inner {
         epoch: u64,
         iteration: u64,
     ) -> Result<&'c BatchRef> {
-        let task_id = *inner.task_ids.get(task).ok_or_else(|| CoreError::UnknownView {
-            what: format!("unknown task `{task}`"),
-        })?;
+        let task_id = *inner
+            .task_ids
+            .get(task)
+            .ok_or_else(|| CoreError::UnknownView {
+                what: format!("unknown task `{task}`"),
+            })?;
         let idx = chunk
             .batch_index
             .get(&(task_id, epoch, iteration))
@@ -656,12 +771,7 @@ impl Inner {
     }
 
     /// Serves a training batch as serialized tensor bytes.
-    fn serve_batch(
-        inner: &Arc<Inner>,
-        task: &str,
-        epoch: u64,
-        iteration: u64,
-    ) -> Result<Vec<u8>> {
+    fn serve_batch(inner: &Arc<Inner>, task: &str, epoch: u64, iteration: u64) -> Result<Vec<u8>> {
         let chunk = Self::ensure_chunk(inner, epoch)?;
         let batch = Self::find_batch(inner, &chunk, task, epoch, iteration)?.clone();
         inner.store.set_clock(batch.clock);
@@ -682,8 +792,8 @@ impl Inner {
                 deadline: batch.clock,
                 remaining_work: plan.frame_nodes.len() as u64,
                 run: Box::new(move || {
-                    let result = Self::materialize_sample(&inner2, &chunk2, &plan2)
-                        .and_then(|clip| {
+                    let result =
+                        Self::materialize_sample(&inner2, &chunk2, &plan2).and_then(|clip| {
                             let channels = clip.first().map_or(3, |f| f.channels());
                             let (mean, std) = match &plan2.normalize {
                                 Some((m, s)) => (m.clone(), s.clone()),
@@ -703,7 +813,11 @@ impl Inner {
         }
         let tensors: Vec<sand_frame::Tensor> = tensors
             .into_iter()
-            .map(|t| t.ok_or_else(|| CoreError::State { what: "demand job lost".into() }))
+            .map(|t| {
+                t.ok_or_else(|| CoreError::State {
+                    what: "demand job lost".into(),
+                })
+            })
             .collect::<Result<_>>()?;
         let batch_tensor = stack(&tensors)?;
         // Consumption bookkeeping: decrement future uses of terminals.
@@ -745,44 +859,60 @@ impl Inner {
 
 impl ViewProvider for SandEngine {
     fn fetch(&self, path: &ViewPath) -> sand_vfs::Result<Vec<u8>> {
-        let io = |e: CoreError| VfsError::Io { what: e.to_string() };
+        let io = |e: CoreError| VfsError::Io {
+            what: e.to_string(),
+        };
         match path {
-            ViewPath::Batch { task, epoch, iteration } => {
-                Inner::serve_batch(&self.inner, task, *epoch, *iteration).map_err(io)
-            }
+            ViewPath::Batch {
+                task,
+                epoch,
+                iteration,
+            } => Inner::serve_batch(&self.inner, task, *epoch, *iteration).map_err(io),
             ViewPath::Video { video, .. } => {
-                let entry = self
-                    .inner
-                    .dataset
-                    .get_by_name(video)
-                    .ok_or_else(|| VfsError::NoSuchView { path: path.to_string() })?;
+                let entry =
+                    self.inner
+                        .dataset
+                        .get_by_name(video)
+                        .ok_or_else(|| VfsError::NoSuchView {
+                            path: path.to_string(),
+                        })?;
                 Ok(entry.encoded.to_bytes())
             }
             ViewPath::Frame { video, index, .. } => {
-                let entry = self
-                    .inner
-                    .dataset
-                    .get_by_name(video)
-                    .ok_or_else(|| VfsError::NoSuchView { path: path.to_string() })?;
+                let entry =
+                    self.inner
+                        .dataset
+                        .get_by_name(video)
+                        .ok_or_else(|| VfsError::NoSuchView {
+                            path: path.to_string(),
+                        })?;
                 let mut dec = Decoder::new(&entry.encoded);
                 let mut frames =
-                    dec.decode_indices(&[*index as usize]).map_err(|e| VfsError::Io {
-                        what: e.to_string(),
-                    })?;
+                    dec.decode_indices(&[*index as usize])
+                        .map_err(|e| VfsError::Io {
+                            what: e.to_string(),
+                        })?;
                 self.inner.decode_stats.lock().merge(dec.stats());
                 let f = frames.pop().ok_or_else(|| VfsError::Io {
                     what: "no frame decoded".into(),
                 })?;
                 Ok(compress_frame(&f))
             }
-            ViewPath::AugFrame { video, index, depth, .. } => {
+            ViewPath::AugFrame {
+                video,
+                index,
+                depth,
+                ..
+            } => {
                 // Serve any planned augmented object at this (frame, depth)
                 // from the most recently planned chunk.
-                let entry = self
-                    .inner
-                    .dataset
-                    .get_by_name(video)
-                    .ok_or_else(|| VfsError::NoSuchView { path: path.to_string() })?;
+                let entry =
+                    self.inner
+                        .dataset
+                        .get_by_name(video)
+                        .ok_or_else(|| VfsError::NoSuchView {
+                            path: path.to_string(),
+                        })?;
                 let chunks = self.inner.chunks.lock();
                 let mut best: Option<(u64, Arc<Chunk>)> = None;
                 for (id, c) in chunks.iter() {
@@ -791,21 +921,28 @@ impl ViewProvider for SandEngine {
                     }
                 }
                 drop(chunks);
-                let (_, chunk) =
-                    best.ok_or_else(|| VfsError::Io { what: "no planned chunk".into() })?;
+                let (_, chunk) = best.ok_or_else(|| VfsError::Io {
+                    what: "no planned chunk".into(),
+                })?;
                 let node = chunk
                     .graph
                     .nodes
                     .iter()
                     .find(|n| match &n.key {
-                        ObjectKey::Aug { video_id, frame, chain } => {
+                        ObjectKey::Aug {
+                            video_id,
+                            frame,
+                            chain,
+                        } => {
                             *video_id == entry.video_id
                                 && *frame == *index as usize
                                 && chain.len() == *depth as usize
                         }
                         _ => false,
                     })
-                    .ok_or_else(|| VfsError::NoSuchView { path: path.to_string() })?;
+                    .ok_or_else(|| VfsError::NoSuchView {
+                        path: path.to_string(),
+                    })?;
                 let mut scratch = HashMap::new();
                 let f = Inner::materialize_rec(&self.inner, &chunk, node.id, &mut scratch)
                     .map_err(io)?;
@@ -815,14 +952,24 @@ impl ViewProvider for SandEngine {
     }
 
     fn metadata(&self, path: &ViewPath, name: &str) -> sand_vfs::Result<String> {
-        let no_attr = || VfsError::NoAttr { name: name.to_string() };
+        let no_attr = || VfsError::NoAttr {
+            name: name.to_string(),
+        };
         match path {
-            ViewPath::Batch { task, epoch, iteration } => match name {
+            ViewPath::Batch {
+                task,
+                epoch,
+                iteration,
+            } => match name {
                 "shape" => {
-                    let chunk = Inner::ensure_chunk(&self.inner, *epoch)
-                        .map_err(|e| VfsError::Io { what: e.to_string() })?;
+                    let chunk =
+                        Inner::ensure_chunk(&self.inner, *epoch).map_err(|e| VfsError::Io {
+                            what: e.to_string(),
+                        })?;
                     let batch = Inner::find_batch(&self.inner, &chunk, task, *epoch, *iteration)
-                        .map_err(|e| VfsError::Io { what: e.to_string() })?;
+                        .map_err(|e| VfsError::Io {
+                            what: e.to_string(),
+                        })?;
                     let n = batch.samples.len();
                     let (t, dims) = batch
                         .samples
@@ -839,14 +986,24 @@ impl ViewProvider for SandEngine {
                 }
                 "labels" => {
                     let labels = Inner::batch_labels(&self.inner, task, *epoch, *iteration)
-                        .map_err(|e| VfsError::Io { what: e.to_string() })?;
-                    Ok(labels.iter().map(ToString::to_string).collect::<Vec<_>>().join(","))
+                        .map_err(|e| VfsError::Io {
+                            what: e.to_string(),
+                        })?;
+                    Ok(labels
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(","))
                 }
                 "timestamps" => {
-                    let chunk = Inner::ensure_chunk(&self.inner, *epoch)
-                        .map_err(|e| VfsError::Io { what: e.to_string() })?;
+                    let chunk =
+                        Inner::ensure_chunk(&self.inner, *epoch).map_err(|e| VfsError::Io {
+                            what: e.to_string(),
+                        })?;
                     let batch = Inner::find_batch(&self.inner, &chunk, task, *epoch, *iteration)
-                        .map_err(|e| VfsError::Io { what: e.to_string() })?;
+                        .map_err(|e| VfsError::Io {
+                            what: e.to_string(),
+                        })?;
                     Ok(batch
                         .samples
                         .iter()
@@ -863,11 +1020,13 @@ impl ViewProvider for SandEngine {
                 _ => Err(no_attr()),
             },
             ViewPath::Video { video, .. } => {
-                let entry = self
-                    .inner
-                    .dataset
-                    .get_by_name(video)
-                    .ok_or_else(|| VfsError::NoSuchView { path: path.to_string() })?;
+                let entry =
+                    self.inner
+                        .dataset
+                        .get_by_name(video)
+                        .ok_or_else(|| VfsError::NoSuchView {
+                            path: path.to_string(),
+                        })?;
                 match name {
                     "frames" => Ok(entry.encoded.frame_count().to_string()),
                     "class" => Ok(entry.class_id.to_string()),
@@ -877,15 +1036,19 @@ impl ViewProvider for SandEngine {
                 }
             }
             ViewPath::Frame { video, index, .. } => {
-                let entry = self
-                    .inner
-                    .dataset
-                    .get_by_name(video)
-                    .ok_or_else(|| VfsError::NoSuchView { path: path.to_string() })?;
+                let entry =
+                    self.inner
+                        .dataset
+                        .get_by_name(video)
+                        .ok_or_else(|| VfsError::NoSuchView {
+                            path: path.to_string(),
+                        })?;
                 match name {
-                    "timestamp_us" => {
-                        Ok(entry.encoded.header.timestamp_us(*index as usize).to_string())
-                    }
+                    "timestamp_us" => Ok(entry
+                        .encoded
+                        .header
+                        .timestamp_us(*index as usize)
+                        .to_string()),
                     "video_id" => Ok(entry.video_id.to_string()),
                     _ => Err(no_attr()),
                 }
@@ -948,7 +1111,12 @@ dataset:
                 width: 32,
                 height: 32,
                 frames_per_video: 24,
-                encoder: EncoderConfig { gop_size: 6, quantizer: 4, fps_milli: 30_000, b_frames: 0 },
+                encoder: EncoderConfig {
+                    gop_size: 6,
+                    quantizer: 4,
+                    fps_milli: 30_000,
+                    b_frames: 0,
+                },
                 ..Default::default()
             })
             .unwrap(),
@@ -994,8 +1162,14 @@ dataset:
         a.start().unwrap();
         let b = engine(false);
         b.start().unwrap();
-        assert_eq!(a.serve_batch("train", 0, 0).unwrap(), b.serve_batch("train", 0, 0).unwrap());
-        assert_eq!(a.serve_batch("train", 1, 1).unwrap(), b.serve_batch("train", 1, 1).unwrap());
+        assert_eq!(
+            a.serve_batch("train", 0, 0).unwrap(),
+            b.serve_batch("train", 0, 0).unwrap()
+        );
+        assert_eq!(
+            a.serve_batch("train", 1, 1).unwrap(),
+            b.serve_batch("train", 1, 1).unwrap()
+        );
     }
 
     #[test]
@@ -1109,8 +1283,15 @@ dataset:
         let vfs = e.mount();
         // Find a planned frame index through batch timestamps.
         let ts = vfs.getxattr_path("/train/0/0/view", "timestamps").unwrap();
-        let first_frame: u64 =
-            ts.split(',').next().unwrap().split(':').next().unwrap().parse().unwrap();
+        let first_frame: u64 = ts
+            .split(',')
+            .next()
+            .unwrap()
+            .split(':')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
         // Depth 1 = after resize.
         let path = format!("/train/video0000/frame{first_frame}/aug1");
         // The frame may belong to a different video in this batch; try all.
@@ -1162,7 +1343,8 @@ dataset:
         second.start().unwrap();
         second.wait_idle();
         assert_eq!(
-            second.stats().decode.frames_decoded, 0,
+            second.stats().decode.frames_decoded,
+            0,
             "recovery must not re-decode persisted objects"
         );
         // And the recovered engine still serves correct batches.
@@ -1175,7 +1357,10 @@ dataset:
     fn invalid_configs_rejected() {
         assert!(SandEngine::new(EngineConfig::default(), dataset()).is_err());
         let mut cfg = EngineConfig {
-            tasks: vec![parse_task_config(TASK).unwrap(), parse_task_config(TASK).unwrap()],
+            tasks: vec![
+                parse_task_config(TASK).unwrap(),
+                parse_task_config(TASK).unwrap(),
+            ],
             ..Default::default()
         };
         assert!(SandEngine::new(cfg.clone(), dataset()).is_err()); // duplicate tag
@@ -1252,7 +1437,10 @@ dataset:
             total_epochs: 1,
             epochs_per_chunk: 1,
             store_dir: Some(dir.clone()),
-            store: StoreConfig { memory_horizon: 0, ..Default::default() },
+            store: StoreConfig {
+                memory_horizon: 0,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let e = SandEngine::new(config, dataset()).unwrap();
@@ -1327,5 +1515,57 @@ dataset:
             decoded_after_second_task <= decoded_after_first_task,
             "second task re-decoded: {decoded_after_first_task} -> {decoded_after_second_task}"
         );
+    }
+
+    #[test]
+    fn lint_deny_fails_startup() {
+        // A 1-byte cache budget cannot hold a single batch: SL020 at
+        // deny level must reject startup before any chunk is planned.
+        let config = EngineConfig {
+            tasks: vec![parse_task_config(TASK).unwrap()],
+            prematerialize: false,
+            cache_budget: 1,
+            prune: false,
+            lint: LintLevel::Deny,
+            ..Default::default()
+        };
+        let e = SandEngine::new(config, dataset()).unwrap();
+        match e.start() {
+            Err(CoreError::Lint { denies, report }) => {
+                assert!(denies >= 1);
+                assert!(report.contains("SL020"), "{report}");
+            }
+            other => panic!("expected CoreError::Lint, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lint_warn_reports_but_serves() {
+        // Same infeasible budget at warn level: startup succeeds.
+        let config = EngineConfig {
+            tasks: vec![parse_task_config(TASK).unwrap()],
+            prematerialize: false,
+            cache_budget: 1,
+            lint: LintLevel::Warn,
+            ..Default::default()
+        };
+        let e = SandEngine::new(config, dataset()).unwrap();
+        e.start().unwrap();
+        e.serve_batch("train", 0, 0).unwrap();
+    }
+
+    #[test]
+    fn lint_clean_config_stays_silent() {
+        let e = engine(false);
+        // The default test workload is feasible; deny level still starts.
+        let config = EngineConfig {
+            tasks: vec![parse_task_config(TASK).unwrap()],
+            prematerialize: false,
+            lint: LintLevel::Deny,
+            ..Default::default()
+        };
+        let strict = SandEngine::new(config, dataset()).unwrap();
+        strict.start().unwrap();
+        drop(e);
     }
 }

@@ -25,7 +25,11 @@ pub fn store_key(key: &ObjectKey) -> String {
     match key {
         ObjectKey::Video { video_id } => format!("v{video_id:04}/src"),
         ObjectKey::Frame { video_id, frame } => format!("v{video_id:04}/f{frame:05}"),
-        ObjectKey::Aug { video_id, frame, chain } => {
+        ObjectKey::Aug {
+            video_id,
+            frame,
+            chain,
+        } => {
             let mut buf = Vec::new();
             for (name, params) in chain {
                 buf.extend_from_slice(name.as_bytes());
@@ -44,7 +48,10 @@ mod tests {
 
     #[test]
     fn keys_are_stable_and_distinct() {
-        let f = ObjectKey::Frame { video_id: 3, frame: 14 };
+        let f = ObjectKey::Frame {
+            video_id: 3,
+            frame: 14,
+        };
         assert_eq!(store_key(&f), "v0003/f00014");
         let a1 = ObjectKey::Aug {
             video_id: 3,

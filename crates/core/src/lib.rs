@@ -18,13 +18,16 @@
 //! regenerated deterministically from configs and seed, the disk tier is
 //! scanned for surviving objects, and only the gaps are recomputed.
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod engine;
 pub mod keys;
 pub mod service;
 
 pub use engine::{EngineConfig, EngineStats, SandEngine};
-pub use service::{AugClient, AugService, CustomOp};
 pub use keys::store_key;
+pub use sand_lint::LintLevel;
+pub use service::{AugClient, AugService, CustomOp};
 
 use std::fmt;
 
@@ -51,6 +54,13 @@ pub enum CoreError {
         /// Human-readable description.
         what: String,
     },
+    /// The startup lint pass found deny-severity problems.
+    Lint {
+        /// Number of deny-severity findings.
+        denies: usize,
+        /// The rendered lint report.
+        report: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -63,6 +73,12 @@ impl fmt::Display for CoreError {
             CoreError::Storage(e) => write!(f, "storage: {e}"),
             CoreError::UnknownView { what } => write!(f, "unknown view: {what}"),
             CoreError::State { what } => write!(f, "engine state: {what}"),
+            CoreError::Lint { denies, report } => {
+                write!(
+                    f,
+                    "lint rejected the configuration ({denies} deny finding(s)):\n{report}"
+                )
+            }
         }
     }
 }

@@ -72,8 +72,12 @@ impl AugClient {
         })?;
         let bytes = reply_rx
             .recv()
-            .map_err(|_| CoreError::State { what: "augmentation service dropped reply".into() })?
-            .map_err(|e| CoreError::State { what: format!("custom op failed: {e}") })?;
+            .map_err(|_| CoreError::State {
+                what: "augmentation service dropped reply".into(),
+            })?
+            .map_err(|e| CoreError::State {
+                what: format!("custom op failed: {e}"),
+            })?;
         let out = decompress_frame(&bytes)?;
         if out.width() != frame.width()
             || out.height() != frame.height()
@@ -105,8 +109,8 @@ fn service_loop(rx: Receiver<Request>, registry: HashMap<String, Box<dyn CustomO
             let op = registry
                 .get(&req.op)
                 .ok_or_else(|| format!("unknown custom op `{}`", req.op))?;
-            let frame = decompress_frame(&req.frame_bytes)
-                .map_err(|e| format!("bad frame bytes: {e}"))?;
+            let frame =
+                decompress_frame(&req.frame_bytes).map_err(|e| format!("bad frame bytes: {e}"))?;
             let mut out = op.apply(frame)?;
             out.meta.aug_depth += 1;
             Ok(compress_frame(&out))
@@ -125,13 +129,18 @@ impl AugService {
             .name("sand-aug-service".into())
             .spawn(move || service_loop(rx, registry))
             .expect("spawn augmentation service");
-        AugService { client: AugClient { tx }, handle: Some(handle) }
+        AugService {
+            client: AugClient { tx },
+            handle: Some(handle),
+        }
     }
 
     /// A builder-style helper for registering ops.
     #[must_use]
     pub fn builder() -> AugServiceBuilder {
-        AugServiceBuilder { registry: HashMap::new() }
+        AugServiceBuilder {
+            registry: HashMap::new(),
+        }
     }
 
     /// Handle for submitting requests.
@@ -190,7 +199,9 @@ mod tests {
 
     #[test]
     fn custom_op_roundtrips_through_service() {
-        let service = AugService::builder().register("sepia", Box::new(sepia)).start();
+        let service = AugService::builder()
+            .register("sepia", Box::new(sepia))
+            .start();
         let client = service.client();
         let mut f = Frame::zeroed(4, 4, PixelFormat::Rgb8).unwrap();
         f.set_pixel(0, 0, &[100, 100, 100]).unwrap();
@@ -204,7 +215,10 @@ mod tests {
         let service = AugService::builder().start();
         let client = service.client();
         let f = Frame::zeroed(2, 2, PixelFormat::Rgb8).unwrap();
-        assert!(matches!(client.apply("nope", &f), Err(CoreError::State { .. })));
+        assert!(matches!(
+            client.apply("nope", &f),
+            Err(CoreError::State { .. })
+        ));
     }
 
     #[test]
@@ -212,16 +226,23 @@ mod tests {
         let shrink = |f: Frame| -> std::result::Result<Frame, String> {
             Frame::zeroed(f.width() / 2, f.height(), f.format()).map_err(|e| e.to_string())
         };
-        let service = AugService::builder().register("shrink", Box::new(shrink)).start();
+        let service = AugService::builder()
+            .register("shrink", Box::new(shrink))
+            .start();
         let client = service.client();
         let f = Frame::zeroed(4, 4, PixelFormat::Rgb8).unwrap();
-        assert!(matches!(client.apply("shrink", &f), Err(CoreError::State { .. })));
+        assert!(matches!(
+            client.apply("shrink", &f),
+            Err(CoreError::State { .. })
+        ));
     }
 
     #[test]
     fn op_failure_propagates() {
         let bomb = |_: Frame| -> std::result::Result<Frame, String> { Err("boom".into()) };
-        let service = AugService::builder().register("bomb", Box::new(bomb)).start();
+        let service = AugService::builder()
+            .register("bomb", Box::new(bomb))
+            .start();
         let client = service.client();
         let f = Frame::zeroed(2, 2, PixelFormat::Rgb8).unwrap();
         let err = client.apply("bomb", &f).unwrap_err();
@@ -230,8 +251,9 @@ mod tests {
 
     #[test]
     fn concurrent_clients_share_one_service() {
-        let service =
-            AugService::builder().register("id", Box::new(|f: Frame| Ok(f))).start();
+        let service = AugService::builder()
+            .register("id", Box::new(|f: Frame| Ok(f)))
+            .start();
         let mut handles = Vec::new();
         for _ in 0..4 {
             let client = service.client();

@@ -119,14 +119,16 @@ pub fn compress_frame(frame: &Frame) -> Vec<u8> {
 /// Decompresses a buffer produced by [`compress_frame`].
 pub fn decompress_frame(bytes: &[u8]) -> Result<Frame> {
     if bytes.len() < 4 || bytes[..4] != MAGIC {
-        return Err(FrameError::CorruptData { what: "bad frame magic" });
+        return Err(FrameError::CorruptData {
+            what: "bad frame magic",
+        });
     }
     let mut pos = 4;
     let width = get_varint(bytes, &mut pos)? as usize;
     let height = get_varint(bytes, &mut pos)? as usize;
-    let tag = *bytes
-        .get(pos)
-        .ok_or(FrameError::CorruptData { what: "truncated format tag" })?;
+    let tag = *bytes.get(pos).ok_or(FrameError::CorruptData {
+        what: "truncated format tag",
+    })?;
     pos += 1;
     let format = PixelFormat::from_tag(tag)?;
     let meta = FrameMeta {
@@ -135,25 +137,31 @@ pub fn decompress_frame(bytes: &[u8]) -> Result<Frame> {
         video_id: get_varint(bytes, &mut pos)?,
         aug_depth: get_varint(bytes, &mut pos)? as u32,
     };
-    let mode = *bytes
-        .get(pos)
-        .ok_or(FrameError::CorruptData { what: "truncated mode flag" })?;
+    let mode = *bytes.get(pos).ok_or(FrameError::CorruptData {
+        what: "truncated mode flag",
+    })?;
     pos += 1;
     let packed_len = get_varint(bytes, &mut pos)? as usize;
-    let end = pos
-        .checked_add(packed_len)
-        .ok_or(FrameError::CorruptData { what: "packed length overflow" })?;
+    let end = pos.checked_add(packed_len).ok_or(FrameError::CorruptData {
+        what: "packed length overflow",
+    })?;
     if end > bytes.len() {
-        return Err(FrameError::CorruptData { what: "truncated packed data" });
+        return Err(FrameError::CorruptData {
+            what: "truncated packed data",
+        });
     }
     let expected = width
         .checked_mul(height)
         .and_then(|p| p.checked_mul(format.channels()))
-        .ok_or(FrameError::CorruptData { what: "dimension overflow" })?;
+        .ok_or(FrameError::CorruptData {
+            what: "dimension overflow",
+        })?;
     let pixels = match mode {
         MODE_RAW => {
             if packed_len != expected {
-                return Err(FrameError::CorruptData { what: "raw length mismatch" });
+                return Err(FrameError::CorruptData {
+                    what: "raw length mismatch",
+                });
             }
             bytes[pos..end].to_vec()
         }
@@ -161,12 +169,18 @@ pub fn decompress_frame(bytes: &[u8]) -> Result<Frame> {
             let mut residuals = rle_unpack(&bytes[pos..end], expected)?;
             let stride = width * format.channels();
             if stride == 0 {
-                return Err(FrameError::CorruptData { what: "zero stride" });
+                return Err(FrameError::CorruptData {
+                    what: "zero stride",
+                });
             }
             up_unfilter(&mut residuals, stride);
             residuals
         }
-        _ => return Err(FrameError::CorruptData { what: "unknown storage mode" }),
+        _ => {
+            return Err(FrameError::CorruptData {
+                what: "unknown storage mode",
+            })
+        }
     };
     let mut frame = Frame::from_vec(width, height, format, pixels)?;
     frame.meta = meta;
@@ -203,7 +217,12 @@ mod tests {
     #[test]
     fn roundtrip_preserves_meta() {
         let mut f = patterned(8, 8);
-        f.meta = FrameMeta { index: 42, timestamp_us: 1_000_000, video_id: 7, aug_depth: 3 };
+        f.meta = FrameMeta {
+            index: 42,
+            timestamp_us: 1_000_000,
+            video_id: 7,
+            aug_depth: 3,
+        };
         let back = decompress_frame(&compress_frame(&f)).unwrap();
         assert_eq!(back.meta, f.meta);
     }
@@ -212,7 +231,11 @@ mod tests {
     fn flat_frames_compress_well() {
         let f = Frame::zeroed(128, 128, PixelFormat::Rgb8).unwrap();
         let c = compress_frame(&f);
-        assert!(c.len() < f.byte_len() / 20, "flat frame should compress >20x, got {}", c.len());
+        assert!(
+            c.len() < f.byte_len() / 20,
+            "flat frame should compress >20x, got {}",
+            c.len()
+        );
     }
 
     #[test]

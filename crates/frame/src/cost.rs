@@ -24,7 +24,10 @@ impl OpCost {
     /// Creates a cost record.
     #[must_use]
     pub const fn new(compute_units: f64, output_bytes: u64) -> Self {
-        OpCost { compute_units, output_bytes }
+        OpCost {
+            compute_units,
+            output_bytes,
+        }
     }
 
     /// Sums two costs (sequential composition of two ops).
@@ -76,7 +79,10 @@ pub mod units {
 /// per-pixel multiplier `unit`, producing `output_bytes`.
 #[must_use]
 pub fn per_pixel_cost(pixels: u64, channels: u64, unit: f64, output_bytes: u64) -> OpCost {
-    OpCost { compute_units: pixels as f64 * channels as f64 * unit, output_bytes }
+    OpCost {
+        compute_units: pixels as f64 * channels as f64 * unit,
+        output_bytes,
+    }
 }
 
 #[cfg(test)]

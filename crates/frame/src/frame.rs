@@ -38,7 +38,9 @@ impl PixelFormat {
         match tag {
             1 => Ok(PixelFormat::Gray8),
             3 => Ok(PixelFormat::Rgb8),
-            _ => Err(FrameError::CorruptData { what: "unknown pixel format tag" }),
+            _ => Err(FrameError::CorruptData {
+                what: "unknown pixel format tag",
+            }),
         }
     }
 }
@@ -84,19 +86,32 @@ impl Frame {
         data: Vec<u8>,
     ) -> Result<Self> {
         if width == 0 || height == 0 {
-            return Err(FrameError::InvalidDimension { what: "width and height must be nonzero" });
+            return Err(FrameError::InvalidDimension {
+                what: "width and height must be nonzero",
+            });
         }
         let expected = width * height * format.channels();
         if data.len() != expected {
-            return Err(FrameError::ShapeMismatch { expected, actual: data.len() });
+            return Err(FrameError::ShapeMismatch {
+                expected,
+                actual: data.len(),
+            });
         }
-        Ok(Frame { width, height, format, meta: FrameMeta::default(), data })
+        Ok(Frame {
+            width,
+            height,
+            format,
+            meta: FrameMeta::default(),
+            data,
+        })
     }
 
     /// Creates a zero-filled (black) frame.
     pub fn zeroed(width: usize, height: usize, format: PixelFormat) -> Result<Self> {
         if width == 0 || height == 0 {
-            return Err(FrameError::InvalidDimension { what: "width and height must be nonzero" });
+            return Err(FrameError::InvalidDimension {
+                what: "width and height must be nonzero",
+            });
         }
         let data = vec![0u8; width * height * format.channels()];
         Frame::from_vec(width, height, format, data)
@@ -158,7 +173,9 @@ impl Frame {
     /// Returns the channel values of the pixel at `(x, y)`.
     pub fn pixel(&self, x: usize, y: usize) -> Result<&[u8]> {
         if x >= self.width || y >= self.height {
-            return Err(FrameError::OutOfBounds { what: "pixel coordinate" });
+            return Err(FrameError::OutOfBounds {
+                what: "pixel coordinate",
+            });
         }
         let c = self.channels();
         let off = (y * self.width + x) * c;
@@ -168,11 +185,16 @@ impl Frame {
     /// Sets the channel values of the pixel at `(x, y)`.
     pub fn set_pixel(&mut self, x: usize, y: usize, value: &[u8]) -> Result<()> {
         if x >= self.width || y >= self.height {
-            return Err(FrameError::OutOfBounds { what: "pixel coordinate" });
+            return Err(FrameError::OutOfBounds {
+                what: "pixel coordinate",
+            });
         }
         let c = self.channels();
         if value.len() != c {
-            return Err(FrameError::ShapeMismatch { expected: c, actual: value.len() });
+            return Err(FrameError::ShapeMismatch {
+                expected: c,
+                actual: value.len(),
+            });
         }
         let off = (y * self.width + x) * c;
         self.data[off..off + c].copy_from_slice(value);
@@ -199,7 +221,9 @@ impl Frame {
     /// Used by codec round-trip tests to bound quantization error.
     pub fn mean_abs_diff(&self, other: &Frame) -> Result<f64> {
         if !self.same_shape(other) {
-            return Err(FrameError::IncompatibleFrames { what: "mean_abs_diff shape" });
+            return Err(FrameError::IncompatibleFrames {
+                what: "mean_abs_diff shape",
+            });
         }
         let sum: u64 = self
             .data
@@ -218,7 +242,13 @@ mod tests {
     #[test]
     fn from_vec_validates_shape() {
         let err = Frame::from_vec(2, 2, PixelFormat::Rgb8, vec![0; 11]).unwrap_err();
-        assert_eq!(err, FrameError::ShapeMismatch { expected: 12, actual: 11 });
+        assert_eq!(
+            err,
+            FrameError::ShapeMismatch {
+                expected: 12,
+                actual: 11
+            }
+        );
         assert!(Frame::from_vec(2, 2, PixelFormat::Rgb8, vec![0; 12]).is_ok());
     }
 
@@ -252,7 +282,10 @@ mod tests {
     #[test]
     fn set_pixel_wrong_channel_count() {
         let mut f = Frame::zeroed(3, 2, PixelFormat::Rgb8).unwrap();
-        assert!(matches!(f.set_pixel(0, 0, &[1]), Err(FrameError::ShapeMismatch { .. })));
+        assert!(matches!(
+            f.set_pixel(0, 0, &[1]),
+            Err(FrameError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

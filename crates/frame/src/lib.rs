@@ -19,6 +19,8 @@
 //!
 //! All APIs are fallible; no function in this crate panics on user input.
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod compress;
 pub mod cost;
 pub mod frame;
@@ -69,7 +71,10 @@ impl fmt::Display for FrameError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FrameError::ShapeMismatch { expected, actual } => {
-                write!(f, "buffer shape mismatch: expected {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "buffer shape mismatch: expected {expected} bytes, got {actual}"
+                )
             }
             FrameError::OutOfBounds { what } => write!(f, "out of bounds: {what}"),
             FrameError::InvalidDimension { what } => write!(f, "invalid dimension: {what}"),

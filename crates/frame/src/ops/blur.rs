@@ -16,7 +16,9 @@ impl Blur {
     /// Creates a blur with the given radius (`>= 1`).
     pub fn new(radius: usize) -> Result<Self> {
         if radius == 0 {
-            return Err(FrameError::InvalidDimension { what: "blur radius must be >= 1" });
+            return Err(FrameError::InvalidDimension {
+                what: "blur radius must be >= 1",
+            });
         }
         Ok(Blur { radius })
     }
@@ -66,7 +68,12 @@ impl FrameOp for Blur {
         let pixels = (width * height) as u64;
         // Two passes, each touching 2r+1 taps per pixel.
         let taps = (2 * self.radius + 1) as f64 * 2.0;
-        per_pixel_cost(pixels, channels as u64, units::BLUR * taps, pixels * channels as u64)
+        per_pixel_cost(
+            pixels,
+            channels as u64,
+            units::BLUR * taps,
+            pixels * channels as u64,
+        )
     }
 
     fn name(&self) -> &'static str {

@@ -29,13 +29,21 @@ impl ColorJitter {
                 });
             }
         }
-        Ok(ColorJitter { brightness, contrast, saturation })
+        Ok(ColorJitter {
+            brightness,
+            contrast,
+            saturation,
+        })
     }
 
     /// Identity jitter (all factors 1.0).
     #[must_use]
     pub fn identity() -> Self {
-        ColorJitter { brightness: 1.0, contrast: 1.0, saturation: 1.0 }
+        ColorJitter {
+            brightness: 1.0,
+            contrast: 1.0,
+            saturation: 1.0,
+        }
     }
 }
 
@@ -90,7 +98,12 @@ impl FrameOp for ColorJitter {
 
     fn cost(&self, width: usize, height: usize, channels: usize) -> OpCost {
         let pixels = (width * height) as u64;
-        per_pixel_cost(pixels, channels as u64, units::COLOR_JITTER, pixels * channels as u64)
+        per_pixel_cost(
+            pixels,
+            channels as u64,
+            units::COLOR_JITTER,
+            pixels * channels as u64,
+        )
     }
 
     fn name(&self) -> &'static str {
@@ -98,7 +111,10 @@ impl FrameOp for ColorJitter {
     }
 
     fn params(&self) -> String {
-        format!("b{:.4},c{:.4},s{:.4}", self.brightness, self.contrast, self.saturation)
+        format!(
+            "b{:.4},c{:.4},s{:.4}",
+            self.brightness, self.contrast, self.saturation
+        )
     }
 }
 

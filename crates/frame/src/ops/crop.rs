@@ -22,7 +22,9 @@ impl Crop {
     /// Creates a crop of `w x h` pixels anchored at `(x, y)`.
     pub fn new(x: usize, y: usize, w: usize, h: usize) -> Result<Self> {
         if w == 0 || h == 0 {
-            return Err(FrameError::InvalidDimension { what: "crop size must be nonzero" });
+            return Err(FrameError::InvalidDimension {
+                what: "crop size must be nonzero",
+            });
         }
         Ok(Crop { x, y, w, h })
     }
@@ -36,7 +38,9 @@ impl Crop {
     /// A crop of the same size centered in a `src_w x src_h` frame.
     pub fn centered(src_w: usize, src_h: usize, w: usize, h: usize) -> Result<Self> {
         if w > src_w || h > src_h {
-            return Err(FrameError::OutOfBounds { what: "center crop larger than source" });
+            return Err(FrameError::OutOfBounds {
+                what: "center crop larger than source",
+            });
         }
         Crop::new((src_w - w) / 2, (src_h - h) / 2, w, h)
     }
@@ -46,7 +50,9 @@ impl FrameOp for Crop {
     fn apply(&self, input: &Frame) -> Result<Frame> {
         let c = input.channels();
         if self.x + self.w > input.width() || self.y + self.h > input.height() {
-            return Err(FrameError::OutOfBounds { what: "crop region outside frame" });
+            return Err(FrameError::OutOfBounds {
+                what: "crop region outside frame",
+            });
         }
         let src = input.as_bytes();
         let stride = input.stride();
@@ -63,7 +69,12 @@ impl FrameOp for Crop {
 
     fn cost(&self, _width: usize, _height: usize, channels: usize) -> OpCost {
         let pixels = (self.w * self.h) as u64;
-        per_pixel_cost(pixels, channels as u64, units::CROP, pixels * channels as u64)
+        per_pixel_cost(
+            pixels,
+            channels as u64,
+            units::CROP,
+            pixels * channels as u64,
+        )
     }
 
     fn name(&self) -> &'static str {

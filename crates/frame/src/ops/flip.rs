@@ -75,7 +75,12 @@ impl FrameOp for Flip {
 
     fn cost(&self, width: usize, height: usize, channels: usize) -> OpCost {
         let pixels = (width * height) as u64;
-        per_pixel_cost(pixels, channels as u64, units::FLIP, pixels * channels as u64)
+        per_pixel_cost(
+            pixels,
+            channels as u64,
+            units::FLIP,
+            pixels * channels as u64,
+        )
     }
 
     fn name(&self) -> &'static str {

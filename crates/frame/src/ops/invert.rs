@@ -32,7 +32,12 @@ impl FrameOp for Invert {
 
     fn cost(&self, width: usize, height: usize, channels: usize) -> OpCost {
         let pixels = (width * height) as u64;
-        per_pixel_cost(pixels, channels as u64, units::INVERT, pixels * channels as u64)
+        per_pixel_cost(
+            pixels,
+            channels as u64,
+            units::INVERT,
+            pixels * channels as u64,
+        )
     }
 
     fn name(&self) -> &'static str {

@@ -63,7 +63,10 @@ pub struct AugStep {
 impl AugStep {
     /// Builds the step descriptor for an op instance.
     pub fn of(op: &dyn FrameOp) -> Self {
-        AugStep { name: op.name().to_string(), params: op.params() }
+        AugStep {
+            name: op.name().to_string(),
+            params: op.params(),
+        }
     }
 }
 

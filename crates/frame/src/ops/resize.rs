@@ -46,9 +46,15 @@ impl Resize {
     /// Creates a resize to `out_w x out_h`.
     pub fn new(out_w: usize, out_h: usize, interp: Interpolation) -> Result<Self> {
         if out_w == 0 || out_h == 0 {
-            return Err(FrameError::InvalidDimension { what: "resize target must be nonzero" });
+            return Err(FrameError::InvalidDimension {
+                what: "resize target must be nonzero",
+            });
         }
-        Ok(Resize { out_w, out_h, interp })
+        Ok(Resize {
+            out_w,
+            out_h,
+            interp,
+        })
     }
 
     /// Target width.
@@ -144,7 +150,8 @@ mod tests {
         let mut f = Frame::zeroed(w, h, PixelFormat::Gray8).unwrap();
         for y in 0..h {
             for x in 0..w {
-                f.set_pixel(x, y, &[((x * 255) / (w - 1).max(1)) as u8]).unwrap();
+                f.set_pixel(x, y, &[((x * 255) / (w - 1).max(1)) as u8])
+                    .unwrap();
             }
         }
         f
@@ -153,21 +160,30 @@ mod tests {
     #[test]
     fn nearest_identity_when_same_size() {
         let f = gradient(8, 8);
-        let out = Resize::new(8, 8, Interpolation::Nearest).unwrap().apply(&f).unwrap();
+        let out = Resize::new(8, 8, Interpolation::Nearest)
+            .unwrap()
+            .apply(&f)
+            .unwrap();
         assert_eq!(out.as_bytes(), f.as_bytes());
     }
 
     #[test]
     fn bilinear_identity_when_same_size() {
         let f = gradient(8, 8);
-        let out = Resize::new(8, 8, Interpolation::Bilinear).unwrap().apply(&f).unwrap();
+        let out = Resize::new(8, 8, Interpolation::Bilinear)
+            .unwrap()
+            .apply(&f)
+            .unwrap();
         assert_eq!(out.as_bytes(), f.as_bytes());
     }
 
     #[test]
     fn downscale_dimensions() {
         let f = gradient(16, 12);
-        let out = Resize::new(8, 6, Interpolation::Bilinear).unwrap().apply(&f).unwrap();
+        let out = Resize::new(8, 6, Interpolation::Bilinear)
+            .unwrap()
+            .apply(&f)
+            .unwrap();
         assert_eq!((out.width(), out.height()), (8, 6));
     }
 
@@ -179,7 +195,10 @@ mod tests {
                 f.set_pixel(x, y, &[100, 150, 200]).unwrap();
             }
         }
-        let out = Resize::new(9, 9, Interpolation::Bilinear).unwrap().apply(&f).unwrap();
+        let out = Resize::new(9, 9, Interpolation::Bilinear)
+            .unwrap()
+            .apply(&f)
+            .unwrap();
         for y in 0..9 {
             for x in 0..9 {
                 assert_eq!(out.pixel(x, y).unwrap(), &[100, 150, 200]);
@@ -190,7 +209,10 @@ mod tests {
     #[test]
     fn bilinear_monotone_on_gradient() {
         let f = gradient(32, 4);
-        let out = Resize::new(8, 4, Interpolation::Bilinear).unwrap().apply(&f).unwrap();
+        let out = Resize::new(8, 4, Interpolation::Bilinear)
+            .unwrap()
+            .apply(&f)
+            .unwrap();
         let row: Vec<u8> = (0..8).map(|x| out.pixel(x, 0).unwrap()[0]).collect();
         for w in row.windows(2) {
             assert!(w[1] >= w[0], "gradient must remain monotone: {row:?}");
@@ -204,10 +226,16 @@ mod tests {
 
     #[test]
     fn cost_depends_on_output_size_and_mode() {
-        let small = Resize::new(4, 4, Interpolation::Bilinear).unwrap().cost(100, 100, 3);
-        let big = Resize::new(8, 8, Interpolation::Bilinear).unwrap().cost(100, 100, 3);
+        let small = Resize::new(4, 4, Interpolation::Bilinear)
+            .unwrap()
+            .cost(100, 100, 3);
+        let big = Resize::new(8, 8, Interpolation::Bilinear)
+            .unwrap()
+            .cost(100, 100, 3);
         assert!(big.compute_units > small.compute_units);
-        let near = Resize::new(8, 8, Interpolation::Nearest).unwrap().cost(100, 100, 3);
+        let near = Resize::new(8, 8, Interpolation::Nearest)
+            .unwrap()
+            .cost(100, 100, 3);
         assert!(near.compute_units < big.compute_units);
     }
 

@@ -71,7 +71,12 @@ impl FrameOp for Rotate {
 
     fn cost(&self, width: usize, height: usize, channels: usize) -> OpCost {
         let pixels = (width * height) as u64;
-        per_pixel_cost(pixels, channels as u64, units::ROTATE, pixels * channels as u64)
+        per_pixel_cost(
+            pixels,
+            channels as u64,
+            units::ROTATE,
+            pixels * channels as u64,
+        )
     }
 
     fn name(&self) -> &'static str {

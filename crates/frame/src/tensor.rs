@@ -19,10 +19,15 @@ impl Tensor {
     pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Result<Self> {
         let expected: usize = shape.iter().product();
         if shape.contains(&0) {
-            return Err(FrameError::InvalidDimension { what: "tensor dims must be nonzero" });
+            return Err(FrameError::InvalidDimension {
+                what: "tensor dims must be nonzero",
+            });
         }
         if data.len() != expected {
-            return Err(FrameError::ShapeMismatch { expected, actual: data.len() });
+            return Err(FrameError::ShapeMismatch {
+                expected,
+                actual: data.len(),
+            });
         }
         Ok(Tensor { shape, data })
     }
@@ -31,7 +36,9 @@ impl Tensor {
     pub fn zeros(shape: Vec<usize>) -> Result<Self> {
         let n: usize = shape.iter().product();
         if shape.contains(&0) {
-            return Err(FrameError::InvalidDimension { what: "tensor dims must be nonzero" });
+            return Err(FrameError::InvalidDimension {
+                what: "tensor dims must be nonzero",
+            });
         }
         Tensor::from_vec(shape, vec![0.0; n])
     }
@@ -95,7 +102,9 @@ impl Tensor {
         let read_u64 = |off: usize| -> Result<u64> {
             let end = off + 8;
             if end > bytes.len() {
-                return Err(FrameError::CorruptData { what: "truncated tensor header" });
+                return Err(FrameError::CorruptData {
+                    what: "truncated tensor header",
+                });
             }
             let mut b = [0u8; 8];
             b.copy_from_slice(&bytes[off..end]);
@@ -103,7 +112,9 @@ impl Tensor {
         };
         let rank = read_u64(0)? as usize;
         if rank > 8 {
-            return Err(FrameError::CorruptData { what: "tensor rank too large" });
+            return Err(FrameError::CorruptData {
+                what: "tensor rank too large",
+            });
         }
         let mut shape = Vec::with_capacity(rank);
         for i in 0..rank {
@@ -113,7 +124,9 @@ impl Tensor {
         let n: usize = shape.iter().product();
         let need = data_off + n * 4;
         if bytes.len() < need {
-            return Err(FrameError::CorruptData { what: "truncated tensor data" });
+            return Err(FrameError::CorruptData {
+                what: "truncated tensor data",
+            });
         }
         let mut data = Vec::with_capacity(n);
         data.extend(
@@ -140,14 +153,19 @@ pub fn clip_refs_to_tensor(frames: &[&Frame], mean: &[f32], std: &[f32]) -> Resu
         .ok_or(FrameError::InvalidDimension { what: "empty clip" })?;
     let (w, h, c) = (first.width(), first.height(), first.channels());
     if mean.len() != c || std.len() != c {
-        return Err(FrameError::ShapeMismatch { expected: c, actual: mean.len() });
+        return Err(FrameError::ShapeMismatch {
+            expected: c,
+            actual: mean.len(),
+        });
     }
     if std.contains(&0.0) {
         return Err(FrameError::InvalidDimension { what: "zero std" });
     }
     for f in frames {
         if !f.same_shape(first) {
-            return Err(FrameError::IncompatibleFrames { what: "clip frames must share shape" });
+            return Err(FrameError::IncompatibleFrames {
+                what: "clip frames must share shape",
+            });
         }
     }
     let frames = frames.iter().copied();
@@ -171,12 +189,14 @@ pub fn clip_refs_to_tensor(frames: &[&Frame], mean: &[f32], std: &[f32]) -> Resu
 
 /// Stacks per-sample tensors into a batch tensor with a leading N axis.
 pub fn stack(samples: &[Tensor]) -> Result<Tensor> {
-    let first = samples
-        .first()
-        .ok_or(FrameError::InvalidDimension { what: "empty batch" })?;
+    let first = samples.first().ok_or(FrameError::InvalidDimension {
+        what: "empty batch",
+    })?;
     for s in samples {
         if s.shape() != first.shape() {
-            return Err(FrameError::IncompatibleFrames { what: "batch samples must share shape" });
+            return Err(FrameError::IncompatibleFrames {
+                what: "batch samples must share shape",
+            });
         }
     }
     let mut shape = Vec::with_capacity(first.shape().len() + 1);

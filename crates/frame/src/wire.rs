@@ -25,12 +25,14 @@ pub fn get_varint(data: &[u8], pos: &mut usize) -> Result<u64> {
     let mut v: u64 = 0;
     let mut shift = 0u32;
     loop {
-        let byte = *data
-            .get(*pos)
-            .ok_or(FrameError::CorruptData { what: "truncated varint" })?;
+        let byte = *data.get(*pos).ok_or(FrameError::CorruptData {
+            what: "truncated varint",
+        })?;
         *pos += 1;
         if shift >= 64 {
-            return Err(FrameError::CorruptData { what: "varint overflow" });
+            return Err(FrameError::CorruptData {
+                what: "varint overflow",
+            });
         }
         v |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
@@ -89,25 +91,31 @@ pub fn rle_unpack(data: &[u8], expected_len: usize) -> Result<Vec<u8>> {
         let head = get_varint(data, &mut pos)?;
         let len = (head >> 1) as usize;
         if out.len() + len > expected_len {
-            return Err(FrameError::CorruptData { what: "rle block exceeds expected length" });
+            return Err(FrameError::CorruptData {
+                what: "rle block exceeds expected length",
+            });
         }
         if head & 1 == 1 {
-            let b = *data
-                .get(pos)
-                .ok_or(FrameError::CorruptData { what: "truncated run byte" })?;
+            let b = *data.get(pos).ok_or(FrameError::CorruptData {
+                what: "truncated run byte",
+            })?;
             pos += 1;
             out.resize(out.len() + len, b);
         } else {
             let end = pos + len;
             if end > data.len() {
-                return Err(FrameError::CorruptData { what: "truncated literal block" });
+                return Err(FrameError::CorruptData {
+                    what: "truncated literal block",
+                });
             }
             out.extend_from_slice(&data[pos..end]);
             pos = end;
         }
     }
     if out.len() != expected_len {
-        return Err(FrameError::CorruptData { what: "rle output length mismatch" });
+        return Err(FrameError::CorruptData {
+            what: "rle output length mismatch",
+        });
     }
     Ok(out)
 }
@@ -118,7 +126,16 @@ mod tests {
 
     #[test]
     fn varint_roundtrip_edges() {
-        for v in [0u64, 1, 127, 128, 16383, 16384, u64::from(u32::MAX), u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            u64::from(u32::MAX),
+            u64::MAX,
+        ] {
             let mut buf = Vec::new();
             put_varint(&mut buf, v);
             let mut pos = 0;
@@ -145,8 +162,7 @@ mod tests {
 
     #[test]
     fn rle_roundtrip_mixed_content() {
-        let data: Vec<u8> =
-            [vec![7u8; 10], vec![1, 2, 3], vec![0u8; 100], vec![9, 9, 9]].concat();
+        let data: Vec<u8> = [vec![7u8; 10], vec![1, 2, 3], vec![0u8; 100], vec![9, 9, 9]].concat();
         let packed = rle_pack(&data);
         assert_eq!(rle_unpack(&packed, data.len()).unwrap(), data);
         assert!(packed.len() < data.len());

@@ -1,5 +1,7 @@
 //! Property-based tests for frame buffers, compression, and ops.
 
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 use sand_frame::ops::{Crop, Flip, FlipAxis, FrameOp, Interpolation, Invert, Resize};
 use sand_frame::{compress_frame, decompress_frame, Frame, FrameMeta, PixelFormat};
@@ -7,11 +9,20 @@ use sand_frame::{compress_frame, decompress_frame, Frame, FrameMeta, PixelFormat
 /// Strategy producing arbitrary small frames.
 fn arb_frame() -> impl Strategy<Value = Frame> {
     (1usize..32, 1usize..32, prop::bool::ANY).prop_flat_map(|(w, h, rgb)| {
-        let fmt = if rgb { PixelFormat::Rgb8 } else { PixelFormat::Gray8 };
+        let fmt = if rgb {
+            PixelFormat::Rgb8
+        } else {
+            PixelFormat::Gray8
+        };
         let len = w * h * fmt.channels();
         prop::collection::vec(any::<u8>(), len..=len).prop_map(move |data| {
             let mut f = Frame::from_vec(w, h, fmt, data).expect("strategy shape");
-            f.meta = FrameMeta { index: 3, timestamp_us: 99, video_id: 5, aug_depth: 0 };
+            f.meta = FrameMeta {
+                index: 3,
+                timestamp_us: 99,
+                video_id: 5,
+                aug_depth: 0,
+            };
             f
         })
     })

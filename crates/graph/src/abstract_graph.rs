@@ -78,10 +78,20 @@ impl AbstractGraph {
     #[must_use]
     pub fn from_config(cfg: &TaskConfig) -> Self {
         let mut nodes = vec![
-            AbstractNode { id: 0, view: ViewType::Video },
-            AbstractNode { id: 1, view: ViewType::Frame },
+            AbstractNode {
+                id: 0,
+                view: ViewType::Video,
+            },
+            AbstractNode {
+                id: 1,
+                view: ViewType::Frame,
+            },
         ];
-        let mut edges = vec![AbstractEdge { from: 0, to: 1, op: AbstractOp::Decode }];
+        let mut edges = vec![AbstractEdge {
+            from: 0,
+            to: 1,
+            op: AbstractOp::Decode,
+        }];
         // Stream name -> producing node id. `frame` is node 1.
         let mut stream_node: Vec<(String, usize)> = vec![("frame".to_string(), 1)];
         for branch in &cfg.augmentation {
@@ -92,14 +102,21 @@ impl AbstractGraph {
         }
         // The batch node collates every terminal stream.
         let batch_id = nodes.len();
-        nodes.push(AbstractNode { id: batch_id, view: ViewType::Batch });
+        nodes.push(AbstractNode {
+            id: batch_id,
+            view: ViewType::Batch,
+        });
         for term in cfg.terminal_streams() {
             let src = stream_node
                 .iter()
                 .find(|(n, _)| *n == term)
                 .map(|(_, id)| *id)
                 .unwrap_or(1);
-            edges.push(AbstractEdge { from: src, to: batch_id, op: AbstractOp::Collate });
+            edges.push(AbstractEdge {
+                from: src,
+                to: batch_id,
+                op: AbstractOp::Collate,
+            });
         }
         AbstractGraph {
             task: cfg.tag.clone(),
@@ -131,10 +148,14 @@ impl AbstractGraph {
             .iter()
             .find(|n| matches!(&n.view, ViewType::AugFrame { stream: s } if s == stream))
             .map(|n| n.id);
-        let Some(mut cur) = target else { return Vec::new() };
+        let Some(mut cur) = target else {
+            return Vec::new();
+        };
         let mut path = vec![cur];
         while cur != 0 {
-            let Some(e) = self.edges.iter().find(|e| e.to == cur) else { break };
+            let Some(e) = self.edges.iter().find(|e| e.to == cur) else {
+                break;
+            };
             cur = e.from;
             path.push(cur);
         }
@@ -161,12 +182,19 @@ fn add_branch(
     let mut out_ids = Vec::with_capacity(branch.outputs.len());
     for out in &branch.outputs {
         let id = nodes.len();
-        nodes.push(AbstractNode { id, view: ViewType::AugFrame { stream: out.clone() } });
+        nodes.push(AbstractNode {
+            id,
+            view: ViewType::AugFrame {
+                stream: out.clone(),
+            },
+        });
         for input in &branch.inputs {
             edges.push(AbstractEdge {
                 from: lookup(input),
                 to: id,
-                op: AbstractOp::Augment { branch: branch.name.clone() },
+                op: AbstractOp::Augment {
+                    branch: branch.name.clone(),
+                },
             });
         }
         out_ids.push(id);

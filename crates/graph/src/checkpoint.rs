@@ -24,7 +24,9 @@ pub const MAGIC: [u8; 4] = *b"SGCK";
 pub const VERSION: u8 = 1;
 
 fn err(what: &'static str) -> GraphError {
-    GraphError::InvalidInput { what: what.to_string() }
+    GraphError::InvalidInput {
+        what: what.to_string(),
+    }
 }
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
@@ -84,7 +86,11 @@ fn put_key(out: &mut Vec<u8>, key: &ObjectKey) {
             put_varint(out, *video_id);
             put_varint(out, *frame as u64);
         }
-        ObjectKey::Aug { video_id, frame, chain } => {
+        ObjectKey::Aug {
+            video_id,
+            frame,
+            chain,
+        } => {
             out.push(2);
             put_varint(out, *video_id);
             put_varint(out, *frame as u64);
@@ -103,7 +109,10 @@ fn get_key(bytes: &[u8], pos: &mut usize) -> Result<ObjectKey> {
     let gv = |pos: &mut usize| get_varint(bytes, pos).map_err(|_| err("truncated key"));
     Ok(match tag {
         0 => ObjectKey::Video { video_id: gv(pos)? },
-        1 => ObjectKey::Frame { video_id: gv(pos)?, frame: gv(pos)? as usize },
+        1 => ObjectKey::Frame {
+            video_id: gv(pos)?,
+            frame: gv(pos)? as usize,
+        },
         2 => {
             let video_id = gv(pos)?;
             let frame = gv(pos)? as usize;
@@ -112,7 +121,11 @@ fn get_key(bytes: &[u8], pos: &mut usize) -> Result<ObjectKey> {
             for _ in 0..n {
                 chain.push((get_str(bytes, pos)?, get_str(bytes, pos)?));
             }
-            ObjectKey::Aug { video_id, frame, chain }
+            ObjectKey::Aug {
+                video_id,
+                frame,
+                chain,
+            }
         }
         _ => return Err(err("unknown key tag")),
     })
@@ -214,8 +227,12 @@ fn get_op(bytes: &[u8], pos: &mut usize) -> Result<ResolvedOp> {
             ResolvedOp::Rotate { rot }
         }
         5 => ResolvedOp::Invert,
-        6 => ResolvedOp::Blur { radius: gv(pos)? as usize },
-        7 => ResolvedOp::Custom { name: get_str(bytes, pos)? },
+        6 => ResolvedOp::Blur {
+            radius: gv(pos)? as usize,
+        },
+        7 => ResolvedOp::Custom {
+            name: get_str(bytes, pos)?,
+        },
         8 => {
             let nm = gv(pos)? as usize;
             let mut mean = Vec::with_capacity(nm);
@@ -345,8 +362,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<ConcreteGraph> {
         return Err(err("unsupported checkpoint version"));
     }
     let mut pos = 5;
-    let gv =
-        |pos: &mut usize| get_varint(bytes, pos).map_err(|_| err("truncated checkpoint"));
+    let gv = |pos: &mut usize| get_varint(bytes, pos).map_err(|_| err("truncated checkpoint"));
     let start = gv(&mut pos)?;
     let end = gv(&mut pos)?;
     let node_count = gv(&mut pos)? as usize;
@@ -374,7 +390,11 @@ pub fn from_bytes(bytes: &[u8]) -> Result<ConcreteGraph> {
         let dims = (gv(&mut pos)? as usize, gv(&mut pos)? as usize);
         let has_op = *bytes.get(pos).ok_or(err("truncated op flag"))?;
         pos += 1;
-        let op = if has_op == 1 { Some(get_op(bytes, &mut pos)?) } else { None };
+        let op = if has_op == 1 {
+            Some(get_op(bytes, &mut pos)?)
+        } else {
+            None
+        };
         let n_consumers = gv(&mut pos)? as usize;
         let mut consumers = Vec::with_capacity(n_consumers);
         for _ in 0..n_consumers {
@@ -457,7 +477,13 @@ pub fn from_bytes(bytes: &[u8]) -> Result<ConcreteGraph> {
                 normalize,
             });
         }
-        batches.push(BatchRef { task, epoch, iteration, clock, samples });
+        batches.push(BatchRef {
+            task,
+            epoch,
+            iteration,
+            clock,
+            samples,
+        });
     }
     let mut stats = MergeStats {
         decode_requests: gv(&mut pos)?,
@@ -538,9 +564,16 @@ dataset:
             })
             .collect();
         Planner::new(
-            vec![PlanInput { task_id: 0, config: parse_task_config(TASK).unwrap() }],
+            vec![PlanInput {
+                task_id: 0,
+                config: parse_task_config(TASK).unwrap(),
+            }],
             videos,
-            PlannerOptions { seed: 9, coordinate: true, epochs: 2..4 },
+            PlannerOptions {
+                seed: 9,
+                coordinate: true,
+                epochs: 2..4,
+            },
         )
         .unwrap()
         .plan()

@@ -238,7 +238,11 @@ pub struct PlannerOptions {
 
 impl Default for PlannerOptions {
     fn default() -> Self {
-        PlannerOptions { seed: 0x5a4d, coordinate: true, epochs: 0..1 }
+        PlannerOptions {
+            seed: 0x5a4d,
+            coordinate: true,
+            epochs: 0..1,
+        }
     }
 }
 
@@ -276,7 +280,14 @@ impl ConcreteGraph {
             }
             key_index.insert(n.key.clone(), n.id);
         }
-        ConcreteGraph { nodes, roots, batches, stats, epochs, key_index }
+        ConcreteGraph {
+            nodes,
+            roots,
+            batches,
+            stats,
+            epochs,
+            key_index,
+        }
     }
 
     /// Looks up a node by object identity.
@@ -288,7 +299,9 @@ impl ConcreteGraph {
     /// Nodes of one video's subtree (preorder).
     #[must_use]
     pub fn video_subtree(&self, video_id: u64) -> Vec<NodeId> {
-        let Some(&root) = self.roots.get(&video_id) else { return Vec::new() };
+        let Some(&root) = self.roots.get(&video_id) else {
+            return Vec::new();
+        };
         let mut out = Vec::new();
         let mut stack = vec![root];
         while let Some(id) = stack.pop() {
@@ -326,13 +339,21 @@ impl ConcreteGraph {
     /// Total size of all currently cached nodes.
     #[must_use]
     pub fn cached_bytes(&self) -> u64 {
-        self.nodes.iter().filter(|n| n.cached).map(|n| n.size_bytes).sum()
+        self.nodes
+            .iter()
+            .filter(|n| n.cached)
+            .map(|n| n.size_bytes)
+            .sum()
     }
 
     /// Sum of edge costs of all nodes *not* cached (recompute exposure).
     #[must_use]
     pub fn uncached_cost(&self) -> f64 {
-        self.nodes.iter().filter(|n| !n.cached).map(|n| n.edge_cost).sum()
+        self.nodes
+            .iter()
+            .filter(|n| !n.cached)
+            .map(|n| n.edge_cost)
+            .sum()
     }
 }
 
@@ -359,21 +380,29 @@ impl Planner {
         options: PlannerOptions,
     ) -> Result<Self> {
         if tasks.is_empty() {
-            return Err(GraphError::InvalidInput { what: "no tasks".into() });
+            return Err(GraphError::InvalidInput {
+                what: "no tasks".into(),
+            });
         }
         if videos.is_empty() {
-            return Err(GraphError::InvalidInput { what: "no videos".into() });
+            return Err(GraphError::InvalidInput {
+                what: "no videos".into(),
+            });
         }
         if options.epochs.is_empty() {
-            return Err(GraphError::InvalidInput { what: "empty epoch range".into() });
+            return Err(GraphError::InvalidInput {
+                what: "empty epoch range".into(),
+            });
         }
         for t in &tasks {
-            t.config
-                .validate()
-                .map_err(|e| GraphError::InvalidInput { what: e.to_string() })?;
+            t.config.validate().map_err(|e| GraphError::InvalidInput {
+                what: e.to_string(),
+            })?;
         }
-        let abstract_graphs: Vec<AbstractGraph> =
-            tasks.iter().map(|t| AbstractGraph::from_config(&t.config)).collect();
+        let abstract_graphs: Vec<AbstractGraph> = tasks
+            .iter()
+            .map(|t| AbstractGraph::from_config(&t.config))
+            .collect();
         for g in &abstract_graphs[1..] {
             if !abstract_graphs[0].shares_root(g) {
                 return Err(GraphError::InvalidInput {
@@ -384,7 +413,12 @@ impl Planner {
                 });
             }
         }
-        Ok(Planner { tasks, videos, options, abstract_graphs })
+        Ok(Planner {
+            tasks,
+            videos,
+            options,
+            abstract_graphs,
+        })
     }
 
     /// The per-task abstract view dependency graphs.
@@ -429,7 +463,9 @@ impl Planner {
         // Video roots.
         for v in &self.videos {
             let id = graph.nodes.len();
-            let key = ObjectKey::Video { video_id: v.video_id };
+            let key = ObjectKey::Video {
+                video_id: v.video_id,
+            };
             graph.nodes.push(ConcreteNode {
                 id,
                 key: key.clone(),
@@ -476,7 +512,12 @@ impl Planner {
                     let video = &self.videos[vid_idx];
                     let iteration = (pos / vpb) as u64;
                     let clock = epoch * max_iters + iteration;
-                    let consumer = Consumer { task: task_id, epoch, iteration, clock };
+                    let consumer = Consumer {
+                        task: task_id,
+                        epoch,
+                        iteration,
+                        clock,
+                    };
                     for sample in 0..cfg.sampling.samples_per_video as u64 {
                         // Temporal coordination (or not).
                         let indices = if self.options.coordinate {
@@ -513,8 +554,7 @@ impl Planner {
                                 1,
                                 0xc11b,
                             );
-                            let pool =
-                                FramePool::build(video.frames, &[cfg.sampling], ua)?;
+                            let pool = FramePool::build(video.frames, &[cfg.sampling], ua)?;
                             pool.select(&cfg.sampling, uo)
                         };
                         // Spatial coordination (or not).
@@ -569,12 +609,9 @@ impl Planner {
                             });
                         }
                         // Attach the slot plans to the batch record.
-                        let batch = graph
-                            .batches
-                            .iter_mut()
-                            .find(|b| {
-                                b.task == task_id && b.epoch == epoch && b.iteration == iteration
-                            });
+                        let batch = graph.batches.iter_mut().find(|b| {
+                            b.task == task_id && b.epoch == epoch && b.iteration == iteration
+                        });
                         match batch {
                             Some(b) => b.samples.extend(plans),
                             None => graph.batches.push(BatchRef {
@@ -605,7 +642,9 @@ impl Planner {
         for b in &graph.batches {
             let mut dims: Option<((usize, usize), usize)> = None;
             for s in &b.samples {
-                let Some(&terminal) = s.frame_nodes.last() else { continue };
+                let Some(&terminal) = s.frame_nodes.last() else {
+                    continue;
+                };
                 let d = (graph.nodes[terminal].dims, s.frame_indices.len());
                 match dims {
                     None => dims = Some(d),
@@ -658,7 +697,10 @@ impl Planner {
         use sand_frame::cost::units;
         let root = graph.roots[&video.video_id];
         // Frame node.
-        let frame_key = ObjectKey::Frame { video_id: video.video_id, frame };
+        let frame_key = ObjectKey::Frame {
+            video_id: video.video_id,
+            frame,
+        };
         graph.stats.decode_requests += 1;
         *graph
             .stats
@@ -673,8 +715,7 @@ impl Planner {
                 // Cost model: decoding this frame alone costs the GOP run
                 // from the previous keyframe.
                 let gop_pos = frame % video.gop_size.max(1);
-                let cost = frame_px * units::DECODE_I
-                    + gop_pos as f64 * frame_px * units::DECODE_P;
+                let cost = frame_px * units::DECODE_I + gop_pos as f64 * frame_px * units::DECODE_P;
                 graph.nodes.push(ConcreteNode {
                     id,
                     key: frame_key.clone(),
@@ -790,7 +831,10 @@ dataset:
 "#;
 
     fn plan_input(text: &str, task_id: u32) -> PlanInput {
-        PlanInput { task_id, config: parse_task_config(text).unwrap() }
+        PlanInput {
+            task_id,
+            config: parse_task_config(text).unwrap(),
+        }
     }
 
     fn plan(
@@ -802,7 +846,11 @@ dataset:
         Planner::new(
             tasks,
             videos(n_videos),
-            PlannerOptions { seed: 7, coordinate, epochs },
+            PlannerOptions {
+                seed: 7,
+                coordinate,
+                epochs,
+            },
         )
         .unwrap()
         .plan()
@@ -839,19 +887,37 @@ dataset:
 
     #[test]
     fn two_identical_tasks_share_everything_when_coordinated() {
-        let g = plan(vec![plan_input(TASK_A, 0), plan_input(TASK_A, 1)], 4, 0..1, true);
+        let g = plan(
+            vec![plan_input(TASK_A, 0), plan_input(TASK_A, 1)],
+            4,
+            0..1,
+            true,
+        );
         // All decode and aug work is shared: reduction = 50%.
-        assert!((g.stats.decode_reduction() - 0.5).abs() < 1e-9, "{:?}", g.stats.decode_reduction());
+        assert!(
+            (g.stats.decode_reduction() - 0.5).abs() < 1e-9,
+            "{:?}",
+            g.stats.decode_reduction()
+        );
         assert!((g.stats.op_reduction("crop") - 0.5).abs() < 1e-9);
         assert!((g.stats.op_reduction("resize") - 0.5).abs() < 1e-9);
     }
 
     #[test]
     fn independent_tasks_share_almost_nothing() {
-        let g = plan(vec![plan_input(TASK_A, 0), plan_input(TASK_A, 1)], 4, 0..1, false);
+        let g = plan(
+            vec![plan_input(TASK_A, 0), plan_input(TASK_A, 1)],
+            4,
+            0..1,
+            false,
+        );
         // Anchors differ per task with high probability, so reduction is
         // far below the coordinated 50%.
-        assert!(g.stats.decode_reduction() < 0.3, "{}", g.stats.decode_reduction());
+        assert!(
+            g.stats.decode_reduction() < 0.3,
+            "{}",
+            g.stats.decode_reduction()
+        );
     }
 
     #[test]
@@ -969,7 +1035,12 @@ dataset:
     #[test]
     fn frame_selection_counts_cover_requests() {
         let g = plan(vec![plan_input(TASK_A, 0)], 2, 0..3, true);
-        let total: u64 = g.stats.frame_selection.values().map(|&c| u64::from(c)).sum();
+        let total: u64 = g
+            .stats
+            .frame_selection
+            .values()
+            .map(|&c| u64::from(c))
+            .sum();
         assert_eq!(total, g.stats.decode_requests);
         // With coordination a single task still requests each frame once
         // per epoch at most... but across epochs overlaps can occur.
@@ -983,8 +1054,14 @@ dataset:
         other.video_dataset_path = "/elsewhere".into();
         let err = Planner::new(
             vec![
-                PlanInput { task_id: 0, config: parse_task_config(TASK_A).unwrap() },
-                PlanInput { task_id: 1, config: other },
+                PlanInput {
+                    task_id: 0,
+                    config: parse_task_config(TASK_A).unwrap(),
+                },
+                PlanInput {
+                    task_id: 1,
+                    config: other,
+                },
             ],
             videos(2),
             PlannerOptions::default(),
@@ -1017,7 +1094,10 @@ dataset:
         assert!(Planner::new(
             vec![plan_input(TASK_A, 0)],
             videos(1),
-            PlannerOptions { epochs: 3..3, ..Default::default() }
+            PlannerOptions {
+                epochs: 3..3,
+                ..Default::default()
+            }
         )
         .is_err());
     }
@@ -1026,8 +1106,7 @@ dataset:
     fn video_subtree_collects_whole_tree() {
         let g = plan(vec![plan_input(TASK_A, 0)], 3, 0..1, true);
         let mut all: Vec<NodeId> = (0..g.nodes.len()).collect();
-        let mut collected: Vec<NodeId> =
-            (0..3u64).flat_map(|v| g.video_subtree(v)).collect();
+        let mut collected: Vec<NodeId> = (0..3u64).flat_map(|v| g.video_subtree(v)).collect();
         all.sort_unstable();
         collected.sort_unstable();
         assert_eq!(all, collected);
@@ -1070,7 +1149,10 @@ dataset:
 
     #[test]
     fn samples_per_video_multiplies_slots() {
-        let text = TASK_A.replace("frame_stride: 4", "frame_stride: 4\n    samples_per_video: 3");
+        let text = TASK_A.replace(
+            "frame_stride: 4",
+            "frame_stride: 4\n    samples_per_video: 3",
+        );
         let g = plan(vec![plan_input(&text, 0)], 2, 0..1, true);
         assert_eq!(g.batches.len(), 1);
         assert_eq!(g.batches[0].samples.len(), 2 * 3);

@@ -19,6 +19,8 @@
 //! - [`prune`]: Algorithm 1 — greedy subtree collapse trading recompute
 //!   cost for storage until the cached set fits the budget.
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod abstract_graph;
 pub mod checkpoint;
 pub mod concrete;
@@ -63,7 +65,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::InvalidInput { what } => write!(f, "invalid planning input: {what}"),
-            GraphError::ClipTooLong { video_frames, needed } => {
+            GraphError::ClipTooLong {
+                video_frames,
+                needed,
+            } => {
                 write!(f, "clip needs {needed} frames but video has {video_frames}")
             }
             GraphError::ResolveFailed { what } => write!(f, "augmentation resolution: {what}"),

@@ -50,12 +50,21 @@ impl FramePool {
     /// window (see [`crate::resolve::coordinated_draw`]).
     pub fn build(video_frames: usize, samplings: &[SamplingConfig], u: f64) -> Result<Self> {
         if samplings.is_empty() {
-            return Err(GraphError::InvalidInput { what: "no sampling configs".into() });
+            return Err(GraphError::InvalidInput {
+                what: "no sampling configs".into(),
+            });
         }
         let grid = samplings.iter().map(|s| s.frame_stride).fold(0, gcd);
-        let need = samplings.iter().map(SamplingConfig::clip_span).max().unwrap_or(1);
+        let need = samplings
+            .iter()
+            .map(SamplingConfig::clip_span)
+            .max()
+            .unwrap_or(1);
         if need > video_frames {
-            return Err(GraphError::ClipTooLong { video_frames, needed: need });
+            return Err(GraphError::ClipTooLong {
+                video_frames,
+                needed: need,
+            });
         }
         // The window is twice the largest clip span (capped by the video)
         // so even the largest-geometry task keeps per-epoch temporal
@@ -63,9 +72,16 @@ impl FramePool {
         let max_span = (need * 2).min(video_frames);
         let slots = video_frames - max_span + 1;
         let anchor = ((u * slots as f64) as usize).min(slots - 1);
-        let frames: Vec<usize> =
-            (0..max_span).step_by(grid.max(1)).map(|k| anchor + k).collect();
-        Ok(FramePool { anchor, grid, max_span, frames })
+        let frames: Vec<usize> = (0..max_span)
+            .step_by(grid.max(1))
+            .map(|k| anchor + k)
+            .collect();
+        Ok(FramePool {
+            anchor,
+            grid,
+            max_span,
+            frames,
+        })
     }
 
     /// The frame indices one clip takes from the pool.
@@ -192,7 +208,10 @@ mod tests {
     fn too_short_video_rejected() {
         assert!(matches!(
             FramePool::build(10, &[sc(8, 4)], 0.0),
-            Err(GraphError::ClipTooLong { video_frames: 10, needed: 29 })
+            Err(GraphError::ClipTooLong {
+                video_frames: 10,
+                needed: 29
+            })
         ));
     }
 

@@ -181,8 +181,8 @@ pub fn prune_to_budget(graph: &mut ConcreteGraph, budget_bytes: u64) -> PruneOut
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::concrete::{PlanInput, Planner, PlannerOptions};
     use crate::concrete::VideoMeta;
+    use crate::concrete::{PlanInput, Planner, PlannerOptions};
     use sand_config::parse_task_config;
 
     const TASK: &str = r#"
@@ -224,9 +224,16 @@ dataset:
             })
             .collect();
         Planner::new(
-            vec![PlanInput { task_id: 0, config: parse_task_config(TASK).unwrap() }],
+            vec![PlanInput {
+                task_id: 0,
+                config: parse_task_config(TASK).unwrap(),
+            }],
             videos,
-            PlannerOptions { seed: 3, coordinate: true, epochs: 0..epochs },
+            PlannerOptions {
+                seed: 3,
+                coordinate: true,
+                epochs: 0..epochs,
+            },
         )
         .unwrap()
         .plan()

@@ -176,18 +176,18 @@ impl ResolvedOp {
             ResolvedOp::Resize { w, h, interp } => Some(Box::new(
                 Resize::new(*w, *h, *interp).map_err(|e| err(e.to_string()))?,
             )),
-            ResolvedOp::Crop { x, y, w, h } => {
-                Some(Box::new(Crop::new(*x, *y, *w, *h).map_err(|e| err(e.to_string()))?))
-            }
+            ResolvedOp::Crop { x, y, w, h } => Some(Box::new(
+                Crop::new(*x, *y, *w, *h).map_err(|e| err(e.to_string()))?,
+            )),
             ResolvedOp::Flip => Some(Box::new(Flip::new(FlipAxis::Horizontal))),
             ResolvedOp::ColorJitter { b, c, s } => Some(Box::new(
                 ColorJitter::new(*b, *c, *s).map_err(|e| err(e.to_string()))?,
             )),
             ResolvedOp::Rotate { rot } => Some(Box::new(Rotate::new(*rot))),
             ResolvedOp::Invert => Some(Box::new(Invert::new())),
-            ResolvedOp::Blur { radius } => {
-                Some(Box::new(Blur::new(*radius).map_err(|e| err(e.to_string()))?))
-            }
+            ResolvedOp::Blur { radius } => Some(Box::new(
+                Blur::new(*radius).map_err(|e| err(e.to_string()))?,
+            )),
             ResolvedOp::Custom { name } => {
                 return Err(err(format!(
                     "custom op `{name}` requires the engine's augmentation service"
@@ -205,20 +205,20 @@ impl ResolvedOp {
         let out_px = (ow * oh * channels) as f64;
         let in_px = (in_w * in_h * channels) as f64;
         match self {
-            ResolvedOp::Resize { interp: Interpolation::Bilinear, .. } => {
-                out_px * units::RESIZE_BILINEAR
-            }
-            ResolvedOp::Resize { interp: Interpolation::Nearest, .. } => {
-                out_px * units::RESIZE_NEAREST
-            }
+            ResolvedOp::Resize {
+                interp: Interpolation::Bilinear,
+                ..
+            } => out_px * units::RESIZE_BILINEAR,
+            ResolvedOp::Resize {
+                interp: Interpolation::Nearest,
+                ..
+            } => out_px * units::RESIZE_NEAREST,
             ResolvedOp::Crop { .. } => out_px * units::CROP,
             ResolvedOp::Flip => in_px * units::FLIP,
             ResolvedOp::ColorJitter { .. } => in_px * units::COLOR_JITTER,
             ResolvedOp::Rotate { .. } => in_px * units::ROTATE,
             ResolvedOp::Invert => in_px * units::INVERT,
-            ResolvedOp::Blur { radius } => {
-                in_px * units::BLUR * (2 * radius + 1) as f64 * 2.0
-            }
+            ResolvedOp::Blur { radius } => in_px * units::BLUR * (2 * radius + 1) as f64 * 2.0,
             // Conservative default: custom work is assumed jitter-grade.
             ResolvedOp::Custom { .. } => in_px * units::COLOR_JITTER,
             ResolvedOp::Normalize { .. } => in_px * units::NORMALIZE,
@@ -271,10 +271,18 @@ fn resolve_op(
 ) -> Result<Option<ResolvedOp>> {
     let bad = |what: String| GraphError::ResolveFailed { what };
     let resolved = match op {
-        AugOp::Resize { w, h, interpolation } => {
+        AugOp::Resize {
+            w,
+            h,
+            interpolation,
+        } => {
             let interp = Interpolation::parse(interpolation)
                 .ok_or_else(|| bad(format!("unknown interpolation `{interpolation}`")))?;
-            Some(ResolvedOp::Resize { w: *w, h: *h, interp })
+            Some(ResolvedOp::Resize {
+                w: *w,
+                h: *h,
+                interp,
+            })
         }
         AugOp::RandomCrop { w, h } => {
             if *w > dims.w || *h > dims.h {
@@ -299,7 +307,12 @@ fn resolve_op(
                     dims.w, dims.h
                 )));
             }
-            Some(ResolvedOp::Crop { x: (dims.w - w) / 2, y: (dims.h - h) / 2, w: *w, h: *h })
+            Some(ResolvedOp::Crop {
+                x: (dims.w - w) / 2,
+                y: (dims.h - h) / 2,
+                w: *w,
+                h: *h,
+            })
         }
         AugOp::Flip { prob } => {
             let u = ctx.draw(op_index, 3);
@@ -309,7 +322,11 @@ fn resolve_op(
                 None
             }
         }
-        AugOp::ColorJitter { brightness, contrast, saturation } => {
+        AugOp::ColorJitter {
+            brightness,
+            contrast,
+            saturation,
+        } => {
             let f = |dev: f64, salt: u64| -> f32 {
                 if dev == 0.0 {
                     1.0
@@ -497,7 +514,13 @@ mod tests {
     use sand_config::parse_task_config;
 
     fn ctx(task_nonce: u64) -> DrawCtx {
-        DrawCtx { seed: 42, video_id: 7, epoch: 3, sample: 0, task_nonce }
+        DrawCtx {
+            seed: 42,
+            video_id: 7,
+            epoch: 3,
+            sample: 0,
+            task_nonce,
+        }
     }
 
     #[test]
@@ -582,7 +605,13 @@ dataset:
         let terms = c.terminal_streams();
         let mut xs = Vec::new();
         for epoch in 0..500 {
-            let ctx = DrawCtx { seed: 1, video_id: 3, epoch, sample: 0, task_nonce: 0 };
+            let ctx = DrawCtx {
+                seed: 1,
+                video_id: 3,
+                epoch,
+                sample: 0,
+                task_nonce: 0,
+            };
             let chains = resolve_chains(&c.augmentation, &terms, 64, 64, 0, epoch, &ctx).unwrap();
             if let ResolvedOp::Crop { x, .. } = chains[0][1] {
                 xs.push(x);
@@ -658,7 +687,13 @@ dataset:
         let mut hits = 0;
         let n = 2000;
         for epoch in 0..n {
-            let ctx = DrawCtx { seed: 5, video_id: 0, epoch, sample: 0, task_nonce: 0 };
+            let ctx = DrawCtx {
+                seed: 5,
+                video_id: 0,
+                epoch,
+                sample: 0,
+                task_nonce: 0,
+            };
             let chains = resolve_chains(&c.augmentation, &terms, 8, 8, 0, epoch, &ctx).unwrap();
             if chains[0] == vec![ResolvedOp::Invert] {
                 hits += 1;
@@ -693,7 +728,13 @@ dataset:
         let mut flips = 0;
         let n = 2000;
         for epoch in 0..n {
-            let ctx = DrawCtx { seed: 5, video_id: 0, epoch, sample: 0, task_nonce: 0 };
+            let ctx = DrawCtx {
+                seed: 5,
+                video_id: 0,
+                epoch,
+                sample: 0,
+                task_nonce: 0,
+            };
             let chains = resolve_chains(&c.augmentation, &terms, 8, 8, 0, epoch, &ctx).unwrap();
             if chains[0] == vec![ResolvedOp::Flip] {
                 flips += 1;
@@ -728,8 +769,16 @@ dataset:
             shape: [128, 128]
 "#;
         let c2 = cfg(text);
-        assert!(resolve_chains(&c2.augmentation, &c2.terminal_streams(), 64, 64, 0, 0, &ctx(0))
-            .is_err());
+        assert!(resolve_chains(
+            &c2.augmentation,
+            &c2.terminal_streams(),
+            64,
+            64,
+            0,
+            0,
+            &ctx(0)
+        )
+        .is_err());
         // And the original pipeline succeeds.
         assert!(resolve_chains(&c.augmentation, &terms, 64, 64, 0, 0, &ctx(0)).is_ok());
     }
@@ -798,12 +847,24 @@ dataset:
 
     #[test]
     fn resolved_op_dims_and_cost() {
-        let r = ResolvedOp::Resize { w: 10, h: 20, interp: Interpolation::Bilinear };
+        let r = ResolvedOp::Resize {
+            w: 10,
+            h: 20,
+            interp: Interpolation::Bilinear,
+        };
         assert_eq!(r.out_dims(64, 64), (10, 20));
-        let rot = ResolvedOp::Rotate { rot: Rotation::Cw90 };
+        let rot = ResolvedOp::Rotate {
+            rot: Rotation::Cw90,
+        };
         assert_eq!(rot.out_dims(10, 20), (20, 10));
         assert!(r.cost_units(64, 64, 3) > 0.0);
-        assert!(ResolvedOp::Normalize { mean: vec![0.0], std: vec![1.0] }.to_frame_op().unwrap().is_none());
+        assert!(ResolvedOp::Normalize {
+            mean: vec![0.0],
+            std: vec![1.0]
+        }
+        .to_frame_op()
+        .unwrap()
+        .is_none());
         assert!(r.to_frame_op().unwrap().is_some());
     }
 }

@@ -1,14 +1,25 @@
 //! Property-based tests for planning invariants: the Data Access Rule,
 //! randomness preservation, merge monotonicity, and pruning budgets.
 
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
-use sand_config::types::{AugOp, Branch, BranchArm, BranchType, InputSource, SamplingConfig, TaskConfig};
+use sand_config::types::{
+    AugOp, Branch, BranchArm, BranchType, InputSource, SamplingConfig, TaskConfig,
+};
 use sand_graph::{prune_to_budget, FramePool, PlanInput, Planner, PlannerOptions};
 
 /// A random but always-valid task configuration over 32x32 sources.
 fn arb_task(tag: &'static str) -> impl Strategy<Value = TaskConfig> {
-    (1usize..4, 2usize..6, 1usize..5, 1usize..3, prop::bool::ANY, prop::bool::ANY).prop_map(
-        move |(vpb, fpv, stride, samples, with_resize, with_crop)| {
+    (
+        1usize..4,
+        2usize..6,
+        1usize..5,
+        1usize..3,
+        prop::bool::ANY,
+        prop::bool::ANY,
+    )
+        .prop_map(move |(vpb, fpv, stride, samples, with_resize, with_crop)| {
             let mut branches = Vec::new();
             let mut last = "frame".to_string();
             if with_resize {
@@ -54,8 +65,7 @@ fn arb_task(tag: &'static str) -> impl Strategy<Value = TaskConfig> {
                 },
                 augmentation: branches,
             }
-        },
-    )
+        })
 }
 
 fn videos(n: usize, frames: usize) -> Vec<sand_graph::VideoMeta> {

@@ -1,0 +1,164 @@
+//! Sharing diagnostics (`SL030`–`SL031`).
+//!
+//! The planner merges concrete nodes across tasks only when their
+//! resolved op chains are *identical*. These analyses flag near misses:
+//! two tasks on the same dataset whose pipelines differ by a single op
+//! parameter (a one-line config change away from full sharing), and
+//! pipelines that do match but whose sampling geometry keeps the tasks
+//! from ever selecting the same frames.
+
+use crate::{Diagnostic, Severity};
+use sand_config::types::{Branch, TaskConfig};
+
+/// Lints cross-task sharing opportunities.
+#[must_use]
+pub fn lint_sharing(tasks: &[TaskConfig]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for i in 0..tasks.len() {
+        for j in i + 1..tasks.len() {
+            let (a, b) = (&tasks[i], &tasks[j]);
+            if a.video_dataset_path != b.video_dataset_path {
+                continue;
+            }
+            lint_pair(a, b, &mut out);
+        }
+    }
+    out
+}
+
+/// True when two branches have the same shape — same name, control-flow
+/// kind, wiring, arm structure, and op-name sequences — so only op
+/// *parameters* (or arm probabilities/conditions) can differ.
+fn same_shape(a: &Branch, b: &Branch) -> bool {
+    a.name == b.name
+        && a.branch_type == b.branch_type
+        && a.inputs == b.inputs
+        && a.outputs == b.outputs
+        && a.arms.len() == b.arms.len()
+        && a.arms.iter().zip(&b.arms).all(|(x, y)| {
+            x.ops.len() == y.ops.len()
+                && x.ops.iter().zip(&y.ops).all(|(p, q)| p.name() == q.name())
+        })
+}
+
+fn lint_pair(a: &TaskConfig, b: &TaskConfig, out: &mut Vec<Diagnostic>) {
+    let same_geometry = a.sampling.frames_per_video == b.sampling.frames_per_video
+        && a.sampling.frame_stride == b.sampling.frame_stride
+        && a.sampling.samples_per_video == b.sampling.samples_per_video;
+    if a.augmentation == b.augmentation {
+        // SL031: identical pipelines, but the sampling geometry differs,
+        // so the tasks select different frames and the planner merges
+        // little or nothing below the video roots.
+        if !same_geometry {
+            out.push(Diagnostic {
+                code: "SL031",
+                severity: Severity::Warn,
+                location: format!("{}.sampling / {}.sampling", a.tag, b.tag),
+                message: format!(
+                    "tasks `{}` and `{}` run identical augmentation pipelines \
+                     on the same dataset but sample differently \
+                     (frames_per_video {} vs {}, frame_stride {} vs {}, \
+                     samples_per_video {} vs {})",
+                    a.tag,
+                    b.tag,
+                    a.sampling.frames_per_video,
+                    b.sampling.frames_per_video,
+                    a.sampling.frame_stride,
+                    b.sampling.frame_stride,
+                    a.sampling.samples_per_video,
+                    b.sampling.samples_per_video
+                ),
+                help: "align the sampling geometry so the planner can merge \
+                       the decoded and augmented objects across the tasks"
+                    .into(),
+            });
+        }
+        return;
+    }
+    // Longest common prefix of exactly-equal branches.
+    let lcp = a
+        .augmentation
+        .iter()
+        .zip(&b.augmentation)
+        .take_while(|(x, y)| x == y)
+        .count();
+    // SL030: the pipelines agree up to `lcp`, then diverge on a branch
+    // whose shape still matches — only parameters differ, so a small
+    // config change would extend the shared prefix.
+    let (Some(x), Some(y)) = (a.augmentation.get(lcp), b.augmentation.get(lcp)) else {
+        return;
+    };
+    if same_shape(x, y) {
+        out.push(Diagnostic {
+            code: "SL030",
+            severity: Severity::Warn,
+            location: format!(
+                "{}.augmentation.{} / {}.augmentation.{}",
+                a.tag, x.name, b.tag, y.name
+            ),
+            message: format!(
+                "tasks `{}` and `{}` share the same dataset and agree on the \
+                 first {lcp} augmentation branch(es), then diverge only in \
+                 the parameters of branch `{}`",
+                a.tag, b.tag, x.name
+            ),
+            help: "unifying the parameters of this branch would let the \
+                   planner merge the tasks' augmented objects, cutting \
+                   repeated decode and augmentation work"
+                .into(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sand_config::parse_task_config;
+
+    fn task(tag: &str, path: &str, shape: &str, stride: usize) -> TaskConfig {
+        parse_task_config(&format!(
+            "dataset:\n  tag: {tag}\n  input_source: file\n  video_dataset_path: {path}\n  sampling:\n    videos_per_batch: 2\n    frames_per_video: 4\n    frame_stride: {stride}\n  augmentation:\n    - name: pre\n      branch_type: single\n      inputs: [\"frame\"]\n      outputs: [\"a0\"]\n      config:\n        - resize:\n            shape: [64, 64]\n    - name: crop\n      branch_type: single\n      inputs: [\"a0\"]\n      outputs: [\"a1\"]\n      config:\n        - center_crop:\n            shape: {shape}\n"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn sl030_near_identical_prefixes() {
+        let a = task("train", "/d", "[32, 32]", 2);
+        let b = task("eval", "/d", "[48, 48]", 2);
+        let d = lint_sharing(&[a, b]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, "SL030");
+        assert_eq!(d[0].severity, Severity::Warn);
+        assert!(d[0].message.contains("branch `crop`"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn sl031_same_pipeline_different_sampling() {
+        let a = task("train", "/d", "[32, 32]", 2);
+        let b = task("eval", "/d", "[32, 32]", 4);
+        let d = lint_sharing(&[a, b]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, "SL031");
+    }
+
+    #[test]
+    fn silent_across_datasets_and_on_full_match() {
+        // Different datasets: nothing can merge, nothing to say.
+        let a = task("train", "/d1", "[32, 32]", 2);
+        let b = task("eval", "/d2", "[48, 48]", 2);
+        assert!(lint_sharing(&[a, b]).is_empty());
+        // Identical tasks already merge fully.
+        let a = task("train", "/d", "[32, 32]", 2);
+        let b = task("eval", "/d", "[32, 32]", 2);
+        assert!(lint_sharing(&[a, b]).is_empty());
+    }
+
+    #[test]
+    fn structurally_different_pipelines_are_not_near_misses() {
+        let a = task("train", "/d", "[32, 32]", 2);
+        let mut b = task("eval", "/d", "[32, 32]", 2);
+        b.augmentation[1].name = "other".into();
+        assert!(lint_sharing(&[a, b]).is_empty());
+    }
+}

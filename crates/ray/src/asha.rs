@@ -34,7 +34,13 @@ pub struct AshaConfig {
 
 impl Default for AshaConfig {
     fn default() -> Self {
-        AshaConfig { trials: 8, eta: 2, min_epochs: 1, max_epochs: 4, seed: 0xa5a }
+        AshaConfig {
+            trials: 8,
+            eta: 2,
+            min_epochs: 1,
+            max_epochs: 4,
+            seed: 0xa5a,
+        }
     }
 }
 
@@ -108,7 +114,9 @@ pub fn run_asha(
     classes: usize,
 ) -> Result<AshaOutcome> {
     if config.trials == 0 || config.eta < 2 {
-        return Err(RayError::State { what: "need trials >= 1 and eta >= 2".into() });
+        return Err(RayError::State {
+            what: "need trials >= 1 and eta >= 2".into(),
+        });
     }
     let started = std::time::Instant::now();
     let mut alive: Vec<usize> = (0..config.trials).collect();
@@ -166,17 +174,27 @@ pub fn run_asha(
         rung_start = rung_end;
         rung_len *= config.eta as u64;
     }
+    // The winner comes from the top rung: losses measured at different
+    // epoch budgets are not comparable, so an early-stopped trial must
+    // not outrank a finished one on its 1-epoch loss.
+    let rank = |a: &TrialResult, b: &TrialResult| {
+        (a.final_loss, std::cmp::Reverse(a.epochs_run))
+            .partial_cmp(&(b.final_loss, std::cmp::Reverse(b.epochs_run)))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    };
     let best = results
         .iter()
         .enumerate()
-        .min_by(|(_, a), (_, b)| {
-            (a.final_loss, std::cmp::Reverse(a.epochs_run))
-                .partial_cmp(&(b.final_loss, std::cmp::Reverse(b.epochs_run)))
-                .unwrap_or(std::cmp::Ordering::Equal)
+        .filter(|(_, r)| r.finished)
+        .min_by(|(_, a), (_, b)| rank(a, b))
+        .or_else(|| {
+            results
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| rank(a, b))
         })
         .map_or(0, |(i, _)| i);
-    let utilization =
-        gpus.iter().map(|g| g.utilization()).sum::<f64>() / gpus.len().max(1) as f64;
+    let utilization = gpus.iter().map(|g| g.utilization()).sum::<f64>() / gpus.len().max(1) as f64;
     Ok(AshaOutcome {
         trials: results,
         best,
@@ -267,8 +285,9 @@ dataset:
         )
         .unwrap();
         engine.start().unwrap();
-        let gpus: Vec<Arc<GpuSim>> =
-            (0..2).map(|_| Arc::new(GpuSim::new(GpuSpec::a100()))).collect();
+        let gpus: Vec<Arc<GpuSim>> = (0..2)
+            .map(|_| Arc::new(GpuSim::new(GpuSpec::a100())))
+            .collect();
         let env = RunnerEnv {
             dataset: ds,
             kind: LoaderKind::Sand,
@@ -281,7 +300,13 @@ dataset:
             ideal_prestage: None,
         };
         let out = run_asha(
-            &AshaConfig { trials: 4, eta: 2, min_epochs: 1, max_epochs: 4, seed: 3 },
+            &AshaConfig {
+                trials: 4,
+                eta: 2,
+                min_epochs: 1,
+                max_epochs: 4,
+                seed: 3,
+            },
             &task,
             &tiny(),
             &gpus,
@@ -318,7 +343,10 @@ dataset:
             ideal_prestage: None,
         };
         assert!(run_asha(
-            &AshaConfig { trials: 0, ..Default::default() },
+            &AshaConfig {
+                trials: 0,
+                ..Default::default()
+            },
             &task,
             &tiny(),
             &gpus,
@@ -327,7 +355,10 @@ dataset:
         )
         .is_err());
         assert!(run_asha(
-            &AshaConfig { eta: 1, ..Default::default() },
+            &AshaConfig {
+                eta: 1,
+                ..Default::default()
+            },
             &task,
             &tiny(),
             &gpus,

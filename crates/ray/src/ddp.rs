@@ -66,16 +66,14 @@ pub struct DdpOutcome {
 
 /// Fetches one shard from the remote store, sleeping the modeled WAN
 /// time, and assembles a local dataset.
-fn fetch_shard(
-    remote: &RemoteStore,
-    shard: &[String],
-) -> Result<Dataset> {
+fn fetch_shard(remote: &RemoteStore, shard: &[String]) -> Result<Dataset> {
     let mut videos = Vec::with_capacity(shard.len());
     for key in shard {
         let (bytes, wan) = remote.fetch(key)?;
         std::thread::sleep(wan);
-        let encoded = EncodedVideo::from_bytes(&bytes)
-            .map_err(|e| RayError::State { what: format!("bad remote video: {e}") })?;
+        let encoded = EncodedVideo::from_bytes(&bytes).map_err(|e| RayError::State {
+            what: format!("bad remote video: {e}"),
+        })?;
         videos.push(VideoEntry {
             video_id: encoded.header.video_id,
             class_id: encoded.header.class_id,
@@ -89,12 +87,17 @@ fn fetch_shard(
 /// Runs the DDP experiment over `dataset`.
 pub fn run_ddp(config: &DdpConfig, dataset: &Dataset) -> Result<DdpOutcome> {
     if config.nodes == 0 || dataset.len() < config.nodes {
-        return Err(RayError::State { what: "need >= 1 video per node".into() });
+        return Err(RayError::State {
+            what: "need >= 1 video per node".into(),
+        });
     }
     // Stage the dataset in the remote store.
     let remote = Arc::new(RemoteStore::new(config.bandwidth));
     for v in dataset.videos() {
-        remote.upload(&sand_codec::dataset::video_file_name(v.video_id), v.encoded.to_bytes());
+        remote.upload(
+            &sand_codec::dataset::video_file_name(v.video_id),
+            v.encoded.to_bytes(),
+        );
     }
     // Shard round-robin.
     let shards: Vec<Vec<String>> = (0..config.nodes)
@@ -110,11 +113,11 @@ pub fn run_ddp(config: &DdpConfig, dataset: &Dataset) -> Result<DdpOutcome> {
     let shard_len = shards[0].len();
     let vpb = config.task.sampling.videos_per_batch;
     let iters_per_epoch = (shard_len as u64).div_ceil(vpb as u64);
-    let total_iters =
-        iters_per_epoch * (config.epochs.end - config.epochs.start);
+    let total_iters = iters_per_epoch * (config.epochs.end - config.epochs.start);
     let barrier = Arc::new(Barrier::new(config.nodes));
-    let gpus: Vec<Arc<GpuSim>> =
-        (0..config.nodes).map(|_| Arc::new(GpuSim::new(GpuSpec::a100()))).collect();
+    let gpus: Vec<Arc<GpuSim>> = (0..config.nodes)
+        .map(|_| Arc::new(GpuSim::new(GpuSpec::a100())))
+        .collect();
     let started = Instant::now();
     let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let cpu_work: Mutex<Duration> = Mutex::new(Duration::ZERO);
@@ -203,7 +206,9 @@ pub fn run_ddp(config: &DdpConfig, dataset: &Dataset) -> Result<DdpOutcome> {
     });
     let errors = errors.into_inner();
     if let Some(e) = errors.first() {
-        return Err(RayError::State { what: format!("node failed: {e}") });
+        return Err(RayError::State {
+            what: format!("node failed: {e}"),
+        });
     }
     let wall = started.elapsed();
     let power = PowerModel::default();

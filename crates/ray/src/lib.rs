@@ -14,6 +14,8 @@
 //! - [`ddp`]: distributed data-parallel training across nodes whose
 //!   dataset lives in a bandwidth-limited remote store (Fig. 14).
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod asha;
 pub mod ddp;
 pub mod multitask;

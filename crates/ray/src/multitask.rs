@@ -125,8 +125,9 @@ dataset:
         // Resize (identical in both tasks) shares; crop (different sizes)
         // does not.
         assert!(stats.op_reduction("resize") > 0.3);
-        let gpus: Vec<Arc<GpuSim>> =
-            (0..2).map(|_| Arc::new(GpuSim::new(GpuSpec::a100()))).collect();
+        let gpus: Vec<Arc<GpuSim>> = (0..2)
+            .map(|_| Arc::new(GpuSim::new(GpuSpec::a100())))
+            .collect();
         let env = RunnerEnv {
             dataset: ds,
             kind: LoaderKind::Sand,

@@ -68,8 +68,7 @@ pub struct RunnerEnv {
     pub power: PowerModel,
     /// Pre-staged batch pool for the Ideal strategy (built before the
     /// experiment clock starts; `None` falls back to staging per job).
-    pub ideal_prestage:
-        Option<Arc<std::collections::HashMap<(u64, u64), sand_train::LoadedBatch>>>,
+    pub ideal_prestage: Option<Arc<std::collections::HashMap<(u64, u64), sand_train::LoadedBatch>>>,
 }
 
 /// Builds a loader for one job.
@@ -134,12 +133,8 @@ fn build_loader(env: &RunnerEnv, job: &JobSpec) -> Result<Box<dyn Loader>> {
             if let Some(pool) = &env.ideal_prestage {
                 return Ok(Box::new(IdealLoader::from_shared(Arc::clone(pool))));
             }
-            let plan = TaskPlan::single_task(
-                &job.task,
-                &env.dataset,
-                job.epochs.clone(),
-                env.seed,
-            )?;
+            let plan =
+                TaskPlan::single_task(&job.task, &env.dataset, job.epochs.clone(), env.seed)?;
             Ok(Box::new(IdealLoader::new(&env.dataset, &plan)?))
         }
     }
@@ -147,13 +142,11 @@ fn build_loader(env: &RunnerEnv, job: &JobSpec) -> Result<Box<dyn Loader>> {
 
 /// Runs `jobs` over `gpus`, one worker thread per GPU, jobs claimed in
 /// submission order. Returns per-job reports in job order.
-pub fn run_jobs(
-    jobs: &[JobSpec],
-    gpus: &[Arc<GpuSim>],
-    env: &RunnerEnv,
-) -> Result<Vec<RunReport>> {
+pub fn run_jobs(jobs: &[JobSpec], gpus: &[Arc<GpuSim>], env: &RunnerEnv) -> Result<Vec<RunReport>> {
     if jobs.is_empty() || gpus.is_empty() {
-        return Err(RayError::State { what: "need at least one job and one GPU".into() });
+        return Err(RayError::State {
+            what: "need at least one job and one GPU".into(),
+        });
     }
     let results: Mutex<Vec<Option<Result<RunReport>>>> =
         Mutex::new((0..jobs.len()).map(|_| None).collect());
@@ -192,7 +185,9 @@ pub fn run_jobs(
         .enumerate()
         .map(|(i, slot)| {
             slot.unwrap_or_else(|| {
-                Err(RayError::State { what: format!("job {i} was never run") })
+                Err(RayError::State {
+                    what: format!("job {i} was never run"),
+                })
             })
         })
         .collect()
@@ -267,8 +262,9 @@ dataset:
     #[test]
     fn jobs_spread_across_gpus() {
         let ds = dataset();
-        let gpus: Vec<Arc<GpuSim>> =
-            (0..2).map(|_| Arc::new(GpuSim::new(GpuSpec::a100()))).collect();
+        let gpus: Vec<Arc<GpuSim>> = (0..2)
+            .map(|_| Arc::new(GpuSim::new(GpuSpec::a100())))
+            .collect();
         let env = RunnerEnv {
             dataset: Arc::clone(&ds),
             kind: LoaderKind::OnDemandCpu,

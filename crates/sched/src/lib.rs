@@ -16,6 +16,8 @@
 //! The pool also supports a FIFO policy, which is the "without
 //! scheduling" ablation of Fig. 18.
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -151,7 +153,9 @@ impl Scheduler {
         });
         let (done_tx, done_rx) = bounded(1024);
         let reserved = if config.policy == Policy::Priority {
-            config.reserved_demand_threads.min(config.threads.max(1).saturating_sub(1))
+            config
+                .reserved_demand_threads
+                .min(config.threads.max(1).saturating_sub(1))
         } else {
             0
         };
@@ -163,7 +167,13 @@ impl Scheduler {
                 std::thread::spawn(move || worker_loop(&shared, &done, demand_only))
             })
             .collect();
-        Scheduler { shared, workers, seq: AtomicU64::new(0), done_tx, done_rx }
+        Scheduler {
+            shared,
+            workers,
+            seq: AtomicU64::new(0),
+            done_tx,
+            done_rx,
+        }
     }
 
     /// Submits a job.
@@ -173,13 +183,18 @@ impl Scheduler {
             let mut q = self.shared.queue.lock();
             q.push(Entry { seq, job });
         }
-        self.shared.available.notify_one();
+        // notify_all, not notify_one: a single wakeup can land on a
+        // reserved demand-only worker that cannot take a PreMaterialize
+        // job, which swallows the notification and strands the job.
+        self.shared.available.notify_all();
     }
 
     /// Reports current memory pressure as a fraction in `[0, 1]`.
     pub fn set_memory_pressure(&self, frac: f64) {
         let milli = (frac.clamp(0.0, 1.0) * 1000.0) as u64;
-        self.shared.memory_pressure_milli.store(milli, Ordering::Relaxed);
+        self.shared
+            .memory_pressure_milli
+            .store(milli, Ordering::Relaxed);
     }
 
     /// Number of queued (not yet started) jobs.
@@ -199,7 +214,9 @@ impl Scheduler {
                 }
             }
             // Wait for a completion (or timeout to re-check).
-            let _ = self.done_rx.recv_timeout(std::time::Duration::from_millis(20));
+            let _ = self
+                .done_rx
+                .recv_timeout(std::time::Duration::from_millis(20));
         }
     }
 
@@ -340,13 +357,22 @@ mod tests {
     use std::time::Duration;
 
     fn job(kind: JobKind, deadline: u64, work: u64, f: impl FnOnce() + Send + 'static) -> Job {
-        Job { kind, deadline, remaining_work: work, run: Box::new(f) }
+        Job {
+            kind,
+            deadline,
+            remaining_work: work,
+            run: Box::new(f),
+        }
     }
 
     /// Single-threaded scheduler whose first job blocks until released,
     /// letting tests control pick order deterministically.
     fn gated_scheduler(policy: Policy) -> (Scheduler, Arc<AtomicBool>) {
-        let sched = Scheduler::new(SchedConfig { threads: 1, policy, ..Default::default() });
+        let sched = Scheduler::new(SchedConfig {
+            threads: 1,
+            policy,
+            ..Default::default()
+        });
         let gate = Arc::new(AtomicBool::new(false));
         let g = Arc::clone(&gate);
         sched.submit(job(JobKind::PreMaterialize, 0, 0, move || {
@@ -418,9 +444,7 @@ mod tests {
         let (sched, gate) = gated_scheduler(Policy::Priority);
         sched.set_memory_pressure(0.95);
         let order = Arc::new(Mutex::new(Vec::new()));
-        for (name, deadline, work) in
-            [("big", 1u64, 100u64), ("small", 99, 1), ("mid", 50, 10)]
-        {
+        for (name, deadline, work) in [("big", 1u64, 100u64), ("small", 99, 1), ("mid", 50, 10)] {
             let o = Arc::clone(&order);
             sched.submit(job(JobKind::PreMaterialize, deadline, work, move || {
                 o.lock().push(name);
@@ -470,7 +494,10 @@ mod tests {
 
     #[test]
     fn parallel_throughput_with_many_threads() {
-        let sched = Scheduler::new(SchedConfig { threads: 8, ..Default::default() });
+        let sched = Scheduler::new(SchedConfig {
+            threads: 8,
+            ..Default::default()
+        });
         let count = Arc::new(AtomicUsize::new(0));
         for i in 0..200 {
             let c = Arc::clone(&count);

@@ -1,6 +1,8 @@
 //! Property-based tests for the scheduler: every submitted job runs
 //! exactly once, under every policy, for arbitrary job mixes.
 
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 use sand_sched::{Job, JobKind, Policy, SchedConfig, Scheduler};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -15,8 +17,11 @@ struct JobSpecT {
 
 fn arb_jobs() -> impl Strategy<Value = Vec<JobSpecT>> {
     prop::collection::vec(
-        (any::<bool>(), 0u64..100, 0u64..50)
-            .prop_map(|(demand, deadline, work)| JobSpecT { demand, deadline, work }),
+        (any::<bool>(), 0u64..100, 0u64..50).prop_map(|(demand, deadline, work)| JobSpecT {
+            demand,
+            deadline,
+            work,
+        }),
         1..64,
     )
 }

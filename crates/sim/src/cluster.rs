@@ -51,7 +51,9 @@ impl ClusterSpec {
     /// Instantiates one simulated GPU per device in the cluster.
     #[must_use]
     pub fn spawn_gpus(&self, spec: &GpuSpec) -> Vec<Arc<GpuSim>> {
-        (0..self.total_gpus()).map(|_| Arc::new(GpuSim::new(spec.clone()))).collect()
+        (0..self.total_gpus())
+            .map(|_| Arc::new(GpuSim::new(spec.clone())))
+            .collect()
     }
 }
 
@@ -70,7 +72,10 @@ mod tests {
 
     #[test]
     fn cluster_gpu_count() {
-        let c = ClusterSpec { node: NodeSpec::a2_highgpu(2), nodes: 3 };
+        let c = ClusterSpec {
+            node: NodeSpec::a2_highgpu(2),
+            nodes: 3,
+        };
         assert_eq!(c.total_gpus(), 6);
         assert_eq!(c.spawn_gpus(&GpuSpec::a100()).len(), 6);
     }

@@ -134,7 +134,12 @@ impl ModelProfile {
     /// All four paper workloads.
     #[must_use]
     pub fn paper_workloads() -> Vec<ModelProfile> {
-        vec![Self::slowfast(), Self::mae(), Self::hdvila(), Self::basicvsr()]
+        vec![
+            Self::slowfast(),
+            Self::mae(),
+            Self::hdvila(),
+            Self::basicvsr(),
+        ]
     }
 
     /// Modeled compute time for one iteration at `batch` samples.
@@ -177,14 +182,15 @@ impl MemoryModel {
         let sample_pixels = (frames * w * h * c) as f64;
         let per_sample = (sample_pixels * model.mem_bytes_per_pixel) as u64;
         if per_sample == 0 {
-            return Err(SimError::InvalidConfig { what: "zero-size sample".into() });
+            return Err(SimError::InvalidConfig {
+                what: "zero-size sample".into(),
+            });
         }
         let mut reserved = model.fixed_mem_bytes;
         if decode_on_gpu {
             // NVDEC surface pool: reference frames + staging at source
             // resolution, per decode stream (one per sample being fed).
-            let decode_ws =
-                (src_w * src_h) as f64 * self.spec.nvdec_bytes_per_pixel * 256.0;
+            let decode_ws = (src_w * src_h) as f64 * self.spec.nvdec_bytes_per_pixel * 256.0;
             reserved += decode_ws as u64;
         }
         if reserved >= self.spec.memory_bytes {
@@ -240,7 +246,10 @@ impl GpuSim {
     /// Creates a simulated GPU.
     #[must_use]
     pub fn new(spec: GpuSpec) -> Self {
-        GpuSim { spec, state: Mutex::new(GpuState::default()) }
+        GpuSim {
+            spec,
+            state: Mutex::new(GpuState::default()),
+        }
     }
 
     /// The device spec.
@@ -304,8 +313,14 @@ mod tests {
     fn time_scale_conversions() {
         let s = TimeScale(10.0);
         assert_eq!(s.to_wall(Duration::from_secs(10)), Duration::from_secs(1));
-        assert_eq!(s.to_modeled(Duration::from_secs(1)), Duration::from_secs(10));
-        assert_eq!(TimeScale(0.0).to_wall(Duration::from_secs(5)), Duration::ZERO);
+        assert_eq!(
+            s.to_modeled(Duration::from_secs(1)),
+            Duration::from_secs(10)
+        );
+        assert_eq!(
+            TimeScale(0.0).to_wall(Duration::from_secs(5)),
+            Duration::ZERO
+        );
     }
 
     #[test]
@@ -332,10 +347,12 @@ mod tests {
         // Fig. 4: at 1080p, GPU decoding shrinks the max batch.
         let mm = MemoryModel::new(GpuSpec::a100());
         let m = ModelProfile::slowfast();
-        let cpu_batch =
-            mm.max_batch_size(&m, 32, 224, 224, 3, 1920, 1080, false).unwrap();
-        let gpu_batch =
-            mm.max_batch_size(&m, 32, 224, 224, 3, 1920, 1080, true).unwrap();
+        let cpu_batch = mm
+            .max_batch_size(&m, 32, 224, 224, 3, 1920, 1080, false)
+            .unwrap();
+        let gpu_batch = mm
+            .max_batch_size(&m, 32, 224, 224, 3, 1920, 1080, true)
+            .unwrap();
         assert!(gpu_batch < cpu_batch, "gpu {gpu_batch} vs cpu {cpu_batch}");
         // The paper reports 16 vs 24; the ratio should be in that vicinity.
         let ratio = gpu_batch as f64 / cpu_batch as f64;
@@ -346,8 +363,12 @@ mod tests {
     fn higher_resolution_hurts_gpu_decode_more() {
         let mm = MemoryModel::new(GpuSpec::a100());
         let m = ModelProfile::slowfast();
-        let b720 = mm.max_batch_size(&m, 32, 224, 224, 3, 1280, 720, true).unwrap();
-        let b1080 = mm.max_batch_size(&m, 32, 224, 224, 3, 1920, 1080, true).unwrap();
+        let b720 = mm
+            .max_batch_size(&m, 32, 224, 224, 3, 1280, 720, true)
+            .unwrap();
+        let b1080 = mm
+            .max_batch_size(&m, 32, 224, 224, 3, 1920, 1080, true)
+            .unwrap();
         assert!(b1080 <= b720);
     }
 

@@ -17,6 +17,8 @@
 //! [`gpu::TimeScale`], so experiments run wall-clock-fast while keeping
 //! the contention and stall dynamics real.
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod cluster;
 pub mod gpu;
 pub mod power;

@@ -20,7 +20,12 @@ pub struct PowerModel {
 impl Default for PowerModel {
     fn default() -> Self {
         // 12 vCPUs of a shared Xeon socket + A100.
-        PowerModel { cpu_idle_w: 30.0, cpu_active_w: 170.0, gpu_idle_w: 55.0, gpu_active_w: 330.0 }
+        PowerModel {
+            cpu_idle_w: 30.0,
+            cpu_active_w: 170.0,
+            gpu_idle_w: 55.0,
+            gpu_active_w: 330.0,
+        }
     }
 }
 
@@ -37,7 +42,10 @@ impl UsageWindow {
     /// Creates a usage window; busy is clamped to total.
     #[must_use]
     pub fn new(busy_s: f64, total_s: f64) -> Self {
-        UsageWindow { busy_s: busy_s.min(total_s).max(0.0), total_s: total_s.max(0.0) }
+        UsageWindow {
+            busy_s: busy_s.min(total_s).max(0.0),
+            total_s: total_s.max(0.0),
+        }
     }
 }
 
@@ -72,10 +80,10 @@ impl PowerModel {
     /// Integrates energy for one node over matched CPU and GPU windows.
     #[must_use]
     pub fn energy(&self, cpu: UsageWindow, gpu: UsageWindow) -> EnergyBreakdown {
-        let cpu_j = self.cpu_idle_w * cpu.total_s
-            + (self.cpu_active_w - self.cpu_idle_w) * cpu.busy_s;
-        let gpu_j = self.gpu_idle_w * gpu.total_s
-            + (self.gpu_active_w - self.gpu_idle_w) * gpu.busy_s;
+        let cpu_j =
+            self.cpu_idle_w * cpu.total_s + (self.cpu_active_w - self.cpu_idle_w) * cpu.busy_s;
+        let gpu_j =
+            self.gpu_idle_w * gpu.total_s + (self.gpu_active_w - self.gpu_idle_w) * gpu.busy_s;
         EnergyBreakdown { cpu_j, gpu_j }
     }
 }
@@ -95,7 +103,10 @@ mod tests {
     #[test]
     fn busy_node_draws_active_power() {
         let p = PowerModel::default();
-        let e = p.energy(UsageWindow::new(100.0, 100.0), UsageWindow::new(100.0, 100.0));
+        let e = p.energy(
+            UsageWindow::new(100.0, 100.0),
+            UsageWindow::new(100.0, 100.0),
+        );
         assert!((e.cpu_j - 17_000.0).abs() < 1e-9);
         assert!((e.gpu_j - 33_000.0).abs() < 1e-9);
     }

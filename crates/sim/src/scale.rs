@@ -63,9 +63,7 @@ impl CorpusSpec {
     /// Decoded corpus size in bytes (every frame held raw in memory).
     #[must_use]
     pub fn decoded_bytes(&self) -> f64 {
-        self.total_frames()
-            * (self.width * self.height) as f64
-            * self.decoded_bytes_per_pixel
+        self.total_frames() * (self.width * self.height) as f64 * self.decoded_bytes_per_pixel
     }
 
     /// Corpus size if every frame were stored as an individual image file

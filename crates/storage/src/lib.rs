@@ -19,6 +19,8 @@
 //! Filestore in the paper) with a configurable bandwidth, used by the
 //! distributed-training experiment (Fig. 14).
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod remote;
 pub mod store;
 
@@ -51,6 +53,12 @@ pub enum StorageError {
         /// Human-readable description.
         what: &'static str,
     },
+    /// Internal bookkeeping invariant broke (a bug, surfaced as an error
+    /// instead of a panic so callers can fail the operation gracefully).
+    Inconsistent {
+        /// Human-readable description.
+        what: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -62,6 +70,7 @@ impl fmt::Display for StorageError {
                 write!(f, "object {key} ({size} B) exceeds budget {budget} B")
             }
             StorageError::InvalidConfig { what } => write!(f, "invalid store config: {what}"),
+            StorageError::Inconsistent { what } => write!(f, "store inconsistency: {what}"),
         }
     }
 }

@@ -25,7 +25,10 @@ pub struct BandwidthModel {
 impl Default for BandwidthModel {
     fn default() -> Self {
         // Roughly EBS-like: 1 Gbps with 1 ms latency.
-        BandwidthModel { bytes_per_sec: 125.0e6, latency: Duration::from_millis(1) }
+        BandwidthModel {
+            bytes_per_sec: 125.0e6,
+            latency: Duration::from_millis(1),
+        }
     }
 }
 
@@ -69,14 +72,17 @@ impl RemoteStore {
 
     /// Fetches an object, returning its bytes and the modeled WAN time.
     pub fn fetch(&self, key: &str) -> Result<(Vec<u8>, Duration)> {
-        let bytes = self
-            .objects
-            .lock()
-            .get(key)
-            .cloned()
-            .ok_or_else(|| StorageError::NotFound { key: key.to_string() })?;
+        let bytes =
+            self.objects
+                .lock()
+                .get(key)
+                .cloned()
+                .ok_or_else(|| StorageError::NotFound {
+                    key: key.to_string(),
+                })?;
         let dur = self.model.transfer_time(bytes.len() as u64);
-        self.bytes_fetched.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.bytes_fetched
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
         self.fetches.fetch_add(1, Ordering::Relaxed);
         Ok((bytes, dur))
     }
@@ -146,19 +152,28 @@ mod tests {
     #[test]
     fn missing_key_errors() {
         let r = RemoteStore::new(BandwidthModel::default());
-        assert!(matches!(r.fetch("nope"), Err(StorageError::NotFound { .. })));
+        assert!(matches!(
+            r.fetch("nope"),
+            Err(StorageError::NotFound { .. })
+        ));
     }
 
     #[test]
     fn transfer_time_scales_with_size() {
-        let m = BandwidthModel { bytes_per_sec: 1e6, latency: Duration::ZERO };
+        let m = BandwidthModel {
+            bytes_per_sec: 1e6,
+            latency: Duration::ZERO,
+        };
         assert!(m.transfer_time(2_000_000) > m.transfer_time(1_000_000));
         assert_eq!(m.transfer_time(1_000_000), Duration::from_secs(1));
     }
 
     #[test]
     fn zero_bandwidth_is_infinite() {
-        let m = BandwidthModel { bytes_per_sec: 0.0, latency: Duration::ZERO };
+        let m = BandwidthModel {
+            bytes_per_sec: 0.0,
+            latency: Duration::ZERO,
+        };
         assert_eq!(m.transfer_time(1), Duration::MAX);
     }
 }

@@ -29,7 +29,10 @@ pub struct ObjectMeta {
 
 impl Default for ObjectMeta {
     fn default() -> Self {
-        ObjectMeta { deadline: None, future_uses: 1 }
+        ObjectMeta {
+            deadline: None,
+            future_uses: 1,
+        }
     }
 }
 
@@ -119,10 +122,14 @@ impl ObjectStore {
     /// there are adopted (crash recovery).
     pub fn open(config: StoreConfig, dir: Option<PathBuf>) -> Result<Self> {
         if config.memory_budget == 0 {
-            return Err(StorageError::InvalidConfig { what: "memory budget must be nonzero" });
+            return Err(StorageError::InvalidConfig {
+                what: "memory budget must be nonzero",
+            });
         }
         if !(0.0..=1.0).contains(&config.evict_watermark) {
-            return Err(StorageError::InvalidConfig { what: "watermark must be in [0,1]" });
+            return Err(StorageError::InvalidConfig {
+                what: "watermark must be in [0,1]",
+            });
         }
         let mut inner = Inner::default();
         if let Some(d) = &dir {
@@ -136,7 +143,9 @@ impl ObjectStore {
                 let Some(name) = entry.file_name().to_str().map(str::to_string) else {
                     continue;
                 };
-                let Some(key) = decode_key(&name) else { continue };
+                let Some(key) = decode_key(&name) else {
+                    continue;
+                };
                 inner.objects.insert(
                     key,
                     Record {
@@ -217,19 +226,34 @@ impl ObjectStore {
                     inner.memory_bytes += size;
                     inner.objects.insert(
                         key.to_string(),
-                        Record { tier: Tier::Memory, size, meta, bytes: Some(Arc::new(bytes)) },
+                        Record {
+                            tier: Tier::Memory,
+                            size,
+                            meta,
+                            bytes: Some(Arc::new(bytes)),
+                        },
                     );
                 } else {
                     inner.objects.insert(
                         key.to_string(),
-                        Record { tier: Tier::Disk, size, meta, bytes: None },
+                        Record {
+                            tier: Tier::Disk,
+                            size,
+                            meta,
+                            bytes: None,
+                        },
                     );
                 }
             } else {
                 inner.memory_bytes += size;
                 inner.objects.insert(
                     key.to_string(),
-                    Record { tier: Tier::Memory, size, meta, bytes: Some(Arc::new(bytes)) },
+                    Record {
+                        tier: Tier::Memory,
+                        size,
+                        meta,
+                        bytes: Some(Arc::new(bytes)),
+                    },
                 );
             }
         }
@@ -252,12 +276,16 @@ impl ObjectStore {
                 },
                 None => {
                     self.misses.fetch_add(1, Ordering::Relaxed);
-                    return Err(StorageError::NotFound { key: key.to_string() });
+                    return Err(StorageError::NotFound {
+                        key: key.to_string(),
+                    });
                 }
             }
         };
         debug_assert_eq!(tier, Tier::Disk);
-        let path = path.ok_or_else(|| StorageError::NotFound { key: key.to_string() })?;
+        let path = path.ok_or_else(|| StorageError::NotFound {
+            key: key.to_string(),
+        })?;
         let bytes = fs::read(&path)?;
         self.disk_hits.fetch_add(1, Ordering::Relaxed);
         Ok(Arc::new(bytes))
@@ -329,7 +357,12 @@ impl ObjectStore {
             .max_by_key(|(_, r)| r.meta.deadline.unwrap_or(u64::MAX))
             .map(|(k, _)| k.clone());
         let Some(key) = victim else { return Ok(false) };
-        let rec = inner.objects.get_mut(&key).expect("victim exists");
+        let rec = inner
+            .objects
+            .get_mut(&key)
+            .ok_or_else(|| StorageError::Inconsistent {
+                what: format!("spill victim `{key}` vanished while the store lock was held"),
+            })?;
         rec.bytes = None;
         rec.tier = Tier::Disk;
         inner.memory_bytes -= rec.size;
@@ -386,8 +419,7 @@ impl ObjectStore {
             }
         }
         // Disk over the 75% watermark: evict per policy.
-        let disk_limit =
-            (self.config.disk_budget as f64 * self.config.evict_watermark) as u64;
+        let disk_limit = (self.config.disk_budget as f64 * self.config.evict_watermark) as u64;
         while inner.disk_bytes > disk_limit {
             if !self.evict_one(&mut inner)? {
                 break;
@@ -435,7 +467,10 @@ mod tests {
     }
 
     fn meta(deadline: u64, uses: u32) -> ObjectMeta {
-        ObjectMeta { deadline: Some(deadline), future_uses: uses }
+        ObjectMeta {
+            deadline: Some(deadline),
+            future_uses: uses,
+        }
     }
 
     #[test]
@@ -479,12 +514,20 @@ mod tests {
     #[test]
     fn memory_pressure_spills_longest_deadline() {
         let dir = tmp("spill");
-        let cfg = StoreConfig { memory_budget: 250, memory_horizon: 1000, ..Default::default() };
+        let cfg = StoreConfig {
+            memory_budget: 250,
+            memory_horizon: 1000,
+            ..Default::default()
+        };
         let s = ObjectStore::open(cfg, Some(dir.clone())).unwrap();
         s.put("soon", vec![0; 100], meta(1, 1)).unwrap();
         s.put("later", vec![0; 100], meta(50, 1)).unwrap();
         s.put("third", vec![0; 100], meta(5, 1)).unwrap(); // forces a spill
-        assert_eq!(s.tier_of("later"), Some(Tier::Disk), "longest deadline spilled");
+        assert_eq!(
+            s.tier_of("later"),
+            Some(Tier::Disk),
+            "longest deadline spilled"
+        );
         assert_eq!(s.tier_of("soon"), Some(Tier::Memory));
         assert_eq!(s.tier_of("third"), Some(Tier::Memory));
         assert!(s.stats().spills >= 1);
@@ -540,7 +583,8 @@ mod tests {
         {
             let s = ObjectStore::open(StoreConfig::default(), Some(dir.clone())).unwrap();
             s.set_clock(0);
-            s.put("video0001/frame3", vec![42; 64], meta(1000, 3)).unwrap();
+            s.put("video0001/frame3", vec![42; 64], meta(1000, 3))
+                .unwrap();
             assert_eq!(s.tier_of("video0001/frame3"), Some(Tier::Disk));
         }
         // "Crash" and reopen.
@@ -562,7 +606,10 @@ mod tests {
     #[test]
     fn remove_clears_both_tiers() {
         let dir = tmp("remove");
-        let cfg = StoreConfig { memory_horizon: 0, ..Default::default() };
+        let cfg = StoreConfig {
+            memory_horizon: 0,
+            ..Default::default()
+        };
         let s = ObjectStore::open(cfg, Some(dir.clone())).unwrap();
         s.put("disk", vec![0; 10], meta(100, 1)).unwrap();
         s.put("mem", vec![0; 10], meta(0, 1)).unwrap();
@@ -587,7 +634,10 @@ mod tests {
 
     #[test]
     fn oversized_object_rejected_in_memory_only() {
-        let cfg = StoreConfig { memory_budget: 10, ..Default::default() };
+        let cfg = StoreConfig {
+            memory_budget: 10,
+            ..Default::default()
+        };
         let s = ObjectStore::memory_only(cfg).unwrap();
         assert!(matches!(
             s.put("big", vec![0; 100], ObjectMeta::default()),

@@ -1,23 +1,45 @@
 //! Property-based tests for the object store: accounting exactness under
 //! arbitrary operation sequences, and budget invariants.
 
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 use sand_storage::{ObjectMeta, ObjectStore, StoreConfig};
 
 #[derive(Debug, Clone)]
 enum Op {
-    Put { key: u8, size: usize, deadline: u64, uses: u32 },
-    Get { key: u8 },
-    Remove { key: u8 },
-    MarkUsed { key: u8 },
-    SetClock { clock: u64 },
+    Put {
+        key: u8,
+        size: usize,
+        deadline: u64,
+        uses: u32,
+    },
+    Get {
+        key: u8,
+    },
+    Remove {
+        key: u8,
+    },
+    MarkUsed {
+        key: u8,
+    },
+    SetClock {
+        clock: u64,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (any::<u8>(), 1usize..4096, any::<u64>(), 0u32..4).prop_map(|(key, size, deadline, uses)| {
-            Op::Put { key, size, deadline: deadline % 1000, uses }
-        }),
+        (any::<u8>(), 1usize..4096, any::<u64>(), 0u32..4).prop_map(
+            |(key, size, deadline, uses)| {
+                Op::Put {
+                    key,
+                    size,
+                    deadline: deadline % 1000,
+                    uses,
+                }
+            }
+        ),
         any::<u8>().prop_map(|key| Op::Get { key }),
         any::<u8>().prop_map(|key| Op::Remove { key }),
         any::<u8>().prop_map(|key| Op::MarkUsed { key }),

@@ -57,8 +57,16 @@ pub fn clip_features(sample: &Tensor) -> Result<[f32; FEATURE_DIM]> {
         }
     }
     Ok([
-        means[0], means[1], means[2], vars[0], vars[1], vars[2], tdiffs[0] * 4.0,
-        tdiffs[1] * 4.0, tdiffs[2] * 4.0, 1.0,
+        means[0],
+        means[1],
+        means[2],
+        vars[0],
+        vars[1],
+        vars[2],
+        tdiffs[0] * 4.0,
+        tdiffs[1] * 4.0,
+        tdiffs[2] * 4.0,
+        1.0,
     ])
 }
 
@@ -75,8 +83,8 @@ pub fn batch_features(batch: &Tensor) -> Result<Vec<[f32; FEATURE_DIM]>> {
     let mut out = Vec::with_capacity(n);
     for i in 0..n {
         let slice = &batch.as_slice()[i * sample_len..(i + 1) * sample_len];
-        let sample = Tensor::from_vec(shape[1..].to_vec(), slice.to_vec())
-            .map_err(TrainError::Frame)?;
+        let sample =
+            Tensor::from_vec(shape[1..].to_vec(), slice.to_vec()).map_err(TrainError::Frame)?;
         out.push(clip_features(&sample)?);
     }
     Ok(out)
@@ -86,7 +94,13 @@ pub fn batch_features(batch: &Tensor) -> Result<Vec<[f32; FEATURE_DIM]>> {
 mod tests {
     use super::*;
 
-    fn tensor_ct(c: usize, t: usize, h: usize, w: usize, f: impl Fn(usize, usize, usize, usize) -> f32) -> Tensor {
+    fn tensor_ct(
+        c: usize,
+        t: usize,
+        h: usize,
+        w: usize,
+        f: impl Fn(usize, usize, usize, usize) -> f32,
+    ) -> Tensor {
         let mut data = Vec::with_capacity(c * t * h * w);
         for ci in 0..c {
             for ti in 0..t {
@@ -139,7 +153,8 @@ mod tests {
     fn batch_features_splits_samples() {
         let mut data = Vec::new();
         for s in 0..2 {
-            for _ in 0..(1 * 2 * 2 * 2) {
+            // One sample is C*T*H*W = 1*2*2*2 = 8 elements.
+            for _ in 0..8 {
                 data.push(s as f32);
             }
         }

@@ -25,6 +25,8 @@
 //! [`trainer::Trainer`] runs any loader against a simulated GPU and
 //! reports wall/stall/compute time, utilization, and energy.
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod features;
 pub mod loaders;
 pub mod model;

@@ -85,7 +85,9 @@ pub(crate) fn build_batch_parallel(
             dataset
                 .get(sample.video_id)
                 .map(|v| v.class_id)
-                .ok_or_else(|| TrainError::State { what: "video missing".into() })?,
+                .ok_or_else(|| TrainError::State {
+                    what: "video missing".into(),
+                })?,
         );
         clips.push((frames, sample.normalize.clone()));
     }
@@ -94,7 +96,11 @@ pub(crate) fn build_batch_parallel(
     counters
         .cpu_work_nanos
         .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
-    Ok(LoadedBatch { tensor, labels, gpu_preprocess: Duration::ZERO })
+    Ok(LoadedBatch {
+        tensor,
+        labels,
+        gpu_preprocess: Duration::ZERO,
+    })
 }
 
 impl OnDemandCpuLoader {
@@ -132,16 +138,19 @@ impl OnDemandCpuLoader {
                 }
             }
         });
-        OnDemandCpuLoader { rx, counters, _producer: producer }
+        OnDemandCpuLoader {
+            rx,
+            counters,
+            _producer: producer,
+        }
     }
 }
 
 impl Loader for OnDemandCpuLoader {
     fn next_batch(&mut self, epoch: u64, iteration: u64) -> Result<LoadedBatch> {
-        let ((e, i), batch) = self
-            .rx
-            .recv()
-            .map_err(|_| TrainError::State { what: "producer terminated".into() })??;
+        let ((e, i), batch) = self.rx.recv().map_err(|_| TrainError::State {
+            what: "producer terminated".into(),
+        })??;
         if (e, i) != (epoch, iteration) {
             return Err(TrainError::State {
                 what: format!("out-of-order request: want {epoch}/{iteration}, queue has {e}/{i}"),

@@ -17,9 +17,11 @@ pub fn execute_sample(
     graph: &ConcreteGraph,
     plan: &SamplePlan,
 ) -> Result<(Vec<Frame>, DecodeStats)> {
-    let entry = dataset.get(plan.video_id).ok_or_else(|| TrainError::State {
-        what: format!("video {} not in dataset", plan.video_id),
-    })?;
+    let entry = dataset
+        .get(plan.video_id)
+        .ok_or_else(|| TrainError::State {
+            what: format!("video {} not in dataset", plan.video_id),
+        })?;
     let mut dec = Decoder::new(&entry.encoded);
     let frames = dec.decode_indices(&plan.frame_indices)?;
     let stats = *dec.stats();
@@ -96,8 +98,7 @@ dataset:
         assert_eq!(frames.len(), 4);
         assert_eq!((frames[0].width(), frames[0].height()), (16, 16));
         assert!(stats.frames_decoded >= 4);
-        let tensor =
-            assemble(vec![(frames, batch.samples[0].normalize.clone())]).unwrap();
+        let tensor = assemble(vec![(frames, batch.samples[0].normalize.clone())]).unwrap();
         assert_eq!(tensor.shape(), &[1, 3, 4, 16, 16]);
     }
 }

@@ -97,16 +97,19 @@ impl OnDemandGpuLoader {
                 }
             }
         });
-        OnDemandGpuLoader { rx, counters, _producer: producer }
+        OnDemandGpuLoader {
+            rx,
+            counters,
+            _producer: producer,
+        }
     }
 }
 
 impl Loader for OnDemandGpuLoader {
     fn next_batch(&mut self, epoch: u64, iteration: u64) -> Result<LoadedBatch> {
-        let ((e, i), batch) = self
-            .rx
-            .recv()
-            .map_err(|_| TrainError::State { what: "producer terminated".into() })??;
+        let ((e, i), batch) = self.rx.recv().map_err(|_| TrainError::State {
+            what: "producer terminated".into(),
+        })??;
         if (e, i) != (epoch, iteration) {
             return Err(TrainError::State {
                 what: format!("out-of-order request: want {epoch}/{iteration}, queue has {e}/{i}"),

@@ -18,7 +18,9 @@ impl IdealLoader {
     /// Pre-stages every planned batch (done before the trainer's clock
     /// starts, so it contributes no stall or billed CPU work).
     pub fn new(dataset: &Arc<Dataset>, plan: &TaskPlan) -> Result<Self> {
-        Ok(IdealLoader { batches: Self::stage(dataset, plan)? })
+        Ok(IdealLoader {
+            batches: Self::stage(dataset, plan)?,
+        })
     }
 
     /// Pre-stages batches into a shareable pool; several loaders (e.g.
@@ -36,18 +38,21 @@ impl IdealLoader {
                 let mut labels = Vec::with_capacity(b.samples.len());
                 for s in &b.samples {
                     let (frames, _) = execute_sample(dataset, &plan.graph, s)?;
-                    labels.push(
-                        dataset
-                            .get(s.video_id)
-                            .map(|v| v.class_id)
-                            .ok_or_else(|| TrainError::State { what: "video missing".into() })?,
-                    );
+                    labels.push(dataset.get(s.video_id).map(|v| v.class_id).ok_or_else(|| {
+                        TrainError::State {
+                            what: "video missing".into(),
+                        }
+                    })?);
                     clips.push((frames, s.normalize.clone()));
                 }
                 let tensor = assemble(clips)?;
                 batches.insert(
                     (epoch, it),
-                    LoadedBatch { tensor, labels, gpu_preprocess: Duration::ZERO },
+                    LoadedBatch {
+                        tensor,
+                        labels,
+                        gpu_preprocess: Duration::ZERO,
+                    },
                 );
             }
         }

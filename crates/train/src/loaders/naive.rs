@@ -129,8 +129,7 @@ impl NaiveCacheLoader {
                             }
                             // Augment per plan.
                             let mut out = Vec::with_capacity(frames.len());
-                            for (f, &terminal) in
-                                frames.into_iter().zip(sample.frame_nodes.iter())
+                            for (f, &terminal) in frames.into_iter().zip(sample.frame_nodes.iter())
                             {
                                 let mut cur = f.ok_or_else(|| TrainError::State {
                                     what: "frame slot unfilled".into(),
@@ -152,7 +151,12 @@ impl NaiveCacheLoader {
                 }
             }
         });
-        NaiveCacheLoader { rx, counters, cache, _producer: producer }
+        NaiveCacheLoader {
+            rx,
+            counters,
+            cache,
+            _producer: producer,
+        }
     }
 
     /// Cache hit count so far.
@@ -176,10 +180,9 @@ impl NaiveCacheLoader {
 
 impl Loader for NaiveCacheLoader {
     fn next_batch(&mut self, epoch: u64, iteration: u64) -> Result<LoadedBatch> {
-        let ((e, i), batch) = self
-            .rx
-            .recv()
-            .map_err(|_| TrainError::State { what: "producer terminated".into() })??;
+        let ((e, i), batch) = self.rx.recv().map_err(|_| TrainError::State {
+            what: "producer terminated".into(),
+        })??;
         if (e, i) != (epoch, iteration) {
             return Err(TrainError::State {
                 what: format!("out-of-order request: want {epoch}/{iteration}, queue has {e}/{i}"),

@@ -27,12 +27,18 @@ fn read_batch(vfs: &SandVfs, task: &str, epoch: u64, iteration: u64) -> Result<L
         .getxattr(fd, "labels")?
         .split(',')
         .map(|s| {
-            s.parse().map_err(|_| TrainError::State { what: format!("bad label `{s}`") })
+            s.parse().map_err(|_| TrainError::State {
+                what: format!("bad label `{s}`"),
+            })
         })
         .collect::<Result<_>>()?;
     vfs.close(fd)?;
     let tensor = Tensor::from_bytes(&bytes)?;
-    Ok(LoadedBatch { tensor, labels, gpu_preprocess: Duration::ZERO })
+    Ok(LoadedBatch {
+        tensor,
+        labels,
+        gpu_preprocess: Duration::ZERO,
+    })
 }
 
 enum Mode {
@@ -54,7 +60,11 @@ impl SandLoader {
     #[must_use]
     pub fn new(engine: SandEngine, task: &str) -> Self {
         let vfs = engine.mount();
-        SandLoader { engine, task: task.to_string(), mode: Mode::Direct(vfs) }
+        SandLoader {
+            engine,
+            task: task.to_string(),
+            mode: Mode::Direct(vfs),
+        }
     }
 
     /// Wraps a started engine with a prefetching reader over `epochs`.
@@ -67,8 +77,7 @@ impl SandLoader {
         std::thread::spawn(move || {
             'outer: for epoch in epochs {
                 for it in 0..iters {
-                    let result =
-                        read_batch(&vfs, &task_name, epoch, it).map(|b| ((epoch, it), b));
+                    let result = read_batch(&vfs, &task_name, epoch, it).map(|b| ((epoch, it), b));
                     let failed = result.is_err();
                     if tx.send(result).is_err() || failed {
                         break 'outer;
@@ -76,7 +85,11 @@ impl SandLoader {
                 }
             }
         });
-        SandLoader { engine, task: task.to_string(), mode: Mode::Prefetch(rx) }
+        SandLoader {
+            engine,
+            task: task.to_string(),
+            mode: Mode::Prefetch(rx),
+        }
     }
 
     /// The underlying engine (for stats).
@@ -91,9 +104,9 @@ impl Loader for SandLoader {
         match &mut self.mode {
             Mode::Direct(vfs) => read_batch(vfs, &self.task, epoch, iteration),
             Mode::Prefetch(rx) => {
-                let ((e, i), batch) = rx
-                    .recv()
-                    .map_err(|_| TrainError::State { what: "prefetcher terminated".into() })??;
+                let ((e, i), batch) = rx.recv().map_err(|_| TrainError::State {
+                    what: "prefetcher terminated".into(),
+                })??;
                 if (e, i) != (epoch, iteration) {
                     return Err(TrainError::State {
                         what: format!(

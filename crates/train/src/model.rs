@@ -35,7 +35,13 @@ pub struct SgdConfig {
 
 impl Default for SgdConfig {
     fn default() -> Self {
-        SgdConfig { kind: OptimizerKind::Sgd, lr: 0.05, weight_decay: 1e-4, beta1: 0.9, beta2: 0.999 }
+        SgdConfig {
+            kind: OptimizerKind::Sgd,
+            lr: 0.05,
+            weight_decay: 1e-4,
+            beta1: 0.9,
+            beta2: 0.999,
+        }
     }
 }
 
@@ -57,10 +63,14 @@ impl LinearSoftmax {
     /// Creates a zero-initialized classifier.
     pub fn new(classes: usize, config: SgdConfig) -> Result<Self> {
         if classes < 2 {
-            return Err(TrainError::State { what: "need at least two classes".into() });
+            return Err(TrainError::State {
+                what: "need at least two classes".into(),
+            });
         }
         if config.lr <= 0.0 || !config.lr.is_finite() {
-            return Err(TrainError::State { what: "learning rate must be positive".into() });
+            return Err(TrainError::State {
+                what: "learning rate must be positive".into(),
+            });
         }
         let n = classes * FEATURE_DIM;
         Ok(LinearSoftmax {
@@ -115,11 +125,15 @@ impl LinearSoftmax {
     /// loss before the update.
     pub fn train_step(&mut self, batch: &[[f32; FEATURE_DIM]], labels: &[u32]) -> Result<f32> {
         if batch.is_empty() || batch.len() != labels.len() {
-            return Err(TrainError::State { what: "batch/labels size mismatch".into() });
+            return Err(TrainError::State {
+                what: "batch/labels size mismatch".into(),
+            });
         }
         for &l in labels {
             if l as usize >= self.classes {
-                return Err(TrainError::State { what: format!("label {l} out of range") });
+                return Err(TrainError::State {
+                    what: format!("label {l} out of range"),
+                });
             }
         }
         self.step += 1;
@@ -212,10 +226,18 @@ mod tests {
 
     #[test]
     fn loss_decreases_on_separable_data() {
-        for kind in [OptimizerKind::Sgd, OptimizerKind::Momentum, OptimizerKind::Adam] {
+        for kind in [
+            OptimizerKind::Sgd,
+            OptimizerKind::Momentum,
+            OptimizerKind::Adam,
+        ] {
             let mut m = LinearSoftmax::new(
                 2,
-                SgdConfig { kind, lr: 0.1, ..Default::default() },
+                SgdConfig {
+                    kind,
+                    lr: 0.1,
+                    ..Default::default()
+                },
             )
             .unwrap();
             let (xs, ys) = toy_batch(32);
@@ -249,7 +271,14 @@ mod tests {
     #[test]
     fn invalid_inputs_rejected() {
         assert!(LinearSoftmax::new(1, SgdConfig::default()).is_err());
-        assert!(LinearSoftmax::new(2, SgdConfig { lr: -1.0, ..Default::default() }).is_err());
+        assert!(LinearSoftmax::new(
+            2,
+            SgdConfig {
+                lr: -1.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
         let mut m = LinearSoftmax::new(2, SgdConfig::default()).unwrap();
         assert!(m.train_step(&[], &[]).is_err());
         let x = [[0.0; FEATURE_DIM]];
@@ -262,7 +291,11 @@ mod tests {
         let mk = |wd: f32| {
             let mut m = LinearSoftmax::new(
                 2,
-                SgdConfig { lr: 0.1, weight_decay: wd, ..Default::default() },
+                SgdConfig {
+                    lr: 0.1,
+                    weight_decay: wd,
+                    ..Default::default()
+                },
             )
             .unwrap();
             let (xs, ys) = toy_batch(16);

@@ -11,9 +11,7 @@
 use crate::{Result, TrainError};
 use sand_codec::Dataset;
 use sand_config::TaskConfig;
-use sand_graph::{
-    BatchRef, ConcreteGraph, NodeId, PlanInput, Planner, PlannerOptions, ResolvedOp,
-};
+use sand_graph::{BatchRef, ConcreteGraph, NodeId, PlanInput, Planner, PlannerOptions, ResolvedOp};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -85,9 +83,16 @@ impl TaskPlan {
             })
             .collect();
         let planner = Planner::new(
-            vec![PlanInput { task_id: 0, config: config.clone() }],
+            vec![PlanInput {
+                task_id: 0,
+                config: config.clone(),
+            }],
             videos,
-            PlannerOptions { seed, coordinate, epochs: epochs.clone() },
+            PlannerOptions {
+                seed,
+                coordinate,
+                epochs: epochs.clone(),
+            },
         )?;
         let graph = planner.plan()?;
         let mut index = HashMap::new();
@@ -96,14 +101,22 @@ impl TaskPlan {
         }
         let iters_per_epoch =
             (dataset.len() as u64).div_ceil(config.sampling.videos_per_batch as u64);
-        Ok(TaskPlan { graph: Arc::new(graph), index, iters_per_epoch, epochs })
+        Ok(TaskPlan {
+            graph: Arc::new(graph),
+            index,
+            iters_per_epoch,
+            epochs,
+        })
     }
 
     /// The batch plan at (epoch, iteration).
     pub fn batch(&self, epoch: u64, iteration: u64) -> Result<&BatchRef> {
-        let idx = self.index.get(&(epoch, iteration)).ok_or_else(|| TrainError::State {
-            what: format!("no planned batch at epoch {epoch} iteration {iteration}"),
-        })?;
+        let idx = self
+            .index
+            .get(&(epoch, iteration))
+            .ok_or_else(|| TrainError::State {
+                what: format!("no planned batch at epoch {epoch} iteration {iteration}"),
+            })?;
         Ok(&self.graph.batches[*idx])
     }
 }

@@ -155,9 +155,11 @@ impl Trainer {
         let cpu_work = loader.cpu_work();
         // Package-level CPU busy seconds: total work spread over vCPUs,
         // capped at the wall clock.
-        let cpu_busy = (cpu_work.as_secs_f64() / config.vcpus.max(1) as f64)
+        let cpu_busy =
+            (cpu_work.as_secs_f64() / config.vcpus.max(1) as f64).min(wall.as_secs_f64());
+        let gpu_busy = (gpu_compute + gpu_preprocess)
+            .as_secs_f64()
             .min(wall.as_secs_f64());
-        let gpu_busy = (gpu_compute + gpu_preprocess).as_secs_f64().min(wall.as_secs_f64());
         let energy = self.power.energy(
             UsageWindow::new(cpu_busy, wall.as_secs_f64()),
             UsageWindow::new(gpu_busy, wall.as_secs_f64()),
@@ -226,7 +228,12 @@ dataset:
                 width: 32,
                 height: 32,
                 frames_per_video: 24,
-                encoder: EncoderConfig { gop_size: 6, quantizer: 4, fps_milli: 30_000, b_frames: 0 },
+                encoder: EncoderConfig {
+                    gop_size: 6,
+                    quantizer: 4,
+                    fps_milli: 30_000,
+                    b_frames: 0,
+                },
                 ..Default::default()
             })
             .unwrap(),
@@ -256,7 +263,10 @@ dataset:
     }
 
     fn trainer() -> Trainer {
-        Trainer::new(Arc::new(GpuSim::new(GpuSpec::a100())), PowerModel::default())
+        Trainer::new(
+            Arc::new(GpuSim::new(GpuSpec::a100())),
+            PowerModel::default(),
+        )
     }
 
     #[test]
@@ -291,8 +301,7 @@ dataset:
         // A slow NVDEC makes the billing visible.
         let mut spec = GpuSpec::a100();
         spec.nvdec_pixels_per_sec = 5.0e6;
-        let mut loader =
-            OnDemandGpuLoader::new(Arc::clone(&ds), plan, NvdecModel::new(spec), 2, 2);
+        let mut loader = OnDemandGpuLoader::new(Arc::clone(&ds), plan, NvdecModel::new(spec), 2, 2);
         let report = trainer().run(&mut loader, &config(0..1)).unwrap();
         assert!(report.gpu_preprocess > Duration::ZERO);
         assert_eq!(report.cpu_work, Duration::ZERO);
@@ -304,8 +313,7 @@ dataset:
         let ds = dataset();
         let cfg = parse_task_config(TASK).unwrap();
         let plan = Arc::new(TaskPlan::single_task(&cfg, &ds, 0..3, 7).unwrap());
-        let mut loader =
-            NaiveCacheLoader::new(Arc::clone(&ds), plan, 2, 2, 1 << 30);
+        let mut loader = NaiveCacheLoader::new(Arc::clone(&ds), plan, 2, 2, 1 << 30);
         let report = trainer().run(&mut loader, &config(0..3)).unwrap();
         assert_eq!(report.iterations, 6);
         // Unlimited-ish budget: epochs 2-3 hit frames decoded earlier
@@ -352,15 +360,36 @@ dataset:
 
     #[test]
     fn loss_decreases_across_epochs() {
-        let ds = dataset();
+        // Needs a dataset big enough that an epoch is more than two
+        // 2-sample batches: with only 4 videos, SGD memorizes each tiny
+        // (often single-class) batch and forgets the previous one, so the
+        // pre-update loss oscillates instead of decreasing.
+        let ds = Arc::new(
+            Dataset::generate(&DatasetSpec {
+                num_videos: 8,
+                num_classes: 2,
+                width: 32,
+                height: 32,
+                frames_per_video: 24,
+                encoder: EncoderConfig {
+                    gop_size: 6,
+                    quantizer: 4,
+                    fps_milli: 30_000,
+                    b_frames: 0,
+                },
+                ..Default::default()
+            })
+            .unwrap(),
+        );
         let cfg = parse_task_config(TASK).unwrap();
         let plan = TaskPlan::single_task(&cfg, &ds, 0..8, 7).unwrap();
         let mut loader = IdealLoader::new(&ds, &plan).unwrap();
         let mut tc = config(0..8);
+        tc.iters_per_epoch = 4;
         tc.opt.lr = 0.3;
         let report = trainer().run(&mut loader, &tc).unwrap();
-        let first: f32 = report.losses[..2].iter().sum::<f32>() / 2.0;
-        let last: f32 = report.losses[report.losses.len() - 2..].iter().sum::<f32>() / 2.0;
+        let first: f32 = report.losses[..4].iter().sum::<f32>() / 4.0;
+        let last: f32 = report.losses[report.losses.len() - 4..].iter().sum::<f32>() / 4.0;
         assert!(last < first, "loss did not decrease: {first} -> {last}");
     }
 }

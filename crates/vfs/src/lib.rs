@@ -12,6 +12,8 @@
 //! offset, `close` releases the descriptor, and operations on closed or
 //! never-opened descriptors fail with [`VfsError::BadFd`] (EBADF).
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod path;
 
 pub use path::ViewPath;
@@ -93,21 +95,32 @@ pub struct SandVfs {
 impl SandVfs {
     /// Mounts the VFS over a provider.
     pub fn new(provider: Arc<dyn ViewProvider>) -> Self {
-        SandVfs { provider, files: Mutex::new(BTreeMap::new()) }
+        SandVfs {
+            provider,
+            files: Mutex::new(BTreeMap::new()),
+        }
     }
 
     /// Opens a view path, materializing its content, and returns a
     /// descriptor (lowest free, starting at 3 as stdin/out/err are taken).
     pub fn open(&self, path: &str) -> Result<u64> {
-        let view = ViewPath::parse(path)
-            .ok_or_else(|| VfsError::NoSuchView { path: path.to_string() })?;
+        let view = ViewPath::parse(path).ok_or_else(|| VfsError::NoSuchView {
+            path: path.to_string(),
+        })?;
         let content = Arc::new(self.provider.fetch(&view)?);
         let mut files = self.files.lock();
         let mut fd = 3;
         while files.contains_key(&fd) {
             fd += 1;
         }
-        files.insert(fd, OpenFile { path: view, content, offset: 0 });
+        files.insert(
+            fd,
+            OpenFile {
+                path: view,
+                content,
+                offset: 0,
+            },
+        );
         Ok(fd)
     }
 
@@ -144,14 +157,19 @@ impl SandVfs {
 
     /// Path-based `getxattr` (no descriptor required).
     pub fn getxattr_path(&self, path: &str, name: &str) -> Result<String> {
-        let view = ViewPath::parse(path)
-            .ok_or_else(|| VfsError::NoSuchView { path: path.to_string() })?;
+        let view = ViewPath::parse(path).ok_or_else(|| VfsError::NoSuchView {
+            path: path.to_string(),
+        })?;
         self.provider.metadata(&view, name)
     }
 
     /// Closes a descriptor, releasing its content reference.
     pub fn close(&self, fd: u64) -> Result<()> {
-        let file = self.files.lock().remove(&fd).ok_or(VfsError::BadFd { fd })?;
+        let file = self
+            .files
+            .lock()
+            .remove(&fd)
+            .ok_or(VfsError::BadFd { fd })?;
         self.provider.released(&file.path);
         Ok(())
     }
@@ -172,9 +190,9 @@ mod tests {
     impl ViewProvider for MockProvider {
         fn fetch(&self, path: &ViewPath) -> Result<Vec<u8>> {
             match path {
-                ViewPath::Batch { epoch, iteration, .. } => {
-                    Ok(format!("batch-{epoch}-{iteration}").into_bytes())
-                }
+                ViewPath::Batch {
+                    epoch, iteration, ..
+                } => Ok(format!("batch-{epoch}-{iteration}").into_bytes()),
                 ViewPath::Frame { index, .. } => Ok(vec![*index as u8; 8]),
                 _ => Ok(b"data".to_vec()),
             }
@@ -183,7 +201,9 @@ mod tests {
         fn metadata(&self, _path: &ViewPath, name: &str) -> Result<String> {
             match name {
                 "timestamps" => Ok("0,33333,66666".to_string()),
-                _ => Err(VfsError::NoAttr { name: name.to_string() }),
+                _ => Err(VfsError::NoAttr {
+                    name: name.to_string(),
+                }),
             }
         }
     }
@@ -239,7 +259,10 @@ mod tests {
         let mut buf = [0u8; 1];
         assert_eq!(v.read(99, &mut buf), Err(VfsError::BadFd { fd: 99 }));
         assert_eq!(v.close(99), Err(VfsError::BadFd { fd: 99 }));
-        assert_eq!(v.getxattr(99, "timestamps"), Err(VfsError::BadFd { fd: 99 }));
+        assert_eq!(
+            v.getxattr(99, "timestamps"),
+            Err(VfsError::BadFd { fd: 99 })
+        );
         let fd = v.open("/t/0/0/view").unwrap();
         v.close(fd).unwrap();
         assert_eq!(v.close(fd), Err(VfsError::BadFd { fd }));
@@ -248,8 +271,14 @@ mod tests {
     #[test]
     fn unparseable_path_is_enoent() {
         let v = vfs();
-        assert!(matches!(v.open("not a path"), Err(VfsError::NoSuchView { .. })));
-        assert!(matches!(v.open("/only/two"), Err(VfsError::NoSuchView { .. })));
+        assert!(matches!(
+            v.open("not a path"),
+            Err(VfsError::NoSuchView { .. })
+        ));
+        assert!(matches!(
+            v.open("/only/two"),
+            Err(VfsError::NoSuchView { .. })
+        ));
     }
 
     #[test]
@@ -257,8 +286,15 @@ mod tests {
         let v = vfs();
         let fd = v.open("/t/video0001/frame3").unwrap();
         assert_eq!(v.getxattr(fd, "timestamps").unwrap(), "0,33333,66666");
-        assert!(matches!(v.getxattr(fd, "nope"), Err(VfsError::NoAttr { .. })));
-        assert_eq!(v.getxattr_path("/t/video0001/frame3", "timestamps").unwrap(), "0,33333,66666");
+        assert!(matches!(
+            v.getxattr(fd, "nope"),
+            Err(VfsError::NoAttr { .. })
+        ));
+        assert_eq!(
+            v.getxattr_path("/t/video0001/frame3", "timestamps")
+                .unwrap(),
+            "0,33333,66666"
+        );
         v.close(fd).unwrap();
     }
 

@@ -72,7 +72,10 @@ impl ViewPath {
                 let video = file
                     .strip_suffix(".mp4")
                     .or_else(|| file.strip_suffix(".svid"))?;
-                Some(ViewPath::Video { task: (*task).to_string(), video: video.to_string() })
+                Some(ViewPath::Video {
+                    task: (*task).to_string(),
+                    video: video.to_string(),
+                })
             }
             [task, video, frame] => {
                 let index = parse_numbered(frame, "frame")?;
@@ -85,7 +88,11 @@ impl ViewPath {
             [task, a, b, last] if *last == "view" => {
                 let epoch = a.parse().ok()?;
                 let iteration = b.parse().ok()?;
-                Some(ViewPath::Batch { task: (*task).to_string(), epoch, iteration })
+                Some(ViewPath::Batch {
+                    task: (*task).to_string(),
+                    epoch,
+                    iteration,
+                })
             }
             [task, video, frame, aug] => {
                 let index = parse_numbered(frame, "frame")?;
@@ -124,10 +131,19 @@ impl fmt::Display for ViewPath {
         match self {
             ViewPath::Video { task, video } => write!(f, "/{task}/{video}.svid"),
             ViewPath::Frame { task, video, index } => write!(f, "/{task}/{video}/frame{index}"),
-            ViewPath::AugFrame { task, video, index, depth } => {
+            ViewPath::AugFrame {
+                task,
+                video,
+                index,
+                depth,
+            } => {
                 write!(f, "/{task}/{video}/frame{index}/aug{depth}")
             }
-            ViewPath::Batch { task, epoch, iteration } => {
+            ViewPath::Batch {
+                task,
+                epoch,
+                iteration,
+            } => {
                 write!(f, "/{task}/{epoch}/{iteration}/view")
             }
         }
@@ -142,15 +158,25 @@ mod tests {
     fn parses_all_forms() {
         assert_eq!(
             ViewPath::parse("/train/video0001.mp4"),
-            Some(ViewPath::Video { task: "train".into(), video: "video0001".into() })
+            Some(ViewPath::Video {
+                task: "train".into(),
+                video: "video0001".into()
+            })
         );
         assert_eq!(
             ViewPath::parse("/train/video0001.svid"),
-            Some(ViewPath::Video { task: "train".into(), video: "video0001".into() })
+            Some(ViewPath::Video {
+                task: "train".into(),
+                video: "video0001".into()
+            })
         );
         assert_eq!(
             ViewPath::parse("/train/video0001/frame12"),
-            Some(ViewPath::Frame { task: "train".into(), video: "video0001".into(), index: 12 })
+            Some(ViewPath::Frame {
+                task: "train".into(),
+                video: "video0001".into(),
+                index: 12
+            })
         );
         assert_eq!(
             ViewPath::parse("/train/video0001/frame12/aug2"),
@@ -163,7 +189,11 @@ mod tests {
         );
         assert_eq!(
             ViewPath::parse("/train/3/47/view"),
-            Some(ViewPath::Batch { task: "train".into(), epoch: 3, iteration: 47 })
+            Some(ViewPath::Batch {
+                task: "train".into(),
+                epoch: 3,
+                iteration: 47
+            })
         );
     }
 
@@ -203,7 +233,10 @@ mod tests {
     #[test]
     fn batch_view_takes_priority_over_aug_form() {
         // `/t/0/1/view` must parse as a batch, not an aug frame.
-        assert!(matches!(ViewPath::parse("/t/0/1/view"), Some(ViewPath::Batch { .. })));
+        assert!(matches!(
+            ViewPath::parse("/t/0/1/view"),
+            Some(ViewPath::Batch { .. })
+        ));
     }
 
     #[test]
@@ -211,7 +244,11 @@ mod tests {
         let s = ViewPath::batch("hp0", 9, 123);
         assert_eq!(
             ViewPath::parse(&s),
-            Some(ViewPath::Batch { task: "hp0".into(), epoch: 9, iteration: 123 })
+            Some(ViewPath::Batch {
+                task: "hp0".into(),
+                epoch: 9,
+                iteration: 123
+            })
         );
     }
 

@@ -1,5 +1,7 @@
 //! Property-based tests for view paths and the fd table.
 
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 use sand_vfs::{SandVfs, ViewPath, ViewProvider};
 use std::sync::Arc;

@@ -7,6 +7,8 @@
 //!
 //! Run with: `cargo run --example distributed_remote`
 
+#![allow(clippy::unwrap_used)]
+
 use sand::codec::{Dataset, DatasetSpec};
 use sand::ray::{run_ddp, DdpConfig};
 use sand::sim::ModelProfile;

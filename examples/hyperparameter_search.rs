@@ -7,6 +7,8 @@
 //!
 //! Run with: `cargo run --example hyperparameter_search`
 
+#![allow(clippy::unwrap_used)]
+
 use sand::codec::{Dataset, DatasetSpec};
 use sand::core::{EngineConfig, SandEngine};
 use sand::ray::{run_asha, AshaConfig, LoaderKind, RunnerEnv};
@@ -50,7 +52,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..Default::default()
     })?);
     let task = sand::config::parse_task_config(PIPELINE)?;
-    let asha = AshaConfig { trials: 6, eta: 2, min_epochs: 1, max_epochs: 4, seed: 11 };
+    let asha = AshaConfig {
+        trials: 6,
+        eta: 2,
+        min_epochs: 1,
+        max_epochs: 4,
+        seed: 11,
+    };
 
     // One engine serves every trial (they share tag, pipeline, dataset).
     let engine = SandEngine::new(
@@ -65,8 +73,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     engine.start()?;
 
-    let gpus: Vec<Arc<GpuSim>> =
-        (0..2).map(|_| Arc::new(GpuSim::new(GpuSpec::a100()))).collect();
+    let gpus: Vec<Arc<GpuSim>> = (0..2)
+        .map(|_| Arc::new(GpuSim::new(GpuSpec::a100())))
+        .collect();
     let env = RunnerEnv {
         dataset,
         kind: LoaderKind::Sand,

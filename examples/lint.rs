@@ -1,0 +1,169 @@
+//! `sand-lint` as a command-line tool.
+//!
+//! Parses one or more task configuration files, runs every static
+//! analysis over them (plus a dry-planned concrete graph for a synthetic
+//! dataset), and prints the findings rustc-style — or as JSON lines with
+//! `--json`.
+//!
+//! ```text
+//! cargo run --example lint -- train.yaml eval.yaml
+//! cargo run --example lint -- --json --cache-budget 1048576 train.yaml
+//! ```
+//!
+//! Exit status: `0` clean or warnings only, `1` any deny-severity
+//! finding, `2` usage or parse error.
+
+#![allow(clippy::unwrap_used)]
+
+use sand::config::{parse_task_config, TaskConfig};
+use sand::graph::{AbstractGraph, PlanInput, Planner, PlannerOptions, VideoMeta};
+use sand::lint::{lint_all, LintOptions};
+use std::process::ExitCode;
+
+struct Args {
+    json: bool,
+    epochs: u64,
+    videos: usize,
+    frames: usize,
+    gop: usize,
+    dims: (usize, usize),
+    cache_budget: u64,
+    memory_budget: u64,
+    paths: Vec<String>,
+}
+
+const USAGE: &str = "usage: lint [options] CONFIG.yaml...\n\
+  --json              emit JSON lines instead of human-readable output\n\
+  --epochs N          total training epochs (default 4)\n\
+  --videos N          synthetic dataset size (default 16)\n\
+  --frames N          frames per synthetic video (default 64)\n\
+  --gop N             GOP size of the synthetic videos (default 8)\n\
+  --width N           width of the synthetic videos (default 128)\n\
+  --height N          height of the synthetic videos (default 128)\n\
+  --cache-budget B    Algorithm-1 cache budget in bytes (default 256 MiB)\n\
+  --memory-budget B   store memory-tier budget in bytes (default 64 MiB)";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        json: false,
+        epochs: 4,
+        videos: 16,
+        frames: 64,
+        gop: 8,
+        dims: (128, 128),
+        cache_budget: 256 << 20,
+        memory_budget: 64 << 20,
+        paths: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<u64>()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match a.as_str() {
+            "--json" => args.json = true,
+            "--epochs" => args.epochs = num("--epochs")?,
+            "--videos" => args.videos = num("--videos")? as usize,
+            "--frames" => args.frames = num("--frames")? as usize,
+            "--gop" => args.gop = num("--gop")? as usize,
+            "--width" => args.dims.0 = num("--width")? as usize,
+            "--height" => args.dims.1 = num("--height")? as usize,
+            "--cache-budget" => args.cache_budget = num("--cache-budget")?,
+            "--memory-budget" => args.memory_budget = num("--memory-budget")?,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`\n{USAGE}"));
+            }
+            path => args.paths.push(path.to_string()),
+        }
+    }
+    if args.paths.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut tasks: Vec<TaskConfig> = Vec::new();
+    for path in &args.paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("lint: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match parse_task_config(&text) {
+            Ok(cfg) => tasks.push(cfg),
+            Err(e) => {
+                eprintln!("lint: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let abstract_graphs: Vec<AbstractGraph> =
+        tasks.iter().map(AbstractGraph::from_config).collect();
+    // A synthetic dataset stands in for the real one: the feasibility
+    // analyses only need frame geometry and GOP structure.
+    let videos: Vec<VideoMeta> = (0..args.videos as u64)
+        .map(|video_id| VideoMeta {
+            video_id,
+            frames: args.frames,
+            width: args.dims.0,
+            height: args.dims.1,
+            channels: 3,
+            gop_size: args.gop,
+            encoded_bytes: (args.dims.0 * args.dims.1 * 3 * args.frames / 10) as u64,
+        })
+        .collect();
+    let inputs: Vec<PlanInput> = tasks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| PlanInput {
+            task_id: i as u32,
+            config: t.clone(),
+        })
+        .collect();
+    let concrete = match Planner::new(inputs, videos.clone(), PlannerOptions::default())
+        .and_then(|p| p.plan())
+    {
+        Ok(g) => Some(g),
+        Err(e) => {
+            eprintln!("lint: note: dry planning failed ({e}); skipping concrete-graph analyses");
+            None
+        }
+    };
+    let iterations_per_epoch = tasks
+        .iter()
+        .map(|t| (args.videos as u64).div_ceil(t.sampling.videos_per_batch as u64))
+        .max();
+    let opts = LintOptions {
+        total_epochs: args.epochs,
+        iterations_per_epoch,
+        cache_budget: args.cache_budget,
+        memory_budget: args.memory_budget,
+    };
+    let report = lint_all(&tasks, &abstract_graphs, concrete.as_ref(), &videos, &opts);
+    if args.json {
+        if !report.is_clean() {
+            println!("{}", report.render_jsonl());
+        }
+    } else {
+        println!("{}", report.render_human());
+    }
+    if report.deny_count() > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

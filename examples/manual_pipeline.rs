@@ -11,6 +11,8 @@
 //!
 //! Run with: `cargo run --example manual_pipeline`
 
+#![allow(clippy::unwrap_used)]
+
 use sand::codec::{Dataset, DatasetSpec, Decoder, VideoEntry};
 use sand::frame::ops::{Crop, Flip, FlipAxis, FrameOp, Interpolation, Resize};
 use sand::frame::{Frame, Tensor};
@@ -99,7 +101,9 @@ fn sample_clip(video: &VideoEntry, epoch: u64) -> Result<Vec<usize>, String> {
     }
     let mut rng = Rng::new(SEED ^ video.video_id.rotate_left(13) ^ epoch.wrapping_mul(0xabcd));
     let anchor = rng.below(total - span + 1);
-    Ok((0..FRAMES_PER_VIDEO).map(|k| anchor + k * FRAME_STRIDE).collect())
+    Ok((0..FRAMES_PER_VIDEO)
+        .map(|k| anchor + k * FRAME_STRIDE)
+        .collect())
 }
 
 // ---------------------------------------------------------------------
@@ -128,8 +132,8 @@ struct ClipAugmentation {
 /// Draws one clip's augmentation parameters.
 fn draw_augmentation(video_id: u64, epoch: u64) -> Result<ClipAugmentation, String> {
     let mut rng = Rng::new(SEED ^ video_id.rotate_left(29) ^ epoch.wrapping_mul(0x5555));
-    let resize = Resize::new(RESIZE_W, RESIZE_H, Interpolation::Bilinear)
-        .map_err(|e| e.to_string())?;
+    let resize =
+        Resize::new(RESIZE_W, RESIZE_H, Interpolation::Bilinear).map_err(|e| e.to_string())?;
     let max_x = RESIZE_W - CROP_W;
     let max_y = RESIZE_H - CROP_H;
     let crop = Crop::new(rng.below(max_x + 1), rng.below(max_y + 1), CROP_W, CROP_H)
@@ -162,8 +166,7 @@ fn augment_clip(frames: Vec<Frame>, aug: &ClipAugmentation) -> Result<Vec<Frame>
 
 /// Normalizes a clip into a (C, T, H, W) tensor.
 fn clip_tensor(frames: &[Frame]) -> Result<Tensor, String> {
-    sand::frame::tensor::clip_to_tensor(frames, &NORM_MEAN, &NORM_STD)
-        .map_err(|e| e.to_string())
+    sand::frame::tensor::clip_to_tensor(frames, &NORM_MEAN, &NORM_STD).map_err(|e| e.to_string())
 }
 
 /// Stacks per-clip tensors into the batch tensor.
@@ -225,7 +228,12 @@ fn produce_batch(
         labels.push(label);
         clips.push(tensor);
     }
-    Ok(Batch { epoch, iteration, tensor: collate(&clips)?, labels })
+    Ok(Batch {
+        epoch,
+        iteration,
+        tensor: collate(&clips)?,
+        labels,
+    })
 }
 
 // ---------------------------------------------------------------------

@@ -7,6 +7,8 @@
 //!
 //! Run with: `cargo run --example multi_task`
 
+#![allow(clippy::unwrap_used)]
+
 use sand::codec::{Dataset, DatasetSpec};
 use sand::core::{EngineConfig, SandEngine};
 use sand::ray::{run_multitask, JobSpec, LoaderKind, MultitaskConfig, RunnerEnv};
@@ -78,8 +80,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.op_reduction("resize") * 100.0
     );
 
-    let gpus: Vec<Arc<GpuSim>> =
-        (0..2).map(|_| Arc::new(GpuSim::new(GpuSpec::a100()))).collect();
+    let gpus: Vec<Arc<GpuSim>> = (0..2)
+        .map(|_| Arc::new(GpuSim::new(GpuSpec::a100())))
+        .collect();
     let env = RunnerEnv {
         dataset,
         kind: LoaderKind::Sand,

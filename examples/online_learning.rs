@@ -10,11 +10,13 @@
 //!
 //! Run with: `cargo run --example online_learning`
 
+#![allow(clippy::unwrap_used)]
+
 use sand::codec::{DatasetSpec, StreamAccumulator, VideoStream};
 use sand::core::{AugService, EngineConfig, SandEngine};
 use sand::frame::{Frame, Tensor};
-use sand::train::model::{LinearSoftmax, SgdConfig};
 use sand::train::features::batch_features;
+use sand::train::model::{LinearSoftmax, SgdConfig};
 use sand::vfs::ViewPath;
 use std::sync::Arc;
 use std::time::Duration;
@@ -65,13 +67,25 @@ fn vignette(mut frame: Frame) -> Result<Frame, String> {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A stream of 12 videos arriving every 30 ms.
     let mut stream = VideoStream::new(
-        DatasetSpec { num_videos: 12, frames_per_video: 36, ..Default::default() },
+        DatasetSpec {
+            num_videos: 12,
+            frames_per_video: 36,
+            ..Default::default()
+        },
         Duration::from_millis(30),
     )?;
-    let service = AugService::builder().register("vignette", Box::new(vignette)).start();
+    let service = AugService::builder()
+        .register("vignette", Box::new(vignette))
+        .start();
     let task = sand::config::parse_task_config(PIPELINE)?;
     let mut acc = StreamAccumulator::new();
-    let mut model = LinearSoftmax::new(4, SgdConfig { lr: 0.2, ..Default::default() })?;
+    let mut model = LinearSoftmax::new(
+        4,
+        SgdConfig {
+            lr: 0.2,
+            ..Default::default()
+        },
+    )?;
     let mut generation = 0u64;
     loop {
         // Ingest until a new generation's worth of videos is available.
@@ -81,7 +95,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             None => {}
         }
         let stream_done = stream.remaining() == 0;
-        if acc.len() % 4 != 0 && !stream_done {
+        if !acc.len().is_multiple_of(4) && !stream_done {
             continue;
         }
         // Cut a snapshot and train one round of epochs over it.

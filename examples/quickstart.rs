@@ -8,6 +8,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
+#![allow(clippy::unwrap_used)]
+
 use sand::codec::{Dataset, DatasetSpec};
 use sand::core::{EngineConfig, SandEngine};
 use sand::frame::Tensor;

@@ -26,6 +26,7 @@ pub use sand_config as config;
 pub use sand_core as core;
 pub use sand_frame as frame;
 pub use sand_graph as graph;
+pub use sand_lint as lint;
 pub use sand_ray as ray;
 pub use sand_sched as sched;
 pub use sand_sim as sim;

@@ -1,6 +1,8 @@
 //! End-to-end integration tests spanning the whole workspace: dataset →
 //! engine → VFS → trainer, plus cross-strategy consistency.
 
+#![allow(clippy::unwrap_used)]
+
 use sand::codec::{Dataset, DatasetSpec, EncoderConfig};
 use sand::config::parse_task_config;
 use sand::core::{EngineConfig, SandEngine};
@@ -49,7 +51,12 @@ fn dataset() -> Arc<Dataset> {
             width: 48,
             height: 48,
             frames_per_video: 36,
-            encoder: EncoderConfig { gop_size: 9, quantizer: 4, fps_milli: 30_000, b_frames: 0 },
+            encoder: EncoderConfig {
+                gop_size: 9,
+                quantizer: 4,
+                fps_milli: 30_000,
+                b_frames: 0,
+            },
             ..Default::default()
         })
         .unwrap(),
@@ -199,8 +206,9 @@ fn concurrent_trainers_share_one_engine_consistently() {
         handles.push(std::thread::spawn(move || {
             let vfs = e.mount();
             for round in 0..3 {
-                for (k, (epoch, it)) in
-                    (0..2u64).flat_map(|ep| (0..3u64).map(move |it| (ep, it))).enumerate()
+                for (k, (epoch, it)) in (0..2u64)
+                    .flat_map(|ep| (0..3u64).map(move |it| (ep, it)))
+                    .enumerate()
                 {
                     let fd = vfs.open(&ViewPath::batch("e2e", epoch, it)).unwrap();
                     let bytes = vfs.read_to_end(fd).unwrap();

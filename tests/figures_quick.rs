@@ -3,6 +3,8 @@
 //! and exercised behind `--ignored` (they are meaningful only in release
 //! builds and take tens of seconds in debug).
 
+#![allow(clippy::unwrap_used)]
+
 use sand_bench::figs;
 
 fn run(id: &str) -> String {
@@ -17,7 +19,10 @@ fn run(id: &str) -> String {
 fn fig4_memory_model_is_structural() {
     let out = run("fig4");
     assert!(out.contains("1080p"));
-    assert!(out.contains("-9."), "expected the calibrated ~9% drop: {out}");
+    assert!(
+        out.contains("-9."),
+        "expected the calibrated ~9% drop: {out}"
+    );
 }
 
 #[test]
@@ -44,7 +49,10 @@ fn fig16_reports_op_reductions() {
 #[test]
 fn fig19_selection_concentrates_with_planning() {
     let out = run("fig19");
-    let n4 = out.lines().find(|l| l.trim_start().starts_with("n = 4")).unwrap();
+    let n4 = out
+        .lines()
+        .find(|l| l.trim_start().starts_with("n = 4"))
+        .unwrap();
     let pcts: Vec<f64> = n4
         .split_whitespace()
         .filter_map(|t| t.strip_suffix('%'))
@@ -64,7 +72,10 @@ fn fig3_amplification_exceeds_one() {
         .and_then(|t| t.strip_suffix('x'))
         .and_then(|t| t.parse().ok())
         .unwrap();
-    assert!(amp > 1.5, "decode amplification should be substantial: {amp}");
+    assert!(
+        amp > 1.5,
+        "decode amplification should be substantial: {amp}"
+    );
 }
 
 /// Timing-sensitive experiments: correctness of the harness only; the

@@ -2,6 +2,8 @@
 //! learnable through the full SAND pipeline, and training survives heavy
 //! storage pressure.
 
+#![allow(clippy::unwrap_used)]
+
 use sand::codec::{Dataset, DatasetSpec, EncoderConfig};
 use sand::config::parse_task_config;
 use sand::core::{EngineConfig, SandEngine};
@@ -54,7 +56,12 @@ fn model_learns_synthetic_classes_through_sand() {
             width: 48,
             height: 48,
             frames_per_video: 36,
-            encoder: EncoderConfig { gop_size: 12, quantizer: 4, fps_milli: 30_000, b_frames: 0 },
+            encoder: EncoderConfig {
+                gop_size: 12,
+                quantizer: 4,
+                fps_milli: 30_000,
+                b_frames: 0,
+            },
             ..Default::default()
         })
         .unwrap(),
@@ -73,7 +80,10 @@ fn model_learns_synthetic_classes_through_sand() {
     .unwrap();
     engine.start().unwrap();
     let mut loader = SandLoader::with_prefetch(engine, "learn", 0..epochs, 2);
-    let trainer = Trainer::new(Arc::new(GpuSim::new(GpuSpec::a100())), PowerModel::default());
+    let trainer = Trainer::new(
+        Arc::new(GpuSim::new(GpuSpec::a100())),
+        PowerModel::default(),
+    );
     let report = trainer
         .run(
             &mut loader,
@@ -83,7 +93,11 @@ fn model_learns_synthetic_classes_through_sand() {
                 iters_per_epoch: 4,
                 train_model: true,
                 classes: 4,
-                opt: SgdConfig { kind: OptimizerKind::Adam, lr: 0.05, ..Default::default() },
+                opt: SgdConfig {
+                    kind: OptimizerKind::Adam,
+                    lr: 0.05,
+                    ..Default::default()
+                },
                 vcpus: 4,
             },
         )
@@ -93,8 +107,15 @@ fn model_learns_synthetic_classes_through_sand() {
     let first: f32 = report.losses[..4].iter().sum::<f32>() / 4.0;
     let last: f32 = report.losses[report.losses.len() - 4..].iter().sum::<f32>() / 4.0;
     assert!(first > 1.2, "initial loss should be near ln(4): {first}");
-    assert!(last < 0.8, "loss did not fall far enough: {first} -> {last}");
-    assert!(report.accuracy >= 0.75, "final batch accuracy {}", report.accuracy);
+    assert!(
+        last < 0.8,
+        "loss did not fall far enough: {first} -> {last}"
+    );
+    assert!(
+        report.accuracy >= 0.75,
+        "final batch accuracy {}",
+        report.accuracy
+    );
 }
 
 #[test]
@@ -108,7 +129,12 @@ fn training_survives_heavy_storage_pressure() {
             width: 48,
             height: 48,
             frames_per_video: 36,
-            encoder: EncoderConfig { gop_size: 12, quantizer: 4, fps_milli: 30_000, b_frames: 0 },
+            encoder: EncoderConfig {
+                gop_size: 12,
+                quantizer: 4,
+                fps_milli: 30_000,
+                b_frames: 0,
+            },
             ..Default::default()
         })
         .unwrap(),
