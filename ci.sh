@@ -19,4 +19,7 @@ cargo test -q
 echo "==> cargo test --workspace"
 cargo test -q --workspace
 
+echo "==> decode_parallel bench smoke (quick mode, writes BENCH_decode.json)"
+SAND_BENCH_QUICK=1 cargo bench -q -p sand-bench --bench decode_parallel
+
 echo "CI green."

@@ -1,0 +1,101 @@
+//! GOP-parallel decode benchmark: sequential vs multi-threaded sparse
+//! decode over the SlowFast workload's dataset.
+//!
+//! Closed GOPs make every keyframe segment an independent decode chain,
+//! so `Decoder::with_threads(v, n)` can walk segments concurrently. This
+//! bench measures sparse-access throughput (every 5th frame, the shape of
+//! a strided training sample) at 1 thread and at `DECODE_THREADS`
+//! (default 4 here), asserts the outputs are bit-identical, and writes
+//! `BENCH_decode.json` at the repository root for CI trend tracking.
+//!
+//! Set `SAND_BENCH_QUICK=1` for a short CI-smoke run (fewer iterations,
+//! smaller dataset). Note: on single-core hosts the parallel path cannot
+//! beat sequential wall-clock; the JSON records `host_cpus` so readers
+//! can interpret the speedup honestly.
+
+#![allow(clippy::unwrap_used)]
+
+use sand_bench::workloads::slowfast;
+use sand_codec::{Dataset, Decoder};
+use std::time::Instant;
+
+const PARALLEL_THREADS: usize = 4;
+const SPARSE_STRIDE: usize = 5;
+
+/// Decodes every `SPARSE_STRIDE`-th frame of every video with the given
+/// thread count; returns (frames produced, elapsed seconds, checksum).
+fn decode_all(dataset: &Dataset, threads: usize) -> (u64, f64, u64) {
+    let mut frames = 0u64;
+    let mut checksum = 0u64;
+    let start = Instant::now();
+    for entry in dataset.videos() {
+        let indices: Vec<usize> = (0..entry.encoded.frame_count())
+            .step_by(SPARSE_STRIDE)
+            .collect();
+        let mut dec = Decoder::with_threads(&entry.encoded, threads);
+        let decoded = dec.decode_indices(&indices).unwrap();
+        frames += decoded.len() as u64;
+        for f in &decoded {
+            checksum = checksum.wrapping_mul(31).wrapping_add(
+                f.as_bytes()
+                    .iter()
+                    .fold(0u64, |a, &p| a.wrapping_mul(131).wrapping_add(u64::from(p))),
+            );
+        }
+    }
+    (frames, start.elapsed().as_secs_f64(), checksum)
+}
+
+fn main() {
+    let quick = std::env::var("SAND_BENCH_QUICK").is_ok();
+    let mut spec = slowfast().dataset;
+    if quick {
+        spec.num_videos = 4;
+    } else {
+        spec.frames_per_video = 96;
+    }
+    let dataset = Dataset::generate(&spec).unwrap();
+    let iters = if quick { 3 } else { 10 };
+
+    // Warm-up pass also pins bit-identity between the two paths.
+    let (_, _, seq_sum) = decode_all(&dataset, 1);
+    let (_, _, par_sum) = decode_all(&dataset, PARALLEL_THREADS);
+    let bit_identical = seq_sum == par_sum;
+    assert!(bit_identical, "parallel decode diverged from sequential");
+
+    let mut seq_secs = 0.0;
+    let mut par_secs = 0.0;
+    let mut frames = 0u64;
+    for _ in 0..iters {
+        let (f, s, _) = decode_all(&dataset, 1);
+        frames = f;
+        seq_secs += s;
+        let (_, p, _) = decode_all(&dataset, PARALLEL_THREADS);
+        par_secs += p;
+    }
+    let seq_fps = frames as f64 * iters as f64 / seq_secs;
+    let par_fps = frames as f64 * iters as f64 / par_secs;
+    let speedup = par_fps / seq_fps;
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    println!(
+        "bench decode_parallel/sequential           {:>12.1} frames/s ({iters} iters)",
+        seq_fps
+    );
+    println!(
+        "bench decode_parallel/threads={PARALLEL_THREADS}           {:>12.1} frames/s ({iters} iters)",
+        par_fps
+    );
+    println!("bench decode_parallel/speedup              {speedup:>12.2}x (host_cpus={host_cpus})");
+
+    let json = format!(
+        "{{\n  \"bench\": \"decode_parallel\",\n  \"quick\": {quick},\n  \"threads\": {PARALLEL_THREADS},\n  \"sparse_stride\": {SPARSE_STRIDE},\n  \"frames_per_pass\": {frames},\n  \"sequential_fps\": {seq_fps:.1},\n  \"parallel_fps\": {par_fps:.1},\n  \"speedup\": {speedup:.3},\n  \"bit_identical\": {bit_identical},\n  \"host_cpus\": {host_cpus}\n}}\n"
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_decode.json");
+    std::fs::write(&out, json).unwrap();
+    println!("wrote {}", out.display());
+}

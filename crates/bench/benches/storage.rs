@@ -6,6 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sand_storage::{ObjectMeta, ObjectStore, StoreConfig};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn meta(deadline: u64) -> ObjectMeta {
     ObjectMeta {
@@ -23,8 +24,12 @@ fn bench_memory_tier(c: &mut Criterion) {
                 ..Default::default()
             })
             .unwrap();
-            let payload = vec![7u8; size];
-            b.iter(|| store.put("bench/key", payload.clone(), meta(1)).unwrap())
+            let payload = Arc::new(vec![7u8; size]);
+            b.iter(|| {
+                store
+                    .put("bench/key", Arc::clone(&payload), meta(1))
+                    .unwrap()
+            })
         });
         group.bench_with_input(BenchmarkId::new("get_hit", size), &size, |b, &size| {
             let store = ObjectStore::memory_only(StoreConfig {
@@ -32,7 +37,9 @@ fn bench_memory_tier(c: &mut Criterion) {
                 ..Default::default()
             })
             .unwrap();
-            store.put("bench/key", vec![7u8; size], meta(1)).unwrap();
+            store
+                .put("bench/key", vec![7u8; size].into(), meta(1))
+                .unwrap();
             b.iter(|| black_box(store.get("bench/key").unwrap()))
         });
     }
@@ -52,18 +59,20 @@ fn bench_disk_tier(c: &mut Criterion) {
     )
     .unwrap();
     store.set_clock(0);
-    let payload = vec![7u8; 16384];
+    let payload = Arc::new(vec![7u8; 16384]);
     let mut group = c.benchmark_group("store_disk");
     group.bench_function("put_write_through", |b| {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
             store
-                .put(&format!("k{}", i % 64), payload.clone(), meta(1_000))
+                .put(&format!("k{}", i % 64), Arc::clone(&payload), meta(1_000))
                 .unwrap()
         })
     });
-    store.put("stable", payload.clone(), meta(1_000)).unwrap();
+    store
+        .put("stable", Arc::clone(&payload), meta(1_000))
+        .unwrap();
     group.bench_function("get_disk_readback", |b| {
         b.iter(|| black_box(store.get("stable").unwrap()))
     });
@@ -80,12 +89,12 @@ fn bench_eviction(c: &mut Criterion) {
             ..Default::default()
         })
         .unwrap();
-        let payload = vec![7u8; 8192];
+        let payload = Arc::new(vec![7u8; 8192]);
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
             store
-                .put(&format!("churn{i}"), payload.clone(), meta(i))
+                .put(&format!("churn{i}"), Arc::clone(&payload), meta(i))
                 .unwrap()
         })
     });

@@ -27,6 +27,9 @@ pub struct Workload {
     pub dataset: DatasetSpec,
     /// Classes in the dataset.
     pub classes: u32,
+    /// Threads for GOP-parallel pre-materialization decode
+    /// (`EngineConfig::decode_threads`).
+    pub decode_threads: usize,
 }
 
 /// vCPUs per GPU in the paper's GCP A2 instances.
@@ -38,6 +41,10 @@ pub const VCPUS_PER_GPU: usize = 12;
 /// only a few host CPUs per GPU; 4 workers keeps runs faithful on
 /// many-core CI machines too.
 pub const PIPELINE_WORKERS: usize = 2;
+
+/// Decode threads for the engine's segment-parallel pre-materialization
+/// (one per pipeline worker; each keyframe segment decodes independently).
+pub const DECODE_THREADS: usize = 2;
 
 fn task(yaml: &str) -> TaskConfig {
     parse_task_config(yaml).expect("workload pipeline must parse")
@@ -107,6 +114,7 @@ dataset:
             ..Default::default()
         },
         classes: 4,
+        decode_threads: DECODE_THREADS,
     }
 }
 
@@ -163,6 +171,7 @@ dataset:
             ..Default::default()
         },
         classes: 4,
+        decode_threads: DECODE_THREADS,
     }
 }
 
@@ -222,6 +231,7 @@ dataset:
             ..Default::default()
         },
         classes: 4,
+        decode_threads: DECODE_THREADS,
     }
 }
 
@@ -271,6 +281,7 @@ dataset:
             ..Default::default()
         },
         classes: 4,
+        decode_threads: DECODE_THREADS,
     }
 }
 

@@ -6,6 +6,20 @@
 //! were actually *decoded* (including the keyframe-to-target runs that real
 //! codec dependencies force), split by frame kind, plus bytes touched and
 //! abstract compute cost.
+//!
+//! Because the codec uses closed GOPs, the frames between two consecutive
+//! keyframes form an independent decode unit: no reconstruction crosses a
+//! keyframe boundary backwards. [`Decoder::decode_indices`] exploits this by
+//! grouping sorted targets into keyframe segments and, when configured with
+//! more than one thread, decoding the segments concurrently on a scoped
+//! thread pool. Stats are accumulated per worker and merged after the join
+//! (every counter is a commutative sum, so the result is identical to a
+//! sequential decode, bit for bit).
+//!
+//! For single-frame demand reads, [`WarmDecoder`] keeps the newest
+//! reconstructed anchor of the last GOP it walked, so a subsequent read
+//! that lands *forward* in the same GOP resumes the anchor chain instead of
+//! re-decoding from the keyframe.
 
 use crate::container::{EncodedVideo, FrameKind};
 use crate::encode::{q, unfilter_rows};
@@ -13,6 +27,8 @@ use crate::{CodecError, Result};
 use sand_frame::cost::{per_pixel_cost, units, OpCost};
 use sand_frame::wire::{get_varint, rle_unpack};
 use sand_frame::{Frame, FrameMeta};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Work counters accumulated by a [`Decoder`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -58,46 +74,48 @@ impl DecodeStats {
     }
 }
 
-/// A decoder bound to one encoded video.
-#[derive(Debug)]
-pub struct Decoder<'a> {
-    video: &'a EncodedVideo,
-    stats: DecodeStats,
+/// The anchor whose reconstruction a target needs before it can be
+/// produced: itself for I/P, the *following* anchor for B (by which point
+/// the preceding anchor is decoded too).
+fn needed_anchor(video: &EncodedVideo, target: usize) -> Result<usize> {
+    if video.frames[target].kind.is_anchor() {
+        Ok(target)
+    } else {
+        video.anchor_after(target)?.ok_or(CodecError::Corrupt {
+            what: "b-frame run with no following anchor",
+        })
+    }
 }
 
-impl<'a> Decoder<'a> {
-    /// Creates a decoder over `video`.
-    #[must_use]
-    pub fn new(video: &'a EncodedVideo) -> Self {
-        Decoder {
+/// Wraps a raw pixel buffer into a [`Frame`] with provenance metadata.
+fn wrap_frame(video: &EncodedVideo, index: usize, pixels: Vec<u8>) -> Result<Frame> {
+    let h = &video.header;
+    let mut frame = Frame::from_vec(h.width, h.height, h.format, pixels)?;
+    frame.meta = FrameMeta {
+        index: index as u64,
+        timestamp_us: h.timestamp_us(index),
+        video_id: h.video_id,
+        aug_depth: 0,
+    };
+    Ok(frame)
+}
+
+/// Walks one keyframe segment's anchor chain, decoding frames and
+/// metering work. Owns the B-frame predictor scratch buffer so averaging
+/// two anchors never allocates per frame.
+struct ChainWalker<'v> {
+    video: &'v EncodedVideo,
+    stats: DecodeStats,
+    scratch: Vec<u8>,
+}
+
+impl<'v> ChainWalker<'v> {
+    fn new(video: &'v EncodedVideo) -> Self {
+        ChainWalker {
             video,
             stats: DecodeStats::default(),
+            scratch: Vec::new(),
         }
-    }
-
-    /// Work counters accumulated so far.
-    #[must_use]
-    pub const fn stats(&self) -> &DecodeStats {
-        &self.stats
-    }
-
-    /// Resets the work counters.
-    pub fn reset_stats(&mut self) {
-        self.stats = DecodeStats::default();
-    }
-
-    /// Abstract compute cost of decoding one frame of the given kind at
-    /// this video's dimensions (used as graph edge weight).
-    #[must_use]
-    pub fn frame_cost(&self, kind: FrameKind) -> OpCost {
-        let h = &self.video.header;
-        let pixels = (h.width * h.height) as u64;
-        let ch = h.format.channels() as u64;
-        let unit = match kind {
-            FrameKind::Intra => units::DECODE_I,
-            FrameKind::Predicted | FrameKind::Bidirectional => units::DECODE_P,
-        };
-        per_pixel_cost(pixels, ch, unit, pixels * ch)
     }
 
     /// Decodes the I-frame at `index`.
@@ -171,44 +189,188 @@ impl<'a> Decoder<'a> {
         Ok(out)
     }
 
-    /// Averages two anchor reconstructions (the B-frame predictor).
-    fn average(a: &[u8], b: &[u8]) -> Vec<u8> {
-        a.iter()
-            .zip(b.iter())
-            .map(|(&x, &y)| ((u16::from(x) + u16::from(y)) / 2) as u8)
-            .collect()
+    /// Decodes the B-frame at `index` predicted from the average of two
+    /// anchor reconstructions, reusing the walker's scratch buffer for the
+    /// averaged predictor.
+    fn decode_b(&mut self, index: usize, pa: &[u8], pb: &[u8]) -> Result<Vec<u8>> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.extend(
+            pa.iter()
+                .zip(pb.iter())
+                .map(|(&x, &y)| ((u16::from(x) + u16::from(y)) / 2) as u8),
+        );
+        let out = self.decode_residual(index, &scratch);
+        self.scratch = scratch;
+        out
     }
 
-    /// The anchor whose reconstruction a target needs before it can be
-    /// produced: itself for I/P, the *following* anchor for B (by which
-    /// point the preceding anchor is decoded too).
-    fn needed_anchor(&self, target: usize) -> Result<usize> {
-        if self.video.frames[target].kind.is_anchor() {
-            Ok(target)
-        } else {
-            self.video.anchor_after(target)?.ok_or(CodecError::Corrupt {
-                what: "b-frame run with no following anchor",
-            })
+    /// Decodes every target of one keyframe segment (`targets` sorted,
+    /// deduplicated, all sharing `keyframe_before`). `requested` is the
+    /// full sorted request set across *all* segments: discard accounting
+    /// checks membership there, so parallel per-segment decodes count
+    /// exactly what a sequential pass would.
+    ///
+    /// The walk keeps a single chain tip plus only the anchors that a
+    /// still-pending target needs (counted up front), dropping every other
+    /// reconstruction as soon as the chain moves past it, and moves — not
+    /// copies — buffers into the output where possible.
+    fn decode_segment(
+        &mut self,
+        targets: &[usize],
+        requested: &[usize],
+    ) -> Result<Vec<(usize, Vec<u8>)>> {
+        let video = self.video;
+        let first = match targets.first() {
+            Some(&t) => t,
+            None => return Ok(Vec::new()),
+        };
+        // Outstanding-use counts per anchor reconstruction.
+        let mut needs: HashMap<usize, u32> = HashMap::new();
+        for &t in targets {
+            if video.frames[t].kind.is_anchor() {
+                *needs.entry(t).or_insert(0) += 1;
+            } else {
+                *needs.entry(video.anchor_before(t)?).or_insert(0) += 1;
+                *needs.entry(needed_anchor(video, t)?).or_insert(0) += 1;
+            }
+        }
+        let kf = video.keyframe_before(first)?;
+        let px = self.decode_intra(kf)?;
+        if requested.binary_search(&kf).is_err() {
+            self.stats.frames_discarded += 1;
+        }
+        let mut tip: (usize, Vec<u8>) = (kf, px);
+        // Anchors the chain has passed that a later target still needs.
+        let mut saved: HashMap<usize, Vec<u8>> = HashMap::new();
+        let mut out = Vec::with_capacity(targets.len());
+        for (ti, &target) in targets.iter().enumerate() {
+            let needed = needed_anchor(video, target)?;
+            while tip.0 < needed {
+                let next = video.anchor_after(tip.0)?.ok_or(CodecError::Corrupt {
+                    what: "anchor chain ends early",
+                })?;
+                // A trailing B-run's following anchor can be the next
+                // GOP's I-frame, which decodes independently.
+                let px = if video.frames[next].kind == FrameKind::Intra {
+                    self.decode_intra(next)?
+                } else {
+                    self.decode_residual(next, &tip.1)?
+                };
+                if requested.binary_search(&next).is_err() {
+                    self.stats.frames_discarded += 1;
+                }
+                let (old_idx, old_px) = std::mem::replace(&mut tip, (next, px));
+                if needs.get(&old_idx).is_some_and(|&n| n > 0) {
+                    saved.insert(old_idx, old_px);
+                }
+                // Otherwise `old_px` drops here: dead anchors are freed as
+                // soon as the chain moves past them.
+            }
+            let last = ti + 1 == targets.len();
+            let pixels = if video.frames[target].kind.is_anchor() {
+                // Targets are sorted, so `needed` is monotone and the tip
+                // is exactly this anchor.
+                if let Some(n) = needs.get_mut(&target) {
+                    *n = n.saturating_sub(1);
+                }
+                if last {
+                    std::mem::take(&mut tip.1)
+                } else {
+                    tip.1.clone()
+                }
+            } else {
+                let before = video.anchor_before(target)?;
+                let produced = {
+                    let pa = saved.get(&before).ok_or(CodecError::Corrupt {
+                        what: "preceding anchor not decoded",
+                    })?;
+                    self.decode_b(target, pa, &tip.1)?
+                };
+                for a in [before, needed] {
+                    if let Some(n) = needs.get_mut(&a) {
+                        *n = n.saturating_sub(1);
+                        if *n == 0 {
+                            saved.remove(&a);
+                        }
+                    }
+                }
+                produced
+            };
+            out.push((target, pixels));
+        }
+        Ok(out)
+    }
+}
+
+/// One worker's output: produced `(index, pixels)` pairs plus its stats.
+type SegmentOutput = (Vec<(usize, Vec<u8>)>, DecodeStats);
+
+/// A decoder bound to one encoded video.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    video: &'a EncodedVideo,
+    stats: DecodeStats,
+    threads: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a single-threaded decoder over `video`.
+    #[must_use]
+    pub fn new(video: &'a EncodedVideo) -> Self {
+        Self::with_threads(video, 1)
+    }
+
+    /// Creates a decoder that may use up to `threads` worker threads to
+    /// decode independent keyframe segments concurrently. `0` is treated
+    /// as `1`.
+    #[must_use]
+    pub fn with_threads(video: &'a EncodedVideo, threads: usize) -> Self {
+        Decoder {
+            video,
+            stats: DecodeStats::default(),
+            threads: threads.max(1),
         }
     }
 
-    /// Wraps a raw pixel buffer into a [`Frame`] with provenance metadata.
-    fn to_frame(&self, index: usize, pixels: Vec<u8>) -> Result<Frame> {
+    /// Changes the segment-parallelism level for subsequent decodes.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Work counters accumulated so far.
+    #[must_use]
+    pub const fn stats(&self) -> &DecodeStats {
+        &self.stats
+    }
+
+    /// Resets the work counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = DecodeStats::default();
+    }
+
+    /// Abstract compute cost of decoding one frame of the given kind at
+    /// this video's dimensions (used as graph edge weight).
+    #[must_use]
+    pub fn frame_cost(&self, kind: FrameKind) -> OpCost {
         let h = &self.video.header;
-        let mut frame = Frame::from_vec(h.width, h.height, h.format, pixels)?;
-        frame.meta = FrameMeta {
-            index: index as u64,
-            timestamp_us: h.timestamp_us(index),
-            video_id: h.video_id,
-            aug_depth: 0,
+        let pixels = (h.width * h.height) as u64;
+        let ch = h.format.channels() as u64;
+        let unit = match kind {
+            FrameKind::Intra => units::DECODE_I,
+            FrameKind::Predicted | FrameKind::Bidirectional => units::DECODE_P,
         };
-        Ok(frame)
+        per_pixel_cost(pixels, ch, unit, pixels * ch)
     }
 
     /// Decodes exactly the frames at `indices` (display order, need not be
     /// sorted or unique), paying the full codec-dependency cost: anchors
     /// chain back to the GOP keyframe, B-frames additionally require the
     /// following anchor.
+    ///
+    /// Closed GOPs make each keyframe segment independent, so with more
+    /// than one configured thread the segments are decoded concurrently;
+    /// results and stats are identical to a sequential decode.
     ///
     /// Returns frames in the order requested. The stats record counts every
     /// intermediate frame that had to be decoded to reach the targets.
@@ -225,76 +387,81 @@ impl<'a> Decoder<'a> {
         let mut sorted: Vec<usize> = indices.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
-        let mut produced: std::collections::HashMap<usize, Vec<u8>> =
-            std::collections::HashMap::with_capacity(sorted.len());
-        // Anchor reconstructions of the current keyframe segment.
-        let mut anchors: std::collections::HashMap<usize, Vec<u8>> =
-            std::collections::HashMap::new();
-        let mut chain_kf: Option<usize> = None;
-        let mut chain_last: Option<usize> = None;
-        for &target in &sorted {
-            let kf = self.video.keyframe_before(target)?;
-            let needed = self.needed_anchor(target)?;
-            if chain_kf != Some(kf) {
-                anchors.clear();
-                chain_kf = Some(kf);
-                chain_last = None;
+        // Group the sorted targets into keyframe segments (contiguous runs
+        // sharing `keyframe_before`).
+        let mut segments: Vec<Vec<usize>> = Vec::new();
+        let mut cur_kf: Option<usize> = None;
+        for &t in &sorted {
+            let kf = self.video.keyframe_before(t)?;
+            if cur_kf != Some(kf) {
+                segments.push(Vec::new());
+                cur_kf = Some(kf);
             }
-            let mut at = match chain_last {
-                Some(a) => a,
-                None => {
-                    let px = self.decode_intra(kf)?;
-                    if kf != target && !sorted.contains(&kf) {
-                        self.stats.frames_discarded += 1;
-                    }
-                    anchors.insert(kf, px);
-                    chain_last = Some(kf);
-                    kf
-                }
-            };
-            while at < needed {
-                let next = self.video.anchor_after(at)?.ok_or(CodecError::Corrupt {
-                    what: "anchor chain ends early",
-                })?;
-                // A trailing B-run's following anchor can be the next
-                // GOP's I-frame, which decodes independently.
-                let px = if self.video.frames[next].kind == FrameKind::Intra {
-                    self.decode_intra(next)?
-                } else {
-                    let predictor = anchors.get(&at).cloned().ok_or(CodecError::Corrupt {
-                        what: "missing anchor reconstruction",
-                    })?;
-                    self.decode_residual(next, &predictor)?
-                };
-                if next != target && !sorted.contains(&next) {
-                    self.stats.frames_discarded += 1;
-                }
-                anchors.insert(next, px);
-                at = next;
-                chain_last = Some(at);
+            if let Some(seg) = segments.last_mut() {
+                seg.push(t);
             }
-            let pixels = if self.video.frames[target].kind.is_anchor() {
-                anchors.get(&target).cloned().ok_or(CodecError::Corrupt {
-                    what: "anchor not decoded",
-                })?
-            } else {
-                let before = self.video.anchor_before(target)?;
-                let pa = anchors.get(&before).ok_or(CodecError::Corrupt {
-                    what: "preceding anchor not decoded",
-                })?;
-                let pb = anchors.get(&needed).ok_or(CodecError::Corrupt {
-                    what: "following anchor not decoded",
-                })?;
-                let predictor = Self::average(pa, pb);
-                self.decode_residual(target, &predictor)?
-            };
-            produced.insert(target, pixels);
         }
-        // Restore the caller's order (with possible duplicates).
+        let mut produced: HashMap<usize, Vec<u8>> = HashMap::with_capacity(sorted.len());
+        if self.threads <= 1 || segments.len() <= 1 {
+            let mut walker = ChainWalker::new(self.video);
+            for seg in &segments {
+                produced.extend(walker.decode_segment(seg, &sorted)?);
+            }
+            self.stats.merge(&walker.stats);
+        } else {
+            let workers = self.threads.min(segments.len());
+            let video = self.video;
+            let sorted_ref = &sorted;
+            let segments_ref = &segments;
+            let results: Vec<Result<SegmentOutput>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        s.spawn(move || {
+                            let mut walker = ChainWalker::new(video);
+                            let mut pairs = Vec::new();
+                            for seg in segments_ref.iter().skip(w).step_by(workers) {
+                                pairs.extend(walker.decode_segment(seg, sorted_ref)?);
+                            }
+                            Ok((pairs, walker.stats))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().unwrap_or(Err(CodecError::Corrupt {
+                            what: "decode worker panicked",
+                        }))
+                    })
+                    .collect()
+            });
+            for r in results {
+                let (pairs, stats) = r?;
+                produced.extend(pairs);
+                self.stats.merge(&stats);
+            }
+        }
+        // Restore the caller's order (with possible duplicates), moving
+        // each buffer out of the map on its last use.
+        let mut remaining: HashMap<usize, usize> = HashMap::with_capacity(sorted.len());
+        for &i in indices {
+            *remaining.entry(i).or_insert(0) += 1;
+        }
         let mut out = Vec::with_capacity(indices.len());
         for &i in indices {
-            let pixels = produced.get(&i).cloned().expect("all targets decoded");
-            out.push(self.to_frame(i, pixels)?);
+            let uses = remaining.get_mut(&i).ok_or(CodecError::Corrupt {
+                what: "request bookkeeping out of sync",
+            })?;
+            *uses -= 1;
+            let pixels = if *uses == 0 {
+                produced.remove(&i)
+            } else {
+                produced.get(&i).cloned()
+            }
+            .ok_or(CodecError::Corrupt {
+                what: "target not decoded",
+            })?;
+            out.push(wrap_frame(self.video, i, pixels)?);
         }
         Ok(out)
     }
@@ -320,7 +487,7 @@ impl<'a> Decoder<'a> {
                 return Err(CodecError::FrameOutOfRange { index: target, len });
             }
             let kf = self.video.keyframe_before(target)?;
-            let needed = self.needed_anchor(target)?;
+            let needed = needed_anchor(self.video, target)?;
             if chain_kf != Some(kf) {
                 chain_kf = Some(kf);
                 chain_last = None;
@@ -345,6 +512,125 @@ impl<'a> Decoder<'a> {
             }
         }
         Ok(touched)
+    }
+}
+
+/// A long-lived, owning decode session for single-frame demand reads.
+///
+/// Keeps the newest reconstructed anchor of the GOP it last walked. A read
+/// that lands forward in the same GOP resumes the anchor chain from that
+/// tip — zero keyframe re-decodes — while a read in a different GOP (or
+/// behind the tip) falls back to a cold walk from the keyframe. Pixels are
+/// bit-identical to a cold [`Decoder::decode_indices`] call either way.
+#[derive(Debug)]
+pub struct WarmDecoder {
+    video: Arc<EncodedVideo>,
+    /// Index + reconstruction of the live chain's newest anchor.
+    tip: Option<(usize, Vec<u8>)>,
+    stats: DecodeStats,
+}
+
+impl WarmDecoder {
+    /// Creates a cold session over `video`.
+    #[must_use]
+    pub fn new(video: Arc<EncodedVideo>) -> Self {
+        WarmDecoder {
+            video,
+            tip: None,
+            stats: DecodeStats::default(),
+        }
+    }
+
+    /// The video this session decodes.
+    #[must_use]
+    pub fn video(&self) -> &Arc<EncodedVideo> {
+        &self.video
+    }
+
+    /// Work counters accumulated so far.
+    #[must_use]
+    pub const fn stats(&self) -> &DecodeStats {
+        &self.stats
+    }
+
+    /// Returns the accumulated counters, resetting them to zero (so a
+    /// caller can merge session work into a global meter incrementally).
+    pub fn take_stats(&mut self) -> DecodeStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Approximate resident size of the warm state in bytes.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.tip.as_ref().map_or(0, |(_, px)| px.len())
+    }
+
+    /// Decodes the single frame at `index`, resuming the live anchor chain
+    /// when the request lands at or ahead of the tip in the same GOP.
+    pub fn decode_frame(&mut self, index: usize) -> Result<Frame> {
+        let video = Arc::clone(&self.video);
+        let len = video.frames.len();
+        if index >= len {
+            return Err(CodecError::FrameOutOfRange { index, len });
+        }
+        self.stats.frames_requested += 1;
+        let kf = video.keyframe_before(index)?;
+        let needed = needed_anchor(&video, index)?;
+        let is_anchor = video.frames[index].kind.is_anchor();
+        let before = if is_anchor {
+            None
+        } else {
+            Some(video.anchor_before(index)?)
+        };
+        // Warm iff the tip sits in the target's GOP at or before every
+        // anchor the target still needs (for a B-frame the chain must
+        // still pass its *preceding* anchor to capture it).
+        let resume_limit = before.unwrap_or(index);
+        let warm = match &self.tip {
+            Some((t, _)) => *t <= resume_limit && video.keyframe_before(*t)? == kf,
+            None => false,
+        };
+        let mut walker = ChainWalker::new(&video);
+        let mut tip = if warm {
+            self.tip.take().ok_or(CodecError::Corrupt {
+                what: "warm tip vanished",
+            })?
+        } else {
+            let px = walker.decode_intra(kf)?;
+            if kf != index {
+                walker.stats.frames_discarded += 1;
+            }
+            (kf, px)
+        };
+        let mut saved_before: Option<Vec<u8>> = None;
+        while tip.0 < needed {
+            let next = video.anchor_after(tip.0)?.ok_or(CodecError::Corrupt {
+                what: "anchor chain ends early",
+            })?;
+            let px = if video.frames[next].kind == FrameKind::Intra {
+                walker.decode_intra(next)?
+            } else {
+                walker.decode_residual(next, &tip.1)?
+            };
+            if next != index {
+                walker.stats.frames_discarded += 1;
+            }
+            let old = std::mem::replace(&mut tip, (next, px));
+            if Some(old.0) == before {
+                saved_before = Some(old.1);
+            }
+        }
+        let pixels = if is_anchor {
+            tip.1.clone()
+        } else {
+            let pa = saved_before.as_deref().ok_or(CodecError::Corrupt {
+                what: "preceding anchor not decoded",
+            })?;
+            walker.decode_b(index, pa, &tip.1)?
+        };
+        self.tip = Some(tip);
+        self.stats.merge(&walker.stats);
+        wrap_frame(&video, index, pixels)
     }
 }
 
@@ -576,6 +862,96 @@ mod tests {
         for (k, &i) in picks.iter().enumerate() {
             assert_eq!(out[k].as_bytes(), all[i].as_bytes(), "frame {i}");
         }
+    }
+
+    #[test]
+    fn parallel_decode_is_bit_identical_to_sequential() {
+        let src = gradient_video(60, 8, 8);
+        for b in [0usize, 2] {
+            let v = encode_b(&src, 10, 2, b);
+            let picks = [3usize, 7, 14, 14, 29, 31, 42, 58, 5];
+            let mut seq = Decoder::new(&v);
+            let seq_out = seq.decode_indices(&picks).unwrap();
+            let mut par = Decoder::with_threads(&v, 4);
+            let par_out = par.decode_indices(&picks).unwrap();
+            assert_eq!(seq_out.len(), par_out.len());
+            for (a, p) in seq_out.iter().zip(par_out.iter()) {
+                assert_eq!(a.as_bytes(), p.as_bytes());
+                assert_eq!(a.meta, p.meta);
+            }
+            assert_eq!(seq.stats(), par.stats(), "b_frames={b}");
+        }
+    }
+
+    #[test]
+    fn parallel_full_decode_matches_sequential() {
+        let src = gradient_video(36, 8, 8);
+        let v = encode_b(&src, 12, 2, 2);
+        let mut seq = Decoder::new(&v);
+        let seq_out = seq.decode_all().unwrap();
+        let mut par = Decoder::with_threads(&v, 3);
+        let par_out = par.decode_all().unwrap();
+        for (a, p) in seq_out.iter().zip(par_out.iter()) {
+            assert_eq!(a.as_bytes(), p.as_bytes());
+        }
+        assert_eq!(seq.stats(), par.stats());
+    }
+
+    #[test]
+    fn warm_forward_read_skips_keyframe_redecode() {
+        let src = gradient_video(40, 8, 8);
+        let v = Arc::new(encode(&src, 10, 2));
+        let mut warm = WarmDecoder::new(Arc::clone(&v));
+        warm.decode_frame(12).unwrap();
+        assert_eq!(warm.stats().i_frames_decoded, 1);
+        assert_eq!(warm.stats().frames_decoded, 3); // 10, 11, 12
+        warm.decode_frame(15).unwrap();
+        // Forward in the same GOP: resumes at 12, decodes 13..=15 only.
+        assert_eq!(warm.stats().i_frames_decoded, 1);
+        assert_eq!(warm.stats().frames_decoded, 6);
+        // Re-reading the tip itself decodes nothing.
+        warm.decode_frame(15).unwrap();
+        assert_eq!(warm.stats().frames_decoded, 6);
+    }
+
+    #[test]
+    fn warm_backward_or_cross_gop_read_restarts_cold() {
+        let src = gradient_video(40, 8, 8);
+        let v = Arc::new(encode(&src, 10, 2));
+        let mut warm = WarmDecoder::new(Arc::clone(&v));
+        warm.decode_frame(15).unwrap();
+        let base = warm.stats().frames_decoded;
+        warm.decode_frame(12).unwrap(); // behind the tip: cold walk 10..=12
+        assert_eq!(warm.stats().frames_decoded, base + 3);
+        assert_eq!(warm.stats().i_frames_decoded, 2);
+        warm.decode_frame(25).unwrap(); // different GOP: cold walk 20..=25
+        assert_eq!(warm.stats().i_frames_decoded, 3);
+    }
+
+    #[test]
+    fn warm_reads_match_cold_pixels() {
+        let src = gradient_video(36, 8, 8);
+        let v = Arc::new(encode_b(&src, 12, 2, 2));
+        let mut dec_all = Decoder::new(&v);
+        let all = dec_all.decode_all().unwrap();
+        let mut warm = WarmDecoder::new(Arc::clone(&v));
+        // A mix of warm resumes, B-frames, and cold restarts.
+        for i in [0usize, 4, 6, 9, 10, 13, 2, 35] {
+            let f = warm.decode_frame(i).unwrap();
+            assert_eq!(f.as_bytes(), all[i].as_bytes(), "frame {i}");
+            assert_eq!(f.meta.index, i as u64);
+        }
+    }
+
+    #[test]
+    fn warm_out_of_range_rejected() {
+        let src = gradient_video(10, 8, 8);
+        let v = Arc::new(encode(&src, 5, 2));
+        let mut warm = WarmDecoder::new(v);
+        assert!(matches!(
+            warm.decode_frame(10),
+            Err(CodecError::FrameOutOfRange { index: 10, len: 10 })
+        ));
     }
 
     #[test]

@@ -4,8 +4,11 @@
 #![allow(clippy::unwrap_used)]
 
 use proptest::prelude::*;
-use sand_codec::{Dataset, DatasetSpec, Decoder, EncodedVideo, Encoder, EncoderConfig};
+use sand_codec::{
+    Dataset, DatasetSpec, Decoder, EncodedVideo, Encoder, EncoderConfig, WarmDecoder,
+};
 use sand_frame::{Frame, PixelFormat};
+use std::sync::Arc;
 
 /// Strategy producing a small raw video (frames share one shape).
 fn arb_video() -> impl Strategy<Value = Vec<Frame>> {
@@ -124,6 +127,60 @@ proptest! {
         let predicted = dec.decode_span(&indices).unwrap();
         dec.decode_indices(&indices).unwrap();
         prop_assert_eq!(predicted as u64, dec.stats().frames_decoded);
+    }
+
+    #[test]
+    fn parallel_decode_bit_identical_to_sequential(
+        frames in arb_video(),
+        gop in 1usize..8,
+        quant in 1u8..5,
+        b in 0usize..3,
+        threads in 2usize..6,
+        picks in prop::collection::vec(any::<prop::sample::Index>(), 1..12),
+    ) {
+        prop_assume!(b + 1 < gop || gop == 1);
+        let b = if gop == 1 { 0 } else { b };
+        let enc = Encoder::new(EncoderConfig { gop_size: gop, quantizer: quant, fps_milli: 30_000, b_frames: b }).unwrap();
+        let v = enc.encode(&frames, 1, 0).unwrap();
+        let indices: Vec<usize> = picks.iter().map(|p| p.index(frames.len())).collect();
+        let mut seq = Decoder::new(&v);
+        let seq_out = seq.decode_indices(&indices).unwrap();
+        let mut par = Decoder::with_threads(&v, threads);
+        let par_out = par.decode_indices(&indices).unwrap();
+        prop_assert_eq!(seq_out.len(), par_out.len());
+        for (a, p) in seq_out.iter().zip(par_out.iter()) {
+            prop_assert_eq!(a.as_bytes(), p.as_bytes());
+            prop_assert_eq!(&a.meta, &p.meta);
+        }
+        // Work metering must be identical too, not just the pixels.
+        prop_assert_eq!(seq.stats(), par.stats());
+    }
+
+    #[test]
+    fn warm_session_reads_match_cold_decodes(
+        frames in arb_video(),
+        gop in 1usize..8,
+        b in 0usize..3,
+        picks in prop::collection::vec(any::<prop::sample::Index>(), 1..12),
+    ) {
+        prop_assume!(b + 1 < gop || gop == 1);
+        let b = if gop == 1 { 0 } else { b };
+        let enc = Encoder::new(EncoderConfig { gop_size: gop, quantizer: 2, fps_milli: 30_000, b_frames: b }).unwrap();
+        let v = Arc::new(enc.encode(&frames, 1, 0).unwrap());
+        let mut warm = WarmDecoder::new(Arc::clone(&v));
+        let mut cold_total = 0u64;
+        for p in &picks {
+            let i = p.index(frames.len());
+            let got = warm.decode_frame(i).unwrap();
+            let mut cold = Decoder::new(&v);
+            let want = cold.decode_indices(&[i]).unwrap();
+            cold_total += cold.stats().frames_decoded;
+            prop_assert_eq!(got.as_bytes(), want[0].as_bytes());
+            prop_assert_eq!(&got.meta, &want[0].meta);
+        }
+        // The warm session never does more total work than the same reads
+        // served by fresh cold decoders.
+        prop_assert!(warm.stats().frames_decoded <= cold_total);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::keys::store_key;
 use crate::{CoreError, Result};
 use parking_lot::Mutex;
-use sand_codec::{Dataset, DecodeStats, Decoder};
+use sand_codec::{Dataset, DecodeStats, Decoder, WarmDecoder};
 use sand_config::TaskConfig;
 use sand_frame::tensor::{clip_refs_to_tensor, stack};
 use sand_frame::{compress_frame, decompress_frame, Frame};
@@ -51,6 +51,10 @@ pub struct EngineConfig {
     pub aug_service: Option<crate::service::AugClient>,
     /// Whether to pre-materialize ahead of demand.
     pub prematerialize: bool,
+    /// Threads used to decode independent keyframe segments of one video
+    /// concurrently during pre-materialization (closed GOPs make the
+    /// segments independent). `1` keeps decodes sequential.
+    pub decode_threads: usize,
     /// Static-analysis level for the startup lint pass: `Off` skips it,
     /// `Warn` reports findings to stderr, `Deny` additionally fails
     /// startup on any deny-severity finding.
@@ -73,6 +77,7 @@ impl Default for EngineConfig {
             naive_leaf_cache: false,
             aug_service: None,
             prematerialize: true,
+            decode_threads: 1,
             lint: LintLevel::default(),
         }
     }
@@ -141,9 +146,19 @@ struct Inner {
     chunks: Mutex<HashMap<u64, Arc<Chunk>>>,
     task_ids: HashMap<String, u32>,
     decode_stats: Mutex<DecodeStats>,
+    /// Warm per-video decode sessions for the demand paths: a single-frame
+    /// read landing forward in the GOP a session last walked resumes the
+    /// live anchor chain instead of re-decoding from the keyframe. The
+    /// outer lock only guards the map, so decodes on different videos
+    /// proceed concurrently.
+    warm_decoders: Mutex<HashMap<u64, Arc<Mutex<WarmDecoder>>>>,
     aug_ops_applied: AtomicU64,
     batches_served: AtomicU64,
 }
+
+/// Bound on live warm decode sessions; each holds at most one
+/// reconstructed frame (`WarmDecoder::resident_bytes`).
+const WARM_SESSION_CAP: usize = 64;
 
 /// Projects the dataset's per-video headers into the planner's metadata.
 fn video_metas(dataset: &Dataset) -> Vec<sand_graph::VideoMeta> {
@@ -208,6 +223,7 @@ impl SandEngine {
                 chunks: Mutex::new(HashMap::new()),
                 task_ids,
                 decode_stats: Mutex::new(DecodeStats::default()),
+                warm_decoders: Mutex::new(HashMap::new()),
                 aug_ops_applied: AtomicU64::new(0),
                 batches_served: AtomicU64::new(0),
             }),
@@ -551,6 +567,37 @@ impl Inner {
         inner.sched.set_memory_pressure(frac);
     }
 
+    /// Decodes one frame through the video's warm demand session,
+    /// merging the session's work into the engine meter.
+    fn decode_one(inner: &Arc<Inner>, video_id: u64, frame: usize) -> Result<Frame> {
+        let session = {
+            let mut warm = inner.warm_decoders.lock();
+            if let Some(s) = warm.get(&video_id) {
+                Arc::clone(s)
+            } else {
+                let entry = inner
+                    .dataset
+                    .get(video_id)
+                    .ok_or_else(|| CoreError::UnknownView {
+                        what: format!("video {video_id} not in dataset"),
+                    })?;
+                if warm.len() >= WARM_SESSION_CAP {
+                    // Drop an arbitrary session to bound resident anchors.
+                    if let Some(k) = warm.keys().next().copied() {
+                        warm.remove(&k);
+                    }
+                }
+                let s = Arc::new(Mutex::new(WarmDecoder::new(Arc::clone(&entry.encoded))));
+                warm.insert(video_id, Arc::clone(&s));
+                s
+            }
+        };
+        let mut dec = session.lock();
+        let f = dec.decode_frame(frame)?;
+        inner.decode_stats.lock().merge(&dec.take_stats());
+        Ok(f)
+    }
+
     /// Materializes a node, consulting (and feeding) the store and a
     /// per-job scratch cache of raw frames.
     fn materialize_rec(
@@ -587,20 +634,7 @@ impl Inner {
                     what: "video roots are not frame objects".into(),
                 })
             }
-            ObjectKey::Frame { video_id, frame } => {
-                let entry = inner
-                    .dataset
-                    .get(*video_id)
-                    .ok_or_else(|| CoreError::UnknownView {
-                        what: format!("video {video_id} not in dataset"),
-                    })?;
-                let mut dec = Decoder::new(&entry.encoded);
-                let mut frames = dec.decode_indices(&[*frame])?;
-                inner.decode_stats.lock().merge(dec.stats());
-                frames.pop().ok_or_else(|| CoreError::State {
-                    what: "decoder returned no frame".into(),
-                })?
-            }
+            ObjectKey::Frame { video_id, frame } => Self::decode_one(inner, *video_id, *frame)?,
             ObjectKey::Aug { .. } => {
                 let parent = node.parent.ok_or_else(|| CoreError::State {
                     what: "aug node without parent".into(),
@@ -642,7 +676,7 @@ impl Inner {
                 deadline: chunk.deadlines[id],
                 future_uses: chunk.future_uses[id],
             };
-            inner.store.put(&key, compress_frame(&frame), meta)?;
+            inner.store.put(&key, compress_frame(&frame).into(), meta)?;
         }
         let frame = Arc::new(frame);
         scratch.insert(id, Arc::clone(&frame));
@@ -708,7 +742,7 @@ impl Inner {
                     what: format!("video {video_id} not in dataset"),
                 })?;
             let indices: Vec<usize> = group.iter().map(|&(_, f)| f).collect();
-            let mut dec = Decoder::new(&entry.encoded);
+            let mut dec = Decoder::with_threads(&entry.encoded, inner.config.decode_threads);
             let frames = dec.decode_indices(&indices)?;
             inner.decode_stats.lock().merge(dec.stats());
             for ((nid, _), frame) in group.into_iter().zip(frames) {
@@ -725,7 +759,7 @@ impl Inner {
                     };
                     inner
                         .store
-                        .put(&store_key(&node.key), compress_frame(&frame), meta)?;
+                        .put(&store_key(&node.key), compress_frame(&frame).into(), meta)?;
                 }
                 scratch.insert(nid, Arc::new(frame));
             }
@@ -858,7 +892,7 @@ impl Inner {
 }
 
 impl ViewProvider for SandEngine {
-    fn fetch(&self, path: &ViewPath) -> sand_vfs::Result<Vec<u8>> {
+    fn fetch(&self, path: &ViewPath) -> sand_vfs::Result<Arc<Vec<u8>>> {
         let io = |e: CoreError| VfsError::Io {
             what: e.to_string(),
         };
@@ -867,7 +901,9 @@ impl ViewProvider for SandEngine {
                 task,
                 epoch,
                 iteration,
-            } => Inner::serve_batch(&self.inner, task, *epoch, *iteration).map_err(io),
+            } => Inner::serve_batch(&self.inner, task, *epoch, *iteration)
+                .map(Arc::new)
+                .map_err(io),
             ViewPath::Video { video, .. } => {
                 let entry =
                     self.inner
@@ -876,7 +912,7 @@ impl ViewProvider for SandEngine {
                         .ok_or_else(|| VfsError::NoSuchView {
                             path: path.to_string(),
                         })?;
-                Ok(entry.encoded.to_bytes())
+                Ok(Arc::new(entry.encoded.to_bytes()))
             }
             ViewPath::Frame { video, index, .. } => {
                 let entry =
@@ -886,17 +922,22 @@ impl ViewProvider for SandEngine {
                         .ok_or_else(|| VfsError::NoSuchView {
                             path: path.to_string(),
                         })?;
-                let mut dec = Decoder::new(&entry.encoded);
-                let mut frames =
-                    dec.decode_indices(&[*index as usize])
-                        .map_err(|e| VfsError::Io {
-                            what: e.to_string(),
-                        })?;
-                self.inner.decode_stats.lock().merge(dec.stats());
-                let f = frames.pop().ok_or_else(|| VfsError::Io {
-                    what: "no frame decoded".into(),
-                })?;
-                Ok(compress_frame(&f))
+                // Zero-copy fast path: a materialized frame object in the
+                // store is served as the very allocation the decoder put
+                // there (validated, since store files can be torn).
+                let key = store_key(&ObjectKey::Frame {
+                    video_id: entry.video_id,
+                    frame: *index as usize,
+                });
+                if let Ok(bytes) = self.inner.store.get(&key) {
+                    if decompress_frame(&bytes).is_ok() {
+                        return Ok(bytes);
+                    }
+                    let _ = self.inner.store.remove(&key);
+                }
+                let f =
+                    Inner::decode_one(&self.inner, entry.video_id, *index as usize).map_err(io)?;
+                Ok(Arc::new(compress_frame(&f)))
             }
             ViewPath::AugFrame {
                 video,
@@ -943,10 +984,19 @@ impl ViewProvider for SandEngine {
                     .ok_or_else(|| VfsError::NoSuchView {
                         path: path.to_string(),
                     })?;
+                let node_id = node.id;
+                let node_key = store_key(&node.key);
                 let mut scratch = HashMap::new();
-                let f = Inner::materialize_rec(&self.inner, &chunk, node.id, &mut scratch)
+                let f = Inner::materialize_rec(&self.inner, &chunk, node_id, &mut scratch)
                     .map_err(io)?;
-                Ok(compress_frame(&f))
+                // Materialization caches planned objects; serve the stored
+                // allocation when present instead of re-compressing.
+                if let Ok(bytes) = self.inner.store.get(&node_key) {
+                    if decompress_frame(&bytes).is_ok() {
+                        return Ok(bytes);
+                    }
+                }
+                Ok(Arc::new(compress_frame(&f)))
             }
         }
     }
@@ -1274,6 +1324,39 @@ dataset:
         assert_eq!((f.width(), f.height()), (32, 32));
         assert_eq!(vfs.getxattr(fd, "video_id").unwrap(), "1");
         vfs.close(fd).unwrap();
+    }
+
+    #[test]
+    fn warm_demand_reads_skip_keyframe_redecode() {
+        let e = engine(false);
+        e.start().unwrap();
+        let vfs = e.mount();
+        let read = |i: usize| {
+            let fd = vfs.open(&format!("/train/video0001/frame{i}")).unwrap();
+            let bytes = vfs.read_to_end(fd).unwrap();
+            vfs.close(fd).unwrap();
+            bytes
+        };
+        // Cold read: walks keyframe 0 then frame 1 (gop_size = 6).
+        let first = read(1);
+        let s1 = e.stats().decode;
+        assert_eq!(s1.i_frames_decoded, 1);
+        assert_eq!(s1.frames_decoded, 2);
+        // Forward in the same GOP: the warm session resumes its chain at
+        // frame 1 and decodes 2..=3 only — zero keyframe re-decodes.
+        read(3);
+        let s2 = e.stats().decode;
+        assert_eq!(s2.i_frames_decoded, 1, "keyframe re-decoded on warm read");
+        assert_eq!(s2.frames_decoded, 4);
+        // A different GOP restarts cold from its own keyframe.
+        read(13);
+        assert_eq!(e.stats().decode.i_frames_decoded, 2);
+        // Warm-session bytes equal a cold decode of the same frame.
+        let ds = dataset();
+        let entry = ds.get(1).unwrap();
+        let mut cold = Decoder::new(&entry.encoded);
+        let want = cold.decode_indices(&[1]).unwrap();
+        assert_eq!(first, compress_frame(&want[0]));
     }
 
     #[test]

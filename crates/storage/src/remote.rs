@@ -11,6 +11,7 @@ use crate::{Result, StorageError};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Link model between a node and the remote store.
@@ -46,7 +47,7 @@ impl BandwidthModel {
 /// A remote dataset store with bandwidth accounting.
 #[derive(Debug)]
 pub struct RemoteStore {
-    objects: Mutex<HashMap<String, Vec<u8>>>,
+    objects: Mutex<HashMap<String, Arc<Vec<u8>>>>,
     model: BandwidthModel,
     bytes_fetched: AtomicU64,
     fetches: AtomicU64,
@@ -67,19 +68,24 @@ impl RemoteStore {
     /// Uploads an object (not bandwidth-accounted; datasets are staged
     /// out-of-band in the paper's setting too).
     pub fn upload(&self, key: &str, bytes: Vec<u8>) {
-        self.objects.lock().insert(key.to_string(), bytes);
+        self.objects.lock().insert(key.to_string(), Arc::new(bytes));
     }
 
     /// Fetches an object, returning its bytes and the modeled WAN time.
-    pub fn fetch(&self, key: &str) -> Result<(Vec<u8>, Duration)> {
-        let bytes =
-            self.objects
-                .lock()
+    ///
+    /// The critical section only clones the `Arc` (a pointer bump), so
+    /// concurrent DDP fetchers never serialize on a full-object memcpy;
+    /// time modeling and accounting happen outside the lock.
+    pub fn fetch(&self, key: &str) -> Result<(Arc<Vec<u8>>, Duration)> {
+        let bytes = {
+            let objects = self.objects.lock();
+            objects
                 .get(key)
-                .cloned()
+                .map(Arc::clone)
                 .ok_or_else(|| StorageError::NotFound {
                     key: key.to_string(),
-                })?;
+                })?
+        };
         let dur = self.model.transfer_time(bytes.len() as u64);
         self.bytes_fetched
             .fetch_add(bytes.len() as u64, Ordering::Relaxed);

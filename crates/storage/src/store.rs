@@ -194,6 +194,12 @@ impl ObjectStore {
 
     /// Inserts an object.
     ///
+    /// Takes the bytes as an `Arc` so a producer (e.g. the decoder) can
+    /// hand its buffer to the store without a copy: the memory tier keeps
+    /// the same allocation that later [`ObjectStore::get`] calls (and,
+    /// through them, VFS reads) share. Plain `Vec<u8>` callers can pass
+    /// `bytes.into()`.
+    ///
     /// When a disk tier exists the write is **write-through**: every
     /// object is persisted to its file (the paper's fault-tolerance rule —
     /// "all unpruned objects persist to the file system"), and objects
@@ -201,7 +207,7 @@ impl ObjectStore {
     /// additionally keep a memory-resident copy for fast reads. Without a
     /// disk tier everything lives in memory. May spill or evict to stay
     /// within budgets.
-    pub fn put(&self, key: &str, bytes: Vec<u8>, meta: ObjectMeta) -> Result<()> {
+    pub fn put(&self, key: &str, bytes: Arc<Vec<u8>>, meta: ObjectMeta) -> Result<()> {
         let size = bytes.len() as u64;
         if size > self.config.memory_budget && self.dir.is_none() {
             return Err(StorageError::TooLarge {
@@ -220,7 +226,7 @@ impl ObjectStore {
             self.remove_locked(&mut inner, key)?;
             if let Some(path) = self.file_of(key) {
                 // Write-through persistence.
-                fs::write(&path, &bytes)?;
+                fs::write(&path, bytes.as_slice())?;
                 inner.disk_bytes += size;
                 if near {
                     inner.memory_bytes += size;
@@ -230,7 +236,7 @@ impl ObjectStore {
                             tier: Tier::Memory,
                             size,
                             meta,
-                            bytes: Some(Arc::new(bytes)),
+                            bytes: Some(bytes),
                         },
                     );
                 } else {
@@ -252,7 +258,7 @@ impl ObjectStore {
                         tier: Tier::Memory,
                         size,
                         meta,
-                        bytes: Some(Arc::new(bytes)),
+                        bytes: Some(bytes),
                     },
                 );
             }
@@ -476,7 +482,7 @@ mod tests {
     #[test]
     fn put_get_roundtrip_memory() {
         let s = ObjectStore::memory_only(StoreConfig::default()).unwrap();
-        s.put("a/b", vec![1, 2, 3], meta(0, 1)).unwrap();
+        s.put("a/b", vec![1, 2, 3].into(), meta(0, 1)).unwrap();
         assert_eq!(*s.get("a/b").unwrap(), vec![1, 2, 3]);
         assert_eq!(s.tier_of("a/b"), Some(Tier::Memory));
         assert_eq!(s.stats().memory_hits, 1);
@@ -487,7 +493,7 @@ mod tests {
         let dir = tmp("far");
         let s = ObjectStore::open(StoreConfig::default(), Some(dir.clone())).unwrap();
         s.set_clock(0);
-        s.put("later", vec![9; 100], meta(100, 1)).unwrap();
+        s.put("later", vec![9; 100].into(), meta(100, 1)).unwrap();
         assert_eq!(s.tier_of("later"), Some(Tier::Disk));
         assert_eq!(*s.get("later").unwrap(), vec![9; 100]);
         assert_eq!(s.stats().disk_hits, 1);
@@ -499,7 +505,7 @@ mod tests {
         let dir = tmp("near");
         let s = ObjectStore::open(StoreConfig::default(), Some(dir.clone())).unwrap();
         s.set_clock(10);
-        s.put("soon", vec![1], meta(11, 1)).unwrap();
+        s.put("soon", vec![1].into(), meta(11, 1)).unwrap();
         assert_eq!(s.tier_of("soon"), Some(Tier::Memory));
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -520,9 +526,9 @@ mod tests {
             ..Default::default()
         };
         let s = ObjectStore::open(cfg, Some(dir.clone())).unwrap();
-        s.put("soon", vec![0; 100], meta(1, 1)).unwrap();
-        s.put("later", vec![0; 100], meta(50, 1)).unwrap();
-        s.put("third", vec![0; 100], meta(5, 1)).unwrap(); // forces a spill
+        s.put("soon", vec![0; 100].into(), meta(1, 1)).unwrap();
+        s.put("later", vec![0; 100].into(), meta(50, 1)).unwrap();
+        s.put("third", vec![0; 100].into(), meta(5, 1)).unwrap(); // forces a spill
         assert_eq!(
             s.tier_of("later"),
             Some(Tier::Disk),
@@ -546,11 +552,11 @@ mod tests {
         let s = ObjectStore::open(cfg, Some(dir.clone())).unwrap();
         s.set_clock(0);
         // All go to disk (deadline far beyond horizon 0).
-        s.put("used", vec![0; 150], meta(10, 0)).unwrap(); // no future uses
-        s.put("needed", vec![0; 150], meta(5, 2)).unwrap();
+        s.put("used", vec![0; 150].into(), meta(10, 0)).unwrap(); // no future uses
+        s.put("needed", vec![0; 150].into(), meta(5, 2)).unwrap();
         // 300 <= 300 watermark, nothing evicted yet.
         assert!(s.contains("used"));
-        s.put("more", vec![0; 150], meta(7, 1)).unwrap();
+        s.put("more", vec![0; 150].into(), meta(7, 1)).unwrap();
         // Over watermark: the used-up object goes first.
         assert!(!s.contains("used"));
         assert!(s.contains("needed"));
@@ -568,9 +574,9 @@ mod tests {
             memory_horizon: 0,
         };
         let s = ObjectStore::open(cfg, Some(dir.clone())).unwrap();
-        s.put("d5", vec![0; 150], meta(5, 1)).unwrap();
-        s.put("d99", vec![0; 150], meta(99, 1)).unwrap();
-        s.put("d7", vec![0; 150], meta(7, 1)).unwrap();
+        s.put("d5", vec![0; 150].into(), meta(5, 1)).unwrap();
+        s.put("d99", vec![0; 150].into(), meta(99, 1)).unwrap();
+        s.put("d7", vec![0; 150].into(), meta(7, 1)).unwrap();
         assert!(!s.contains("d99"), "longest deadline evicted");
         assert!(s.contains("d5"));
         assert!(s.contains("d7"));
@@ -583,7 +589,7 @@ mod tests {
         {
             let s = ObjectStore::open(StoreConfig::default(), Some(dir.clone())).unwrap();
             s.set_clock(0);
-            s.put("video0001/frame3", vec![42; 64], meta(1000, 3))
+            s.put("video0001/frame3", vec![42; 64].into(), meta(1000, 3))
                 .unwrap();
             assert_eq!(s.tier_of("video0001/frame3"), Some(Tier::Disk));
         }
@@ -598,8 +604,8 @@ mod tests {
     #[test]
     fn replacing_object_updates_accounting() {
         let s = ObjectStore::memory_only(StoreConfig::default()).unwrap();
-        s.put("k", vec![0; 100], meta(0, 1)).unwrap();
-        s.put("k", vec![0; 40], meta(0, 1)).unwrap();
+        s.put("k", vec![0; 100].into(), meta(0, 1)).unwrap();
+        s.put("k", vec![0; 40].into(), meta(0, 1)).unwrap();
         assert_eq!(s.stats().memory_bytes, 40);
     }
 
@@ -611,8 +617,8 @@ mod tests {
             ..Default::default()
         };
         let s = ObjectStore::open(cfg, Some(dir.clone())).unwrap();
-        s.put("disk", vec![0; 10], meta(100, 1)).unwrap();
-        s.put("mem", vec![0; 10], meta(0, 1)).unwrap();
+        s.put("disk", vec![0; 10].into(), meta(100, 1)).unwrap();
+        s.put("mem", vec![0; 10].into(), meta(0, 1)).unwrap();
         s.remove("disk").unwrap();
         s.remove("mem").unwrap();
         assert!(!s.contains("disk"));
@@ -625,7 +631,7 @@ mod tests {
     #[test]
     fn mark_used_decrements() {
         let s = ObjectStore::memory_only(StoreConfig::default()).unwrap();
-        s.put("k", vec![1], meta(0, 2)).unwrap();
+        s.put("k", vec![1].into(), meta(0, 2)).unwrap();
         s.mark_used("k");
         s.mark_used("k");
         s.mark_used("k"); // saturates at zero
@@ -640,7 +646,7 @@ mod tests {
         };
         let s = ObjectStore::memory_only(cfg).unwrap();
         assert!(matches!(
-            s.put("big", vec![0; 100], ObjectMeta::default()),
+            s.put("big", vec![0; 100].into(), ObjectMeta::default()),
             Err(StorageError::TooLarge { .. })
         ));
     }
@@ -668,7 +674,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..50 {
                     let key = format!("t{t}/k{i}");
-                    s.put(&key, vec![t as u8; 32], meta(i, 1)).unwrap();
+                    s.put(&key, vec![t as u8; 32].into(), meta(i, 1)).unwrap();
                     assert_eq!(s.get(&key).unwrap().len(), 32);
                     s.mark_used(&key);
                 }

@@ -62,7 +62,7 @@ proptest! {
             match op {
                 Op::Put { key, size, deadline, uses } => {
                     let meta = ObjectMeta { deadline: Some(deadline), future_uses: uses };
-                    if store.put(&format!("k{key}"), vec![0u8; size], meta).is_ok() {
+                    if store.put(&format!("k{key}"), vec![0u8; size].into(), meta).is_ok() {
                         live.insert(key, size);
                     }
                 }
@@ -123,7 +123,7 @@ proptest! {
                     Op::Put { key, size, deadline, uses } => {
                         let payload: Vec<u8> = (0..size).map(|i| (i as u8) ^ key).collect();
                         let meta = ObjectMeta { deadline: Some(deadline), future_uses: uses };
-                        if store.put(&format!("k{key}"), payload.clone(), meta).is_ok() {
+                        if store.put(&format!("k{key}"), payload.clone().into(), meta).is_ok() {
                             content.insert(key, payload);
                         }
                     }

@@ -22,8 +22,11 @@ use std::time::Duration;
 
 /// A byte-budgeted decoded-frame cache (no eviction: fills then stops,
 /// like "cache all frames up to the storage limit").
+///
+/// Entries are `Arc<Frame>` so a hit is a pointer bump, not a pixel-buffer
+/// memcpy; every sample sharing a hot frame reads the same allocation.
 struct FrameCache {
-    map: Mutex<HashMap<(u64, usize), Frame>>,
+    map: Mutex<HashMap<(u64, usize), Arc<Frame>>>,
     used: AtomicU64,
     budget: u64,
     hits: AtomicU64,
@@ -41,8 +44,8 @@ impl FrameCache {
         }
     }
 
-    fn get(&self, video: u64, frame: usize) -> Option<Frame> {
-        let hit = self.map.lock().get(&(video, frame)).cloned();
+    fn get(&self, video: u64, frame: usize) -> Option<Arc<Frame>> {
+        let hit = self.map.lock().get(&(video, frame)).map(Arc::clone);
         if hit.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -51,13 +54,13 @@ impl FrameCache {
         hit
     }
 
-    fn put(&self, video: u64, frame: usize, f: &Frame) {
+    fn put(&self, video: u64, frame: usize, f: &Arc<Frame>) {
         let size = f.byte_len() as u64;
         if self.used.load(Ordering::Relaxed) + size > self.budget {
             return;
         }
         let mut map = self.map.lock();
-        if map.insert((video, frame), f.clone()).is_none() {
+        if map.insert((video, frame), Arc::clone(f)).is_none() {
             self.used.fetch_add(size, Ordering::Relaxed);
         }
     }
@@ -106,7 +109,7 @@ impl NaiveCacheLoader {
                                     what: "video missing".into(),
                                 })?;
                             // Serve cached frames; decode only the misses.
-                            let mut frames: Vec<Option<Frame>> =
+                            let mut frames: Vec<Option<Arc<Frame>>> =
                                 vec![None; sample.frame_indices.len()];
                             let mut missing = Vec::new();
                             for (k, &fi) in sample.frame_indices.iter().enumerate() {
@@ -123,23 +126,28 @@ impl NaiveCacheLoader {
                                 let decoded = dec.decode_indices(&indices)?;
                                 stats = *dec.stats();
                                 for ((k, fi), f) in missing.into_iter().zip(decoded) {
+                                    let f = Arc::new(f);
                                     cache3.put(sample.video_id, fi, &f);
                                     frames[k] = Some(f);
                                 }
                             }
-                            // Augment per plan.
+                            // Augment per plan. The source frame stays behind
+                            // the cache's `Arc`; pixels are only copied by the
+                            // first op's output (or, with no ops, one clone).
                             let mut out = Vec::with_capacity(frames.len());
                             for (f, &terminal) in frames.into_iter().zip(sample.frame_nodes.iter())
                             {
-                                let mut cur = f.ok_or_else(|| TrainError::State {
+                                let src = f.ok_or_else(|| TrainError::State {
                                     what: "frame slot unfilled".into(),
                                 })?;
+                                let mut cur: Option<Frame> = None;
                                 for op in chain_ops(&p.graph, terminal) {
                                     if let Some(frame_op) = op.to_frame_op()? {
-                                        cur = frame_op.apply(&cur)?;
+                                        let input = cur.as_ref().unwrap_or(&*src);
+                                        cur = Some(frame_op.apply(input)?);
                                     }
                                 }
-                                out.push(cur);
+                                out.push(cur.unwrap_or_else(|| (*src).clone()));
                             }
                             Ok((out, stats))
                         },

@@ -69,7 +69,11 @@ pub type Result<T> = std::result::Result<T, VfsError>;
 /// `sand-core`'s engine implements this; tests use simple mocks.
 pub trait ViewProvider: Send + Sync {
     /// Materializes (or loads) the bytes of a view.
-    fn fetch(&self, path: &ViewPath) -> Result<Vec<u8>>;
+    ///
+    /// Returns the content as an `Arc` so a provider backed by an object
+    /// store can hand out the stored allocation itself: decoder → store →
+    /// open descriptor → `read` then share one buffer with no copies.
+    fn fetch(&self, path: &ViewPath) -> Result<Arc<Vec<u8>>>;
 
     /// Returns the value of an extended attribute for a view.
     fn metadata(&self, path: &ViewPath, name: &str) -> Result<String>;
@@ -107,7 +111,7 @@ impl SandVfs {
         let view = ViewPath::parse(path).ok_or_else(|| VfsError::NoSuchView {
             path: path.to_string(),
         })?;
-        let content = Arc::new(self.provider.fetch(&view)?);
+        let content = self.provider.fetch(&view)?;
         let mut files = self.files.lock();
         let mut fd = 3;
         while files.contains_key(&fd) {
@@ -188,13 +192,13 @@ mod tests {
     struct MockProvider;
 
     impl ViewProvider for MockProvider {
-        fn fetch(&self, path: &ViewPath) -> Result<Vec<u8>> {
+        fn fetch(&self, path: &ViewPath) -> Result<Arc<Vec<u8>>> {
             match path {
                 ViewPath::Batch {
                     epoch, iteration, ..
-                } => Ok(format!("batch-{epoch}-{iteration}").into_bytes()),
-                ViewPath::Frame { index, .. } => Ok(vec![*index as u8; 8]),
-                _ => Ok(b"data".to_vec()),
+                } => Ok(Arc::new(format!("batch-{epoch}-{iteration}").into_bytes())),
+                ViewPath::Frame { index, .. } => Ok(Arc::new(vec![*index as u8; 8])),
+                _ => Ok(Arc::new(b"data".to_vec())),
             }
         }
 

@@ -48,8 +48,8 @@ proptest! {
 struct CountingProvider;
 
 impl ViewProvider for CountingProvider {
-    fn fetch(&self, path: &ViewPath) -> sand_vfs::Result<Vec<u8>> {
-        Ok(path.to_string().into_bytes())
+    fn fetch(&self, path: &ViewPath) -> sand_vfs::Result<Arc<Vec<u8>>> {
+        Ok(Arc::new(path.to_string().into_bytes()))
     }
 
     fn metadata(&self, _path: &ViewPath, name: &str) -> sand_vfs::Result<String> {
