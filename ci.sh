@@ -22,4 +22,8 @@ cargo test -q --workspace
 echo "==> decode_parallel bench smoke (quick mode, writes BENCH_decode.json)"
 SAND_BENCH_QUICK=1 cargo bench -q -p sand-bench --bench decode_parallel
 
+echo "==> aug_parallel bench smoke (quick mode, writes BENCH_aug.json)"
+SAND_BENCH_QUICK=1 cargo bench -q -p sand-bench --bench aug_parallel
+test -f BENCH_aug.json || { echo "BENCH_aug.json missing"; exit 1; }
+
 echo "CI green."

@@ -1,0 +1,118 @@
+//! Parallel-augmentation benchmark: the SlowFast workload's materialize
+//! pass at `aug_threads = 1` vs `AUG_PARALLEL` sub-jobs per video bucket.
+//!
+//! The engine splits each deadline bucket's node list into per-chain
+//! sub-jobs sharing one per-video scratch, so augmentation chains over
+//! different source frames run on different workers while chains meeting
+//! at a shared decoded frame still compute it exactly once. This bench
+//! times the full pre-materialization pass (start → idle) in both modes,
+//! asserts the served batches are bit-identical and the applied-op counts
+//! equal, and writes `BENCH_aug.json` at the repository root for CI trend
+//! tracking.
+//!
+//! Set `SAND_BENCH_QUICK=1` for a short CI-smoke run (smaller dataset,
+//! fewer epochs). Note: on single-core hosts the parallel pass cannot
+//! beat sequential wall-clock; the JSON records `host_cpus` so readers
+//! can interpret the speedup honestly.
+
+#![allow(clippy::unwrap_used)]
+
+use sand_bench::workloads::slowfast;
+use sand_codec::Dataset;
+use sand_core::{EngineConfig, SandEngine};
+use std::sync::Arc;
+use std::time::Instant;
+
+const AUG_PARALLEL: usize = 4;
+const SCHED_THREADS: usize = 4;
+
+/// Runs one full materialize pass plus a serve sweep; returns (aug-pass
+/// seconds, batch-bytes checksum, ops applied).
+fn materialize_pass(dataset: &Arc<Dataset>, epochs: u64, aug_threads: usize) -> (f64, u64, u64) {
+    let workload = slowfast();
+    let engine = SandEngine::new(
+        EngineConfig {
+            tasks: vec![workload.task.clone()],
+            total_epochs: epochs,
+            epochs_per_chunk: epochs,
+            decode_threads: 1,
+            aug_threads,
+            sched: sand_sched::SchedConfig {
+                threads: SCHED_THREADS,
+                // No serve loop runs during the timed pass; giving the
+                // materialize fan-out all four workers keeps SL023 quiet.
+                reserved_demand_threads: 0,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        Arc::clone(dataset),
+    )
+    .unwrap();
+    let start = Instant::now();
+    engine.start().unwrap();
+    engine.wait_idle();
+    let aug_secs = start.elapsed().as_secs_f64();
+    let iters = engine.iterations_per_epoch(&workload.task.tag).unwrap();
+    let mut checksum = 0u64;
+    for epoch in 0..epochs {
+        for it in 0..iters {
+            let bytes = engine.serve_batch(&workload.task.tag, epoch, it).unwrap();
+            checksum = checksum.wrapping_mul(31).wrapping_add(
+                bytes
+                    .iter()
+                    .fold(0u64, |a, &p| a.wrapping_mul(131).wrapping_add(u64::from(p))),
+            );
+        }
+    }
+    (aug_secs, checksum, engine.stats().aug_ops_applied)
+}
+
+fn main() {
+    let quick = std::env::var("SAND_BENCH_QUICK").is_ok();
+    let mut spec = slowfast().dataset;
+    if quick {
+        spec.num_videos = 4;
+    }
+    let dataset = Arc::new(Dataset::generate(&spec).unwrap());
+    let epochs = if quick { 2 } else { 4 };
+    let iters = if quick { 3 } else { 8 };
+
+    // Warm-up pass also pins parity between the two modes.
+    let (_, seq_sum, seq_ops) = materialize_pass(&dataset, epochs, 1);
+    let (_, par_sum, par_ops) = materialize_pass(&dataset, epochs, AUG_PARALLEL);
+    let bit_identical = seq_sum == par_sum && seq_ops == par_ops;
+    assert!(
+        bit_identical,
+        "parallel materialize diverged from sequential \
+         (checksum {seq_sum} vs {par_sum}, ops {seq_ops} vs {par_ops})"
+    );
+
+    let mut seq_secs = 0.0;
+    let mut par_secs = 0.0;
+    for _ in 0..iters {
+        seq_secs += materialize_pass(&dataset, epochs, 1).0;
+        par_secs += materialize_pass(&dataset, epochs, AUG_PARALLEL).0;
+    }
+    let seq_avg = seq_secs / f64::from(iters);
+    let par_avg = par_secs / f64::from(iters);
+    let speedup = seq_avg / par_avg;
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    println!("bench aug_parallel/sequential              {seq_avg:>12.4} s/pass ({iters} iters)");
+    println!(
+        "bench aug_parallel/aug_threads={AUG_PARALLEL}           {par_avg:>12.4} s/pass ({iters} iters)"
+    );
+    println!("bench aug_parallel/speedup                 {speedup:>12.2}x (host_cpus={host_cpus})");
+
+    let json = format!(
+        "{{\n  \"bench\": \"aug_parallel\",\n  \"quick\": {quick},\n  \"aug_threads\": {AUG_PARALLEL},\n  \"epochs\": {epochs},\n  \"sequential_secs\": {seq_avg:.4},\n  \"parallel_secs\": {par_avg:.4},\n  \"speedup\": {speedup:.3},\n  \"aug_ops\": {seq_ops},\n  \"bit_identical\": {bit_identical},\n  \"host_cpus\": {host_cpus}\n}}\n"
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_aug.json");
+    std::fs::write(&out, json).unwrap();
+    println!("wrote {}", out.display());
+}

@@ -12,6 +12,7 @@ fn job(kind: JobKind, deadline: u64) -> Job {
         kind,
         deadline,
         remaining_work: 1,
+        affinity: None,
         run: Box::new(|| {}),
     }
 }
@@ -56,6 +57,7 @@ fn bench_demand_latency(c: &mut Criterion) {
                 kind: JobKind::PreMaterialize,
                 deadline: i,
                 remaining_work: 4,
+                affinity: None,
                 run: Box::new(|| std::thread::sleep(std::time::Duration::from_micros(50))),
             });
         }
@@ -65,6 +67,7 @@ fn bench_demand_latency(c: &mut Criterion) {
                 kind: JobKind::Demand,
                 deadline: 0,
                 remaining_work: 1,
+                affinity: None,
                 run: Box::new(move || {
                     let _ = tx.send(());
                 }),

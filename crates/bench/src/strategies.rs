@@ -76,6 +76,7 @@ pub fn run_strategy(
                     epochs_per_chunk: (epochs.end - epochs.start).max(1),
                     seed,
                     decode_threads: workload.decode_threads,
+                    aug_threads: workload.aug_threads,
                     sched: sand_sched::SchedConfig {
                         threads: PIPELINE_WORKERS,
                         reserved_demand_threads: 0,

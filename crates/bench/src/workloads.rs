@@ -30,6 +30,9 @@ pub struct Workload {
     /// Threads for GOP-parallel pre-materialization decode
     /// (`EngineConfig::decode_threads`).
     pub decode_threads: usize,
+    /// Sub-jobs each video's materialize bucket fans out into
+    /// (`EngineConfig::aug_threads`).
+    pub aug_threads: usize,
 }
 
 /// vCPUs per GPU in the paper's GCP A2 instances.
@@ -45,6 +48,10 @@ pub const PIPELINE_WORKERS: usize = 2;
 /// Decode threads for the engine's segment-parallel pre-materialization
 /// (one per pipeline worker; each keyframe segment decodes independently).
 pub const DECODE_THREADS: usize = 2;
+
+/// Materialize fan-out for the engine's parallel augmentation stage
+/// (matches the pipeline workers so every worker gets a sub-job).
+pub const AUG_THREADS: usize = 2;
 
 fn task(yaml: &str) -> TaskConfig {
     parse_task_config(yaml).expect("workload pipeline must parse")
@@ -115,6 +122,7 @@ dataset:
         },
         classes: 4,
         decode_threads: DECODE_THREADS,
+        aug_threads: AUG_THREADS,
     }
 }
 
@@ -172,6 +180,7 @@ dataset:
         },
         classes: 4,
         decode_threads: DECODE_THREADS,
+        aug_threads: AUG_THREADS,
     }
 }
 
@@ -232,6 +241,7 @@ dataset:
         },
         classes: 4,
         decode_threads: DECODE_THREADS,
+        aug_threads: AUG_THREADS,
     }
 }
 
@@ -282,6 +292,7 @@ dataset:
         },
         classes: 4,
         decode_threads: DECODE_THREADS,
+        aug_threads: AUG_THREADS,
     }
 }
 

@@ -2,7 +2,7 @@
 
 use crate::keys::store_key;
 use crate::{CoreError, Result};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use sand_codec::{Dataset, DecodeStats, Decoder, WarmDecoder};
 use sand_config::TaskConfig;
 use sand_frame::tensor::{clip_refs_to_tensor, stack};
@@ -55,6 +55,15 @@ pub struct EngineConfig {
     /// concurrently during pre-materialization (closed GOPs make the
     /// segments independent). `1` keeps decodes sequential.
     pub decode_threads: usize,
+    /// Sub-jobs one video's materialize bucket fans out into: chains over
+    /// different source frames run as independent scheduler jobs sharing
+    /// a per-video scratch. `1` keeps each bucket a single job. Task
+    /// configs may raise this via `execution.aug_threads`.
+    pub aug_threads: usize,
+    /// Bound on live warm demand-decode sessions; each holds at most one
+    /// reconstructed frame. Least-recently-used sessions are evicted at
+    /// the cap.
+    pub warm_session_cap: usize,
     /// Static-analysis level for the startup lint pass: `Off` skips it,
     /// `Warn` reports findings to stderr, `Deny` additionally fails
     /// startup on any deny-severity finding.
@@ -78,6 +87,8 @@ impl Default for EngineConfig {
             aug_service: None,
             prematerialize: true,
             decode_threads: 1,
+            aug_threads: 1,
+            warm_session_cap: WARM_SESSION_CAP,
             lint: LintLevel::default(),
         }
     }
@@ -151,14 +162,112 @@ struct Inner {
     /// live anchor chain instead of re-decoding from the keyframe. The
     /// outer lock only guards the map, so decodes on different videos
     /// proceed concurrently.
-    warm_decoders: Mutex<HashMap<u64, Arc<Mutex<WarmDecoder>>>>,
+    warm_decoders: Mutex<WarmPool>,
     aug_ops_applied: AtomicU64,
     batches_served: AtomicU64,
 }
 
-/// Bound on live warm decode sessions; each holds at most one
+/// Default bound on live warm decode sessions; each holds at most one
 /// reconstructed frame (`WarmDecoder::resident_bytes`).
 const WARM_SESSION_CAP: usize = 64;
+
+/// Warm demand-decode sessions, evicted least-recently-used at the cap so
+/// a hot video's anchor chain survives a scan over many cold videos.
+#[derive(Default)]
+struct WarmPool {
+    sessions: HashMap<u64, WarmSlot>,
+    /// Monotonic use counter; cheaper than timestamps and immune to clock
+    /// adjustments.
+    tick: u64,
+}
+
+struct WarmSlot {
+    session: Arc<Mutex<WarmDecoder>>,
+    last_used: u64,
+}
+
+/// A shared scratch of raw materialized frames for one materialize pass.
+///
+/// Every sub-job of a video shares one `Scratch`, so chains that meet at
+/// a common ancestor (most often the decoded source frame) merge work: a
+/// node is computed by exactly one job per pass, and everyone else either
+/// reuses the result or blocks briefly while it is in flight.
+///
+/// Waiting is deadlock-free by construction: a claim is only ever held by
+/// a *running* job, and a job only waits for slots strictly up the object
+/// tree (toward smaller node ids) from claims it holds, so the wait graph
+/// is acyclic and bottoms out at source-frame decodes, which never wait.
+struct Scratch {
+    slots: Mutex<HashMap<NodeId, Slot>>,
+    ready: Condvar,
+}
+
+enum Slot {
+    /// A running job claimed the node and is computing it.
+    InFlight,
+    /// Computed this pass.
+    Ready(Arc<Frame>),
+}
+
+impl Scratch {
+    fn new() -> Self {
+        Scratch {
+            slots: Mutex::new(HashMap::new()),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Returns the frame if ready; otherwise claims the slot and returns
+    /// `None` — the caller now *must* call [`Scratch::fulfill`] or
+    /// [`Scratch::abandon`] for this id. Blocks while another job holds
+    /// the claim.
+    fn get_or_claim(&self, id: NodeId) -> Option<Arc<Frame>> {
+        let mut slots = self.slots.lock();
+        loop {
+            match slots.get(&id) {
+                Some(Slot::Ready(f)) => return Some(Arc::clone(f)),
+                Some(Slot::InFlight) => self.ready.wait(&mut slots),
+                None => {
+                    slots.insert(id, Slot::InFlight);
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Claims `id` if it has no slot yet (non-blocking; the predecode
+    /// pass uses this to take ownership of frame decodes without ever
+    /// waiting on another job).
+    fn try_claim(&self, id: NodeId) -> bool {
+        let mut slots = self.slots.lock();
+        if slots.contains_key(&id) {
+            return false;
+        }
+        slots.insert(id, Slot::InFlight);
+        true
+    }
+
+    /// True when the node is ready or some job is computing it.
+    fn covered(&self, id: NodeId) -> bool {
+        self.slots.lock().contains_key(&id)
+    }
+
+    fn fulfill(&self, id: NodeId, f: Arc<Frame>) {
+        self.slots.lock().insert(id, Slot::Ready(f));
+        self.ready.notify_all();
+    }
+
+    /// Releases an unfulfilled claim (compute failed); ready slots are
+    /// left intact so error cleanup can sweep candidates blindly.
+    fn abandon(&self, id: NodeId) {
+        let mut slots = self.slots.lock();
+        if matches!(slots.get(&id), Some(Slot::InFlight)) {
+            slots.remove(&id);
+        }
+        drop(slots);
+        self.ready.notify_all();
+    }
+}
 
 /// Projects the dataset's per-video headers into the planner's metadata.
 fn video_metas(dataset: &Dataset) -> Vec<sand_graph::VideoMeta> {
@@ -213,7 +322,13 @@ impl SandEngine {
             }
         }
         let store = Arc::new(ObjectStore::open(config.store, config.store_dir.clone())?);
-        let sched = Scheduler::new(config.sched);
+        // Any task opting out of sticky affinity disables it globally:
+        // tasks share the worker pool, so per-task stickiness is
+        // meaningless.
+        let mut sched_config = config.sched;
+        sched_config.sticky_affinity = sched_config.sticky_affinity
+            && config.tasks.iter().all(|t| t.execution.sticky_affinity);
+        let sched = Scheduler::new(sched_config);
         Ok(SandEngine {
             inner: Arc::new(Inner {
                 config,
@@ -223,7 +338,7 @@ impl SandEngine {
                 chunks: Mutex::new(HashMap::new()),
                 task_ids,
                 decode_stats: Mutex::new(DecodeStats::default()),
-                warm_decoders: Mutex::new(HashMap::new()),
+                warm_decoders: Mutex::new(WarmPool::default()),
                 aug_ops_applied: AtomicU64::new(0),
                 batches_served: AtomicU64::new(0),
             }),
@@ -282,11 +397,19 @@ impl SandEngine {
             .iter()
             .map(|t| (videos.len() as u64).div_ceil(t.sampling.videos_per_batch as u64))
             .max();
+        let threads = config.sched.threads.max(1);
+        let reserved = if config.sched.policy == sand_sched::Policy::Priority {
+            config.sched.reserved_demand_threads.min(threads - 1)
+        } else {
+            0
+        };
         let opts = LintOptions {
             total_epochs: config.total_epochs,
             iterations_per_epoch,
             cache_budget: config.cache_budget,
             memory_budget: config.store.memory_budget,
+            aug_threads: config.aug_threads.max(1),
+            pre_workers: threads - reserved,
         };
         let report = lint_all(
             &config.tasks,
@@ -469,17 +592,70 @@ impl Inner {
             .map(|d| d.join("_meta").join(format!("graph_chunk_{chunk_id}.ckpt")))
     }
 
-    /// Submits pre-materialization jobs: one per (video, deadline bucket).
+    /// The materialize fan-out actually in effect: the engine knob, maxed
+    /// with every task-level `execution.aug_threads` hint.
+    fn effective_aug_threads(config: &EngineConfig) -> usize {
+        config
+            .tasks
+            .iter()
+            .map(|t| t.execution.aug_threads)
+            .fold(config.aug_threads, usize::max)
+            .max(1)
+    }
+
+    /// Splits one bucket's node list into at most `parts` sub-job lists.
+    ///
+    /// Nodes are grouped by their nearest source-frame ancestor first, so
+    /// augmentation chains growing out of one decoded frame stay in the
+    /// same sub-job: the shared scratch would merge their work anyway,
+    /// but co-locating them turns the merge into a same-worker reuse
+    /// instead of a cross-job wait. Groups are dealt round-robin in
+    /// frame order, which is deterministic.
+    fn split_bucket(chunk: &Chunk, nodes: &[NodeId], parts: usize) -> Vec<Vec<NodeId>> {
+        if parts <= 1 || nodes.len() <= 1 {
+            return vec![nodes.to_vec()];
+        }
+        let mut groups: std::collections::BTreeMap<u64, Vec<NodeId>> =
+            std::collections::BTreeMap::new();
+        for &id in nodes {
+            let mut cur = Some(id);
+            let mut gkey = u64::MAX;
+            while let Some(nid) = cur {
+                if let ObjectKey::Frame { frame, .. } = chunk.graph.nodes[nid].key {
+                    gkey = frame as u64;
+                    break;
+                }
+                cur = chunk.graph.nodes[nid].parent;
+            }
+            groups.entry(gkey).or_default().push(id);
+        }
+        let n = parts.min(groups.len()).max(1);
+        let mut out = vec![Vec::new(); n];
+        for (i, (_, group)) in groups.into_iter().enumerate() {
+            out[i % n].extend(group);
+        }
+        out.retain(|v| !v.is_empty());
+        out
+    }
+
+    /// Submits pre-materialization jobs: per (video, deadline bucket),
+    /// fanned out into up to `aug_threads` sub-jobs.
     ///
     /// Granularity matters twice over. Jobs must be small enough that a
     /// demand-feeding job never sits behind a long-running worker (the
     /// scheduler preempts between jobs, not within one), and the first
-    /// bucket of a video decodes the *union* of the chunk's source frames
+    /// sub-job of a video decodes the *union* of the chunk's source frames
     /// in one GOP-efficient pass, persisting them so every later epoch's
     /// bucket reuses the decoded frames instead of re-touching the codec —
     /// the paper's "decode once, cache for k epochs".
+    ///
+    /// All of a video's sub-jobs share one [`Scratch`] and carry the
+    /// video id as a scheduler affinity hint, so chains meeting at a
+    /// common decoded frame merge work, and the sub-jobs prefer the
+    /// worker already holding the video's warm decode state.
     fn submit_prematerialization(inner: &Arc<Inner>, chunk: &Arc<Chunk>) {
         let epoch_span = chunk.graph.epochs.end - chunk.graph.epochs.start;
+        let aug_threads = Self::effective_aug_threads(&inner.config);
         for v in inner.dataset.videos() {
             let subtree = chunk.graph.video_subtree(v.video_id);
             let todo: Vec<NodeId> = subtree
@@ -512,49 +688,54 @@ impl Inner {
                 };
                 buckets[bucket].push(id);
             }
-            for (b, bucket_nodes) in buckets.into_iter().enumerate() {
+            let scratch = Arc::new(Scratch::new());
+            let mut first_subjob = true;
+            for bucket_nodes in buckets {
                 if bucket_nodes.is_empty() {
                     continue;
                 }
-                let deadline = bucket_nodes
-                    .iter()
-                    .filter_map(|&id| chunk.deadlines[id])
-                    .min()
-                    .unwrap_or(u64::MAX);
-                let remaining_work = bucket_nodes.len() as u64;
-                let inner2 = Arc::clone(inner);
-                let chunk2 = Arc::clone(chunk);
-                // The first bucket also pre-decodes the union of source
-                // frames the whole subtree needs, so later buckets only
-                // run augmentation.
-                let decode_targets: Vec<NodeId> = if b == 0 { todo.clone() } else { Vec::new() };
-                inner.sched.submit(Job {
-                    kind: JobKind::PreMaterialize,
-                    deadline,
-                    remaining_work,
-                    run: Box::new(move || {
-                        let mut nodes = bucket_nodes;
-                        nodes.sort_by_key(|&id| chunk2.deadlines[id].unwrap_or(u64::MAX));
-                        let mut scratch: HashMap<NodeId, Arc<Frame>> = HashMap::new();
-                        if !decode_targets.is_empty() {
-                            // One GOP-efficient pass for the whole chunk;
-                            // decoded frames persist in the store.
-                            let _ = Self::predecode_nodes(
-                                &inner2,
-                                &chunk2,
-                                &decode_targets,
-                                &mut scratch,
-                            );
-                        }
-                        for id in nodes {
-                            // Failures here only delay demand-path work;
-                            // they are not fatal to training.
-                            let _ = Self::materialize_rec(&inner2, &chunk2, id, &mut scratch);
-                        }
-                        // Dropping `scratch` frees the raw decoded frames,
-                        // as the paper requires once a subtree completes.
-                    }),
-                });
+                for mut nodes in Self::split_bucket(chunk, &bucket_nodes, aug_threads) {
+                    let deadline = nodes
+                        .iter()
+                        .filter_map(|&id| chunk.deadlines[id])
+                        .min()
+                        .unwrap_or(u64::MAX);
+                    let remaining_work = nodes.len() as u64;
+                    let inner2 = Arc::clone(inner);
+                    let chunk2 = Arc::clone(chunk);
+                    let scratch2 = Arc::clone(&scratch);
+                    // The video's first sub-job pre-decodes the union of
+                    // source frames the whole subtree needs; the others
+                    // pre-decode only their own slice (the scratch claims
+                    // make any overlap race-free).
+                    let decode_targets: Vec<NodeId> = if first_subjob {
+                        todo.clone()
+                    } else {
+                        nodes.clone()
+                    };
+                    first_subjob = false;
+                    inner.sched.submit(Job {
+                        kind: JobKind::PreMaterialize,
+                        deadline,
+                        remaining_work,
+                        affinity: Some(v.video_id),
+                        run: Box::new(move || {
+                            nodes.sort_by_key(|&id| chunk2.deadlines[id].unwrap_or(u64::MAX));
+                            // One GOP-efficient pass; decoded frames
+                            // persist in the store.
+                            let _ =
+                                Self::predecode_nodes(&inner2, &chunk2, &decode_targets, &scratch2);
+                            for id in nodes {
+                                // Failures here only delay demand-path
+                                // work; they are not fatal to training.
+                                let _ = Self::materialize_rec(&inner2, &chunk2, id, &scratch2);
+                            }
+                            // The last sub-job dropping its `Arc` frees
+                            // the raw decoded frames, as the paper
+                            // requires once a subtree completes.
+                        }),
+                    });
+                }
             }
         }
         Self::report_pressure(inner);
@@ -572,8 +753,11 @@ impl Inner {
     fn decode_one(inner: &Arc<Inner>, video_id: u64, frame: usize) -> Result<Frame> {
         let session = {
             let mut warm = inner.warm_decoders.lock();
-            if let Some(s) = warm.get(&video_id) {
-                Arc::clone(s)
+            warm.tick += 1;
+            let tick = warm.tick;
+            if let Some(slot) = warm.sessions.get_mut(&video_id) {
+                slot.last_used = tick;
+                Arc::clone(&slot.session)
             } else {
                 let entry = inner
                     .dataset
@@ -581,14 +765,28 @@ impl Inner {
                     .ok_or_else(|| CoreError::UnknownView {
                         what: format!("video {video_id} not in dataset"),
                     })?;
-                if warm.len() >= WARM_SESSION_CAP {
-                    // Drop an arbitrary session to bound resident anchors.
-                    if let Some(k) = warm.keys().next().copied() {
-                        warm.remove(&k);
+                if warm.sessions.len() >= inner.config.warm_session_cap.max(1) {
+                    // Evict the least-recently-used session, so that under
+                    // cap pressure the hottest videos keep their live
+                    // anchor chains (evicting an arbitrary session would
+                    // randomly cold-start a hot video).
+                    if let Some(k) = warm
+                        .sessions
+                        .iter()
+                        .min_by_key(|(_, s)| s.last_used)
+                        .map(|(k, _)| *k)
+                    {
+                        warm.sessions.remove(&k);
                     }
                 }
                 let s = Arc::new(Mutex::new(WarmDecoder::new(Arc::clone(&entry.encoded))));
-                warm.insert(video_id, Arc::clone(&s));
+                warm.sessions.insert(
+                    video_id,
+                    WarmSlot {
+                        session: Arc::clone(&s),
+                        last_used: tick,
+                    },
+                );
                 s
             }
         };
@@ -598,27 +796,49 @@ impl Inner {
         Ok(f)
     }
 
-    /// Materializes a node, consulting (and feeding) the store and a
-    /// per-job scratch cache of raw frames.
+    /// Burns one retained use of every *strict* ancestor of `id` in the
+    /// store (video roots are never stored, so marking them is a no-op).
+    fn mark_used_ancestors(inner: &Arc<Inner>, chunk: &Chunk, id: NodeId) {
+        let mut cur = chunk.graph.nodes[id].parent;
+        while let Some(p) = cur {
+            inner.store.mark_used(&store_key(&chunk.graph.nodes[p].key));
+            cur = chunk.graph.nodes[p].parent;
+        }
+    }
+
+    /// Materializes a node, consulting (and feeding) the store and the
+    /// pass's shared scratch of raw frames.
     fn materialize_rec(
         inner: &Arc<Inner>,
         chunk: &Arc<Chunk>,
         id: NodeId,
-        scratch: &mut HashMap<NodeId, Arc<Frame>>,
+        scratch: &Scratch,
     ) -> Result<Arc<Frame>> {
-        if let Some(f) = scratch.get(&id) {
-            return Ok(Arc::clone(f));
+        if let Some(f) = scratch.get_or_claim(id) {
+            return Ok(f);
         }
+        // The claim is ours: compute, then fulfill or abandon it.
+        let out = Self::materialize_claimed(inner, chunk, id, scratch);
+        match &out {
+            Ok(f) => scratch.fulfill(id, Arc::clone(f)),
+            Err(_) => scratch.abandon(id),
+        }
+        out
+    }
+
+    /// Computes one claimed node (store hit, decode, or augmentation).
+    fn materialize_claimed(
+        inner: &Arc<Inner>,
+        chunk: &Arc<Chunk>,
+        id: NodeId,
+        scratch: &Scratch,
+    ) -> Result<Arc<Frame>> {
         let node = &chunk.graph.nodes[id];
         let key = store_key(&node.key);
         if inner.store.contains(&key) {
             if let Ok(bytes) = inner.store.get(&key) {
                 match decompress_frame(&bytes) {
-                    Ok(f) => {
-                        let f = Arc::new(f);
-                        scratch.insert(id, Arc::clone(&f));
-                        return Ok(f);
-                    }
+                    Ok(f) => return Ok(Arc::new(f)),
                     Err(_) => {
                         // A corrupt cached object (e.g. a torn write from
                         // a crash) must never fail serving: drop it and
@@ -640,11 +860,6 @@ impl Inner {
                     what: "aug node without parent".into(),
                 })?;
                 let src = Self::materialize_rec(inner, chunk, parent, scratch)?;
-                // One descendant materialized: burn one of the parent's
-                // retained uses so spent frames become evictable.
-                inner
-                    .store
-                    .mark_used(&store_key(&chunk.graph.nodes[parent].key));
                 let op = node.op.as_ref().ok_or_else(|| CoreError::State {
                     what: "aug node without op".into(),
                 })?;
@@ -678,19 +893,21 @@ impl Inner {
             };
             inner.store.put(&key, compress_frame(&frame).into(), meta)?;
         }
-        let frame = Arc::new(frame);
-        scratch.insert(id, Arc::clone(&frame));
-        Ok(frame)
+        Ok(Arc::new(frame))
     }
 
     /// Pre-decodes, in one GOP-efficient pass per video, every source
     /// frame the target nodes need that is not otherwise covered, filling
     /// `scratch` with the decoded frames.
+    ///
+    /// Frame slots are claimed non-blockingly (`try_claim`), so two
+    /// sub-jobs whose targets overlap split the decode work instead of
+    /// duplicating it; this pass itself never waits on another job.
     fn predecode_nodes(
         inner: &Arc<Inner>,
         chunk: &Arc<Chunk>,
         targets: &[NodeId],
-        scratch: &mut HashMap<NodeId, Arc<Frame>>,
+        scratch: &Scratch,
     ) -> Result<()> {
         // (video, frame node, frame index) for every uncovered target.
         let mut missing: Vec<(u64, NodeId, usize)> = Vec::new();
@@ -701,7 +918,7 @@ impl Inner {
             let mut frame_node: Option<(u64, NodeId, usize)> = None;
             let mut covered = false;
             while let Some(nid) = cur {
-                if scratch.contains_key(&nid)
+                if scratch.covered(nid)
                     || inner
                         .store
                         .contains(&store_key(&chunk.graph.nodes[nid].key))
@@ -716,7 +933,7 @@ impl Inner {
             }
             if !covered {
                 if let Some(fn_) = frame_node {
-                    if !missing.contains(&fn_) {
+                    if !missing.contains(&fn_) && scratch.try_claim(fn_.1) {
                         missing.push(fn_);
                     }
                 }
@@ -725,8 +942,27 @@ impl Inner {
         if missing.is_empty() {
             return Ok(());
         }
-        // Group by video and decode each group in one pass.
         missing.sort_by_key(|&(v, _, f)| (v, f));
+        let result = Self::predecode_claimed(inner, chunk, &missing, scratch);
+        if result.is_err() {
+            // Release any claims the failed pass left unfulfilled, so
+            // other sub-jobs fall back to per-frame demand decodes
+            // instead of blocking forever.
+            for &(_, nid, _) in &missing {
+                scratch.abandon(nid);
+            }
+        }
+        result
+    }
+
+    /// Decodes the claimed frame nodes, grouped by video, one
+    /// GOP-efficient pass per group.
+    fn predecode_claimed(
+        inner: &Arc<Inner>,
+        chunk: &Arc<Chunk>,
+        missing: &[(u64, NodeId, usize)],
+        scratch: &Scratch,
+    ) -> Result<()> {
         let mut i = 0;
         while i < missing.len() {
             let video_id = missing[i].0;
@@ -761,7 +997,7 @@ impl Inner {
                         .store
                         .put(&store_key(&node.key), compress_frame(&frame).into(), meta)?;
                 }
-                scratch.insert(nid, Arc::new(frame));
+                scratch.fulfill(nid, Arc::new(frame));
             }
         }
         Ok(())
@@ -773,11 +1009,11 @@ impl Inner {
         chunk: &Arc<Chunk>,
         plan: &sand_graph::SamplePlan,
     ) -> Result<Vec<Arc<Frame>>> {
-        let mut scratch = HashMap::new();
-        Self::predecode_nodes(inner, chunk, &plan.frame_nodes, &mut scratch)?;
+        let scratch = Scratch::new();
+        Self::predecode_nodes(inner, chunk, &plan.frame_nodes, &scratch)?;
         plan.frame_nodes
             .iter()
-            .map(|&t| Self::materialize_rec(inner, chunk, t, &mut scratch))
+            .map(|&t| Self::materialize_rec(inner, chunk, t, &scratch))
             .collect()
     }
 
@@ -825,6 +1061,7 @@ impl Inner {
                 kind: JobKind::Demand,
                 deadline: batch.clock,
                 remaining_work: plan.frame_nodes.len() as u64,
+                affinity: Some(plan.video_id),
                 run: Box::new(move || {
                     let result =
                         Self::materialize_sample(&inner2, &chunk2, &plan2).and_then(|clip| {
@@ -854,10 +1091,19 @@ impl Inner {
             })
             .collect::<Result<_>>()?;
         let batch_tensor = stack(&tensors)?;
-        // Consumption bookkeeping: decrement future uses of terminals.
+        // Consumption bookkeeping: a consumed terminal burns one retained
+        // use of itself *and of every ancestor*. `Chunk::build`
+        // accumulates each node's `future_uses` as the total planned
+        // consumptions in its subtree, so burning the whole chain on
+        // every consumption — and nothing anywhere else — drives each
+        // count to exactly zero when its last dependent batch is served,
+        // making spent parents evictable (Algorithm 1's retained-use
+        // accounting). Burning at build time instead would leak uses
+        // whenever a descendant is later served from cache.
         for plan in &batch.samples {
             for &t in &plan.frame_nodes {
                 inner.store.mark_used(&store_key(&chunk.graph.nodes[t].key));
+                Self::mark_used_ancestors(inner, &chunk, t);
             }
         }
         inner.store.enforce_budgets()?;
@@ -986,9 +1232,9 @@ impl ViewProvider for SandEngine {
                     })?;
                 let node_id = node.id;
                 let node_key = store_key(&node.key);
-                let mut scratch = HashMap::new();
-                let f = Inner::materialize_rec(&self.inner, &chunk, node_id, &mut scratch)
-                    .map_err(io)?;
+                let scratch = Scratch::new();
+                let f =
+                    Inner::materialize_rec(&self.inner, &chunk, node_id, &scratch).map_err(io)?;
                 // Materialization caches planned objects; serve the stored
                 // allocation when present instead of re-compressing.
                 if let Ok(bytes) = self.inner.store.get(&node_key) {
@@ -1650,5 +1896,96 @@ dataset:
         let strict = SandEngine::new(config, dataset()).unwrap();
         strict.start().unwrap();
         drop(e);
+    }
+
+    #[test]
+    fn warm_eviction_is_lru_not_arbitrary() {
+        let config = EngineConfig {
+            tasks: vec![parse_task_config(TASK).unwrap()],
+            prematerialize: false,
+            warm_session_cap: 2,
+            ..Default::default()
+        };
+        let e = SandEngine::new(config, dataset()).unwrap();
+        // Warm the hot video's session and advance it mid-GOP (gop 6).
+        Inner::decode_one(&e.inner, 0, 2).unwrap(); // decodes 0..=2
+        Inner::decode_one(&e.inner, 0, 3).unwrap(); // +1, warm resume
+        Inner::decode_one(&e.inner, 1, 0).unwrap(); // fills the cap
+        Inner::decode_one(&e.inner, 0, 4).unwrap(); // refreshes the hot video
+        Inner::decode_one(&e.inner, 2, 0).unwrap(); // at cap: must evict v1
+        let before = e.stats().decode.frames_decoded;
+        assert_eq!(before, 7);
+        // The hot video's anchor chain survived cap pressure: the next
+        // forward read resumes with a single incremental decode. (The old
+        // arbitrary eviction could drop v0 here, forcing a 6-frame
+        // keyframe re-walk.)
+        Inner::decode_one(&e.inner, 0, 5).unwrap();
+        assert_eq!(
+            e.stats().decode.frames_decoded - before,
+            1,
+            "hot warm session was evicted under cap pressure"
+        );
+    }
+
+    #[test]
+    fn served_chunk_leaves_no_retained_uses() {
+        // Serve every batch of a chunk; afterwards each surviving store
+        // object must report zero future uses — the consumption-time
+        // chain burn spends parents exactly, so Algorithm 1 may evict
+        // everything. (The old build-time parent burn leaked uses when a
+        // descendant was later served from cache.)
+        let e = engine(true);
+        e.start().unwrap();
+        e.wait_idle();
+        for epoch in 0..2 {
+            for it in 0..2 {
+                e.serve_batch("train", epoch, it).unwrap();
+            }
+        }
+        let store = e.store();
+        for key in store.keys() {
+            assert_eq!(
+                store.future_uses_of(&key),
+                Some(0),
+                "object `{key}` still holds retained uses after its chunk \
+                 was fully served"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_materialize_matches_sequential() {
+        let run = |aug_threads: usize| {
+            let config = EngineConfig {
+                tasks: vec![parse_task_config(TASK).unwrap()],
+                prematerialize: true,
+                total_epochs: 2,
+                epochs_per_chunk: 2,
+                aug_threads,
+                sched: SchedConfig {
+                    threads: 4,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let e = SandEngine::new(config, dataset()).unwrap();
+            e.start().unwrap();
+            e.wait_idle();
+            let mut batches = Vec::new();
+            for epoch in 0..2 {
+                for it in 0..2 {
+                    batches.push(e.serve_batch("train", epoch, it).unwrap());
+                }
+            }
+            (batches, e.stats().aug_ops_applied)
+        };
+        let (seq, seq_ops) = run(1);
+        let (par, par_ops) = run(4);
+        assert_eq!(seq, par, "parallel materialize changed served bytes");
+        assert_eq!(
+            seq_ops, par_ops,
+            "parallel materialize changed the op count (duplicated or \
+             skipped chain work)"
+        );
     }
 }

@@ -64,6 +64,7 @@ fn arb_task(tag: &'static str) -> impl Strategy<Value = TaskConfig> {
                     samples_per_video: samples,
                 },
                 augmentation: branches,
+                execution: Default::default(),
             }
         })
 }

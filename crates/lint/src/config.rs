@@ -281,6 +281,7 @@ mod tests {
             video_dataset_path: "/d".into(),
             sampling: SamplingConfig::default(),
             augmentation: aug,
+            execution: Default::default(),
         }
     }
 

@@ -147,6 +147,12 @@ pub struct LintOptions {
     pub cache_budget: u64,
     /// Memory-tier budget of the object store in bytes.
     pub memory_budget: u64,
+    /// Engine-level materialize fan-out (`aug_threads`); task-level
+    /// `execution.aug_threads` hints are maxed on top of this.
+    pub aug_threads: usize,
+    /// Scheduler workers available for pre-materialization (total threads
+    /// minus reserved demand-feeding threads).
+    pub pre_workers: usize,
 }
 
 impl Default for LintOptions {
@@ -156,6 +162,8 @@ impl Default for LintOptions {
             iterations_per_epoch: None,
             cache_budget: 256 << 20,
             memory_budget: 64 << 20,
+            aug_threads: 1,
+            pre_workers: 3,
         }
     }
 }

@@ -1,4 +1,4 @@
-//! Resource-feasibility analyses (`SL020`–`SL022`).
+//! Resource-feasibility analyses (`SL020`–`SL023`).
 //!
 //! These bound, *statically*, what the runtime will need: the largest
 //! single-batch working set is a hard lower bound on live bytes — no
@@ -27,7 +27,41 @@ pub fn lint_resources(
         lint_budgets(g, opts, &mut out);
     }
     lint_decode_amplification(tasks, videos, &mut out);
+    lint_aug_fanout(tasks, opts, &mut out);
     out
+}
+
+/// `SL023`: the requested materialize fan-out exceeds the scheduler
+/// workers that can actually run pre-materialization jobs, so the extra
+/// sub-jobs only queue behind each other and add submission overhead.
+fn lint_aug_fanout(tasks: &[TaskConfig], opts: &LintOptions, out: &mut Vec<Diagnostic>) {
+    let effective = tasks
+        .iter()
+        .map(|t| t.execution.aug_threads)
+        .fold(opts.aug_threads, usize::max)
+        .max(1);
+    let workers = opts.pre_workers.max(1);
+    if effective > workers {
+        let hinted = tasks
+            .iter()
+            .find(|t| t.execution.aug_threads == effective)
+            .map_or("engine.aug_threads".to_string(), |t| {
+                format!("{}.execution.aug_threads", t.tag)
+            });
+        out.push(Diagnostic {
+            code: "SL023",
+            severity: Severity::Warn,
+            location: hinted,
+            message: format!(
+                "aug fan-out of {effective} exceeds the {workers} scheduler \
+                 worker(s) available for pre-materialization; the extra \
+                 sub-jobs cannot run concurrently"
+            ),
+            help: "raise sched threads (or lower reserved_demand_threads), \
+                   or reduce aug_threads to the available workers"
+                .into(),
+        });
+    }
 }
 
 /// Largest distinct-terminal working set of any single batch, in bytes,
@@ -248,5 +282,47 @@ mod tests {
     fn sl021_silent_when_dense() {
         let (tasks, _, vs) = planned(2, 8);
         assert!(lint_resources(&tasks, None, &vs, &LintOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn sl023_fanout_beyond_pre_workers() {
+        let (tasks, _, vs) = planned(2, 8);
+        let opts = LintOptions {
+            aug_threads: 8,
+            pre_workers: 3,
+            ..Default::default()
+        };
+        let d = lint_resources(&tasks, None, &vs, &opts);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, "SL023");
+        assert_eq!(d[0].severity, Severity::Warn);
+        assert_eq!(d[0].location, "engine.aug_threads");
+        assert!(d[0].message.contains("fan-out of 8"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn sl023_honours_task_level_hint() {
+        let (mut tasks, _, vs) = planned(2, 8);
+        tasks[0].execution.aug_threads = 6;
+        let opts = LintOptions {
+            aug_threads: 1,
+            pre_workers: 2,
+            ..Default::default()
+        };
+        let d = lint_resources(&tasks, None, &vs, &opts);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, "SL023");
+        assert_eq!(d[0].location, "t.execution.aug_threads");
+    }
+
+    #[test]
+    fn sl023_silent_when_fanout_fits() {
+        let (tasks, _, vs) = planned(2, 8);
+        let opts = LintOptions {
+            aug_threads: 3,
+            pre_workers: 3,
+            ..Default::default()
+        };
+        assert!(lint_resources(&tasks, None, &vs, &opts).is_empty());
     }
 }

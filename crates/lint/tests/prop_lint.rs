@@ -105,6 +105,7 @@ fn opts() -> LintOptions {
         iterations_per_epoch: Some(8),
         cache_budget: 1 << 30,
         memory_budget: 1 << 30,
+        ..Default::default()
     }
 }
 
@@ -240,6 +241,7 @@ fn constructed_bad_distribution_fires_sl005() {
                 },
             ],
         }],
+        execution: Default::default(),
     };
     let d = lint_configs(&[cfg], &LintOptions::default());
     assert!(d.iter().any(|x| x.code == "SL005"), "{d:?}");
@@ -272,6 +274,7 @@ fn dead_arm_is_warn_not_deny() {
                 },
             ],
         }],
+        execution: Default::default(),
     };
     let d = lint_configs(&[cfg], &LintOptions::default());
     assert_eq!(d.len(), 1);

@@ -51,6 +51,11 @@ pub struct Job {
     pub deadline: u64,
     /// Remaining unprocessed edges in the job's subtree (SJF key).
     pub remaining_work: u64,
+    /// Sticky-affinity key (e.g. a video id). Jobs sharing a key map onto
+    /// one stable preferred worker, so state that key's work warmed there
+    /// (a live decoder session) is reused instead of rebuilt after a
+    /// cold hand-off. `None` = any worker.
+    pub affinity: Option<u64>,
     /// The work itself.
     pub run: Box<dyn FnOnce() + Send>,
 }
@@ -61,6 +66,7 @@ impl std::fmt::Debug for Job {
             .field("kind", &self.kind)
             .field("deadline", &self.deadline)
             .field("remaining_work", &self.remaining_work)
+            .field("affinity", &self.affinity)
             .finish_non_exhaustive()
     }
 }
@@ -80,6 +86,12 @@ pub struct SchedConfig {
     /// materialization job. Only honoured under [`Policy::Priority`];
     /// the FIFO ablation deliberately has no reservation.
     pub reserved_demand_threads: usize,
+    /// Honour [`Job::affinity`] hints: a pinned pre-materialization job
+    /// is left for its preferred worker while that worker is free, and
+    /// only stolen once the preferred worker is busy with something
+    /// else. `false` reverts to pure work sharing (the ablation knob).
+    /// Only honoured under [`Policy::Priority`].
+    pub sticky_affinity: bool,
 }
 
 impl Default for SchedConfig {
@@ -89,6 +101,7 @@ impl Default for SchedConfig {
             memory_high_watermark: 0.8,
             policy: Policy::Priority,
             reserved_demand_threads: 1,
+            sticky_affinity: true,
         }
     }
 }
@@ -108,6 +121,11 @@ pub struct SchedStats {
     pub fifo_picks: u64,
     /// Cumulative worker busy time in nanoseconds (CPU work performed).
     pub busy_nanos: u64,
+    /// Pinned pre-materialization jobs served by their preferred worker.
+    pub affinity_hits: u64,
+    /// Pinned pre-materialization jobs stolen by another worker because
+    /// the preferred worker was backlogged.
+    pub affinity_steals: u64,
 }
 
 /// Queue entry with a stable submission sequence for FIFO.
@@ -125,6 +143,42 @@ struct Shared {
     stats: Mutex<SchedStats>,
     idle: Condvar,
     config: SchedConfig,
+    /// Per-worker "currently executing a job" flags, used by the sticky
+    /// affinity policy: a pinned job may only be stolen while its
+    /// preferred worker is busy (i.e. backlogged), otherwise it is left
+    /// for that worker to pick up on its next dequeue.
+    worker_busy: Vec<AtomicBool>,
+}
+
+/// Identity of the worker asking for work.
+#[derive(Clone, Copy)]
+struct WorkerCtx {
+    id: usize,
+    demand_only: bool,
+    /// Leading workers reserved for demand feeding; pinned
+    /// pre-materialization jobs map onto the remaining pool.
+    reserved: usize,
+    threads: usize,
+}
+
+impl WorkerCtx {
+    /// The stable worker a pinned job prefers. Reserved demand-only
+    /// workers are excluded from the pool: mapping a PreMaterialize job
+    /// onto one would strand it, since reserved workers never take
+    /// pre-materialization work.
+    fn preferred_worker(&self, affinity: u64) -> usize {
+        let pool = self.threads.saturating_sub(self.reserved).max(1);
+        self.reserved + (affinity as usize % pool)
+    }
+
+    /// Whether this worker is the preferred home for `e` (unpinned jobs
+    /// are at home anywhere).
+    fn prefers(&self, e: &Entry) -> bool {
+        match e.job.affinity {
+            Some(a) => self.preferred_worker(a) == self.id,
+            None => true,
+        }
+    }
 }
 
 /// The materialization scheduler: a worker pool with dynamic priorities.
@@ -141,6 +195,7 @@ impl Scheduler {
     /// Starts the worker pool.
     #[must_use]
     pub fn new(config: SchedConfig) -> Self {
+        let threads = config.threads.max(1);
         let shared = Arc::new(Shared {
             queue: Mutex::new(Vec::new()),
             available: Condvar::new(),
@@ -150,21 +205,27 @@ impl Scheduler {
             stats: Mutex::new(SchedStats::default()),
             idle: Condvar::new(),
             config,
+            worker_busy: (0..threads).map(|_| AtomicBool::new(false)).collect(),
         });
         let (done_tx, done_rx) = bounded(1024);
         let reserved = if config.policy == Policy::Priority {
             config
                 .reserved_demand_threads
-                .min(config.threads.max(1).saturating_sub(1))
+                .min(threads.saturating_sub(1))
         } else {
             0
         };
-        let workers = (0..config.threads.max(1))
+        let workers = (0..threads)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 let done = done_tx.clone();
-                let demand_only = i < reserved;
-                std::thread::spawn(move || worker_loop(&shared, &done, demand_only))
+                let ctx = WorkerCtx {
+                    id: i,
+                    demand_only: i < reserved,
+                    reserved,
+                    threads,
+                };
+                std::thread::spawn(move || worker_loop(&shared, &done, ctx))
             })
             .collect();
         Scheduler {
@@ -259,30 +320,33 @@ fn pick_index(
     entries: &[Entry],
     config: &SchedConfig,
     pressure_milli: u64,
-    demand_only: bool,
+    w: WorkerCtx,
+    worker_busy: &[AtomicBool],
 ) -> Option<(usize, &'static str)> {
     if entries.is_empty() {
         return None;
     }
-    if demand_only {
-        return entries
+    let sticky = config.sticky_affinity && config.policy == Policy::Priority;
+    // Demand selection stays earliest-deadline-first; an affinity match
+    // only breaks deadline ties, since a GPU-blocking read must never
+    // wait for a particular worker.
+    let pick_demand = |entries: &[Entry]| {
+        entries
             .iter()
             .enumerate()
             .filter(|(_, e)| e.job.kind == JobKind::Demand)
-            .min_by_key(|(_, e)| (e.job.deadline, e.seq))
-            .map(|(i, _)| (i, "demand"));
+            .min_by_key(|(_, e)| (e.job.deadline, u8::from(sticky && !w.prefers(e)), e.seq))
+            .map(|(i, _)| (i, "demand"))
+    };
+    if w.demand_only {
+        return pick_demand(entries);
     }
     // Under the priority policy, demand jobs always win (earliest
     // deadline first). The FIFO baseline deliberately lacks this
     // preemption too: that is the "without scheduling" ablation.
     if config.policy == Policy::Priority {
-        if let Some((idx, _)) = entries
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.job.kind == JobKind::Demand)
-            .min_by_key(|(_, e)| (e.job.deadline, e.seq))
-        {
-            return Some((idx, "demand"));
+        if let Some(pick) = pick_demand(entries) {
+            return Some(pick);
         }
     }
     match config.policy {
@@ -293,24 +357,37 @@ fn pick_index(
             .map(|(i, _)| (i, "fifo")),
         Policy::Priority => {
             let sjf = pressure_milli as f64 / 1000.0 > config.memory_high_watermark;
-            if sjf {
-                entries
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, e)| (e.job.remaining_work, e.seq))
-                    .map(|(i, _)| (i, "sjf"))
-            } else {
-                entries
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, e)| (e.job.deadline, e.seq))
-                    .map(|(i, _)| (i, "deadline"))
+            let pick_pre = |eligible: &dyn Fn(&Entry) -> bool| {
+                let iter = entries.iter().enumerate().filter(|(_, e)| eligible(e));
+                if sjf {
+                    iter.min_by_key(|(_, e)| (e.job.remaining_work, e.seq))
+                        .map(|(i, _)| (i, "sjf"))
+                } else {
+                    iter.min_by_key(|(_, e)| (e.job.deadline, e.seq))
+                        .map(|(i, _)| (i, "deadline"))
+                }
+            };
+            if !sticky {
+                return pick_pre(&|_| true);
             }
+            // Sticky pass 1: own pinned jobs and unpinned jobs.
+            if let Some(pick) = pick_pre(&|e| w.prefers(e)) {
+                return Some(pick);
+            }
+            // Sticky pass 2 (steal): a foreign pinned job, but only while
+            // its preferred worker is busy running something else — an
+            // idle preferred worker was notified on submit and will take
+            // its own job, so leaving it pinned costs nothing.
+            pick_pre(&|e| {
+                e.job
+                    .affinity
+                    .is_some_and(|a| worker_busy[w.preferred_worker(a)].load(Ordering::SeqCst))
+            })
         }
     }
 }
 
-fn worker_loop(shared: &Arc<Shared>, done: &Sender<()>, demand_only: bool) {
+fn worker_loop(shared: &Arc<Shared>, done: &Sender<()>, w: WorkerCtx) {
     loop {
         let entry = {
             let mut q = shared.queue.lock();
@@ -319,7 +396,9 @@ fn worker_loop(shared: &Arc<Shared>, done: &Sender<()>, demand_only: bool) {
                     return;
                 }
                 let pressure = shared.memory_pressure_milli.load(Ordering::Relaxed);
-                if let Some((idx, mode)) = pick_index(&q, &shared.config, pressure, demand_only) {
+                if let Some((idx, mode)) =
+                    pick_index(&q, &shared.config, pressure, w, &shared.worker_busy)
+                {
                     let entry = q.swap_remove(idx);
                     // Account the pick while still holding the lock.
                     let mut stats = shared.stats.lock();
@@ -333,8 +412,24 @@ fn worker_loop(shared: &Arc<Shared>, done: &Sender<()>, demand_only: bool) {
                         "fifo" => stats.fifo_picks += 1,
                         _ => {}
                     }
+                    if entry.job.kind == JobKind::PreMaterialize
+                        && shared.config.sticky_affinity
+                        && shared.config.policy == Policy::Priority
+                    {
+                        if let Some(a) = entry.job.affinity {
+                            if w.preferred_worker(a) == w.id {
+                                stats.affinity_hits += 1;
+                            } else {
+                                stats.affinity_steals += 1;
+                            }
+                        }
+                    }
                     drop(stats);
                     shared.running.fetch_add(1, Ordering::SeqCst);
+                    // Flip the busy flag inside the queue lock so stealers
+                    // never observe "idle" for a worker that has already
+                    // committed to a job.
+                    shared.worker_busy[w.id].store(true, Ordering::SeqCst);
                     break entry;
                 }
                 shared.available.wait(&mut q);
@@ -343,9 +438,13 @@ fn worker_loop(shared: &Arc<Shared>, done: &Sender<()>, demand_only: bool) {
         let started = std::time::Instant::now();
         (entry.job.run)();
         let busy = started.elapsed().as_nanos() as u64;
+        shared.worker_busy[w.id].store(false, Ordering::SeqCst);
         shared.stats.lock().busy_nanos += busy;
         shared.running.fetch_sub(1, Ordering::SeqCst);
         shared.idle.notify_all();
+        // Wake peers: finishing a job can unblock pinned work for this
+        // worker, and going idle changes what peers may steal.
+        shared.available.notify_all();
         let _ = done.try_send(());
     }
 }
@@ -361,6 +460,17 @@ mod tests {
             kind,
             deadline,
             remaining_work: work,
+            affinity: None,
+            run: Box::new(f),
+        }
+    }
+
+    fn pinned(affinity: u64, f: impl FnOnce() + Send + 'static) -> Job {
+        Job {
+            kind: JobKind::PreMaterialize,
+            deadline: 1,
+            remaining_work: 1,
+            affinity: Some(affinity),
             run: Box::new(f),
         }
     }
@@ -531,6 +641,120 @@ mod tests {
     fn wait_idle_on_empty_pool_returns() {
         let sched = Scheduler::new(SchedConfig::default());
         sched.wait_idle();
+        sched.shutdown();
+    }
+
+    /// With an idle pool, a pinned job always lands on its stable
+    /// preferred worker: submitting one at a time with the same affinity
+    /// key must execute every job on the same OS thread.
+    #[test]
+    fn pinned_jobs_stick_to_one_worker_when_idle() {
+        let sched = Scheduler::new(SchedConfig {
+            threads: 3,
+            reserved_demand_threads: 1,
+            ..Default::default()
+        });
+        let threads_seen = Arc::new(Mutex::new(Vec::new()));
+        for _ in 0..8 {
+            let t = Arc::clone(&threads_seen);
+            sched.submit(pinned(7, move || {
+                t.lock().push(std::thread::current().id());
+            }));
+            sched.wait_idle();
+        }
+        let seen = threads_seen.lock().clone();
+        assert_eq!(seen.len(), 8);
+        assert!(
+            seen.iter().all(|id| *id == seen[0]),
+            "pinned jobs hopped workers: {seen:?}"
+        );
+        let stats = sched.stats();
+        assert_eq!(stats.affinity_hits, 8);
+        assert_eq!(stats.affinity_steals, 0);
+        sched.shutdown();
+    }
+
+    /// When the preferred worker is stuck on a long job, peers must steal
+    /// its pinned backlog instead of letting it pile up.
+    #[test]
+    fn backlogged_pinned_jobs_are_stolen() {
+        let sched = Scheduler::new(SchedConfig {
+            threads: 3,
+            reserved_demand_threads: 1,
+            ..Default::default()
+        });
+        let gate = Arc::new(AtomicBool::new(false));
+        let g = Arc::clone(&gate);
+        // Occupy the preferred worker for affinity key 7.
+        sched.submit(pinned(7, move || {
+            while !g.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }));
+        std::thread::sleep(Duration::from_millis(20));
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..6 {
+            let c = Arc::clone(&count);
+            sched.submit(pinned(7, move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        // The stolen jobs finish while the gate job still holds the
+        // preferred worker.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while count.load(Ordering::SeqCst) < 6 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 6, "pinned backlog starved");
+        let stats = sched.stats();
+        assert!(stats.affinity_steals >= 6, "stats: {stats:?}");
+        gate.store(true, Ordering::SeqCst);
+        sched.wait_idle();
+        sched.shutdown();
+    }
+
+    /// The ablation knob: with sticky affinity off, no affinity counters
+    /// move and everything still completes.
+    #[test]
+    fn sticky_affinity_off_ignores_hints() {
+        let sched = Scheduler::new(SchedConfig {
+            threads: 3,
+            sticky_affinity: false,
+            ..Default::default()
+        });
+        let count = Arc::new(AtomicUsize::new(0));
+        for i in 0..16 {
+            let c = Arc::clone(&count);
+            sched.submit(pinned(i, move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        sched.wait_idle();
+        assert_eq!(count.load(Ordering::SeqCst), 16);
+        let stats = sched.stats();
+        assert_eq!(stats.affinity_hits + stats.affinity_steals, 0);
+        sched.shutdown();
+    }
+
+    /// Every pinned pre-materialization pick is accounted as either a
+    /// hit or a steal, never silently dropped from the counters.
+    #[test]
+    fn affinity_picks_are_fully_accounted() {
+        let sched = Scheduler::new(SchedConfig {
+            threads: 4,
+            ..Default::default()
+        });
+        let count = Arc::new(AtomicUsize::new(0));
+        for i in 0..40 {
+            let c = Arc::clone(&count);
+            sched.submit(pinned(i % 3, move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        sched.wait_idle();
+        assert_eq!(count.load(Ordering::SeqCst), 40);
+        let stats = sched.stats();
+        assert_eq!(stats.affinity_hits + stats.affinity_steals, 40);
         sched.shutdown();
     }
 }

@@ -13,15 +13,19 @@ struct JobSpecT {
     demand: bool,
     deadline: u64,
     work: u64,
+    affinity: Option<u64>,
 }
 
 fn arb_jobs() -> impl Strategy<Value = Vec<JobSpecT>> {
     prop::collection::vec(
-        (any::<bool>(), 0u64..100, 0u64..50).prop_map(|(demand, deadline, work)| JobSpecT {
-            demand,
-            deadline,
-            work,
-        }),
+        (any::<bool>(), 0u64..100, 0u64..50, any::<bool>(), 0u64..8).prop_map(
+            |(demand, deadline, work, pin, key)| JobSpecT {
+                demand,
+                deadline,
+                work,
+                affinity: pin.then_some(key),
+            },
+        ),
         1..64,
     )
 }
@@ -35,12 +39,14 @@ proptest! {
         threads in 1usize..6,
         reserved in 0usize..3,
         fifo in any::<bool>(),
+        sticky in any::<bool>(),
         pressure in 0.0f64..1.0,
     ) {
         let sched = Scheduler::new(SchedConfig {
             threads,
             policy: if fifo { Policy::Fifo } else { Policy::Priority },
             reserved_demand_threads: reserved,
+            sticky_affinity: sticky,
             ..Default::default()
         });
         sched.set_memory_pressure(pressure);
@@ -52,6 +58,7 @@ proptest! {
                 kind: if spec.demand { JobKind::Demand } else { JobKind::PreMaterialize },
                 deadline: spec.deadline,
                 remaining_work: spec.work,
+                affinity: spec.affinity,
                 run: Box::new(move || {
                     c.fetch_add(1, Ordering::SeqCst);
                 }),
@@ -78,6 +85,7 @@ proptest! {
                 kind: JobKind::PreMaterialize,
                 deadline: spec.deadline,
                 remaining_work: spec.work,
+                affinity: spec.affinity,
                 run: Box::new(move || {
                     d.fetch_add(1, Ordering::SeqCst);
                 }),

@@ -152,6 +152,7 @@ fn main() -> ExitCode {
         iterations_per_epoch,
         cache_budget: args.cache_budget,
         memory_budget: args.memory_budget,
+        ..Default::default()
     };
     let report = lint_all(&tasks, &abstract_graphs, concrete.as_ref(), &videos, &opts);
     if args.json {
