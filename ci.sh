@@ -26,4 +26,11 @@ echo "==> aug_parallel bench smoke (quick mode, writes BENCH_aug.json)"
 SAND_BENCH_QUICK=1 cargo bench -q -p sand-bench --bench aug_parallel
 test -f BENCH_aug.json || { echo "BENCH_aug.json missing"; exit 1; }
 
+echo "==> telemetry_overhead bench smoke (quick mode, writes BENCH_telemetry.json)"
+SAND_BENCH_QUICK=1 cargo bench -q -p sand-bench --bench telemetry_overhead
+test -f BENCH_telemetry.json || { echo "BENCH_telemetry.json missing"; exit 1; }
+
+echo "==> telemetry example smoke (quick workload, validates JSONL export)"
+cargo run -q --release --example telemetry -- --quick --json --check > /dev/null
+
 echo "CI green."

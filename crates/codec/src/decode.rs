@@ -49,6 +49,11 @@ pub struct DecodeStats {
     pub payload_bytes: u64,
     /// Raw pixel bytes produced (including discarded frames).
     pub pixel_bytes: u64,
+    /// [`WarmDecoder`] reads that resumed a live anchor chain (the
+    /// keyframe re-decode was skipped).
+    pub warm_hits: u64,
+    /// [`WarmDecoder`] reads that had to restart from a keyframe.
+    pub cold_starts: u64,
 }
 
 impl DecodeStats {
@@ -62,6 +67,8 @@ impl DecodeStats {
         self.frames_discarded += other.frames_discarded;
         self.payload_bytes += other.payload_bytes;
         self.pixel_bytes += other.pixel_bytes;
+        self.warm_hits += other.warm_hits;
+        self.cold_starts += other.cold_starts;
     }
 
     /// Ratio of decoded to requested frames (the waste factor).
@@ -312,6 +319,9 @@ pub struct Decoder<'a> {
     video: &'a EncodedVideo,
     stats: DecodeStats,
     threads: usize,
+    /// Optional telemetry: per-GOP-segment decode timing. `None` (the
+    /// default) takes no timestamps at all.
+    metrics: Option<sand_telemetry::CodecMetrics>,
 }
 
 impl<'a> Decoder<'a> {
@@ -330,7 +340,16 @@ impl<'a> Decoder<'a> {
             video,
             stats: DecodeStats::default(),
             threads: threads.max(1),
+            metrics: None,
         }
+    }
+
+    /// Attaches telemetry (builder-style): each decoded GOP segment is
+    /// timed into `decode.segment_us`.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Option<sand_telemetry::CodecMetrics>) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     /// Changes the segment-parallelism level for subsequent decodes.
@@ -405,7 +424,12 @@ impl<'a> Decoder<'a> {
         if self.threads <= 1 || segments.len() <= 1 {
             let mut walker = ChainWalker::new(self.video);
             for seg in &segments {
+                let t0 = self.metrics.as_ref().map(|_| std::time::Instant::now());
                 produced.extend(walker.decode_segment(seg, &sorted)?);
+                if let (Some(m), Some(t0)) = (&self.metrics, t0) {
+                    m.segment_us.observe_duration(t0.elapsed());
+                    m.segments.inc();
+                }
             }
             self.stats.merge(&walker.stats);
         } else {
@@ -413,14 +437,21 @@ impl<'a> Decoder<'a> {
             let video = self.video;
             let sorted_ref = &sorted;
             let segments_ref = &segments;
+            let metrics = self.metrics.clone();
             let results: Vec<Result<SegmentOutput>> = std::thread::scope(|s| {
                 let handles: Vec<_> = (0..workers)
                     .map(|w| {
+                        let metrics = metrics.clone();
                         s.spawn(move || {
                             let mut walker = ChainWalker::new(video);
                             let mut pairs = Vec::new();
                             for seg in segments_ref.iter().skip(w).step_by(workers) {
+                                let t0 = metrics.as_ref().map(|_| std::time::Instant::now());
                                 pairs.extend(walker.decode_segment(seg, sorted_ref)?);
+                                if let (Some(m), Some(t0)) = (&metrics, t0) {
+                                    m.segment_us.observe_duration(t0.elapsed());
+                                    m.segments.inc();
+                                }
                             }
                             Ok((pairs, walker.stats))
                         })
@@ -590,6 +621,11 @@ impl WarmDecoder {
             Some((t, _)) => *t <= resume_limit && video.keyframe_before(*t)? == kf,
             None => false,
         };
+        if warm {
+            self.stats.warm_hits += 1;
+        } else {
+            self.stats.cold_starts += 1;
+        }
         let mut walker = ChainWalker::new(&video);
         let mut tip = if warm {
             self.tip.take().ok_or(CodecError::Corrupt {
@@ -941,6 +977,39 @@ mod tests {
             assert_eq!(f.as_bytes(), all[i].as_bytes(), "frame {i}");
             assert_eq!(f.meta.index, i as u64);
         }
+    }
+
+    #[test]
+    fn warm_session_counts_hits_and_cold_starts() {
+        let src = gradient_video(40, 8, 8);
+        let v = Arc::new(encode(&src, 10, 2));
+        let mut warm = WarmDecoder::new(Arc::clone(&v));
+        warm.decode_frame(12).unwrap(); // first read: cold
+        warm.decode_frame(15).unwrap(); // forward same GOP: warm
+        warm.decode_frame(15).unwrap(); // tip itself: warm
+        warm.decode_frame(12).unwrap(); // behind the tip: cold
+        warm.decode_frame(25).unwrap(); // other GOP: cold
+        assert_eq!(warm.stats().warm_hits, 2);
+        assert_eq!(warm.stats().cold_starts, 3);
+    }
+
+    #[test]
+    fn segment_timing_counts_gop_segments() {
+        let telemetry = sand_telemetry::Telemetry::new(sand_telemetry::TelemetryConfig::default());
+        let metrics = sand_telemetry::CodecMetrics::register(&telemetry).unwrap();
+        let src = gradient_video(40, 8, 8);
+        let v = encode(&src, 10, 2);
+        for threads in [1usize, 3] {
+            // Targets span three distinct GOPs → three timed segments.
+            let mut dec = Decoder::with_threads(&v, threads).with_metrics(Some(metrics.clone()));
+            dec.decode_indices(&[3, 15, 27]).unwrap();
+        }
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.counter("decode.segments"), Some(6));
+        assert_eq!(
+            snap.histogram("decode.segment_us").map(|h| h.count),
+            Some(6)
+        );
     }
 
     #[test]

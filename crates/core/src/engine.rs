@@ -13,12 +13,17 @@ use sand_graph::{
 };
 use sand_lint::{lint_all, LintLevel, LintOptions};
 use sand_sched::{Job, JobKind, SchedConfig, Scheduler};
-use sand_storage::{ObjectMeta, ObjectStore, StoreConfig};
+use sand_storage::{ObjectMeta, ObjectStore, StoreConfig, Tier};
+use sand_telemetry::{
+    record_stage, BatchMeta, CodecMetrics, EngineMetrics, MaterializeMetrics, SchedMetrics,
+    Snapshot, Stage, StallReport, StoreMetrics, Telemetry, TelemetryConfig, VfsMetrics,
+};
 use sand_vfs::{SandVfs, VfsError, ViewPath, ViewProvider};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -68,6 +73,11 @@ pub struct EngineConfig {
     /// `Warn` reports findings to stderr, `Deny` additionally fails
     /// startup on any deny-severity finding.
     pub lint: LintLevel,
+    /// Observability: `Some` enables the telemetry subsystem (metric
+    /// registry, per-batch stall attribution, JSONL export); `None`
+    /// (default) disables it entirely — instrumented paths never read
+    /// the clock, pinned by `benches/telemetry_overhead.rs`.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for EngineConfig {
@@ -90,6 +100,7 @@ impl Default for EngineConfig {
             aug_threads: 1,
             warm_session_cap: WARM_SESSION_CAP,
             lint: LintLevel::default(),
+            telemetry: None,
         }
     }
 }
@@ -165,6 +176,10 @@ struct Inner {
     warm_decoders: Mutex<WarmPool>,
     aug_ops_applied: AtomicU64,
     batches_served: AtomicU64,
+    telemetry: Telemetry,
+    engine_metrics: Option<EngineMetrics>,
+    mat_metrics: Option<MaterializeMetrics>,
+    codec_metrics: Option<CodecMetrics>,
 }
 
 /// Default bound on live warm decode sessions; each holds at most one
@@ -200,6 +215,7 @@ struct WarmSlot {
 struct Scratch {
     slots: Mutex<HashMap<NodeId, Slot>>,
     ready: Condvar,
+    metrics: Option<MaterializeMetrics>,
 }
 
 enum Slot {
@@ -210,10 +226,11 @@ enum Slot {
 }
 
 impl Scratch {
-    fn new() -> Self {
+    fn new(metrics: Option<MaterializeMetrics>) -> Self {
         Scratch {
             slots: Mutex::new(HashMap::new()),
             ready: Condvar::new(),
+            metrics,
         }
     }
 
@@ -223,15 +240,36 @@ impl Scratch {
     /// the claim.
     fn get_or_claim(&self, id: NodeId) -> Option<Arc<Frame>> {
         let mut slots = self.slots.lock();
+        let mut wait_t0: Option<Instant> = None;
         loop {
             match slots.get(&id) {
-                Some(Slot::Ready(f)) => return Some(Arc::clone(f)),
-                Some(Slot::InFlight) => self.ready.wait(&mut slots),
+                Some(Slot::Ready(f)) => {
+                    let f = Arc::clone(f);
+                    drop(slots);
+                    self.record_wait(wait_t0);
+                    return Some(f);
+                }
+                Some(Slot::InFlight) => {
+                    if wait_t0.is_none() {
+                        wait_t0 = self.metrics.as_ref().map(|_| Instant::now());
+                    }
+                    self.ready.wait(&mut slots);
+                }
                 None => {
                     slots.insert(id, Slot::InFlight);
+                    drop(slots);
+                    self.record_wait(wait_t0);
                     return None;
                 }
             }
+        }
+    }
+
+    /// Accounts one blocked once-claim wait, if a wait actually happened.
+    fn record_wait(&self, wait_t0: Option<Instant>) {
+        if let (Some(m), Some(t0)) = (self.metrics.as_ref(), wait_t0) {
+            m.scratch_wait_us.observe_duration(t0.elapsed());
+            m.scratch_waits.inc();
         }
     }
 
@@ -321,14 +359,24 @@ impl SandEngine {
                 });
             }
         }
+        let telemetry = config
+            .telemetry
+            .clone()
+            .map_or_else(Telemetry::disabled, Telemetry::new);
         let store = Arc::new(ObjectStore::open(config.store, config.store_dir.clone())?);
+        if let Some(m) = StoreMetrics::register(&telemetry) {
+            store.set_metrics(m);
+        }
         // Any task opting out of sticky affinity disables it globally:
         // tasks share the worker pool, so per-task stickiness is
         // meaningless.
         let mut sched_config = config.sched;
         sched_config.sticky_affinity = sched_config.sticky_affinity
             && config.tasks.iter().all(|t| t.execution.sticky_affinity);
-        let sched = Scheduler::new(sched_config);
+        let sched = Scheduler::with_metrics(sched_config, SchedMetrics::register(&telemetry));
+        let engine_metrics = EngineMetrics::register(&telemetry);
+        let mat_metrics = MaterializeMetrics::register(&telemetry);
+        let codec_metrics = CodecMetrics::register(&telemetry);
         Ok(SandEngine {
             inner: Arc::new(Inner {
                 config,
@@ -341,6 +389,10 @@ impl SandEngine {
                 warm_decoders: Mutex::new(WarmPool::default()),
                 aug_ops_applied: AtomicU64::new(0),
                 batches_served: AtomicU64::new(0),
+                telemetry,
+                engine_metrics,
+                mat_metrics,
+                codec_metrics,
             }),
         })
     }
@@ -410,6 +462,7 @@ impl SandEngine {
             memory_budget: config.store.memory_budget,
             aug_threads: config.aug_threads.max(1),
             pre_workers: threads - reserved,
+            telemetry: config.telemetry.clone(),
         };
         let report = lint_all(
             &config.tasks,
@@ -434,7 +487,10 @@ impl SandEngine {
     /// Mounts a VFS over this engine.
     #[must_use]
     pub fn mount(&self) -> SandVfs {
-        SandVfs::new(Arc::new(self.clone()))
+        SandVfs::with_metrics(
+            Arc::new(self.clone()),
+            VfsMetrics::register(&self.inner.telemetry),
+        )
     }
 
     /// Serves a batch directly (the VFS route calls this too); returns
@@ -487,6 +543,27 @@ impl SandEngine {
     #[must_use]
     pub fn store(&self) -> &Arc<ObjectStore> {
         &self.inner.store
+    }
+
+    /// The engine's telemetry handle (disabled unless
+    /// `EngineConfig::telemetry` was set).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.telemetry
+    }
+
+    /// Point-in-time copy of every registered metric; `None` when
+    /// telemetry is disabled.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> Option<Snapshot> {
+        self.inner.telemetry.snapshot()
+    }
+
+    /// Stall-attribution report over every retained batch trace; `None`
+    /// when telemetry is disabled.
+    #[must_use]
+    pub fn stall_report(&self) -> Option<StallReport> {
+        self.inner.telemetry.stall_report()
     }
 }
 
@@ -688,7 +765,7 @@ impl Inner {
                 };
                 buckets[bucket].push(id);
             }
-            let scratch = Arc::new(Scratch::new());
+            let scratch = Arc::new(Scratch::new(inner.mat_metrics.clone()));
             let mut first_subjob = true;
             for bucket_nodes in buckets {
                 if bucket_nodes.is_empty() {
@@ -790,9 +867,19 @@ impl Inner {
                 s
             }
         };
+        let t0 = inner.engine_metrics.as_ref().map(|_| Instant::now());
         let mut dec = session.lock();
         let f = dec.decode_frame(frame)?;
-        inner.decode_stats.lock().merge(&dec.take_stats());
+        let stats = dec.take_stats();
+        drop(dec);
+        if let (Some(m), Some(t0)) = (inner.engine_metrics.as_ref(), t0) {
+            let spent = t0.elapsed();
+            m.demand_decode_us.observe_duration(spent);
+            m.warm_hits.add(stats.warm_hits);
+            m.cold_starts.add(stats.cold_starts);
+            record_stage(Stage::Decode, spent);
+        }
+        inner.decode_stats.lock().merge(&stats);
         Ok(f)
     }
 
@@ -848,44 +935,51 @@ impl Inner {
                 }
             }
         }
-        let frame = match &node.key {
-            ObjectKey::Video { .. } => {
-                return Err(CoreError::UnknownView {
-                    what: "video roots are not frame objects".into(),
-                })
-            }
-            ObjectKey::Frame { video_id, frame } => Self::decode_one(inner, *video_id, *frame)?,
-            ObjectKey::Aug { .. } => {
-                let parent = node.parent.ok_or_else(|| CoreError::State {
-                    what: "aug node without parent".into(),
-                })?;
-                let src = Self::materialize_rec(inner, chunk, parent, scratch)?;
-                let op = node.op.as_ref().ok_or_else(|| CoreError::State {
-                    what: "aug node without op".into(),
-                })?;
-                inner.aug_ops_applied.fetch_add(1, Ordering::Relaxed);
-                if let sand_graph::ResolvedOp::Custom { name } = op {
-                    // Custom ops execute through the RPC-style service.
-                    let client =
-                        inner
-                            .config
-                            .aug_service
-                            .as_ref()
-                            .ok_or_else(|| CoreError::State {
-                                what: format!(
-                                    "pipeline uses custom op `{name}` but no augmentation \
-                                 service is configured"
-                                ),
-                            })?;
-                    client.apply(name, &src)?
-                } else {
-                    let frame_op = op.to_frame_op()?.ok_or_else(|| CoreError::State {
-                        what: "normalize is not a frame op".into(),
-                    })?;
-                    frame_op.apply(&src)?
+        let frame =
+            match &node.key {
+                ObjectKey::Video { .. } => {
+                    return Err(CoreError::UnknownView {
+                        what: "video roots are not frame objects".into(),
+                    })
                 }
-            }
-        };
+                ObjectKey::Frame { video_id, frame } => Self::decode_one(inner, *video_id, *frame)?,
+                ObjectKey::Aug { .. } => {
+                    let parent = node.parent.ok_or_else(|| CoreError::State {
+                        what: "aug node without parent".into(),
+                    })?;
+                    let src = Self::materialize_rec(inner, chunk, parent, scratch)?;
+                    let op = node.op.as_ref().ok_or_else(|| CoreError::State {
+                        what: "aug node without op".into(),
+                    })?;
+                    inner.aug_ops_applied.fetch_add(1, Ordering::Relaxed);
+                    let t0 = inner.mat_metrics.as_ref().map(|_| Instant::now());
+                    let applied =
+                        if let sand_graph::ResolvedOp::Custom { name } = op {
+                            // Custom ops execute through the RPC-style service.
+                            let client = inner.config.aug_service.as_ref().ok_or_else(|| {
+                                CoreError::State {
+                                    what: format!(
+                                        "pipeline uses custom op `{name}` but no augmentation \
+                                 service is configured"
+                                    ),
+                                }
+                            })?;
+                            client.apply(name, &src)?
+                        } else {
+                            let frame_op = op.to_frame_op()?.ok_or_else(|| CoreError::State {
+                                what: "normalize is not a frame op".into(),
+                            })?;
+                            frame_op.apply(&src)?
+                        };
+                    if let (Some(m), Some(t0)) = (inner.mat_metrics.as_ref(), t0) {
+                        let spent = t0.elapsed();
+                        m.op_us.observe_duration(spent);
+                        m.ops.inc();
+                        record_stage(Stage::Aug, spent);
+                    }
+                    applied
+                }
+            };
         if node.cached {
             let meta = ObjectMeta {
                 deadline: chunk.deadlines[id],
@@ -978,8 +1072,15 @@ impl Inner {
                     what: format!("video {video_id} not in dataset"),
                 })?;
             let indices: Vec<usize> = group.iter().map(|&(_, f)| f).collect();
-            let mut dec = Decoder::with_threads(&entry.encoded, inner.config.decode_threads);
+            let mut dec = Decoder::with_threads(&entry.encoded, inner.config.decode_threads)
+                .with_metrics(inner.codec_metrics.clone());
+            let t0 = inner.engine_metrics.as_ref().map(|_| Instant::now());
             let frames = dec.decode_indices(&indices)?;
+            if let (Some(m), Some(t0)) = (inner.engine_metrics.as_ref(), t0) {
+                let spent = t0.elapsed();
+                m.predecode_us.observe_duration(spent);
+                record_stage(Stage::Decode, spent);
+            }
             inner.decode_stats.lock().merge(dec.stats());
             for ((nid, _), frame) in group.into_iter().zip(frames) {
                 // Persist the decoded frame: whether or not the pruning
@@ -1009,7 +1110,7 @@ impl Inner {
         chunk: &Arc<Chunk>,
         plan: &sand_graph::SamplePlan,
     ) -> Result<Vec<Arc<Frame>>> {
-        let scratch = Scratch::new();
+        let scratch = Scratch::new(inner.mat_metrics.clone());
         Self::predecode_nodes(inner, chunk, &plan.frame_nodes, &scratch)?;
         plan.frame_nodes
             .iter()
@@ -1044,6 +1145,10 @@ impl Inner {
     fn serve_batch(inner: &Arc<Inner>, task: &str, epoch: u64, iteration: u64) -> Result<Vec<u8>> {
         let chunk = Self::ensure_chunk(inner, epoch)?;
         let batch = Self::find_batch(inner, &chunk, task, epoch, iteration)?.clone();
+        // The probe's creation instant is the batch's t0: everything
+        // between here and each job's submission is the `plan` segment
+        // of the batch's trace.
+        let probe = inner.telemetry.batch_probe(batch.samples.len());
         inner.store.set_clock(batch.clock);
         Self::report_pressure(inner);
         // Fan the samples out as demand jobs so feeding parallelizes and
@@ -1057,13 +1162,17 @@ impl Inner {
             let chunk2 = Arc::clone(&chunk);
             let plan2 = plan.clone();
             let tx2 = tx.clone();
+            let probe2 = probe.clone();
+            if let Some(p) = &probe {
+                p.mark_submitted(i);
+            }
             inner.sched.submit(Job {
                 kind: JobKind::Demand,
                 deadline: batch.clock,
                 remaining_work: plan.frame_nodes.len() as u64,
                 affinity: Some(plan.video_id),
                 run: Box::new(move || {
-                    let result =
+                    let work = || {
                         Self::materialize_sample(&inner2, &chunk2, &plan2).and_then(|clip| {
                             let channels = clip.first().map_or(3, |f| f.channels());
                             let (mean, std) = match &plan2.normalize {
@@ -1072,7 +1181,12 @@ impl Inner {
                             };
                             let refs: Vec<&Frame> = clip.iter().map(Arc::as_ref).collect();
                             Ok(clip_refs_to_tensor(&refs, &mean, &std)?)
-                        });
+                        })
+                    };
+                    let result = match &probe2 {
+                        Some(p) => p.run_sample(i, work),
+                        None => work(),
+                    };
                     let _ = tx2.send((i, result));
                 }),
             });
@@ -1109,7 +1223,28 @@ impl Inner {
         inner.store.enforce_budgets()?;
         Self::report_pressure(inner);
         inner.batches_served.fetch_add(1, Ordering::Relaxed);
-        Ok(batch_tensor.to_bytes())
+        let bytes = batch_tensor.to_bytes();
+        if let Some(p) = &probe {
+            let budget_us = inner.telemetry.config().map_or(0, |c| c.stall_budget_us);
+            let trace = p.finish(
+                BatchMeta {
+                    task: task.to_string(),
+                    epoch,
+                    iteration,
+                    clock: batch.clock,
+                },
+                budget_us,
+            );
+            if let Some(m) = inner.engine_metrics.as_ref() {
+                m.serve_us.observe(trace.serve_ns / 1_000);
+                m.batches_served.inc();
+                if trace.stalled {
+                    m.batches_stalled.inc();
+                }
+            }
+            inner.telemetry.push_trace(trace);
+        }
+        Ok(bytes)
     }
 
     /// Class labels of a batch, in sample order.
@@ -1134,6 +1269,20 @@ impl Inner {
                     })
             })
             .collect()
+    }
+}
+
+impl SandEngine {
+    /// Accounts one `fetch` served straight from the compressed cache,
+    /// split by the tier the object lived in *before* the read (reads
+    /// may promote disk objects back to memory).
+    fn count_compressed_hit(&self, tier: Option<Tier>) {
+        if let Some(m) = self.inner.engine_metrics.as_ref() {
+            match tier {
+                Some(Tier::Disk) => m.compressed_hits_disk.inc(),
+                _ => m.compressed_hits_mem.inc(),
+            }
+        }
     }
 }
 
@@ -1175,8 +1324,10 @@ impl ViewProvider for SandEngine {
                     video_id: entry.video_id,
                     frame: *index as usize,
                 });
+                let tier = self.inner.store.tier_of(&key);
                 if let Ok(bytes) = self.inner.store.get(&key) {
                     if decompress_frame(&bytes).is_ok() {
+                        self.count_compressed_hit(tier);
                         return Ok(bytes);
                     }
                     let _ = self.inner.store.remove(&key);
@@ -1232,7 +1383,20 @@ impl ViewProvider for SandEngine {
                     })?;
                 let node_id = node.id;
                 let node_key = store_key(&node.key);
-                let scratch = Scratch::new();
+                // Compressed-cache read path: a previously materialized
+                // object — memory-resident or spilled to disk — is served
+                // as its stored compressed bytes, with no decoder or
+                // augmentation work at all.
+                let tier = self.inner.store.tier_of(&node_key);
+                if let Ok(bytes) = self.inner.store.get(&node_key) {
+                    if decompress_frame(&bytes).is_ok() {
+                        self.count_compressed_hit(tier);
+                        return Ok(bytes);
+                    }
+                    // Corrupt cached object: drop and recompute below.
+                    let _ = self.inner.store.remove(&node_key);
+                }
+                let scratch = Scratch::new(self.inner.mat_metrics.clone());
                 let f =
                     Inner::materialize_rec(&self.inner, &chunk, node_id, &scratch).map_err(io)?;
                 // Materialization caches planned objects; serve the stored
@@ -1951,6 +2115,137 @@ dataset:
                  was fully served"
             );
         }
+    }
+
+    #[test]
+    fn disabled_telemetry_invisible_and_bit_identical() {
+        let serve_all = |telemetry: Option<TelemetryConfig>| {
+            let config = EngineConfig {
+                tasks: vec![parse_task_config(TASK).unwrap()],
+                prematerialize: false,
+                total_epochs: 2,
+                epochs_per_chunk: 2,
+                telemetry,
+                ..Default::default()
+            };
+            let e = SandEngine::new(config, dataset()).unwrap();
+            e.start().unwrap();
+            let mut out = Vec::new();
+            for epoch in 0..2 {
+                for it in 0..2 {
+                    out.push(e.serve_batch("train", epoch, it).unwrap());
+                }
+            }
+            (e, out)
+        };
+        let (off, off_bytes) = serve_all(None);
+        assert!(!off.telemetry().is_enabled());
+        assert!(off.metrics_snapshot().is_none());
+        assert!(off.stall_report().is_none());
+        let (on, on_bytes) = serve_all(Some(TelemetryConfig::default()));
+        assert_eq!(off_bytes, on_bytes, "telemetry changed served bytes");
+        let snap = on.metrics_snapshot().expect("telemetry enabled");
+        assert_eq!(snap.counter("engine.batches_served"), Some(4));
+        assert_eq!(snap.histogram("engine.serve_us").map(|h| h.count), Some(4));
+    }
+
+    #[test]
+    fn stall_report_breakdown_sums_to_serve_latency() {
+        let config = EngineConfig {
+            tasks: vec![parse_task_config(TASK).unwrap()],
+            prematerialize: true,
+            total_epochs: 2,
+            epochs_per_chunk: 2,
+            // Default stall budget is 0: every batch is traced as stalled,
+            // which is exactly what this invariant check wants.
+            telemetry: Some(TelemetryConfig::default()),
+            ..Default::default()
+        };
+        let e = SandEngine::new(config, dataset()).unwrap();
+        e.start().unwrap();
+        e.wait_idle();
+        for epoch in 0..2 {
+            for it in 0..2 {
+                e.serve_batch("train", epoch, it).unwrap();
+            }
+        }
+        let report = e.stall_report().expect("telemetry enabled");
+        assert_eq!(report.traces.len(), 4);
+        assert_eq!(report.stalled().len(), 4);
+        for t in &report.traces {
+            assert_eq!(
+                t.breakdown_sum_ns(),
+                t.serve_ns,
+                "stage breakdown of {} does not reassemble its serve latency",
+                t.batch_id()
+            );
+            assert_eq!(t.samples, 2);
+        }
+        // The scheduler accounted every demand job under metrics.
+        let snap = e.metrics_snapshot().expect("telemetry enabled");
+        assert_eq!(
+            snap.histogram("sched.demand_wait_us").map(|h| h.count),
+            Some(8),
+            "4 batches x 2 samples pass through the demand queue"
+        );
+    }
+
+    #[test]
+    fn compressed_cache_serves_spilled_frames_without_decode() {
+        let dir = std::env::temp_dir().join(format!("sand_spill_fetch_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = EngineConfig {
+            tasks: vec![parse_task_config(TASK).unwrap()],
+            prematerialize: true,
+            total_epochs: 2,
+            epochs_per_chunk: 2,
+            store_dir: Some(dir.clone()),
+            store: StoreConfig {
+                // Small memory + horizon 0 pushes everything to disk.
+                memory_budget: 4 << 20,
+                disk_budget: 512 << 20,
+                evict_watermark: 0.75,
+                memory_horizon: 0,
+            },
+            telemetry: Some(TelemetryConfig::default()),
+            ..Default::default()
+        };
+        let e = SandEngine::new(config, dataset()).unwrap();
+        e.start().unwrap();
+        e.wait_idle();
+        // Pick a persisted source-frame object (key shape `vNNNN/fNNNNN`)
+        // living on the disk tier. Horizon 0 pushes frames to disk, but
+        // ones whose deadline equals the current clock keep a memory
+        // copy, so filter by tier rather than assuming.
+        let key = e
+            .store()
+            .keys()
+            .into_iter()
+            .find(|k| {
+                k.contains("/f") && !k.contains("/a") && e.store().tier_of(k) == Some(Tier::Disk)
+            })
+            .expect("pre-materialization spilled no frame objects to disk");
+        let video: u64 = key[1..5].parse().unwrap();
+        let frame: usize = key[7..12].parse().unwrap();
+        // Fetching the frame view must be served from the compressed
+        // cache: zero new decoder work, one disk hit counted.
+        let vfs = e.mount();
+        let decoded_before = e.stats().decode.frames_decoded;
+        let fd = vfs
+            .open(&format!("/train/video{video:04}/frame{frame}"))
+            .unwrap();
+        let bytes = vfs.read_to_end(fd).unwrap();
+        vfs.close(fd).unwrap();
+        assert!(decompress_frame(&bytes).is_ok());
+        assert_eq!(
+            e.stats().decode.frames_decoded,
+            decoded_before,
+            "spilled frame went back through the decoder"
+        );
+        let snap = e.metrics_snapshot().expect("telemetry enabled");
+        assert_eq!(snap.counter("engine.compressed_hits_disk"), Some(1));
+        assert_eq!(snap.counter("vfs.fetches"), Some(1));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

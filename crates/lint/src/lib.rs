@@ -12,7 +12,7 @@
 //! |---|---|---|
 //! | config semantics | `SL001`–`SL006` | unreachable arms, dead streams, bad probabilities |
 //! | graph invariants | `SL010`–`SL014` | edge legality, acyclicity, dangling references |
-//! | resource feasibility | `SL020`–`SL022` | budget lower bounds, decode amplification |
+//! | resource feasibility | `SL020`–`SL024` | budget lower bounds, decode amplification, telemetry buckets |
 //! | sharing | `SL030`–`SL031` | near-miss cross-task merge opportunities |
 //!
 //! Diagnostics render rustc-style for humans ([`LintReport::render_human`])
@@ -153,6 +153,9 @@ pub struct LintOptions {
     /// Scheduler workers available for pre-materialization (total threads
     /// minus reserved demand-feeding threads).
     pub pre_workers: usize,
+    /// Telemetry configuration when the engine enables observability
+    /// (`None` = telemetry off, its lints are skipped).
+    pub telemetry: Option<sand_telemetry::TelemetryConfig>,
 }
 
 impl Default for LintOptions {
@@ -164,6 +167,7 @@ impl Default for LintOptions {
             memory_budget: 64 << 20,
             aug_threads: 1,
             pre_workers: 3,
+            telemetry: None,
         }
     }
 }

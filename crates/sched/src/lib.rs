@@ -20,9 +20,11 @@
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
+use sand_telemetry::SchedMetrics;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Work category.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +94,14 @@ pub struct SchedConfig {
     /// else. `false` reverts to pure work sharing (the ablation knob).
     /// Only honoured under [`Policy::Priority`].
     pub sticky_affinity: bool,
+    /// Bounded deadline slack for demand picks: a worker may prefer a
+    /// pinned demand job whose deadline is within `demand_slack` clock
+    /// ticks of the most urgent queued demand deadline, trading strict
+    /// EDF order for warm decoder-session reuse. `0` (the default)
+    /// keeps pure earliest-deadline-first with affinity as a tie-break
+    /// only. Only honoured under [`Policy::Priority`] with
+    /// [`SchedConfig::sticky_affinity`] enabled.
+    pub demand_slack: u64,
 }
 
 impl Default for SchedConfig {
@@ -102,6 +112,7 @@ impl Default for SchedConfig {
             policy: Policy::Priority,
             reserved_demand_threads: 1,
             sticky_affinity: true,
+            demand_slack: 0,
         }
     }
 }
@@ -132,6 +143,9 @@ pub struct SchedStats {
 struct Entry {
     seq: u64,
     job: Job,
+    /// Submission timestamp, taken only when telemetry is attached (the
+    /// disabled path must not read the clock).
+    submitted: Option<Instant>,
 }
 
 struct Shared {
@@ -148,6 +162,9 @@ struct Shared {
     /// preferred worker is busy (i.e. backlogged), otherwise it is left
     /// for that worker to pick up on its next dequeue.
     worker_busy: Vec<AtomicBool>,
+    /// Telemetry handles: queue depth, per-kind queue wait, deadline
+    /// slack at pick time, and demand affinity hit/miss counters.
+    metrics: Option<SchedMetrics>,
 }
 
 /// Identity of the worker asking for work.
@@ -195,6 +212,13 @@ impl Scheduler {
     /// Starts the worker pool.
     #[must_use]
     pub fn new(config: SchedConfig) -> Self {
+        Self::with_metrics(config, None)
+    }
+
+    /// Starts the worker pool with telemetry attached. `None` is the
+    /// zero-overhead path used by [`Scheduler::new`].
+    #[must_use]
+    pub fn with_metrics(config: SchedConfig, metrics: Option<SchedMetrics>) -> Self {
         let threads = config.threads.max(1);
         let shared = Arc::new(Shared {
             queue: Mutex::new(Vec::new()),
@@ -206,6 +230,7 @@ impl Scheduler {
             idle: Condvar::new(),
             config,
             worker_busy: (0..threads).map(|_| AtomicBool::new(false)).collect(),
+            metrics,
         });
         let (done_tx, done_rx) = bounded(1024);
         let reserved = if config.policy == Policy::Priority {
@@ -240,9 +265,17 @@ impl Scheduler {
     /// Submits a job.
     pub fn submit(&self, job: Job) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let submitted = self.shared.metrics.as_ref().map(|m| {
+            m.queue_depth.add(1);
+            Instant::now()
+        });
         {
             let mut q = self.shared.queue.lock();
-            q.push(Entry { seq, job });
+            q.push(Entry {
+                seq,
+                job,
+                submitted,
+            });
         }
         // notify_all, not notify_one: a single wakeup can land on a
         // reserved demand-only worker that cannot take a PreMaterialize
@@ -327,15 +360,34 @@ fn pick_index(
         return None;
     }
     let sticky = config.sticky_affinity && config.policy == Policy::Priority;
-    // Demand selection stays earliest-deadline-first; an affinity match
-    // only breaks deadline ties, since a GPU-blocking read must never
-    // wait for a particular worker.
+    // Demand selection is earliest-deadline-first with a bounded slack
+    // window: a job at home on this worker may be preferred while its
+    // deadline sits within `demand_slack` clock ticks of the most
+    // urgent queued demand deadline. With the default slack of 0 the
+    // window is exactly the EDF tie group, so an affinity match only
+    // breaks deadline ties — a GPU-blocking read never waits for a
+    // particular worker beyond the configured bound.
+    let slack = config.demand_slack;
     let pick_demand = |entries: &[Entry]| {
+        let urgent = entries
+            .iter()
+            .filter(|e| e.job.kind == JobKind::Demand)
+            .map(|e| e.job.deadline)
+            .min()?;
         entries
             .iter()
             .enumerate()
             .filter(|(_, e)| e.job.kind == JobKind::Demand)
-            .min_by_key(|(_, e)| (e.job.deadline, u8::from(sticky && !w.prefers(e)), e.seq))
+            .min_by_key(|(_, e)| {
+                let at_home_in_window =
+                    sticky && e.job.deadline <= urgent.saturating_add(slack) && w.prefers(e);
+                (
+                    u8::from(!at_home_in_window),
+                    e.job.deadline,
+                    u8::from(sticky && !w.prefers(e)),
+                    e.seq,
+                )
+            })
             .map(|(i, _)| (i, "demand"))
     };
     if w.demand_only {
@@ -399,6 +451,35 @@ fn worker_loop(shared: &Arc<Shared>, done: &Sender<()>, w: WorkerCtx) {
                 if let Some((idx, mode)) =
                     pick_index(&q, &shared.config, pressure, w, &shared.worker_busy)
                 {
+                    if let Some(m) = &shared.metrics {
+                        let picked = &q[idx];
+                        // Slack of this pick relative to the most urgent
+                        // queued deadline of the same kind (0 = strict
+                        // EDF; >0 = the affinity window took precedence).
+                        let urgent = q
+                            .iter()
+                            .filter(|e| e.job.kind == picked.job.kind)
+                            .map(|e| e.job.deadline)
+                            .min()
+                            .unwrap_or(picked.job.deadline);
+                        m.deadline_slack
+                            .observe(picked.job.deadline.saturating_sub(urgent));
+                        if let Some(t) = picked.submitted {
+                            let wait = t.elapsed();
+                            match picked.job.kind {
+                                JobKind::Demand => m.demand_wait_us.observe_duration(wait),
+                                JobKind::PreMaterialize => m.pre_wait_us.observe_duration(wait),
+                            }
+                        }
+                        m.queue_depth.sub(1);
+                        if picked.job.kind == JobKind::Demand && picked.job.affinity.is_some() {
+                            if w.prefers(picked) {
+                                m.demand_affinity_hits.inc();
+                            } else {
+                                m.demand_affinity_misses.inc();
+                            }
+                        }
+                    }
                     let entry = q.swap_remove(idx);
                     // Account the pick while still holding the lock.
                     let mut stats = shared.stats.lock();
@@ -419,8 +500,14 @@ fn worker_loop(shared: &Arc<Shared>, done: &Sender<()>, w: WorkerCtx) {
                         if let Some(a) = entry.job.affinity {
                             if w.preferred_worker(a) == w.id {
                                 stats.affinity_hits += 1;
+                                if let Some(m) = &shared.metrics {
+                                    m.affinity_hits.inc();
+                                }
                             } else {
                                 stats.affinity_steals += 1;
+                                if let Some(m) = &shared.metrics {
+                                    m.affinity_steals.inc();
+                                }
                             }
                         }
                     }
@@ -734,6 +821,88 @@ mod tests {
         let stats = sched.stats();
         assert_eq!(stats.affinity_hits + stats.affinity_steals, 0);
         sched.shutdown();
+    }
+
+    /// The bounded deadline-slack window, exercised directly against
+    /// `pick_index`: worker 2 prefers affinity key 1 (threads=4,
+    /// reserved=1 → preferred worker = 1 + key % 3).
+    #[test]
+    fn demand_slack_window_prefers_pinned_jobs() {
+        let w = WorkerCtx {
+            id: 2,
+            demand_only: false,
+            reserved: 1,
+            threads: 4,
+        };
+        let busy: Vec<AtomicBool> = (0..4).map(|_| AtomicBool::new(false)).collect();
+        let entries = |deadlines: [(u64, u64); 2]| -> Vec<Entry> {
+            deadlines
+                .iter()
+                .enumerate()
+                .map(|(i, &(deadline, affinity))| Entry {
+                    seq: i as u64,
+                    job: Job {
+                        kind: JobKind::Demand,
+                        deadline,
+                        remaining_work: 1,
+                        affinity: Some(affinity),
+                        run: Box::new(|| {}),
+                    },
+                    submitted: None,
+                })
+                .collect()
+        };
+        let pick = |slack: u64, q: &[Entry]| {
+            let config = SchedConfig {
+                demand_slack: slack,
+                ..Default::default()
+            };
+            pick_index(q, &config, 0, w, &busy).map(|(i, _)| i)
+        };
+        // Key 0 → worker 1 (foreign), key 1 → worker 2 (at home).
+        let q = entries([(5, 0), (6, 1)]);
+        assert_eq!(pick(0, &q), Some(0), "slack 0 is strict EDF");
+        assert_eq!(pick(1, &q), Some(1), "within +1 clock, stay home");
+        let q = entries([(5, 0), (7, 1)]);
+        assert_eq!(pick(1, &q), Some(0), "outside the window, EDF wins");
+        // Equal deadlines: affinity already breaks the tie at slack 0.
+        let q = entries([(5, 0), (5, 1)]);
+        assert_eq!(pick(0, &q), Some(1));
+    }
+
+    /// Telemetry wiring: queue depth returns to zero, every pick lands
+    /// in a wait histogram, and the slack histogram sees every pick.
+    #[test]
+    fn metrics_account_queue_depth_and_waits() {
+        let telemetry = sand_telemetry::Telemetry::new(sand_telemetry::TelemetryConfig::default());
+        let metrics = sand_telemetry::SchedMetrics::register(&telemetry).unwrap();
+        let sched = Scheduler::with_metrics(
+            SchedConfig {
+                threads: 2,
+                ..Default::default()
+            },
+            Some(metrics),
+        );
+        for i in 0..10 {
+            sched.submit(job(JobKind::Demand, i, 1, || {}));
+            sched.submit(job(JobKind::PreMaterialize, i, 1, || {}));
+        }
+        sched.wait_idle();
+        sched.shutdown();
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.gauge("sched.queue_depth"), Some(0));
+        assert_eq!(
+            snap.histogram("sched.demand_wait_us").map(|h| h.count),
+            Some(10)
+        );
+        assert_eq!(
+            snap.histogram("sched.pre_wait_us").map(|h| h.count),
+            Some(10)
+        );
+        assert_eq!(
+            snap.histogram("sched.deadline_slack").map(|h| h.count),
+            Some(20)
+        );
     }
 
     /// Every pinned pre-materialization pick is accounted as either a

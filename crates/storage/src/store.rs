@@ -2,11 +2,13 @@
 
 use crate::{decode_key, encode_key, Result, StorageError};
 use parking_lot::Mutex;
+use sand_telemetry::{record_stage, Stage, StoreMetrics};
 use std::collections::HashMap;
 use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// Which tier an object currently occupies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,6 +116,10 @@ pub struct ObjectStore {
     /// Current global clock, advanced by the engine each iteration; used
     /// to decide near-future placement and "no longer needed" eviction.
     clock: AtomicU64,
+    /// Optional telemetry handles, attached once by the engine at
+    /// startup. `OnceLock` keeps the hot-path check to an atomic load;
+    /// unset (telemetry disabled) means no timestamps are taken.
+    metrics: OnceLock<StoreMetrics>,
 }
 
 impl ObjectStore {
@@ -168,7 +174,15 @@ impl ObjectStore {
             evictions: AtomicU64::new(0),
             spills: AtomicU64::new(0),
             clock: AtomicU64::new(0),
+            metrics: OnceLock::new(),
         })
+    }
+
+    /// Attaches telemetry handles (idempotent; the first caller wins).
+    /// Mirrors the store's native counters into the shared registry and
+    /// enables disk I/O latency timing.
+    pub fn set_metrics(&self, metrics: StoreMetrics) {
+        let _ = self.metrics.set(metrics);
     }
 
     /// An in-memory-only store (no disk tier).
@@ -208,6 +222,9 @@ impl ObjectStore {
     /// disk tier everything lives in memory. May spill or evict to stay
     /// within budgets.
     pub fn put(&self, key: &str, bytes: Arc<Vec<u8>>, meta: ObjectMeta) -> Result<()> {
+        if let Some(m) = self.metrics.get() {
+            m.puts.inc();
+        }
         let size = bytes.len() as u64;
         if size > self.config.memory_budget && self.dir.is_none() {
             return Err(StorageError::TooLarge {
@@ -226,7 +243,13 @@ impl ObjectStore {
             self.remove_locked(&mut inner, key)?;
             if let Some(path) = self.file_of(key) {
                 // Write-through persistence.
+                let t0 = self.metrics.get().map(|_| Instant::now());
                 fs::write(&path, bytes.as_slice())?;
+                if let (Some(m), Some(t0)) = (self.metrics.get(), t0) {
+                    let spent = t0.elapsed();
+                    m.disk_write_us.observe_duration(spent);
+                    record_stage(Stage::StoreIo, spent);
+                }
                 inner.disk_bytes += size;
                 if near {
                     inner.memory_bytes += size;
@@ -276,12 +299,18 @@ impl ObjectStore {
                 Some(rec) => match (&rec.tier, &rec.bytes) {
                     (Tier::Memory, Some(b)) => {
                         self.memory_hits.fetch_add(1, Ordering::Relaxed);
+                        if let Some(m) = self.metrics.get() {
+                            m.mem_hits.inc();
+                        }
                         return Ok(Arc::clone(b));
                     }
                     _ => (Tier::Disk, self.file_of(key)),
                 },
                 None => {
                     self.misses.fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = self.metrics.get() {
+                        m.misses.inc();
+                    }
                     return Err(StorageError::NotFound {
                         key: key.to_string(),
                     });
@@ -295,10 +324,14 @@ impl ObjectStore {
         // The index lock is released before the read, so a concurrent
         // remove/prune can delete the file in between. That race is a
         // miss, not an I/O failure: callers fall through to recompute.
+        let t0 = self.metrics.get().map(|_| Instant::now());
         let bytes = match fs::read(&path) {
             Ok(bytes) => bytes,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = self.metrics.get() {
+                    m.misses.inc();
+                }
                 return Err(StorageError::NotFound {
                     key: key.to_string(),
                 });
@@ -306,6 +339,12 @@ impl ObjectStore {
             Err(e) => return Err(e.into()),
         };
         self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        if let (Some(m), Some(t0)) = (self.metrics.get(), t0) {
+            let spent = t0.elapsed();
+            m.disk_hits.inc();
+            m.disk_read_us.observe_duration(spent);
+            record_stage(Stage::StoreIo, spent);
+        }
         Ok(Arc::new(bytes))
     }
 
@@ -396,6 +435,9 @@ impl ObjectStore {
         rec.tier = Tier::Disk;
         inner.memory_bytes -= rec.size;
         self.spills.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.metrics.get() {
+            m.spills.inc();
+        }
         Ok(true)
     }
 
@@ -421,6 +463,9 @@ impl ObjectStore {
         let Some(key) = victim else { return Ok(false) };
         self.remove_locked(inner, &key)?;
         self.evictions.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.metrics.get() {
+            m.evictions.inc();
+        }
         Ok(true)
     }
 
@@ -442,6 +487,9 @@ impl ObjectStore {
                     Some(k) => {
                         self.remove_locked(&mut inner, &k)?;
                         self.evictions.fetch_add(1, Ordering::Relaxed);
+                        if let Some(m) = self.metrics.get() {
+                            m.evictions.inc();
+                        }
                     }
                     None => break,
                 }

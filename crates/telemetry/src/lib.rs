@@ -1,0 +1,638 @@
+//! # sand-telemetry — observability for the SAND engine
+//!
+//! A lock-cheap metrics layer shared by every crate in the workspace:
+//!
+//! - [`Counter`], [`Gauge`], [`Histogram`] — atomics all the way down.
+//!   Handles are `Arc`-backed clones; recording never takes a lock.
+//! - [`Registry`] — name → metric map. Registration takes a short lock
+//!   (done once at startup per subsystem); the hot path only touches the
+//!   handles it was given.
+//! - [`Snapshot`] — a point-in-time copy of every registered metric with
+//!   JSON-lines export ([`Snapshot::render_jsonl`]) and a human-readable
+//!   table ([`Snapshot::render_table`]).
+//! - [`Telemetry`] — the cheap-clone facade the engine threads through
+//!   the workspace. A disabled handle is a `None` inside: every probe
+//!   constructor returns `None`, so instrumented code takes no
+//!   timestamps, allocates nothing, and adds no atomic traffic.
+//! - [`BatchProbe`] / [`BatchTrace`] / [`StallReport`] — per-batch
+//!   critical-path timing used for stall attribution (see `report`).
+//!
+//! The overriding design rule: **when telemetry is off, the instrumented
+//! binary must be bit-identical in behaviour and free of measurable
+//! overhead** (pinned by `crates/bench/benches/telemetry_overhead.rs`).
+
+mod json;
+mod report;
+mod snapshot;
+
+pub use json::{parse_json, validate_jsonl, JsonValue};
+pub use report::{
+    record_stage, with_stage_cells, BatchMeta, BatchProbe, BatchTrace, SampleProbe, Stage,
+    StageCells, StallReport, STAGE_LABELS,
+};
+pub use snapshot::{HistogramSnapshot, MetricEntry, MetricValue, Snapshot};
+
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Primitive metrics
+// ---------------------------------------------------------------------------
+
+/// Monotonically increasing event count.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    v: Arc<AtomicU64>,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.v.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed level (queue depth, resident bytes, ...).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    v: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn set(&self, n: i64) {
+        self.v.store(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.v.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistState {
+    /// One count per bucket plus a trailing overflow bucket.
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// Fixed-bucket histogram. `bounds` are inclusive upper bounds; a value
+/// larger than every bound lands in the trailing overflow bucket. Bounds
+/// are fixed at registration so observation is a binary search plus three
+/// relaxed atomic adds — no locking, no allocation.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    bounds: Arc<Vec<u64>>,
+    state: Arc<HistState>,
+}
+
+impl Histogram {
+    pub fn new(bounds: &[u64]) -> Self {
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            bounds: Arc::new(bounds.to_vec()),
+            state: Arc::new(HistState {
+                counts,
+                sum: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.state.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.state.sum.fetch_add(value, Ordering::Relaxed);
+        self.state.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a duration in microseconds (the workspace-wide convention
+    /// for `*_us` histograms).
+    #[inline]
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_micros() as u64);
+    }
+
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    pub fn count(&self) -> u64 {
+        self.state.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.state.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn snapshot_value(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.as_ref().clone(),
+            counts: self
+                .state
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// Name → metric map. Metric names follow a `family.name` convention
+/// (`store.disk_hits`, `sched.queue_depth`); the family prefix is what the
+/// JSON-lines export and CI validation group on.
+///
+/// Registration is idempotent: asking for an existing name returns a
+/// handle to the same underlying atomics, so independent subsystems can
+/// share a metric without coordination.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.metrics.lock();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c.clone(),
+            // Name collision across kinds: hand back a detached metric so
+            // the caller still works; the first registration wins the name.
+            _ => Counter::new(),
+        }
+    }
+
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.metrics.lock();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => Gauge::new(),
+        }
+    }
+
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let mut m = self.metrics.lock();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => Histogram::new(bounds),
+        }
+    }
+
+    pub fn snapshot(&self) -> Snapshot {
+        let m = self.metrics.lock();
+        let entries = m
+            .iter()
+            .map(|(name, metric)| MetricEntry {
+                name: name.clone(),
+                value: match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot_value()),
+                },
+            })
+            .collect();
+        Snapshot { entries }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Telemetry configuration, carried by `EngineConfig::telemetry`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Upper bounds (µs) shared by every latency histogram.
+    pub latency_buckets_us: Vec<u64>,
+    /// Upper bounds (clock ticks) for the scheduler deadline-slack
+    /// histogram. Must be able to represent the configured deadline
+    /// clock range (lint SL024 flags configs that cannot).
+    pub slack_buckets: Vec<u64>,
+    /// A batch served slower than this is *stalled* and appears in the
+    /// stall-attribution report. `0` means every batch is reported —
+    /// useful for the example CLI and for tests.
+    pub stall_budget_us: u64,
+    /// Maximum number of per-batch traces retained (oldest dropped).
+    pub trace_cap: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self {
+            latency_buckets_us: vec![
+                50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000,
+                500_000, 1_000_000,
+            ],
+            slack_buckets: vec![0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024],
+            stall_budget_us: 0,
+            trace_cap: 1024,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Facade
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct TelemetryCore {
+    config: TelemetryConfig,
+    registry: Registry,
+    traces: Mutex<VecDeque<BatchTrace>>,
+}
+
+/// The cheap-clone handle the engine threads through the workspace.
+///
+/// `Telemetry::disabled()` (also `Default`) carries no state at all:
+/// every accessor returns `None` and every probe constructor short
+/// circuits, so instrumented code pays a single branch.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    core: Option<Arc<TelemetryCore>>,
+}
+
+impl Telemetry {
+    pub fn new(config: TelemetryConfig) -> Self {
+        Self {
+            core: Some(Arc::new(TelemetryCore {
+                config,
+                registry: Registry::new(),
+                traces: Mutex::new(VecDeque::new()),
+            })),
+        }
+    }
+
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    pub fn config(&self) -> Option<&TelemetryConfig> {
+        self.core.as_deref().map(|c| &c.config)
+    }
+
+    pub fn registry(&self) -> Option<&Registry> {
+        self.core.as_deref().map(|c| &c.registry)
+    }
+
+    /// `Instant::now()` only when enabled — the disabled path must not
+    /// even read the clock.
+    #[inline]
+    pub fn now(&self) -> Option<Instant> {
+        self.core.as_ref().map(|_| Instant::now())
+    }
+
+    /// Start a per-batch critical-path probe over `samples` demand jobs.
+    pub fn batch_probe(&self, samples: usize) -> Option<Arc<BatchProbe>> {
+        self.core.as_ref().map(|_| BatchProbe::new(samples))
+    }
+
+    pub fn push_trace(&self, trace: BatchTrace) {
+        if let Some(core) = &self.core {
+            let mut traces = core.traces.lock();
+            if traces.len() >= core.config.trace_cap.max(1) {
+                traces.pop_front();
+            }
+            traces.push_back(trace);
+        }
+    }
+
+    pub fn snapshot(&self) -> Option<Snapshot> {
+        self.core.as_deref().map(|c| c.registry.snapshot())
+    }
+
+    pub fn stall_report(&self) -> Option<StallReport> {
+        self.core.as_deref().map(|c| StallReport {
+            budget_us: c.config.stall_budget_us,
+            traces: c.traces.lock().iter().cloned().collect(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-subsystem metric bundles
+// ---------------------------------------------------------------------------
+//
+// Each subsystem registers its handles once at startup via
+// `XxxMetrics::register(&telemetry)`; `None` means telemetry is off and
+// the subsystem keeps its zero-overhead path. Centralising the names
+// here keeps the metric namespace coherent across crates.
+
+/// Decode-side metrics (`decode.*`), recorded inside `sand-codec`.
+#[derive(Clone, Debug)]
+pub struct CodecMetrics {
+    /// Wall time decoding one GOP segment (a keyframe-aligned run of
+    /// requested indices).
+    pub segment_us: Histogram,
+    /// GOP segments decoded.
+    pub segments: Counter,
+}
+
+impl CodecMetrics {
+    pub fn register(t: &Telemetry) -> Option<Self> {
+        let (r, c) = (t.registry()?, t.config()?);
+        Some(Self {
+            segment_us: r.histogram("decode.segment_us", &c.latency_buckets_us),
+            segments: r.counter("decode.segments"),
+        })
+    }
+}
+
+/// Object-store metrics (`store.*`), recorded inside `sand-storage`.
+#[derive(Clone, Debug)]
+pub struct StoreMetrics {
+    pub mem_hits: Counter,
+    pub disk_hits: Counter,
+    pub misses: Counter,
+    pub spills: Counter,
+    pub evictions: Counter,
+    pub puts: Counter,
+    /// Disk-tier read latency (the `get` path).
+    pub disk_read_us: Histogram,
+    /// Disk-tier write latency (the write-through `put` path).
+    pub disk_write_us: Histogram,
+}
+
+impl StoreMetrics {
+    pub fn register(t: &Telemetry) -> Option<Self> {
+        let (r, c) = (t.registry()?, t.config()?);
+        Some(Self {
+            mem_hits: r.counter("store.mem_hits"),
+            disk_hits: r.counter("store.disk_hits"),
+            misses: r.counter("store.misses"),
+            spills: r.counter("store.spills"),
+            evictions: r.counter("store.evictions"),
+            puts: r.counter("store.puts"),
+            disk_read_us: r.histogram("store.disk_read_us", &c.latency_buckets_us),
+            disk_write_us: r.histogram("store.disk_write_us", &c.latency_buckets_us),
+        })
+    }
+}
+
+/// Scheduler metrics (`sched.*`), recorded inside `sand-sched`.
+#[derive(Clone, Debug)]
+pub struct SchedMetrics {
+    /// Jobs currently queued (all kinds).
+    pub queue_depth: Gauge,
+    /// Queue wait of demand jobs, submission → pick.
+    pub demand_wait_us: Histogram,
+    /// Queue wait of pre-materialization jobs, submission → pick.
+    pub pre_wait_us: Histogram,
+    /// How far (in clock ticks) a picked job's deadline sat above the
+    /// most urgent queued deadline of the same kind. Non-zero demand
+    /// slack means the affinity window overrode strict EDF order.
+    pub deadline_slack: Histogram,
+    /// Pre-materialization jobs run on their preferred worker.
+    pub affinity_hits: Counter,
+    /// Pre-materialization jobs stolen from a busy preferred worker.
+    pub affinity_steals: Counter,
+    /// Pinned demand jobs run on their preferred worker.
+    pub demand_affinity_hits: Counter,
+    /// Pinned demand jobs run elsewhere.
+    pub demand_affinity_misses: Counter,
+}
+
+impl SchedMetrics {
+    pub fn register(t: &Telemetry) -> Option<Self> {
+        let (r, c) = (t.registry()?, t.config()?);
+        Some(Self {
+            queue_depth: r.gauge("sched.queue_depth"),
+            demand_wait_us: r.histogram("sched.demand_wait_us", &c.latency_buckets_us),
+            pre_wait_us: r.histogram("sched.pre_wait_us", &c.latency_buckets_us),
+            deadline_slack: r.histogram("sched.deadline_slack", &c.slack_buckets),
+            affinity_hits: r.counter("sched.affinity_hits"),
+            affinity_steals: r.counter("sched.affinity_steals"),
+            demand_affinity_hits: r.counter("sched.demand_affinity_hits"),
+            demand_affinity_misses: r.counter("sched.demand_affinity_misses"),
+        })
+    }
+}
+
+/// VFS metrics (`vfs.*`), recorded inside `sand-vfs`.
+#[derive(Clone, Debug)]
+pub struct VfsMetrics {
+    /// Provider fetch latency per `open`.
+    pub fetch_us: Histogram,
+    pub fetches: Counter,
+}
+
+impl VfsMetrics {
+    pub fn register(t: &Telemetry) -> Option<Self> {
+        let (r, c) = (t.registry()?, t.config()?);
+        Some(Self {
+            fetch_us: r.histogram("vfs.fetch_us", &c.latency_buckets_us),
+            fetches: r.counter("vfs.fetches"),
+        })
+    }
+}
+
+/// Materialize-pass metrics (`aug.*`), recorded by the engine.
+#[derive(Clone, Debug)]
+pub struct MaterializeMetrics {
+    /// Wall time applying one augmentation op to one frame.
+    pub op_us: Histogram,
+    pub ops: Counter,
+    /// Time a worker spent blocked on another worker's in-flight
+    /// once-claim for the same node (contention on the shared scratch).
+    pub scratch_wait_us: Histogram,
+    pub scratch_waits: Counter,
+}
+
+impl MaterializeMetrics {
+    pub fn register(t: &Telemetry) -> Option<Self> {
+        let (r, c) = (t.registry()?, t.config()?);
+        Some(Self {
+            op_us: r.histogram("aug.op_us", &c.latency_buckets_us),
+            ops: r.counter("aug.ops"),
+            scratch_wait_us: r.histogram("aug.scratch_wait_us", &c.latency_buckets_us),
+            scratch_waits: r.counter("aug.scratch_waits"),
+        })
+    }
+}
+
+/// Engine-level metrics (`engine.*`).
+#[derive(Clone, Debug)]
+pub struct EngineMetrics {
+    /// End-to-end latency serving one batch.
+    pub serve_us: Histogram,
+    pub batches_served: Counter,
+    /// Batches served slower than `stall_budget_us`.
+    pub batches_stalled: Counter,
+    /// Warm decode-session resumes (tip reused, keyframe re-decode skipped).
+    pub warm_hits: Counter,
+    /// Demand decodes that had to restart from a keyframe.
+    pub cold_starts: Counter,
+    /// Demand decode latency (one frame through a warm session).
+    pub demand_decode_us: Histogram,
+    /// Batched predecode latency (one GOP-grouped `decode_indices` call).
+    pub predecode_us: Histogram,
+    /// `ViewProvider::fetch` calls served straight from the compressed
+    /// cache (memory tier) without touching the decoder.
+    pub compressed_hits_mem: Counter,
+    /// Same, but re-read from the store's spilled disk tier.
+    pub compressed_hits_disk: Counter,
+}
+
+impl EngineMetrics {
+    pub fn register(t: &Telemetry) -> Option<Self> {
+        let (r, c) = (t.registry()?, t.config()?);
+        Some(Self {
+            serve_us: r.histogram("engine.serve_us", &c.latency_buckets_us),
+            batches_served: r.counter("engine.batches_served"),
+            batches_stalled: r.counter("engine.batches_stalled"),
+            warm_hits: r.counter("engine.warm_hits"),
+            cold_starts: r.counter("engine.cold_starts"),
+            demand_decode_us: r.histogram("engine.demand_decode_us", &c.latency_buckets_us),
+            predecode_us: r.histogram("engine.predecode_us", &c.latency_buckets_us),
+            compressed_hits_mem: r.counter("engine.compressed_hits_mem"),
+            compressed_hits_disk: r.counter("engine.compressed_hits_disk"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("t.count");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = r.gauge("t.depth");
+        g.add(7);
+        g.sub(2);
+        assert_eq!(g.get(), 5);
+        g.set(-3);
+        assert_eq!(g.get(), -3);
+    }
+
+    #[test]
+    fn registry_is_idempotent() {
+        let r = Registry::new();
+        let a = r.counter("t.c");
+        let b = r.counter("t.c");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("t.c"), Some(2));
+    }
+
+    #[test]
+    fn histogram_buckets_values() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        for v in [5, 10, 11, 100, 5000] {
+            h.observe(v);
+        }
+        let s = h.snapshot_value();
+        // counts: <=10 -> {5,10}, <=100 -> {11,100}, <=1000 -> {}, overflow -> {5000}
+        assert_eq!(s.counts, vec![2, 2, 0, 1]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 5 + 10 + 11 + 100 + 5000);
+    }
+
+    #[test]
+    fn disabled_telemetry_has_no_state() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        assert!(t.registry().is_none());
+        assert!(t.now().is_none());
+        assert!(t.batch_probe(4).is_none());
+        assert!(t.snapshot().is_none());
+        assert!(t.stall_report().is_none());
+        assert!(CodecMetrics::register(&t).is_none());
+        assert!(StoreMetrics::register(&t).is_none());
+        assert!(SchedMetrics::register(&t).is_none());
+        assert!(VfsMetrics::register(&t).is_none());
+        assert!(MaterializeMetrics::register(&t).is_none());
+        assert!(EngineMetrics::register(&t).is_none());
+    }
+
+    #[test]
+    fn trace_ring_respects_cap() {
+        let t = Telemetry::new(TelemetryConfig {
+            trace_cap: 2,
+            ..TelemetryConfig::default()
+        });
+        for i in 0..5 {
+            let probe = t.batch_probe(1).expect("enabled");
+            let trace = probe.finish(
+                BatchMeta {
+                    task: "t".into(),
+                    epoch: 0,
+                    iteration: i,
+                    clock: i,
+                },
+                0,
+            );
+            t.push_trace(trace);
+        }
+        let report = t.stall_report().expect("enabled");
+        assert_eq!(report.traces.len(), 2);
+        assert_eq!(report.traces[0].iteration, 3);
+        assert_eq!(report.traces[1].iteration, 4);
+    }
+}

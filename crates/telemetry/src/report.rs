@@ -1,0 +1,474 @@
+//! Per-batch critical-path timing and the stall-attribution report.
+//!
+//! ## The attribution model
+//!
+//! `serve_batch` fans a batch out as one demand job per sample and then
+//! blocks until every tensor arrives, so the batch's serve latency is
+//! governed by its **critical-path job** — the demand job that finished
+//! last. A [`BatchProbe`] records, per sample and as nanosecond offsets
+//! from a single batch-start instant:
+//!
+//! ```text
+//! t0 ----- submit ----- start ---------------- end -------- serve
+//!    plan          wait        exec (decode / store I/O /
+//!                                    aug / other)           finalize
+//! ```
+//!
+//! The trace for a batch is the timeline of its critical-path job:
+//! `plan` (chunk lookup + job submission), `queue_wait` (scheduler
+//! queue), `exec` split into `decode`, `store_io`, `aug`, and
+//! `exec_other` (residual — compression, channel sends, once-claim
+//! waits), then `finalize` (collecting the remaining tensors, stacking,
+//! consumption bookkeeping). The segments are contiguous offsets of one
+//! clock, so they sum **exactly** to the measured serve latency in
+//! nanoseconds — the invariant `BatchTrace::breakdown_sum_ns() ==
+//! serve_ns` is enforced by construction and asserted in tests.
+//!
+//! Stage time inside `exec` is attributed through a thread-local: the
+//! job installs its [`StageCells`] with [`with_stage_cells`], and
+//! instrumented code anywhere below it (the store's disk I/O, the
+//! engine's decode and op-apply paths) calls [`record_stage`]. When no
+//! cells are installed — telemetry off, or work running outside a
+//! probed job — `record_stage` is a thread-local read and a branch.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::json::json_escape;
+
+/// Stages attributable inside a demand job's execution window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Video decode (warm demand sessions and batched predecode).
+    Decode,
+    /// Object-store disk reads and write-through writes.
+    StoreIo,
+    /// Augmentation op application.
+    Aug,
+}
+
+/// Per-job stage accumulators (nanoseconds). Atomic so the serve thread
+/// can read them after the job thread finishes without synchronisation
+/// beyond the channel it already waits on.
+#[derive(Debug, Default)]
+pub struct StageCells {
+    decode_ns: AtomicU64,
+    store_ns: AtomicU64,
+    aug_ns: AtomicU64,
+}
+
+impl StageCells {
+    #[inline]
+    fn add(&self, stage: Stage, ns: u64) {
+        let cell = match stage {
+            Stage::Decode => &self.decode_ns,
+            Stage::StoreIo => &self.store_ns,
+            Stage::Aug => &self.aug_ns,
+        };
+        cell.fetch_add(ns, Ordering::Relaxed);
+    }
+}
+
+thread_local! {
+    static ACTIVE_STAGES: RefCell<Option<Arc<StageCells>>> = const { RefCell::new(None) };
+}
+
+/// Install `cells` as this thread's stage sink for the duration of `f`.
+/// Restores the previous sink on exit (stage scopes nest).
+pub fn with_stage_cells<R>(cells: Arc<StageCells>, f: impl FnOnce() -> R) -> R {
+    let prev = ACTIVE_STAGES.with(|a| a.replace(Some(cells)));
+    let out = f();
+    ACTIVE_STAGES.with(|a| *a.borrow_mut() = prev);
+    out
+}
+
+/// Attribute `d` to `stage` on the currently installed cells, if any.
+/// A no-op (one thread-local read) when no probe is active.
+#[inline]
+pub fn record_stage(stage: Stage, d: Duration) {
+    ACTIVE_STAGES.with(|a| {
+        if let Some(cells) = a.borrow().as_ref() {
+            cells.add(stage, d.as_nanos() as u64);
+        }
+    });
+}
+
+/// Per-sample timeline, all offsets in nanoseconds from the probe's t0.
+#[derive(Debug, Default)]
+pub struct SampleProbe {
+    submit_off_ns: AtomicU64,
+    start_off_ns: AtomicU64,
+    end_off_ns: AtomicU64,
+    stages: Arc<StageCells>,
+}
+
+/// Timing probe for one served batch. Created by
+/// [`crate::Telemetry::batch_probe`] when telemetry is enabled; shared
+/// (via `Arc`) between the serve thread and each demand job.
+#[derive(Debug)]
+pub struct BatchProbe {
+    t0: Instant,
+    samples: Vec<SampleProbe>,
+}
+
+/// Identity of a served batch, carried into its [`BatchTrace`].
+#[derive(Clone, Debug)]
+pub struct BatchMeta {
+    pub task: String,
+    pub epoch: u64,
+    pub iteration: u64,
+    pub clock: u64,
+}
+
+impl BatchProbe {
+    pub fn new(samples: usize) -> Arc<Self> {
+        Arc::new(Self {
+            t0: Instant::now(),
+            samples: (0..samples).map(|_| SampleProbe::default()).collect(),
+        })
+    }
+
+    #[inline]
+    fn off_ns(&self) -> u64 {
+        self.t0.elapsed().as_nanos() as u64
+    }
+
+    /// Record that sample `i`'s demand job was just handed to the
+    /// scheduler.
+    pub fn mark_submitted(&self, i: usize) {
+        if let Some(s) = self.samples.get(i) {
+            s.submit_off_ns.store(self.off_ns(), Ordering::Relaxed);
+        }
+    }
+
+    /// Run sample `i`'s materialization under this probe: records the
+    /// start/end offsets (queue wait and execution window) and installs
+    /// the sample's stage cells so nested instrumentation attributes
+    /// decode / store I/O / aug time to this job.
+    pub fn run_sample<R>(&self, i: usize, f: impl FnOnce() -> R) -> R {
+        let Some(s) = self.samples.get(i) else {
+            return f();
+        };
+        s.start_off_ns.store(self.off_ns(), Ordering::Relaxed);
+        let out = with_stage_cells(Arc::clone(&s.stages), f);
+        s.end_off_ns.store(self.off_ns(), Ordering::Relaxed);
+        out
+    }
+
+    /// Close the probe and produce the batch's trace. Called on the
+    /// serve thread after the last tensor was collected and bookkeeping
+    /// finished; `stall_budget_us` decides the `stalled` flag.
+    pub fn finish(&self, meta: BatchMeta, stall_budget_us: u64) -> BatchTrace {
+        let serve_ns = self.off_ns();
+        // Critical path: the sample that finished last.
+        let critical = self
+            .samples
+            .iter()
+            .max_by_key(|s| s.end_off_ns.load(Ordering::Relaxed));
+        let (submit, start, end, stages) = match critical {
+            Some(s) => (
+                s.submit_off_ns.load(Ordering::Relaxed),
+                s.start_off_ns.load(Ordering::Relaxed),
+                s.end_off_ns.load(Ordering::Relaxed),
+                &*s.stages,
+            ),
+            None => (serve_ns, serve_ns, serve_ns, &EMPTY_CELLS),
+        };
+        // Offsets are monotone (submit <= start <= end <= serve) on the
+        // happy path; saturate defensively so a torn read can't produce
+        // a wrapped segment.
+        let end = end.min(serve_ns);
+        let start = start.min(end);
+        let submit = submit.min(start);
+        let exec_ns = end - start;
+        // Clamp the stage split so it never exceeds the execution
+        // window; the residual is exec_other. This keeps the trace's
+        // breakdown summing exactly to serve_ns.
+        let decode_ns = stages.decode_ns.load(Ordering::Relaxed).min(exec_ns);
+        let store_ns = stages
+            .store_ns
+            .load(Ordering::Relaxed)
+            .min(exec_ns - decode_ns);
+        let aug_ns = stages
+            .aug_ns
+            .load(Ordering::Relaxed)
+            .min(exec_ns - decode_ns - store_ns);
+        BatchTrace {
+            task: meta.task,
+            epoch: meta.epoch,
+            iteration: meta.iteration,
+            clock: meta.clock,
+            samples: self.samples.len(),
+            serve_ns,
+            plan_ns: submit,
+            queue_ns: start - submit,
+            decode_ns,
+            store_ns,
+            aug_ns,
+            exec_other_ns: exec_ns - decode_ns - store_ns - aug_ns,
+            finalize_ns: serve_ns - end,
+            stalled: serve_ns > stall_budget_us.saturating_mul(1_000),
+        }
+    }
+}
+
+static EMPTY_CELLS: StageCells = StageCells {
+    decode_ns: AtomicU64::new(0),
+    store_ns: AtomicU64::new(0),
+    aug_ns: AtomicU64::new(0),
+};
+
+/// Labels of the seven contiguous segments of a [`BatchTrace`], in
+/// timeline order. `BatchTrace::breakdown_ns` yields values in the same
+/// order.
+pub const STAGE_LABELS: [&str; 7] = [
+    "plan",
+    "queue_wait",
+    "decode",
+    "store_io",
+    "aug",
+    "exec_other",
+    "finalize",
+];
+
+/// One served batch's critical-path timeline. All segment fields are
+/// nanoseconds and sum exactly to `serve_ns`.
+#[derive(Clone, Debug)]
+pub struct BatchTrace {
+    pub task: String,
+    pub epoch: u64,
+    pub iteration: u64,
+    pub clock: u64,
+    pub samples: usize,
+    pub serve_ns: u64,
+    pub plan_ns: u64,
+    pub queue_ns: u64,
+    pub decode_ns: u64,
+    pub store_ns: u64,
+    pub aug_ns: u64,
+    pub exec_other_ns: u64,
+    pub finalize_ns: u64,
+    pub stalled: bool,
+}
+
+impl BatchTrace {
+    /// Segment values in [`STAGE_LABELS`] order.
+    pub fn breakdown_ns(&self) -> [u64; 7] {
+        [
+            self.plan_ns,
+            self.queue_ns,
+            self.decode_ns,
+            self.store_ns,
+            self.aug_ns,
+            self.exec_other_ns,
+            self.finalize_ns,
+        ]
+    }
+
+    /// Invariant check: the seven segments reassemble the serve latency.
+    pub fn breakdown_sum_ns(&self) -> u64 {
+        self.breakdown_ns().iter().sum()
+    }
+
+    pub fn batch_id(&self) -> String {
+        format!("{}/{}/{}", self.task, self.epoch, self.iteration)
+    }
+
+    /// One JSON object (single line, `"type":"trace"`). Microsecond
+    /// fields are derived from the nanosecond segments by integer
+    /// division, so the µs breakdown sums to `serve_us` within one µs
+    /// per segment of rounding.
+    pub fn render_json(&self) -> String {
+        let b = self.breakdown_ns();
+        let mut s = format!(
+            "{{\"type\":\"trace\",\"batch\":\"{}\",\"clock\":{},\"samples\":{},\"serve_us\":{},\"stalled\":{}",
+            json_escape(&self.batch_id()),
+            self.clock,
+            self.samples,
+            self.serve_ns / 1_000,
+            self.stalled,
+        );
+        for (label, ns) in STAGE_LABELS.iter().zip(b.iter()) {
+            s.push_str(&format!(",\"{}_us\":{}", label, ns / 1_000));
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Every retained batch trace plus the stall budget that classified
+/// them. Produced by `Telemetry::stall_report` / the engine's
+/// `stall_report()` accessor.
+#[derive(Clone, Debug)]
+pub struct StallReport {
+    pub budget_us: u64,
+    pub traces: Vec<BatchTrace>,
+}
+
+impl StallReport {
+    pub fn stalled(&self) -> Vec<&BatchTrace> {
+        self.traces.iter().filter(|t| t.stalled).collect()
+    }
+
+    /// Human-readable stall-attribution table: one row per stalled
+    /// batch (all batches when the budget is 0), segments in µs.
+    pub fn render_table(&self) -> String {
+        let rows = self.stalled();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "stall attribution — budget {} µs, {} batch(es) over budget of {} traced\n",
+            self.budget_us,
+            rows.len(),
+            self.traces.len(),
+        ));
+        out.push_str(&format!(
+            "{:<18} {:>6} {:>9} | {:>8} {:>10} {:>8} {:>8} {:>8} {:>10} {:>8}\n",
+            "batch",
+            "clock",
+            "serve_us",
+            "plan",
+            "queue_wait",
+            "decode",
+            "store_io",
+            "aug",
+            "exec_other",
+            "finalize",
+        ));
+        for t in rows {
+            let b = t.breakdown_ns();
+            out.push_str(&format!(
+                "{:<18} {:>6} {:>9} | {:>8} {:>10} {:>8} {:>8} {:>8} {:>10} {:>8}\n",
+                t.batch_id(),
+                t.clock,
+                t.serve_ns / 1_000,
+                b[0] / 1_000,
+                b[1] / 1_000,
+                b[2] / 1_000,
+                b[3] / 1_000,
+                b[4] / 1_000,
+                b[5] / 1_000,
+                b[6] / 1_000,
+            ));
+        }
+        out
+    }
+
+    /// One JSON line per trace (stalled or not; the `stalled` field
+    /// carries the classification).
+    pub fn render_jsonl(&self) -> String {
+        let mut out = String::new();
+        for t in &self.traces {
+            out.push_str(&t.render_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn meta() -> BatchMeta {
+        BatchMeta {
+            task: "train".into(),
+            epoch: 0,
+            iteration: 3,
+            clock: 7,
+        }
+    }
+
+    #[test]
+    fn breakdown_sums_exactly_to_serve_latency() {
+        let probe = BatchProbe::new(3);
+        for i in 0..3 {
+            probe.mark_submitted(i);
+            probe.run_sample(i, || {
+                record_stage(Stage::Decode, Duration::from_micros(200));
+                record_stage(Stage::StoreIo, Duration::from_micros(30));
+                record_stage(Stage::Aug, Duration::from_micros(50));
+                thread::sleep(Duration::from_millis(1));
+            });
+        }
+        let trace = probe.finish(meta(), 0);
+        assert_eq!(trace.breakdown_sum_ns(), trace.serve_ns);
+        assert!(trace.serve_ns > 0);
+        assert!(trace.decode_ns >= 200_000);
+        assert!(trace.stalled, "budget 0 marks every batch stalled");
+    }
+
+    #[test]
+    fn stage_clamp_preserves_sum_invariant() {
+        let probe = BatchProbe::new(1);
+        probe.mark_submitted(0);
+        probe.run_sample(0, || {
+            // Deliberately over-report: stage time far beyond the actual
+            // execution window must be clamped, not break the invariant.
+            record_stage(Stage::Decode, Duration::from_secs(10));
+            record_stage(Stage::StoreIo, Duration::from_secs(10));
+            record_stage(Stage::Aug, Duration::from_secs(10));
+        });
+        let trace = probe.finish(meta(), 0);
+        assert_eq!(trace.breakdown_sum_ns(), trace.serve_ns);
+    }
+
+    #[test]
+    fn stages_attribute_to_the_installed_cells_only() {
+        let probe = BatchProbe::new(2);
+        probe.mark_submitted(0);
+        probe.run_sample(0, || {
+            record_stage(Stage::Aug, Duration::from_micros(500));
+        });
+        // No cells installed here: must be dropped, not misattributed.
+        record_stage(Stage::Aug, Duration::from_secs(1));
+        probe.mark_submitted(1);
+        probe.run_sample(1, || {});
+        let trace = probe.finish(meta(), 0);
+        // Critical sample is #1 (finished last) which recorded nothing.
+        assert_eq!(trace.aug_ns, 0);
+    }
+
+    #[test]
+    fn stage_scopes_nest_and_restore() {
+        let outer = Arc::new(StageCells::default());
+        let inner = Arc::new(StageCells::default());
+        with_stage_cells(Arc::clone(&outer), || {
+            record_stage(Stage::Decode, Duration::from_micros(10));
+            with_stage_cells(Arc::clone(&inner), || {
+                record_stage(Stage::Decode, Duration::from_micros(99));
+            });
+            record_stage(Stage::Decode, Duration::from_micros(10));
+        });
+        assert_eq!(outer.decode_ns.load(Ordering::Relaxed), 20_000);
+        assert_eq!(inner.decode_ns.load(Ordering::Relaxed), 99_000);
+    }
+
+    #[test]
+    fn high_stall_budget_unmarks_fast_batches() {
+        let probe = BatchProbe::new(1);
+        probe.mark_submitted(0);
+        probe.run_sample(0, || {});
+        let trace = probe.finish(meta(), 60_000_000); // 60 s budget
+        assert!(!trace.stalled);
+    }
+
+    #[test]
+    fn trace_json_is_one_line_and_parses() {
+        let probe = BatchProbe::new(1);
+        probe.mark_submitted(0);
+        probe.run_sample(0, || {});
+        let trace = probe.finish(meta(), 0);
+        let line = trace.render_json();
+        assert!(!line.contains('\n'));
+        let v = crate::parse_json(&line).expect("trace json parses");
+        assert_eq!(
+            v.get("type").and_then(|t| t.as_str()),
+            Some("trace"),
+            "line: {line}"
+        );
+        assert_eq!(v.get("batch").and_then(|t| t.as_str()), Some("train/0/3"));
+    }
+}

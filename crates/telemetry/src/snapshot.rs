@@ -1,0 +1,265 @@
+//! Point-in-time metric snapshots and their renderers.
+
+use crate::json::json_escape;
+
+/// A copied-out histogram: `counts` has one entry per bound plus a
+/// trailing overflow bucket.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub bounds: Vec<u64>,
+    pub counts: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (0.0–1.0).
+    /// Overflow observations report the last finite bound.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank.max(1) {
+                return self
+                    .bounds
+                    .get(i)
+                    .or(self.bounds.last())
+                    .copied()
+                    .unwrap_or(0);
+            }
+        }
+        self.bounds.last().copied().unwrap_or(0)
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(HistogramSnapshot),
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricEntry {
+    pub name: String,
+    pub value: MetricValue,
+}
+
+impl MetricEntry {
+    /// The dotted prefix of the metric name (`store.disk_hits` → `store`).
+    pub fn family(&self) -> &str {
+        self.name.split('.').next().unwrap_or(&self.name)
+    }
+
+    /// One JSON object on a single line (`"type":"metric"`).
+    pub fn render_json(&self) -> String {
+        let head = format!(
+            "{{\"type\":\"metric\",\"name\":\"{}\",\"family\":\"{}\"",
+            json_escape(&self.name),
+            json_escape(self.family()),
+        );
+        match &self.value {
+            MetricValue::Counter(v) => format!("{head},\"kind\":\"counter\",\"value\":{v}}}"),
+            MetricValue::Gauge(v) => format!("{head},\"kind\":\"gauge\",\"value\":{v}}}"),
+            MetricValue::Histogram(h) => {
+                let mut s = format!(
+                    "{head},\"kind\":\"histogram\",\"count\":{},\"sum\":{},\"buckets\":[",
+                    h.count, h.sum
+                );
+                for (i, c) in h.counts.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    match h.bounds.get(i) {
+                        Some(b) => s.push_str(&format!("{{\"le\":{b},\"n\":{c}}}")),
+                        None => s.push_str(&format!("{{\"le\":\"inf\",\"n\":{c}}}")),
+                    }
+                }
+                s.push_str("]}");
+                s
+            }
+        }
+    }
+}
+
+/// Point-in-time copy of every registered metric, sorted by name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    pub entries: Vec<MetricEntry>,
+}
+
+impl Snapshot {
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| &e.value)
+    }
+
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.get(name)? {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.get(name)? {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Distinct metric families present, sorted.
+    pub fn families(&self) -> Vec<String> {
+        let mut fams: Vec<String> = self
+            .entries
+            .iter()
+            .map(|e| e.family().to_string())
+            .collect();
+        fams.sort();
+        fams.dedup();
+        fams
+    }
+
+    /// One JSON object per line, one line per metric.
+    pub fn render_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.render_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Human-readable aligned table. Histograms report count / mean /
+    /// p50 / p99 bucket bounds instead of raw buckets.
+    pub fn render_table(&self) -> String {
+        let name_w = self
+            .entries
+            .iter()
+            .map(|e| e.name.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let mut out = format!("{:<name_w$}  {:<9}  value\n", "name", "kind");
+        for e in &self.entries {
+            match &e.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{:<name_w$}  {:<9}  {}\n", e.name, "counter", v));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("{:<name_w$}  {:<9}  {}\n", e.name, "gauge", v));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{:<name_w$}  {:<9}  count={} mean={:.1} p50<={} p99<={}\n",
+                        e.name,
+                        "histogram",
+                        h.count,
+                        h.mean(),
+                        h.quantile_bound(0.50),
+                        h.quantile_bound(0.99),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{parse_json, validate_jsonl, Registry};
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("store.hits").add(3);
+        r.gauge("sched.queue_depth").set(-2);
+        let h = r.histogram("engine.serve_us", &[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(5000);
+        r
+    }
+
+    #[test]
+    fn jsonl_export_parses_and_carries_families() {
+        let snap = sample_registry().snapshot();
+        let lines = validate_jsonl(&snap.render_jsonl()).expect("export must parse");
+        assert_eq!(lines.len(), 3);
+        let fams: Vec<_> = lines
+            .iter()
+            .filter_map(|l| l.get("family").and_then(|f| f.as_str()))
+            .collect();
+        assert_eq!(fams, vec!["engine", "sched", "store"]);
+        let hist = lines
+            .iter()
+            .find(|l| l.get("kind").and_then(|k| k.as_str()) == Some("histogram"))
+            .expect("histogram line");
+        assert_eq!(hist.get("count").and_then(|c| c.as_u64()), Some(3));
+        let buckets = hist
+            .get("buckets")
+            .and_then(|b| b.as_array())
+            .expect("buckets");
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(
+            buckets[2].get("le").and_then(|v| v.as_str()),
+            Some("inf"),
+            "overflow bucket is tagged inf"
+        );
+    }
+
+    #[test]
+    fn negative_gauge_renders_valid_json() {
+        let snap = sample_registry().snapshot();
+        let line = snap
+            .render_jsonl()
+            .lines()
+            .find(|l| l.contains("queue_depth"))
+            .map(String::from)
+            .expect("gauge line");
+        let v = parse_json(&line).expect("parses");
+        assert_eq!(v.get("value").and_then(|n| n.as_f64()), Some(-2.0));
+    }
+
+    #[test]
+    fn table_lists_every_metric() {
+        let snap = sample_registry().snapshot();
+        let table = snap.render_table();
+        assert!(table.contains("store.hits"));
+        assert!(table.contains("sched.queue_depth"));
+        assert!(table.contains("engine.serve_us"));
+        assert!(table.contains("count=3"));
+    }
+
+    #[test]
+    fn quantile_bounds_walk_buckets() {
+        let snap = sample_registry().snapshot();
+        let h = snap.histogram("engine.serve_us").expect("hist");
+        assert_eq!(h.quantile_bound(0.01), 10);
+        assert_eq!(h.quantile_bound(0.5), 100);
+        // p99 falls in the overflow bucket → last finite bound.
+        assert_eq!(h.quantile_bound(0.99), 100);
+        assert_eq!(snap.families(), vec!["engine", "sched", "store"]);
+    }
+}

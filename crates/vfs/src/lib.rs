@@ -94,6 +94,7 @@ struct OpenFile {
 pub struct SandVfs {
     provider: Arc<dyn ViewProvider>,
     files: Mutex<BTreeMap<u64, OpenFile>>,
+    metrics: Option<sand_telemetry::VfsMetrics>,
 }
 
 impl SandVfs {
@@ -102,6 +103,19 @@ impl SandVfs {
         SandVfs {
             provider,
             files: Mutex::new(BTreeMap::new()),
+            metrics: None,
+        }
+    }
+
+    /// Mounts the VFS over a provider with fetch-latency telemetry.
+    pub fn with_metrics(
+        provider: Arc<dyn ViewProvider>,
+        metrics: Option<sand_telemetry::VfsMetrics>,
+    ) -> Self {
+        SandVfs {
+            provider,
+            files: Mutex::new(BTreeMap::new()),
+            metrics,
         }
     }
 
@@ -111,7 +125,12 @@ impl SandVfs {
         let view = ViewPath::parse(path).ok_or_else(|| VfsError::NoSuchView {
             path: path.to_string(),
         })?;
+        let t0 = self.metrics.as_ref().map(|_| std::time::Instant::now());
         let content = self.provider.fetch(&view)?;
+        if let (Some(m), Some(t0)) = (self.metrics.as_ref(), t0) {
+            m.fetch_us.observe_duration(t0.elapsed());
+            m.fetches.inc();
+        }
         let mut files = self.files.lock();
         let mut fd = 3;
         while files.contains_key(&fd) {
@@ -300,6 +319,23 @@ mod tests {
             "0,33333,66666"
         );
         v.close(fd).unwrap();
+    }
+
+    #[test]
+    fn fetch_latency_is_recorded_when_metrics_attached() {
+        let telemetry = sand_telemetry::Telemetry::new(sand_telemetry::TelemetryConfig::default());
+        let metrics = sand_telemetry::VfsMetrics::register(&telemetry);
+        let v = SandVfs::with_metrics(Arc::new(MockProvider), metrics);
+        let a = v.open("/t/0/0/view").unwrap();
+        let b = v.open("/t/0/1/view").unwrap();
+        v.close(a).unwrap();
+        v.close(b).unwrap();
+        // Failed opens (unparseable path) never reach the provider and
+        // must not count as fetches.
+        assert!(v.open("nope").is_err());
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.counter("vfs.fetches"), Some(2));
+        assert_eq!(snap.histogram("vfs.fetch_us").map(|h| h.count), Some(2));
     }
 
     #[test]

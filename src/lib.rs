@@ -10,6 +10,7 @@
 //! - [`storage`] — tiered object store with budgets and eviction
 //! - [`sched`] — priority-based materialization scheduling
 //! - [`vfs`] — the POSIX-style view filesystem (Tables 1 and 2)
+//! - [`telemetry`] — metrics registry, per-batch stall attribution
 //! - [`sim`] — GPU / power / cluster models used by the experiments
 //! - [`core`] — the SAND engine tying everything together
 //! - [`train`] — training loop, baseline loaders, metrics
@@ -31,5 +32,6 @@ pub use sand_ray as ray;
 pub use sand_sched as sched;
 pub use sand_sim as sim;
 pub use sand_storage as storage;
+pub use sand_telemetry as telemetry;
 pub use sand_train as train;
 pub use sand_vfs as vfs;
