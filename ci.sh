@@ -26,6 +26,10 @@ echo "==> aug_parallel bench smoke (quick mode, writes BENCH_aug.json)"
 SAND_BENCH_QUICK=1 cargo bench -q -p sand-bench --bench aug_parallel
 test -f BENCH_aug.json || { echo "BENCH_aug.json missing"; exit 1; }
 
+echo "==> store_contention bench smoke (quick mode, writes BENCH_store.json)"
+SAND_BENCH_QUICK=1 cargo bench -q -p sand-bench --bench store_contention
+test -f BENCH_store.json || { echo "BENCH_store.json missing"; exit 1; }
+
 echo "==> telemetry_overhead bench smoke (quick mode, writes BENCH_telemetry.json)"
 SAND_BENCH_QUICK=1 cargo bench -q -p sand-bench --bench telemetry_overhead
 test -f BENCH_telemetry.json || { echo "BENCH_telemetry.json missing"; exit 1; }

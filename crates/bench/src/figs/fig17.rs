@@ -96,6 +96,7 @@ fn run_case(
                 disk_budget: budget * 3 / 2,
                 evict_watermark: 0.75,
                 memory_horizon: 2,
+                ..Default::default()
             },
             store_dir: Some(dir.clone()),
             sched: sand_sched::SchedConfig {

@@ -1,6 +1,7 @@
 //! The SAND engine.
 
 use crate::keys::store_key;
+use crate::prefetch::Prefetcher;
 use crate::{CoreError, Result};
 use parking_lot::{Condvar, Mutex};
 use sand_codec::{Dataset, DecodeStats, Decoder, WarmDecoder};
@@ -15,8 +16,9 @@ use sand_lint::{lint_all, LintLevel, LintOptions};
 use sand_sched::{Job, JobKind, SchedConfig, Scheduler};
 use sand_storage::{ObjectMeta, ObjectStore, StoreConfig, Tier};
 use sand_telemetry::{
-    record_stage, BatchMeta, CodecMetrics, EngineMetrics, MaterializeMetrics, SchedMetrics,
-    Snapshot, Stage, StallReport, StoreMetrics, Telemetry, TelemetryConfig, VfsMetrics,
+    record_stage, BatchMeta, CodecMetrics, EngineMetrics, MaterializeMetrics, PrefetchMetrics,
+    SchedMetrics, Snapshot, Stage, StallReport, StoreMetrics, Telemetry, TelemetryConfig,
+    VfsMetrics,
 };
 use sand_vfs::{SandVfs, VfsError, ViewPath, ViewProvider};
 use std::collections::HashMap;
@@ -56,6 +58,14 @@ pub struct EngineConfig {
     pub aug_service: Option<crate::service::AugClient>,
     /// Whether to pre-materialize ahead of demand.
     pub prematerialize: bool,
+    /// Epoch-ahead batch prefetch depth: serving batch `n` speculatively
+    /// materializes batches `n+1..=n+depth` (consumption order, within
+    /// the current chunk) on the worker pool at a priority below demand,
+    /// so the trainer's next read is a cache hit instead of an inline
+    /// materialization. `0` (default) disables prefetching entirely —
+    /// provably behaviour-identical: served bytes never depend on the
+    /// depth (`prop_prefetch_parity`).
+    pub prefetch_depth: usize,
     /// Threads used to decode independent keyframe segments of one video
     /// concurrently during pre-materialization (closed GOPs make the
     /// segments independent). `1` keeps decodes sequential.
@@ -96,6 +106,7 @@ impl Default for EngineConfig {
             naive_leaf_cache: false,
             aug_service: None,
             prematerialize: true,
+            prefetch_depth: 0,
             decode_threads: 1,
             aug_threads: 1,
             warm_session_cap: WARM_SESSION_CAP,
@@ -176,6 +187,11 @@ struct Inner {
     warm_decoders: Mutex<WarmPool>,
     aug_ops_applied: AtomicU64,
     batches_served: AtomicU64,
+    /// The epoch-ahead prefetcher (inert at `prefetch_depth = 0`).
+    prefetcher: Prefetcher,
+    /// Serialized size of the most recently served batch, the
+    /// back-pressure estimate for in-flight prefetch bytes.
+    last_batch_bytes: AtomicU64,
     telemetry: Telemetry,
     engine_metrics: Option<EngineMetrics>,
     mat_metrics: Option<MaterializeMetrics>,
@@ -364,7 +380,7 @@ impl SandEngine {
             .clone()
             .map_or_else(Telemetry::disabled, Telemetry::new);
         let store = Arc::new(ObjectStore::open(config.store, config.store_dir.clone())?);
-        if let Some(m) = StoreMetrics::register(&telemetry) {
+        if let Some(m) = StoreMetrics::register(&telemetry, store.shard_count()) {
             store.set_metrics(m);
         }
         // Any task opting out of sticky affinity disables it globally:
@@ -377,6 +393,8 @@ impl SandEngine {
         let engine_metrics = EngineMetrics::register(&telemetry);
         let mat_metrics = MaterializeMetrics::register(&telemetry);
         let codec_metrics = CodecMetrics::register(&telemetry);
+        let prefetcher =
+            Prefetcher::new(config.prefetch_depth, PrefetchMetrics::register(&telemetry));
         Ok(SandEngine {
             inner: Arc::new(Inner {
                 config,
@@ -389,6 +407,8 @@ impl SandEngine {
                 warm_decoders: Mutex::new(WarmPool::default()),
                 aug_ops_applied: AtomicU64::new(0),
                 batches_served: AtomicU64::new(0),
+                prefetcher,
+                last_batch_bytes: AtomicU64::new(0),
                 telemetry,
                 engine_metrics,
                 mat_metrics,
@@ -463,6 +483,9 @@ impl SandEngine {
             aug_threads: config.aug_threads.max(1),
             pre_workers: threads - reserved,
             telemetry: config.telemetry.clone(),
+            prefetch_depth: config.prefetch_depth,
+            store_shards: config.store.shards,
+            decode_threads: config.decode_threads.max(1),
         };
         let report = lint_all(
             &config.tasks,
@@ -1141,9 +1164,244 @@ impl Inner {
         Ok(&chunk.graph.batches[*idx])
     }
 
-    /// Serves a training batch as serialized tensor bytes.
+    /// One sample's final tensor: materialize the clip, then normalize
+    /// and pack (the demand jobs, the prefetch jobs, and nobody else).
+    fn sample_tensor(
+        inner: &Arc<Inner>,
+        chunk: &Arc<Chunk>,
+        plan: &sand_graph::SamplePlan,
+    ) -> Result<sand_frame::Tensor> {
+        let clip = Self::materialize_sample(inner, chunk, plan)?;
+        let channels = clip.first().map_or(3, |f| f.channels());
+        let (mean, std) = match &plan.normalize {
+            Some((m, s)) => (m.clone(), s.clone()),
+            None => (vec![0.0; channels], vec![1.0; channels]),
+        };
+        let refs: Vec<&Frame> = clip.iter().map(Arc::as_ref).collect();
+        Ok(clip_refs_to_tensor(&refs, &mean, &std)?)
+    }
+
+    /// Serves a training batch as serialized tensor bytes, via the
+    /// prefetcher when it holds (or is assembling) this batch, inline
+    /// otherwise. Either way, serving batch `n` tops the prefetch window
+    /// back up to `n+1..=n+depth`.
     fn serve_batch(inner: &Arc<Inner>, task: &str, epoch: u64, iteration: u64) -> Result<Vec<u8>> {
         let chunk = Self::ensure_chunk(inner, epoch)?;
+        let chunk_id = epoch / inner.config.epochs_per_chunk;
+        if inner.prefetcher.enabled() {
+            // Chunk rollover: speculative batches built against the
+            // previous chunk's plan are dead — cancel, never serve.
+            inner.prefetcher.cancel_stale(chunk_id);
+            if let Some(bytes) =
+                Self::consume_prefetched(inner, &chunk, chunk_id, task, epoch, iteration)?
+            {
+                Self::schedule_prefetch(inner, &chunk, chunk_id, task, epoch, iteration);
+                return Ok(bytes);
+            }
+            if let Some(m) = &inner.prefetcher.metrics {
+                m.miss.inc();
+            }
+        }
+        let bytes = Self::serve_batch_inline(inner, &chunk, task, epoch, iteration)?;
+        if inner.prefetcher.enabled() {
+            Self::schedule_prefetch(inner, &chunk, chunk_id, task, epoch, iteration);
+        }
+        Ok(bytes)
+    }
+
+    /// Consumes a prefetched batch if an entry exists for the current
+    /// chunk: a complete build is a hit; an in-flight one is served late
+    /// (the wait lands in the trace's `prefetch` segment). Returns
+    /// `Ok(None)` on a miss — including a failed or cancelled build,
+    /// which falls back to the inline path rather than erroring, since
+    /// speculative work must never fail a serve the inline path could
+    /// satisfy.
+    fn consume_prefetched(
+        inner: &Arc<Inner>,
+        chunk: &Arc<Chunk>,
+        chunk_id: u64,
+        task: &str,
+        epoch: u64,
+        iteration: u64,
+    ) -> Result<Option<Vec<u8>>> {
+        let Some(&task_id) = inner.task_ids.get(task) else {
+            return Ok(None); // the inline path reports the unknown task
+        };
+        let Some(build) = inner.prefetcher.take((task_id, epoch, iteration), chunk_id) else {
+            return Ok(None);
+        };
+        if build.cancelled() {
+            return Ok(None);
+        }
+        // Zero-sample probe: no demand jobs run on a prefetch serve, so
+        // the only attributable segments are `prefetch` (waited below)
+        // and `plan`/`finalize` bookkeeping — the exact-sum invariant
+        // over serve latency is preserved.
+        let probe = inner.telemetry.batch_probe(0);
+        let hit = build.is_complete();
+        if hit {
+            if let Some(m) = &inner.prefetcher.metrics {
+                m.hit.inc();
+            }
+        } else {
+            if let Some(m) = &inner.prefetcher.metrics {
+                m.late.inc();
+            }
+            let t0 = inner.prefetcher.metrics.as_ref().map(|_| Instant::now());
+            build.wait_complete();
+            if let (Some(m), Some(t0)) = (inner.prefetcher.metrics.as_ref(), t0) {
+                let waited = t0.elapsed();
+                m.wait_us.observe_duration(waited);
+                if let Some(p) = &probe {
+                    p.record_prefetch_wait(waited);
+                }
+            }
+        }
+        if build.cancelled() {
+            return Ok(None);
+        }
+        let mut tensors = Vec::new();
+        for slot in build.take_results() {
+            match slot {
+                Some(Ok(t)) => tensors.push(t),
+                // A failed sample: recompute inline (the failure may have
+                // been transient, and the inline path owns error
+                // reporting).
+                Some(Err(_)) | None => return Ok(None),
+            }
+        }
+        let batch = Self::find_batch(inner, chunk, task, epoch, iteration)?.clone();
+        // Consumption bookkeeping — identical to the inline path, at
+        // consume time in consume order, so the store's clock/use/budget
+        // timeline never depends on when speculation ran.
+        inner.store.set_clock(batch.clock);
+        Self::report_pressure(inner);
+        let batch_tensor = stack(&tensors)?;
+        for plan in &batch.samples {
+            for &t in &plan.frame_nodes {
+                inner.store.mark_used(&store_key(&chunk.graph.nodes[t].key));
+                Self::mark_used_ancestors(inner, chunk, t);
+            }
+        }
+        inner.store.enforce_budgets()?;
+        Self::report_pressure(inner);
+        inner.batches_served.fetch_add(1, Ordering::Relaxed);
+        let bytes = batch_tensor.to_bytes();
+        inner
+            .last_batch_bytes
+            .store(bytes.len() as u64, Ordering::Relaxed);
+        if let Some(p) = &probe {
+            let budget_us = inner.telemetry.config().map_or(0, |c| c.stall_budget_us);
+            let trace = p.finish(
+                BatchMeta {
+                    task: task.to_string(),
+                    epoch,
+                    iteration,
+                    clock: batch.clock,
+                },
+                budget_us,
+            );
+            if let Some(m) = inner.engine_metrics.as_ref() {
+                m.serve_us.observe(trace.serve_ns / 1_000);
+                m.batches_served.inc();
+                if trace.stalled {
+                    m.batches_stalled.inc();
+                }
+            }
+            inner.telemetry.push_trace(trace);
+        }
+        Ok(Some(bytes))
+    }
+
+    /// Tops the prefetch window up to `depth` batches past the one just
+    /// served, walking the trainer's consumption order (iterations, then
+    /// the next epoch) without ever crossing the current chunk. Each
+    /// sample becomes one self-contained [`JobKind::Prefetch`] job.
+    /// Scheduling stops early under back-pressure: in-flight entries,
+    /// sized by the last served batch, must fit the store's memory
+    /// budget.
+    fn schedule_prefetch(
+        inner: &Arc<Inner>,
+        chunk: &Arc<Chunk>,
+        chunk_id: u64,
+        task: &str,
+        epoch: u64,
+        iteration: u64,
+    ) {
+        let Some(&task_id) = inner.task_ids.get(task) else {
+            return;
+        };
+        let est = inner.last_batch_bytes.load(Ordering::Relaxed);
+        let (mut e, mut i) = (epoch, iteration);
+        for _ in 0..inner.prefetcher.depth() {
+            // Successor in consumption order.
+            if chunk.batch_index.contains_key(&(task_id, e, i + 1)) {
+                i += 1;
+            } else {
+                e += 1;
+                i = 0;
+            }
+            if e >= inner.config.total_epochs || e / inner.config.epochs_per_chunk != chunk_id {
+                break;
+            }
+            let Some(&idx) = chunk.batch_index.get(&(task_id, e, i)) else {
+                break;
+            };
+            if est > 0 {
+                let speculative = (inner.prefetcher.pending() as u64 + 1) * est;
+                if speculative > inner.config.store.memory_budget {
+                    break;
+                }
+            }
+            let batch = chunk.graph.batches[idx].clone();
+            let Some(build) =
+                inner
+                    .prefetcher
+                    .begin((task_id, e, i), chunk_id, batch.samples.len())
+            else {
+                continue; // already in flight from an earlier serve
+            };
+            for (si, plan) in batch.samples.iter().enumerate() {
+                let inner2 = Arc::clone(inner);
+                let chunk2 = Arc::clone(chunk);
+                let plan2 = plan.clone();
+                let build2 = Arc::clone(&build);
+                if let Some(m) = &inner.prefetcher.metrics {
+                    m.scheduled.inc();
+                }
+                inner.sched.submit(Job {
+                    kind: JobKind::Prefetch,
+                    deadline: batch.clock,
+                    remaining_work: plan.frame_nodes.len() as u64,
+                    affinity: Some(plan.video_id),
+                    run: Box::new(move || {
+                        if build2.cancelled() {
+                            build2.fulfill(
+                                si,
+                                Err(CoreError::State {
+                                    what: "prefetch cancelled".into(),
+                                }),
+                            );
+                            return;
+                        }
+                        let result = Self::sample_tensor(&inner2, &chunk2, &plan2);
+                        build2.fulfill(si, result);
+                    }),
+                });
+            }
+        }
+    }
+
+    /// Serves a training batch inline (no prefetch entry): fan the
+    /// samples out as demand jobs and assemble on this thread.
+    fn serve_batch_inline(
+        inner: &Arc<Inner>,
+        chunk: &Arc<Chunk>,
+        task: &str,
+        epoch: u64,
+        iteration: u64,
+    ) -> Result<Vec<u8>> {
+        let chunk = Arc::clone(chunk);
         let batch = Self::find_batch(inner, &chunk, task, epoch, iteration)?.clone();
         // The probe's creation instant is the batch's t0: everything
         // between here and each job's submission is the `plan` segment
@@ -1172,17 +1430,7 @@ impl Inner {
                 remaining_work: plan.frame_nodes.len() as u64,
                 affinity: Some(plan.video_id),
                 run: Box::new(move || {
-                    let work = || {
-                        Self::materialize_sample(&inner2, &chunk2, &plan2).and_then(|clip| {
-                            let channels = clip.first().map_or(3, |f| f.channels());
-                            let (mean, std) = match &plan2.normalize {
-                                Some((m, s)) => (m.clone(), s.clone()),
-                                None => (vec![0.0; channels], vec![1.0; channels]),
-                            };
-                            let refs: Vec<&Frame> = clip.iter().map(Arc::as_ref).collect();
-                            Ok(clip_refs_to_tensor(&refs, &mean, &std)?)
-                        })
-                    };
+                    let work = || Self::sample_tensor(&inner2, &chunk2, &plan2);
                     let result = match &probe2 {
                         Some(p) => p.run_sample(i, work),
                         None => work(),
@@ -1224,6 +1472,9 @@ impl Inner {
         Self::report_pressure(inner);
         inner.batches_served.fetch_add(1, Ordering::Relaxed);
         let bytes = batch_tensor.to_bytes();
+        inner
+            .last_batch_bytes
+            .store(bytes.len() as u64, Ordering::Relaxed);
         if let Some(p) = &probe {
             let budget_us = inner.telemetry.config().map_or(0, |c| c.stall_budget_us);
             let trace = p.finish(
@@ -1820,6 +2071,7 @@ dataset:
                     disk_budget: 512 << 20,
                     evict_watermark: 0.75,
                     memory_horizon: 0,
+                    ..Default::default()
                 },
                 ..Default::default()
             };
@@ -2206,6 +2458,7 @@ dataset:
                 disk_budget: 512 << 20,
                 evict_watermark: 0.75,
                 memory_horizon: 0,
+                ..Default::default()
             },
             telemetry: Some(TelemetryConfig::default()),
             ..Default::default()

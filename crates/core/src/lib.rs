@@ -22,12 +22,15 @@
 
 pub mod engine;
 pub mod keys;
+mod prefetch;
 pub mod service;
 
 pub use engine::{EngineConfig, EngineStats, SandEngine};
 pub use keys::store_key;
 pub use sand_lint::LintLevel;
-pub use sand_telemetry::{Snapshot, StallReport, Telemetry, TelemetryConfig};
+pub use sand_telemetry::{
+    LoaderMetrics, MetricValue, Snapshot, StallReport, Telemetry, TelemetryConfig,
+};
 pub use service::{AugClient, AugService, CustomOp};
 
 use std::fmt;

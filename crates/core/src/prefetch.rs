@@ -1,0 +1,274 @@
+//! Epoch-ahead batch prefetching.
+//!
+//! With `EngineConfig::prefetch_depth = d > 0`, serving batch *n*
+//! schedules speculative materialization of batches *n+1..n+d* (in the
+//! trainer's consumption order, within the current plan chunk) as
+//! [`sand_sched::JobKind::Prefetch`] jobs — strictly below demand
+//! priority, so a blocked `read()` always wins the worker pool. While
+//! the trainer consumes batch *n* on the GPU, the workers assemble the
+//! next batches; the next `serve_batch` call then either takes a
+//! finished entry (**hit**), waits for the in-flight remainder
+//! (**late**, with the wait carved into the trace's `prefetch` stall
+//! segment), or finds nothing and serves inline (**miss**).
+//!
+//! ## Bit-identity
+//!
+//! Prefetching never changes served bytes ([`EngineConfig`]'s
+//! `prefetch_depth = 0` default is exactly today's behaviour, and the
+//! `prop_prefetch_parity` test pins depth ∈ {0, 1, 4} to identical
+//! sequences). Two rules make that hold by construction:
+//!
+//! - Prefetch jobs only *materialize* (deterministic given plan + seed;
+//!   the cache merely decides reuse vs. recompute). All consumption
+//!   bookkeeping — clock advance, retained-use burn, budget enforcement
+//!   — happens at **consume time, in consume order**, identically to
+//!   the inline path.
+//! - Each sample is one self-contained job (no nested fan-out), so a
+//!   prefetch job never blocks on another job and the pool cannot
+//!   deadlock at any worker count.
+//!
+//! Back-pressure: scheduling stops while the estimated bytes of
+//! unconsumed entries (sized by the last served batch) would overrun
+//! the store's memory budget, so the prefetcher cannot thrash the cache
+//! it feeds. On chunk rollover, stale entries are cancelled (counted in
+//! `prefetch.cancelled`) and their jobs bail without materializing.
+
+use parking_lot::{Condvar, Mutex};
+use sand_frame::Tensor;
+use sand_telemetry::PrefetchMetrics;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Identity of a prefetchable batch: (task id, epoch, iteration).
+pub(crate) type PrefetchKey = (u32, u64, u64);
+
+/// One speculative batch under assembly: per-sample result slots filled
+/// by independent prefetch jobs.
+pub(crate) struct BatchBuild {
+    state: Mutex<BuildState>,
+    done: Condvar,
+    cancelled: AtomicBool,
+}
+
+struct BuildState {
+    tensors: Vec<Option<crate::Result<Tensor>>>,
+    remaining: usize,
+}
+
+impl BatchBuild {
+    fn new(samples: usize) -> Self {
+        BatchBuild {
+            state: Mutex::new(BuildState {
+                tensors: (0..samples).map(|_| None).collect(),
+                remaining: samples,
+            }),
+            done: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+        }
+    }
+
+    /// True once the entry was discarded (chunk rollover); jobs check
+    /// this before doing any work.
+    pub(crate) fn cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+        self.done.notify_all();
+    }
+
+    /// Delivers sample `i`'s result (or registers a cancelled bail-out,
+    /// which still counts toward completion so waiters never hang).
+    pub(crate) fn fulfill(&self, i: usize, result: crate::Result<Tensor>) {
+        let mut state = self.state.lock();
+        if state.tensors[i].is_none() {
+            state.tensors[i] = Some(result);
+            state.remaining -= 1;
+        }
+        if state.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// True when every sample slot is filled.
+    pub(crate) fn is_complete(&self) -> bool {
+        self.state.lock().remaining == 0
+    }
+
+    /// Blocks until every sample job delivered (or the build was
+    /// cancelled).
+    pub(crate) fn wait_complete(&self) {
+        let mut state = self.state.lock();
+        while state.remaining > 0 && !self.cancelled() {
+            self.done.wait(&mut state);
+        }
+    }
+
+    /// Takes the per-sample results; `None` slots mean a job never ran
+    /// (only possible after cancellation).
+    pub(crate) fn take_results(&self) -> Vec<Option<crate::Result<Tensor>>> {
+        let mut state = self.state.lock();
+        std::mem::take(&mut state.tensors)
+    }
+}
+
+struct Entry {
+    chunk_id: u64,
+    build: Arc<BatchBuild>,
+}
+
+/// The epoch-ahead prefetcher: a window of speculative batch builds
+/// keyed by (task, epoch, iteration).
+pub(crate) struct Prefetcher {
+    depth: usize,
+    entries: Mutex<HashMap<PrefetchKey, Entry>>,
+    pub(crate) metrics: Option<PrefetchMetrics>,
+}
+
+impl Prefetcher {
+    pub(crate) fn new(depth: usize, metrics: Option<PrefetchMetrics>) -> Self {
+        Prefetcher {
+            depth,
+            entries: Mutex::new(HashMap::new()),
+            metrics,
+        }
+    }
+
+    /// Whether prefetching is active (`prefetch_depth > 0`).
+    pub(crate) fn enabled(&self) -> bool {
+        self.depth > 0
+    }
+
+    /// The configured look-ahead depth.
+    pub(crate) fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Unconsumed entries currently held (for back-pressure estimates).
+    pub(crate) fn pending(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Registers a new build for `key` unless one exists; returns the
+    /// build to hand to the per-sample jobs.
+    pub(crate) fn begin(
+        &self,
+        key: PrefetchKey,
+        chunk_id: u64,
+        samples: usize,
+    ) -> Option<Arc<BatchBuild>> {
+        let mut entries = self.entries.lock();
+        if entries.contains_key(&key) {
+            return None;
+        }
+        let build = Arc::new(BatchBuild::new(samples));
+        entries.insert(
+            key,
+            Entry {
+                chunk_id,
+                build: Arc::clone(&build),
+            },
+        );
+        Some(build)
+    }
+
+    /// Removes and returns the build for `key` if one exists for the
+    /// current chunk. A stale entry (older chunk) is cancelled instead.
+    pub(crate) fn take(&self, key: PrefetchKey, chunk_id: u64) -> Option<Arc<BatchBuild>> {
+        let mut entries = self.entries.lock();
+        let entry = entries.remove(&key)?;
+        if entry.chunk_id == chunk_id {
+            Some(entry.build)
+        } else {
+            entry.build.cancel();
+            if let Some(m) = &self.metrics {
+                m.cancelled.inc();
+            }
+            None
+        }
+    }
+
+    /// Cancels every entry not belonging to `chunk_id` (chunk rollover:
+    /// the superseded plan's speculative batches are dead weight). Each
+    /// cancelled entry is counted once.
+    pub(crate) fn cancel_stale(&self, chunk_id: u64) {
+        let mut entries = self.entries.lock();
+        entries.retain(|_, entry| {
+            if entry.chunk_id == chunk_id {
+                return true;
+            }
+            entry.build.cancel();
+            if let Some(m) = &self.metrics {
+                m.cancelled.inc();
+            }
+            false
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor() -> Tensor {
+        Tensor::zeros(vec![1]).expect("valid shape")
+    }
+
+    #[test]
+    fn build_completes_when_all_samples_fulfilled() {
+        let p = Prefetcher::new(2, None);
+        assert!(p.enabled());
+        assert_eq!(p.depth(), 2);
+        let build = p.begin((0, 0, 1), 0, 2).expect("fresh key");
+        assert!(p.begin((0, 0, 1), 0, 2).is_none(), "double begin");
+        assert!(!build.is_complete());
+        build.fulfill(0, Ok(tensor()));
+        build.fulfill(1, Ok(tensor()));
+        assert!(build.is_complete());
+        build.wait_complete(); // must not block
+        let taken = p.take((0, 0, 1), 0).expect("entry present");
+        assert_eq!(taken.take_results().len(), 2);
+        assert_eq!(p.pending(), 0);
+    }
+
+    #[test]
+    fn stale_chunk_entries_are_cancelled_not_served() {
+        let p = Prefetcher::new(1, None);
+        let build = p.begin((0, 1, 0), 0, 1).expect("fresh key");
+        // Rollover to chunk 1: the entry is stale.
+        p.cancel_stale(1);
+        assert!(build.cancelled());
+        assert_eq!(p.pending(), 0);
+        assert!(p.take((0, 1, 0), 1).is_none());
+    }
+
+    #[test]
+    fn take_with_wrong_chunk_cancels() {
+        let p = Prefetcher::new(1, None);
+        let build = p.begin((0, 0, 0), 0, 1).expect("fresh key");
+        assert!(p.take((0, 0, 0), 7).is_none());
+        assert!(build.cancelled());
+    }
+
+    #[test]
+    fn waiters_wake_on_cancellation() {
+        let p = Prefetcher::new(1, None);
+        let build = p.begin((0, 0, 0), 0, 1).expect("fresh key");
+        let waiter = {
+            let build = Arc::clone(&build);
+            std::thread::spawn(move || build.wait_complete())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        p.cancel_stale(99);
+        waiter.join().expect("waiter must wake after cancel");
+    }
+
+    #[test]
+    fn disabled_prefetcher_reports_depth_zero() {
+        let p = Prefetcher::new(0, None);
+        assert!(!p.enabled());
+        assert_eq!(p.pending(), 0);
+    }
+}

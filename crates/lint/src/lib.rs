@@ -12,7 +12,7 @@
 //! |---|---|---|
 //! | config semantics | `SL001`–`SL006` | unreachable arms, dead streams, bad probabilities |
 //! | graph invariants | `SL010`–`SL014` | edge legality, acyclicity, dangling references |
-//! | resource feasibility | `SL020`–`SL024` | budget lower bounds, decode amplification, telemetry buckets |
+//! | resource feasibility | `SL020`–`SL025` | budget lower bounds, decode amplification, telemetry buckets, prefetch/shard sizing |
 //! | sharing | `SL030`–`SL031` | near-miss cross-task merge opportunities |
 //!
 //! Diagnostics render rustc-style for humans ([`LintReport::render_human`])
@@ -156,6 +156,13 @@ pub struct LintOptions {
     /// Telemetry configuration when the engine enables observability
     /// (`None` = telemetry off, its lints are skipped).
     pub telemetry: Option<sand_telemetry::TelemetryConfig>,
+    /// Epoch-ahead prefetch depth (`EngineConfig::prefetch_depth`;
+    /// `0` = prefetching off, its lints are skipped).
+    pub prefetch_depth: usize,
+    /// Object-store shard count (`StoreConfig::shards`).
+    pub store_shards: usize,
+    /// Decoder worker threads (`EngineConfig::decode_threads`).
+    pub decode_threads: usize,
 }
 
 impl Default for LintOptions {
@@ -168,6 +175,9 @@ impl Default for LintOptions {
             aug_threads: 1,
             pre_workers: 3,
             telemetry: None,
+            prefetch_depth: 0,
+            store_shards: 1,
+            decode_threads: 1,
         }
     }
 }

@@ -1,4 +1,4 @@
-//! Resource-feasibility analyses (`SL020`–`SL024`).
+//! Resource-feasibility analyses (`SL020`–`SL025`).
 //!
 //! These bound, *statically*, what the runtime will need: the largest
 //! single-batch working set is a hard lower bound on live bytes — no
@@ -29,7 +29,72 @@ pub fn lint_resources(
     lint_decode_amplification(tasks, videos, &mut out);
     lint_aug_fanout(tasks, opts, &mut out);
     lint_telemetry(opts, &mut out);
+    lint_prefetch_store(tasks, concrete, opts, &mut out);
     out
+}
+
+/// `SL025`: prefetch/shard configuration that cannot pay off.
+///
+/// Deny: a prefetch window of `prefetch_depth` batches, each needing up
+/// to the largest single-batch working set, cannot fit the store's
+/// memory budget alongside the batch being consumed — the prefetcher's
+/// back-pressure would permanently stall it, or worse, speculative
+/// materialization would evict the very objects the demand path needs.
+///
+/// Warn: the store is sharded (`store_shards > 1`) but every producer
+/// stage is single-threaded (`decode_threads == 1 && aug_threads == 1`),
+/// so at most one thread ever touches the store at a time and the
+/// sharding only adds hashing overhead.
+fn lint_prefetch_store(
+    tasks: &[TaskConfig],
+    concrete: Option<&ConcreteGraph>,
+    opts: &LintOptions,
+    out: &mut Vec<Diagnostic>,
+) {
+    if opts.prefetch_depth > 0 {
+        if let Some((need, which)) = concrete.and_then(max_batch_working_set) {
+            let window = (opts.prefetch_depth as u64).saturating_mul(need);
+            if window > opts.memory_budget {
+                out.push(Diagnostic {
+                    code: "SL025",
+                    severity: Severity::Deny,
+                    location: format!("engine.prefetch_depth ({which})"),
+                    message: format!(
+                        "prefetch window of {} batch(es) x {need} bytes \
+                         worst-case working set = {window} bytes exceeds the \
+                         store's {}-byte memory budget; speculative batches \
+                         would evict the objects the demand path needs",
+                        opts.prefetch_depth, opts.memory_budget
+                    ),
+                    help: "lower prefetch_depth, raise the memory tier \
+                           budget, or shrink the batch working set"
+                        .into(),
+                });
+            }
+        }
+    }
+    let effective_aug = tasks
+        .iter()
+        .map(|t| t.execution.aug_threads)
+        .fold(opts.aug_threads, usize::max)
+        .max(1);
+    if opts.store_shards > 1 && opts.decode_threads == 1 && effective_aug == 1 {
+        out.push(Diagnostic {
+            code: "SL025",
+            severity: Severity::Warn,
+            location: "engine.store.shards".into(),
+            message: format!(
+                "store is split into {} shards but decode_threads == 1 and \
+                 aug_threads == 1: only one producer thread ever touches the \
+                 store, so sharding adds hashing overhead without reducing \
+                 contention",
+                opts.store_shards
+            ),
+            help: "raise decode_threads / aug_threads to create real \
+                   concurrency, or set store.shards to 1"
+                .into(),
+        });
+    }
 }
 
 /// `SL024`: telemetry is enabled but a histogram bucket configuration
@@ -379,6 +444,79 @@ mod tests {
             ..Default::default()
         };
         assert!(lint_resources(&tasks, None, &vs, &opts).is_empty());
+    }
+
+    #[test]
+    fn sl025_prefetch_window_exceeds_memory_budget() {
+        let (tasks, g, vs) = planned(2, 8);
+        // A batch of 2 videos x 4 frames of 32x32x3 terminals needs
+        // ~24 KiB; 4 speculative batches overrun a 32 KiB memory tier.
+        let opts = LintOptions {
+            cache_budget: 1 << 30,
+            memory_budget: 32 << 10,
+            prefetch_depth: 4,
+            ..Default::default()
+        };
+        let d = lint_resources(&tasks, Some(&g), &vs, &opts);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, "SL025");
+        assert_eq!(d[0].severity, Severity::Deny);
+        assert!(d[0].message.contains("prefetch window"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn sl025_silent_when_window_fits() {
+        let (tasks, g, vs) = planned(2, 8);
+        let opts = LintOptions {
+            cache_budget: 1 << 30,
+            memory_budget: 1 << 30,
+            prefetch_depth: 4,
+            ..Default::default()
+        };
+        assert!(lint_resources(&tasks, Some(&g), &vs, &opts).is_empty());
+    }
+
+    #[test]
+    fn sl025_shards_without_producer_concurrency() {
+        let (tasks, _, vs) = planned(2, 8);
+        let opts = LintOptions {
+            store_shards: 8,
+            decode_threads: 1,
+            aug_threads: 1,
+            ..Default::default()
+        };
+        let d = lint_resources(&tasks, None, &vs, &opts);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, "SL025");
+        assert_eq!(d[0].severity, Severity::Warn);
+        assert_eq!(d[0].location, "engine.store.shards");
+    }
+
+    #[test]
+    fn sl025_shards_silent_with_concurrency_or_single_shard() {
+        let (mut tasks, _, vs) = planned(2, 8);
+        // Any producer concurrency quiets the warning...
+        for (decode, aug) in [(4, 1), (1, 3)] {
+            let opts = LintOptions {
+                store_shards: 8,
+                decode_threads: decode,
+                aug_threads: aug,
+                ..Default::default()
+            };
+            assert!(lint_resources(&tasks, None, &vs, &opts).is_empty());
+        }
+        // ...as does a task-level aug hint, matching SL023's notion of
+        // effective fan-out...
+        tasks[0].execution.aug_threads = 4;
+        let opts = LintOptions {
+            store_shards: 8,
+            pre_workers: 8,
+            ..Default::default()
+        };
+        assert!(lint_resources(&tasks, None, &vs, &opts).is_empty());
+        tasks[0].execution.aug_threads = 1;
+        // ...and a single-shard store never warns.
+        assert!(lint_resources(&tasks, None, &vs, &LintOptions::default()).is_empty());
     }
 
     #[test]

@@ -31,6 +31,12 @@ use std::time::Instant;
 pub enum JobKind {
     /// Data the GPU is waiting on right now.
     Demand,
+    /// Speculative assembly of an upcoming batch (the epoch-ahead
+    /// prefetcher). Strictly below demand — a GPU-blocking read never
+    /// waits behind a prefetch — and above pre-materialization, whose
+    /// deadlines are whole iterations further out. Reserved demand-only
+    /// workers never pick prefetch work.
+    Prefetch,
     /// Object generation for future iterations/epochs.
     PreMaterialize,
 }
@@ -122,6 +128,8 @@ impl Default for SchedConfig {
 pub struct SchedStats {
     /// Demand jobs served.
     pub demand_served: u64,
+    /// Prefetch jobs served.
+    pub prefetch_served: u64,
     /// Pre-materialization jobs served.
     pub pre_served: u64,
     /// Picks made in deadline mode.
@@ -391,13 +399,27 @@ fn pick_index(
             .map(|(i, _)| (i, "demand"))
     };
     if w.demand_only {
+        // Reserved workers serve demand only — prefetch is speculative
+        // and must never occupy a thread set aside for GPU-blocking
+        // reads.
         return pick_demand(entries);
     }
     // Under the priority policy, demand jobs always win (earliest
-    // deadline first). The FIFO baseline deliberately lacks this
-    // preemption too: that is the "without scheduling" ablation.
+    // deadline first), then prefetch (speculative upcoming batches,
+    // EDF with affinity as a tie-break), then pre-materialization. The
+    // FIFO baseline deliberately lacks this preemption too: that is the
+    // "without scheduling" ablation.
     if config.policy == Policy::Priority {
         if let Some(pick) = pick_demand(entries) {
+            return Some(pick);
+        }
+        let prefetch = entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.job.kind == JobKind::Prefetch)
+            .min_by_key(|(_, e)| (e.job.deadline, u8::from(sticky && !w.prefers(e)), e.seq))
+            .map(|(i, _)| (i, "prefetch"));
+        if let Some(pick) = prefetch {
             return Some(pick);
         }
     }
@@ -468,6 +490,7 @@ fn worker_loop(shared: &Arc<Shared>, done: &Sender<()>, w: WorkerCtx) {
                             let wait = t.elapsed();
                             match picked.job.kind {
                                 JobKind::Demand => m.demand_wait_us.observe_duration(wait),
+                                JobKind::Prefetch => m.prefetch_wait_us.observe_duration(wait),
                                 JobKind::PreMaterialize => m.pre_wait_us.observe_duration(wait),
                             }
                         }
@@ -485,6 +508,7 @@ fn worker_loop(shared: &Arc<Shared>, done: &Sender<()>, w: WorkerCtx) {
                     let mut stats = shared.stats.lock();
                     match entry.job.kind {
                         JobKind::Demand => stats.demand_served += 1,
+                        JobKind::Prefetch => stats.prefetch_served += 1,
                         JobKind::PreMaterialize => stats.pre_served += 1,
                     }
                     match mode {
@@ -617,6 +641,78 @@ mod tests {
         let order = order.lock().clone();
         assert_eq!(order[0], "demand", "order was {order:?}");
         sched.shutdown();
+    }
+
+    /// Prefetch is its own priority band: below demand, above
+    /// pre-materialization, EDF within the band.
+    #[test]
+    fn prefetch_sits_between_demand_and_prematerialization() {
+        let (sched, gate) = gated_scheduler(Policy::Priority);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let o = Arc::clone(&order);
+        sched.submit(job(JobKind::PreMaterialize, 1, 1, move || {
+            o.lock().push("pre");
+        }));
+        for (name, deadline) in [("prefetch-late", 9u64), ("prefetch-soon", 2)] {
+            let o = Arc::clone(&order);
+            sched.submit(Job {
+                kind: JobKind::Prefetch,
+                deadline,
+                remaining_work: 1,
+                affinity: None,
+                run: Box::new(move || o.lock().push(name)),
+            });
+        }
+        let o = Arc::clone(&order);
+        sched.submit(job(JobKind::Demand, 999, 1, move || {
+            o.lock().push("demand");
+        }));
+        gate.store(true, Ordering::SeqCst);
+        sched.wait_idle();
+        assert_eq!(
+            *order.lock(),
+            vec!["demand", "prefetch-soon", "prefetch-late", "pre"]
+        );
+        let stats = sched.stats();
+        assert_eq!(stats.prefetch_served, 2);
+        assert_eq!(stats.demand_served, 1);
+        assert_eq!(stats.pre_served, 2); // gate job + "pre"
+        sched.shutdown();
+    }
+
+    /// Prefetch waits land in their own histogram, not demand's or
+    /// pre-materialization's.
+    #[test]
+    fn prefetch_waits_have_their_own_histogram() {
+        let telemetry = sand_telemetry::Telemetry::new(sand_telemetry::TelemetryConfig::default());
+        let metrics = sand_telemetry::SchedMetrics::register(&telemetry).unwrap();
+        let sched = Scheduler::with_metrics(
+            SchedConfig {
+                threads: 2,
+                ..Default::default()
+            },
+            Some(metrics),
+        );
+        for i in 0..6 {
+            sched.submit(Job {
+                kind: JobKind::Prefetch,
+                deadline: i,
+                remaining_work: 1,
+                affinity: None,
+                run: Box::new(|| {}),
+            });
+        }
+        sched.wait_idle();
+        sched.shutdown();
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(
+            snap.histogram("sched.prefetch_wait_us").map(|h| h.count),
+            Some(6)
+        );
+        assert_eq!(
+            snap.histogram("sched.demand_wait_us").map(|h| h.count),
+            Some(0)
+        );
     }
 
     #[test]

@@ -112,6 +112,7 @@ proptest! {
                     disk_budget: 256 * 1024,
                     evict_watermark: 0.75,
                     memory_horizon: 1,
+                    ..Default::default()
                 },
                 Some(dir.clone()),
             )
@@ -142,6 +143,87 @@ proptest! {
             }
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The tentpole's shard-count invariance: the same operation
+    /// sequence against a single-shard store and an 8-shard store must
+    /// leave identical retained sets, identical tier placement, and
+    /// identical byte accounting — sharding is a lock-contention knob,
+    /// never a behaviour knob. Budgets are tight enough that spills and
+    /// watermark evictions fire, so the coordinated sweep's global
+    /// victim ordering is what's actually under test.
+    #[test]
+    fn prop_sharding_invariant(ops in prop::collection::vec(arb_op(), 1..60)) {
+        let mut dirs = Vec::new();
+        let mut stores = Vec::new();
+        for shards in [1usize, 8] {
+            let dir = std::env::temp_dir().join(format!(
+                "sand_prop_shard{}_{}_{}",
+                shards,
+                std::process::id(),
+                rand_suffix()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = ObjectStore::open(
+                StoreConfig {
+                    memory_budget: 8 * 1024,
+                    disk_budget: 64 * 1024,
+                    evict_watermark: 0.75,
+                    memory_horizon: 1,
+                    shards,
+                },
+                Some(dir.clone()),
+            )
+            .unwrap();
+            dirs.push(dir);
+            stores.push(store);
+        }
+        for op in ops {
+            for store in &stores {
+                match op.clone() {
+                    Op::Put { key, size, deadline, uses } => {
+                        let payload: Vec<u8> = (0..size).map(|i| (i as u8) ^ key).collect();
+                        let meta = ObjectMeta { deadline: Some(deadline), future_uses: uses };
+                        let _ = store.put(&format!("k{key}"), payload.into(), meta);
+                    }
+                    Op::Get { key } => {
+                        let _ = store.get(&format!("k{key}"));
+                    }
+                    Op::Remove { key } => store.remove(&format!("k{key}")).unwrap(),
+                    Op::MarkUsed { key } => store.mark_used(&format!("k{key}")),
+                    Op::SetClock { clock } => store.set_clock(clock),
+                }
+            }
+            // After every op: identical retained sets, tiers, accounting.
+            let mut keys1 = stores[0].keys();
+            let mut keys8 = stores[1].keys();
+            keys1.sort();
+            keys8.sort();
+            prop_assert_eq!(&keys1, &keys8, "retained sets diverged");
+            for k in &keys1 {
+                prop_assert_eq!(stores[0].tier_of(k), stores[1].tier_of(k), "tier diverged for {}", k);
+                prop_assert_eq!(
+                    stores[0].future_uses_of(k),
+                    stores[1].future_uses_of(k)
+                );
+            }
+            let (s1, s8) = (stores[0].stats(), stores[1].stats());
+            prop_assert_eq!(s1.memory_bytes, s8.memory_bytes);
+            prop_assert_eq!(s1.disk_bytes, s8.disk_bytes);
+        }
+        // Served bytes identical for everything retained.
+        for k in stores[0].keys() {
+            let b1 = stores[0].get(&k);
+            let b8 = stores[1].get(&k);
+            match (b1, b8) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "bytes diverged for {}", k),
+                (a, b) => prop_assert!(false, "get outcome diverged for {}: {:?} vs {:?}", k, a.is_ok(), b.is_ok()),
+            }
+        }
+        drop(stores);
+        for dir in dirs {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 }
 

@@ -21,10 +21,12 @@
 //! binary must be bit-identical in behaviour and free of measurable
 //! overhead** (pinned by `crates/bench/benches/telemetry_overhead.rs`).
 
+mod flush;
 mod json;
 mod report;
 mod snapshot;
 
+pub use flush::{FlushConfig, JsonlFlusher};
 pub use json::{parse_json, validate_jsonl, JsonValue};
 pub use report::{
     record_stage, with_stage_cells, BatchMeta, BatchProbe, BatchTrace, SampleProbe, Stage,
@@ -411,10 +413,16 @@ pub struct StoreMetrics {
     pub disk_read_us: Histogram,
     /// Disk-tier write latency (the write-through `put` path).
     pub disk_write_us: Histogram,
+    /// Per-shard lock-wait latency (`store.shard<i>.lock_wait_us`), one
+    /// histogram per shard, recording only *contended* acquisitions —
+    /// the uncontended fast path never reads the clock.
+    pub shard_lock_wait_us: Vec<Histogram>,
 }
 
 impl StoreMetrics {
-    pub fn register(t: &Telemetry) -> Option<Self> {
+    /// `shards` is the store's shard count; one lock-wait histogram is
+    /// registered per shard.
+    pub fn register(t: &Telemetry, shards: usize) -> Option<Self> {
         let (r, c) = (t.registry()?, t.config()?);
         Some(Self {
             mem_hits: r.counter("store.mem_hits"),
@@ -425,6 +433,14 @@ impl StoreMetrics {
             puts: r.counter("store.puts"),
             disk_read_us: r.histogram("store.disk_read_us", &c.latency_buckets_us),
             disk_write_us: r.histogram("store.disk_write_us", &c.latency_buckets_us),
+            shard_lock_wait_us: (0..shards.max(1))
+                .map(|i| {
+                    r.histogram(
+                        &format!("store.shard{i}.lock_wait_us"),
+                        &c.latency_buckets_us,
+                    )
+                })
+                .collect(),
         })
     }
 }
@@ -438,6 +454,8 @@ pub struct SchedMetrics {
     pub demand_wait_us: Histogram,
     /// Queue wait of pre-materialization jobs, submission → pick.
     pub pre_wait_us: Histogram,
+    /// Queue wait of epoch-ahead prefetch jobs, submission → pick.
+    pub prefetch_wait_us: Histogram,
     /// How far (in clock ticks) a picked job's deadline sat above the
     /// most urgent queued deadline of the same kind. Non-zero demand
     /// slack means the affinity window overrode strict EDF order.
@@ -459,6 +477,7 @@ impl SchedMetrics {
             queue_depth: r.gauge("sched.queue_depth"),
             demand_wait_us: r.histogram("sched.demand_wait_us", &c.latency_buckets_us),
             pre_wait_us: r.histogram("sched.pre_wait_us", &c.latency_buckets_us),
+            prefetch_wait_us: r.histogram("sched.prefetch_wait_us", &c.latency_buckets_us),
             deadline_slack: r.histogram("sched.deadline_slack", &c.slack_buckets),
             affinity_hits: r.counter("sched.affinity_hits"),
             affinity_steals: r.counter("sched.affinity_steals"),
@@ -550,6 +569,66 @@ impl EngineMetrics {
     }
 }
 
+/// Epoch-ahead prefetcher metrics (`prefetch.*`), recorded by the
+/// engine's batch prefetch pipeline.
+#[derive(Clone, Debug)]
+pub struct PrefetchMetrics {
+    /// Batches served straight from a fully materialized prefetch entry.
+    pub hit: Counter,
+    /// Batches whose prefetch was in flight — the trainer had to wait.
+    pub late: Counter,
+    /// Prefetched entries discarded on chunk rollover.
+    pub cancelled: Counter,
+    /// Batches with no prefetch entry at all (cold start or window gap).
+    pub miss: Counter,
+    /// Prefetch jobs handed to the scheduler (one per sample).
+    pub scheduled: Counter,
+    /// Serve-thread wait for an in-flight prefetched batch.
+    pub wait_us: Histogram,
+}
+
+impl PrefetchMetrics {
+    pub fn register(t: &Telemetry) -> Option<Self> {
+        let (r, c) = (t.registry()?, t.config()?);
+        Some(Self {
+            hit: r.counter("prefetch.hit"),
+            late: r.counter("prefetch.late"),
+            cancelled: r.counter("prefetch.cancelled"),
+            miss: r.counter("prefetch.miss"),
+            scheduled: r.counter("prefetch.scheduled"),
+            wait_us: r.histogram("prefetch.wait_us", &c.latency_buckets_us),
+        })
+    }
+}
+
+/// Per-loader training metrics (`loader.<name>.*`), recorded by the
+/// trainer for SAND and every baseline loader alike, so stall
+/// attribution across loaders reads from one registry.
+#[derive(Clone, Debug)]
+pub struct LoaderMetrics {
+    /// Trainer-observed stall per iteration (time blocked in
+    /// `next_batch`).
+    pub stall_us: Histogram,
+    /// Batches delivered.
+    pub batches: Counter,
+    /// Cumulative loader CPU work at the end of the run, in
+    /// microseconds.
+    pub cpu_work_us: Counter,
+}
+
+impl LoaderMetrics {
+    /// `loader` is the loader's `name()` (`sand`, `cpu`, `gpu`, ...);
+    /// it becomes part of the metric names.
+    pub fn register(t: &Telemetry, loader: &str) -> Option<Self> {
+        let (r, c) = (t.registry()?, t.config()?);
+        Some(Self {
+            stall_us: r.histogram(&format!("loader.{loader}.stall_us"), &c.latency_buckets_us),
+            batches: r.counter(&format!("loader.{loader}.batches")),
+            cpu_work_us: r.counter(&format!("loader.{loader}.cpu_work_us")),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -604,11 +683,30 @@ mod tests {
         assert!(t.snapshot().is_none());
         assert!(t.stall_report().is_none());
         assert!(CodecMetrics::register(&t).is_none());
-        assert!(StoreMetrics::register(&t).is_none());
+        assert!(StoreMetrics::register(&t, 4).is_none());
         assert!(SchedMetrics::register(&t).is_none());
         assert!(VfsMetrics::register(&t).is_none());
         assert!(MaterializeMetrics::register(&t).is_none());
         assert!(EngineMetrics::register(&t).is_none());
+        assert!(PrefetchMetrics::register(&t).is_none());
+        assert!(LoaderMetrics::register(&t, "cpu").is_none());
+    }
+
+    #[test]
+    fn store_metrics_register_one_lock_wait_histogram_per_shard() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        let m = StoreMetrics::register(&t, 3).expect("enabled");
+        assert_eq!(m.shard_lock_wait_us.len(), 3);
+        m.shard_lock_wait_us[2].observe(17);
+        let snap = t.snapshot().expect("enabled");
+        assert_eq!(
+            snap.histogram("store.shard2.lock_wait_us").map(|h| h.count),
+            Some(1)
+        );
+        assert_eq!(
+            snap.histogram("store.shard0.lock_wait_us").map(|h| h.count),
+            Some(0)
+        );
     }
 
     #[test]

@@ -15,14 +15,20 @@
 //! ```
 //!
 //! The trace for a batch is the timeline of its critical-path job:
-//! `plan` (chunk lookup + job submission), `queue_wait` (scheduler
-//! queue), `exec` split into `decode`, `store_io`, `aug`, and
-//! `exec_other` (residual — compression, channel sends, once-claim
-//! waits), then `finalize` (collecting the remaining tensors, stacking,
-//! consumption bookkeeping). The segments are contiguous offsets of one
-//! clock, so they sum **exactly** to the measured serve latency in
-//! nanoseconds — the invariant `BatchTrace::breakdown_sum_ns() ==
-//! serve_ns` is enforced by construction and asserted in tests.
+//! `plan` (chunk lookup + job submission), `prefetch` (time the serve
+//! thread spent waiting on an epoch-ahead prefetched batch that was
+//! still in flight — zero when prefetching is off or the batch was
+//! ready), `queue_wait` (scheduler queue), `exec` split into `decode`,
+//! `store_io`, `aug`, and `exec_other` (residual — compression, channel
+//! sends, once-claim waits), then `finalize` (collecting the remaining
+//! tensors, stacking, consumption bookkeeping). The segments are
+//! contiguous offsets of one clock, so they sum **exactly** to the
+//! measured serve latency in nanoseconds — the invariant
+//! `BatchTrace::breakdown_sum_ns() == serve_ns` is enforced by
+//! construction and asserted in tests. The prefetch wait happens on the
+//! serve thread before any demand job is submitted, so it is carved out
+//! of the pre-submit window: `plan + prefetch` together cover t0 →
+//! submit.
 //!
 //! Stage time inside `exec` is attributed through a thread-local: the
 //! job installs its [`StageCells`] with [`with_stage_cells`], and
@@ -111,6 +117,8 @@ pub struct SampleProbe {
 pub struct BatchProbe {
     t0: Instant,
     samples: Vec<SampleProbe>,
+    /// Serve-thread wait on an in-flight prefetched batch (ns).
+    prefetch_ns: AtomicU64,
 }
 
 /// Identity of a served batch, carried into its [`BatchTrace`].
@@ -127,12 +135,20 @@ impl BatchProbe {
         Arc::new(Self {
             t0: Instant::now(),
             samples: (0..samples).map(|_| SampleProbe::default()).collect(),
+            prefetch_ns: AtomicU64::new(0),
         })
     }
 
     #[inline]
     fn off_ns(&self) -> u64 {
         self.t0.elapsed().as_nanos() as u64
+    }
+
+    /// Attribute serve-thread time spent waiting for a prefetched batch
+    /// that was still materializing when the trainer asked for it.
+    pub fn record_prefetch_wait(&self, d: Duration) {
+        self.prefetch_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Record that sample `i`'s demand job was just handed to the
@@ -182,6 +198,9 @@ impl BatchProbe {
         let end = end.min(serve_ns);
         let start = start.min(end);
         let submit = submit.min(start);
+        // The prefetch wait is serve-thread time before submission, so
+        // it can never exceed the pre-submit window.
+        let prefetch_ns = self.prefetch_ns.load(Ordering::Relaxed).min(submit);
         let exec_ns = end - start;
         // Clamp the stage split so it never exceeds the execution
         // window; the residual is exec_other. This keeps the trace's
@@ -202,7 +221,8 @@ impl BatchProbe {
             clock: meta.clock,
             samples: self.samples.len(),
             serve_ns,
-            plan_ns: submit,
+            plan_ns: submit - prefetch_ns,
+            prefetch_ns,
             queue_ns: start - submit,
             decode_ns,
             store_ns,
@@ -220,11 +240,12 @@ static EMPTY_CELLS: StageCells = StageCells {
     aug_ns: AtomicU64::new(0),
 };
 
-/// Labels of the seven contiguous segments of a [`BatchTrace`], in
+/// Labels of the eight contiguous segments of a [`BatchTrace`], in
 /// timeline order. `BatchTrace::breakdown_ns` yields values in the same
 /// order.
-pub const STAGE_LABELS: [&str; 7] = [
+pub const STAGE_LABELS: [&str; 8] = [
     "plan",
+    "prefetch",
     "queue_wait",
     "decode",
     "store_io",
@@ -244,6 +265,7 @@ pub struct BatchTrace {
     pub samples: usize,
     pub serve_ns: u64,
     pub plan_ns: u64,
+    pub prefetch_ns: u64,
     pub queue_ns: u64,
     pub decode_ns: u64,
     pub store_ns: u64,
@@ -255,9 +277,10 @@ pub struct BatchTrace {
 
 impl BatchTrace {
     /// Segment values in [`STAGE_LABELS`] order.
-    pub fn breakdown_ns(&self) -> [u64; 7] {
+    pub fn breakdown_ns(&self) -> [u64; 8] {
         [
             self.plan_ns,
+            self.prefetch_ns,
             self.queue_ns,
             self.decode_ns,
             self.store_ns,
@@ -267,7 +290,7 @@ impl BatchTrace {
         ]
     }
 
-    /// Invariant check: the seven segments reassemble the serve latency.
+    /// Invariant check: the eight segments reassemble the serve latency.
     pub fn breakdown_sum_ns(&self) -> u64 {
         self.breakdown_ns().iter().sum()
     }
@@ -324,11 +347,12 @@ impl StallReport {
             self.traces.len(),
         ));
         out.push_str(&format!(
-            "{:<18} {:>6} {:>9} | {:>8} {:>10} {:>8} {:>8} {:>8} {:>10} {:>8}\n",
+            "{:<18} {:>6} {:>9} | {:>8} {:>8} {:>10} {:>8} {:>8} {:>8} {:>10} {:>8}\n",
             "batch",
             "clock",
             "serve_us",
             "plan",
+            "prefetch",
             "queue_wait",
             "decode",
             "store_io",
@@ -339,7 +363,7 @@ impl StallReport {
         for t in rows {
             let b = t.breakdown_ns();
             out.push_str(&format!(
-                "{:<18} {:>6} {:>9} | {:>8} {:>10} {:>8} {:>8} {:>8} {:>10} {:>8}\n",
+                "{:<18} {:>6} {:>9} | {:>8} {:>8} {:>10} {:>8} {:>8} {:>8} {:>10} {:>8}\n",
                 t.batch_id(),
                 t.clock,
                 t.serve_ns / 1_000,
@@ -350,6 +374,7 @@ impl StallReport {
                 b[4] / 1_000,
                 b[5] / 1_000,
                 b[6] / 1_000,
+                b[7] / 1_000,
             ));
         }
         out
@@ -444,6 +469,35 @@ mod tests {
         });
         assert_eq!(outer.decode_ns.load(Ordering::Relaxed), 20_000);
         assert_eq!(inner.decode_ns.load(Ordering::Relaxed), 99_000);
+    }
+
+    /// The prefetch segment is carved out of the pre-submit window and
+    /// keeps the exact-sum invariant; without a recorded wait it is 0.
+    #[test]
+    fn prefetch_wait_carves_out_of_plan_and_preserves_sum() {
+        let probe = BatchProbe::new(0);
+        thread::sleep(Duration::from_millis(2));
+        probe.record_prefetch_wait(Duration::from_millis(1));
+        let trace = probe.finish(meta(), 0);
+        assert!(trace.prefetch_ns >= 1_000_000);
+        assert_eq!(trace.breakdown_sum_ns(), trace.serve_ns);
+        assert_eq!(trace.plan_ns + trace.prefetch_ns, trace.serve_ns);
+
+        // Over-reported wait clamps to the pre-submit window.
+        let probe = BatchProbe::new(1);
+        probe.record_prefetch_wait(Duration::from_secs(30));
+        probe.mark_submitted(0);
+        probe.run_sample(0, || {});
+        let trace = probe.finish(meta(), 0);
+        assert_eq!(trace.breakdown_sum_ns(), trace.serve_ns);
+
+        // No wait recorded → segment absent from the trace.
+        let probe = BatchProbe::new(1);
+        probe.mark_submitted(0);
+        probe.run_sample(0, || {});
+        let trace = probe.finish(meta(), 0);
+        assert_eq!(trace.prefetch_ns, 0);
+        assert_eq!(trace.breakdown_sum_ns(), trace.serve_ns);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::features::batch_features;
 use crate::loaders::Loader;
 use crate::model::{LinearSoftmax, SgdConfig};
 use crate::Result;
+use sand_core::{LoaderMetrics, Telemetry};
 use sand_sim::{EnergyBreakdown, GpuSim, ModelProfile, PowerModel, UsageWindow};
 use std::ops::Range;
 use std::sync::Arc;
@@ -95,17 +96,34 @@ impl RunReport {
 pub struct Trainer {
     gpu: Arc<GpuSim>,
     power: PowerModel,
+    telemetry: Telemetry,
 }
 
 impl Trainer {
     /// Creates a trainer on the given simulated GPU.
     #[must_use]
     pub fn new(gpu: Arc<GpuSim>, power: PowerModel) -> Self {
-        Trainer { gpu, power }
+        Trainer {
+            gpu,
+            power,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry registry: every run then records
+    /// `loader.<name>.{stall_us,batches,cpu_work_us}`, putting SAND and
+    /// the baseline loaders in one registry so stall attribution reads
+    /// uniformly across strategies.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Runs one training job to completion.
     pub fn run(&self, loader: &mut dyn Loader, config: &TrainerConfig) -> Result<RunReport> {
+        let loader_metrics = LoaderMetrics::register(&self.telemetry, loader.name());
+        let cpu_work_before = loader.cpu_work();
         let mut model = if config.train_model {
             Some(LinearSoftmax::new(config.classes, config.opt)?)
         } else {
@@ -125,6 +143,10 @@ impl Trainer {
                 let stall = wait_started.elapsed();
                 gpu_stall += stall;
                 self.gpu.record_stall(stall);
+                if let Some(m) = &loader_metrics {
+                    m.stall_us.observe_duration(stall);
+                    m.batches.inc();
+                }
                 if !batch.gpu_preprocess.is_zero() {
                     // GPU-side preprocessing occupies the device before
                     // training can start.
@@ -153,6 +175,12 @@ impl Trainer {
             gpu_compute.as_secs_f64() / busy_total.as_secs_f64()
         };
         let cpu_work = loader.cpu_work();
+        if let Some(m) = &loader_metrics {
+            // The loader's counter is lifetime-cumulative; bill only
+            // this run's share so repeated runs don't double-count.
+            m.cpu_work_us
+                .add(cpu_work.saturating_sub(cpu_work_before).as_micros() as u64);
+        }
         // Package-level CPU busy seconds: total work spread over vCPUs,
         // capped at the wall clock.
         let cpu_busy =
@@ -356,6 +384,92 @@ dataset:
         for (a, b) in sand_report.losses.iter().zip(cpu_report.losses.iter()) {
             assert!((a - b).abs() < 1e-5, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn baseline_loaders_record_into_telemetry_registry() {
+        let ds = dataset();
+        let cfg = parse_task_config(TASK).unwrap();
+        let telemetry = sand_core::Telemetry::new(sand_core::TelemetryConfig::default());
+        let t = trainer().with_telemetry(telemetry.clone());
+        let plan = Arc::new(TaskPlan::single_task(&cfg, &ds, 0..1, 7).unwrap());
+        let mut loader = OnDemandCpuLoader::new(Arc::clone(&ds), plan, 2, 2);
+        let report = t.run(&mut loader, &config(0..1)).unwrap();
+        let snap = telemetry.snapshot().unwrap();
+        let counter = |name: &str| match snap.get(name) {
+            Some(sand_core::MetricValue::Counter(v)) => *v,
+            other => panic!("{name}: expected counter, got {other:?}"),
+        };
+        assert_eq!(counter("loader.on-demand-cpu.batches"), report.iterations);
+        assert!(counter("loader.on-demand-cpu.cpu_work_us") > 0);
+        match snap.get("loader.on-demand-cpu.stall_us") {
+            Some(sand_core::MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, report.iterations, "one stall sample per iteration");
+            }
+            other => panic!("loader.on-demand-cpu.stall_us: expected histogram, got {other:?}"),
+        }
+        // A disabled-telemetry trainer records nothing and still runs.
+        let plan = Arc::new(TaskPlan::single_task(&cfg, &ds, 0..1, 7).unwrap());
+        let mut loader = OnDemandCpuLoader::new(Arc::clone(&ds), plan, 2, 2);
+        trainer().run(&mut loader, &config(0..1)).unwrap();
+    }
+
+    #[test]
+    fn prefetching_engine_trains_identically_and_hits() {
+        let ds = dataset();
+        let cfg = parse_task_config(TASK).unwrap();
+        let run = |prefetch_depth: usize| {
+            let engine = SandEngine::new(
+                EngineConfig {
+                    tasks: vec![cfg.clone()],
+                    total_epochs: 4,
+                    epochs_per_chunk: 4,
+                    seed: 7,
+                    prefetch_depth,
+                    telemetry: Some(sand_core::TelemetryConfig::default()),
+                    ..Default::default()
+                },
+                Arc::clone(&ds),
+            )
+            .unwrap();
+            engine.start().unwrap();
+            engine.wait_idle();
+            let telemetry = engine.telemetry().clone();
+            let mut loader = SandLoader::new(engine, "train");
+            let t = trainer().with_telemetry(telemetry.clone());
+            let report = t.run(&mut loader, &config(0..4)).unwrap();
+            (report, telemetry)
+        };
+        let (base, _) = run(0);
+        let (pre, telemetry) = run(2);
+        // The prefetch window only moves when materialization runs:
+        // identical batches, identical loss trajectory.
+        assert_eq!(base.losses.len(), pre.losses.len());
+        for (a, b) in base.losses.iter().zip(pre.losses.iter()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+        let snap = telemetry.snapshot().unwrap();
+        let counter = |name: &str| match snap.get(name) {
+            Some(sand_core::MetricValue::Counter(v)) => *v,
+            other => panic!("{name}: expected counter, got {other:?}"),
+        };
+        // GPU compute sleeps give the window time to fill: the epoch-ahead
+        // path must actually serve batches (hit or arrive-late), not
+        // degenerate to all-miss inline serving.
+        assert!(
+            counter("prefetch.hit") + counter("prefetch.late") > 0,
+            "prefetcher never served a batch (hit {}, late {}, miss {})",
+            counter("prefetch.hit"),
+            counter("prefetch.late"),
+            counter("prefetch.miss"),
+        );
+        assert_eq!(
+            counter("prefetch.hit") + counter("prefetch.late") + counter("prefetch.miss"),
+            base.iterations,
+            "every serve lands in exactly one outcome"
+        );
+        // The SAND loader shares the registry with the baselines.
+        assert_eq!(counter("loader.sand.batches"), pre.iterations);
     }
 
     #[test]

@@ -153,6 +153,7 @@ fn training_survives_heavy_storage_pressure() {
                 disk_budget: 200 * 1024,
                 evict_watermark: 0.75,
                 memory_horizon: 1,
+                ..Default::default()
             },
             store_dir: Some(dir.clone()),
             ..Default::default()
