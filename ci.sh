@@ -19,6 +19,12 @@ cargo test -q
 echo "==> cargo test --workspace"
 cargo test -q --workspace
 
+echo "==> cargo test --features sanitize (tier-1 under the sanitizer)"
+cargo test -q --features sanitize
+
+echo "==> sand-sanitizer unit tests (feature on)"
+cargo test -q -p sand-sanitizer --features sanitize
+
 echo "==> decode_parallel bench smoke (quick mode, writes BENCH_decode.json)"
 SAND_BENCH_QUICK=1 cargo bench -q -p sand-bench --bench decode_parallel
 
@@ -34,7 +40,14 @@ echo "==> telemetry_overhead bench smoke (quick mode, writes BENCH_telemetry.jso
 SAND_BENCH_QUICK=1 cargo bench -q -p sand-bench --bench telemetry_overhead
 test -f BENCH_telemetry.json || { echo "BENCH_telemetry.json missing"; exit 1; }
 
+echo "==> sanitizer_overhead bench smoke (quick mode, writes BENCH_sanitizer.json)"
+SAND_BENCH_QUICK=1 cargo bench -q -p sand-bench --bench sanitizer_overhead
+test -f BENCH_sanitizer.json || { echo "BENCH_sanitizer.json missing"; exit 1; }
+
 echo "==> telemetry example smoke (quick workload, validates JSONL export)"
 cargo run -q --release --example telemetry -- --quick --json --check > /dev/null
+
+echo "==> sanitize example smoke (64 schedules, must exit 0)"
+cargo run -q --example sanitize --features sanitize -- --schedules 64 > /dev/null
 
 echo "CI green."

@@ -3,7 +3,6 @@
 use crate::keys::store_key;
 use crate::prefetch::Prefetcher;
 use crate::{CoreError, Result};
-use parking_lot::{Condvar, Mutex};
 use sand_codec::{Dataset, DecodeStats, Decoder, WarmDecoder};
 use sand_config::TaskConfig;
 use sand_frame::tensor::{clip_refs_to_tensor, stack};
@@ -13,6 +12,7 @@ use sand_graph::{
     PlannerOptions,
 };
 use sand_lint::{lint_all, LintLevel, LintOptions};
+use sand_sanitizer::{ShadowCell, TrackedCondvar, TrackedMutex};
 use sand_sched::{Job, JobKind, SchedConfig, Scheduler};
 use sand_storage::{ObjectMeta, ObjectStore, StoreConfig, Tier};
 use sand_telemetry::{
@@ -176,15 +176,15 @@ struct Inner {
     dataset: Arc<Dataset>,
     store: Arc<ObjectStore>,
     sched: Scheduler,
-    chunks: Mutex<HashMap<u64, Arc<Chunk>>>,
+    chunks: TrackedMutex<HashMap<u64, Arc<Chunk>>>,
     task_ids: HashMap<String, u32>,
-    decode_stats: Mutex<DecodeStats>,
+    decode_stats: TrackedMutex<DecodeStats>,
     /// Warm per-video decode sessions for the demand paths: a single-frame
     /// read landing forward in the GOP a session last walked resumes the
     /// live anchor chain instead of re-decoding from the keyframe. The
     /// outer lock only guards the map, so decodes on different videos
     /// proceed concurrently.
-    warm_decoders: Mutex<WarmPool>,
+    warm_decoders: TrackedMutex<WarmPool>,
     aug_ops_applied: AtomicU64,
     batches_served: AtomicU64,
     /// The epoch-ahead prefetcher (inert at `prefetch_depth = 0`).
@@ -213,7 +213,7 @@ struct WarmPool {
 }
 
 struct WarmSlot {
-    session: Arc<Mutex<WarmDecoder>>,
+    session: Arc<TrackedMutex<WarmDecoder>>,
     last_used: u64,
 }
 
@@ -229,9 +229,12 @@ struct WarmSlot {
 /// tree (toward smaller node ids) from claims it holds, so the wait graph
 /// is acyclic and bottoms out at source-frame decodes, which never wait.
 struct Scratch {
-    slots: Mutex<HashMap<NodeId, Slot>>,
-    ready: Condvar,
+    slots: TrackedMutex<HashMap<NodeId, Slot>>,
+    ready: TrackedCondvar,
     metrics: Option<MaterializeMetrics>,
+    /// Lockset shadow for the once-claim map: every claim-state
+    /// transition must hold the slots lock.
+    claim_shadow: ShadowCell,
 }
 
 enum Slot {
@@ -244,9 +247,10 @@ enum Slot {
 impl Scratch {
     fn new(metrics: Option<MaterializeMetrics>) -> Self {
         Scratch {
-            slots: Mutex::new(HashMap::new()),
-            ready: Condvar::new(),
+            slots: TrackedMutex::new("engine.scratch.slots", HashMap::new()),
+            ready: TrackedCondvar::new(),
             metrics,
+            claim_shadow: ShadowCell::new("engine.scratch.claim"),
         }
     }
 
@@ -272,6 +276,7 @@ impl Scratch {
                     self.ready.wait(&mut slots);
                 }
                 None => {
+                    self.claim_shadow.write();
                     slots.insert(id, Slot::InFlight);
                     drop(slots);
                     self.record_wait(wait_t0);
@@ -297,6 +302,7 @@ impl Scratch {
         if slots.contains_key(&id) {
             return false;
         }
+        self.claim_shadow.write();
         slots.insert(id, Slot::InFlight);
         true
     }
@@ -307,7 +313,10 @@ impl Scratch {
     }
 
     fn fulfill(&self, id: NodeId, f: Arc<Frame>) {
-        self.slots.lock().insert(id, Slot::Ready(f));
+        let mut slots = self.slots.lock();
+        self.claim_shadow.write();
+        slots.insert(id, Slot::Ready(f));
+        drop(slots);
         self.ready.notify_all();
     }
 
@@ -316,6 +325,7 @@ impl Scratch {
     fn abandon(&self, id: NodeId) {
         let mut slots = self.slots.lock();
         if matches!(slots.get(&id), Some(Slot::InFlight)) {
+            self.claim_shadow.write();
             slots.remove(&id);
         }
         drop(slots);
@@ -401,10 +411,10 @@ impl SandEngine {
                 dataset,
                 store,
                 sched,
-                chunks: Mutex::new(HashMap::new()),
+                chunks: TrackedMutex::new("engine.chunks", HashMap::new()),
                 task_ids,
-                decode_stats: Mutex::new(DecodeStats::default()),
-                warm_decoders: Mutex::new(WarmPool::default()),
+                decode_stats: TrackedMutex::new("engine.decode_stats", DecodeStats::default()),
+                warm_decoders: TrackedMutex::new("engine.warm_pool", WarmPool::default()),
                 aug_ops_applied: AtomicU64::new(0),
                 batches_served: AtomicU64::new(0),
                 prefetcher,
@@ -486,6 +496,8 @@ impl SandEngine {
             prefetch_depth: config.prefetch_depth,
             store_shards: config.store.shards,
             decode_threads: config.decode_threads.max(1),
+            sanitize: sand_sanitizer::enabled(),
+            release_build: cfg!(not(debug_assertions)),
         };
         let report = lint_all(
             &config.tasks,
@@ -879,7 +891,10 @@ impl Inner {
                         warm.sessions.remove(&k);
                     }
                 }
-                let s = Arc::new(Mutex::new(WarmDecoder::new(Arc::clone(&entry.encoded))));
+                let s = Arc::new(TrackedMutex::new(
+                    "engine.warm_session",
+                    WarmDecoder::new(Arc::clone(&entry.encoded)),
+                ));
                 warm.sessions.insert(
                     video_id,
                     WarmSlot {
@@ -1198,9 +1213,6 @@ impl Inner {
                 Self::schedule_prefetch(inner, &chunk, chunk_id, task, epoch, iteration);
                 return Ok(bytes);
             }
-            if let Some(m) = &inner.prefetcher.metrics {
-                m.miss.inc();
-            }
         }
         let bytes = Self::serve_batch_inline(inner, &chunk, task, epoch, iteration)?;
         if inner.prefetcher.enabled() {
@@ -1230,7 +1242,18 @@ impl Inner {
         let Some(build) = inner.prefetcher.take((task_id, epoch, iteration), chunk_id) else {
             return Ok(None);
         };
+        // From here the entry is consumed and must settle exactly one of
+        // the outcome counters: `cancelled` (discarded unconsumable),
+        // `miss` (taken but unusable, served inline), `hit`/`late`
+        // (served from the build) — `scheduled` counts entries at
+        // `begin`, so the four outcomes partition it.
         if build.cancelled() {
+            // Cancelled between dequeue and materialize (e.g. a rollover
+            // racing this serve): the rollover path never saw this entry
+            // leave the map, so it is counted here.
+            if let Some(m) = &inner.prefetcher.metrics {
+                m.cancelled.inc();
+            }
             return Ok(None);
         }
         // Zero-sample probe: no demand jobs run on a prefetch serve, so
@@ -1238,15 +1261,8 @@ impl Inner {
         // and `plan`/`finalize` bookkeeping — the exact-sum invariant
         // over serve latency is preserved.
         let probe = inner.telemetry.batch_probe(0);
-        let hit = build.is_complete();
-        if hit {
-            if let Some(m) = &inner.prefetcher.metrics {
-                m.hit.inc();
-            }
-        } else {
-            if let Some(m) = &inner.prefetcher.metrics {
-                m.late.inc();
-            }
+        let was_complete = build.is_complete();
+        if !was_complete {
             let t0 = inner.prefetcher.metrics.as_ref().map(|_| Instant::now());
             build.wait_complete();
             if let (Some(m), Some(t0)) = (inner.prefetcher.metrics.as_ref(), t0) {
@@ -1258,6 +1274,9 @@ impl Inner {
             }
         }
         if build.cancelled() {
+            if let Some(m) = &inner.prefetcher.metrics {
+                m.cancelled.inc();
+            }
             return Ok(None);
         }
         let mut tensors = Vec::new();
@@ -1266,14 +1285,30 @@ impl Inner {
                 Some(Ok(t)) => tensors.push(t),
                 // A failed sample: recompute inline (the failure may have
                 // been transient, and the inline path owns error
-                // reporting).
-                Some(Err(_)) | None => return Ok(None),
+                // reporting). The entry was consumed but could not serve
+                // the batch — that is the miss.
+                Some(Err(_)) | None => {
+                    if let Some(m) = &inner.prefetcher.metrics {
+                        m.miss.inc();
+                    }
+                    return Ok(None);
+                }
+            }
+        }
+        // The build served the batch: settle hit vs. late only now, so a
+        // post-wait cancellation or bad slot cannot double-count.
+        if let Some(m) = &inner.prefetcher.metrics {
+            if was_complete {
+                m.hit.inc();
+            } else {
+                m.late.inc();
             }
         }
         let batch = Self::find_batch(inner, chunk, task, epoch, iteration)?.clone();
         // Consumption bookkeeping — identical to the inline path, at
         // consume time in consume order, so the store's clock/use/budget
         // timeline never depends on when speculation ran.
+        build.mark_consumed();
         inner.store.set_clock(batch.clock);
         Self::report_pressure(inner);
         let batch_tensor = stack(&tensors)?;
@@ -1361,14 +1396,18 @@ impl Inner {
             else {
                 continue; // already in flight from an earlier serve
             };
+            // One `scheduled` per batch entry (not per sample): the
+            // outcome counters settle per entry, and
+            // `scheduled == hit + late + miss + cancelled` must hold
+            // once every entry is consumed.
+            if let Some(m) = &inner.prefetcher.metrics {
+                m.scheduled.inc();
+            }
             for (si, plan) in batch.samples.iter().enumerate() {
                 let inner2 = Arc::clone(inner);
                 let chunk2 = Arc::clone(chunk);
                 let plan2 = plan.clone();
                 let build2 = Arc::clone(&build);
-                if let Some(m) = &inner.prefetcher.metrics {
-                    m.scheduled.inc();
-                }
                 inner.sched.submit(Job {
                     kind: JobKind::Prefetch,
                     deadline: batch.clock,

@@ -33,8 +33,8 @@
 //! it feeds. On chunk rollover, stale entries are cancelled (counted in
 //! `prefetch.cancelled`) and their jobs bail without materializing.
 
-use parking_lot::{Condvar, Mutex};
 use sand_frame::Tensor;
+use sand_sanitizer::{ShadowCell, TrackedCondvar, TrackedMutex};
 use sand_telemetry::PrefetchMetrics;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -46,9 +46,15 @@ pub(crate) type PrefetchKey = (u32, u64, u64);
 /// One speculative batch under assembly: per-sample result slots filled
 /// by independent prefetch jobs.
 pub(crate) struct BatchBuild {
-    state: Mutex<BuildState>,
-    done: Condvar,
+    state: TrackedMutex<BuildState>,
+    done: TrackedCondvar,
     cancelled: AtomicBool,
+    /// Lockset shadow for the result slots: every touch of `tensors`
+    /// must hold the build lock.
+    results_shadow: ShadowCell,
+    /// Handoff shadow for consume-time bookkeeping: [`Prefetcher::take`]
+    /// transfers ownership to the single consuming thread.
+    consume_shadow: ShadowCell,
 }
 
 struct BuildState {
@@ -59,12 +65,17 @@ struct BuildState {
 impl BatchBuild {
     fn new(samples: usize) -> Self {
         BatchBuild {
-            state: Mutex::new(BuildState {
-                tensors: (0..samples).map(|_| None).collect(),
-                remaining: samples,
-            }),
-            done: Condvar::new(),
+            state: TrackedMutex::new(
+                "prefetch.build",
+                BuildState {
+                    tensors: (0..samples).map(|_| None).collect(),
+                    remaining: samples,
+                },
+            ),
+            done: TrackedCondvar::new(),
             cancelled: AtomicBool::new(false),
+            results_shadow: ShadowCell::new("prefetch.results"),
+            consume_shadow: ShadowCell::new("prefetch.consume"),
         }
     }
 
@@ -83,6 +94,7 @@ impl BatchBuild {
     /// which still counts toward completion so waiters never hang).
     pub(crate) fn fulfill(&self, i: usize, result: crate::Result<Tensor>) {
         let mut state = self.state.lock();
+        self.results_shadow.write();
         if state.tensors[i].is_none() {
             state.tensors[i] = Some(result);
             state.remaining -= 1;
@@ -110,7 +122,14 @@ impl BatchBuild {
     /// (only possible after cancellation).
     pub(crate) fn take_results(&self) -> Vec<Option<crate::Result<Tensor>>> {
         let mut state = self.state.lock();
+        self.results_shadow.write();
         std::mem::take(&mut state.tensors)
+    }
+
+    /// Marks a consume-time bookkeeping step by the owning consumer;
+    /// ownership was transferred by [`Prefetcher::take`]'s handoff.
+    pub(crate) fn mark_consumed(&self) {
+        self.consume_shadow.write();
     }
 }
 
@@ -123,7 +142,7 @@ struct Entry {
 /// keyed by (task, epoch, iteration).
 pub(crate) struct Prefetcher {
     depth: usize,
-    entries: Mutex<HashMap<PrefetchKey, Entry>>,
+    entries: TrackedMutex<HashMap<PrefetchKey, Entry>>,
     pub(crate) metrics: Option<PrefetchMetrics>,
 }
 
@@ -131,7 +150,7 @@ impl Prefetcher {
     pub(crate) fn new(depth: usize, metrics: Option<PrefetchMetrics>) -> Self {
         Prefetcher {
             depth,
-            entries: Mutex::new(HashMap::new()),
+            entries: TrackedMutex::new("prefetch.entries", HashMap::new()),
             metrics,
         }
     }
@@ -180,6 +199,10 @@ impl Prefetcher {
         let mut entries = self.entries.lock();
         let entry = entries.remove(&key)?;
         if entry.chunk_id == chunk_id {
+            // Removal under the entries lock is the ownership transfer:
+            // exactly one caller gets the build; its consume-time
+            // bookkeeping is single-threaded from here on.
+            entry.build.consume_shadow.handoff();
             Some(entry.build)
         } else {
             entry.build.cancel();

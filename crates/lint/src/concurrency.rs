@@ -1,0 +1,131 @@
+//! Concurrency-configuration analyses (`SL032`–`SL033`).
+//!
+//! These catch configurations whose concurrent machinery is wired up but
+//! cannot help — or actively hurts. They need no graph: everything is
+//! decidable from [`LintOptions`] alone, so the family runs even when dry
+//! planning fails.
+
+use crate::{Diagnostic, LintOptions, Severity};
+
+/// Lints the concurrency-relevant corners of the engine configuration.
+#[must_use]
+pub fn lint_concurrency(opts: &LintOptions) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    lint_single_shard_prefetch(opts, &mut out);
+    lint_sanitize_in_release(opts, &mut out);
+    out
+}
+
+/// `SL032`: prefetching into a single-shard store.
+///
+/// With `store_shards == 1`, every prefetch worker, the demand path, and
+/// the coordinated Algorithm-1 sweep all serialize on one shard lock.
+/// The prefetcher's back-pressure check (`pending x batch bytes` vs. the
+/// memory budget) then measures a window it can never fill faster than
+/// the demand path drains it — the speculative jobs mostly wait in line
+/// behind the consumer they are meant to hide latency from.
+fn lint_single_shard_prefetch(opts: &LintOptions, out: &mut Vec<Diagnostic>) {
+    if opts.prefetch_depth > 0 && opts.store_shards <= 1 {
+        out.push(Diagnostic {
+            code: "SL032",
+            severity: Severity::Warn,
+            location: "store.shards".into(),
+            message: format!(
+                "prefetch_depth = {} with a single store shard: prefetch \
+                 workers, the demand path, and the budget sweep all \
+                 serialize on one shard lock, so speculation mostly queues \
+                 behind the consumer it should be hiding latency from",
+                opts.prefetch_depth
+            ),
+            help: "raise store.shards (e.g. to the worker count) so \
+                   prefetch jobs and demand reads can touch the store \
+                   concurrently, or set prefetch_depth = 0"
+                .into(),
+        });
+    }
+}
+
+/// `SL033`: sanitizer instrumentation compiled into a release build.
+///
+/// The `sanitize` feature swaps every engine lock for a tracked wrapper
+/// that records acquisition order and lockset state on each operation.
+/// That is the point in tests — and pure overhead in a release binary,
+/// where it also skews any benchmark numbers collected from the run.
+fn lint_sanitize_in_release(opts: &LintOptions, out: &mut Vec<Diagnostic>) {
+    if opts.sanitize && opts.release_build {
+        out.push(Diagnostic {
+            code: "SL033",
+            severity: Severity::Warn,
+            location: "features.sanitize".into(),
+            message: "the `sanitize` feature is enabled in a release build: \
+                      every lock operation records order-graph and lockset \
+                      state, distorting throughput and benchmark numbers"
+                .into(),
+            help: "reserve `--features sanitize` for test and CI runs; \
+                   build release binaries without it"
+                .into(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sl032_single_shard_prefetch_warns() {
+        let opts = LintOptions {
+            prefetch_depth: 2,
+            store_shards: 1,
+            ..Default::default()
+        };
+        let out = lint_concurrency(&opts);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].code, "SL032");
+        assert_eq!(out[0].severity, Severity::Warn);
+        assert!(out[0].message.contains("single store shard"), "{out:?}");
+    }
+
+    #[test]
+    fn sl032_silent_when_sharded_or_not_prefetching() {
+        for (depth, shards) in [(0, 1), (0, 8), (4, 8)] {
+            let opts = LintOptions {
+                prefetch_depth: depth,
+                store_shards: shards,
+                ..Default::default()
+            };
+            assert!(
+                lint_concurrency(&opts).is_empty(),
+                "depth {depth} shards {shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn sl033_sanitize_in_release_warns() {
+        let opts = LintOptions {
+            sanitize: true,
+            release_build: true,
+            ..Default::default()
+        };
+        let out = lint_concurrency(&opts);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].code, "SL033");
+        assert_eq!(out[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn sl033_silent_in_debug_or_without_sanitize() {
+        for (sanitize, release) in [(true, false), (false, true), (false, false)] {
+            let opts = LintOptions {
+                sanitize,
+                release_build: release,
+                ..Default::default()
+            };
+            assert!(
+                lint_concurrency(&opts).is_empty(),
+                "sanitize {sanitize} release {release}"
+            );
+        }
+    }
+}

@@ -14,6 +14,7 @@
 //! | graph invariants | `SL010`–`SL014` | edge legality, acyclicity, dangling references |
 //! | resource feasibility | `SL020`–`SL025` | budget lower bounds, decode amplification, telemetry buckets, prefetch/shard sizing |
 //! | sharing | `SL030`–`SL031` | near-miss cross-task merge opportunities |
+//! | concurrency | `SL032`–`SL033` | single-shard prefetch contention, sanitizer-in-release |
 //!
 //! Diagnostics render rustc-style for humans ([`LintReport::render_human`])
 //! and as JSON lines for tooling ([`LintReport::render_jsonl`]). The engine
@@ -22,11 +23,13 @@
 
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod concurrency;
 pub mod config;
 pub mod graph;
 pub mod resources;
 pub mod sharing;
 
+pub use concurrency::lint_concurrency;
 pub use config::lint_configs;
 pub use graph::{lint_abstract, lint_concrete};
 pub use resources::lint_resources;
@@ -163,6 +166,11 @@ pub struct LintOptions {
     pub store_shards: usize,
     /// Decoder worker threads (`EngineConfig::decode_threads`).
     pub decode_threads: usize,
+    /// Whether the engine was compiled with the `sanitize` feature
+    /// (tracked locks + lockset instrumentation).
+    pub sanitize: bool,
+    /// Whether this is an optimized (release) build.
+    pub release_build: bool,
 }
 
 impl Default for LintOptions {
@@ -178,6 +186,8 @@ impl Default for LintOptions {
             prefetch_depth: 0,
             store_shards: 1,
             decode_threads: 1,
+            sanitize: false,
+            release_build: false,
         }
     }
 }
@@ -274,6 +284,7 @@ pub fn lint_all(
     }
     diagnostics.extend(lint_resources(tasks, concrete, videos, opts));
     diagnostics.extend(lint_sharing(tasks));
+    diagnostics.extend(lint_concurrency(opts));
     LintReport { diagnostics }
 }
 

@@ -1,0 +1,439 @@
+//! Deterministic schedule exploration: run a small concurrent scenario
+//! many times under a controlled interleaver, each run driven by a
+//! seeded PRNG choosing which logical thread advances at every
+//! preemption point. A failing seed replays the exact same schedule, so
+//! races found here are reproducible — unlike stress tests that depend
+//! on OS timing.
+//!
+//! Logical threads are real OS threads gated so exactly one runs at a
+//! time. Code between two [`StepCtx::step`] calls executes atomically
+//! with respect to the other logical threads; `step` is where the
+//! scheduler may preempt. Contract: **never hold a real lock across a
+//! `step` call** — keep critical sections inside a single step (calling
+//! `store.put(..)` inside one step is fine; holding its guard across a
+//! step would let the suspended owner block the scheduled thread).
+//! Under the `sanitize` feature the tracked-lock machinery still
+//! observes every acquisition scenarios make, so exploration and
+//! lock-order/lockset analysis compose.
+//!
+//! This module works with or without the `sanitize` feature: panics in
+//! scenario threads are always caught and attributed to their seed;
+//! sanitizer findings are additionally collected when the feature is on.
+
+use crate::report::take_reports;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// How many seeds to run and where to start.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreConfig {
+    /// Number of schedules (seeds) to explore.
+    pub schedules: u64,
+    /// First seed; seeds `start_seed..start_seed + schedules` run.
+    pub start_seed: u64,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            schedules: 64,
+            start_seed: 1,
+        }
+    }
+}
+
+/// A named logical thread body awaiting its first turn.
+type LogicalThread = (String, Box<dyn FnOnce(&StepCtx) + Send + 'static>);
+
+/// Registers the logical threads of one scenario run.
+pub struct Spawner {
+    threads: Vec<LogicalThread>,
+}
+
+impl Spawner {
+    /// Adds a logical thread. It starts suspended and runs only when the
+    /// interleaver schedules it.
+    pub fn spawn<F>(&mut self, name: &str, f: F)
+    where
+        F: FnOnce(&StepCtx) + Send + 'static,
+    {
+        self.threads.push((name.to_string(), Box::new(f)));
+    }
+}
+
+/// Handle each logical thread uses to mark its preemption points.
+pub struct StepCtx {
+    id: usize,
+    shared: Arc<Shared>,
+}
+
+impl StepCtx {
+    /// Marks a named preemption point: records `"<thread>:<point>"` in
+    /// the schedule trace, then lets the interleaver pick which logical
+    /// thread (possibly this one) runs next.
+    pub fn step(&self, point: &str) {
+        let mut st = self.shared.lock_state();
+        let name = st.names[self.id].clone();
+        st.trace.push(format!("{name}:{point}"));
+        let next = st.pick_runnable();
+        st.current = next;
+        drop(st);
+        self.shared.cv.notify_all();
+        self.shared.wait_turn(self.id);
+    }
+}
+
+struct SchedState {
+    /// The one logical thread allowed to run; `None` once all finished.
+    current: Option<usize>,
+    finished: Vec<bool>,
+    names: Vec<String>,
+    trace: Vec<String>,
+    rng: u64,
+}
+
+impl SchedState {
+    /// Seeded LCG pick among unfinished threads (deterministic given the
+    /// one-at-a-time execution protocol).
+    fn pick_runnable(&mut self) -> Option<usize> {
+        let runnable: Vec<usize> = (0..self.finished.len())
+            .filter(|&i| !self.finished[i])
+            .collect();
+        if runnable.is_empty() {
+            return None;
+        }
+        self.rng = self
+            .rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let idx = ((self.rng >> 33) as usize) % runnable.len();
+        Some(runnable[idx])
+    }
+}
+
+struct Shared {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+impl Shared {
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Blocks until this thread holds the turn (or everyone finished,
+    /// which cannot happen while we are still runnable).
+    fn wait_turn(&self, id: usize) {
+        let mut st = self.lock_state();
+        while st.current != Some(id) {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Hands the turn on when a logical thread finishes — including by
+/// panic, so one thread's assertion failure cannot hang the schedule.
+struct FinishGuard {
+    id: usize,
+    shared: Arc<Shared>,
+}
+
+impl Drop for FinishGuard {
+    fn drop(&mut self) {
+        let mut st = self.shared.lock_state();
+        st.finished[self.id] = true;
+        let next = st.pick_runnable();
+        st.current = next;
+        drop(st);
+        self.shared.cv.notify_all();
+    }
+}
+
+/// What one schedule did.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The seed that produced this schedule.
+    pub seed: u64,
+    /// Ordered preemption-point trace (`"<thread>:<point>"`).
+    pub schedule: Vec<String>,
+    /// Panic messages from scenario threads, if any.
+    pub panics: Vec<String>,
+}
+
+/// Runs the scenario once under the schedule derived from `seed`.
+/// Rerunning with the same seed replays the identical interleaving.
+pub fn run_schedule<F>(seed: u64, scenario: F) -> RunOutcome
+where
+    F: Fn(&mut Spawner),
+{
+    let mut spawner = Spawner {
+        threads: Vec::new(),
+    };
+    scenario(&mut spawner);
+    let n = spawner.threads.len();
+    if n == 0 {
+        return RunOutcome {
+            seed,
+            schedule: Vec::new(),
+            panics: Vec::new(),
+        };
+    }
+    let shared = Arc::new(Shared {
+        state: Mutex::new(SchedState {
+            current: None,
+            finished: vec![false; n],
+            names: spawner.threads.iter().map(|(s, _)| s.clone()).collect(),
+            trace: Vec::new(),
+            rng: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }),
+        cv: Condvar::new(),
+    });
+    let mut handles = Vec::with_capacity(n);
+    for (id, (name, f)) in spawner.threads.into_iter().enumerate() {
+        let shared2 = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name(name.clone())
+            .spawn(move || {
+                let ctx = StepCtx {
+                    id,
+                    shared: Arc::clone(&shared2),
+                };
+                let _finish = FinishGuard {
+                    id,
+                    shared: shared2,
+                };
+                ctx.shared.wait_turn(id);
+                f(&ctx);
+            });
+        handles.push((name, handle));
+    }
+    // All threads are parked in `wait_turn`; pick the opener.
+    {
+        let mut st = shared.lock_state();
+        let first = st.pick_runnable();
+        st.current = first;
+    }
+    shared.cv.notify_all();
+    let mut panics = Vec::new();
+    for (name, handle) in handles {
+        match handle {
+            Ok(h) => {
+                if let Err(payload) = h.join() {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                        .unwrap_or_else(|| "<non-string panic>".to_string());
+                    panics.push(format!("{name}: {msg}"));
+                }
+            }
+            Err(e) => panics.push(format!("{name}: spawn failed: {e}")),
+        }
+    }
+    let schedule = std::mem::take(&mut shared.lock_state().trace);
+    RunOutcome {
+        seed,
+        schedule,
+        panics,
+    }
+}
+
+/// One failing seed with everything needed to reproduce it.
+#[derive(Debug)]
+pub struct ExploreFailure {
+    /// The failing seed (replay with `run_schedule(seed, scenario)`).
+    pub seed: u64,
+    /// The interleaving that failed.
+    pub schedule: Vec<String>,
+    /// Panics plus rendered sanitizer findings from this schedule.
+    pub messages: Vec<String>,
+}
+
+/// Aggregate result of an exploration sweep.
+#[derive(Debug)]
+pub struct ExploreResult {
+    /// Number of schedules executed.
+    pub schedules: u64,
+    /// Seeds that panicked or produced sanitizer findings.
+    pub failures: Vec<ExploreFailure>,
+}
+
+impl ExploreResult {
+    /// True when every schedule ran without panics or findings.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Panics with a replay recipe if any schedule failed.
+    pub fn assert_clean(&self) {
+        if let Some(f) = self.failures.first() {
+            panic!(
+                "{} of {} schedules failed; first failing seed {} \
+                 (replay with sanitizer::run_schedule({}, scenario)):\n  {}\nschedule: {}",
+                self.failures.len(),
+                self.schedules,
+                f.seed,
+                f.seed,
+                f.messages.join("\n  "),
+                f.schedule.join(" -> "),
+            );
+        }
+    }
+}
+
+/// Runs `config.schedules` seeded schedules of `scenario`, collecting
+/// panics and (with the `sanitize` feature) sanitizer findings per seed.
+///
+/// Takes [`crate::exclusive`] internally — findings are attributed
+/// per-seed by draining the global sink around each schedule, so two
+/// concurrent sweeps would cross-attribute. Do not call `explore` while
+/// already holding the exclusive guard.
+pub fn explore<F>(config: &ExploreConfig, scenario: F) -> ExploreResult
+where
+    F: Fn(&mut Spawner),
+{
+    let _x = crate::exclusive();
+    let mut failures = Vec::new();
+    for seed in config.start_seed..config.start_seed.saturating_add(config.schedules) {
+        let _ = take_reports(); // findings before this seed are not ours
+        let outcome = run_schedule(seed, &scenario);
+        let mut messages = outcome.panics.clone();
+        messages.extend(take_reports().iter().map(|r| r.render_human()));
+        if !messages.is_empty() {
+            failures.push(ExploreFailure {
+                seed,
+                schedule: outcome.schedule,
+                messages,
+            });
+        }
+    }
+    ExploreResult {
+        schedules: config.schedules,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn schedules_are_deterministic() {
+        let scenario = |s: &mut Spawner| {
+            for t in 0..3 {
+                s.spawn(&format!("t{t}"), move |ctx| {
+                    for p in 0..3 {
+                        ctx.step(&format!("p{p}"));
+                    }
+                });
+            }
+        };
+        let a = run_schedule(42, scenario);
+        let b = run_schedule(42, scenario);
+        let c = run_schedule(43, scenario);
+        assert!(a.panics.is_empty(), "{:?}", a.panics);
+        assert_eq!(a.schedule, b.schedule, "same seed, same schedule");
+        assert_ne!(a.schedule, c.schedule, "different seed, different schedule");
+        assert_eq!(a.schedule.len(), 9, "3 threads x 3 points");
+    }
+
+    #[test]
+    fn steps_are_atomic_between_threads() {
+        // A non-atomic read-modify-write split across a step WOULD lose
+        // updates under some schedule; unsplit sections never interleave.
+        let result = explore(
+            &ExploreConfig {
+                schedules: 16,
+                start_seed: 1,
+            },
+            |s| {
+                let counter = Arc::new(AtomicUsize::new(0));
+                for t in 0..2 {
+                    let counter = Arc::clone(&counter);
+                    s.spawn(&format!("inc{t}"), move |ctx| {
+                        for _ in 0..4 {
+                            ctx.step("add");
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        }
+                        ctx.step("check");
+                    });
+                }
+                let counter2 = Arc::clone(&counter);
+                s.spawn("checker", move |ctx| {
+                    ctx.step("wait");
+                    let seen = counter2.load(Ordering::Relaxed);
+                    assert!(seen <= 8, "never more than the 8 increments");
+                });
+            },
+        );
+        result.assert_clean();
+    }
+
+    #[test]
+    fn panics_are_attributed_to_their_seed() {
+        let result = explore(
+            &ExploreConfig {
+                schedules: 8,
+                start_seed: 100,
+            },
+            |s| {
+                s.spawn("boom", |ctx| {
+                    ctx.step("before");
+                    panic!("deliberate failure");
+                });
+                s.spawn("calm", |ctx| {
+                    ctx.step("fine");
+                });
+            },
+        );
+        assert_eq!(result.failures.len(), 8, "every schedule panics");
+        assert!(result.failures[0].messages[0].contains("deliberate failure"));
+        assert_eq!(result.failures[0].seed, 100);
+        // The panicking thread handed the turn on: "calm" still ran.
+        assert!(
+            result.failures[0]
+                .schedule
+                .iter()
+                .any(|s| s.starts_with("calm:")),
+            "{:?}",
+            result.failures[0].schedule
+        );
+    }
+
+    #[cfg(feature = "sanitize")]
+    #[test]
+    fn findings_inside_a_schedule_fail_that_seed() {
+        use crate::tracked::TrackedMutex;
+        let result = explore(
+            &ExploreConfig {
+                schedules: 2,
+                start_seed: 7,
+            },
+            |s| {
+                let a = Arc::new(TrackedMutex::new("explore.a", ()));
+                let b = Arc::new(TrackedMutex::new("explore.b", ()));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                s.spawn("ab", move |ctx| {
+                    ctx.step("nest");
+                    let _ga = a.lock();
+                    let _gb = b.lock();
+                });
+                s.spawn("ba", move |ctx| {
+                    ctx.step("nest");
+                    let _gb = b2.lock();
+                    let _ga = a2.lock();
+                });
+            },
+        );
+        assert!(!result.is_clean());
+        assert!(
+            result.failures[0]
+                .messages
+                .iter()
+                .any(|m| m.contains("lock-order-cycle")),
+            "{:?}",
+            result.failures
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! `sand-sanitizer`: dynamic concurrency analysis for SAND's hand-rolled
+//! concurrent core (sharded store, work-stealing scheduler, once-claim
+//! Scratch, epoch-ahead prefetcher).
+//!
+//! Three cooperating pieces:
+//!
+//! 1. **Tracked locks** ([`TrackedMutex`], [`TrackedRwLock`],
+//!    [`TrackedCondvar`]) — drop-in `parking_lot` replacements carrying a
+//!    `&'static str` label. With the `sanitize` feature they feed every
+//!    blocking acquisition into a global **lock-order graph** with online
+//!    cycle detection: if label A is ever acquired while B is held *and*
+//!    B while A is held — on any thread, at any time — a
+//!    [`LockOrderCycle`](ReportKind::LockOrderCycle) report fires, even
+//!    though the run itself never deadlocked. Without the feature the
+//!    wrappers compile to passthrough.
+//! 2. **Lockset checker** ([`ShadowCell`]) — Eraser-style candidate
+//!    locksets for shared locations without one obvious mutex (byte
+//!    accounting, once-claim maps, prefetch bookkeeping); writes that
+//!    reach a cell from multiple threads with no consistently-held lock
+//!    raise a [`LocksetRace`](ReportKind::LocksetRace).
+//! 3. **Schedule explorer** ([`explore`]) — a deterministic interleaver
+//!    that runs small concurrent scenarios under many seeded schedules
+//!    with replayable failures, composing with (1) and (2) so an unlucky
+//!    interleaving needs to occur only once across the sweep to be
+//!    caught.
+//!
+//! Findings accumulate in a process-global sink drained with
+//! [`take_reports`]. Tests asserting on the sink serialize through
+//! [`exclusive`], which also resets the lock-order graph so findings
+//! cannot leak between tests.
+
+mod lockset;
+mod report;
+#[cfg(feature = "sanitize")]
+pub(crate) mod runtime;
+mod tracked;
+
+pub mod explore;
+
+pub use explore::{
+    explore, run_schedule, ExploreConfig, ExploreFailure, ExploreResult, RunOutcome, Spawner,
+    StepCtx,
+};
+pub use lockset::ShadowCell;
+pub use report::{reports, take_reports, ReportKind, SanitizerReport};
+pub use tracked::{
+    TrackedCondvar, TrackedMutex, TrackedMutexGuard, TrackedRwLock, TrackedRwLockReadGuard,
+    TrackedRwLockWriteGuard, WaitTimeoutResult,
+};
+
+/// True when this build records sanitizer state (the `sanitize` feature
+/// is enabled somewhere in the dependency graph).
+#[must_use]
+pub fn enabled() -> bool {
+    cfg!(feature = "sanitize")
+}
+
+/// Serializes access to the global sanitizer state for tests and tools:
+/// clears the lock-order graph and drains stale findings on entry, and
+/// holds a global lock until dropped so no concurrent test can interleave
+/// its reports. Not reentrant — in particular, do not hold this guard
+/// across a call to [`explore`], which takes it itself.
+#[must_use]
+pub fn exclusive() -> ExclusiveGuard {
+    use parking_lot::Mutex;
+    use std::sync::OnceLock;
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = GATE.get_or_init(|| Mutex::new(())).lock();
+    #[cfg(feature = "sanitize")]
+    runtime::reset();
+    let _ = take_reports();
+    ExclusiveGuard { _guard: guard }
+}
+
+/// Guard returned by [`exclusive`]; sanitizer state is yours until it
+/// drops.
+pub struct ExclusiveGuard {
+    _guard: parking_lot::MutexGuard<'static, ()>,
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn enabled_tracks_the_feature() {
+        assert_eq!(super::enabled(), cfg!(feature = "sanitize"));
+    }
+
+    #[test]
+    fn exclusive_drains_stale_reports() {
+        let _x = super::exclusive();
+        assert!(super::reports().is_empty());
+    }
+}

@@ -1,0 +1,242 @@
+//! Eraser-style lockset checking for shared locations that are *not*
+//! protected by a single obvious mutex — the store's byte-accounting
+//! counters, Scratch's once-claim map, the prefetcher's consume-time
+//! bookkeeping.
+//!
+//! Each watched location carries a [`ShadowCell`]. Instrumented code
+//! calls [`ShadowCell::write`] / [`ShadowCell::read`] next to the real
+//! access; the cell tracks which thread(s) have touched it and
+//! intersects the set of tracked-lock *labels* held at each access.
+//! Once the location is shared between threads and a write arrives with
+//! an empty candidate lockset, no lock consistently protects it and a
+//! [`LocksetRace`](crate::ReportKind::LocksetRace) report fires.
+//!
+//! Label-granularity locksets deliberately treat every store shard as
+//! one lock: the cells we watch are either global (byte totals) or
+//! partitioned the same way the shards are, so this stays conservative
+//! without per-instance false positives.
+//!
+//! States follow Eraser's ownership ladder: `Virgin` (never accessed) →
+//! `Exclusive` (single thread, initialization allowed without locks) →
+//! `Shared` (lockset discipline enforced). [`ShadowCell::handoff`]
+//! resets ownership for deliberate transfer — e.g. a condvar-mediated
+//! publish where the consumer becomes the new exclusive owner.
+
+#[cfg(feature = "sanitize")]
+use crate::report::{push_report, ReportKind, SanitizerReport};
+#[cfg(feature = "sanitize")]
+use crate::runtime;
+#[cfg(feature = "sanitize")]
+use parking_lot::Mutex;
+
+#[cfg(feature = "sanitize")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Virgin,
+    Exclusive(std::thread::ThreadId),
+    Shared,
+}
+
+#[cfg(feature = "sanitize")]
+#[derive(Debug)]
+struct CellState {
+    phase: Phase,
+    /// Candidate lockset: lock labels held at every access since the
+    /// cell went shared. `None` until first initialized.
+    lockset: Option<Vec<&'static str>>,
+    /// Report once per cell to keep hot loops from flooding the sink.
+    reported: bool,
+}
+
+/// Shadow state for one watched shared location. Zero-sized behavior
+/// (every method a no-op) when the `sanitize` feature is off.
+#[derive(Debug)]
+pub struct ShadowCell {
+    label: &'static str,
+    #[cfg(feature = "sanitize")]
+    state: Mutex<CellState>,
+}
+
+impl ShadowCell {
+    /// Creates a cell watching the location named `label`.
+    pub const fn new(label: &'static str) -> Self {
+        ShadowCell {
+            label,
+            #[cfg(feature = "sanitize")]
+            state: Mutex::new(CellState {
+                phase: Phase::Virgin,
+                lockset: None,
+                reported: false,
+            }),
+        }
+    }
+
+    /// The location label this cell reports under.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Records a write to the watched location.
+    pub fn write(&self) {
+        self.access(true);
+    }
+
+    /// Records a read of the watched location.
+    pub fn read(&self) {
+        self.access(false);
+    }
+
+    /// Declares a deliberate ownership transfer: the next accessing
+    /// thread becomes the new exclusive owner (used where a condvar or
+    /// channel provides the happens-before edge a lockset cannot see).
+    pub fn handoff(&self) {
+        #[cfg(feature = "sanitize")]
+        {
+            let mut st = self.state.lock();
+            st.phase = Phase::Virgin;
+            st.lockset = None;
+        }
+    }
+
+    #[cfg_attr(
+        not(feature = "sanitize"),
+        allow(unused_variables, clippy::unused_self)
+    )]
+    fn access(&self, is_write: bool) {
+        #[cfg(feature = "sanitize")]
+        {
+            let held = runtime::current_lockset();
+            let me = std::thread::current().id();
+            let mut st = self.state.lock();
+            match st.phase {
+                Phase::Virgin => {
+                    st.phase = Phase::Exclusive(me);
+                    st.lockset = Some(held);
+                }
+                Phase::Exclusive(owner) if owner == me => {
+                    // Single-thread initialization may legally run
+                    // unlocked; the candidate lockset restarts when the
+                    // cell first goes shared.
+                }
+                Phase::Exclusive(_) => {
+                    st.phase = Phase::Shared;
+                    st.lockset = Some(held.clone());
+                    self.check(&mut st, is_write, &held);
+                }
+                Phase::Shared => {
+                    if let Some(ls) = st.lockset.as_mut() {
+                        ls.retain(|l| held.contains(l));
+                    }
+                    self.check(&mut st, is_write, &held);
+                }
+            }
+        }
+    }
+
+    #[cfg(feature = "sanitize")]
+    fn check(&self, st: &mut CellState, is_write: bool, held: &[&'static str]) {
+        let empty = st.lockset.as_ref().is_none_or(Vec::is_empty);
+        if is_write && empty && !st.reported {
+            st.reported = true;
+            let t = std::thread::current();
+            let name = t.name().unwrap_or("<unnamed>").to_string();
+            push_report(SanitizerReport {
+                kind: ReportKind::LocksetRace,
+                labels: vec![self.label.to_string()],
+                contexts: vec![format!(
+                    "thread \"{}\" writing \"{}\" holding [{}]",
+                    name,
+                    self.label,
+                    held.join(", ")
+                )],
+                message: format!(
+                    "\"{}\" is written by multiple threads with no lock \
+                     consistently held across them",
+                    self.label
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(all(test, feature = "sanitize"))]
+mod tests {
+    use super::*;
+    use crate::tracked::TrackedMutex;
+    use std::sync::Arc;
+
+    #[test]
+    fn unlocked_cross_thread_write_reports_once() {
+        let _x = crate::exclusive();
+        let cell = Arc::new(ShadowCell::new("test.cell.bare"));
+        cell.write(); // main thread: Virgin -> Exclusive
+        let c2 = Arc::clone(&cell);
+        std::thread::spawn(move || {
+            c2.write(); // second thread, no locks: race
+            c2.write(); // still one report
+        })
+        .join()
+        .expect("writer exits");
+        let reports = crate::take_reports();
+        assert_eq!(reports.len(), 1, "{reports:?}");
+        assert_eq!(reports[0].kind, ReportKind::LocksetRace);
+        assert_eq!(reports[0].labels, vec!["test.cell.bare".to_string()]);
+    }
+
+    #[test]
+    fn consistently_locked_writes_are_clean() {
+        let _x = crate::exclusive();
+        let lock = Arc::new(TrackedMutex::new("test.cell.lock", ()));
+        let cell = Arc::new(ShadowCell::new("test.cell.guarded"));
+        {
+            let _g = lock.lock();
+            cell.write();
+        }
+        let (l2, c2) = (Arc::clone(&lock), Arc::clone(&cell));
+        std::thread::spawn(move || {
+            let _g = l2.lock();
+            c2.write();
+            c2.read();
+        })
+        .join()
+        .expect("writer exits");
+        assert!(crate::take_reports().is_empty());
+    }
+
+    #[test]
+    fn handoff_resets_ownership() {
+        let _x = crate::exclusive();
+        let cell = Arc::new(ShadowCell::new("test.cell.handoff"));
+        cell.write();
+        cell.handoff(); // e.g. publish through a channel
+        let c2 = Arc::clone(&cell);
+        std::thread::spawn(move || {
+            c2.write(); // new exclusive owner, no report
+        })
+        .join()
+        .expect("consumer exits");
+        assert!(crate::take_reports().is_empty());
+    }
+
+    #[test]
+    fn unlocked_initialization_then_locked_sharing_is_clean() {
+        let _x = crate::exclusive();
+        let lock = Arc::new(TrackedMutex::new("test.cell.lock2", ()));
+        let cell = Arc::new(ShadowCell::new("test.cell.init"));
+        cell.write(); // unlocked init by owner
+        cell.write();
+        let (l2, c2) = (Arc::clone(&lock), Arc::clone(&cell));
+        std::thread::spawn(move || {
+            let _g = l2.lock();
+            c2.write(); // lockset restarts here: {lock2}
+        })
+        .join()
+        .expect("writer exits");
+        {
+            let _g = lock.lock();
+            cell.write();
+        }
+        assert!(crate::take_reports().is_empty());
+    }
+}

@@ -1,0 +1,191 @@
+//! Sanitizer findings and the global report sink.
+//!
+//! Findings accumulate in a process-global sink so instrumented code
+//! deep inside the engine never has to thread a handle around. Tests
+//! that assert on findings serialize through [`crate::exclusive`] so
+//! concurrent test binaries cannot interleave their reports.
+
+/// What kind of hazard a report describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReportKind {
+    /// Two lock labels are acquired in both orders somewhere in the
+    /// program — an ABBA deadlock waiting for the right interleaving,
+    /// even if no run has deadlocked yet.
+    LockOrderCycle,
+    /// Two locks sharing a label (e.g. two store shards) were held at
+    /// once without respecting their rank order, so the label-level
+    /// hierarchy cannot rule out a same-label ABBA.
+    SameLabelOrder,
+    /// A shared location was mutated without any lock consistently held
+    /// across the threads touching it (Eraser-style lockset violation).
+    LocksetRace,
+}
+
+impl ReportKind {
+    /// Stable machine-readable tag.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            ReportKind::LockOrderCycle => "lock-order-cycle",
+            ReportKind::SameLabelOrder => "same-label-order",
+            ReportKind::LocksetRace => "lockset-race",
+        }
+    }
+}
+
+/// One sanitizer finding.
+#[derive(Clone, Debug)]
+pub struct SanitizerReport {
+    /// The hazard class.
+    pub kind: ReportKind,
+    /// Lock or cell labels involved: the cycle path for lock-order
+    /// findings (first label repeated at the end), the cell label for
+    /// races.
+    pub labels: Vec<String>,
+    /// Human-readable acquisition/access contexts — thread name plus the
+    /// labels held at the time — one per participating site.
+    pub contexts: Vec<String>,
+    /// One-line summary.
+    pub message: String,
+}
+
+impl SanitizerReport {
+    /// Renders the finding for terminal output.
+    #[must_use]
+    pub fn render_human(&self) -> String {
+        let mut out = format!("sanitizer[{}]: {}", self.kind.tag(), self.message);
+        for ctx in &self.contexts {
+            out.push_str("\n  at ");
+            out.push_str(ctx);
+        }
+        out
+    }
+
+    /// Renders the finding as one JSON object.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let labels: Vec<String> = self
+            .labels
+            .iter()
+            .map(|l| format!("\"{}\"", json_escape(l)))
+            .collect();
+        let contexts: Vec<String> = self
+            .contexts
+            .iter()
+            .map(|c| format!("\"{}\"", json_escape(c)))
+            .collect();
+        format!(
+            "{{\"kind\":\"{}\",\"labels\":[{}],\"contexts\":[{}],\"message\":\"{}\"}}",
+            self.kind.tag(),
+            labels.join(","),
+            contexts.join(","),
+            json_escape(&self.message)
+        )
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(feature = "sanitize")]
+mod sink {
+    use super::SanitizerReport;
+    use parking_lot::Mutex;
+    use std::sync::OnceLock;
+
+    fn reports() -> &'static Mutex<Vec<SanitizerReport>> {
+        static R: OnceLock<Mutex<Vec<SanitizerReport>>> = OnceLock::new();
+        R.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    pub(crate) fn push(report: SanitizerReport) {
+        reports().lock().push(report);
+    }
+
+    pub(crate) fn take() -> Vec<SanitizerReport> {
+        std::mem::take(&mut *reports().lock())
+    }
+
+    pub(crate) fn peek() -> Vec<SanitizerReport> {
+        reports().lock().clone()
+    }
+}
+
+/// Records a finding in the global sink.
+#[cfg(feature = "sanitize")]
+pub(crate) fn push_report(report: SanitizerReport) {
+    sink::push(report);
+}
+
+/// Drains every pending finding. Always empty without the `sanitize`
+/// feature.
+#[must_use]
+pub fn take_reports() -> Vec<SanitizerReport> {
+    #[cfg(feature = "sanitize")]
+    {
+        sink::take()
+    }
+    #[cfg(not(feature = "sanitize"))]
+    {
+        Vec::new()
+    }
+}
+
+/// Copies every pending finding without draining.
+#[must_use]
+pub fn reports() -> Vec<SanitizerReport> {
+    #[cfg(feature = "sanitize")]
+    {
+        sink::peek()
+    }
+    #[cfg(not(feature = "sanitize"))]
+    {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_rendering_escapes() {
+        let r = SanitizerReport {
+            kind: ReportKind::LocksetRace,
+            labels: vec!["a\"b".into()],
+            contexts: vec!["thread \"t\"".into()],
+            message: "line\nbreak".into(),
+        };
+        let json = r.render_json();
+        assert!(json.contains("\\\"b"), "{json}");
+        assert!(json.contains("line\\nbreak"), "{json}");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn human_rendering_lists_contexts() {
+        let r = SanitizerReport {
+            kind: ReportKind::LockOrderCycle,
+            labels: vec!["a".into(), "b".into(), "a".into()],
+            contexts: vec!["thread t1 holding [a]".into()],
+            message: "a -> b -> a".into(),
+        };
+        let s = r.render_human();
+        assert!(s.starts_with("sanitizer[lock-order-cycle]: "), "{s}");
+        assert!(s.contains("\n  at thread t1"), "{s}");
+    }
+}

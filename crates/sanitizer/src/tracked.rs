@@ -1,0 +1,399 @@
+//! Drop-in lock wrappers: `TrackedMutex`, `TrackedRwLock`, and
+//! `TrackedCondvar` mirror the `parking_lot` API the workspace already
+//! uses, plus a `&'static str` label (and optional rank for same-label
+//! families like store shards) naming the lock in sanitizer findings.
+//!
+//! Without the `sanitize` feature every method is a direct passthrough
+//! to the underlying lock — the guards carry no extra fields and no
+//! `Drop` impl, so the compiler erases the wrapper entirely (pinned by
+//! the `sanitizer_overhead` bench). With the feature on, blocking
+//! acquisitions feed the lock-order graph in [`crate::runtime`] and
+//! guard drops pop the per-thread held stack.
+
+use parking_lot::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::ops::{Deref, DerefMut};
+use std::time::Duration;
+
+pub use parking_lot::WaitTimeoutResult;
+
+#[cfg(feature = "sanitize")]
+use crate::runtime;
+
+/// A labeled mutex; identical to `parking_lot::Mutex` when the
+/// `sanitize` feature is off.
+#[derive(Debug)]
+pub struct TrackedMutex<T: ?Sized> {
+    label: &'static str,
+    rank: u32,
+    inner: Mutex<T>,
+}
+
+/// Guard for [`TrackedMutex`].
+pub struct TrackedMutexGuard<'a, T: ?Sized> {
+    #[cfg(feature = "sanitize")]
+    label: &'static str,
+    #[cfg(feature = "sanitize")]
+    rank: u32,
+    inner: MutexGuard<'a, T>,
+}
+
+impl<T> TrackedMutex<T> {
+    /// Creates a mutex with rank 0 (for singleton locks).
+    pub const fn new(label: &'static str, value: T) -> Self {
+        Self::with_rank(label, 0, value)
+    }
+
+    /// Creates a mutex in a same-label family (e.g. store shards);
+    /// same-label locks must be acquired in strictly increasing rank
+    /// order.
+    pub const fn with_rank(label: &'static str, rank: u32, value: T) -> Self {
+        TrackedMutex {
+            label,
+            rank,
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> TrackedMutex<T> {
+    /// The label this lock reports under.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// This lock's rank within its same-label family (0 for singletons).
+    #[must_use]
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// Acquires the lock, blocking until available. Under `sanitize`
+    /// this records a lock-order edge from every lock the thread holds.
+    pub fn lock(&self) -> TrackedMutexGuard<'_, T> {
+        #[cfg(feature = "sanitize")]
+        runtime::before_acquire(self.label, self.rank);
+        let inner = self.inner.lock();
+        #[cfg(feature = "sanitize")]
+        runtime::push_held(self.label, self.rank);
+        TrackedMutexGuard {
+            #[cfg(feature = "sanitize")]
+            label: self.label,
+            #[cfg(feature = "sanitize")]
+            rank: self.rank,
+            inner,
+        }
+    }
+
+    /// Attempts to acquire without blocking. Records no ordering edges
+    /// (a try-lock cannot participate in a deadlock) but the held stack
+    /// still sees it, so locks nested *inside* are ordered correctly.
+    pub fn try_lock(&self) -> Option<TrackedMutexGuard<'_, T>> {
+        let inner = self.inner.try_lock()?;
+        #[cfg(feature = "sanitize")]
+        runtime::push_held(self.label, self.rank);
+        Some(TrackedMutexGuard {
+            #[cfg(feature = "sanitize")]
+            label: self.label,
+            #[cfg(feature = "sanitize")]
+            rank: self.rank,
+            inner,
+        })
+    }
+
+    /// Mutable access without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for TrackedMutex<T> {
+    fn default() -> Self {
+        TrackedMutex::new("untracked", T::default())
+    }
+}
+
+impl<T: ?Sized> Deref for TrackedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for TrackedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(feature = "sanitize")]
+impl<T: ?Sized> Drop for TrackedMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        runtime::release(self.label, self.rank);
+    }
+}
+
+/// A condition variable for [`TrackedMutex`]; while a guard waits, the
+/// sanitizer treats the lock as released (which it is).
+#[derive(Debug, Default)]
+pub struct TrackedCondvar {
+    inner: Condvar,
+}
+
+impl TrackedCondvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        TrackedCondvar {
+            inner: Condvar::new(),
+        }
+    }
+
+    /// Blocks until notified, releasing the guard while waiting.
+    pub fn wait<T>(&self, guard: &mut TrackedMutexGuard<'_, T>) {
+        #[cfg(feature = "sanitize")]
+        {
+            runtime::release(guard.label, guard.rank);
+            runtime::before_acquire(guard.label, guard.rank);
+        }
+        self.inner.wait(&mut guard.inner);
+        #[cfg(feature = "sanitize")]
+        runtime::push_held(guard.label, guard.rank);
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut TrackedMutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        #[cfg(feature = "sanitize")]
+        {
+            runtime::release(guard.label, guard.rank);
+            runtime::before_acquire(guard.label, guard.rank);
+        }
+        let res = self.inner.wait_for(&mut guard.inner, timeout);
+        #[cfg(feature = "sanitize")]
+        runtime::push_held(guard.label, guard.rank);
+        res
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// A labeled reader-writer lock. Readers and writers share one node in
+/// the lock-order graph: read/write acquisition order hazards are the
+/// same hazard.
+#[derive(Debug)]
+pub struct TrackedRwLock<T: ?Sized> {
+    label: &'static str,
+    rank: u32,
+    inner: RwLock<T>,
+}
+
+/// Shared read guard for [`TrackedRwLock`].
+pub struct TrackedRwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(feature = "sanitize")]
+    label: &'static str,
+    #[cfg(feature = "sanitize")]
+    rank: u32,
+    inner: RwLockReadGuard<'a, T>,
+}
+
+/// Exclusive write guard for [`TrackedRwLock`].
+pub struct TrackedRwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(feature = "sanitize")]
+    label: &'static str,
+    #[cfg(feature = "sanitize")]
+    rank: u32,
+    inner: RwLockWriteGuard<'a, T>,
+}
+
+impl<T> TrackedRwLock<T> {
+    /// Creates a lock with rank 0.
+    pub const fn new(label: &'static str, value: T) -> Self {
+        Self::with_rank(label, 0, value)
+    }
+
+    /// Creates a lock in a same-label family.
+    pub const fn with_rank(label: &'static str, rank: u32, value: T) -> Self {
+        TrackedRwLock {
+            label,
+            rank,
+            inner: RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> TrackedRwLock<T> {
+    /// The label this lock reports under.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// This lock's rank within its same-label family (0 for singletons).
+    #[must_use]
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// Acquires a shared read lock.
+    pub fn read(&self) -> TrackedRwLockReadGuard<'_, T> {
+        #[cfg(feature = "sanitize")]
+        runtime::before_acquire(self.label, self.rank);
+        let inner = self.inner.read();
+        #[cfg(feature = "sanitize")]
+        runtime::push_held(self.label, self.rank);
+        TrackedRwLockReadGuard {
+            #[cfg(feature = "sanitize")]
+            label: self.label,
+            #[cfg(feature = "sanitize")]
+            rank: self.rank,
+            inner,
+        }
+    }
+
+    /// Acquires an exclusive write lock.
+    pub fn write(&self) -> TrackedRwLockWriteGuard<'_, T> {
+        #[cfg(feature = "sanitize")]
+        runtime::before_acquire(self.label, self.rank);
+        let inner = self.inner.write();
+        #[cfg(feature = "sanitize")]
+        runtime::push_held(self.label, self.rank);
+        TrackedRwLockWriteGuard {
+            #[cfg(feature = "sanitize")]
+            label: self.label,
+            #[cfg(feature = "sanitize")]
+            rank: self.rank,
+            inner,
+        }
+    }
+}
+
+impl<T: Default> Default for TrackedRwLock<T> {
+    fn default() -> Self {
+        TrackedRwLock::new("untracked", T::default())
+    }
+}
+
+impl<T: ?Sized> Deref for TrackedRwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Deref for TrackedRwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for TrackedRwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(feature = "sanitize")]
+impl<T: ?Sized> Drop for TrackedRwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        runtime::release(self.label, self.rank);
+    }
+}
+
+#[cfg(feature = "sanitize")]
+impl<T: ?Sized> Drop for TrackedRwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        runtime::release(self.label, self.rank);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_roundtrip_and_try_lock() {
+        let m = TrackedMutex::new("test.m", 1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+        assert_eq!(m.label(), "test.m");
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_readers_share() {
+        let l = TrackedRwLock::new("test.rw", 7);
+        let a = l.read();
+        let b = l.read();
+        assert_eq!(*a + *b, 14);
+        drop((a, b));
+        *l.write() = 9;
+        assert_eq!(*l.read(), 9);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((TrackedMutex::new("test.cv", false), TrackedCondvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut done = m.lock();
+            while !*done {
+                cv.wait(&mut done);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        *pair.0.lock() = true;
+        pair.1.notify_all();
+        h.join().expect("waiter exits");
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let m = TrackedMutex::new("test.t", ());
+        let cv = TrackedCondvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, Duration::from_millis(2));
+        assert!(r.timed_out());
+    }
+
+    #[cfg(feature = "sanitize")]
+    #[test]
+    fn guards_maintain_the_held_stack() {
+        let _x = crate::exclusive();
+        let a = TrackedMutex::new("test.held.a", ());
+        let b = TrackedMutex::new("test.held.b", ());
+        {
+            let _ga = a.lock();
+            assert_eq!(crate::runtime::current_lockset(), vec!["test.held.a"]);
+            let _gb = b.lock();
+            assert_eq!(
+                crate::runtime::current_lockset(),
+                vec!["test.held.a", "test.held.b"]
+            );
+        }
+        assert!(crate::runtime::current_lockset().is_empty());
+        let _ = crate::take_reports();
+    }
+}

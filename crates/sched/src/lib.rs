@@ -19,7 +19,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
+use sand_sanitizer::{TrackedCondvar, TrackedMutex};
 use sand_telemetry::SchedMetrics;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -157,13 +157,13 @@ struct Entry {
 }
 
 struct Shared {
-    queue: Mutex<Vec<Entry>>,
-    available: Condvar,
+    queue: TrackedMutex<Vec<Entry>>,
+    available: TrackedCondvar,
     shutdown: AtomicBool,
     running: AtomicU64,
     memory_pressure_milli: AtomicU64,
-    stats: Mutex<SchedStats>,
-    idle: Condvar,
+    stats: TrackedMutex<SchedStats>,
+    idle: TrackedCondvar,
     config: SchedConfig,
     /// Per-worker "currently executing a job" flags, used by the sticky
     /// affinity policy: a pinned job may only be stolen while its
@@ -229,13 +229,13 @@ impl Scheduler {
     pub fn with_metrics(config: SchedConfig, metrics: Option<SchedMetrics>) -> Self {
         let threads = config.threads.max(1);
         let shared = Arc::new(Shared {
-            queue: Mutex::new(Vec::new()),
-            available: Condvar::new(),
+            queue: TrackedMutex::new("sched.queue", Vec::new()),
+            available: TrackedCondvar::new(),
             shutdown: AtomicBool::new(false),
             running: AtomicU64::new(0),
             memory_pressure_milli: AtomicU64::new(0),
-            stats: Mutex::new(SchedStats::default()),
-            idle: Condvar::new(),
+            stats: TrackedMutex::new("sched.stats", SchedStats::default()),
+            idle: TrackedCondvar::new(),
             config,
             worker_busy: (0..threads).map(|_| AtomicBool::new(false)).collect(),
             metrics,
@@ -563,6 +563,7 @@ fn worker_loop(shared: &Arc<Shared>, done: &Sender<()>, w: WorkerCtx) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parking_lot::Mutex;
     use std::sync::atomic::AtomicUsize;
     use std::time::Duration;
 

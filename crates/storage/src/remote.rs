@@ -8,7 +8,7 @@
 //! shared token-less model keeps it simple: `time = latency + bytes/bw`.
 
 use crate::{Result, StorageError};
-use parking_lot::Mutex;
+use sand_sanitizer::TrackedMutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -47,7 +47,7 @@ impl BandwidthModel {
 /// A remote dataset store with bandwidth accounting.
 #[derive(Debug)]
 pub struct RemoteStore {
-    objects: Mutex<HashMap<String, Arc<Vec<u8>>>>,
+    objects: TrackedMutex<HashMap<String, Arc<Vec<u8>>>>,
     model: BandwidthModel,
     bytes_fetched: AtomicU64,
     fetches: AtomicU64,
@@ -58,7 +58,7 @@ impl RemoteStore {
     #[must_use]
     pub fn new(model: BandwidthModel) -> Self {
         RemoteStore {
-            objects: Mutex::new(HashMap::new()),
+            objects: TrackedMutex::new("remote.objects", HashMap::new()),
             model,
             bytes_fetched: AtomicU64::new(0),
             fetches: AtomicU64::new(0),

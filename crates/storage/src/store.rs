@@ -21,7 +21,7 @@
 //!   Shard boundaries never influence which object is pruned.
 
 use crate::{decode_key, encode_key, Result, StorageError};
-use parking_lot::{Mutex, MutexGuard};
+use sand_sanitizer::{ShadowCell, TrackedMutex, TrackedMutexGuard};
 use sand_telemetry::{record_stage, Stage, StoreMetrics};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -141,14 +141,18 @@ struct Shard {
 pub struct ObjectStore {
     config: StoreConfig,
     dir: Option<PathBuf>,
-    shards: Vec<Mutex<Shard>>,
+    shards: Vec<TrackedMutex<Shard>>,
     /// Global memory-tier residency, maintained under shard locks.
     memory_bytes: AtomicU64,
     /// Global disk-tier residency, maintained under shard locks.
     disk_bytes: AtomicU64,
     /// Serializes budget sweeps so concurrent `enforce_budgets` callers
     /// cannot race each other's victim selection.
-    sweep: Mutex<()>,
+    sweep: TrackedMutex<()>,
+    /// Sanitizer shadow for the global byte counters: every mutation
+    /// must happen under some shard lock (the invariant `remove_locked`
+    /// documents); the lockset checker enforces it.
+    bytes_shadow: ShadowCell,
     memory_hits: AtomicU64,
     disk_hits: AtomicU64,
     misses: AtomicU64,
@@ -187,11 +191,12 @@ impl ObjectStore {
             config,
             dir,
             shards: (0..config.shards)
-                .map(|_| Mutex::new(Shard::default()))
+                .map(|i| TrackedMutex::with_rank("store.shard", i as u32, Shard::default()))
                 .collect(),
             memory_bytes: AtomicU64::new(0),
             disk_bytes: AtomicU64::new(0),
-            sweep: Mutex::new(()),
+            sweep: TrackedMutex::new("store.sweep", ()),
+            bytes_shadow: ShadowCell::new("store.bytes"),
             memory_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -224,6 +229,7 @@ impl ObjectStore {
                         bytes: None,
                     },
                 );
+                store.bytes_shadow.write();
                 store.disk_bytes.fetch_add(meta.len(), Ordering::Relaxed);
             }
         }
@@ -274,7 +280,7 @@ impl ObjectStore {
     /// acquisition records its wait in the shard's lock-wait histogram;
     /// the uncontended fast path and the disabled path never read the
     /// clock.
-    fn lock_shard(&self, idx: usize) -> MutexGuard<'_, Shard> {
+    fn lock_shard(&self, idx: usize) -> TrackedMutexGuard<'_, Shard> {
         if let Some(m) = self.metrics.get() {
             if let Some(guard) = self.shards[idx].try_lock() {
                 return guard;
@@ -341,6 +347,7 @@ impl ObjectStore {
                     m.disk_write_us.observe_duration(spent);
                     record_stage(Stage::StoreIo, spent);
                 }
+                self.bytes_shadow.write();
                 self.disk_bytes.fetch_add(size, Ordering::Relaxed);
                 if near {
                     self.memory_bytes.fetch_add(size, Ordering::Relaxed);
@@ -365,6 +372,7 @@ impl ObjectStore {
                     );
                 }
             } else {
+                self.bytes_shadow.write();
                 self.memory_bytes.fetch_add(size, Ordering::Relaxed);
                 shard.objects.insert(
                     key.to_string(),
@@ -493,6 +501,7 @@ impl ObjectStore {
     /// under the owning shard's lock, so the counters are exact.
     fn remove_locked(&self, shard: &mut Shard, key: &str) -> Result<()> {
         if let Some(rec) = shard.objects.remove(key) {
+            self.bytes_shadow.write();
             if rec.tier == Tier::Memory {
                 self.memory_bytes.fetch_sub(rec.size, Ordering::Relaxed);
             }
@@ -552,6 +561,7 @@ impl ObjectStore {
                 if rec.tier == Tier::Memory {
                     rec.bytes = None;
                     rec.tier = Tier::Disk;
+                    self.bytes_shadow.write();
                     self.memory_bytes.fetch_sub(rec.size, Ordering::Relaxed);
                     self.spills.fetch_add(1, Ordering::Relaxed);
                     if let Some(m) = self.metrics.get() {

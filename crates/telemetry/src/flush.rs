@@ -16,7 +16,7 @@
 //! started — long runs keep at most two generations on disk.
 
 use crate::Telemetry;
-use parking_lot::{Condvar, Mutex};
+use sand_sanitizer::{TrackedCondvar, TrackedMutex};
 use std::fs::{self, OpenOptions};
 use std::io::{self, Write};
 use std::path::PathBuf;
@@ -51,8 +51,8 @@ impl Default for FlushConfig {
 }
 
 struct FlushShared {
-    stop: Mutex<bool>,
-    wake: Condvar,
+    stop: TrackedMutex<bool>,
+    wake: TrackedCondvar,
     flushes: AtomicU64,
 }
 
@@ -73,8 +73,8 @@ impl JsonlFlusher {
             }
         }
         let shared = Arc::new(FlushShared {
-            stop: Mutex::new(false),
-            wake: Condvar::new(),
+            stop: TrackedMutex::new("telemetry.flush", false),
+            wake: TrackedCondvar::new(),
             flushes: AtomicU64::new(0),
         });
         let worker_shared = Arc::clone(&shared);

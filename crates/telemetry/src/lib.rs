@@ -34,7 +34,7 @@ pub use report::{
 };
 pub use snapshot::{HistogramSnapshot, MetricEntry, MetricValue, Snapshot};
 
-use parking_lot::Mutex;
+use sand_sanitizer::TrackedMutex;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -192,14 +192,30 @@ enum Metric {
 /// Registration is idempotent: asking for an existing name returns a
 /// handle to the same underlying atomics, so independent subsystems can
 /// share a metric without coordination.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Registry {
-    metrics: Mutex<BTreeMap<String, Metric>>,
+    metrics: TrackedMutex<BTreeMap<String, Metric>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self {
+            metrics: TrackedMutex::new("telemetry.registry", BTreeMap::new()),
+        }
+    }
 }
 
 impl Registry {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Unregisters `name`, returning whether it existed. Used when a
+    /// subsystem re-registers a dynamically-sized metric family (e.g.
+    /// per-shard histograms after a shard-count change) and must retire
+    /// series the new shape no longer produces.
+    pub fn remove(&self, name: &str) -> bool {
+        self.metrics.lock().remove(name).is_some()
     }
 
     pub fn counter(&self, name: &str) -> Counter {
@@ -297,7 +313,7 @@ impl Default for TelemetryConfig {
 struct TelemetryCore {
     config: TelemetryConfig,
     registry: Registry,
-    traces: Mutex<VecDeque<BatchTrace>>,
+    traces: TrackedMutex<VecDeque<BatchTrace>>,
 }
 
 /// The cheap-clone handle the engine threads through the workspace.
@@ -316,7 +332,7 @@ impl Telemetry {
             core: Some(Arc::new(TelemetryCore {
                 config,
                 registry: Registry::new(),
-                traces: Mutex::new(VecDeque::new()),
+                traces: TrackedMutex::new("telemetry.traces", VecDeque::new()),
             })),
         }
     }
@@ -424,7 +440,7 @@ impl StoreMetrics {
     /// registered per shard.
     pub fn register(t: &Telemetry, shards: usize) -> Option<Self> {
         let (r, c) = (t.registry()?, t.config()?);
-        Some(Self {
+        let this = Some(Self {
             mem_hits: r.counter("store.mem_hits"),
             disk_hits: r.counter("store.disk_hits"),
             misses: r.counter("store.misses"),
@@ -441,7 +457,16 @@ impl StoreMetrics {
                     )
                 })
                 .collect(),
-        })
+        });
+        // Re-registration with a smaller shard count (store rebuilt after
+        // a config change) must retire the now-orphaned series, or the
+        // snapshot keeps exporting frozen histograms forever. Indices are
+        // contiguous from 0, so sweep up from the first stale one.
+        let mut i = shards.max(1);
+        while r.remove(&format!("store.shard{i}.lock_wait_us")) {
+            i += 1;
+        }
+        this
     }
 }
 
@@ -573,15 +598,22 @@ impl EngineMetrics {
 /// engine's batch prefetch pipeline.
 #[derive(Clone, Debug)]
 pub struct PrefetchMetrics {
-    /// Batches served straight from a fully materialized prefetch entry.
+    /// Entries served straight from a fully materialized prefetch build.
     pub hit: Counter,
-    /// Batches whose prefetch was in flight — the trainer had to wait.
+    /// Entries whose build was in flight — the trainer had to wait for
+    /// it before serving.
     pub late: Counter,
-    /// Prefetched entries discarded on chunk rollover.
+    /// Entries discarded without serving: chunk rollover, a stale-chunk
+    /// take, or a cancellation racing the consume path.
     pub cancelled: Counter,
-    /// Batches with no prefetch entry at all (cold start or window gap).
+    /// Entries consumed but unusable (a sample failed or never ran) —
+    /// the batch was served inline instead.
     pub miss: Counter,
-    /// Prefetch jobs handed to the scheduler (one per sample).
+    /// Prefetch entries registered with the window (one per speculative
+    /// batch). Every entry settles exactly one outcome counter, so
+    /// `scheduled == hit + late + miss + cancelled` once all entries are
+    /// consumed. Serves that never had an entry (cold start, window gap)
+    /// count nowhere here.
     pub scheduled: Counter,
     /// Serve-thread wait for an in-flight prefetched batch.
     pub wait_us: Histogram,
@@ -707,6 +739,46 @@ mod tests {
             snap.histogram("store.shard0.lock_wait_us").map(|h| h.count),
             Some(0)
         );
+    }
+
+    #[test]
+    fn store_metrics_reregister_retires_stale_shard_series() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        let wide = StoreMetrics::register(&t, 8).expect("enabled");
+        assert_eq!(wide.shard_lock_wait_us.len(), 8);
+        wide.shard_lock_wait_us[7].observe(17);
+        // The store is rebuilt with fewer shards (config change):
+        // re-registration must retire shard2..shard7, not leak them as
+        // frozen series in every future snapshot.
+        let narrow = StoreMetrics::register(&t, 2).expect("enabled");
+        assert_eq!(narrow.shard_lock_wait_us.len(), 2);
+        let snap = t.snapshot().expect("enabled");
+        assert!(snap.histogram("store.shard1.lock_wait_us").is_some());
+        for i in 2..8 {
+            assert!(
+                snap.histogram(&format!("store.shard{i}.lock_wait_us"))
+                    .is_none(),
+                "stale shard{i} series leaked"
+            );
+        }
+        // Growing again re-creates the full family from scratch.
+        let wide2 = StoreMetrics::register(&t, 4).expect("enabled");
+        assert_eq!(wide2.shard_lock_wait_us.len(), 4);
+        let snap = t.snapshot().expect("enabled");
+        assert_eq!(
+            snap.histogram("store.shard3.lock_wait_us").map(|h| h.count),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn registry_remove_reports_presence() {
+        let r = Registry::default();
+        let c = r.counter("x.count");
+        c.inc();
+        assert!(r.remove("x.count"));
+        assert!(!r.remove("x.count"));
+        assert!(r.snapshot().entries.is_empty());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! - [`sched`] — priority-based materialization scheduling
 //! - [`vfs`] — the POSIX-style view filesystem (Tables 1 and 2)
 //! - [`telemetry`] — metrics registry, per-batch stall attribution
+//! - [`sanitizer`] — tracked locks, lock-order/lockset analysis, schedule exploration
 //! - [`sim`] — GPU / power / cluster models used by the experiments
 //! - [`core`] — the SAND engine tying everything together
 //! - [`train`] — training loop, baseline loaders, metrics
@@ -29,6 +30,7 @@ pub use sand_frame as frame;
 pub use sand_graph as graph;
 pub use sand_lint as lint;
 pub use sand_ray as ray;
+pub use sand_sanitizer as sanitizer;
 pub use sand_sched as sched;
 pub use sand_sim as sim;
 pub use sand_storage as storage;
