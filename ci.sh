@@ -44,8 +44,15 @@ echo "==> sanitizer_overhead bench smoke (quick mode, writes BENCH_sanitizer.jso
 SAND_BENCH_QUICK=1 cargo bench -q -p sand-bench --bench sanitizer_overhead
 test -f BENCH_sanitizer.json || { echo "BENCH_sanitizer.json missing"; exit 1; }
 
+echo "==> autotune_overhead bench smoke (quick mode, writes BENCH_autotune.json)"
+SAND_BENCH_QUICK=1 cargo bench -q -p sand-bench --bench autotune_overhead
+test -f BENCH_autotune.json || { echo "BENCH_autotune.json missing"; exit 1; }
+
 echo "==> telemetry example smoke (quick workload, validates JSONL export)"
 cargo run -q --release --example telemetry -- --quick --json --check > /dev/null
+
+echo "==> autotune example smoke (simulated hysteresis cycle + engine closed loop)"
+cargo run -q --release --example autotune -- --ticks 48 --engine --report-json > /dev/null
 
 echo "==> sanitize example smoke (64 schedules, must exit 0)"
 cargo run -q --example sanitize --features sanitize -- --schedules 64 > /dev/null

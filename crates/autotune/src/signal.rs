@@ -1,0 +1,213 @@
+//! Deriving control signals from successive registry snapshots.
+//!
+//! The registry exports monotone counters and histogram totals; a
+//! controller needs *rates over the last window*. [`Signals::derive`]
+//! subtracts two snapshots and normalizes the deltas into the handful of
+//! dimensionless quantities the policies consume. The derivation is
+//! pure (no clocks, no engine types), so simulated tests can fabricate
+//! snapshots — or skip this layer entirely and hand the controller
+//! ready-made [`Signals`].
+
+use sand_telemetry::Snapshot;
+
+/// Rates and deltas over the window between two snapshots.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Signals {
+    /// Share of prefetch outcomes settled this window that were late or
+    /// miss (0.0 when nothing settled). High pressure means the window
+    /// is too shallow: consumers keep outrunning the speculative builds.
+    pub prefetch_pressure: f64,
+    /// Prefetch outcomes settled this window (`hit + late + miss`).
+    pub prefetch_settled: u64,
+    /// Prefetch entries cancelled this window (chunk rollover or
+    /// shrink-to-zero churn): evidence the window is wastefully deep.
+    pub prefetch_cancelled: u64,
+    /// Store memory-budget headroom fraction in `[0, 1]`; `1.0` when
+    /// the store publishes no usage gauges (headroom unknown = ample).
+    pub store_headroom: f64,
+    /// Scheduler queue depth at the newer snapshot.
+    pub queue_depth: i64,
+    /// Queue depth change across the window (positive = building up).
+    pub queue_trend: i64,
+    /// Share of pinned demand picks this window that missed their
+    /// preferred worker (the slack window was too tight to wait).
+    pub demand_affinity_miss_ratio: f64,
+    /// Pinned demand picks this window (`hits + misses`).
+    pub demand_picks: u64,
+    /// Share of attributed stage time this window spent decoding.
+    pub decode_stall_share: f64,
+    /// Share of attributed stage time this window spent in aug ops.
+    pub aug_stall_share: f64,
+    /// Share of attributed stage time this window spent on store disk
+    /// I/O.
+    pub store_stall_share: f64,
+}
+
+fn counter_delta(prev: &Snapshot, cur: &Snapshot, name: &str) -> u64 {
+    cur.counter(name)
+        .unwrap_or(0)
+        .saturating_sub(prev.counter(name).unwrap_or(0))
+}
+
+fn hist_sum_delta(prev: &Snapshot, cur: &Snapshot, name: &str) -> u64 {
+    let sum = |s: &Snapshot| s.histogram(name).map_or(0, |h| h.sum);
+    sum(cur).saturating_sub(sum(prev))
+}
+
+fn ratio(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64
+    }
+}
+
+impl Signals {
+    /// Derives the window signals from two successive snapshots
+    /// (`prev` older, `cur` newer). Missing metrics read as zero, so a
+    /// partially-instrumented engine yields neutral signals rather than
+    /// errors.
+    #[must_use]
+    pub fn derive(prev: &Snapshot, cur: &Snapshot) -> Signals {
+        let hit = counter_delta(prev, cur, "prefetch.hit");
+        let late = counter_delta(prev, cur, "prefetch.late");
+        let miss = counter_delta(prev, cur, "prefetch.miss");
+        let settled = hit + late + miss;
+
+        let store_headroom = match (cur.gauge("store.mem_bytes"), cur.gauge("store.mem_budget")) {
+            (Some(bytes), Some(budget)) if budget > 0 => {
+                (1.0 - bytes as f64 / budget as f64).clamp(0.0, 1.0)
+            }
+            _ => 1.0,
+        };
+
+        let depth_now = cur.gauge("sched.queue_depth").unwrap_or(0);
+        let depth_prev = prev.gauge("sched.queue_depth").unwrap_or(0);
+
+        let affinity_hits = counter_delta(prev, cur, "sched.demand_affinity_hits");
+        let affinity_misses = counter_delta(prev, cur, "sched.demand_affinity_misses");
+        let picks = affinity_hits + affinity_misses;
+
+        // Stage time attribution: demand decode is tracked by the
+        // engine, predecode by the codec's per-segment histogram.
+        let decode_us = hist_sum_delta(prev, cur, "decode.segment_us")
+            + hist_sum_delta(prev, cur, "engine.demand_decode_us");
+        let aug_us = hist_sum_delta(prev, cur, "aug.op_us");
+        let store_us = hist_sum_delta(prev, cur, "store.disk_read_us")
+            + hist_sum_delta(prev, cur, "store.disk_write_us");
+        let total_us = decode_us + aug_us + store_us;
+
+        Signals {
+            prefetch_pressure: ratio(late + miss, settled),
+            prefetch_settled: settled,
+            prefetch_cancelled: counter_delta(prev, cur, "prefetch.cancelled"),
+            store_headroom,
+            queue_depth: depth_now,
+            queue_trend: depth_now - depth_prev,
+            demand_affinity_miss_ratio: ratio(affinity_misses, picks),
+            demand_picks: picks,
+            decode_stall_share: ratio(decode_us, total_us),
+            aug_stall_share: ratio(aug_us, total_us),
+            store_stall_share: ratio(store_us, total_us),
+        }
+    }
+}
+
+/// Holds the previous snapshot between control ticks.
+#[derive(Debug, Default)]
+pub struct SignalDeriver {
+    prev: Option<Snapshot>,
+}
+
+impl SignalDeriver {
+    /// Creates a deriver with no history.
+    #[must_use]
+    pub fn new() -> Self {
+        SignalDeriver::default()
+    }
+
+    /// Feeds the next snapshot. The first call only establishes the
+    /// baseline and returns `None` (an observe-only tick); every later
+    /// call returns the signals for the window since the previous one.
+    pub fn advance(&mut self, cur: &Snapshot) -> Option<Signals> {
+        let signals = self.prev.as_ref().map(|prev| Signals::derive(prev, cur));
+        self.prev = Some(cur.clone());
+        signals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sand_telemetry::Registry;
+
+    #[test]
+    fn derives_prefetch_pressure_from_counter_deltas() {
+        let r = Registry::new();
+        r.counter("prefetch.hit").add(10);
+        r.counter("prefetch.late").add(0);
+        r.counter("prefetch.miss").add(0);
+        let prev = r.snapshot();
+        r.counter("prefetch.hit").add(2);
+        r.counter("prefetch.late").add(3);
+        r.counter("prefetch.miss").add(3);
+        let s = Signals::derive(&prev, &r.snapshot());
+        assert_eq!(s.prefetch_settled, 8);
+        assert!((s.prefetch_pressure - 0.75).abs() < 1e-9);
+        assert_eq!(s.prefetch_cancelled, 0);
+    }
+
+    #[test]
+    fn headroom_reads_store_gauges_and_defaults_to_ample() {
+        let r = Registry::new();
+        let empty = r.snapshot();
+        let s = Signals::derive(&empty, &empty);
+        assert!((s.store_headroom - 1.0).abs() < 1e-9, "no gauges = ample");
+        r.gauge("store.mem_bytes").set(750);
+        r.gauge("store.mem_budget").set(1000);
+        let s = Signals::derive(&empty, &r.snapshot());
+        assert!((s.store_headroom - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stage_shares_partition_attributed_time() {
+        let r = Registry::new();
+        let prev = r.snapshot();
+        r.histogram("decode.segment_us", &[10]).observe(600);
+        r.histogram("aug.op_us", &[10]).observe(300);
+        r.histogram("store.disk_read_us", &[10]).observe(100);
+        let s = Signals::derive(&prev, &r.snapshot());
+        assert!((s.decode_stall_share - 0.6).abs() < 1e-9);
+        assert!((s.aug_stall_share - 0.3).abs() < 1e-9);
+        assert!((s.store_stall_share - 0.1).abs() < 1e-9);
+        let total = s.decode_stall_share + s.aug_stall_share + s.store_stall_share;
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queue_trend_and_affinity_misses() {
+        let r = Registry::new();
+        r.gauge("sched.queue_depth").set(2);
+        r.counter("sched.demand_affinity_hits").add(1);
+        let prev = r.snapshot();
+        r.gauge("sched.queue_depth").set(7);
+        r.counter("sched.demand_affinity_hits").add(1);
+        r.counter("sched.demand_affinity_misses").add(3);
+        let s = Signals::derive(&prev, &r.snapshot());
+        assert_eq!(s.queue_depth, 7);
+        assert_eq!(s.queue_trend, 5);
+        assert_eq!(s.demand_picks, 4);
+        assert!((s.demand_affinity_miss_ratio - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deriver_first_tick_is_observe_only() {
+        let r = Registry::new();
+        let mut d = SignalDeriver::new();
+        assert!(d.advance(&r.snapshot()).is_none(), "baseline tick");
+        r.counter("prefetch.miss").add(4);
+        let s = d.advance(&r.snapshot()).expect("second tick has a window");
+        assert_eq!(s.prefetch_settled, 4);
+        assert!((s.prefetch_pressure - 1.0).abs() < 1e-9);
+    }
+}

@@ -107,8 +107,9 @@ fn main() {
     );
     println!("bench aug_parallel/speedup                 {speedup:>12.2}x (host_cpus={host_cpus})");
 
+    let host = sand_bench::host::host_context_json();
     let json = format!(
-        "{{\n  \"bench\": \"aug_parallel\",\n  \"quick\": {quick},\n  \"aug_threads\": {AUG_PARALLEL},\n  \"epochs\": {epochs},\n  \"sequential_secs\": {seq_avg:.4},\n  \"parallel_secs\": {par_avg:.4},\n  \"speedup\": {speedup:.3},\n  \"aug_ops\": {seq_ops},\n  \"bit_identical\": {bit_identical},\n  \"host_cpus\": {host_cpus}\n}}\n"
+        "{{\n  \"bench\": \"aug_parallel\",\n  \"quick\": {quick},\n  \"aug_threads\": {AUG_PARALLEL},\n  \"epochs\": {epochs},\n  \"sequential_secs\": {seq_avg:.4},\n  \"parallel_secs\": {par_avg:.4},\n  \"speedup\": {speedup:.3},\n  \"aug_ops\": {seq_ops},\n  \"bit_identical\": {bit_identical},\n  \"host_cpus\": {host_cpus},\n  \"host\": {host}\n}}\n"
     );
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")

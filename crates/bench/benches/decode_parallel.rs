@@ -90,8 +90,9 @@ fn main() {
     );
     println!("bench decode_parallel/speedup              {speedup:>12.2}x (host_cpus={host_cpus})");
 
+    let host = sand_bench::host::host_context_json();
     let json = format!(
-        "{{\n  \"bench\": \"decode_parallel\",\n  \"quick\": {quick},\n  \"threads\": {PARALLEL_THREADS},\n  \"sparse_stride\": {SPARSE_STRIDE},\n  \"frames_per_pass\": {frames},\n  \"sequential_fps\": {seq_fps:.1},\n  \"parallel_fps\": {par_fps:.1},\n  \"speedup\": {speedup:.3},\n  \"bit_identical\": {bit_identical},\n  \"host_cpus\": {host_cpus}\n}}\n"
+        "{{\n  \"bench\": \"decode_parallel\",\n  \"quick\": {quick},\n  \"threads\": {PARALLEL_THREADS},\n  \"sparse_stride\": {SPARSE_STRIDE},\n  \"frames_per_pass\": {frames},\n  \"sequential_fps\": {seq_fps:.1},\n  \"parallel_fps\": {par_fps:.1},\n  \"speedup\": {speedup:.3},\n  \"bit_identical\": {bit_identical},\n  \"host_cpus\": {host_cpus},\n  \"host\": {host}\n}}\n"
     );
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")

@@ -77,8 +77,9 @@ fn main() {
         if sanitize_on { "on" } else { "off" }
     );
 
+    let host = sand_bench::host::host_context_json();
     let json = format!(
-        "{{\n  \"bench\": \"sanitizer_overhead\",\n  \"quick\": {quick},\n  \"sanitize\": {sanitize_on},\n  \"threads\": {threads},\n  \"iters\": {iters},\n  \"raw_secs\": {raw_avg:.4},\n  \"tracked_secs\": {tracked_avg:.4},\n  \"tracked_ratio\": {ratio:.3}\n}}\n"
+        "{{\n  \"bench\": \"sanitizer_overhead\",\n  \"quick\": {quick},\n  \"sanitize\": {sanitize_on},\n  \"threads\": {threads},\n  \"iters\": {iters},\n  \"raw_secs\": {raw_avg:.4},\n  \"tracked_secs\": {tracked_avg:.4},\n  \"tracked_ratio\": {ratio:.3},\n  \"host\": {host}\n}}\n"
     );
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")

@@ -125,8 +125,9 @@ fn main() {
         "bench store_contention/speedup             {speedup:>12.2}x (threads={threads}, host_cpus={host_cpus})"
     );
 
+    let host = sand_bench::host::host_context_json();
     let json = format!(
-        "{{\n  \"bench\": \"store_contention\",\n  \"quick\": {quick},\n  \"shards\": {SHARDED},\n  \"threads\": {threads},\n  \"rounds\": {rounds},\n  \"payload_bytes\": {payload},\n  \"single_lock_secs\": {single_avg:.4},\n  \"sharded_secs\": {sharded_avg:.4},\n  \"speedup\": {speedup:.3},\n  \"keys\": {},\n  \"bit_identical\": {bit_identical},\n  \"host_cpus\": {host_cpus}\n}}\n",
+        "{{\n  \"bench\": \"store_contention\",\n  \"quick\": {quick},\n  \"shards\": {SHARDED},\n  \"threads\": {threads},\n  \"rounds\": {rounds},\n  \"payload_bytes\": {payload},\n  \"single_lock_secs\": {single_avg:.4},\n  \"sharded_secs\": {sharded_avg:.4},\n  \"speedup\": {speedup:.3},\n  \"keys\": {},\n  \"bit_identical\": {bit_identical},\n  \"host_cpus\": {host_cpus},\n  \"host\": {host}\n}}\n",
         k1.len()
     );
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

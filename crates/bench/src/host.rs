@@ -1,0 +1,50 @@
+//! Host context stamped into every `BENCH_*.json`.
+//!
+//! Bench numbers are only comparable across runs on the same machine
+//! shape. Each harness embeds this fragment as the `"host"` field so CI
+//! trend tracking can partition by core count and build flavor instead of
+//! mixing a 4-core debug container's numbers with a 64-core release box.
+
+/// The host context as one JSON object (no trailing newline), e.g.
+/// `{"cores": 8, "os": "linux", "arch": "x86_64", "debug_assertions":
+/// false, "sanitize": false}`.
+#[must_use]
+pub fn host_context_json() -> String {
+    let cores = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    format!(
+        "{{\"cores\": {cores}, \"os\": \"{os}\", \"arch\": \"{arch}\", \
+         \"debug_assertions\": {debug}, \"sanitize\": {sanitize}}}",
+        os = std::env::consts::OS,
+        arch = std::env::consts::ARCH,
+        debug = cfg!(debug_assertions),
+        sanitize = sand_sanitizer::enabled(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_context_is_a_json_object_with_every_field() {
+        let json = host_context_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        for field in [
+            "\"cores\": ",
+            "\"os\": \"",
+            "\"arch\": \"",
+            "\"debug_assertions\": ",
+            "\"sanitize\": ",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        // `cores` must be a real count on any machine running tests.
+        let cores: usize = json
+            .split("\"cores\": ")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap();
+        assert!(cores >= 1, "{json}");
+    }
+}

@@ -3,6 +3,7 @@
 use crate::keys::store_key;
 use crate::prefetch::Prefetcher;
 use crate::{CoreError, Result};
+use sand_autotune::{AutotuneConfig, Controller, Decision, KnobValues};
 use sand_codec::{Dataset, DecodeStats, Decoder, WarmDecoder};
 use sand_config::TaskConfig;
 use sand_frame::tensor::{clip_refs_to_tensor, stack};
@@ -11,21 +12,21 @@ use sand_graph::{
     prune_to_budget, AbstractGraph, BatchRef, ConcreteGraph, NodeId, ObjectKey, PlanInput, Planner,
     PlannerOptions,
 };
-use sand_lint::{lint_all, LintLevel, LintOptions};
+use sand_lint::{lint_all, AutotuneClamp, LintLevel, LintOptions};
 use sand_sanitizer::{ShadowCell, TrackedCondvar, TrackedMutex};
 use sand_sched::{Job, JobKind, SchedConfig, Scheduler};
 use sand_storage::{ObjectMeta, ObjectStore, StoreConfig, Tier};
 use sand_telemetry::{
-    record_stage, BatchMeta, CodecMetrics, EngineMetrics, MaterializeMetrics, PrefetchMetrics,
-    SchedMetrics, Snapshot, Stage, StallReport, StoreMetrics, Telemetry, TelemetryConfig,
-    VfsMetrics,
+    record_stage, AutotuneMetrics, BatchMeta, CodecMetrics, EngineMetrics, MaterializeMetrics,
+    PrefetchMetrics, SchedMetrics, Snapshot, Stage, StallReport, StoreMetrics, Telemetry,
+    TelemetryConfig, VfsMetrics,
 };
 use sand_vfs::{SandVfs, VfsError, ViewPath, ViewProvider};
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -88,6 +89,14 @@ pub struct EngineConfig {
     /// (default) disables it entirely — instrumented paths never read
     /// the clock, pinned by `benches/telemetry_overhead.rs`.
     pub telemetry: Option<TelemetryConfig>,
+    /// Closed-loop adaptive control: `Some` runs a controller that
+    /// periodically reads the telemetry snapshot and retunes the runtime
+    /// knobs (prefetch depth, demand slack, aug/decode thread split)
+    /// online, with hysteresis and hard clamps. `None` (default) keeps
+    /// every knob static and adds zero overhead to the serve path,
+    /// pinned by `benches/autotune_overhead.rs`. Requires telemetry
+    /// (lint SL034 denies the combination `autotune` without it).
+    pub autotune: Option<AutotuneConfig>,
 }
 
 impl Default for EngineConfig {
@@ -112,6 +121,7 @@ impl Default for EngineConfig {
             warm_session_cap: WARM_SESSION_CAP,
             lint: LintLevel::default(),
             telemetry: None,
+            autotune: None,
         }
     }
 }
@@ -196,6 +206,32 @@ struct Inner {
     engine_metrics: Option<EngineMetrics>,
     mat_metrics: Option<MaterializeMetrics>,
     codec_metrics: Option<CodecMetrics>,
+    /// Live materialize fan-out: the runtime value of the `aug_threads`
+    /// knob. Seeded from the config; retuned by the controller or
+    /// [`SandEngine::set_aug_threads`]. Folded with per-task
+    /// `execution.aug_threads` hints at submit time.
+    aug_threads_live: AtomicUsize,
+    /// Live intra-video decode fan-out, read per pre-decode pass.
+    decode_threads_live: AtomicUsize,
+    /// The adaptive controller (`None` unless `EngineConfig::autotune`).
+    autotune: Option<TrackedMutex<Controller>>,
+    autotune_metrics: Option<AutotuneMetrics>,
+    /// Shutdown flag for the background control thread.
+    autotune_stop: Arc<AtomicBool>,
+    /// Background control thread handle, joined on engine drop.
+    autotune_thread: TrackedMutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // Stop and join the control thread. It only ever holds a `Weak`
+        // to this `Inner` (a live upgrade would keep us from dropping),
+        // so the join is bounded by one sleep step plus one tick.
+        self.autotune_stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.autotune_thread.lock().take() {
+            let _ = handle.join();
+        }
+    }
 }
 
 /// Default bound on live warm decode sessions; each holds at most one
@@ -405,7 +441,28 @@ impl SandEngine {
         let codec_metrics = CodecMetrics::register(&telemetry);
         let prefetcher =
             Prefetcher::new(config.prefetch_depth, PrefetchMetrics::register(&telemetry));
-        Ok(SandEngine {
+        let autotune = config.autotune.as_ref().map(|a| {
+            TrackedMutex::new(
+                "engine.autotune",
+                Controller::new(
+                    a.clone(),
+                    KnobValues {
+                        prefetch_depth: config.prefetch_depth as u64,
+                        demand_slack: config.sched.demand_slack,
+                        aug_threads: config.aug_threads.max(1) as u64,
+                        decode_threads: config.decode_threads.max(1) as u64,
+                    },
+                ),
+            )
+        });
+        let autotune_metrics = if config.autotune.is_some() {
+            AutotuneMetrics::register(&telemetry)
+        } else {
+            None
+        };
+        let aug_threads_live = AtomicUsize::new(config.aug_threads.max(1));
+        let decode_threads_live = AtomicUsize::new(config.decode_threads.max(1));
+        let engine = SandEngine {
             inner: Arc::new(Inner {
                 config,
                 dataset,
@@ -423,8 +480,57 @@ impl SandEngine {
                 engine_metrics,
                 mat_metrics,
                 codec_metrics,
+                aug_threads_live,
+                decode_threads_live,
+                autotune,
+                autotune_metrics,
+                autotune_stop: Arc::new(AtomicBool::new(false)),
+                autotune_thread: TrackedMutex::new("engine.autotune_thread", None),
             }),
-        })
+        };
+        Self::spawn_autotune_loop(&engine.inner);
+        Ok(engine)
+    }
+
+    /// Spawns the background control thread (only when autotune is
+    /// configured with a nonzero interval). The thread holds a `Weak` to
+    /// the engine state, so it never keeps a dropped engine alive; it
+    /// wakes in 20 ms steps to observe shutdown promptly.
+    fn spawn_autotune_loop(inner: &Arc<Inner>) {
+        let Some(a) = &inner.config.autotune else {
+            return;
+        };
+        if a.interval_ms == 0 {
+            return;
+        }
+        let interval = Duration::from_millis(a.interval_ms);
+        let stop = Arc::clone(&inner.autotune_stop);
+        let weak = Arc::downgrade(inner);
+        let handle = std::thread::Builder::new()
+            .name("sand-autotune".into())
+            .spawn(move || loop {
+                let mut slept = Duration::ZERO;
+                while slept < interval {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let step = (interval - slept).min(Duration::from_millis(20));
+                    std::thread::sleep(step);
+                    slept += step;
+                }
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                match weak.upgrade() {
+                    Some(inner) => {
+                        let _ = Inner::autotune_tick(&inner);
+                    }
+                    None => return,
+                }
+            });
+        if let Ok(h) = handle {
+            *inner.autotune_thread.lock() = Some(h);
+        }
     }
 
     /// Runs the startup lint pass (per `EngineConfig::lint`), then plans
@@ -498,6 +604,16 @@ impl SandEngine {
             decode_threads: config.decode_threads.max(1),
             sanitize: sand_sanitizer::enabled(),
             release_build: cfg!(not(debug_assertions)),
+            autotune: config.autotune.as_ref().map(|a| {
+                a.clamps()
+                    .into_iter()
+                    .map(|(knob, min, max)| AutotuneClamp {
+                        knob: knob.to_string(),
+                        min,
+                        max,
+                    })
+                    .collect()
+            }),
         };
         let report = lint_all(
             &config.tasks,
@@ -599,6 +715,81 @@ impl SandEngine {
     #[must_use]
     pub fn stall_report(&self) -> Option<StallReport> {
         self.inner.telemetry.stall_report()
+    }
+
+    /// The prefetch depth currently in effect (runtime value, not the
+    /// config seed).
+    #[must_use]
+    pub fn prefetch_depth(&self) -> usize {
+        self.inner.prefetcher.depth()
+    }
+
+    /// Prefetch entries currently in flight (scheduled but not yet
+    /// settled into an outcome counter).
+    #[must_use]
+    pub fn prefetch_pending(&self) -> usize {
+        self.inner.prefetcher.pending()
+    }
+
+    /// Retunes the prefetch window depth at runtime. Entries already in
+    /// flight keep their exact-conservation accounting: growing or
+    /// shrinking to a nonzero depth leaves them to be consumed normally;
+    /// shrinking to `0` cancels them (each settles `cancelled` exactly
+    /// once), and racing serves still drain any residue because the
+    /// consume path stays open while entries are pending.
+    pub fn set_prefetch_depth(&self, depth: usize) {
+        self.inner.prefetcher.set_depth(depth);
+    }
+
+    /// The demand-slack window currently in effect.
+    #[must_use]
+    pub fn demand_slack(&self) -> u64 {
+        self.inner.sched.demand_slack()
+    }
+
+    /// Retunes the scheduler's demand-slack window at runtime.
+    pub fn set_demand_slack(&self, slack: u64) {
+        self.inner.sched.set_demand_slack(slack);
+    }
+
+    /// The materialize fan-out knob currently in effect (before the
+    /// per-task `execution.aug_threads` max-fold).
+    #[must_use]
+    pub fn aug_threads(&self) -> usize {
+        self.inner.aug_threads_live.load(Ordering::Relaxed)
+    }
+
+    /// Retunes the materialize fan-out at runtime. Applies to buckets
+    /// submitted from the next chunk on; the value participates in the
+    /// same max-fold as per-task hints.
+    pub fn set_aug_threads(&self, n: usize) {
+        self.inner
+            .aug_threads_live
+            .store(n.max(1), Ordering::Relaxed);
+    }
+
+    /// The intra-video decode fan-out currently in effect.
+    #[must_use]
+    pub fn decode_threads(&self) -> usize {
+        self.inner.decode_threads_live.load(Ordering::Relaxed)
+    }
+
+    /// Retunes the intra-video decode fan-out at runtime; read once per
+    /// pre-decode pass.
+    pub fn set_decode_threads(&self, n: usize) {
+        self.inner
+            .decode_threads_live
+            .store(n.max(1), Ordering::Relaxed);
+    }
+
+    /// Runs one controller tick synchronously: snapshot the registry,
+    /// advance the policies, apply the resulting knob values, and export
+    /// decisions. Returns `None` when autotune or telemetry is disabled
+    /// (the controller is inert without signals). The background loop
+    /// (`autotune.interval_ms > 0`) calls exactly this; a zero interval
+    /// plus explicit ticks gives deterministic, test-driven control.
+    pub fn autotune_tick(&self) -> Option<Vec<Decision>> {
+        Inner::autotune_tick(&self.inner)
     }
 }
 
@@ -704,15 +895,76 @@ impl Inner {
             .map(|d| d.join("_meta").join(format!("graph_chunk_{chunk_id}.ckpt")))
     }
 
-    /// The materialize fan-out actually in effect: the engine knob, maxed
-    /// with every task-level `execution.aug_threads` hint.
-    fn effective_aug_threads(config: &EngineConfig) -> usize {
-        config
+    /// The materialize fan-out actually in effect: the *live* engine
+    /// knob, maxed with every task-level `execution.aug_threads` hint.
+    ///
+    /// The fold starts from the runtime value (`aug_threads_live`), not
+    /// the static config, so a controller- or API-driven override
+    /// participates in the same max-fold as the per-task hints — raising
+    /// the knob above every hint takes effect instead of being silently
+    /// shadowed by a larger static hint.
+    fn effective_aug_threads(inner: &Inner) -> usize {
+        inner
+            .config
             .tasks
             .iter()
             .map(|t| t.execution.aug_threads)
-            .fold(config.aug_threads, usize::max)
+            .fold(inner.aug_threads_live.load(Ordering::Relaxed), usize::max)
             .max(1)
+    }
+
+    /// One closed-loop control tick: derive signals from the registry
+    /// snapshot, advance every policy, apply the resulting knob values,
+    /// and export the decisions (metrics + stall-report decision log).
+    ///
+    /// Returns `None` when autotune or telemetry is disabled — without a
+    /// registry there are no signals, so the controller stays inert (lint
+    /// SL034 denies that configuration up front).
+    ///
+    /// Bit-identity: every knob this tick can move is a *performance*
+    /// knob — prefetch depth, demand slack, thread splits — none of which
+    /// participate in planning, sampling, or augmentation math, so served
+    /// bytes are unchanged under any decision schedule
+    /// (`prop_autotune_parity`).
+    fn autotune_tick(inner: &Arc<Inner>) -> Option<Vec<Decision>> {
+        let controller = inner.autotune.as_ref()?;
+        let snapshot = inner.telemetry.snapshot()?;
+        let (decisions, values) = {
+            let mut c = controller.lock();
+            let decisions = c.tick(&snapshot);
+            (decisions, c.values())
+        };
+        // Apply unconditionally (the setters are idempotent): the knob
+        // values are the controller's single source of truth, so a
+        // concurrent manual setter call is simply overridden at the next
+        // tick.
+        inner.prefetcher.set_depth(values.prefetch_depth as usize);
+        inner.sched.set_demand_slack(values.demand_slack);
+        inner
+            .aug_threads_live
+            .store((values.aug_threads as usize).max(1), Ordering::Relaxed);
+        inner
+            .decode_threads_live
+            .store((values.decode_threads as usize).max(1), Ordering::Relaxed);
+        for d in &decisions {
+            inner.telemetry.push_decision(d.render());
+        }
+        if let Some(m) = &inner.autotune_metrics {
+            m.ticks.inc();
+            for d in &decisions {
+                m.decisions.inc();
+                if d.to > d.from {
+                    m.raises.inc();
+                } else {
+                    m.lowers.inc();
+                }
+            }
+            m.prefetch_depth.set(values.prefetch_depth as i64);
+            m.demand_slack.set(values.demand_slack as i64);
+            m.aug_threads.set(values.aug_threads as i64);
+            m.decode_threads.set(values.decode_threads as i64);
+        }
+        Some(decisions)
     }
 
     /// Splits one bucket's node list into at most `parts` sub-job lists.
@@ -767,7 +1019,7 @@ impl Inner {
     /// worker already holding the video's warm decode state.
     fn submit_prematerialization(inner: &Arc<Inner>, chunk: &Arc<Chunk>) {
         let epoch_span = chunk.graph.epochs.end - chunk.graph.epochs.start;
-        let aug_threads = Self::effective_aug_threads(&inner.config);
+        let aug_threads = Self::effective_aug_threads(inner);
         for v in inner.dataset.videos() {
             let subtree = chunk.graph.video_subtree(v.video_id);
             let todo: Vec<NodeId> = subtree
@@ -1110,7 +1362,8 @@ impl Inner {
                     what: format!("video {video_id} not in dataset"),
                 })?;
             let indices: Vec<usize> = group.iter().map(|&(_, f)| f).collect();
-            let mut dec = Decoder::with_threads(&entry.encoded, inner.config.decode_threads)
+            let decode_threads = inner.decode_threads_live.load(Ordering::Relaxed);
+            let mut dec = Decoder::with_threads(&entry.encoded, decode_threads)
                 .with_metrics(inner.codec_metrics.clone());
             let t0 = inner.engine_metrics.as_ref().map(|_| Instant::now());
             let frames = dec.decode_indices(&indices)?;
@@ -1203,14 +1456,24 @@ impl Inner {
     fn serve_batch(inner: &Arc<Inner>, task: &str, epoch: u64, iteration: u64) -> Result<Vec<u8>> {
         let chunk = Self::ensure_chunk(inner, epoch)?;
         let chunk_id = epoch / inner.config.epochs_per_chunk;
-        if inner.prefetcher.enabled() {
+        // The consume path stays open past `enabled()` while entries are
+        // still pending: a controller shrinking the depth to 0 races the
+        // serve loop, and entries scheduled before the shrink must still
+        // settle exactly one outcome counter. The extra `pending()` probe
+        // only runs with autotune configured, so the static
+        // `prefetch_depth = 0` path keeps its zero extra locking.
+        let consume = inner.prefetcher.enabled()
+            || (inner.config.autotune.is_some() && inner.prefetcher.pending() > 0);
+        if consume {
             // Chunk rollover: speculative batches built against the
             // previous chunk's plan are dead — cancel, never serve.
             inner.prefetcher.cancel_stale(chunk_id);
             if let Some(bytes) =
                 Self::consume_prefetched(inner, &chunk, chunk_id, task, epoch, iteration)?
             {
-                Self::schedule_prefetch(inner, &chunk, chunk_id, task, epoch, iteration);
+                if inner.prefetcher.enabled() {
+                    Self::schedule_prefetch(inner, &chunk, chunk_id, task, epoch, iteration);
+                }
                 return Ok(bytes);
             }
         }
@@ -1882,6 +2145,32 @@ dataset:
             ..Default::default()
         };
         SandEngine::new(config, dataset()).unwrap()
+    }
+
+    #[test]
+    fn runtime_aug_threads_override_joins_the_max_fold() {
+        let mut task = parse_task_config(TASK).unwrap();
+        task.execution.aug_threads = 4;
+        let config = EngineConfig {
+            tasks: vec![task],
+            prematerialize: false,
+            total_epochs: 4,
+            epochs_per_chunk: 2,
+            aug_threads: 1,
+            ..Default::default()
+        };
+        let e = SandEngine::new(config, dataset()).unwrap();
+        // The task hint dominates the static knob.
+        assert_eq!(Inner::effective_aug_threads(&e.inner), 4);
+        // A runtime override below the hint folds in but cannot shrink
+        // past it (the hint is a per-task floor, not a suggestion).
+        e.set_aug_threads(2);
+        assert_eq!(Inner::effective_aug_threads(&e.inner), 4);
+        // Raising above every hint takes effect — the override joins the
+        // same max-fold instead of being shadowed by the static hint.
+        e.set_aug_threads(8);
+        assert_eq!(Inner::effective_aug_threads(&e.inner), 8);
+        assert_eq!(e.aug_threads(), 8);
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod service;
 
 pub use engine::{EngineConfig, EngineStats, SandEngine};
 pub use keys::store_key;
+pub use sand_autotune::{AutotuneConfig, Decision as AutotuneDecision};
 pub use sand_lint::LintLevel;
 pub use sand_telemetry::{
     LoaderMetrics, MetricValue, Snapshot, StallReport, Telemetry, TelemetryConfig,

@@ -14,7 +14,7 @@
 //! | graph invariants | `SL010`–`SL014` | edge legality, acyclicity, dangling references |
 //! | resource feasibility | `SL020`–`SL025` | budget lower bounds, decode amplification, telemetry buckets, prefetch/shard sizing |
 //! | sharing | `SL030`–`SL031` | near-miss cross-task merge opportunities |
-//! | concurrency | `SL032`–`SL033` | single-shard prefetch contention, sanitizer-in-release |
+//! | concurrency | `SL032`–`SL035` | single-shard prefetch contention, sanitizer-in-release, autotune wiring |
 //!
 //! Diagnostics render rustc-style for humans ([`LintReport::render_human`])
 //! and as JSON lines for tooling ([`LintReport::render_jsonl`]). The engine
@@ -171,6 +171,21 @@ pub struct LintOptions {
     pub sanitize: bool,
     /// Whether this is an optimized (release) build.
     pub release_build: bool,
+    /// Autotune knob clamp ranges when the engine enables the adaptive
+    /// control plane (`None` = autotune off, its lints are skipped). One
+    /// entry per controlled knob, in declaration order.
+    pub autotune: Option<Vec<AutotuneClamp>>,
+}
+
+/// One autotune knob's hard clamp range, as configured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AutotuneClamp {
+    /// Knob name, e.g. `prefetch_depth`.
+    pub knob: String,
+    /// Hard lower clamp.
+    pub min: u64,
+    /// Hard upper clamp.
+    pub max: u64,
 }
 
 impl Default for LintOptions {
@@ -188,6 +203,7 @@ impl Default for LintOptions {
             decode_threads: 1,
             sanitize: false,
             release_build: false,
+            autotune: None,
         }
     }
 }

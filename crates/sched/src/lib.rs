@@ -106,7 +106,8 @@ pub struct SchedConfig {
     /// EDF order for warm decoder-session reuse. `0` (the default)
     /// keeps pure earliest-deadline-first with affinity as a tie-break
     /// only. Only honoured under [`Policy::Priority`] with
-    /// [`SchedConfig::sticky_affinity`] enabled.
+    /// [`SchedConfig::sticky_affinity`] enabled. This is the *initial*
+    /// window; [`Scheduler::set_demand_slack`] retunes it at runtime.
     pub demand_slack: u64,
 }
 
@@ -165,6 +166,10 @@ struct Shared {
     stats: TrackedMutex<SchedStats>,
     idle: TrackedCondvar,
     config: SchedConfig,
+    /// Live demand-slack window. Seeded from `config.demand_slack`;
+    /// runtime-adjustable via [`Scheduler::set_demand_slack`] (the
+    /// autotune controller's actuation point), read once per pick.
+    demand_slack: AtomicU64,
     /// Per-worker "currently executing a job" flags, used by the sticky
     /// affinity policy: a pinned job may only be stolen while its
     /// preferred worker is busy (i.e. backlogged), otherwise it is left
@@ -236,6 +241,7 @@ impl Scheduler {
             memory_pressure_milli: AtomicU64::new(0),
             stats: TrackedMutex::new("sched.stats", SchedStats::default()),
             idle: TrackedCondvar::new(),
+            demand_slack: AtomicU64::new(config.demand_slack),
             config,
             worker_busy: (0..threads).map(|_| AtomicBool::new(false)).collect(),
             metrics,
@@ -299,6 +305,20 @@ impl Scheduler {
             .store(milli, Ordering::Relaxed);
     }
 
+    /// Retunes the bounded-EDF demand-slack window at runtime (the
+    /// autotune controller's actuation point). Affects the very next
+    /// pick; queued jobs need no migration because slack is a pick-time
+    /// policy input, not a property of the entries.
+    pub fn set_demand_slack(&self, slack: u64) {
+        self.shared.demand_slack.store(slack, Ordering::Relaxed);
+    }
+
+    /// The demand-slack window currently in effect.
+    #[must_use]
+    pub fn demand_slack(&self) -> u64 {
+        self.shared.demand_slack.load(Ordering::Relaxed)
+    }
+
     /// Number of queued (not yet started) jobs.
     #[must_use]
     pub fn pending(&self) -> usize {
@@ -356,10 +376,14 @@ impl Drop for Scheduler {
     }
 }
 
-/// Picks the next entry index under the active policy.
+/// Picks the next entry index under the active policy. `demand_slack`
+/// is passed separately from the (immutable) config because it is the
+/// one policy input that can change at runtime — the worker loop reads
+/// the live atomic once per pick.
 fn pick_index(
     entries: &[Entry],
     config: &SchedConfig,
+    demand_slack: u64,
     pressure_milli: u64,
     w: WorkerCtx,
     worker_busy: &[AtomicBool],
@@ -375,7 +399,7 @@ fn pick_index(
     // window is exactly the EDF tie group, so an affinity match only
     // breaks deadline ties — a GPU-blocking read never waits for a
     // particular worker beyond the configured bound.
-    let slack = config.demand_slack;
+    let slack = demand_slack;
     let pick_demand = |entries: &[Entry]| {
         let urgent = entries
             .iter()
@@ -470,8 +494,9 @@ fn worker_loop(shared: &Arc<Shared>, done: &Sender<()>, w: WorkerCtx) {
                     return;
                 }
                 let pressure = shared.memory_pressure_milli.load(Ordering::Relaxed);
+                let slack = shared.demand_slack.load(Ordering::Relaxed);
                 if let Some((idx, mode)) =
-                    pick_index(&q, &shared.config, pressure, w, &shared.worker_busy)
+                    pick_index(&q, &shared.config, slack, pressure, w, &shared.worker_busy)
                 {
                     if let Some(m) = &shared.metrics {
                         let picked = &q[idx];
@@ -950,11 +975,8 @@ mod tests {
                 .collect()
         };
         let pick = |slack: u64, q: &[Entry]| {
-            let config = SchedConfig {
-                demand_slack: slack,
-                ..Default::default()
-            };
-            pick_index(q, &config, 0, w, &busy).map(|(i, _)| i)
+            let config = SchedConfig::default();
+            pick_index(q, &config, slack, 0, w, &busy).map(|(i, _)| i)
         };
         // Key 0 → worker 1 (foreign), key 1 → worker 2 (at home).
         let q = entries([(5, 0), (6, 1)]);
@@ -965,6 +987,33 @@ mod tests {
         // Equal deadlines: affinity already breaks the tie at slack 0.
         let q = entries([(5, 0), (5, 1)]);
         assert_eq!(pick(0, &q), Some(1));
+    }
+
+    /// The slack window is runtime-adjustable without restarting the
+    /// pool: the live value is a pick-time input, seeded from config.
+    #[test]
+    fn demand_slack_is_runtime_adjustable() {
+        let sched = Scheduler::new(SchedConfig {
+            threads: 2,
+            demand_slack: 3,
+            ..Default::default()
+        });
+        assert_eq!(sched.demand_slack(), 3, "seeded from config");
+        sched.set_demand_slack(12);
+        assert_eq!(sched.demand_slack(), 12);
+        sched.set_demand_slack(0);
+        assert_eq!(sched.demand_slack(), 0);
+        // The pool still serves jobs after retuning.
+        let count = Arc::new(AtomicU64::new(0));
+        for i in 0..8 {
+            let c = Arc::clone(&count);
+            sched.submit(job(JobKind::Demand, i, 1, move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        sched.wait_idle();
+        assert_eq!(count.load(Ordering::SeqCst), 8);
+        sched.shutdown();
     }
 
     /// Telemetry wiring: queue depth returns to zero, every pick lands

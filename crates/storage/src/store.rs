@@ -238,9 +238,25 @@ impl ObjectStore {
 
     /// Attaches telemetry handles (idempotent; the first caller wins).
     /// Mirrors the store's native counters into the shared registry and
-    /// enables disk I/O latency and shard lock-wait timing.
+    /// enables disk I/O latency and shard lock-wait timing. Publishes
+    /// the memory budget and current residency gauges immediately so
+    /// headroom (`1 - mem_bytes/mem_budget`) is derivable from the very
+    /// first snapshot.
     pub fn set_metrics(&self, metrics: StoreMetrics) {
+        metrics.mem_budget.set(self.config.memory_budget as i64);
+        metrics
+            .mem_bytes
+            .set(self.memory_bytes.load(Ordering::Relaxed) as i64);
         let _ = self.metrics.set(metrics);
+    }
+
+    /// Publishes the memory-tier residency gauge after an accounting
+    /// change (no-op without telemetry attached).
+    fn publish_mem_usage(&self) {
+        if let Some(m) = self.metrics.get() {
+            m.mem_bytes
+                .set(self.memory_bytes.load(Ordering::Relaxed) as i64);
+        }
     }
 
     /// An in-memory-only store (no disk tier).
@@ -385,6 +401,7 @@ impl ObjectStore {
                 );
             }
         }
+        self.publish_mem_usage();
         self.enforce_budgets()?;
         Ok(())
     }
@@ -504,6 +521,7 @@ impl ObjectStore {
             self.bytes_shadow.write();
             if rec.tier == Tier::Memory {
                 self.memory_bytes.fetch_sub(rec.size, Ordering::Relaxed);
+                self.publish_mem_usage();
             }
             // Write-through: when a disk tier exists every object has a
             // file, regardless of its memory residency.
@@ -563,6 +581,7 @@ impl ObjectStore {
                     rec.tier = Tier::Disk;
                     self.bytes_shadow.write();
                     self.memory_bytes.fetch_sub(rec.size, Ordering::Relaxed);
+                    self.publish_mem_usage();
                     self.spills.fetch_add(1, Ordering::Relaxed);
                     if let Some(m) = self.metrics.get() {
                         m.spills.inc();
@@ -1092,5 +1111,41 @@ mod tests {
         assert!(snap.histogram("store.shard0.lock_wait_us").is_some());
         assert!(snap.histogram("store.shard1.lock_wait_us").is_some());
         assert_eq!(snap.counter("store.puts"), Some(4 * 200));
+    }
+
+    /// The residency gauges track the store's own accounting, so budget
+    /// headroom (`1 - mem_bytes/mem_budget`) is derivable from any
+    /// snapshot — the autotune controller's back-pressure signal.
+    #[test]
+    fn memory_gauges_track_accounting() {
+        use sand_telemetry::{StoreMetrics, Telemetry, TelemetryConfig};
+        let cfg = StoreConfig {
+            memory_budget: 10_000,
+            ..Default::default()
+        };
+        let s = ObjectStore::memory_only(cfg).unwrap();
+        s.put("early", vec![0u8; 100].into(), meta(0, 1)).unwrap();
+        let telemetry = Telemetry::new(TelemetryConfig::default());
+        let m = StoreMetrics::register(&telemetry, s.shard_count()).expect("enabled");
+        s.set_metrics(m);
+        let snap = telemetry.snapshot().expect("enabled");
+        assert_eq!(snap.gauge("store.mem_budget"), Some(10_000));
+        assert_eq!(
+            snap.gauge("store.mem_bytes"),
+            Some(100),
+            "attach publishes pre-existing residency"
+        );
+        s.put("k1", vec![0u8; 400].into(), meta(0, 1)).unwrap();
+        s.put("k2", vec![0u8; 300].into(), meta(0, 2)).unwrap();
+        let snap = telemetry.snapshot().expect("enabled");
+        assert_eq!(snap.gauge("store.mem_bytes"), Some(800));
+        s.remove("k1").unwrap();
+        let snap = telemetry.snapshot().expect("enabled");
+        assert_eq!(snap.gauge("store.mem_bytes"), Some(400));
+        assert_eq!(
+            snap.gauge("store.mem_bytes").map(|b| b as u64),
+            Some(s.stats().memory_bytes),
+            "gauge mirrors the accounting exactly"
+        );
     }
 }

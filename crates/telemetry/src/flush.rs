@@ -268,6 +268,105 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
     }
 
+    /// Splits a flushed JSONL body into per-flush sections of metric
+    /// names, one section per `{"type":"flush"}` marker.
+    fn sections(body: &str) -> Vec<Vec<String>> {
+        let lines = validate_jsonl(body).expect("flushed file must be valid JSONL");
+        let mut out: Vec<Vec<String>> = Vec::new();
+        for l in &lines {
+            if l.get("type").and_then(|v| v.as_str()) == Some("flush") {
+                out.push(Vec::new());
+            } else if let Some(name) = l.get("name").and_then(|v| v.as_str()) {
+                if let Some(cur) = out.last_mut() {
+                    cur.push(name.to_string());
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn removed_series_stop_appearing_in_later_flushes() {
+        let dir = tmp("remove");
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("metrics.jsonl");
+        let t = Telemetry::new(TelemetryConfig::default());
+        let r = t.registry().unwrap();
+        r.counter("series.kept").add(1);
+        r.counter("series.retired").add(2);
+        let flusher = JsonlFlusher::start(
+            t.clone(),
+            FlushConfig {
+                path: path.clone(),
+                interval: Duration::from_millis(5),
+                rotate_cap_bytes: 0,
+            },
+        )
+        .unwrap();
+        // Let at least one full section carry both series, then retire
+        // one while the flusher keeps running.
+        wait_for_flushes(&flusher, 1);
+        assert!(t.registry().unwrap().remove("series.retired"));
+        wait_for_flushes(&flusher, flusher.flushes() + 2);
+        flusher.stop();
+        let secs = sections(&fs::read_to_string(&path).unwrap());
+        assert!(secs.len() >= 3, "sections: {}", secs.len());
+        let first = secs.first().unwrap();
+        assert!(first.iter().any(|n| n == "series.retired"));
+        assert!(first.iter().any(|n| n == "series.kept"));
+        // Every section flushed after the removal — the final one at
+        // latest — must drop the retired series and keep the survivor.
+        let last = secs.last().unwrap();
+        assert!(
+            !last.iter().any(|n| n == "series.retired"),
+            "retired series leaked into a post-removal flush: {last:?}"
+        );
+        assert!(last.iter().any(|n| n == "series.kept"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reregistration_after_resize_does_not_duplicate_entries() {
+        use crate::StoreMetrics;
+        let dir = tmp("reregister");
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("metrics.jsonl");
+        let t = Telemetry::new(TelemetryConfig::default());
+        // A controller-driven store rebuild: 4 shards, then 2, then 2
+        // again. Registration is get-or-create and the shrink sweep
+        // retires stale series, so the flushed snapshot must carry
+        // shard0/shard1 exactly once and shard2/shard3 not at all.
+        let _wide = StoreMetrics::register(&t, 4).unwrap();
+        let _narrow = StoreMetrics::register(&t, 2).unwrap();
+        let _again = StoreMetrics::register(&t, 2).unwrap();
+        let flusher = JsonlFlusher::start(
+            t,
+            FlushConfig {
+                path: path.clone(),
+                interval: Duration::from_millis(5),
+                rotate_cap_bytes: 0,
+            },
+        )
+        .unwrap();
+        wait_for_flushes(&flusher, 1);
+        flusher.stop();
+        let secs = sections(&fs::read_to_string(&path).unwrap());
+        let last = secs.last().unwrap();
+        for shard in 0..2 {
+            let name = format!("store.shard{shard}.lock_wait_us");
+            let count = last.iter().filter(|n| **n == name).count();
+            assert_eq!(count, 1, "{name} appears {count} times: {last:?}");
+        }
+        for shard in 2..4 {
+            let name = format!("store.shard{shard}.lock_wait_us");
+            assert!(
+                !last.iter().any(|n| **n == name),
+                "stale {name} leaked into the flush"
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
     #[test]
     fn drop_joins_the_flush_thread() {
         let dir = tmp("drop");

@@ -314,6 +314,9 @@ struct TelemetryCore {
     config: TelemetryConfig,
     registry: Registry,
     traces: TrackedMutex<VecDeque<BatchTrace>>,
+    /// Rendered autotune decisions, ring-buffered like traces so the
+    /// stall report can show *why* the knobs sit where they sit.
+    decisions: TrackedMutex<VecDeque<String>>,
 }
 
 /// The cheap-clone handle the engine threads through the workspace.
@@ -333,6 +336,7 @@ impl Telemetry {
                 config,
                 registry: Registry::new(),
                 traces: TrackedMutex::new("telemetry.traces", VecDeque::new()),
+                decisions: TrackedMutex::new("telemetry.decisions", VecDeque::new()),
             })),
         }
     }
@@ -375,6 +379,18 @@ impl Telemetry {
         }
     }
 
+    /// Appends a rendered autotune decision to the decision log (same
+    /// ring cap as traces). No-op when disabled.
+    pub fn push_decision(&self, decision: String) {
+        if let Some(core) = &self.core {
+            let mut decisions = core.decisions.lock();
+            if decisions.len() >= core.config.trace_cap.max(1) {
+                decisions.pop_front();
+            }
+            decisions.push_back(decision);
+        }
+    }
+
     pub fn snapshot(&self) -> Option<Snapshot> {
         self.core.as_deref().map(|c| c.registry.snapshot())
     }
@@ -383,6 +399,7 @@ impl Telemetry {
         self.core.as_deref().map(|c| StallReport {
             budget_us: c.config.stall_budget_us,
             traces: c.traces.lock().iter().cloned().collect(),
+            decisions: c.decisions.lock().iter().cloned().collect(),
         })
     }
 }
@@ -433,6 +450,12 @@ pub struct StoreMetrics {
     /// histogram per shard, recording only *contended* acquisitions —
     /// the uncontended fast path never reads the clock.
     pub shard_lock_wait_us: Vec<Histogram>,
+    /// Bytes resident in the memory tier, published on every accounting
+    /// change so budget headroom is derivable from any snapshot.
+    pub mem_bytes: Gauge,
+    /// The configured memory-tier budget, published once at attach. The
+    /// autotune controller reads `1 - mem_bytes/mem_budget` as headroom.
+    pub mem_budget: Gauge,
 }
 
 impl StoreMetrics {
@@ -457,6 +480,8 @@ impl StoreMetrics {
                     )
                 })
                 .collect(),
+            mem_bytes: r.gauge("store.mem_bytes"),
+            mem_budget: r.gauge("store.mem_budget"),
         });
         // Re-registration with a smaller shard count (store rebuilt after
         // a config change) must retire the now-orphaned series, or the
@@ -633,6 +658,46 @@ impl PrefetchMetrics {
     }
 }
 
+/// Adaptive-controller metrics (`autotune.*`), recorded by the engine's
+/// closed-loop control plane: tick/decision counters plus one gauge per
+/// driven knob so the current operating point is visible in any
+/// snapshot.
+#[derive(Clone, Debug)]
+pub struct AutotuneMetrics {
+    /// Control ticks taken (including observe-only ones).
+    pub ticks: Counter,
+    /// Knob changes committed.
+    pub decisions: Counter,
+    /// Committed decisions that raised a knob.
+    pub raises: Counter,
+    /// Committed decisions that lowered a knob.
+    pub lowers: Counter,
+    /// Live prefetcher look-ahead depth.
+    pub prefetch_depth: Gauge,
+    /// Live scheduler demand-slack window.
+    pub demand_slack: Gauge,
+    /// Live materialize fan-out.
+    pub aug_threads: Gauge,
+    /// Live demand-decode fan-out.
+    pub decode_threads: Gauge,
+}
+
+impl AutotuneMetrics {
+    pub fn register(t: &Telemetry) -> Option<Self> {
+        let r = t.registry()?;
+        Some(Self {
+            ticks: r.counter("autotune.ticks"),
+            decisions: r.counter("autotune.decisions"),
+            raises: r.counter("autotune.raises"),
+            lowers: r.counter("autotune.lowers"),
+            prefetch_depth: r.gauge("autotune.prefetch_depth"),
+            demand_slack: r.gauge("autotune.demand_slack"),
+            aug_threads: r.gauge("autotune.aug_threads"),
+            decode_threads: r.gauge("autotune.decode_threads"),
+        })
+    }
+}
+
 /// Per-loader training metrics (`loader.<name>.*`), recorded by the
 /// trainer for SAND and every baseline loader alike, so stall
 /// attribution across loaders reads from one registry.
@@ -721,7 +786,30 @@ mod tests {
         assert!(MaterializeMetrics::register(&t).is_none());
         assert!(EngineMetrics::register(&t).is_none());
         assert!(PrefetchMetrics::register(&t).is_none());
+        assert!(AutotuneMetrics::register(&t).is_none());
         assert!(LoaderMetrics::register(&t, "cpu").is_none());
+        t.push_decision("tick 1: prefetch_depth 0 -> 1".into());
+        assert!(t.stall_report().is_none());
+    }
+
+    #[test]
+    fn decision_log_rides_the_stall_report() {
+        let t = Telemetry::new(TelemetryConfig {
+            trace_cap: 2,
+            ..TelemetryConfig::default()
+        });
+        assert_eq!(
+            t.stall_report().expect("enabled").decisions.len(),
+            0,
+            "no decisions until the controller pushes some"
+        );
+        for i in 0..4 {
+            t.push_decision(format!("tick {i}: prefetch_depth {i} -> {}", i + 1));
+        }
+        let report = t.stall_report().expect("enabled");
+        assert_eq!(report.decisions.len(), 2, "same ring cap as traces");
+        assert_eq!(report.decisions[0], "tick 2: prefetch_depth 2 -> 3");
+        assert_eq!(report.decisions[1], "tick 3: prefetch_depth 3 -> 4");
     }
 
     #[test]

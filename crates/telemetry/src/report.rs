@@ -328,6 +328,9 @@ impl BatchTrace {
 pub struct StallReport {
     pub budget_us: u64,
     pub traces: Vec<BatchTrace>,
+    /// Rendered autotune decisions, oldest first (empty unless the
+    /// adaptive controller is enabled and has committed knob changes).
+    pub decisions: Vec<String>,
 }
 
 impl StallReport {
@@ -377,16 +380,30 @@ impl StallReport {
                 b[7] / 1_000,
             ));
         }
+        if !self.decisions.is_empty() {
+            out.push_str(&format!("autotune decisions ({}):\n", self.decisions.len()));
+            for d in &self.decisions {
+                out.push_str(&format!("  {d}\n"));
+            }
+        }
         out
     }
 
     /// One JSON line per trace (stalled or not; the `stalled` field
-    /// carries the classification).
+    /// carries the classification), followed by one
+    /// `"type":"autotune_decision"` line per controller decision when
+    /// the adaptive control plane is active.
     pub fn render_jsonl(&self) -> String {
         let mut out = String::new();
         for t in &self.traces {
             out.push_str(&t.render_json());
             out.push('\n');
+        }
+        for d in &self.decisions {
+            out.push_str(&format!(
+                "{{\"type\":\"autotune_decision\",\"decision\":\"{}\"}}\n",
+                json_escape(d)
+            ));
         }
         out
     }
@@ -507,6 +524,40 @@ mod tests {
         probe.run_sample(0, || {});
         let trace = probe.finish(meta(), 60_000_000); // 60 s budget
         assert!(!trace.stalled);
+    }
+
+    #[test]
+    fn stall_report_renders_the_decision_log() {
+        let probe = BatchProbe::new(1);
+        probe.mark_submitted(0);
+        probe.run_sample(0, || {});
+        let report = StallReport {
+            budget_us: 0,
+            traces: vec![probe.finish(meta(), 0)],
+            decisions: vec!["tick 3: prefetch_depth 1 -> 2 (late/miss dominate)".into()],
+        };
+        let table = report.render_table();
+        assert!(table.contains("autotune decisions (1):"));
+        assert!(table.contains("prefetch_depth 1 -> 2"));
+        let jsonl = report.render_jsonl();
+        let decision_line = jsonl
+            .lines()
+            .find(|l| l.contains("autotune_decision"))
+            .expect("decision line present");
+        let v = crate::parse_json(decision_line).expect("decision json parses");
+        assert_eq!(
+            v.get("type").and_then(|t| t.as_str()),
+            Some("autotune_decision")
+        );
+
+        // Without decisions neither renderer mentions autotune at all.
+        let silent = StallReport {
+            budget_us: 0,
+            traces: Vec::new(),
+            decisions: Vec::new(),
+        };
+        assert!(!silent.render_table().contains("autotune"));
+        assert!(!silent.render_jsonl().contains("autotune"));
     }
 
     #[test]

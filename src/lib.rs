@@ -11,6 +11,7 @@
 //! - [`sched`] — priority-based materialization scheduling
 //! - [`vfs`] — the POSIX-style view filesystem (Tables 1 and 2)
 //! - [`telemetry`] — metrics registry, per-batch stall attribution
+//! - [`autotune`] — closed-loop adaptive control over the engine's runtime knobs
 //! - [`sanitizer`] — tracked locks, lock-order/lockset analysis, schedule exploration
 //! - [`sim`] — GPU / power / cluster models used by the experiments
 //! - [`core`] — the SAND engine tying everything together
@@ -23,6 +24,7 @@
 //! dataset, write a pipeline config, mount the SAND engine, and read training
 //! batches through `open`/`read`/`getxattr`/`close`.
 
+pub use sand_autotune as autotune;
 pub use sand_codec as codec;
 pub use sand_config as config;
 pub use sand_core as core;
