@@ -36,6 +36,10 @@ echo "==> store_contention bench smoke (quick mode, writes BENCH_store.json)"
 SAND_BENCH_QUICK=1 cargo bench -q -p sand-bench --bench store_contention
 test -f BENCH_store.json || { echo "BENCH_store.json missing"; exit 1; }
 
+echo "==> persist_replay bench smoke (quick mode, writes BENCH_persist.json)"
+SAND_BENCH_QUICK=1 cargo bench -q -p sand-bench --bench persist_replay
+test -f BENCH_persist.json || { echo "BENCH_persist.json missing"; exit 1; }
+
 echo "==> telemetry_overhead bench smoke (quick mode, writes BENCH_telemetry.json)"
 SAND_BENCH_QUICK=1 cargo bench -q -p sand-bench --bench telemetry_overhead
 test -f BENCH_telemetry.json || { echo "BENCH_telemetry.json missing"; exit 1; }
@@ -56,5 +60,8 @@ cargo run -q --release --example autotune -- --ticks 48 --engine --report-json >
 
 echo "==> sanitize example smoke (64 schedules, must exit 0)"
 cargo run -q --example sanitize --features sanitize -- --schedules 64 > /dev/null
+
+echo "==> persist example smoke (kill-and-restart durability contract)"
+cargo run -q --release --example persist -- --rounds 3 > /dev/null
 
 echo "CI green."

@@ -1,0 +1,125 @@
+//! Persistent-tier benchmark: value-log append throughput and recovery
+//! replay latency.
+//!
+//! The log-structured tier replaces file-per-object spill with one
+//! append-only, checksummed log, so the two numbers that matter are
+//!
+//! - **append throughput** — the write-through `put` path's durability
+//!   cost (one sequential append per put, checksum committed last), and
+//! - **replay latency** — how long a restart spends scanning, validating
+//!   and adopting records before the engine can serve, as a function of
+//!   the object count.
+//!
+//! Each replayed store is verified to serve every object bit-identically
+//! before its timing is accepted, so the bench doubles as a recovery
+//! parity check. Results land in `BENCH_persist.json` at the repository
+//! root for CI trend tracking. Set `SAND_BENCH_QUICK=1` for a short
+//! CI-smoke run.
+
+#![allow(clippy::unwrap_used)]
+
+use sand_storage::{ObjectMeta, ObjectStore, StoreConfig};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+fn payload(i: u64, len: usize) -> Vec<u8> {
+    (0..len).map(|p| (p as u64 ^ (i * 131)) as u8).collect()
+}
+
+fn cfg() -> StoreConfig {
+    StoreConfig {
+        memory_budget: 8 << 20,
+        disk_budget: 4 << 30,
+        evict_watermark: 0.75,
+        memory_horizon: 0, // every put is a pure disk-tier append
+        shards: 4,
+        compact_threshold: 1.0, // measure raw replay, not compaction
+    }
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("sand_bench_persist_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Appends `objects` records of `payload_len` bytes; returns the elapsed
+/// write time.
+fn fill(dir: &Path, objects: u64, payload_len: usize) -> f64 {
+    let store = ObjectStore::open(cfg(), Some(dir.to_path_buf())).unwrap();
+    let start = Instant::now();
+    for i in 0..objects {
+        store
+            .put(
+                &format!("obj/{i}"),
+                payload(i, payload_len).into(),
+                ObjectMeta {
+                    deadline: Some(i),
+                    future_uses: 2,
+                },
+            )
+            .unwrap();
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Reopens the store (the full recovery replay) and verifies every
+/// object serves bit-identically; returns the replay time alone.
+fn replay(dir: &Path, objects: u64, payload_len: usize) -> f64 {
+    let start = Instant::now();
+    let store = ObjectStore::open(cfg(), Some(dir.to_path_buf())).unwrap();
+    let secs = start.elapsed().as_secs_f64();
+    let stats = store.stats();
+    assert_eq!(stats.replayed_objects, objects, "replay lost objects");
+    for i in (0..objects).step_by((objects / 16).max(1) as usize) {
+        assert_eq!(
+            *store.get(&format!("obj/{i}")).unwrap(),
+            payload(i, payload_len),
+            "replayed object differs"
+        );
+    }
+    secs
+}
+
+fn main() {
+    let quick = std::env::var("SAND_BENCH_QUICK").is_ok();
+    let payload_len = if quick { 4 << 10 } else { 16 << 10 };
+    let sizes: &[u64] = if quick {
+        &[256, 1024]
+    } else {
+        &[1024, 4096, 16384]
+    };
+
+    let mut rows = Vec::new();
+    for &objects in sizes {
+        let dir = bench_dir(&objects.to_string());
+        let write_secs = fill(&dir, objects, payload_len);
+        let replay_secs = replay(&dir, objects, payload_len);
+        let _ = std::fs::remove_dir_all(&dir);
+        let appends_per_sec = objects as f64 / write_secs;
+        let mib = (objects * payload_len as u64) as f64 / (1024.0 * 1024.0);
+        let replay_mib_per_sec = mib / replay_secs;
+        println!(
+            "bench persist_replay/objects={objects:<6} append {appends_per_sec:>10.0}/s \
+             ({:>7.1} MiB/s)  replay {:>8.1} ms ({replay_mib_per_sec:>7.1} MiB/s)",
+            mib / write_secs,
+            replay_secs * 1e3,
+        );
+        rows.push(format!(
+            "{{\"objects\": {objects}, \"payload_bytes\": {payload_len}, \
+             \"append_per_sec\": {appends_per_sec:.0}, \"write_secs\": {write_secs:.4}, \
+             \"replay_secs\": {replay_secs:.4}, \"replay_mib_per_sec\": {replay_mib_per_sec:.1}}}"
+        ));
+    }
+
+    let host = sand_bench::host::host_context_json();
+    let json = format!(
+        "{{\n  \"bench\": \"persist_replay\",\n  \"quick\": {quick},\n  \"rows\": [\n    {}\n  ],\n  \"host\": {host}\n}}\n",
+        rows.join(",\n    ")
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_persist.json");
+    std::fs::write(&out, json).unwrap();
+    println!("wrote {}", out.display());
+}

@@ -604,6 +604,8 @@ impl SandEngine {
             decode_threads: config.decode_threads.max(1),
             sanitize: sand_sanitizer::enabled(),
             release_build: cfg!(not(debug_assertions)),
+            persistent: config.store_dir.is_some(),
+            disk_budget: config.store.disk_budget,
             autotune: config.autotune.as_ref().map(|a| {
                 a.clamps()
                     .into_iter()

@@ -1,4 +1,4 @@
-//! Concurrency-configuration analyses (`SL032`–`SL035`).
+//! Concurrency-configuration analyses (`SL032`–`SL036`).
 //!
 //! These catch configurations whose concurrent machinery is wired up but
 //! cannot help — or actively hurts. They need no graph: everything is
@@ -15,6 +15,7 @@ pub fn lint_concurrency(opts: &LintOptions) -> Vec<Diagnostic> {
     lint_sanitize_in_release(opts, &mut out);
     lint_autotune_without_telemetry(opts, &mut out);
     lint_autotune_clamp_ranges(opts, &mut out);
+    lint_persistent_without_budget(opts, &mut out);
     out
 }
 
@@ -128,6 +129,34 @@ fn lint_autotune_clamp_ranges(opts: &LintOptions, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// `SL036`: a persistent tier with a zero disk budget.
+///
+/// With `disk_budget == 0` the watermark is also zero, so the
+/// Algorithm-1 sweep evicts every object the instant a put lands on the
+/// disk tier: the store pays the value-log append (and its fsync-adjacent
+/// latency, counted as `persist` stall) for objects that can never
+/// survive to a restart, and spills from the memory tier have nowhere to
+/// land. The configuration says "durable" and delivers neither
+/// durability nor capacity — deny it up front.
+fn lint_persistent_without_budget(opts: &LintOptions, out: &mut Vec<Diagnostic>) {
+    if opts.persistent && opts.disk_budget == 0 {
+        out.push(Diagnostic {
+            code: "SL036",
+            severity: Severity::Deny,
+            location: "store.disk_budget".into(),
+            message: "the persistent tier is enabled with disk_budget = 0: \
+                      every put pays the value-log append, then the budget \
+                      sweep immediately evicts the object, so nothing is \
+                      ever durable and spills have nowhere to land"
+                .into(),
+            help: "set store.disk_budget to the local SSD capacity you want \
+                   the tier to use, or disable the persistent tier (no \
+                   store directory)"
+                .into(),
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +257,35 @@ mod tests {
         assert!(out[0].message.contains("empty"), "{out:?}");
         assert_eq!(out[1].location, "autotune.demand_slack");
         assert!(out[1].message.contains("inverted"), "{out:?}");
+    }
+
+    #[test]
+    fn sl036_persistent_zero_budget_denies() {
+        let opts = LintOptions {
+            persistent: true,
+            disk_budget: 0,
+            ..Default::default()
+        };
+        let out = lint_concurrency(&opts);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].code, "SL036");
+        assert_eq!(out[0].severity, Severity::Deny);
+        assert_eq!(out[0].location, "store.disk_budget");
+    }
+
+    #[test]
+    fn sl036_silent_with_budget_or_without_tier() {
+        for (persistent, budget) in [(true, 1u64 << 20), (false, 0), (false, 1 << 20)] {
+            let opts = LintOptions {
+                persistent,
+                disk_budget: budget,
+                ..Default::default()
+            };
+            assert!(
+                lint_concurrency(&opts).is_empty(),
+                "persistent {persistent} budget {budget}"
+            );
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! | graph invariants | `SL010`–`SL014` | edge legality, acyclicity, dangling references |
 //! | resource feasibility | `SL020`–`SL025` | budget lower bounds, decode amplification, telemetry buckets, prefetch/shard sizing |
 //! | sharing | `SL030`–`SL031` | near-miss cross-task merge opportunities |
-//! | concurrency | `SL032`–`SL035` | single-shard prefetch contention, sanitizer-in-release, autotune wiring |
+//! | concurrency | `SL032`–`SL036` | single-shard prefetch contention, sanitizer-in-release, autotune wiring, dead persistent tier |
 //!
 //! Diagnostics render rustc-style for humans ([`LintReport::render_human`])
 //! and as JSON lines for tooling ([`LintReport::render_jsonl`]). The engine
@@ -175,6 +175,12 @@ pub struct LintOptions {
     /// control plane (`None` = autotune off, its lints are skipped). One
     /// entry per controlled knob, in declaration order.
     pub autotune: Option<Vec<AutotuneClamp>>,
+    /// Whether the engine was configured with a persistent tier (a store
+    /// directory and its value log).
+    pub persistent: bool,
+    /// Disk-tier byte budget of the object store
+    /// (`StoreConfig::disk_budget`).
+    pub disk_budget: u64,
 }
 
 /// One autotune knob's hard clamp range, as configured.
@@ -204,15 +210,19 @@ impl Default for LintOptions {
             sanitize: false,
             release_build: false,
             autotune: None,
+            persistent: false,
+            disk_budget: 512 << 20,
         }
     }
 }
 
 impl LintOptions {
-    /// Adopts the memory-tier budget from an object-store configuration.
+    /// Adopts the memory- and disk-tier budgets from an object-store
+    /// configuration.
     #[must_use]
     pub fn with_store(mut self, store: &sand_storage::StoreConfig) -> Self {
         self.memory_budget = store.memory_budget;
+        self.disk_budget = store.disk_budget;
         self
     }
 }

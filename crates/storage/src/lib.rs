@@ -21,11 +21,15 @@
 
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod manifest;
 pub mod remote;
 pub mod store;
+pub mod vlog;
 
+pub use manifest::Manifest;
 pub use remote::{BandwidthModel, RemoteStore};
 pub use store::{ObjectMeta, ObjectStore, StoreConfig, StoreStats, Tier};
+pub use vlog::{ReplayStats, ValueLog};
 
 use std::fmt;
 
@@ -59,6 +63,13 @@ pub enum StorageError {
         /// Human-readable description.
         what: String,
     },
+    /// Persisted bytes failed checksum validation (torn write or bit
+    /// rot). Recovery truncates/quarantines these; runtime reads treat
+    /// them as misses so callers recompute instead of crashing.
+    Corrupt {
+        /// Human-readable description.
+        what: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -71,6 +82,7 @@ impl fmt::Display for StorageError {
             }
             StorageError::InvalidConfig { what } => write!(f, "invalid store config: {what}"),
             StorageError::Inconsistent { what } => write!(f, "store inconsistency: {what}"),
+            StorageError::Corrupt { what } => write!(f, "corrupt persisted data: {what}"),
         }
     }
 }

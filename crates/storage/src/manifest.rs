@@ -1,0 +1,164 @@
+//! The value log's manifest: a tiny, atomically-replaced metadata file.
+//!
+//! The manifest records the log's format version, the next segment id to
+//! allocate, and the segment set the last writer believed existed. It is
+//! written with the classic temp-file-plus-`rename` dance, so a crash
+//! mid-write leaves either the old manifest or the new one — never a
+//! torn hybrid — and its body carries its own CRC32 so bit rot is
+//! detected rather than obeyed.
+//!
+//! Recovery treats the manifest as advisory: segment files on disk are
+//! the source of truth for *which* records exist (each carries its own
+//! checksums), and the manifest's job is monotonicity — the next-segment
+//! counter never moves backwards, so a segment id deleted by compaction
+//! is never reused, which keeps stale [`crate::vlog::Ptr`]s harmless
+//! (they miss instead of aliasing fresh data).
+
+use crate::vlog::crc32;
+use crate::{Result, StorageError};
+use std::fs;
+use std::path::Path;
+
+/// Manifest file name inside the store directory.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+/// Temp name used for the atomic replace.
+const MANIFEST_TMP: &str = "MANIFEST.tmp";
+/// Format header line.
+const HEADER: &str = "sand-manifest v1";
+
+/// Parsed manifest contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// The lowest segment id a writer may create next.
+    pub next_segment: u64,
+    /// Segment ids present at the last manifest write.
+    pub segments: Vec<u64>,
+}
+
+impl Manifest {
+    /// Loads the manifest under `dir`. `Ok(None)` when absent **or**
+    /// unreadable/corrupt — the caller rebuilds from the segment files,
+    /// which carry their own checksums; a broken manifest must never
+    /// block recovery.
+    pub fn load(dir: &Path) -> Result<Option<Manifest>> {
+        let path = dir.join(MANIFEST_NAME);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(_) => return Ok(None),
+        };
+        Ok(Self::parse(&text))
+    }
+
+    /// Parses the manifest body; `None` on any malformation.
+    #[must_use]
+    pub fn parse(text: &str) -> Option<Manifest> {
+        let text = text.strip_suffix('\n').unwrap_or(text);
+        let (body, crc_line) = text.rsplit_once('\n')?;
+        let stored = crc_line.strip_prefix("crc ")?.parse::<u32>().ok()?;
+        if crc32(body.as_bytes()) != stored {
+            return None;
+        }
+        let mut lines = body.lines();
+        if lines.next()? != HEADER {
+            return None;
+        }
+        let next_segment = lines.next()?.strip_prefix("next ")?.parse().ok()?;
+        let mut segments = Vec::new();
+        for line in lines {
+            segments.push(line.strip_prefix("seg ")?.parse().ok()?);
+        }
+        Some(Manifest {
+            next_segment,
+            segments,
+        })
+    }
+
+    /// Serializes the manifest body plus its CRC line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut body = format!("{HEADER}\nnext {}", self.next_segment);
+        for s in &self.segments {
+            body.push_str(&format!("\nseg {s}"));
+        }
+        let crc = crc32(body.as_bytes());
+        format!("{body}\ncrc {crc}\n")
+    }
+
+    /// Atomically replaces the manifest under `dir` (write temp, then
+    /// `rename` — the same crash-atomicity rule the log's records get
+    /// from their trailing checksum).
+    pub fn store(&self, dir: &Path) -> Result<()> {
+        let tmp = dir.join(MANIFEST_TMP);
+        fs::write(&tmp, self.render()).map_err(StorageError::Io)?;
+        fs::rename(&tmp, dir.join(MANIFEST_NAME)).map_err(StorageError::Io)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("sand_manifest_{}_{}", name, std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = Manifest {
+            next_segment: 7,
+            segments: vec![3, 5, 6],
+        };
+        assert_eq!(Manifest::parse(&m.render()), Some(m));
+    }
+
+    #[test]
+    fn store_load_roundtrip_is_atomic_replace() {
+        let dir = tmp("atomic");
+        let a = Manifest {
+            next_segment: 1,
+            segments: vec![0],
+        };
+        a.store(&dir).unwrap();
+        let b = Manifest {
+            next_segment: 9,
+            segments: vec![7, 8],
+        };
+        b.store(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), Some(b));
+        assert!(
+            !dir.join(MANIFEST_TMP).exists(),
+            "temp file must not survive a store"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_manifest_is_advisory_not_fatal() {
+        let dir = tmp("corrupt");
+        Manifest {
+            next_segment: 2,
+            segments: vec![1],
+        }
+        .store(&dir)
+        .unwrap();
+        // Flip a byte: the CRC no longer matches.
+        let path = dir.join(MANIFEST_NAME);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[4] ^= 0x20;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_loads_none() {
+        let dir = tmp("missing");
+        assert_eq!(Manifest::load(&dir).unwrap(), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

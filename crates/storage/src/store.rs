@@ -1,4 +1,4 @@
-//! The two-tier, sharded object store.
+//! The tiered, sharded object store with a crash-safe persistent tier.
 //!
 //! ## Sharding
 //!
@@ -19,8 +19,27 @@
 //!   ordering (spent objects first, then longest deadline, with the key
 //!   as a total-order tie-break) and applies the single global winner.
 //!   Shard boundaries never influence which object is pruned.
+//!
+//! ## The persistent tier
+//!
+//! With a directory, durability comes from the append-only, checksummed
+//! [`ValueLog`] (see [`crate::vlog`] for the record format): every `put`
+//! appends one record whose CRC32 is written last, so a crash mid-write
+//! can never leave an adoptable half-object — recovery truncates the
+//! torn tail instead of resurrecting it. Removals append tombstones;
+//! superseded and removed records become dead bytes, and when the
+//! dead-byte ratio crosses `StoreConfig::compact_threshold` (and the
+//! absolute garbage clears a small floor) the Algorithm-1 sweep runs a
+//! **compaction**: seal the active segment, copy live records out of the
+//! sealed ones (memory-resident objects re-append from their in-memory
+//! bytes without a read), delete the sealed files. Pre-vlog stores that
+//! spilled one file per object are migrated on open: readable files are
+//! appended into the log and deleted, unreadable or empty ones are
+//! quarantined under `quarantine/` and **not** adopted into the byte
+//! accounting.
 
-use crate::{decode_key, encode_key, Result, StorageError};
+use crate::vlog::{Ptr, RecordMeta, ValueLog};
+use crate::{decode_key, Result, StorageError};
 use sand_sanitizer::{ShadowCell, TrackedMutex, TrackedMutexGuard};
 use sand_telemetry::{record_stage, Stage, StoreMetrics};
 use std::collections::hash_map::DefaultHasher;
@@ -60,6 +79,22 @@ impl Default for ObjectMeta {
     }
 }
 
+impl ObjectMeta {
+    fn to_record(self) -> RecordMeta {
+        RecordMeta {
+            deadline: self.deadline,
+            future_uses: self.future_uses,
+        }
+    }
+
+    fn from_record(m: RecordMeta) -> Self {
+        ObjectMeta {
+            deadline: m.deadline,
+            future_uses: m.future_uses,
+        }
+    }
+}
+
 /// The default shard count: one per core, capped at 16.
 #[must_use]
 pub fn default_shards() -> usize {
@@ -71,7 +106,9 @@ pub fn default_shards() -> usize {
 pub struct StoreConfig {
     /// Memory-tier byte budget.
     pub memory_budget: u64,
-    /// Disk-tier byte budget (the "local SSD" of the paper).
+    /// Disk-tier byte budget (the "local SSD" of the paper). Counts
+    /// **live object bytes**, not log-file bytes; dead log bytes are
+    /// bounded separately by the compaction threshold.
     pub disk_budget: u64,
     /// Eviction watermark as a fraction of the budget (paper: 0.75).
     pub evict_watermark: f64,
@@ -82,6 +119,10 @@ pub struct StoreConfig {
     /// shard-count invariant; the knob only trades lock contention for
     /// sweep fan-out.
     pub shards: usize,
+    /// Dead-byte ratio of the value log above which the budget sweep
+    /// compacts it (rewrites live records, deletes sealed segments).
+    /// Must be in (0, 1]; 1.0 effectively disables compaction.
+    pub compact_threshold: f64,
 }
 
 impl Default for StoreConfig {
@@ -92,20 +133,25 @@ impl Default for StoreConfig {
             evict_watermark: 0.75,
             memory_horizon: 2,
             shards: default_shards(),
+            compact_threshold: 0.5,
         }
     }
 }
+
+/// Compaction only triggers once at least this much garbage exists, so
+/// tiny stores don't churn the log over a few dead kilobytes.
+const COMPACT_MIN_GARBAGE: u64 = 64 << 10;
 
 /// Aggregate statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
     /// Bytes currently resident in memory.
     pub memory_bytes: u64,
-    /// Bytes currently on disk.
+    /// Live object bytes in the persistent tier.
     pub disk_bytes: u64,
     /// Memory-tier hits.
     pub memory_hits: u64,
-    /// Disk-tier hits (object had to be read back from a file).
+    /// Disk-tier hits (object had to be read back from the log).
     pub disk_hits: u64,
     /// Misses (object absent from both tiers).
     pub misses: u64,
@@ -113,6 +159,21 @@ pub struct StoreStats {
     pub evictions: u64,
     /// Objects spilled from memory to disk.
     pub spills: u64,
+    /// Total record bytes in the value log, live + dead (0 without a
+    /// persistent tier).
+    pub log_bytes: u64,
+    /// Dead record bytes in the value log awaiting compaction.
+    pub garbage_bytes: u64,
+    /// Log compactions run.
+    pub compactions: u64,
+    /// Torn tails truncated by the recovery replay.
+    pub torn_truncations: u64,
+    /// Records rejected for checksum mismatch (recovery + runtime).
+    pub corrupt_records: u64,
+    /// Legacy spill files quarantined instead of adopted.
+    pub quarantined: u64,
+    /// Objects adopted from the log on open.
+    pub replayed_objects: u64,
 }
 
 /// Internal per-object record.
@@ -123,6 +184,9 @@ struct Record {
     meta: ObjectMeta,
     /// Memory-resident bytes (None when on disk).
     bytes: Option<Arc<Vec<u8>>>,
+    /// Location of the object's record in the value log (always `Some`
+    /// when the store has a persistent tier).
+    ptr: Option<Ptr>,
 }
 
 /// One shard of the key index. Byte accounting lives outside, in the
@@ -132,7 +196,7 @@ struct Shard {
     objects: HashMap<String, Record>,
 }
 
-/// The two-tier object store.
+/// The tiered object store.
 ///
 /// Thread-safe: materialization workers `put` while feeding threads
 /// `get`, and the key-hash shards let disjoint keys proceed without
@@ -141,10 +205,12 @@ struct Shard {
 pub struct ObjectStore {
     config: StoreConfig,
     dir: Option<PathBuf>,
+    /// The persistent tier (`Some` exactly when `dir` is).
+    vlog: Option<ValueLog>,
     shards: Vec<TrackedMutex<Shard>>,
     /// Global memory-tier residency, maintained under shard locks.
     memory_bytes: AtomicU64,
-    /// Global disk-tier residency, maintained under shard locks.
+    /// Global live persistent bytes, maintained under shard locks.
     disk_bytes: AtomicU64,
     /// Serializes budget sweeps so concurrent `enforce_budgets` callers
     /// cannot race each other's victim selection.
@@ -158,6 +224,15 @@ pub struct ObjectStore {
     misses: AtomicU64,
     evictions: AtomicU64,
     spills: AtomicU64,
+    compactions: AtomicU64,
+    /// Recovery outcome, frozen at open (plus runtime checksum misses
+    /// folded into `corrupt_records`). Published retroactively when
+    /// metrics attach.
+    torn_truncations: AtomicU64,
+    corrupt_records: AtomicU64,
+    quarantined: AtomicU64,
+    replayed_objects: AtomicU64,
+    replay_us: AtomicU64,
     /// Current global clock, advanced by the engine each iteration; used
     /// to decide near-future placement and "no longer needed" eviction.
     clock: AtomicU64,
@@ -168,9 +243,12 @@ pub struct ObjectStore {
 }
 
 impl ObjectStore {
-    /// Creates a store. With `dir = Some(..)` the disk tier is real files
-    /// under that directory (created if missing); any pre-existing objects
-    /// there are adopted (crash recovery).
+    /// Creates a store. With `dir = Some(..)` the persistent tier is a
+    /// checksummed value log under that directory (created if missing);
+    /// records from a previous run are replayed and adopted (crash
+    /// recovery), with torn tails truncated and corrupt records
+    /// rejected. Legacy file-per-object spills are migrated into the
+    /// log; unreadable ones are quarantined, never adopted.
     pub fn open(config: StoreConfig, dir: Option<PathBuf>) -> Result<Self> {
         if config.memory_budget == 0 {
             return Err(StorageError::InvalidConfig {
@@ -187,9 +265,15 @@ impl ObjectStore {
                 what: "shard count must be nonzero",
             });
         }
-        let store = ObjectStore {
+        if !(config.compact_threshold > 0.0 && config.compact_threshold <= 1.0) {
+            return Err(StorageError::InvalidConfig {
+                what: "compact threshold must be in (0,1]",
+            });
+        }
+        let mut store = ObjectStore {
             config,
-            dir,
+            dir: dir.clone(),
+            vlog: None,
             shards: (0..config.shards)
                 .map(|i| TrackedMutex::with_rank("store.shard", i as u32, Shard::default()))
                 .collect(),
@@ -202,38 +286,133 @@ impl ObjectStore {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             spills: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            torn_truncations: AtomicU64::new(0),
+            corrupt_records: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            replayed_objects: AtomicU64::new(0),
+            replay_us: AtomicU64::new(0),
             clock: AtomicU64::new(0),
             metrics: OnceLock::new(),
         };
-        if let Some(d) = &store.dir {
-            fs::create_dir_all(d)?;
-            for entry in fs::read_dir(d)? {
-                let entry = entry?;
-                let Ok(meta) = entry.metadata() else { continue };
-                if !meta.is_file() {
-                    continue;
-                }
-                let Some(name) = entry.file_name().to_str().map(str::to_string) else {
+        if let Some(d) = &dir {
+            let t0 = Instant::now();
+            let (vlog, records, replay) = ValueLog::open(d)?;
+            store
+                .torn_truncations
+                .store(replay.torn_truncations, Ordering::Relaxed);
+            store
+                .corrupt_records
+                .store(replay.corrupt_records, Ordering::Relaxed);
+            // Adopt only records that survived checksum validation; the
+            // byte accounting is rebuilt from the validated value
+            // lengths, never from unvalidated file metadata.
+            let mut adopted = 0u64;
+            for rec in records {
+                let Some((ptr, rmeta)) = rec.put else {
                     continue;
                 };
-                let Some(key) = decode_key(&name) else {
-                    continue;
-                };
-                let idx = store.shard_of(&key);
+                let idx = store.shard_of(&rec.key);
                 store.shards[idx].lock().objects.insert(
-                    key,
+                    rec.key,
                     Record {
                         tier: Tier::Disk,
-                        size: meta.len(),
-                        meta: ObjectMeta::default(),
+                        size: u64::from(ptr.val_len),
+                        meta: ObjectMeta::from_record(rmeta),
                         bytes: None,
+                        ptr: Some(ptr),
                     },
                 );
                 store.bytes_shadow.write();
-                store.disk_bytes.fetch_add(meta.len(), Ordering::Relaxed);
+                store
+                    .disk_bytes
+                    .fetch_add(u64::from(ptr.val_len), Ordering::Relaxed);
+                adopted += 1;
             }
+            store.vlog = Some(vlog);
+            adopted += store.migrate_legacy_files(d)?;
+            store.replayed_objects.store(adopted, Ordering::Relaxed);
+            store
+                .replay_us
+                .store(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
         }
         Ok(store)
+    }
+
+    /// Migrates pre-vlog file-per-object spills found in `dir` into the
+    /// value log: readable, non-empty files whose names decode under the
+    /// key scheme are appended (then deleted); empty or unreadable ones
+    /// — the torn-write artifacts the old `fs::write` path could leave —
+    /// are moved to `quarantine/` and **not** adopted. Returns the
+    /// number of migrated objects.
+    fn migrate_legacy_files(&self, dir: &std::path::Path) -> Result<u64> {
+        let mut migrated = 0u64;
+        let mut quarantine: Vec<(PathBuf, String)> = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let Ok(meta) = entry.metadata() else { continue };
+            if !meta.is_file() {
+                continue;
+            }
+            let Some(name) = entry.file_name().to_str().map(str::to_string) else {
+                continue;
+            };
+            if name == crate::manifest::MANIFEST_NAME
+                || name.starts_with("MANIFEST")
+                || crate::vlog::parse_segment_name(&name).is_some()
+            {
+                continue;
+            }
+            let Some(key) = decode_key(&name) else {
+                continue;
+            };
+            let path = entry.path();
+            if meta.len() == 0 {
+                quarantine.push((path, name));
+                continue;
+            }
+            let Ok(bytes) = fs::read(&path) else {
+                quarantine.push((path, name));
+                continue;
+            };
+            let idx = self.shard_of(&key);
+            let mut shard = self.shards[idx].lock();
+            if shard.objects.contains_key(&key) {
+                // The log already has a newer, checksummed copy.
+                fs::remove_file(&path)?;
+                continue;
+            }
+            let vlog = self.vlog.as_ref().ok_or(StorageError::InvalidConfig {
+                what: "migration without a value log",
+            })?;
+            let meta = ObjectMeta::default();
+            let ptr = vlog.append(&key, meta.to_record(), &bytes)?;
+            shard.objects.insert(
+                key,
+                Record {
+                    tier: Tier::Disk,
+                    size: u64::from(ptr.val_len),
+                    meta,
+                    bytes: None,
+                    ptr: Some(ptr),
+                },
+            );
+            self.bytes_shadow.write();
+            self.disk_bytes
+                .fetch_add(u64::from(ptr.val_len), Ordering::Relaxed);
+            drop(shard);
+            fs::remove_file(&path)?;
+            migrated += 1;
+        }
+        if !quarantine.is_empty() {
+            let qdir = dir.join("quarantine");
+            fs::create_dir_all(&qdir)?;
+            for (path, name) in quarantine {
+                fs::rename(&path, qdir.join(&name))?;
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(migrated)
     }
 
     /// Attaches telemetry handles (idempotent; the first caller wins).
@@ -241,13 +420,33 @@ impl ObjectStore {
     /// enables disk I/O latency and shard lock-wait timing. Publishes
     /// the memory budget and current residency gauges immediately so
     /// headroom (`1 - mem_bytes/mem_budget`) is derivable from the very
-    /// first snapshot.
+    /// first snapshot, and retroactively publishes the recovery replay's
+    /// outcome (replay runs before telemetry exists).
     pub fn set_metrics(&self, metrics: StoreMetrics) {
         metrics.mem_budget.set(self.config.memory_budget as i64);
         metrics
             .mem_bytes
             .set(self.memory_bytes.load(Ordering::Relaxed) as i64);
+        if self.vlog.is_some() {
+            let replay_us = self.replay_us.load(Ordering::Relaxed);
+            metrics
+                .vlog_replay_us
+                .observe_duration(std::time::Duration::from_micros(replay_us));
+            metrics
+                .vlog_torn_truncations
+                .add(self.torn_truncations.load(Ordering::Relaxed));
+            metrics
+                .vlog_corrupt_records
+                .add(self.corrupt_records.load(Ordering::Relaxed));
+            metrics
+                .vlog_quarantined
+                .add(self.quarantined.load(Ordering::Relaxed));
+            metrics
+                .vlog_replayed_objects
+                .add(self.replayed_objects.load(Ordering::Relaxed));
+        }
         let _ = self.metrics.set(metrics);
+        self.publish_log_usage();
     }
 
     /// Publishes the memory-tier residency gauge after an accounting
@@ -259,7 +458,20 @@ impl ObjectStore {
         }
     }
 
-    /// An in-memory-only store (no disk tier).
+    /// Publishes the value-log size and garbage-ratio gauges (no-op
+    /// without telemetry or a persistent tier).
+    fn publish_log_usage(&self) {
+        if let (Some(m), Some(vlog)) = (self.metrics.get(), &self.vlog) {
+            let (total, live) = vlog.byte_totals();
+            m.vlog_log_bytes.set(total as i64);
+            let pct = (total.saturating_sub(live) * 100)
+                .checked_div(total)
+                .unwrap_or(0) as i64;
+            m.vlog_garbage_pct.set(pct);
+        }
+    }
+
+    /// An in-memory-only store (no persistent tier).
     pub fn memory_only(config: StoreConfig) -> Result<Self> {
         ObjectStore::open(config, None)
     }
@@ -312,11 +524,6 @@ impl ObjectStore {
         }
     }
 
-    /// File path for a key on the disk tier.
-    fn file_of(&self, key: &str) -> Option<PathBuf> {
-        self.dir.as_ref().map(|d| d.join(encode_key(key)))
-    }
-
     /// Inserts an object.
     ///
     /// Takes the bytes as an `Arc` so a producer (e.g. the decoder) can
@@ -325,15 +532,18 @@ impl ObjectStore {
     /// through them, VFS reads) share. Plain `Vec<u8>` callers can pass
     /// `bytes.into()`.
     ///
-    /// When a disk tier exists the write is **write-through**: every
-    /// object is persisted to its file (the paper's fault-tolerance rule —
-    /// "all unpruned objects persist to the file system"), and objects
-    /// whose deadline falls within `memory_horizon` of the current clock
-    /// additionally keep a memory-resident copy for fast reads. Without a
-    /// disk tier everything lives in memory. May spill or evict to stay
+    /// When a persistent tier exists the write is **write-through**:
+    /// every object is appended to the value log (the paper's
+    /// fault-tolerance rule — "all unpruned objects persist to the file
+    /// system") with its checksum committed last, and objects whose
+    /// deadline falls within `memory_horizon` of the current clock
+    /// additionally keep a memory-resident copy for fast reads. The
+    /// append happens **before** the record it replaces is touched, so a
+    /// failed write returns `Err` with the previous object — and its
+    /// accounting — fully intact, and a crash mid-append leaves only a
+    /// torn tail that recovery truncates. May spill or evict to stay
     /// within budgets. Only the owning shard is locked, so puts of
-    /// disjoint keys (including their write-through disk writes) proceed
-    /// in parallel.
+    /// disjoint keys (including their log appends) proceed in parallel.
     pub fn put(&self, key: &str, bytes: Arc<Vec<u8>>, meta: ObjectMeta) -> Result<()> {
         if let Some(m) = self.metrics.get() {
             m.puts.inc();
@@ -352,42 +562,56 @@ impl ObjectStore {
         };
         {
             let mut shard = self.lock_shard(self.shard_of(key));
-            // Replace any existing record first.
-            self.remove_locked(&mut shard, key)?;
-            if let Some(path) = self.file_of(key) {
-                // Write-through persistence.
+            if let Some(vlog) = &self.vlog {
+                // Durability first: append the new record. On failure the
+                // old record (still in the map, still accounted) survives
+                // untouched — no data loss, no orphan final-path file.
                 let t0 = self.metrics.get().map(|_| Instant::now());
-                fs::write(&path, bytes.as_slice())?;
+                let ptr = vlog.append(key, meta.to_record(), bytes.as_slice())?;
                 if let (Some(m), Some(t0)) = (self.metrics.get(), t0) {
                     let spent = t0.elapsed();
+                    m.vlog_append_us.observe_duration(spent);
                     m.disk_write_us.observe_duration(spent);
-                    record_stage(Stage::StoreIo, spent);
+                    record_stage(Stage::Persist, spent);
+                }
+                // The append cannot fail past this point: settle the
+                // replaced record (its log bytes become garbage) and
+                // install the new one.
+                if let Some(old) = shard.objects.remove(key) {
+                    self.bytes_shadow.write();
+                    if old.tier == Tier::Memory {
+                        self.memory_bytes.fetch_sub(old.size, Ordering::Relaxed);
+                    }
+                    self.disk_bytes.fetch_sub(old.size, Ordering::Relaxed);
+                    if let Some(optr) = old.ptr {
+                        vlog.retire(u64::from(optr.total_len));
+                    }
                 }
                 self.bytes_shadow.write();
                 self.disk_bytes.fetch_add(size, Ordering::Relaxed);
-                if near {
+                let (tier, resident) = if near {
                     self.memory_bytes.fetch_add(size, Ordering::Relaxed);
-                    shard.objects.insert(
-                        key.to_string(),
-                        Record {
-                            tier: Tier::Memory,
-                            size,
-                            meta,
-                            bytes: Some(bytes),
-                        },
-                    );
+                    (Tier::Memory, Some(bytes))
                 } else {
-                    shard.objects.insert(
-                        key.to_string(),
-                        Record {
-                            tier: Tier::Disk,
-                            size,
-                            meta,
-                            bytes: None,
-                        },
-                    );
-                }
+                    (Tier::Disk, None)
+                };
+                shard.objects.insert(
+                    key.to_string(),
+                    Record {
+                        tier,
+                        size,
+                        meta,
+                        bytes: resident,
+                        ptr: Some(ptr),
+                    },
+                );
             } else {
+                // Memory-only: the replace is a single in-memory step
+                // with no failure path between removal and insertion.
+                if let Some(old) = shard.objects.remove(key) {
+                    self.bytes_shadow.write();
+                    self.memory_bytes.fetch_sub(old.size, Ordering::Relaxed);
+                }
                 self.bytes_shadow.write();
                 self.memory_bytes.fetch_add(size, Ordering::Relaxed);
                 shard.objects.insert(
@@ -397,6 +621,7 @@ impl ObjectStore {
                         size,
                         meta,
                         bytes: Some(bytes),
+                        ptr: None,
                     },
                 );
             }
@@ -406,10 +631,14 @@ impl ObjectStore {
         Ok(())
     }
 
-    /// Fetches an object's bytes; disk-tier objects are read back (and the
-    /// bytes returned without promoting, to avoid thrashing memory).
+    /// Fetches an object's bytes; disk-tier objects are read back from
+    /// the value log (and the bytes returned without promoting, to avoid
+    /// thrashing memory). Every log read re-validates the record's
+    /// checksum: a mismatch (bit rot under the index) surfaces as a
+    /// miss, so callers fall through to recompute instead of consuming
+    /// corrupt frames.
     pub fn get(&self, key: &str) -> Result<Arc<Vec<u8>>> {
-        let (tier, path) = {
+        let ptr = {
             let shard = self.lock_shard(self.shard_of(key));
             match shard.objects.get(key) {
                 Some(rec) => match (&rec.tier, &rec.bytes) {
@@ -420,39 +649,36 @@ impl ObjectStore {
                         }
                         return Ok(Arc::clone(b));
                     }
-                    _ => (Tier::Disk, self.file_of(key)),
+                    _ => rec.ptr,
                 },
                 None => {
-                    self.misses.fetch_add(1, Ordering::Relaxed);
-                    if let Some(m) = self.metrics.get() {
-                        m.misses.inc();
-                    }
-                    return Err(StorageError::NotFound {
-                        key: key.to_string(),
-                    });
+                    return Err(self.record_miss(key));
                 }
             }
         };
-        debug_assert_eq!(tier, Tier::Disk);
-        let path = path.ok_or_else(|| StorageError::NotFound {
+        let Some(ptr) = ptr else {
+            return Err(self.record_miss(key));
+        };
+        let vlog = self.vlog.as_ref().ok_or_else(|| StorageError::NotFound {
             key: key.to_string(),
         })?;
         // The shard lock is released before the read, so a concurrent
-        // remove/prune can delete the file in between. That race is a
-        // miss, not an I/O failure: callers fall through to recompute.
+        // remove/compaction can delete the segment in between. That race
+        // is a miss, not an I/O failure: callers fall through to
+        // recompute. Likewise a checksum mismatch: corrupt bytes must
+        // never be served, so the read degrades to a miss.
         let t0 = self.metrics.get().map(|_| Instant::now());
-        let bytes = match fs::read(&path) {
+        let bytes = match vlog.read(key, ptr) {
             Ok(bytes) => bytes,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+            Err(StorageError::NotFound { .. }) => return Err(self.record_miss(key)),
+            Err(StorageError::Corrupt { .. }) => {
+                self.corrupt_records.fetch_add(1, Ordering::Relaxed);
                 if let Some(m) = self.metrics.get() {
-                    m.misses.inc();
+                    m.vlog_corrupt_records.inc();
                 }
-                return Err(StorageError::NotFound {
-                    key: key.to_string(),
-                });
+                return Err(self.record_miss(key));
             }
-            Err(e) => return Err(e.into()),
+            Err(e) => return Err(e),
         };
         self.disk_hits.fetch_add(1, Ordering::Relaxed);
         if let (Some(m), Some(t0)) = (self.metrics.get(), t0) {
@@ -462,6 +688,17 @@ impl ObjectStore {
             record_stage(Stage::StoreIo, spent);
         }
         Ok(Arc::new(bytes))
+    }
+
+    /// Counts a miss and builds the NotFound error.
+    fn record_miss(&self, key: &str) -> StorageError {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.metrics.get() {
+            m.misses.inc();
+        }
+        StorageError::NotFound {
+            key: key.to_string(),
+        }
     }
 
     /// True when the store holds the object in either tier.
@@ -515,7 +752,9 @@ impl ObjectStore {
 
     /// Removes `key` from its (already locked) shard, settling the
     /// global byte accounting. Every add/sub of the atomics happens
-    /// under the owning shard's lock, so the counters are exact.
+    /// under the owning shard's lock, so the counters are exact. With a
+    /// persistent tier the removal appends a tombstone so it survives
+    /// restart; the dead record is garbage until compaction.
     fn remove_locked(&self, shard: &mut Shard, key: &str) -> Result<()> {
         if let Some(rec) = shard.objects.remove(key) {
             self.bytes_shadow.write();
@@ -523,15 +762,12 @@ impl ObjectStore {
                 self.memory_bytes.fetch_sub(rec.size, Ordering::Relaxed);
                 self.publish_mem_usage();
             }
-            // Write-through: when a disk tier exists every object has a
-            // file, regardless of its memory residency.
-            if let Some(path) = self.file_of(key) {
+            if let Some(vlog) = &self.vlog {
                 self.disk_bytes.fetch_sub(rec.size, Ordering::Relaxed);
-                match fs::remove_file(&path) {
-                    Ok(()) => {}
-                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-                    Err(e) => return Err(e.into()),
+                if let Some(ptr) = rec.ptr {
+                    vlog.retire(u64::from(ptr.total_len));
                 }
+                vlog.append_tombstone(key)?;
             }
         }
         Ok(())
@@ -561,11 +797,11 @@ impl ObjectStore {
         best.map(|(_, key, idx)| (idx, key))
     }
 
-    /// Drops one memory copy (longest deadline first). The object stays on
-    /// disk (write-through), so no data moves. Part of the coordinated
-    /// sweep: candidate selection spans all shards, application
-    /// re-validates under the winner's shard lock and re-scans if a
-    /// concurrent put/remove got there first.
+    /// Drops one memory copy (longest deadline first). The object stays
+    /// in the log (write-through), so no data moves. Part of the
+    /// coordinated sweep: candidate selection spans all shards,
+    /// application re-validates under the winner's shard lock and
+    /// re-scans if a concurrent put/remove got there first.
     fn spill_one(&self) -> Result<bool> {
         if self.dir.is_none() {
             return Ok(false);
@@ -640,12 +876,14 @@ impl ObjectStore {
         }
     }
 
-    /// Brings both tiers under their watermarked budgets — the
-    /// Algorithm-1 prune pass as a coordinated cross-shard sweep.
-    /// Serialized by the sweep lock; each round applies one globally
-    /// best victim, so concurrent callers cannot interleave conflicting
-    /// selections, and every successful round strictly shrinks the
-    /// over-budget tier (the sweep terminates).
+    /// Brings all three tiers under their budgets — the Algorithm-1
+    /// prune pass as a coordinated cross-shard sweep, extended to the
+    /// persistent tier's log-garbage accounting. Serialized by the sweep
+    /// lock; each round applies one globally best victim, so concurrent
+    /// callers cannot interleave conflicting selections, and every
+    /// successful round strictly shrinks the over-budget tier (the sweep
+    /// terminates). After the byte budgets hold, the value log is
+    /// compacted if its dead-byte ratio crossed the threshold.
     pub fn enforce_budgets(&self) -> Result<()> {
         let _sweep = self.sweep.lock();
         let mem_limit = self.config.memory_budget;
@@ -662,7 +900,105 @@ impl ObjectStore {
                 break;
             }
         }
+        // Third tier: dead log bytes past the compaction threshold.
+        self.maybe_compact_locked()?;
         Ok(())
+    }
+
+    /// Compacts the value log when the dead-byte ratio crossed the
+    /// configured threshold (and the absolute garbage clears the floor).
+    /// Caller must hold the sweep lock.
+    fn maybe_compact_locked(&self) -> Result<bool> {
+        let Some(vlog) = &self.vlog else {
+            return Ok(false);
+        };
+        let (total, live) = vlog.byte_totals();
+        let garbage = total.saturating_sub(live);
+        if garbage < COMPACT_MIN_GARBAGE
+            || (garbage as f64) < self.config.compact_threshold * (total as f64)
+        {
+            self.publish_log_usage();
+            return Ok(false);
+        }
+        self.compact_log_locked()
+    }
+
+    /// Unconditionally compacts the log: rotates to a fresh active
+    /// segment, copies every live record out of the sealed segments
+    /// (memory-resident objects re-append straight from their in-memory
+    /// bytes; disk-tier records are read back under checksum, and a
+    /// record that fails validation is dropped — never re-adopted), then
+    /// deletes the sealed files. Lock order matches `put` (shard, then
+    /// log writer), so the sweep can run concurrently with puts to other
+    /// shards.
+    fn compact_log_locked(&self) -> Result<bool> {
+        let Some(vlog) = &self.vlog else {
+            return Ok(false);
+        };
+        let sealed = vlog.rotate()?;
+        for idx in 0..self.shards.len() {
+            let mut shard = self.lock_shard(idx);
+            let keys: Vec<String> = shard
+                .objects
+                .iter()
+                .filter(|(_, r)| {
+                    r.ptr
+                        .is_some_and(|p| sealed.binary_search(&p.segment).is_ok())
+                })
+                .map(|(k, _)| k.clone())
+                .collect();
+            for key in keys {
+                let Some(rec) = shard.objects.get(&key) else {
+                    continue;
+                };
+                let Some(old_ptr) = rec.ptr else { continue };
+                let payload = match &rec.bytes {
+                    Some(b) => Ok(Arc::clone(b)),
+                    None => vlog.read(&key, old_ptr).map(Arc::new),
+                };
+                match payload {
+                    Ok(bytes) => {
+                        let new_ptr = vlog.append(&key, rec.meta.to_record(), bytes.as_slice())?;
+                        vlog.retire(u64::from(old_ptr.total_len));
+                        if let Some(rec) = shard.objects.get_mut(&key) {
+                            rec.ptr = Some(new_ptr);
+                        }
+                    }
+                    Err(StorageError::Corrupt { .. } | StorageError::NotFound { .. }) => {
+                        // Bit rot under the index: the object is gone.
+                        // Drop it rather than resurrect bad bytes.
+                        self.corrupt_records.fetch_add(1, Ordering::Relaxed);
+                        if let Some(m) = self.metrics.get() {
+                            m.vlog_corrupt_records.inc();
+                        }
+                        if let Some(old) = shard.objects.remove(&key) {
+                            self.bytes_shadow.write();
+                            if old.tier == Tier::Memory {
+                                self.memory_bytes.fetch_sub(old.size, Ordering::Relaxed);
+                                self.publish_mem_usage();
+                            }
+                            self.disk_bytes.fetch_sub(old.size, Ordering::Relaxed);
+                            vlog.retire(u64::from(old_ptr.total_len));
+                        }
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        vlog.delete_segments(&sealed)?;
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.metrics.get() {
+            m.vlog_compactions.inc();
+        }
+        self.publish_log_usage();
+        Ok(true)
+    }
+
+    /// Forces a log compaction regardless of the garbage ratio (tests,
+    /// tooling, and explicit maintenance windows).
+    pub fn compact(&self) -> Result<bool> {
+        let _sweep = self.sweep.lock();
+        self.compact_log_locked()
     }
 
     /// Lists every key currently held (both tiers). Used by recovery.
@@ -678,6 +1014,7 @@ impl ObjectStore {
     /// Aggregate statistics snapshot.
     #[must_use]
     pub fn stats(&self) -> StoreStats {
+        let (log_bytes, live_bytes) = self.vlog.as_ref().map_or((0, 0), ValueLog::byte_totals);
         StoreStats {
             memory_bytes: self.memory_bytes.load(Ordering::Relaxed),
             disk_bytes: self.disk_bytes.load(Ordering::Relaxed),
@@ -686,6 +1023,13 @@ impl ObjectStore {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             spills: self.spills.load(Ordering::Relaxed),
+            log_bytes,
+            garbage_bytes: log_bytes.saturating_sub(live_bytes),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            torn_truncations: self.torn_truncations.load(Ordering::Relaxed),
+            corrupt_records: self.corrupt_records.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            replayed_objects: self.replayed_objects.load(Ordering::Relaxed),
         }
     }
 
@@ -699,6 +1043,8 @@ impl ObjectStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::encode_key;
+    use crate::vlog::segment_name;
 
     fn tmp(name: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!("sand_store_{}_{}", name, std::process::id()));
@@ -710,6 +1056,18 @@ mod tests {
         ObjectMeta {
             deadline: Some(deadline),
             future_uses: uses,
+        }
+    }
+
+    /// Deletes every vlog segment file behind the store's back — the
+    /// compaction-vs-get race in miniature.
+    fn delete_segments(dir: &std::path::Path) {
+        for entry in fs::read_dir(dir).unwrap() {
+            let path = entry.unwrap().path();
+            let name = path.file_name().unwrap().to_str().unwrap().to_string();
+            if crate::vlog::parse_segment_name(&name).is_some() {
+                fs::remove_file(&path).unwrap();
+            }
         }
     }
 
@@ -751,22 +1109,47 @@ mod tests {
         assert_eq!(s.stats().misses, 1);
     }
 
-    /// Deterministic reproduction of the get-vs-prune race: the index
-    /// says Disk, but the backing file is already gone by the time the
-    /// (lock-free) read happens. Must surface as a miss, not an I/O
-    /// error, so callers fall through to recomputation.
+    /// Deterministic reproduction of the get-vs-compaction race: the
+    /// index says Disk, but the backing segment is already gone by the
+    /// time the (lock-free) read happens. Must surface as a miss, not an
+    /// I/O error, so callers fall through to recomputation.
     #[test]
-    fn vanished_disk_file_reads_as_miss() {
+    fn vanished_segment_reads_as_miss() {
         let dir = tmp("vanish");
         let s = ObjectStore::open(StoreConfig::default(), Some(dir.clone())).unwrap();
         s.set_clock(0);
         s.put("gone", vec![7; 64].into(), meta(100, 1)).unwrap();
         assert_eq!(s.tier_of("gone"), Some(Tier::Disk));
-        // Delete the file behind the store's back, exactly what a remove
-        // interleaved between the index lookup and fs::read does.
-        fs::remove_file(dir.join(encode_key("gone"))).unwrap();
+        // Delete the segment behind the store's back, exactly what a
+        // compaction interleaved between the index lookup and the log
+        // read does.
+        delete_segments(&dir);
         assert!(matches!(s.get("gone"), Err(StorageError::NotFound { .. })));
         assert_eq!(s.stats().misses, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Bit rot under a live index entry must degrade to a miss (caller
+    /// recomputes), never serve corrupt bytes or crash.
+    #[test]
+    fn corrupted_record_reads_as_miss() {
+        let dir = tmp("rot");
+        let s = ObjectStore::open(StoreConfig::default(), Some(dir.clone())).unwrap();
+        s.set_clock(0);
+        s.put("rotted", vec![5; 128].into(), meta(100, 1)).unwrap();
+        assert_eq!(s.tier_of("rotted"), Some(Tier::Disk));
+        // Flip one payload byte in the segment file.
+        let seg = dir.join(segment_name(0));
+        let mut bytes = fs::read(&seg).unwrap();
+        let at = bytes.len() - 20;
+        bytes[at] ^= 0x01;
+        fs::write(&seg, &bytes).unwrap();
+        assert!(matches!(
+            s.get("rotted"),
+            Err(StorageError::NotFound { .. })
+        ));
+        assert_eq!(s.stats().misses, 1);
+        assert_eq!(s.stats().corrupt_records, 1);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -875,7 +1258,7 @@ mod tests {
     }
 
     #[test]
-    fn recovery_scan_adopts_existing_files() {
+    fn recovery_adopts_log_records_with_meta() {
         let dir = tmp("recover");
         {
             let s = ObjectStore::open(StoreConfig::default(), Some(dir.clone())).unwrap();
@@ -889,6 +1272,99 @@ mod tests {
         assert!(s2.contains("video0001/frame3"));
         assert_eq!(*s2.get("video0001/frame3").unwrap(), vec![42; 64]);
         assert_eq!(s2.stats().disk_bytes, 64);
+        assert_eq!(s2.stats().replayed_objects, 1);
+        // Replay restores the pruning inputs, not defaults.
+        assert_eq!(s2.future_uses_of("video0001/frame3"), Some(3));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A removal must survive restart: the tombstone keeps the replay
+    /// from resurrecting the put it shadowed.
+    #[test]
+    fn removal_survives_restart() {
+        let dir = tmp("tombstone");
+        {
+            let cfg = StoreConfig {
+                memory_horizon: 0,
+                ..Default::default()
+            };
+            let s = ObjectStore::open(cfg, Some(dir.clone())).unwrap();
+            s.put("kept", vec![1; 32].into(), meta(100, 1)).unwrap();
+            s.put("gone", vec![2; 32].into(), meta(100, 1)).unwrap();
+            s.remove("gone").unwrap();
+        }
+        let s2 = ObjectStore::open(StoreConfig::default(), Some(dir.clone())).unwrap();
+        assert!(s2.contains("kept"));
+        assert!(!s2.contains("gone"), "tombstoned key resurrected");
+        assert_eq!(s2.stats().disk_bytes, 32);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Legacy file-per-object spills migrate into the log on open;
+    /// empty (torn `fs::write`) files are quarantined, never adopted,
+    /// and never counted into `disk_bytes`.
+    #[test]
+    fn legacy_files_migrate_and_torn_ones_quarantine() {
+        let dir = tmp("migrate");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(encode_key("old/frame1")), vec![9u8; 48]).unwrap();
+        fs::write(dir.join(encode_key("old/frame2")), Vec::<u8>::new()).unwrap(); // torn
+        let s = ObjectStore::open(StoreConfig::default(), Some(dir.clone())).unwrap();
+        assert!(s.contains("old/frame1"));
+        assert_eq!(*s.get("old/frame1").unwrap(), vec![9u8; 48]);
+        assert!(!s.contains("old/frame2"), "torn legacy file adopted");
+        let st = s.stats();
+        assert_eq!(st.disk_bytes, 48, "only validated bytes accounted");
+        assert_eq!(st.quarantined, 1);
+        assert!(
+            !dir.join(encode_key("old/frame1")).exists(),
+            "migrated file removed"
+        );
+        assert!(
+            dir.join("quarantine")
+                .join(encode_key("old/frame2"))
+                .exists(),
+            "torn file quarantined, not deleted"
+        );
+        // The migrated object survives the *next* restart through the log.
+        drop(s);
+        let s2 = ObjectStore::open(StoreConfig::default(), Some(dir.clone())).unwrap();
+        assert_eq!(*s2.get("old/frame1").unwrap(), vec![9u8; 48]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A torn tail on the log itself (crash mid-append) is truncated on
+    /// open: the half-written object is NOT adopted, everything before
+    /// it is, and a reopened store keeps appending cleanly.
+    #[test]
+    fn torn_log_tail_not_adopted() {
+        let dir = tmp("torn_tail");
+        {
+            let cfg = StoreConfig {
+                memory_horizon: 0,
+                ..Default::default()
+            };
+            let s = ObjectStore::open(cfg, Some(dir.clone())).unwrap();
+            s.put("whole", vec![1; 100].into(), meta(100, 1)).unwrap();
+            s.put("torn", vec![2; 100].into(), meta(100, 1)).unwrap();
+        }
+        // Chop the tail mid-record, as a crash mid-`write_all` would.
+        let seg = dir.join(segment_name(0));
+        let len = fs::metadata(&seg).unwrap().len();
+        fs::OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .unwrap()
+            .set_len(len - 50)
+            .unwrap();
+        let s2 = ObjectStore::open(StoreConfig::default(), Some(dir.clone())).unwrap();
+        assert!(s2.contains("whole"));
+        assert!(!s2.contains("torn"), "torn record adopted as a valid hit");
+        assert_eq!(s2.stats().disk_bytes, 100);
+        assert_eq!(s2.stats().torn_truncations, 1);
+        assert_eq!(*s2.get("whole").unwrap(), vec![1; 100]);
+        s2.put("after", vec![3; 10].into(), meta(100, 1)).unwrap();
+        assert_eq!(*s2.get("after").unwrap(), vec![3; 10]);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -898,6 +1374,80 @@ mod tests {
         s.put("k", vec![0; 100].into(), meta(0, 1)).unwrap();
         s.put("k", vec![0; 40].into(), meta(0, 1)).unwrap();
         assert_eq!(s.stats().memory_bytes, 40);
+    }
+
+    /// Re-putting the same key with a persistent tier must keep BOTH
+    /// byte counters exact, and the superseded record becomes garbage
+    /// that compaction reclaims without disturbing the live bytes.
+    #[test]
+    fn replacing_object_exact_accounting_and_garbage() {
+        let dir = tmp("re_put");
+        let cfg = StoreConfig {
+            memory_horizon: 1000,
+            ..Default::default()
+        };
+        let s = ObjectStore::open(cfg, Some(dir.clone())).unwrap();
+        s.set_clock(0);
+        s.put("k", vec![1; 100].into(), meta(1, 1)).unwrap();
+        s.put("k", vec![2; 40].into(), meta(1, 1)).unwrap();
+        let st = s.stats();
+        assert_eq!(st.memory_bytes, 40);
+        assert_eq!(st.disk_bytes, 40);
+        assert!(st.garbage_bytes > 0, "superseded record must be garbage");
+        assert_eq!(*s.get("k").unwrap(), vec![2; 40]);
+        // Forced compaction drops the dead record; bytes stay exact and
+        // the survivor is still served bit-identically.
+        assert!(s.compact().unwrap());
+        let st = s.stats();
+        assert_eq!(st.memory_bytes, 40);
+        assert_eq!(st.disk_bytes, 40);
+        assert_eq!(st.garbage_bytes, 0);
+        assert_eq!(st.compactions, 1);
+        assert_eq!(*s.get("k").unwrap(), vec![2; 40]);
+        // And the compacted log still recovers.
+        drop(s);
+        let s2 = ObjectStore::open(StoreConfig::default(), Some(dir.clone())).unwrap();
+        assert_eq!(*s2.get("k").unwrap(), vec![2; 40]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The third-tier extension of Algorithm 1: enough churn pushes the
+    /// dead-byte ratio over the threshold and the budget sweep compacts
+    /// on its own, shrinking the log while every live object survives
+    /// bit-identically.
+    #[test]
+    fn budget_sweep_compacts_garbage() {
+        let dir = tmp("auto_compact");
+        let cfg = StoreConfig {
+            memory_horizon: 0,
+            compact_threshold: 0.5,
+            ..Default::default()
+        };
+        let s = ObjectStore::open(cfg, Some(dir.clone())).unwrap();
+        s.set_clock(0);
+        // Live set: 8 keys, re-put 8 times each -> 7/8 of the log dead.
+        for round in 0..8u8 {
+            for k in 0..8u8 {
+                s.put(
+                    &format!("live/{k}"),
+                    vec![round ^ k; 8 << 10].into(),
+                    meta(100, 4),
+                )
+                .unwrap();
+            }
+        }
+        let st = s.stats();
+        assert!(st.compactions >= 1, "sweep never compacted: {st:?}");
+        assert!(
+            (st.garbage_bytes as f64)
+                < 0.5 * (st.log_bytes as f64) + f64::from(u32::from(8u8)) * 1024.0,
+            "garbage not reclaimed: {st:?}"
+        );
+        for k in 0..8u8 {
+            assert_eq!(*s.get(&format!("live/{k}")).unwrap(), vec![7 ^ k; 8 << 10]);
+        }
+        assert_eq!(st.disk_bytes, 8 * (8 << 10));
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -959,6 +1509,16 @@ mod tests {
             ..Default::default()
         })
         .is_err());
+        assert!(ObjectStore::memory_only(StoreConfig {
+            compact_threshold: 0.0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(ObjectStore::memory_only(StoreConfig {
+            compact_threshold: 1.5,
+            ..Default::default()
+        })
+        .is_err());
     }
 
     #[test]
@@ -1005,7 +1565,8 @@ mod tests {
     /// that nothing is ever evicted, so at quiescence every object must
     /// survive with its exact bytes ("no lost objects"), the global
     /// atomics must equal a from-scratch recount of the shard maps, and
-    /// the memory tier must sit within budget.
+    /// the memory tier must sit within budget. Re-puts generate enough
+    /// garbage that in-flight compactions race the workload too.
     #[test]
     fn shard_stress_keeps_budget_and_loses_nothing() {
         let dir = tmp("stress");
@@ -1015,6 +1576,7 @@ mod tests {
             evict_watermark: 0.75,
             memory_horizon: 4,
             shards: 8,
+            compact_threshold: 0.5,
         };
         let s = Arc::new(ObjectStore::open(cfg, Some(dir.clone())).unwrap());
         const THREADS: usize = 8;
@@ -1071,6 +1633,9 @@ mod tests {
             cfg.memory_budget
         );
         assert!(stats.spills > 0, "stress never exercised the sweep");
+        // Two re-put rounds make two thirds of the appended bytes dead:
+        // the third-tier sweep must have compacted at least once.
+        assert!(stats.compactions > 0, "stress never compacted the log");
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1147,5 +1712,51 @@ mod tests {
             Some(s.stats().memory_bytes),
             "gauge mirrors the accounting exactly"
         );
+    }
+
+    /// The vlog telemetry family: appends feed the latency histogram,
+    /// recovery publishes its outcome retroactively at attach, and the
+    /// garbage gauges follow compaction.
+    #[test]
+    fn vlog_metrics_are_published() {
+        use sand_telemetry::{StoreMetrics, Telemetry, TelemetryConfig};
+        let dir = tmp("vlog_metrics");
+        {
+            let cfg = StoreConfig {
+                memory_horizon: 0,
+                ..Default::default()
+            };
+            let s = ObjectStore::open(cfg, Some(dir.clone())).unwrap();
+            s.put("a", vec![1; 64].into(), meta(100, 1)).unwrap();
+            s.put("a", vec![2; 64].into(), meta(100, 1)).unwrap(); // garbage
+        }
+        let s = ObjectStore::open(
+            StoreConfig {
+                memory_horizon: 0,
+                ..Default::default()
+            },
+            Some(dir.clone()),
+        )
+        .unwrap();
+        let telemetry = Telemetry::new(TelemetryConfig::default());
+        let m = StoreMetrics::register(&telemetry, s.shard_count()).expect("enabled");
+        s.set_metrics(m);
+        let snap = telemetry.snapshot().expect("enabled");
+        assert_eq!(snap.counter("store.vlog.replayed_objects"), Some(1));
+        assert_eq!(snap.counter("store.vlog.torn_truncations"), Some(0));
+        assert!(snap.gauge("store.vlog.log_bytes").unwrap_or(0) > 0);
+        assert!(snap.gauge("store.vlog.garbage_pct").unwrap_or(0) > 0);
+        s.put("b", vec![3; 32].into(), meta(100, 1)).unwrap();
+        let snap = telemetry.snapshot().expect("enabled");
+        let appends = snap
+            .histogram("store.vlog.append_us")
+            .map(|h| h.count)
+            .unwrap_or(0);
+        assert!(appends >= 1, "append latency not observed");
+        assert!(s.compact().unwrap());
+        let snap = telemetry.snapshot().expect("enabled");
+        assert_eq!(snap.counter("store.vlog.compactions"), Some(1));
+        assert_eq!(snap.gauge("store.vlog.garbage_pct"), Some(0));
+        fs::remove_dir_all(&dir).unwrap();
     }
 }

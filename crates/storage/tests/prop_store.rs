@@ -171,6 +171,7 @@ proptest! {
                     evict_watermark: 0.75,
                     memory_horizon: 1,
                     shards,
+                    compact_threshold: 0.5,
                 },
                 Some(dir.clone()),
             )

@@ -450,6 +450,27 @@ pub struct StoreMetrics {
     /// histogram per shard, recording only *contended* acquisitions —
     /// the uncontended fast path never reads the clock.
     pub shard_lock_wait_us: Vec<Histogram>,
+    /// Value-log append latency (the persistent tier's write path).
+    pub vlog_append_us: Histogram,
+    /// Per-segment replay latency observed during crash recovery.
+    /// Recorded retroactively when metrics attach (recovery runs before
+    /// telemetry is wired).
+    pub vlog_replay_us: Histogram,
+    /// Dead-byte percentage of the value log (0–100), updated after
+    /// every accounting change that can move it materially.
+    pub vlog_garbage_pct: Gauge,
+    /// Total on-disk record bytes in the value log (live + dead).
+    pub vlog_log_bytes: Gauge,
+    /// Log compactions run.
+    pub vlog_compactions: Counter,
+    /// Torn tails truncated during recovery.
+    pub vlog_torn_truncations: Counter,
+    /// Records rejected for checksum mismatch (recovery + runtime reads).
+    pub vlog_corrupt_records: Counter,
+    /// Legacy per-object files quarantined during migration.
+    pub vlog_quarantined: Counter,
+    /// Objects adopted from the log by the recovery replay.
+    pub vlog_replayed_objects: Counter,
     /// Bytes resident in the memory tier, published on every accounting
     /// change so budget headroom is derivable from any snapshot.
     pub mem_bytes: Gauge,
@@ -480,6 +501,15 @@ impl StoreMetrics {
                     )
                 })
                 .collect(),
+            vlog_append_us: r.histogram("store.vlog.append_us", &c.latency_buckets_us),
+            vlog_replay_us: r.histogram("store.vlog.replay_us", &c.latency_buckets_us),
+            vlog_garbage_pct: r.gauge("store.vlog.garbage_pct"),
+            vlog_log_bytes: r.gauge("store.vlog.log_bytes"),
+            vlog_compactions: r.counter("store.vlog.compactions"),
+            vlog_torn_truncations: r.counter("store.vlog.torn_truncations"),
+            vlog_corrupt_records: r.counter("store.vlog.corrupt_records"),
+            vlog_quarantined: r.counter("store.vlog.quarantined"),
+            vlog_replayed_objects: r.counter("store.vlog.replayed_objects"),
             mem_bytes: r.gauge("store.mem_bytes"),
             mem_budget: r.gauge("store.mem_budget"),
         });

@@ -128,7 +128,7 @@ fn parse_args() -> Result<Args, String> {
 const EXPECTED_FAMILIES: &[&str] = &["aug", "decode", "engine", "sched", "store", "vfs"];
 
 /// Validate the JSONL export and the stall-attribution invariant: every
-/// trace's seven µs stage segments must reassemble its serve latency
+/// trace's nine µs stage segments must reassemble its serve latency
 /// (each segment loses < 1 µs to ns→µs integer division).
 fn check(metrics_jsonl: &str, traces_jsonl: &str, batches: u64) -> Result<(), String> {
     let metrics = validate_jsonl(metrics_jsonl).map_err(|e| format!("metrics export: {e}"))?;
@@ -155,14 +155,16 @@ fn check(metrics_jsonl: &str, traces_jsonl: &str, batches: u64) -> Result<(), St
         };
         let serve = field("serve_us")?;
         let sum = field("plan_us")?
+            + field("prefetch_us")?
             + field("queue_wait_us")?
             + field("decode_us")?
             + field("store_io_us")?
+            + field("persist_us")?
             + field("aug_us")?
             + field("exec_other_us")?
             + field("finalize_us")?;
-        // 7 segments, each rounded down independently of the total.
-        if sum > serve || serve - sum > 7 {
+        // 9 segments, each rounded down independently of the total.
+        if sum > serve || serve - sum > 9 {
             let batch = t.get("batch").and_then(|b| b.as_str()).unwrap_or("?");
             return Err(format!(
                 "batch {batch}: stage breakdown sums to {sum} µs but serve latency is {serve} µs"
