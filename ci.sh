@@ -52,6 +52,10 @@ echo "==> autotune_overhead bench smoke (quick mode, writes BENCH_autotune.json)
 SAND_BENCH_QUICK=1 cargo bench -q -p sand-bench --bench autotune_overhead
 test -f BENCH_autotune.json || { echo "BENCH_autotune.json missing"; exit 1; }
 
+echo "==> net_roundtrip bench smoke (quick mode, writes BENCH_net.json)"
+SAND_BENCH_QUICK=1 cargo bench -q -p sand-bench --bench net_roundtrip
+test -f BENCH_net.json || { echo "BENCH_net.json missing"; exit 1; }
+
 echo "==> telemetry example smoke (quick workload, validates JSONL export)"
 cargo run -q --release --example telemetry -- --quick --json --check > /dev/null
 
@@ -63,5 +67,8 @@ cargo run -q --example sanitize --features sanitize -- --schedules 64 > /dev/nul
 
 echo "==> persist example smoke (kill-and-restart durability contract)"
 cargo run -q --release --example persist -- --rounds 3 > /dev/null
+
+echo "==> cluster example smoke (3-node loopback parity + kill-one-node degradation)"
+cargo run -q --release --example cluster > /dev/null
 
 echo "CI green."

@@ -1,14 +1,19 @@
-//! Persistent-tier benchmark: value-log append throughput and recovery
-//! replay latency.
+//! Persistent-tier benchmark: value-log append throughput, recovery
+//! replay latency, and fsync-policy cost.
 //!
 //! The log-structured tier replaces file-per-object spill with one
-//! append-only, checksummed log, so the two numbers that matter are
+//! append-only, checksummed log, so the numbers that matter are
 //!
 //! - **append throughput** — the write-through `put` path's durability
-//!   cost (one sequential append per put, checksum committed last), and
+//!   cost (one sequential append per put, checksum committed last),
 //! - **replay latency** — how long a restart spends scanning, validating
 //!   and adopting records before the engine can serve, as a function of
-//!   the object count.
+//!   the object count, and
+//! - **sync-policy cost** — what `SyncPolicy::Always` pays per append
+//!   and how much of it `SyncPolicy::Group` claws back by coalescing
+//!   concurrent appends into one fsync (the `fsyncs` column is the
+//!   group-commit denominator: 4 threads × N appends under `group`
+//!   should land far fewer fsyncs than `always`).
 //!
 //! Each replayed store is verified to serve every object bit-identically
 //! before its timing is accepted, so the bench doubles as a recovery
@@ -18,15 +23,16 @@
 
 #![allow(clippy::unwrap_used)]
 
-use sand_storage::{ObjectMeta, ObjectStore, StoreConfig};
+use sand_storage::{ObjectMeta, ObjectStore, StoreConfig, SyncPolicy};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn payload(i: u64, len: usize) -> Vec<u8> {
     (0..len).map(|p| (p as u64 ^ (i * 131)) as u8).collect()
 }
 
-fn cfg() -> StoreConfig {
+fn cfg(sync: SyncPolicy) -> StoreConfig {
     StoreConfig {
         memory_budget: 8 << 20,
         disk_budget: 4 << 30,
@@ -34,6 +40,7 @@ fn cfg() -> StoreConfig {
         memory_horizon: 0, // every put is a pure disk-tier append
         shards: 4,
         compact_threshold: 1.0, // measure raw replay, not compaction
+        sync,
     }
 }
 
@@ -46,7 +53,7 @@ fn bench_dir(tag: &str) -> PathBuf {
 /// Appends `objects` records of `payload_len` bytes; returns the elapsed
 /// write time.
 fn fill(dir: &Path, objects: u64, payload_len: usize) -> f64 {
-    let store = ObjectStore::open(cfg(), Some(dir.to_path_buf())).unwrap();
+    let store = ObjectStore::open(cfg(SyncPolicy::Never), Some(dir.to_path_buf())).unwrap();
     let start = Instant::now();
     for i in 0..objects {
         store
@@ -67,7 +74,7 @@ fn fill(dir: &Path, objects: u64, payload_len: usize) -> f64 {
 /// object serves bit-identically; returns the replay time alone.
 fn replay(dir: &Path, objects: u64, payload_len: usize) -> f64 {
     let start = Instant::now();
-    let store = ObjectStore::open(cfg(), Some(dir.to_path_buf())).unwrap();
+    let store = ObjectStore::open(cfg(SyncPolicy::Never), Some(dir.to_path_buf())).unwrap();
     let secs = start.elapsed().as_secs_f64();
     let stats = store.stats();
     assert_eq!(stats.replayed_objects, objects, "replay lost objects");
@@ -79,6 +86,52 @@ fn replay(dir: &Path, objects: u64, payload_len: usize) -> f64 {
         );
     }
     secs
+}
+
+/// `threads` concurrent appenders each writing `per_thread` objects
+/// under `sync`; returns (elapsed seconds, fsyncs issued).
+fn fill_concurrent(
+    dir: &Path,
+    threads: u64,
+    per_thread: u64,
+    payload_len: usize,
+    sync: SyncPolicy,
+) -> (f64, u64) {
+    let store = Arc::new(ObjectStore::open(cfg(sync), Some(dir.to_path_buf())).unwrap());
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    let id = t * per_thread + i;
+                    store
+                        .put(
+                            &format!("obj/{id}"),
+                            payload(id, payload_len).into(),
+                            ObjectMeta {
+                                deadline: Some(id),
+                                future_uses: 2,
+                            },
+                        )
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (secs, store.stats().vlog_fsyncs)
+}
+
+fn sync_mode_name(sync: SyncPolicy) -> &'static str {
+    match sync {
+        SyncPolicy::Never => "never",
+        SyncPolicy::Always => "always",
+        SyncPolicy::Group { .. } => "group",
+    }
 }
 
 fn main() {
@@ -112,10 +165,43 @@ fn main() {
         ));
     }
 
+    // Sync-policy cost: the same concurrent workload under each policy.
+    // 4 appender threads give group commit something to coalesce.
+    let threads = 4u64;
+    let per_thread: u64 = if quick { 64 } else { 512 };
+    let group = SyncPolicy::Group {
+        window_us: 50,
+        max_bytes: 1 << 20,
+    };
+    let mut sync_rows = Vec::new();
+    for sync in [SyncPolicy::Never, SyncPolicy::Always, group] {
+        let mode = sync_mode_name(sync);
+        let dir = bench_dir(&format!("sync_{mode}"));
+        let (secs, fsyncs) = fill_concurrent(&dir, threads, per_thread, payload_len, sync);
+        let _ = std::fs::remove_dir_all(&dir);
+        let objects = threads * per_thread;
+        let appends_per_sec = objects as f64 / secs;
+        let coalesce = if fsyncs == 0 {
+            0.0
+        } else {
+            objects as f64 / fsyncs as f64
+        };
+        println!(
+            "bench persist_replay/sync={mode:<6} {threads} threads × {per_thread} appends \
+             {appends_per_sec:>10.0}/s  fsyncs {fsyncs:>6} (coalesce {coalesce:>6.1}×)"
+        );
+        sync_rows.push(format!(
+            "{{\"mode\": \"{mode}\", \"threads\": {threads}, \"objects\": {objects}, \
+             \"payload_bytes\": {payload_len}, \"append_per_sec\": {appends_per_sec:.0}, \
+             \"write_secs\": {secs:.4}, \"fsyncs\": {fsyncs}, \"coalesce\": {coalesce:.1}}}"
+        ));
+    }
+
     let host = sand_bench::host::host_context_json();
     let json = format!(
-        "{{\n  \"bench\": \"persist_replay\",\n  \"quick\": {quick},\n  \"rows\": [\n    {}\n  ],\n  \"host\": {host}\n}}\n",
-        rows.join(",\n    ")
+        "{{\n  \"bench\": \"persist_replay\",\n  \"quick\": {quick},\n  \"rows\": [\n    {}\n  ],\n  \"sync_rows\": [\n    {}\n  ],\n  \"host\": {host}\n}}\n",
+        rows.join(",\n    "),
+        sync_rows.join(",\n    ")
     );
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")

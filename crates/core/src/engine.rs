@@ -12,7 +12,8 @@ use sand_graph::{
     prune_to_budget, AbstractGraph, BatchRef, ConcreteGraph, NodeId, ObjectKey, PlanInput, Planner,
     PlannerOptions,
 };
-use sand_lint::{lint_all, AutotuneClamp, LintLevel, LintOptions};
+use sand_lint::{lint_all, AutotuneClamp, LintLevel, LintOptions, RemoteLint};
+use sand_net::{RemoteTier, RemoteTierConfig};
 use sand_sanitizer::{ShadowCell, TrackedCondvar, TrackedMutex};
 use sand_sched::{Job, JobKind, SchedConfig, Scheduler};
 use sand_storage::{ObjectMeta, ObjectStore, StoreConfig, Tier};
@@ -97,6 +98,15 @@ pub struct EngineConfig {
     /// pinned by `benches/autotune_overhead.rs`. Requires telemetry
     /// (lint SL034 denies the combination `autotune` without it).
     pub autotune: Option<AutotuneConfig>,
+    /// Multi-node operation: `Some` joins a cluster of SAND engines on a
+    /// consistent-hash placement ring and adds a **remote tier** below
+    /// mem/disk — a local store miss consults the key's ring owner before
+    /// materializing, and locally-computed remote-owned objects are
+    /// pushed to their owner, so a shared-ancestor object materializes at
+    /// most once cluster-wide. Degraded peers (timeouts, refused
+    /// connections) fall back to local materialization — never a wrong
+    /// answer. `None` (default) is single-process with zero overhead.
+    pub remote: Option<RemoteTierConfig>,
 }
 
 impl Default for EngineConfig {
@@ -122,6 +132,7 @@ impl Default for EngineConfig {
             lint: LintLevel::default(),
             telemetry: None,
             autotune: None,
+            remote: None,
         }
     }
 }
@@ -213,6 +224,8 @@ struct Inner {
     aug_threads_live: AtomicUsize,
     /// Live intra-video decode fan-out, read per pre-decode pass.
     decode_threads_live: AtomicUsize,
+    /// The cluster cache tier (`None` unless `EngineConfig::remote`).
+    remote: Option<Arc<RemoteTier>>,
     /// The adaptive controller (`None` unless `EngineConfig::autotune`).
     autotune: Option<TrackedMutex<Controller>>,
     autotune_metrics: Option<AutotuneMetrics>,
@@ -462,6 +475,10 @@ impl SandEngine {
         };
         let aug_threads_live = AtomicUsize::new(config.aug_threads.max(1));
         let decode_threads_live = AtomicUsize::new(config.decode_threads.max(1));
+        let remote = config
+            .remote
+            .clone()
+            .map(|rc| Arc::new(RemoteTier::new(rc, &telemetry)));
         let engine = SandEngine {
             inner: Arc::new(Inner {
                 config,
@@ -482,12 +499,14 @@ impl SandEngine {
                 codec_metrics,
                 aug_threads_live,
                 decode_threads_live,
+                remote,
                 autotune,
                 autotune_metrics,
                 autotune_stop: Arc::new(AtomicBool::new(false)),
                 autotune_thread: TrackedMutex::new("engine.autotune_thread", None),
             }),
         };
+        Inner::publish_effective_knobs(&engine.inner);
         Self::spawn_autotune_loop(&engine.inner);
         Ok(engine)
     }
@@ -616,6 +635,14 @@ impl SandEngine {
                     })
                     .collect()
             }),
+            remote: config.remote.as_ref().map(|r| RemoteLint {
+                peers: r.peers.len(),
+                // `PeerSpec::addr` is already a parsed `SocketAddr`, so
+                // every configured peer is dialable by construction.
+                resolvable_peers: r.peers.len(),
+                fetch_timeout_ms: r.fetch_timeout.as_millis() as u64,
+                retries: r.retries,
+            }),
         };
         let report = lint_all(
             &config.tasks,
@@ -741,6 +768,7 @@ impl SandEngine {
     /// consume path stays open while entries are pending.
     pub fn set_prefetch_depth(&self, depth: usize) {
         self.inner.prefetcher.set_depth(depth);
+        Inner::publish_effective_knobs(&self.inner);
     }
 
     /// The demand-slack window currently in effect.
@@ -752,6 +780,7 @@ impl SandEngine {
     /// Retunes the scheduler's demand-slack window at runtime.
     pub fn set_demand_slack(&self, slack: u64) {
         self.inner.sched.set_demand_slack(slack);
+        Inner::publish_effective_knobs(&self.inner);
     }
 
     /// The materialize fan-out knob currently in effect (before the
@@ -768,6 +797,7 @@ impl SandEngine {
         self.inner
             .aug_threads_live
             .store(n.max(1), Ordering::Relaxed);
+        Inner::publish_effective_knobs(&self.inner);
     }
 
     /// The intra-video decode fan-out currently in effect.
@@ -782,6 +812,7 @@ impl SandEngine {
         self.inner
             .decode_threads_live
             .store(n.max(1), Ordering::Relaxed);
+        Inner::publish_effective_knobs(&self.inner);
     }
 
     /// Runs one controller tick synchronously: snapshot the registry,
@@ -792,6 +823,12 @@ impl SandEngine {
     /// plus explicit ticks gives deterministic, test-driven control.
     pub fn autotune_tick(&self) -> Option<Vec<Decision>> {
         Inner::autotune_tick(&self.inner)
+    }
+
+    /// The cluster remote tier (`None` for single-process engines).
+    #[must_use]
+    pub fn remote_tier(&self) -> Option<&Arc<RemoteTier>> {
+        self.inner.remote.as_ref()
     }
 }
 
@@ -966,7 +1003,37 @@ impl Inner {
             m.aug_threads.set(values.aug_threads as i64);
             m.decode_threads.set(values.decode_threads as i64);
         }
+        Self::publish_effective_knobs(inner);
         Some(decisions)
+    }
+
+    /// Publishes the *live* knob values (not the config seeds) to the
+    /// `engine.effective_*` gauges, so a snapshot always reports what the
+    /// runtime is actually doing — after construction, a manual setter,
+    /// or a controller tick. No-op with telemetry disabled.
+    fn publish_effective_knobs(inner: &Inner) {
+        let Some(m) = &inner.engine_metrics else {
+            return;
+        };
+        m.effective_prefetch_depth
+            .set(inner.prefetcher.depth() as i64);
+        m.effective_demand_slack
+            .set(inner.sched.demand_slack() as i64);
+        m.effective_aug_threads
+            .set(inner.aug_threads_live.load(Ordering::Relaxed) as i64);
+        m.effective_decode_threads
+            .set(inner.decode_threads_live.load(Ordering::Relaxed) as i64);
+        match &inner.remote {
+            Some(r) => {
+                m.effective_remote_peers.set(r.peer_count() as i64);
+                m.effective_remote_timeout_ms
+                    .set(r.fetch_timeout().as_millis() as i64);
+            }
+            None => {
+                m.effective_remote_peers.set(0);
+                m.effective_remote_timeout_ms.set(0);
+            }
+        }
     }
 
     /// Splits one bucket's node list into at most `parts` sub-job lists.
@@ -1227,6 +1294,27 @@ impl Inner {
                 }
             }
         }
+        // Cluster tier, below mem/disk: the key's ring owner may already
+        // hold the compressed object — fetch it instead of recomputing,
+        // so a shared ancestor materializes at most once cluster-wide.
+        // `None` covers every degraded case (self-owned, owner down,
+        // clean miss) and falls through to local materialization; corrupt
+        // remote bytes are dropped the same way — duplicate work, never
+        // wrong bytes.
+        if let Some(remote) = &inner.remote {
+            if let Some(bytes) = remote.fetch(&key) {
+                if let Ok(f) = decompress_frame(&bytes) {
+                    if node.cached {
+                        let meta = ObjectMeta {
+                            deadline: chunk.deadlines[id],
+                            future_uses: chunk.future_uses[id],
+                        };
+                        let _ = inner.store.put(&key, bytes.into(), meta);
+                    }
+                    return Ok(Arc::new(f));
+                }
+            }
+        }
         let frame =
             match &node.key {
                 ObjectKey::Video { .. } => {
@@ -1277,7 +1365,20 @@ impl Inner {
                 deadline: chunk.deadlines[id],
                 future_uses: chunk.future_uses[id],
             };
-            inner.store.put(&key, compress_frame(&frame).into(), meta)?;
+            let compressed: Arc<Vec<u8>> = compress_frame(&frame).into();
+            inner.store.put(&key, Arc::clone(&compressed), meta)?;
+            // We just materialized an object the ring owner didn't have
+            // (the fetch above missed): push it so the next consumer
+            // anywhere in the cluster hits. Best-effort — a failed push
+            // leaves the object local.
+            if let Some(remote) = &inner.remote {
+                remote.offer(
+                    &key,
+                    chunk.deadlines[id],
+                    chunk.future_uses[id],
+                    &compressed,
+                );
+            }
         }
         Ok(Arc::new(frame))
     }
@@ -1319,6 +1420,26 @@ impl Inner {
             }
             if !covered {
                 if let Some(fn_) = frame_node {
+                    // Cluster tier: a frame the ring owner already holds
+                    // is adopted instead of re-decoded — the bulk decode
+                    // pass honors at-most-once the same way the per-node
+                    // path does. Only cached nodes can exist remotely.
+                    if chunk.graph.nodes[fn_.1].cached {
+                        if let Some(remote) = &inner.remote {
+                            let fkey = store_key(&chunk.graph.nodes[fn_.1].key);
+                            if let Some(bytes) = remote.fetch(&fkey) {
+                                if decompress_frame(&bytes).is_ok() {
+                                    let meta = ObjectMeta {
+                                        deadline: chunk.deadlines[fn_.1],
+                                        future_uses: chunk.future_uses[fn_.1],
+                                    };
+                                    if inner.store.put(&fkey, bytes.into(), meta).is_ok() {
+                                        continue;
+                                    }
+                                }
+                            }
+                        }
+                    }
                     if !missing.contains(&fn_) && scratch.try_claim(fn_.1) {
                         missing.push(fn_);
                     }
@@ -1886,6 +2007,23 @@ impl ViewProvider for SandEngine {
                         return Ok(bytes);
                     }
                     let _ = self.inner.store.remove(&key);
+                }
+                // Cluster tier: the ring owner may hold the compressed
+                // frame — serve (and adopt) its bytes before touching the
+                // decoder. Validated like any store read; a degraded peer
+                // falls through to the local decode.
+                if let Some(remote) = &self.inner.remote {
+                    if let Some(bytes) = remote.fetch(&key) {
+                        if decompress_frame(&bytes).is_ok() {
+                            let bytes: Arc<Vec<u8>> = Arc::new(bytes);
+                            let meta = ObjectMeta {
+                                deadline: None,
+                                future_uses: 1,
+                            };
+                            let _ = self.inner.store.put(&key, Arc::clone(&bytes), meta);
+                            return Ok(bytes);
+                        }
+                    }
                 }
                 let f =
                     Inner::decode_one(&self.inner, entry.video_id, *index as usize).map_err(io)?;

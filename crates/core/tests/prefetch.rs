@@ -12,7 +12,7 @@ use sand_codec::{Dataset, DatasetSpec, EncoderConfig};
 use sand_config::parse_task_config;
 use sand_core::{EngineConfig, SandEngine, TelemetryConfig};
 use sand_sched::SchedConfig;
-use sand_storage::StoreConfig;
+use sand_storage::{StoreConfig, SyncPolicy};
 use sand_telemetry::MetricValue;
 use std::sync::Arc;
 
@@ -146,6 +146,7 @@ proptest! {
                     memory_horizon: 1,
                     shards,
                     compact_threshold: 0.5,
+                    sync: SyncPolicy::Never,
                 },
                 ..base_config(1, 1, seed)
             };

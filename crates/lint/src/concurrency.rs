@@ -1,4 +1,4 @@
-//! Concurrency-configuration analyses (`SL032`–`SL036`).
+//! Concurrency-configuration analyses (`SL032`–`SL038`).
 //!
 //! These catch configurations whose concurrent machinery is wired up but
 //! cannot help — or actively hurts. They need no graph: everything is
@@ -16,6 +16,8 @@ pub fn lint_concurrency(opts: &LintOptions) -> Vec<Diagnostic> {
     lint_autotune_without_telemetry(opts, &mut out);
     lint_autotune_clamp_ranges(opts, &mut out);
     lint_persistent_without_budget(opts, &mut out);
+    lint_remote_without_peers(opts, &mut out);
+    lint_remote_timeout_vs_budget(opts, &mut out);
     out
 }
 
@@ -157,10 +159,87 @@ fn lint_persistent_without_budget(opts: &LintOptions, out: &mut Vec<Diagnostic>)
     }
 }
 
+/// `SL037`: a remote tier with no dialable peers.
+///
+/// A one-node "cluster" (no peers) or a peer list whose every address
+/// failed to parse leaves the ring with a single reachable owner: self.
+/// Every fetch short-circuits to `None`, every offer is a no-op, yet the
+/// configuration claims cluster-wide at-most-once materialization. The
+/// config cannot do what it says — deny it up front, like SL034/SL036.
+fn lint_remote_without_peers(opts: &LintOptions, out: &mut Vec<Diagnostic>) {
+    let Some(remote) = &opts.remote else {
+        return;
+    };
+    if remote.peers == 0 || remote.resolvable_peers == 0 {
+        let what = if remote.peers == 0 {
+            "an empty peer list".to_string()
+        } else {
+            format!("{} peers, none with a resolvable address", remote.peers)
+        };
+        out.push(Diagnostic {
+            code: "SL037",
+            severity: Severity::Deny,
+            location: "remote.peers".into(),
+            message: format!(
+                "the remote tier is enabled with {what}: the placement ring \
+                 degenerates to this node alone, so every remote fetch \
+                 short-circuits to a local materialization and the tier is \
+                 pure overhead"
+            ),
+            help: "list at least one reachable peer (node_id + host:port of \
+                   its view server), or drop EngineConfig::remote for \
+                   single-process runs"
+                .into(),
+        });
+    }
+}
+
+/// `SL038`: worst-case remote wait at or beyond the stall budget.
+///
+/// A remote fetch blocks the demand path for up to
+/// `fetch_timeout x (retries + 1)` before falling back to local
+/// materialization. When that worst case already meets the telemetry
+/// stall budget, a single down peer makes *every* cross-node miss a
+/// reported stall — the degradation contract ("never a wrong answer")
+/// still holds, but the latency goal cannot. Only decidable when
+/// telemetry is on with a nonzero budget.
+fn lint_remote_timeout_vs_budget(opts: &LintOptions, out: &mut Vec<Diagnostic>) {
+    let Some(remote) = &opts.remote else {
+        return;
+    };
+    let Some(t) = &opts.telemetry else {
+        return;
+    };
+    if t.stall_budget_us == 0 {
+        return;
+    }
+    let worst_ms = remote.fetch_timeout_ms * (u64::from(remote.retries) + 1);
+    let budget_ms = t.stall_budget_us / 1000;
+    if worst_ms >= budget_ms {
+        out.push(Diagnostic {
+            code: "SL038",
+            severity: Severity::Warn,
+            location: "remote.fetch_timeout".into(),
+            message: format!(
+                "worst-case remote wait {worst_ms} ms ({} ms x {} attempts) \
+                 meets or exceeds the {budget_ms} ms stall budget: one down \
+                 peer turns every cross-node miss into a reported stall \
+                 before the local fallback even starts",
+                remote.fetch_timeout_ms,
+                u64::from(remote.retries) + 1
+            ),
+            help: "lower remote.fetch_timeout / retries so the fallback \
+                   path fits inside the stall budget, or raise \
+                   telemetry.stall_budget_us"
+                .into(),
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::AutotuneClamp;
+    use crate::{AutotuneClamp, RemoteLint};
 
     #[test]
     fn sl032_single_shard_prefetch_warns() {
@@ -286,6 +365,85 @@ mod tests {
                 "persistent {persistent} budget {budget}"
             );
         }
+    }
+
+    fn remote(peers: usize, resolvable: usize, timeout_ms: u64, retries: u32) -> RemoteLint {
+        RemoteLint {
+            peers,
+            resolvable_peers: resolvable,
+            fetch_timeout_ms: timeout_ms,
+            retries,
+        }
+    }
+
+    #[test]
+    fn sl037_empty_or_unresolvable_peer_set_denies() {
+        for r in [remote(0, 0, 250, 1), remote(3, 0, 250, 1)] {
+            let opts = LintOptions {
+                remote: Some(r),
+                ..Default::default()
+            };
+            let out = lint_concurrency(&opts);
+            assert_eq!(out.len(), 1, "{out:?}");
+            assert_eq!(out[0].code, "SL037");
+            assert_eq!(out[0].severity, Severity::Deny);
+            assert_eq!(out[0].location, "remote.peers");
+        }
+    }
+
+    #[test]
+    fn sl037_silent_with_a_resolvable_peer_or_without_remote() {
+        let opts = LintOptions {
+            remote: Some(remote(2, 2, 250, 1)),
+            ..Default::default()
+        };
+        assert!(lint_concurrency(&opts).is_empty());
+        assert!(lint_concurrency(&LintOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn sl038_timeout_at_or_over_stall_budget_warns() {
+        // 250 ms x 2 attempts = 500 ms worst case vs. a 400 ms budget.
+        let opts = LintOptions {
+            remote: Some(remote(2, 2, 250, 1)),
+            telemetry: Some(sand_telemetry::TelemetryConfig {
+                stall_budget_us: 400_000,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let out = lint_concurrency(&opts);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].code, "SL038");
+        assert_eq!(out[0].severity, Severity::Warn);
+        assert!(out[0].message.contains("500 ms"), "{out:?}");
+    }
+
+    #[test]
+    fn sl038_silent_when_fallback_fits_or_budget_unset() {
+        // 50 ms x 2 attempts = 100 ms, well inside a 400 ms budget.
+        let fits = LintOptions {
+            remote: Some(remote(2, 2, 50, 1)),
+            telemetry: Some(sand_telemetry::TelemetryConfig {
+                stall_budget_us: 400_000,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        assert!(lint_concurrency(&fits).is_empty());
+        // Budget 0 = "report every batch", not a latency goal.
+        let no_budget = LintOptions {
+            remote: Some(remote(2, 2, 250, 3)),
+            telemetry: Some(sand_telemetry::TelemetryConfig::default()),
+            ..Default::default()
+        };
+        assert!(lint_concurrency(&no_budget).is_empty());
+        // Telemetry off: not decidable, stay silent.
+        let no_telemetry = LintOptions {
+            remote: Some(remote(2, 2, 250, 3)),
+            ..Default::default()
+        };
+        assert!(lint_concurrency(&no_telemetry).is_empty());
     }
 
     #[test]

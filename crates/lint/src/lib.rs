@@ -14,7 +14,7 @@
 //! | graph invariants | `SL010`–`SL014` | edge legality, acyclicity, dangling references |
 //! | resource feasibility | `SL020`–`SL025` | budget lower bounds, decode amplification, telemetry buckets, prefetch/shard sizing |
 //! | sharing | `SL030`–`SL031` | near-miss cross-task merge opportunities |
-//! | concurrency | `SL032`–`SL036` | single-shard prefetch contention, sanitizer-in-release, autotune wiring, dead persistent tier |
+//! | concurrency | `SL032`–`SL038` | single-shard prefetch contention, sanitizer-in-release, autotune wiring, dead persistent tier, remote-tier wiring |
 //!
 //! Diagnostics render rustc-style for humans ([`LintReport::render_human`])
 //! and as JSON lines for tooling ([`LintReport::render_jsonl`]). The engine
@@ -181,6 +181,23 @@ pub struct LintOptions {
     /// Disk-tier byte budget of the object store
     /// (`StoreConfig::disk_budget`).
     pub disk_budget: u64,
+    /// Remote-tier wiring when the engine joins a cluster (`None` =
+    /// single-process, its lints are skipped).
+    pub remote: Option<RemoteLint>,
+}
+
+/// Remote-tier facts the concurrency lints need, pre-digested so this
+/// crate does not depend on `sand-net`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteLint {
+    /// Configured peer count (other nodes on the placement ring).
+    pub peers: usize,
+    /// Peers whose dial address parsed as a socket address.
+    pub resolvable_peers: usize,
+    /// Per-attempt remote fetch timeout in milliseconds.
+    pub fetch_timeout_ms: u64,
+    /// Additional fetch attempts after the first.
+    pub retries: u32,
 }
 
 /// One autotune knob's hard clamp range, as configured.
@@ -212,6 +229,7 @@ impl Default for LintOptions {
             autotune: None,
             persistent: false,
             disk_budget: 512 << 20,
+            remote: None,
         }
     }
 }

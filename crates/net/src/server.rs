@@ -1,0 +1,446 @@
+//! `ViewServer` — one node's engine and store, exposed over TCP.
+//!
+//! An accept thread hands connections to a **bounded worker pool** (no
+//! thread-per-connection: a burst of trainers cannot fork the node to
+//! death); each worker owns one connection at a time and serves its
+//! requests sequentially. Backpressure is the bounded hand-off channel —
+//! when every worker is busy, further connections queue in the channel
+//! (and then in the listener backlog) instead of spawning.
+//!
+//! Each connection gets a **private fd table** mirroring the in-process
+//! VFS (lowest free descriptor from 3), so fds never leak across
+//! trainers and a dropped connection releases every view it held —
+//! `provider.released()` fires for each, exactly like a local `close`.
+//! `Read` is positional (`offset` in the request), which makes a retry
+//! on a fresh connection idempotent: there is no server-side cursor to
+//! desynchronize.
+//!
+//! Shutdown is cooperative: workers use short socket read timeouts to
+//! poll the stop flag between frames, and `shutdown()` pokes the
+//! listener with a throwaway connection to unblock `accept`.
+
+use crate::wire::{self, err_code, Request, Response};
+use crate::{NetError, Result};
+use sand_storage::{ObjectMeta, ObjectStore, StorageError, Tier};
+use sand_telemetry::{NetMetrics, Telemetry};
+use sand_vfs::{VfsError, ViewPath, ViewProvider};
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tunables.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads (each serves one connection at a time).
+    pub workers: usize,
+    /// Largest request frame accepted.
+    pub max_frame_bytes: u32,
+    /// Socket read timeout — the stop-flag polling interval, not a
+    /// request deadline.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            max_frame_bytes: 64 << 20,
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+/// A running server; dropping it shuts the listener and workers down.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, drains workers, joins every thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop; if the listener is already gone the
+        // connect fails, which is just as good.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(200));
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The per-node RPC server.
+pub struct ViewServer;
+
+struct Shared {
+    provider: Arc<dyn ViewProvider>,
+    store: Option<Arc<ObjectStore>>,
+    metrics: Option<NetMetrics>,
+    config: ServerConfig,
+    stop: Arc<AtomicBool>,
+}
+
+impl ViewServer {
+    /// Binds `addr` and serves `provider` (and `store`, when given, for
+    /// the object-exchange verbs) until the handle is shut down.
+    pub fn serve<A: ToSocketAddrs>(
+        addr: A,
+        provider: Arc<dyn ViewProvider>,
+        store: Option<Arc<ObjectStore>>,
+        config: ServerConfig,
+        telemetry: &Telemetry,
+    ) -> Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        Self::serve_on(listener, provider, store, config, telemetry)
+    }
+
+    /// Serves on an already-bound listener. Binding first lets a cluster
+    /// assembler learn every node's address (port 0) before any engine
+    /// or remote tier is constructed.
+    pub fn serve_on(
+        listener: TcpListener,
+        provider: Arc<dyn ViewProvider>,
+        store: Option<Arc<ObjectStore>>,
+        config: ServerConfig,
+        telemetry: &Telemetry,
+    ) -> Result<ServerHandle> {
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared {
+            provider,
+            store,
+            metrics: NetMetrics::register(telemetry),
+            config: config.clone(),
+            stop: Arc::clone(&stop),
+        });
+
+        let workers = config.workers.max(1);
+        let (tx, rx) = crossbeam::channel::bounded::<TcpStream>(workers * 2);
+        let mut threads = Vec::with_capacity(workers + 1);
+        for i in 0..workers {
+            let rx = rx.clone();
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("sand-net-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &shared))
+                    .map_err(|e| NetError::Io {
+                        what: format!("spawn worker: {e}"),
+                    })?,
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("sand-net-accept".to_string())
+                    .spawn(move || accept_loop(&listener, &tx, &shared))
+                    .map_err(|e| NetError::Io {
+                        what: format!("spawn acceptor: {e}"),
+                    })?,
+            );
+        }
+        Ok(ServerHandle {
+            local_addr,
+            stop,
+            threads,
+        })
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    tx: &crossbeam::channel::Sender<TcpStream>,
+    shared: &Shared,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+        let _ = stream.set_nodelay(true);
+        if tx.send(stream).is_err() {
+            return;
+        }
+    }
+}
+
+fn worker_loop(rx: &crossbeam::channel::Receiver<TcpStream>, shared: &Shared) {
+    loop {
+        match rx.recv_timeout(shared.config.poll_interval) {
+            Ok(stream) => serve_connection(stream, shared),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// One open descriptor on one connection.
+struct OpenEntry {
+    path: ViewPath,
+    content: Arc<Vec<u8>>,
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+    let mut fds: BTreeMap<u64, OpenEntry> = BTreeMap::new();
+    // Anything but a whole frame — clean EOF, shutdown, or a transport/
+    // protocol failure — means the connection is done.
+    while let Ok(Some(payload)) = read_frame_interruptible(&mut stream, shared) {
+        if let Some(m) = &shared.metrics {
+            m.server_requests.inc();
+            m.bytes_rx.add(payload.len() as u64);
+        }
+        let response = match Request::decode(&payload) {
+            Ok(req) => handle_request(req, &mut fds, shared),
+            Err(e) => Response::Error {
+                code: err_code::PROTOCOL,
+                what: e.to_string(),
+            },
+        };
+        if let (Some(m), Response::Error { .. }) = (&shared.metrics, &response) {
+            m.server_errors.inc();
+        }
+        let encoded = match response.encode() {
+            Ok(e) => e,
+            Err(_) => break,
+        };
+        if let Some(m) = &shared.metrics {
+            m.bytes_tx.add(encoded.len() as u64);
+        }
+        if wire::write_frame(&mut stream, &encoded).is_err() {
+            break;
+        }
+    }
+    // Dropped connection ≡ close of everything it held.
+    for (_, entry) in fds {
+        shared.provider.released(&entry.path);
+    }
+}
+
+/// Reads one frame, polling the stop flag across read-timeout ticks.
+/// `Ok(None)` is clean EOF at a frame boundary.
+fn read_frame_interruptible(stream: &mut TcpStream, shared: &Shared) -> Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 8];
+    match read_exact_polling(stream, &mut header, shared)? {
+        0 => return Ok(None),
+        8 => {}
+        n => {
+            return Err(NetError::Protocol {
+                what: format!("connection closed mid-header ({n}/8 bytes)"),
+            })
+        }
+    }
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    let cap = shared.config.max_frame_bytes.min(wire::ABSOLUTE_MAX_FRAME);
+    if len > cap {
+        return Err(NetError::Protocol {
+            what: format!("frame of {len} bytes exceeds cap of {cap}"),
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    let got = read_exact_polling(stream, &mut payload, shared)?;
+    if got != payload.len() {
+        return Err(NetError::Protocol {
+            what: format!("connection closed mid-frame ({got}/{len} bytes)"),
+        });
+    }
+    if wire::crc32(&payload) != crc {
+        return Err(NetError::Protocol {
+            what: "frame checksum mismatch".to_string(),
+        });
+    }
+    Ok(Some(payload))
+}
+
+/// Fills `buf` (or stops at EOF), treating read timeouts as stop-flag
+/// polling points rather than errors.
+fn read_exact_polling(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared) -> Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return Err(NetError::Io {
+                        what: "server shutting down".to_string(),
+                    });
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(filled)
+}
+
+fn vfs_error_response(e: &VfsError) -> Response {
+    let (code, what) = match e {
+        VfsError::NoSuchView { .. } => (err_code::NO_SUCH_VIEW, e.to_string()),
+        VfsError::Io { .. } => (err_code::IO, e.to_string()),
+        VfsError::BadFd { .. } => (err_code::BAD_FD, e.to_string()),
+        VfsError::NoAttr { .. } => (err_code::NO_ATTR, e.to_string()),
+    };
+    Response::Error { code, what }
+}
+
+/// Lowest free descriptor from 3, mirroring the in-process VFS.
+fn alloc_fd(fds: &BTreeMap<u64, OpenEntry>) -> u64 {
+    let mut fd = 3;
+    while fds.contains_key(&fd) {
+        fd += 1;
+    }
+    fd
+}
+
+fn handle_request(req: Request, fds: &mut BTreeMap<u64, OpenEntry>, shared: &Shared) -> Response {
+    match req {
+        Request::Open { path } => {
+            let parsed = match ViewPath::parse(&path) {
+                Some(p) => p,
+                None => {
+                    return Response::Error {
+                        code: err_code::NO_SUCH_VIEW,
+                        what: format!("no such view: {path}"),
+                    }
+                }
+            };
+            match shared.provider.fetch(&parsed) {
+                Ok(content) => {
+                    let fd = alloc_fd(fds);
+                    let size = content.len() as u64;
+                    fds.insert(
+                        fd,
+                        OpenEntry {
+                            path: parsed,
+                            content,
+                        },
+                    );
+                    Response::Opened { fd, size }
+                }
+                Err(e) => vfs_error_response(&e),
+            }
+        }
+        Request::Read { fd, offset, len } => match fds.get(&fd) {
+            Some(entry) => {
+                let total = entry.content.len();
+                let start = usize::try_from(offset).unwrap_or(usize::MAX).min(total);
+                let end = start.saturating_add(len as usize).min(total);
+                Response::Data {
+                    bytes: entry.content[start..end].to_vec(),
+                    eof: end == total,
+                }
+            }
+            None => vfs_error_response(&VfsError::BadFd { fd }),
+        },
+        Request::GetXattr { fd, name } => match fds.get(&fd) {
+            Some(entry) => match shared.provider.metadata(&entry.path, &name) {
+                Ok(value) => Response::Xattr { value },
+                Err(e) => vfs_error_response(&e),
+            },
+            None => vfs_error_response(&VfsError::BadFd { fd }),
+        },
+        Request::Close { fd } => match fds.remove(&fd) {
+            Some(entry) => {
+                shared.provider.released(&entry.path);
+                Response::Closed
+            }
+            None => vfs_error_response(&VfsError::BadFd { fd }),
+        },
+        Request::Put {
+            key,
+            deadline,
+            future_uses,
+            bytes,
+        } => match &shared.store {
+            Some(store) => {
+                let meta = ObjectMeta {
+                    deadline,
+                    future_uses,
+                };
+                match store.put(&key, Arc::new(bytes), meta) {
+                    Ok(()) => Response::PutOk,
+                    Err(e) => Response::Error {
+                        code: err_code::IO,
+                        what: format!("put {key}: {e}"),
+                    },
+                }
+            }
+            None => Response::Error {
+                code: err_code::IO,
+                what: "node serves no object store".to_string(),
+            },
+        },
+        Request::Fetch { key } => match &shared.store {
+            Some(store) => match store.get(&key) {
+                Ok(bytes) => Response::Hit {
+                    bytes: bytes.as_ref().clone(),
+                },
+                Err(StorageError::NotFound { .. }) => Response::Miss,
+                Err(e) => Response::Error {
+                    code: err_code::IO,
+                    what: format!("fetch {key}: {e}"),
+                },
+            },
+            None => Response::Miss,
+        },
+        Request::Stat { key } => match &shared.store {
+            Some(store) => match store.tier_of(&key) {
+                Some(tier) => {
+                    // Only a memory-resident object's size is cheaply
+                    // known; a disk read just to report a size is not
+                    // worth the I/O on a probe verb.
+                    let (tier_code, size) = match tier {
+                        Tier::Memory => (1u8, store.get(&key).map(|b| b.len() as u64).unwrap_or(0)),
+                        Tier::Disk => (2u8, 0),
+                    };
+                    Response::Stat {
+                        present: true,
+                        tier: tier_code,
+                        size,
+                    }
+                }
+                None => Response::Stat {
+                    present: false,
+                    tier: 0,
+                    size: 0,
+                },
+            },
+            None => Response::Stat {
+                present: false,
+                tier: 0,
+                size: 0,
+            },
+        },
+    }
+}

@@ -29,7 +29,7 @@ pub mod vlog;
 pub use manifest::Manifest;
 pub use remote::{BandwidthModel, RemoteStore};
 pub use store::{ObjectMeta, ObjectStore, StoreConfig, StoreStats, Tier};
-pub use vlog::{ReplayStats, ValueLog};
+pub use vlog::{ReplayStats, SyncPolicy, ValueLog};
 
 use std::fmt;
 

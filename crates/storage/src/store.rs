@@ -38,7 +38,7 @@
 //! quarantined under `quarantine/` and **not** adopted into the byte
 //! accounting.
 
-use crate::vlog::{Ptr, RecordMeta, ValueLog};
+use crate::vlog::{Ptr, RecordMeta, SyncPolicy, ValueLog};
 use crate::{decode_key, Result, StorageError};
 use sand_sanitizer::{ShadowCell, TrackedMutex, TrackedMutexGuard};
 use sand_telemetry::{record_stage, Stage, StoreMetrics};
@@ -123,6 +123,10 @@ pub struct StoreConfig {
     /// compacts it (rewrites live records, deletes sealed segments).
     /// Must be in (0, 1]; 1.0 effectively disables compaction.
     pub compact_threshold: f64,
+    /// When value-log appends reach stable storage (see
+    /// [`SyncPolicy`]). `Never` keeps the historical no-fsync put path;
+    /// `Group` coalesces concurrent appends into one fsync.
+    pub sync: SyncPolicy,
 }
 
 impl Default for StoreConfig {
@@ -134,6 +138,7 @@ impl Default for StoreConfig {
             memory_horizon: 2,
             shards: default_shards(),
             compact_threshold: 0.5,
+            sync: SyncPolicy::Never,
         }
     }
 }
@@ -174,6 +179,9 @@ pub struct StoreStats {
     pub quarantined: u64,
     /// Objects adopted from the log on open.
     pub replayed_objects: u64,
+    /// Fsyncs issued by the value log (0 under `SyncPolicy::Never`).
+    /// With group commit, `puts / vlog_fsyncs` is the coalescing ratio.
+    pub vlog_fsyncs: u64,
 }
 
 /// Internal per-object record.
@@ -297,7 +305,7 @@ impl ObjectStore {
         };
         if let Some(d) = &dir {
             let t0 = Instant::now();
-            let (vlog, records, replay) = ValueLog::open(d)?;
+            let (vlog, records, replay) = ValueLog::open(d, config.sync)?;
             store
                 .torn_truncations
                 .store(replay.torn_truncations, Ordering::Relaxed);
@@ -444,6 +452,9 @@ impl ObjectStore {
             metrics
                 .vlog_replayed_objects
                 .add(self.replayed_objects.load(Ordering::Relaxed));
+        }
+        if let Some(vlog) = &self.vlog {
+            vlog.set_fsync_metric(metrics.vlog_fsyncs.clone());
         }
         let _ = self.metrics.set(metrics);
         self.publish_log_usage();
@@ -1030,6 +1041,7 @@ impl ObjectStore {
             corrupt_records: self.corrupt_records.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
             replayed_objects: self.replayed_objects.load(Ordering::Relaxed),
+            vlog_fsyncs: self.vlog.as_ref().map_or(0, ValueLog::fsync_count),
         }
     }
 
@@ -1577,6 +1589,7 @@ mod tests {
             memory_horizon: 4,
             shards: 8,
             compact_threshold: 0.5,
+            sync: SyncPolicy::Never,
         };
         let s = Arc::new(ObjectStore::open(cfg, Some(dir.clone())).unwrap());
         const THREADS: usize = 8;

@@ -41,15 +41,74 @@
 //! compaction — rotate to a fresh active segment, copy live records out
 //! of the sealed ones, delete the sealed files — when the dead-byte
 //! ratio crosses `StoreConfig::compact_threshold`.
+//!
+//! ## Durability ([`SyncPolicy`])
+//!
+//! The checksum-last format makes a crash *safe* (no torn record is ever
+//! adopted) but not *durable*: with [`SyncPolicy::Never`] (the default,
+//! and the pre-policy behaviour) an OS crash can lose recently-appended
+//! records still sitting in the page cache. [`SyncPolicy::Always`]
+//! fsyncs before every append returns. [`SyncPolicy::Group`] is the
+//! middle ground — **group commit**: concurrent appenders elect a
+//! leader, the leader waits a small time window (skipped once enough
+//! unsynced bytes pile up) so stragglers can pile on, then issues
+//! *one* fsync that covers every append up to the snapshot point, and
+//! wakes all of them. N threads appending concurrently cost ~1 fsync,
+//! not N (pinned by `benches/persist_replay.rs`).
 
 use crate::manifest::Manifest;
 use crate::{Result, StorageError};
-use sand_sanitizer::TrackedMutex;
+use sand_sanitizer::{TrackedCondvar, TrackedMutex};
 use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// When appended records are flushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// Never fsync from the append path; the OS flushes at its leisure.
+    /// Crash-*safe* (checksums reject torn records) but an OS crash can
+    /// lose the newest appends. The historical behaviour.
+    #[default]
+    Never,
+    /// Every append is fsynced before it returns. Maximum durability,
+    /// one fsync per put.
+    Always,
+    /// Group commit: concurrent appends coalesce into one fsync. The
+    /// elected leader waits up to `window_us` (skipped once
+    /// `max_bytes` of unsynced records accumulate) so concurrent
+    /// appenders can join the batch, then one fsync covers them all.
+    Group {
+        /// How long the leader waits for stragglers, in microseconds.
+        window_us: u64,
+        /// Unsynced-byte level that flushes immediately, bypassing the
+        /// window.
+        max_bytes: u64,
+    },
+}
+
+/// Group-commit bookkeeping: how far into the log stable storage is
+/// known to reach, and whether some appender is currently the leader.
+#[derive(Debug)]
+struct SyncState {
+    /// Fsync covers everything up to (and in segments before)
+    /// `synced_segment`/`synced_offset`.
+    synced_segment: u64,
+    synced_offset: u64,
+    /// An appender is currently running the fsync on everyone's behalf.
+    leader: bool,
+}
+
+impl SyncState {
+    fn covers(&self, segment: u64, offset: u64) -> bool {
+        self.synced_segment > segment
+            || (self.synced_segment == segment && self.synced_offset >= offset)
+    }
+}
 
 /// Segment-file magic + format version.
 pub const SEGMENT_MAGIC: [u8; 8] = *b"SANDVLG1";
@@ -170,6 +229,21 @@ pub struct ValueLog {
     total_bytes: AtomicU64,
     /// Bytes of records still referenced by the store index.
     live_bytes: AtomicU64,
+    /// Durability policy for appends.
+    sync: SyncPolicy,
+    /// Group-commit state. **Never held together with `writer`**: the
+    /// leader drops this lock before snapshotting under `writer`, and
+    /// the fsync itself runs outside both, so appenders keep appending
+    /// while the disk flushes.
+    sync_state: TrackedMutex<SyncState>,
+    sync_cv: TrackedCondvar,
+    /// Fsyncs issued (the group-commit coalescing ratio's denominator).
+    fsyncs: AtomicU64,
+    /// Record bytes appended since the last fsync (approximate; gates
+    /// the group window bypass).
+    unsynced_bytes: AtomicU64,
+    /// Optional telemetry mirror of `fsyncs`, attached by the store.
+    fsync_metric: OnceLock<sand_telemetry::Counter>,
 }
 
 /// Segment file name for `id`.
@@ -277,8 +351,9 @@ impl ValueLog {
     /// Returns the log, the surviving last-writer-wins record set (in
     /// replay order; tombstoned keys are already folded away), and the
     /// replay statistics. Torn tails are truncated **in place** so the
-    /// active segment is clean for future appends.
-    pub fn open(dir: &Path) -> Result<(Self, Vec<ReplayRecord>, ReplayStats)> {
+    /// active segment is clean for future appends. `sync` governs when
+    /// appends reach stable storage (see [`SyncPolicy`]).
+    pub fn open(dir: &Path, sync: SyncPolicy) -> Result<(Self, Vec<ReplayRecord>, ReplayStats)> {
         fs::create_dir_all(dir)?;
         let manifest = Manifest::load(dir)?;
         // Segments on disk are the source of truth; the manifest only
@@ -390,6 +465,21 @@ impl ValueLog {
             ),
             total_bytes: AtomicU64::new(total_bytes),
             live_bytes: AtomicU64::new(live_bytes),
+            sync,
+            sync_state: TrackedMutex::new(
+                "store.vlog.sync",
+                SyncState {
+                    // Nothing appended this run is unsynced yet; replayed
+                    // bytes are already on disk by definition.
+                    synced_segment: active_id,
+                    synced_offset: active_len,
+                    leader: false,
+                },
+            ),
+            sync_cv: TrackedCondvar::new(),
+            fsyncs: AtomicU64::new(0),
+            unsynced_bytes: AtomicU64::new(0),
+            fsync_metric: OnceLock::new(),
         };
         log.write_manifest(active_id + 1)?;
         Ok((log, records, stats))
@@ -448,12 +538,107 @@ impl ValueLog {
             .fetch_add(buf.len() as u64, Ordering::Relaxed);
         self.live_bytes
             .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        if self.sync != SyncPolicy::Never {
+            self.unsynced_bytes
+                .fetch_add(buf.len() as u64, Ordering::Relaxed);
+            self.sync_to(segment, offset + buf.len() as u64)?;
+        }
         Ok(Ptr {
             segment,
             offset,
             total_len: buf.len() as u32,
             val_len: val.len() as u32,
         })
+    }
+
+    /// Blocks until stable storage covers the active segment up to
+    /// `offset` — the group-commit leader/follower protocol.
+    ///
+    /// The first uncovered appender becomes **leader**: it (optionally)
+    /// sleeps the group window so concurrent appenders can join, briefly
+    /// takes the writer lock to snapshot the active file handle and
+    /// length, then fsyncs *outside every lock* and publishes how far
+    /// the flush reached. Appenders that arrive while a leader is
+    /// elected are **followers**: they wait on the condvar and re-check
+    /// coverage, taking over leadership only if they wake still
+    /// uncovered (their bytes landed after the leader's snapshot).
+    fn sync_to(&self, segment: u64, offset: u64) -> Result<()> {
+        loop {
+            let mut s = self.sync_state.lock();
+            if s.covers(segment, offset) {
+                return Ok(());
+            }
+            if s.leader {
+                // Bounded wait so a leader that errored out (and whose
+                // notify raced our lock acquisition) cannot strand us.
+                let _ = self.sync_cv.wait_for(&mut s, Duration::from_millis(50));
+                continue;
+            }
+            s.leader = true;
+            drop(s);
+
+            if let SyncPolicy::Group {
+                window_us,
+                max_bytes,
+            } = self.sync
+            {
+                if window_us > 0 && self.unsynced_bytes.load(Ordering::Relaxed) < max_bytes.max(1) {
+                    std::thread::sleep(Duration::from_micros(window_us));
+                }
+            }
+
+            // Snapshot the flush target under the writer lock, then
+            // fsync with no lock held — appends proceed concurrently and
+            // simply miss this flush.
+            let snapshot = (|| -> Result<(u64, u64)> {
+                let (id, len, file) = {
+                    let w = self.writer.lock();
+                    (w.active_id, w.active_len, w.active.try_clone()?)
+                };
+                file.sync_data()?;
+                Ok((id, len))
+            })();
+
+            let mut s = self.sync_state.lock();
+            s.leader = false;
+            let outcome = match snapshot {
+                Ok((id, len)) => {
+                    if !s.covers(id, len) {
+                        s.synced_segment = id;
+                        s.synced_offset = len;
+                    }
+                    self.unsynced_bytes.store(0, Ordering::Relaxed);
+                    self.fsyncs.fetch_add(1, Ordering::Relaxed);
+                    if let Some(c) = self.fsync_metric.get() {
+                        c.inc();
+                    }
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            };
+            let covered = s.covers(segment, offset);
+            drop(s);
+            self.sync_cv.notify_all();
+            outcome?;
+            if covered {
+                return Ok(());
+            }
+            // Our bytes landed after our own snapshot (a rotation raced
+            // in): lead another round.
+        }
+    }
+
+    /// Fsyncs issued by the append path so far.
+    #[must_use]
+    pub fn fsync_count(&self) -> u64 {
+        self.fsyncs.load(Ordering::Relaxed)
+    }
+
+    /// Attaches the telemetry counter mirroring [`Self::fsync_count`]
+    /// (idempotent; first caller wins).
+    pub fn set_fsync_metric(&self, counter: sand_telemetry::Counter) {
+        counter.add(self.fsyncs.load(Ordering::Relaxed));
+        let _ = self.fsync_metric.set(counter);
     }
 
     /// Reads the value bytes of the record at `ptr`, re-validating the
@@ -515,25 +700,47 @@ impl ValueLog {
     }
 
     /// Seals the active segment and starts a fresh one. Returns the ids
-    /// of every sealed segment (compaction candidates).
+    /// of every sealed segment (compaction candidates). Under a syncing
+    /// policy the sealed segment is fsynced on its way out, so "sealed"
+    /// also means "stable".
     pub fn rotate(&self) -> Result<Vec<u64>> {
-        let (sealed, next) = {
+        let (sealed, next, sealed_id, sealed_len) = {
             let mut w = self.writer.lock();
             let next = w.active_id + 1;
             let path = self.dir.join(segment_name(next));
             let mut f = OpenOptions::new().create(true).append(true).open(&path)?;
             f.write_all(&SEGMENT_MAGIC)?;
+            if self.sync != SyncPolicy::Never {
+                w.active.sync_data()?;
+                self.fsyncs.fetch_add(1, Ordering::Relaxed);
+                if let Some(c) = self.fsync_metric.get() {
+                    c.inc();
+                }
+            }
             let sealed: Vec<u64> = {
                 let mut ids: Vec<u64> = w.segment_bytes.keys().copied().collect();
                 ids.sort_unstable();
                 ids
             };
+            let sealed_id = w.active_id;
+            let sealed_len = w.active_len;
             w.active_id = next;
             w.active = f;
             w.active_len = SEGMENT_MAGIC.len() as u64;
             w.segment_bytes.insert(next, 0);
-            (sealed, next)
+            (sealed, next, sealed_id, sealed_len)
         };
+        if self.sync != SyncPolicy::Never {
+            // Everything in the sealed segment (and before it) is now
+            // stable; advance coverage so waiting appenders see it.
+            let mut s = self.sync_state.lock();
+            if !s.covers(sealed_id, sealed_len) {
+                s.synced_segment = sealed_id;
+                s.synced_offset = sealed_len;
+            }
+            drop(s);
+            self.sync_cv.notify_all();
+        }
         self.write_manifest(next + 1)?;
         Ok(sealed)
     }
@@ -601,7 +808,7 @@ mod tests {
     #[test]
     fn append_read_roundtrip() {
         let dir = tmp("roundtrip");
-        let (log, recs, stats) = ValueLog::open(&dir).unwrap();
+        let (log, recs, stats) = ValueLog::open(&dir, SyncPolicy::Never).unwrap();
         assert!(recs.is_empty());
         assert_eq!(stats.records, 0);
         let ptr = log.append("a/b", meta(3, 2), &[1, 2, 3, 4]).unwrap();
@@ -618,12 +825,12 @@ mod tests {
     fn replay_restores_last_writer_and_meta() {
         let dir = tmp("replay");
         {
-            let (log, _, _) = ValueLog::open(&dir).unwrap();
+            let (log, _, _) = ValueLog::open(&dir, SyncPolicy::Never).unwrap();
             log.append("k1", meta(7, 5), b"old").unwrap();
             log.append("k2", meta(9, 1), b"other").unwrap();
             log.append("k1", meta(8, 4), b"newer").unwrap();
         }
-        let (log, recs, stats) = ValueLog::open(&dir).unwrap();
+        let (log, recs, stats) = ValueLog::open(&dir, SyncPolicy::Never).unwrap();
         assert_eq!(stats.records, 3);
         assert_eq!(stats.torn_truncations, 0);
         let k1 = recs.iter().find(|r| r.key == "k1").unwrap();
@@ -637,11 +844,11 @@ mod tests {
     fn tombstone_survives_restart() {
         let dir = tmp("tomb");
         {
-            let (log, _, _) = ValueLog::open(&dir).unwrap();
+            let (log, _, _) = ValueLog::open(&dir, SyncPolicy::Never).unwrap();
             log.append("gone", meta(1, 1), b"data").unwrap();
             log.append_tombstone("gone").unwrap();
         }
-        let (_, recs, _) = ValueLog::open(&dir).unwrap();
+        let (_, recs, _) = ValueLog::open(&dir, SyncPolicy::Never).unwrap();
         let gone = recs.iter().find(|r| r.key == "gone").unwrap();
         assert!(gone.put.is_none(), "tombstone must fold the put away");
         fs::remove_dir_all(&dir).unwrap();
@@ -651,7 +858,7 @@ mod tests {
     fn torn_tail_is_truncated_not_adopted() {
         let dir = tmp("torn");
         let full_len = {
-            let (log, _, _) = ValueLog::open(&dir).unwrap();
+            let (log, _, _) = ValueLog::open(&dir, SyncPolicy::Never).unwrap();
             log.append("whole", meta(1, 1), &[7; 64]).unwrap();
             log.append("torn", meta(2, 1), &[8; 64]).unwrap();
             fs::metadata(dir.join(segment_name(log.active_segment())))
@@ -666,7 +873,7 @@ mod tests {
             .unwrap()
             .set_len(full_len - 30)
             .unwrap();
-        let (log, recs, stats) = ValueLog::open(&dir).unwrap();
+        let (log, recs, stats) = ValueLog::open(&dir, SyncPolicy::Never).unwrap();
         assert_eq!(stats.torn_truncations, 1);
         let keys: Vec<&str> = recs.iter().map(|r| r.key.as_str()).collect();
         assert_eq!(keys, vec!["whole"]);
@@ -682,7 +889,7 @@ mod tests {
     fn bit_flip_rejected_as_corrupt() {
         let dir = tmp("flip");
         let (first_val_at, _) = {
-            let (log, _, _) = ValueLog::open(&dir).unwrap();
+            let (log, _, _) = ValueLog::open(&dir, SyncPolicy::Never).unwrap();
             let p1 = log.append("a", meta(1, 1), &[1; 32]).unwrap();
             log.append("b", meta(2, 1), &[2; 32]).unwrap();
             (p1.offset as usize + HEADER_LEN + 1, p1)
@@ -691,7 +898,7 @@ mod tests {
         let mut bytes = fs::read(&path).unwrap();
         bytes[first_val_at + 4] ^= 0x40; // flip one value bit of record `a`
         fs::write(&path, &bytes).unwrap();
-        let (_, recs, stats) = ValueLog::open(&dir).unwrap();
+        let (_, recs, stats) = ValueLog::open(&dir, SyncPolicy::Never).unwrap();
         assert_eq!(stats.corrupt_records, 1);
         // Replay stops at the flipped record; nothing after it survives
         // (record boundaries are untrustworthy past bit rot).
@@ -702,7 +909,7 @@ mod tests {
     #[test]
     fn rotation_and_deletion_settle_byte_totals() {
         let dir = tmp("rotate");
-        let (log, _, _) = ValueLog::open(&dir).unwrap();
+        let (log, _, _) = ValueLog::open(&dir, SyncPolicy::Never).unwrap();
         let p = log.append("keep", meta(1, 1), &[3; 128]).unwrap();
         log.append("drop", meta(2, 1), &[4; 128]).unwrap();
         log.retire(u64::from(p.total_len)); // pretend `keep` was superseded
@@ -729,13 +936,13 @@ mod tests {
     fn segment_ids_never_reused_after_restart() {
         let dir = tmp("ids");
         {
-            let (log, _, _) = ValueLog::open(&dir).unwrap();
+            let (log, _, _) = ValueLog::open(&dir, SyncPolicy::Never).unwrap();
             log.append("x", meta(1, 1), b"1").unwrap();
             let sealed = log.rotate().unwrap();
             // Compact everything away: segment 0 deleted, active is 1.
             log.delete_segments(&sealed).unwrap();
         }
-        let (log, _, _) = ValueLog::open(&dir).unwrap();
+        let (log, _, _) = ValueLog::open(&dir, SyncPolicy::Never).unwrap();
         assert!(
             log.active_segment() >= 1,
             "deleted segment id resurrected: {}",

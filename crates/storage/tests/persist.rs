@@ -16,7 +16,7 @@
 #![allow(clippy::unwrap_used)]
 
 use proptest::prelude::*;
-use sand_storage::{ObjectMeta, ObjectStore, StorageError, StoreConfig};
+use sand_storage::{ObjectMeta, ObjectStore, StorageError, StoreConfig, SyncPolicy};
 use std::collections::HashMap;
 use std::fs;
 use std::path::PathBuf;
@@ -54,6 +54,7 @@ fn disk_cfg() -> StoreConfig {
         memory_horizon: 0, // everything lands on the disk tier
         shards: 4,
         compact_threshold: 1.0, // tests damage the log themselves
+        sync: SyncPolicy::Never,
     }
 }
 

@@ -4,7 +4,7 @@
 #![allow(clippy::unwrap_used)]
 
 use proptest::prelude::*;
-use sand_storage::{ObjectMeta, ObjectStore, StoreConfig};
+use sand_storage::{ObjectMeta, ObjectStore, StoreConfig, SyncPolicy};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -172,6 +172,7 @@ proptest! {
                     memory_horizon: 1,
                     shards,
                     compact_threshold: 0.5,
+                    sync: SyncPolicy::Never,
                 },
                 Some(dir.clone()),
             )

@@ -463,6 +463,9 @@ pub struct StoreMetrics {
     pub vlog_log_bytes: Gauge,
     /// Log compactions run.
     pub vlog_compactions: Counter,
+    /// Fsyncs issued by the value log's append path (group commit's
+    /// coalescing denominator; 0 under `SyncPolicy::Never`).
+    pub vlog_fsyncs: Counter,
     /// Torn tails truncated during recovery.
     pub vlog_torn_truncations: Counter,
     /// Records rejected for checksum mismatch (recovery + runtime reads).
@@ -506,6 +509,7 @@ impl StoreMetrics {
             vlog_garbage_pct: r.gauge("store.vlog.garbage_pct"),
             vlog_log_bytes: r.gauge("store.vlog.log_bytes"),
             vlog_compactions: r.counter("store.vlog.compactions"),
+            vlog_fsyncs: r.counter("store.vlog.fsyncs"),
             vlog_torn_truncations: r.counter("store.vlog.torn_truncations"),
             vlog_corrupt_records: r.counter("store.vlog.corrupt_records"),
             vlog_quarantined: r.counter("store.vlog.quarantined"),
@@ -630,6 +634,23 @@ pub struct EngineMetrics {
     pub compressed_hits_mem: Counter,
     /// Same, but re-read from the store's spilled disk tier.
     pub compressed_hits_disk: Counter,
+    /// Live prefetcher look-ahead depth as the serve path sees it. The
+    /// `engine.effective_*` gauges mirror the *applied* knob values (after
+    /// autotune, setters, and clamps), so decision logs and operators
+    /// read the same numbers `metrics_snapshot()` exports.
+    pub effective_prefetch_depth: Gauge,
+    /// Live scheduler demand-slack window actually in force.
+    pub effective_demand_slack: Gauge,
+    /// Live materialize fan-out actually in force.
+    pub effective_aug_threads: Gauge,
+    /// Live demand-decode fan-out actually in force.
+    pub effective_decode_threads: Gauge,
+    /// Remote-tier peer count the placement ring was built over
+    /// (0 when the remote tier is disabled).
+    pub effective_remote_peers: Gauge,
+    /// Remote-tier per-attempt fetch timeout in milliseconds (0 when
+    /// the remote tier is disabled).
+    pub effective_remote_timeout_ms: Gauge,
 }
 
 impl EngineMetrics {
@@ -645,6 +666,68 @@ impl EngineMetrics {
             predecode_us: r.histogram("engine.predecode_us", &c.latency_buckets_us),
             compressed_hits_mem: r.counter("engine.compressed_hits_mem"),
             compressed_hits_disk: r.counter("engine.compressed_hits_disk"),
+            effective_prefetch_depth: r.gauge("engine.effective_prefetch_depth"),
+            effective_demand_slack: r.gauge("engine.effective_demand_slack"),
+            effective_aug_threads: r.gauge("engine.effective_aug_threads"),
+            effective_decode_threads: r.gauge("engine.effective_decode_threads"),
+            effective_remote_peers: r.gauge("engine.effective_remote_peers"),
+            effective_remote_timeout_ms: r.gauge("engine.effective_remote_timeout_ms"),
+        })
+    }
+}
+
+/// Remote-tier metrics (`net.*`), recorded by `sand-net`'s client,
+/// server, and `RemoteTier` paths. Counters split by outcome so the
+/// cluster example can assert "shared ancestors materialized once"
+/// (`fetch_hits > 0`) and "degradation happened" (`fetch_errors > 0`,
+/// `peers_down > 0`) straight from a snapshot.
+#[derive(Clone, Debug)]
+pub struct NetMetrics {
+    /// Remote-tier fetches answered by the owner node with the bytes.
+    pub fetch_hits: Counter,
+    /// Remote-tier fetches the owner answered with `Miss`.
+    pub fetch_misses: Counter,
+    /// Remote-tier fetches that failed at the transport layer after all
+    /// retries (timeout, refused connection, protocol error). Each one
+    /// falls back to local materialization — never a wrong answer.
+    pub fetch_errors: Counter,
+    /// Transport-level retry attempts (all verbs).
+    pub retries: Counter,
+    /// Materialized objects pushed to their ring owner.
+    pub pushes: Counter,
+    /// Owner pushes abandoned after retries (best effort; the object
+    /// stays local).
+    pub push_errors: Counter,
+    /// End-to-end remote fetch latency (connect + RPC + copy).
+    pub fetch_us: Histogram,
+    /// Peers currently marked down by the failure breaker.
+    pub peers_down: Gauge,
+    /// Payload bytes received from peers.
+    pub bytes_rx: Counter,
+    /// Payload bytes sent to peers.
+    pub bytes_tx: Counter,
+    /// Requests a `ViewServer` on this node has served.
+    pub server_requests: Counter,
+    /// Requests a `ViewServer` answered with an error response.
+    pub server_errors: Counter,
+}
+
+impl NetMetrics {
+    pub fn register(t: &Telemetry) -> Option<Self> {
+        let (r, c) = (t.registry()?, t.config()?);
+        Some(Self {
+            fetch_hits: r.counter("net.fetch_hits"),
+            fetch_misses: r.counter("net.fetch_misses"),
+            fetch_errors: r.counter("net.fetch_errors"),
+            retries: r.counter("net.retries"),
+            pushes: r.counter("net.pushes"),
+            push_errors: r.counter("net.push_errors"),
+            fetch_us: r.histogram("net.fetch_us", &c.latency_buckets_us),
+            peers_down: r.gauge("net.peers_down"),
+            bytes_rx: r.counter("net.bytes_rx"),
+            bytes_tx: r.counter("net.bytes_tx"),
+            server_requests: r.counter("net.server_requests"),
+            server_errors: r.counter("net.server_errors"),
         })
     }
 }
@@ -815,6 +898,7 @@ mod tests {
         assert!(VfsMetrics::register(&t).is_none());
         assert!(MaterializeMetrics::register(&t).is_none());
         assert!(EngineMetrics::register(&t).is_none());
+        assert!(NetMetrics::register(&t).is_none());
         assert!(PrefetchMetrics::register(&t).is_none());
         assert!(AutotuneMetrics::register(&t).is_none());
         assert!(LoaderMetrics::register(&t, "cpu").is_none());

@@ -19,9 +19,10 @@
 //! thread spent waiting on an epoch-ahead prefetched batch that was
 //! still in flight — zero when prefetching is off or the batch was
 //! ready), `queue_wait` (scheduler queue), `exec` split into `decode`,
-//! `store_io` (disk-tier reads), `persist` (write-through appends to
-//! the crash-safe value log), `aug`, and `exec_other` (residual —
-//! compression, channel
+//! `store_io` (disk-tier reads), `remote` (cluster-tier RPC fetches and
+//! owner pushes — zero on a single node), `persist` (write-through
+//! appends to the crash-safe value log), `aug`, and `exec_other`
+//! (residual — compression, channel
 //! sends, once-claim waits), then `finalize` (collecting the remaining
 //! tensors, stacking, consumption bookkeeping). The segments are
 //! contiguous offsets of one clock, so they sum **exactly** to the
@@ -53,6 +54,9 @@ pub enum Stage {
     Decode,
     /// Object-store disk-tier reads.
     StoreIo,
+    /// Remote-tier network time: consistent-hash owner fetches and
+    /// materialized-object pushes over `sand-net` RPC.
+    Remote,
     /// Write-through persistence: value-log appends on the `put` path.
     Persist,
     /// Augmentation op application.
@@ -66,6 +70,7 @@ pub enum Stage {
 pub struct StageCells {
     decode_ns: AtomicU64,
     store_ns: AtomicU64,
+    remote_ns: AtomicU64,
     persist_ns: AtomicU64,
     aug_ns: AtomicU64,
 }
@@ -76,6 +81,7 @@ impl StageCells {
         let cell = match stage {
             Stage::Decode => &self.decode_ns,
             Stage::StoreIo => &self.store_ns,
+            Stage::Remote => &self.remote_ns,
             Stage::Persist => &self.persist_ns,
             Stage::Aug => &self.aug_ns,
         };
@@ -216,14 +222,18 @@ impl BatchProbe {
             .store_ns
             .load(Ordering::Relaxed)
             .min(exec_ns - decode_ns);
+        let remote_ns = stages
+            .remote_ns
+            .load(Ordering::Relaxed)
+            .min(exec_ns - decode_ns - store_ns);
         let persist_ns = stages
             .persist_ns
             .load(Ordering::Relaxed)
-            .min(exec_ns - decode_ns - store_ns);
+            .min(exec_ns - decode_ns - store_ns - remote_ns);
         let aug_ns = stages
             .aug_ns
             .load(Ordering::Relaxed)
-            .min(exec_ns - decode_ns - store_ns - persist_ns);
+            .min(exec_ns - decode_ns - store_ns - remote_ns - persist_ns);
         BatchTrace {
             task: meta.task,
             epoch: meta.epoch,
@@ -236,9 +246,10 @@ impl BatchProbe {
             queue_ns: start - submit,
             decode_ns,
             store_ns,
+            remote_ns,
             persist_ns,
             aug_ns,
-            exec_other_ns: exec_ns - decode_ns - store_ns - persist_ns - aug_ns,
+            exec_other_ns: exec_ns - decode_ns - store_ns - remote_ns - persist_ns - aug_ns,
             finalize_ns: serve_ns - end,
             stalled: serve_ns > stall_budget_us.saturating_mul(1_000),
         }
@@ -248,19 +259,21 @@ impl BatchProbe {
 static EMPTY_CELLS: StageCells = StageCells {
     decode_ns: AtomicU64::new(0),
     store_ns: AtomicU64::new(0),
+    remote_ns: AtomicU64::new(0),
     persist_ns: AtomicU64::new(0),
     aug_ns: AtomicU64::new(0),
 };
 
-/// Labels of the nine contiguous segments of a [`BatchTrace`], in
+/// Labels of the ten contiguous segments of a [`BatchTrace`], in
 /// timeline order. `BatchTrace::breakdown_ns` yields values in the same
 /// order.
-pub const STAGE_LABELS: [&str; 9] = [
+pub const STAGE_LABELS: [&str; 10] = [
     "plan",
     "prefetch",
     "queue_wait",
     "decode",
     "store_io",
+    "remote",
     "persist",
     "aug",
     "exec_other",
@@ -282,6 +295,7 @@ pub struct BatchTrace {
     pub queue_ns: u64,
     pub decode_ns: u64,
     pub store_ns: u64,
+    pub remote_ns: u64,
     pub persist_ns: u64,
     pub aug_ns: u64,
     pub exec_other_ns: u64,
@@ -291,13 +305,14 @@ pub struct BatchTrace {
 
 impl BatchTrace {
     /// Segment values in [`STAGE_LABELS`] order.
-    pub fn breakdown_ns(&self) -> [u64; 9] {
+    pub fn breakdown_ns(&self) -> [u64; 10] {
         [
             self.plan_ns,
             self.prefetch_ns,
             self.queue_ns,
             self.decode_ns,
             self.store_ns,
+            self.remote_ns,
             self.persist_ns,
             self.aug_ns,
             self.exec_other_ns,
@@ -305,7 +320,7 @@ impl BatchTrace {
         ]
     }
 
-    /// Invariant check: the nine segments reassemble the serve latency.
+    /// Invariant check: the ten segments reassemble the serve latency.
     pub fn breakdown_sum_ns(&self) -> u64 {
         self.breakdown_ns().iter().sum()
     }
@@ -365,7 +380,7 @@ impl StallReport {
             self.traces.len(),
         ));
         out.push_str(&format!(
-            "{:<18} {:>6} {:>9} | {:>8} {:>8} {:>10} {:>8} {:>8} {:>8} {:>8} {:>10} {:>8}\n",
+            "{:<18} {:>6} {:>9} | {:>8} {:>8} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10} {:>8}\n",
             "batch",
             "clock",
             "serve_us",
@@ -374,6 +389,7 @@ impl StallReport {
             "queue_wait",
             "decode",
             "store_io",
+            "remote",
             "persist",
             "aug",
             "exec_other",
@@ -382,7 +398,7 @@ impl StallReport {
         for t in rows {
             let b = t.breakdown_ns();
             out.push_str(&format!(
-                "{:<18} {:>6} {:>9} | {:>8} {:>8} {:>10} {:>8} {:>8} {:>8} {:>8} {:>10} {:>8}\n",
+                "{:<18} {:>6} {:>9} | {:>8} {:>8} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10} {:>8}\n",
                 t.batch_id(),
                 t.clock,
                 t.serve_ns / 1_000,
@@ -395,6 +411,7 @@ impl StallReport {
                 b[6] / 1_000,
                 b[7] / 1_000,
                 b[8] / 1_000,
+                b[9] / 1_000,
             ));
         }
         if !self.decisions.is_empty() {
@@ -448,6 +465,7 @@ mod tests {
             probe.run_sample(i, || {
                 record_stage(Stage::Decode, Duration::from_micros(200));
                 record_stage(Stage::StoreIo, Duration::from_micros(30));
+                record_stage(Stage::Remote, Duration::from_micros(20));
                 record_stage(Stage::Persist, Duration::from_micros(40));
                 record_stage(Stage::Aug, Duration::from_micros(50));
                 thread::sleep(Duration::from_millis(1));

@@ -24,7 +24,7 @@
 
 #![allow(clippy::unwrap_used)]
 
-use sand::storage::{ObjectMeta, ObjectStore, StoreConfig};
+use sand::storage::{ObjectMeta, ObjectStore, StoreConfig, SyncPolicy};
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 use std::time::{Duration, Instant};
@@ -51,6 +51,7 @@ fn store_config() -> StoreConfig {
         memory_horizon: 0, // everything write-through to the disk tier
         shards: 4,
         compact_threshold: 0.5, // churn below triggers real compactions
+        sync: SyncPolicy::Never,
     }
 }
 

@@ -128,7 +128,7 @@ fn parse_args() -> Result<Args, String> {
 const EXPECTED_FAMILIES: &[&str] = &["aug", "decode", "engine", "sched", "store", "vfs"];
 
 /// Validate the JSONL export and the stall-attribution invariant: every
-/// trace's nine µs stage segments must reassemble its serve latency
+/// trace's ten µs stage segments must reassemble its serve latency
 /// (each segment loses < 1 µs to ns→µs integer division).
 fn check(metrics_jsonl: &str, traces_jsonl: &str, batches: u64) -> Result<(), String> {
     let metrics = validate_jsonl(metrics_jsonl).map_err(|e| format!("metrics export: {e}"))?;
@@ -159,12 +159,13 @@ fn check(metrics_jsonl: &str, traces_jsonl: &str, batches: u64) -> Result<(), St
             + field("queue_wait_us")?
             + field("decode_us")?
             + field("store_io_us")?
+            + field("remote_us")?
             + field("persist_us")?
             + field("aug_us")?
             + field("exec_other_us")?
             + field("finalize_us")?;
-        // 9 segments, each rounded down independently of the total.
-        if sum > serve || serve - sum > 9 {
+        // 10 segments, each rounded down independently of the total.
+        if sum > serve || serve - sum > 10 {
             let batch = t.get("batch").and_then(|b| b.as_str()).unwrap_or("?");
             return Err(format!(
                 "batch {batch}: stage breakdown sums to {sum} µs but serve latency is {serve} µs"

@@ -10,6 +10,8 @@
 //! - [`storage`] — tiered object store with budgets and eviction
 //! - [`sched`] — priority-based materialization scheduling
 //! - [`vfs`] — the POSIX-style view filesystem (Tables 1 and 2)
+//! - [`net`] — multi-node SAND: RPC view serving, consistent-hash
+//!   placement, and the cluster-wide remote cache tier
 //! - [`telemetry`] — metrics registry, per-batch stall attribution
 //! - [`autotune`] — closed-loop adaptive control over the engine's runtime knobs
 //! - [`sanitizer`] — tracked locks, lock-order/lockset analysis, schedule exploration
@@ -31,6 +33,7 @@ pub use sand_core as core;
 pub use sand_frame as frame;
 pub use sand_graph as graph;
 pub use sand_lint as lint;
+pub use sand_net as net;
 pub use sand_ray as ray;
 pub use sand_sanitizer as sanitizer;
 pub use sand_sched as sched;

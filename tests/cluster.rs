@@ -1,0 +1,212 @@
+//! Cluster parity: a 3-node loopback SAND cluster serves bit-identical
+//! batch bytes to a single-process engine, across randomized seeds,
+//! dataset shapes, and trainer→node routings — and keeps doing so when a
+//! node dies mid-run.
+//!
+//! This is the multi-node analogue of the single-process determinism
+//! properties: the remote tier (consistent-hash placement + RPC fetch +
+//! owner push) is a pure *performance* layer, so served bytes must never
+//! depend on which node serves an iteration, on the cluster/single-
+//! process split, or on peer failures.
+
+#![allow(clippy::unwrap_used)]
+
+use proptest::prelude::*;
+use sand::codec::{Dataset, DatasetSpec};
+use sand::core::{EngineConfig, SandEngine};
+use sand::net::{PeerSpec, RemoteTierConfig, ServerConfig, ServerHandle, ViewServer};
+use sand::storage::StoreConfig;
+use sand::telemetry::TelemetryConfig;
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
+
+const NODES: usize = 3;
+
+fn pipeline(videos_per_batch: u32) -> String {
+    format!(
+        r#"
+dataset:
+  tag: par
+  input_source: file
+  video_dataset_path: /dataset/par
+  sampling:
+    videos_per_batch: {videos_per_batch}
+    frames_per_video: 3
+    frame_stride: 2
+  augmentation:
+    - name: resize
+      branch_type: single
+      inputs: ["frame"]
+      outputs: ["a0"]
+      config:
+        - resize:
+            shape: [24, 24]
+    - name: crop
+      branch_type: single
+      inputs: ["a0"]
+      outputs: ["a1"]
+      config:
+        - random_crop:
+            shape: [20, 20]
+        - normalize:
+            mean: [0.5, 0.5, 0.5]
+            std: [0.25, 0.25, 0.25]
+"#
+    )
+}
+
+fn engine_config(seed: u64, vpb: u32, remote: Option<RemoteTierConfig>) -> EngineConfig {
+    EngineConfig {
+        tasks: vec![sand::config::parse_task_config(&pipeline(vpb)).unwrap()],
+        seed,
+        total_epochs: 2,
+        epochs_per_chunk: 2,
+        prematerialize: false,
+        prefetch_depth: 0,
+        store: StoreConfig {
+            memory_budget: 256 << 20,
+            shards: 2,
+            ..Default::default()
+        },
+        telemetry: Some(TelemetryConfig::default()),
+        lint: sand::lint::LintLevel::Off,
+        remote,
+        ..Default::default()
+    }
+}
+
+struct Node {
+    engine: SandEngine,
+    server: ServerHandle,
+}
+
+/// Binds three loopback servers, then builds one engine per node with
+/// the other two as ring peers.
+fn build_cluster(dataset: &Arc<Dataset>, seed: u64, vpb: u32) -> Vec<Node> {
+    let listeners: Vec<TcpListener> = (0..NODES)
+        .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
+    let addrs: Vec<_> = listeners.iter().map(|l| l.local_addr().unwrap()).collect();
+    listeners
+        .into_iter()
+        .enumerate()
+        .map(|(i, listener)| {
+            let remote = RemoteTierConfig {
+                node_id: format!("node{i}"),
+                peers: (0..NODES)
+                    .filter(|&j| j != i)
+                    .map(|j| PeerSpec {
+                        node_id: format!("node{j}"),
+                        addr: addrs[j],
+                    })
+                    .collect(),
+                fetch_timeout: Duration::from_millis(200),
+                retries: 0,
+                failure_threshold: 1,
+                failure_cooldown: Duration::from_secs(30),
+                ..Default::default()
+            };
+            let engine =
+                SandEngine::new(engine_config(seed, vpb, Some(remote)), Arc::clone(dataset))
+                    .unwrap();
+            engine.start().unwrap();
+            let server = ViewServer::serve_on(
+                listener,
+                Arc::new(engine.clone()),
+                Some(Arc::clone(engine.store())),
+                ServerConfig::default(),
+                engine.telemetry(),
+            )
+            .unwrap();
+            Node { engine, server }
+        })
+        .collect()
+}
+
+proptest! {
+    // Each case spins up 3 TCP servers and 4 engines; keep the count
+    // modest — the coverage comes from the randomized routing and seeds.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Cluster serves == single-process serves, byte for byte, under a
+    /// randomized iteration→node routing; and after killing one node,
+    /// the survivors still serve the identical bytes.
+    #[test]
+    fn cluster_serves_are_bit_identical(
+        seed in 0u64..1 << 16,
+        videos in 4usize..7,
+        vpb in 2u32..4,
+        route in proptest::collection::vec(0usize..NODES, 16),
+        kill in 0usize..NODES,
+    ) {
+        let dataset = Arc::new(Dataset::generate(&DatasetSpec {
+            num_videos: videos,
+            frames_per_video: 8,
+            seed,
+            ..Default::default()
+        }).unwrap());
+
+        let reference = SandEngine::new(engine_config(seed, vpb, None), Arc::clone(&dataset)).unwrap();
+        reference.start().unwrap();
+        let iters = reference.iterations_per_epoch("par").unwrap();
+        let mut expected = Vec::new();
+        for epoch in 0..2u64 {
+            for iteration in 0..iters {
+                expected.push(reference.serve_batch("par", epoch, iteration).unwrap());
+            }
+        }
+
+        let mut nodes = build_cluster(&dataset, seed, vpb);
+        // Healthy phase: randomized routing across all three nodes.
+        let mut k = 0;
+        for epoch in 0..2u64 {
+            for iteration in 0..iters {
+                let node = &nodes[route[k % route.len()]];
+                let bytes = node.engine.serve_batch("par", epoch, iteration).unwrap();
+                prop_assert_eq!(
+                    &bytes, &expected[k],
+                    "healthy: batch par/{}/{} differs from single-process", epoch, iteration
+                );
+                k += 1;
+            }
+        }
+        // Shared objects must actually have crossed the wire (otherwise
+        // this test only proves three independent engines agree).
+        let hits: u64 = nodes
+            .iter()
+            .filter_map(|n| n.engine.metrics_snapshot())
+            .filter_map(|s| s.counter("net.fetch_hits"))
+            .sum();
+        prop_assert!(hits > 0, "no batch object ever crossed the wire");
+
+        // Degraded phase: kill one node, re-serve epoch 1 through the
+        // survivors. Bytes must be unchanged; failures must fall back.
+        nodes[kill].server.shutdown();
+        let survivors: Vec<usize> = (0..NODES).filter(|&j| j != kill).collect();
+        for iteration in 0..iters {
+            let node = &nodes[survivors[(iteration % 2) as usize]];
+            let bytes = node.engine.serve_batch("par", 1, iteration).unwrap();
+            prop_assert_eq!(
+                &bytes, &expected[(iters + iteration) as usize],
+                "degraded: batch par/1/{} differs after killing node{}", iteration, kill
+            );
+        }
+
+        // Every trace on every node keeps the exact-sum stall invariant,
+        // remote segment included.
+        for (i, n) in nodes.iter().enumerate() {
+            let report = n.engine.stall_report().unwrap();
+            for t in &report.traces {
+                prop_assert_eq!(
+                    t.breakdown_sum_ns(), t.serve_ns,
+                    "node{} batch {}: stall segments do not reassemble serve latency",
+                    i, t.batch_id()
+                );
+            }
+        }
+        for node in &mut nodes {
+            node.server.shutdown();
+        }
+    }
+}
