@@ -56,6 +56,10 @@ echo "==> net_roundtrip bench smoke (quick mode, writes BENCH_net.json)"
 SAND_BENCH_QUICK=1 cargo bench -q -p sand-bench --bench net_roundtrip
 test -f BENCH_net.json || { echo "BENCH_net.json missing"; exit 1; }
 
+echo "==> fleet_qos bench smoke (quick mode, writes BENCH_fleet.json)"
+SAND_BENCH_QUICK=1 cargo bench -q -p sand-bench --bench fleet_qos
+test -f BENCH_fleet.json || { echo "BENCH_fleet.json missing"; exit 1; }
+
 echo "==> telemetry example smoke (quick workload, validates JSONL export)"
 cargo run -q --release --example telemetry -- --quick --json --check > /dev/null
 
@@ -70,5 +74,8 @@ cargo run -q --release --example persist -- --rounds 3 > /dev/null
 
 echo "==> cluster example smoke (3-node loopback parity + kill-one-node degradation)"
 cargo run -q --release --example cluster > /dev/null
+
+echo "==> fleet example smoke (3-tenant parity + admission rejection + dedup)"
+cargo run -q --release --example fleet > /dev/null
 
 echo "CI green."

@@ -13,6 +13,7 @@ fn job(kind: JobKind, deadline: u64) -> Job {
         deadline,
         remaining_work: 1,
         affinity: None,
+        tenant: None,
         run: Box::new(|| {}),
     }
 }
@@ -58,6 +59,7 @@ fn bench_demand_latency(c: &mut Criterion) {
                 deadline: i,
                 remaining_work: 4,
                 affinity: None,
+                tenant: None,
                 run: Box::new(|| std::thread::sleep(std::time::Duration::from_micros(50))),
             });
         }
@@ -68,6 +70,7 @@ fn bench_demand_latency(c: &mut Criterion) {
                 deadline: 0,
                 remaining_work: 1,
                 affinity: None,
+                tenant: None,
                 run: Box::new(move || {
                     let _ = tx.send(());
                 }),

@@ -12,15 +12,15 @@ use sand_graph::{
     prune_to_budget, AbstractGraph, BatchRef, ConcreteGraph, NodeId, ObjectKey, PlanInput, Planner,
     PlannerOptions,
 };
-use sand_lint::{lint_all, AutotuneClamp, LintLevel, LintOptions, RemoteLint};
+use sand_lint::{lint_all, AutotuneClamp, FleetLint, LintLevel, LintOptions, RemoteLint};
 use sand_net::{RemoteTier, RemoteTierConfig};
 use sand_sanitizer::{ShadowCell, TrackedCondvar, TrackedMutex};
 use sand_sched::{Job, JobKind, SchedConfig, Scheduler};
 use sand_storage::{ObjectMeta, ObjectStore, StoreConfig, Tier};
 use sand_telemetry::{
-    record_stage, AutotuneMetrics, BatchMeta, CodecMetrics, EngineMetrics, MaterializeMetrics,
-    PrefetchMetrics, SchedMetrics, Snapshot, Stage, StallReport, StoreMetrics, Telemetry,
-    TelemetryConfig, VfsMetrics,
+    record_stage, AutotuneMetrics, BatchMeta, CodecMetrics, EngineMetrics, FleetMetrics,
+    MaterializeMetrics, PrefetchMetrics, SchedMetrics, Snapshot, Stage, StallReport, StoreMetrics,
+    Telemetry, TelemetryConfig, TenantMetrics, VfsMetrics,
 };
 use sand_vfs::{SandVfs, VfsError, ViewPath, ViewProvider};
 use std::collections::HashMap;
@@ -107,6 +107,15 @@ pub struct EngineConfig {
     /// connections) fall back to local materialization — never a wrong
     /// answer. `None` (default) is single-process with zero overhead.
     pub remote: Option<RemoteTierConfig>,
+    /// Multi-tenant operation: `Some` names the tenants sharing this
+    /// engine, maps each task to its tenant, and installs the tenants'
+    /// QoS weights on the scheduler's virtual-time ledger. Batches and
+    /// demand jobs are attributed to their tenant (`tenant.<id>.*`
+    /// metrics, per-tenant stall sections). `None` (default) is
+    /// single-tenant; jobs run untenanted at zero virtual time —
+    /// exactly the pre-fleet bounded-EDF order. Usually installed by
+    /// [`crate::fleet::Fleet`], not by hand.
+    pub tenancy: Option<crate::fleet::Tenancy>,
 }
 
 impl Default for EngineConfig {
@@ -133,6 +142,7 @@ impl Default for EngineConfig {
             telemetry: None,
             autotune: None,
             remote: None,
+            tenancy: None,
         }
     }
 }
@@ -226,6 +236,15 @@ struct Inner {
     decode_threads_live: AtomicUsize,
     /// The cluster cache tier (`None` unless `EngineConfig::remote`).
     remote: Option<Arc<RemoteTier>>,
+    /// Engine-wide cross-job singleflight over canonical object keys:
+    /// concurrent materializations of the same object — across passes,
+    /// tenants, and serve paths — collapse to one computation, with the
+    /// losers adopting the winner's `Arc` zero-copy.
+    flight: Flight,
+    /// Tenant attribution tables (`None` unless `EngineConfig::tenancy`).
+    tenancy: Option<TenancyRuntime>,
+    /// Fleet dedup/admission metrics (`None` unless tenancy + telemetry).
+    fleet_metrics: Option<FleetMetrics>,
     /// The adaptive controller (`None` unless `EngineConfig::autotune`).
     autotune: Option<TrackedMutex<Controller>>,
     autotune_metrics: Option<AutotuneMetrics>,
@@ -264,6 +283,85 @@ struct WarmPool {
 struct WarmSlot {
     session: Arc<TrackedMutex<WarmDecoder>>,
     last_used: u64,
+}
+
+/// Per-engine tenant attribution: which tenant each task belongs to and
+/// each tenant's name + metric handles.
+struct TenancyRuntime {
+    /// `task_id` → tenant index (`None` = untenanted task).
+    task_tenant: Vec<Option<u32>>,
+    tenants: Vec<TenantRuntime>,
+}
+
+struct TenantRuntime {
+    name: String,
+    metrics: Option<TenantMetrics>,
+}
+
+/// Engine-wide singleflight claim map keyed by canonical object key
+/// ([`store_key`]), the fleet's cross-job dedup layer.
+///
+/// The per-pass [`Scratch`] already merges duplicates *within* one
+/// materialize pass; the flight extends at-most-once to concurrent
+/// passes: K tenants' demand jobs racing for a shared ancestor elect one
+/// winner, and every waiter adopts the winner's `Arc<Frame>` zero-copy.
+/// Keys are canonical (video / frame / augmentation-chain hash), so the
+/// winner's bytes are exactly what every waiter would have computed —
+/// materialization is deterministic per key.
+///
+/// Deadlock-free by the same argument as [`Scratch`]: a claim is only
+/// held by a running job, and a job only ever waits for keys strictly
+/// *up* the object tree from the claims it holds, so the wait graph is
+/// acyclic and bottoms out at source-frame decodes.
+struct Flight {
+    slots: TrackedMutex<HashMap<String, Arc<FlightSlot>>>,
+}
+
+struct FlightSlot {
+    /// `None` while the winner computes; `Some(outcome)` once published.
+    /// A `Some(None)` outcome means the winner failed — waiters fall
+    /// back to computing the node themselves (at-most-once only has to
+    /// hold for successes).
+    done: TrackedMutex<Option<Option<Arc<Frame>>>>,
+    cv: TrackedCondvar,
+}
+
+impl FlightSlot {
+    fn new() -> Self {
+        FlightSlot {
+            done: TrackedMutex::new("engine.flight.done", None),
+            cv: TrackedCondvar::new(),
+        }
+    }
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            slots: TrackedMutex::new("engine.flight.slots", HashMap::new()),
+        }
+    }
+
+    /// Claims `key` (returning the winner's slot to publish into) or
+    /// joins the existing flight (returning the slot to wait on).
+    fn claim_or_join(&self, key: &str) -> (Arc<FlightSlot>, bool) {
+        let mut slots = self.slots.lock();
+        match slots.get(key) {
+            Some(s) => (Arc::clone(s), false),
+            None => {
+                let s = Arc::new(FlightSlot::new());
+                slots.insert(key.to_string(), Arc::clone(&s));
+                (s, true)
+            }
+        }
+    }
+
+    /// Retires the winner's claim *before* publishing, so a late
+    /// arrival starts a fresh flight (its store probe will hit for
+    /// cached objects) instead of adopting a stale slot.
+    fn retire(&self, key: &str) {
+        self.slots.lock().remove(key);
+    }
 }
 
 /// A shared scratch of raw materialized frames for one materialize pass.
@@ -449,6 +547,30 @@ impl SandEngine {
         sched_config.sticky_affinity = sched_config.sticky_affinity
             && config.tasks.iter().all(|t| t.execution.sticky_affinity);
         let sched = Scheduler::with_metrics(sched_config, SchedMetrics::register(&telemetry));
+        let tenancy = config.tenancy.as_ref().map(|ten| {
+            let weights: Vec<u64> = ten.tenants.iter().map(|t| t.weight).collect();
+            sched.set_tenant_weights(&weights);
+            TenancyRuntime {
+                task_tenant: config
+                    .tasks
+                    .iter()
+                    .map(|t| ten.task_tenant.get(&t.tag).copied())
+                    .collect(),
+                tenants: ten
+                    .tenants
+                    .iter()
+                    .map(|t| TenantRuntime {
+                        name: t.name.clone(),
+                        metrics: TenantMetrics::register(&telemetry, &t.name),
+                    })
+                    .collect(),
+            }
+        });
+        let fleet_metrics = if config.tenancy.is_some() {
+            FleetMetrics::register(&telemetry)
+        } else {
+            None
+        };
         let engine_metrics = EngineMetrics::register(&telemetry);
         let mat_metrics = MaterializeMetrics::register(&telemetry);
         let codec_metrics = CodecMetrics::register(&telemetry);
@@ -500,6 +622,9 @@ impl SandEngine {
                 aug_threads_live,
                 decode_threads_live,
                 remote,
+                flight: Flight::new(),
+                tenancy,
+                fleet_metrics,
                 autotune,
                 autotune_metrics,
                 autotune_stop: Arc::new(AtomicBool::new(false)),
@@ -634,6 +759,11 @@ impl SandEngine {
                         max,
                     })
                     .collect()
+            }),
+            fleet: config.tenancy.as_ref().map(|t| FleetLint {
+                tenants: t.tenants.len(),
+                weights: t.tenants.iter().map(|x| x.weight).collect(),
+                admission_budget: t.admission_budget,
             }),
             remote: config.remote.as_ref().map(|r| RemoteLint {
                 peers: r.peers.len(),
@@ -829,6 +959,20 @@ impl SandEngine {
     #[must_use]
     pub fn remote_tier(&self) -> Option<&Arc<RemoteTier>> {
         self.inner.remote.as_ref()
+    }
+
+    /// Per-tenant scheduler shares — weight, virtual time, accumulated
+    /// busy nanoseconds — in tenancy order; `None` without tenancy.
+    #[must_use]
+    pub fn tenant_shares(&self) -> Option<Vec<sand_sched::TenantShare>> {
+        self.inner.sched.tenant_shares()
+    }
+
+    /// Fleet dedup/admission metric handles (`None` unless tenancy and
+    /// telemetry are both configured).
+    #[must_use]
+    pub(crate) fn fleet_metrics(&self) -> Option<&FleetMetrics> {
+        self.inner.fleet_metrics.as_ref()
     }
 }
 
@@ -1147,11 +1291,15 @@ impl Inner {
                         nodes.clone()
                     };
                     first_subjob = false;
+                    // Pre-materialization serves the union plan — shared
+                    // across tenants by construction — so it stays
+                    // untenanted: charged to nobody's virtual clock.
                     inner.sched.submit(Job {
                         kind: JobKind::PreMaterialize,
                         deadline,
                         remaining_work,
                         affinity: Some(v.video_id),
+                        tenant: None,
                         run: Box::new(move || {
                             nodes.sort_by_key(|&id| chunk2.deadlines[id].unwrap_or(u64::MAX));
                             // One GOP-efficient pass; decoded frames
@@ -1264,12 +1412,99 @@ impl Inner {
             return Ok(f);
         }
         // The claim is ours: compute, then fulfill or abandon it.
-        let out = Self::materialize_claimed(inner, chunk, id, scratch);
+        let out = Self::materialize_flight(inner, chunk, id, scratch);
         match &out {
             Ok(f) => scratch.fulfill(id, Arc::clone(f)),
             Err(_) => scratch.abandon(id),
         }
         out
+    }
+
+    /// Cross-pass singleflight around [`Self::materialize_claimed`]: a
+    /// node already in flight in *any* concurrent pass (another tenant's
+    /// demand job, a prefetch build, pre-materialization) is awaited and
+    /// its result adopted instead of recomputed, so a shared ancestor
+    /// materializes at most once fleet-wide no matter how many tenants
+    /// race for it. A failed winner publishes `None` and the waiter
+    /// computes the node itself — duplicate work, never a lost serve.
+    fn materialize_flight(
+        inner: &Arc<Inner>,
+        chunk: &Arc<Chunk>,
+        id: NodeId,
+        scratch: &Scratch,
+    ) -> Result<Arc<Frame>> {
+        let key = store_key(&chunk.graph.nodes[id].key);
+        let (slot, winner) = inner.flight.claim_or_join(&key);
+        if !winner {
+            let t0 = inner.fleet_metrics.as_ref().map(|_| Instant::now());
+            let adopted = {
+                let mut done = slot.done.lock();
+                while done.is_none() {
+                    slot.cv.wait(&mut done);
+                }
+                done.clone().flatten()
+            };
+            if let (Some(m), Some(t0)) = (inner.fleet_metrics.as_ref(), t0) {
+                m.dedup_wait_us.observe_duration(t0.elapsed());
+            }
+            if let Some(f) = adopted {
+                if let Some(m) = &inner.fleet_metrics {
+                    m.dedup_adoptions.inc();
+                }
+                return Ok(f);
+            }
+            return Self::materialize_claimed(inner, chunk, id, scratch);
+        }
+        let out = Self::materialize_claimed(inner, chunk, id, scratch);
+        // Retire before publishing: a late arrival starts a fresh
+        // flight (and hits the store for cached objects) instead of
+        // adopting a slot whose object may since have been evicted.
+        inner.flight.retire(&key);
+        {
+            let mut done = slot.done.lock();
+            *done = Some(out.as_ref().ok().map(Arc::clone));
+        }
+        slot.cv.notify_all();
+        if out.is_ok() {
+            if let Some(m) = &inner.fleet_metrics {
+                m.dedup_wins.inc();
+            }
+        }
+        out
+    }
+
+    /// The tenant a task is attributed to (`None` = untenanted).
+    fn tenant_of_task(inner: &Inner, task: &str) -> Option<u32> {
+        let tenancy = inner.tenancy.as_ref()?;
+        let task_id = *inner.task_ids.get(task)?;
+        tenancy.task_tenant.get(task_id as usize).copied().flatten()
+    }
+
+    /// A tenant's display name (becomes the trace's `tenant` label).
+    fn tenant_label(inner: &Inner, tenant: Option<u32>) -> Option<String> {
+        let tenancy = inner.tenancy.as_ref()?;
+        tenancy
+            .tenants
+            .get(tenant? as usize)
+            .map(|t| t.name.clone())
+    }
+
+    /// Bumps a tenant's serve counters from a finished batch trace.
+    fn record_tenant_serve(inner: &Inner, tenant: Option<u32>, serve_ns: u64, stalled: bool) {
+        let Some(tenancy) = inner.tenancy.as_ref() else {
+            return;
+        };
+        let Some(m) = tenant
+            .and_then(|t| tenancy.tenants.get(t as usize))
+            .and_then(|t| t.metrics.as_ref())
+        else {
+            return;
+        };
+        m.batches_served.inc();
+        m.serve_us.observe(serve_ns / 1_000);
+        if stalled {
+            m.stalled.inc();
+        }
     }
 
     /// Computes one claimed node (store hit, decode, or augmentation).
@@ -1713,12 +1948,14 @@ impl Inner {
             .store(bytes.len() as u64, Ordering::Relaxed);
         if let Some(p) = &probe {
             let budget_us = inner.telemetry.config().map_or(0, |c| c.stall_budget_us);
+            let tenant = Self::tenant_of_task(inner, task);
             let trace = p.finish(
                 BatchMeta {
                     task: task.to_string(),
                     epoch,
                     iteration,
                     clock: batch.clock,
+                    tenant: Self::tenant_label(inner, tenant),
                 },
                 budget_us,
             );
@@ -1729,6 +1966,7 @@ impl Inner {
                     m.batches_stalled.inc();
                 }
             }
+            Self::record_tenant_serve(inner, tenant, trace.serve_ns, trace.stalled);
             inner.telemetry.push_trace(trace);
         }
         Ok(Some(bytes))
@@ -1752,6 +1990,11 @@ impl Inner {
         let Some(&task_id) = inner.task_ids.get(task) else {
             return;
         };
+        // Speculative work runs on the benefiting tenant's tab: prefetch
+        // jobs carry the tenant so their worker time charges its virtual
+        // clock — one tenant's deep prefetch window cannot eat another's
+        // weighted share.
+        let tenant = Self::tenant_of_task(inner, task);
         let est = inner.last_batch_bytes.load(Ordering::Relaxed);
         let (mut e, mut i) = (epoch, iteration);
         for _ in 0..inner.prefetcher.depth() {
@@ -1799,6 +2042,7 @@ impl Inner {
                     deadline: batch.clock,
                     remaining_work: plan.frame_nodes.len() as u64,
                     affinity: Some(plan.video_id),
+                    tenant,
                     run: Box::new(move || {
                         if build2.cancelled() {
                             build2.fulfill(
@@ -1828,6 +2072,7 @@ impl Inner {
     ) -> Result<Vec<u8>> {
         let chunk = Arc::clone(chunk);
         let batch = Self::find_batch(inner, &chunk, task, epoch, iteration)?.clone();
+        let tenant = Self::tenant_of_task(inner, task);
         // The probe's creation instant is the batch's t0: everything
         // between here and each job's submission is the `plan` segment
         // of the batch's trace.
@@ -1854,6 +2099,7 @@ impl Inner {
                 deadline: batch.clock,
                 remaining_work: plan.frame_nodes.len() as u64,
                 affinity: Some(plan.video_id),
+                tenant,
                 run: Box::new(move || {
                     let work = || Self::sample_tensor(&inner2, &chunk2, &plan2);
                     let result = match &probe2 {
@@ -1908,6 +2154,7 @@ impl Inner {
                     epoch,
                     iteration,
                     clock: batch.clock,
+                    tenant: Self::tenant_label(inner, tenant),
                 },
                 budget_us,
             );
@@ -1918,6 +2165,7 @@ impl Inner {
                     m.batches_stalled.inc();
                 }
             }
+            Self::record_tenant_serve(inner, tenant, trace.serve_ns, trace.stalled);
             inner.telemetry.push_trace(trace);
         }
         Ok(bytes)

@@ -1,0 +1,343 @@
+//! Multi-tenant fleet front-end: K heterogeneous jobs, one engine.
+//!
+//! A [`Fleet`] admits several tenants — each a named bundle of task
+//! configs with a QoS weight — against a *single* [`SandEngine`]
+//! instance, so the engine's cross-task merging (Sec. 4 of the paper)
+//! extends across tenants: a decode or augmentation ancestor shared by
+//! two tenants' pipelines materializes at most once fleet-wide, however
+//! many tenants race for it (the engine's singleflight claim map makes
+//! concurrent duplicates collapse; the shared store makes serial ones
+//! hit cache).
+//!
+//! Three mechanisms compose:
+//!
+//! 1. **Namespaced union planning** — every tenant's task tags are
+//!    prefixed `"<tenant>.<tag>"` and the union is planned as one
+//!    workload. Planning draws are task-set- and tag-independent, so a
+//!    tenant's served bytes are bit-identical to the same tasks run on
+//!    an isolated engine with the same seed (`tests/fleet.rs` pins
+//!    this).
+//! 2. **Admission control** — tenants are admitted in submission order
+//!    while the running sum of their working-set estimates fits the
+//!    admission budget; the rest are rejected up front with a reason,
+//!    never degrading already-admitted tenants.
+//! 3. **Weighted QoS** — admitted tenants' weights are installed on the
+//!    scheduler's virtual-time ledger, so demand capacity divides in
+//!    weight proportion under contention while `tenant.<id>.*` metrics
+//!    and per-tenant stall sections attribute what each tenant got.
+
+use crate::engine::{EngineConfig, SandEngine};
+use crate::{CoreError, Result};
+use sand_codec::Dataset;
+use sand_config::TaskConfig;
+use sand_sched::TenantShare;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// One tenant's identity inside a shared engine: the name keys the
+/// per-tenant metrics and stall sections; the weight drives the
+/// scheduler's virtual-time sharing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantId {
+    /// Fleet-unique tenant name (metric names embed it).
+    pub name: String,
+    /// QoS weight (>= 1; zero is clamped to 1 by the scheduler).
+    pub weight: u64,
+}
+
+/// Tenancy facts the fleet installs on [`EngineConfig::tenancy`]: who
+/// the tenants are and which task belongs to whom. Engines built
+/// without this are single-tenant and pay nothing for the feature.
+#[derive(Debug, Clone, Default)]
+pub struct Tenancy {
+    /// Admitted tenants, in admission order (the scheduler's weight
+    /// table uses the same order).
+    pub tenants: Vec<TenantId>,
+    /// Task tag (as it appears in `EngineConfig::tasks`) → index into
+    /// `tenants`. Unmapped tasks are untenanted: scheduled at zero
+    /// virtual time and excluded from per-tenant attribution.
+    pub task_tenant: HashMap<String, u32>,
+    /// Working-set budget admission control enforced, in bytes (recorded
+    /// for the lint pass; `0` = the store memory budget was used).
+    pub admission_budget: u64,
+}
+
+/// One tenant submitted to the fleet: a name, a QoS weight, and the
+/// tasks it wants to run.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Fleet-unique tenant name.
+    pub name: String,
+    /// QoS weight; demand capacity divides proportionally under
+    /// contention.
+    pub weight: u64,
+    /// The tenant's tasks, with *their own* tags (the fleet namespaces
+    /// them before planning).
+    pub tasks: Vec<TaskConfig>,
+}
+
+/// Fleet configuration: a base engine config plus the tenant roster.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Engine settings shared by every tenant. `tasks` and `tenancy`
+    /// are overwritten by the fleet (the union of admitted tenants'
+    /// namespaced tasks).
+    pub base: EngineConfig,
+    /// Tenants in submission order (admission considers them in order).
+    pub tenants: Vec<TenantSpec>,
+    /// Admission working-set budget in bytes; `0` uses the store's
+    /// memory budget. Must not exceed the store budget (lint SL039).
+    pub admission_budget: u64,
+}
+
+/// A tenant turned away by admission control.
+#[derive(Debug, Clone)]
+pub struct RejectedTenant {
+    /// The tenant's name.
+    pub name: String,
+    /// Its working-set estimate in bytes.
+    pub estimate: u64,
+    /// Human-readable rejection reason.
+    pub reason: String,
+}
+
+struct AdmittedTenant {
+    name: String,
+    estimate: u64,
+    cancelled: AtomicBool,
+}
+
+/// The multi-tenant front-end over one shared engine.
+pub struct Fleet {
+    engine: SandEngine,
+    admitted: Vec<AdmittedTenant>,
+    rejected: Vec<RejectedTenant>,
+    budget: u64,
+}
+
+/// The namespaced task tag a tenant's task is planned under.
+#[must_use]
+pub fn fleet_tag(tenant: &str, tag: &str) -> String {
+    format!("{tenant}.{tag}")
+}
+
+impl Fleet {
+    /// Admits tenants against the working-set budget, builds the union
+    /// engine over the admitted set, and starts it (lint pass included:
+    /// SL039/SL040 see the fleet facts).
+    pub fn new(config: FleetConfig, dataset: Arc<Dataset>) -> Result<Fleet> {
+        if config.tenants.is_empty() {
+            return Err(CoreError::State {
+                what: "fleet has no tenants".into(),
+            });
+        }
+        let mut seen = std::collections::HashSet::new();
+        for t in &config.tenants {
+            if t.name.is_empty() {
+                return Err(CoreError::State {
+                    what: "tenant with empty name".into(),
+                });
+            }
+            if !seen.insert(t.name.as_str()) {
+                return Err(CoreError::State {
+                    what: format!("duplicate tenant name `{}`", t.name),
+                });
+            }
+            if t.tasks.is_empty() {
+                return Err(CoreError::State {
+                    what: format!("tenant `{}` has no tasks", t.name),
+                });
+            }
+        }
+        let budget = if config.admission_budget == 0 {
+            config.base.store.memory_budget
+        } else {
+            config.admission_budget
+        };
+        // Admission in submission order: a tenant is admitted iff its
+        // working set still fits what the budget has left. Later, smaller
+        // tenants may still fit after a large rejection — admission never
+        // punishes them for an earlier tenant's appetite.
+        let mut admitted = Vec::new();
+        let mut specs: Vec<&TenantSpec> = Vec::new();
+        let mut rejected = Vec::new();
+        let mut used = 0u64;
+        for t in &config.tenants {
+            let estimate = Self::working_set_estimate(t, &dataset);
+            if used.saturating_add(estimate) > budget {
+                rejected.push(RejectedTenant {
+                    name: t.name.clone(),
+                    estimate,
+                    reason: format!(
+                        "working-set estimate {estimate} B exceeds the {} B left of the \
+                         {budget} B admission budget",
+                        budget - used
+                    ),
+                });
+                continue;
+            }
+            used += estimate;
+            admitted.push(AdmittedTenant {
+                name: t.name.clone(),
+                estimate,
+                cancelled: AtomicBool::new(false),
+            });
+            specs.push(t);
+        }
+        if admitted.is_empty() {
+            return Err(CoreError::State {
+                what: format!(
+                    "admission rejected every tenant (budget {budget} B): {}",
+                    rejected
+                        .iter()
+                        .map(|r| format!("{} ({} B)", r.name, r.estimate))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            });
+        }
+        // Union workload: every admitted tenant's tasks, tags namespaced
+        // so identical per-tenant configs coexist in one plan.
+        let mut tasks = Vec::new();
+        let mut task_tenant = HashMap::new();
+        let mut tenants = Vec::new();
+        for (idx, spec) in specs.iter().enumerate() {
+            tenants.push(TenantId {
+                name: spec.name.clone(),
+                weight: spec.weight.max(1),
+            });
+            for task in &spec.tasks {
+                let mut task = task.clone();
+                task.tag = fleet_tag(&spec.name, &task.tag);
+                task_tenant.insert(task.tag.clone(), idx as u32);
+                tasks.push(task);
+            }
+        }
+        let mut engine_config = config.base;
+        engine_config.tasks = tasks;
+        engine_config.tenancy = Some(Tenancy {
+            tenants,
+            task_tenant,
+            admission_budget: config.admission_budget,
+        });
+        let engine = SandEngine::new(engine_config, dataset)?;
+        engine.start()?;
+        if let Some(m) = engine.fleet_metrics() {
+            m.admitted.set(admitted.len() as i64);
+            m.rejected.add(rejected.len() as u64);
+        }
+        Ok(Fleet {
+            engine,
+            admitted,
+            rejected,
+            budget,
+        })
+    }
+
+    /// A tenant's working-set estimate: per task, the raw f32 bytes of
+    /// one in-flight batch (`videos_per_batch x frames_per_video` frames
+    /// at the dataset's largest frame geometry) — the floor of what the
+    /// store must hold to feed the tenant's demand path at all.
+    fn working_set_estimate(spec: &TenantSpec, dataset: &Dataset) -> u64 {
+        let frame_bytes: u64 = dataset
+            .videos()
+            .iter()
+            .map(|v| {
+                let h = &v.encoded.header;
+                (h.width as u64) * (h.height as u64) * h.format.channels() as u64
+            })
+            .max()
+            .unwrap_or(0);
+        spec.tasks
+            .iter()
+            .map(|t| {
+                (t.sampling.videos_per_batch as u64)
+                    * (t.sampling.frames_per_video as u64)
+                    * frame_bytes
+                    * 4
+            })
+            .sum()
+    }
+
+    /// Serves one batch on behalf of `tenant` (its *original* task tag,
+    /// pre-namespacing). Rejected tenants get [`CoreError::UnknownView`];
+    /// cancelled tenants get [`CoreError::State`].
+    pub fn serve_batch(
+        &self,
+        tenant: &str,
+        task: &str,
+        epoch: u64,
+        iteration: u64,
+    ) -> Result<Vec<u8>> {
+        let t = self
+            .admitted
+            .iter()
+            .find(|a| a.name == tenant)
+            .ok_or_else(|| CoreError::UnknownView {
+                what: format!("tenant `{tenant}` is not admitted"),
+            })?;
+        if t.cancelled.load(Ordering::Acquire) {
+            return Err(CoreError::State {
+                what: format!("tenant `{tenant}` is cancelled"),
+            });
+        }
+        self.engine
+            .serve_batch(&fleet_tag(tenant, task), epoch, iteration)
+    }
+
+    /// Cancels a tenant: subsequent serves error; in-flight serves
+    /// complete. Other tenants are unaffected — materialization is
+    /// per-node deterministic, so their bytes never depended on the
+    /// cancelled tenant's progress. Returns `false` for unknown tenants.
+    pub fn cancel(&self, tenant: &str) -> bool {
+        match self.admitted.iter().find(|a| a.name == tenant) {
+            Some(t) => {
+                t.cancelled.store(true, Ordering::Release);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `tenant` was admitted (cancelled tenants stay admitted).
+    #[must_use]
+    pub fn is_admitted(&self, tenant: &str) -> bool {
+        self.admitted.iter().any(|a| a.name == tenant)
+    }
+
+    /// Admitted tenant names with their working-set estimates, in
+    /// admission order (the scheduler's tenant indices use this order).
+    #[must_use]
+    pub fn admitted(&self) -> Vec<(String, u64)> {
+        self.admitted
+            .iter()
+            .map(|a| (a.name.clone(), a.estimate))
+            .collect()
+    }
+
+    /// Tenants turned away by admission control.
+    #[must_use]
+    pub fn rejected(&self) -> &[RejectedTenant] {
+        &self.rejected
+    }
+
+    /// The effective admission budget in bytes.
+    #[must_use]
+    pub fn admission_budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Per-tenant scheduler shares (weight, virtual time, busy
+    /// nanoseconds), in admission order.
+    #[must_use]
+    pub fn tenant_shares(&self) -> Option<Vec<TenantShare>> {
+        self.engine.tenant_shares()
+    }
+
+    /// The shared engine (telemetry, stats, store access).
+    #[must_use]
+    pub fn engine(&self) -> &SandEngine {
+        &self.engine
+    }
+}

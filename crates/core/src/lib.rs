@@ -21,14 +21,17 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod engine;
+pub mod fleet;
 pub mod keys;
 mod prefetch;
 pub mod service;
 
 pub use engine::{EngineConfig, EngineStats, SandEngine};
+pub use fleet::{Fleet, FleetConfig, RejectedTenant, Tenancy, TenantId, TenantSpec};
 pub use keys::store_key;
 pub use sand_autotune::{AutotuneConfig, Decision as AutotuneDecision};
 pub use sand_lint::LintLevel;
+pub use sand_sched::TenantShare;
 pub use sand_telemetry::{
     LoaderMetrics, MetricValue, Snapshot, StallReport, Telemetry, TelemetryConfig,
 };

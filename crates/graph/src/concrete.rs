@@ -17,6 +17,18 @@
 use crate::abstract_graph::AbstractGraph;
 use crate::pool::FramePool;
 use crate::resolve::{self, coordinated_draw, DrawCtx, ResolvedOp};
+
+/// Stable 64-bit identity of a task tag (FNV-1a), the shuffle key of
+/// [`Planner::video_order`]. Tag-keyed identity is what keeps a task's
+/// plan invariant under the surrounding task set.
+fn tag_identity(tag: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in tag.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 use crate::{GraphError, Result};
 use sand_config::types::TaskConfig;
 use std::collections::HashMap;
@@ -431,14 +443,22 @@ impl Planner {
     ///
     /// This is the Data Access Rule: every video appears exactly once per
     /// epoch per task, in an epoch-specific random order.
-    fn video_order(&self, task: u32, epoch: u64) -> Vec<usize> {
+    ///
+    /// The shuffle is keyed by the task's *tag*, not its position in the
+    /// task vector, so a task's batch composition is invariant under
+    /// workload composition: the same task planned alone or alongside
+    /// other tasks (e.g. other tenants' in a fleet) draws identical epoch
+    /// orders. Fleet-vs-isolated byte parity (`tests/fleet.rs`) rests on
+    /// this.
+    fn video_order(&self, task_tag: &str, epoch: u64) -> Vec<usize> {
         let n = self.videos.len();
         let mut order: Vec<usize> = (0..n).collect();
+        let identity = tag_identity(task_tag);
         // Fisher–Yates driven by coordinated_draw so the shuffle is pure.
         for i in (1..n).rev() {
             let u = coordinated_draw(
                 self.options.seed,
-                u64::from(task).wrapping_mul(0x9249_2492),
+                identity.wrapping_mul(0x9249_2492),
                 epoch,
                 0,
                 i as u64,
@@ -504,7 +524,7 @@ impl Planner {
             for (t_idx, task) in self.tasks.iter().enumerate() {
                 let task_id = task.task_id;
                 let cfg = &task.config;
-                let order = self.video_order(task_id, epoch);
+                let order = self.video_order(&cfg.tag, epoch);
                 let vpb = cfg.sampling.videos_per_batch;
                 let iters = iters_of(task);
                 let terminal = cfg.terminal_streams();
@@ -1027,9 +1047,13 @@ dataset:
             PlannerOptions::default(),
         )
         .unwrap();
-        assert_ne!(p.video_order(0, 0), p.video_order(0, 1));
-        assert_ne!(p.video_order(0, 0), p.video_order(1, 0));
-        assert_eq!(p.video_order(0, 0), p.video_order(0, 0));
+        assert_ne!(p.video_order("a", 0), p.video_order("a", 1));
+        assert_ne!(p.video_order("a", 0), p.video_order("b", 0));
+        assert_eq!(p.video_order("a", 0), p.video_order("a", 0));
+        // Identity follows the tag, not the task's position in the task
+        // vector: planning the same tag in any workload draws the same
+        // epoch order (fleet parity rests on this).
+        assert_eq!(p.video_order("a", 3), p.video_order("a", 3));
     }
 
     #[test]

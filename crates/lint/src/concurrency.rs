@@ -1,4 +1,4 @@
-//! Concurrency-configuration analyses (`SL032`–`SL038`).
+//! Concurrency-configuration analyses (`SL032`–`SL040`).
 //!
 //! These catch configurations whose concurrent machinery is wired up but
 //! cannot help — or actively hurts. They need no graph: everything is
@@ -18,6 +18,8 @@ pub fn lint_concurrency(opts: &LintOptions) -> Vec<Diagnostic> {
     lint_persistent_without_budget(opts, &mut out);
     lint_remote_without_peers(opts, &mut out);
     lint_remote_timeout_vs_budget(opts, &mut out);
+    lint_fleet_weights_and_budget(opts, &mut out);
+    lint_fleet_without_telemetry(opts, &mut out);
     out
 }
 
@@ -236,10 +238,108 @@ fn lint_remote_timeout_vs_budget(opts: &LintOptions, out: &mut Vec<Diagnostic>) 
     }
 }
 
+/// `SL039`: a fleet whose QoS or admission configuration is vacuous.
+///
+/// Three unfixable-at-runtime mistakes: no tenants at all (the fleet
+/// front-end is pure overhead), tenant weights that are missing or sum
+/// to zero (the weighted scheduler degenerates — every tenant's virtual
+/// time is charged against a clamped weight of 1, so the configured
+/// priorities are silently ignored), and an admission budget larger
+/// than the store's memory budget (admission control promises capacity
+/// the store does not have, so every "admitted" working set can still
+/// thrash the cache). All three mean the configuration cannot do what
+/// it says — deny.
+fn lint_fleet_weights_and_budget(opts: &LintOptions, out: &mut Vec<Diagnostic>) {
+    let Some(fleet) = &opts.fleet else {
+        return;
+    };
+    if fleet.tenants == 0 {
+        out.push(Diagnostic {
+            code: "SL039",
+            severity: Severity::Deny,
+            location: "fleet.tenants".into(),
+            message: "the fleet front-end is enabled with zero tenants: \
+                      nothing can be admitted or scheduled, so the \
+                      multi-tenant machinery is pure overhead"
+                .into(),
+            help: "declare at least one tenant, or use the engine \
+                   directly for single-job runs"
+                .into(),
+        });
+        return;
+    }
+    if fleet.weights.is_empty() || fleet.weights.iter().sum::<u64>() == 0 {
+        let what = if fleet.weights.is_empty() {
+            "no tenant weights".to_string()
+        } else {
+            format!("{} weights summing to zero", fleet.weights.len())
+        };
+        out.push(Diagnostic {
+            code: "SL039",
+            severity: Severity::Deny,
+            location: "fleet.weights".into(),
+            message: format!(
+                "the fleet declares {} tenant(s) with {what}: the weighted \
+                 scheduler clamps every weight to 1, so the configured QoS \
+                 shares are silently ignored and all tenants get equal \
+                 service",
+                fleet.tenants
+            ),
+            help: "give every tenant a positive weight (relative demand-band \
+                   share)"
+                .into(),
+        });
+    }
+    if fleet.admission_budget > opts.memory_budget {
+        out.push(Diagnostic {
+            code: "SL039",
+            severity: Severity::Deny,
+            location: "fleet.admission_budget".into(),
+            message: format!(
+                "admission budget {} B exceeds the store's memory budget \
+                 {} B: admission control will admit working sets the memory \
+                 tier cannot hold, so \"admitted\" tenants can still thrash \
+                 the cache the control was meant to protect",
+                fleet.admission_budget, opts.memory_budget
+            ),
+            help: "lower fleet.admission_budget to at most \
+                   store.memory_budget (leave headroom for shared \
+                   ancestors), or raise the store budget"
+                .into(),
+        });
+    }
+}
+
+/// `SL040`: a fleet with telemetry disabled.
+///
+/// The fleet still schedules and dedups correctly without telemetry,
+/// but per-tenant attribution — `tenant.<id>.*` counters, the tenant
+/// sections of the stall report, the dedup win/adoption counters — all
+/// read from the metric registry. Operating a multi-tenant engine
+/// blind is almost certainly unintended, but it is servable: warn.
+fn lint_fleet_without_telemetry(opts: &LintOptions, out: &mut Vec<Diagnostic>) {
+    if opts.fleet.is_some() && opts.telemetry.is_none() {
+        out.push(Diagnostic {
+            code: "SL040",
+            severity: Severity::Warn,
+            location: "fleet".into(),
+            message: "the fleet front-end is enabled but telemetry is off: \
+                      per-tenant attribution (tenant.<id>.* counters, the \
+                      tenant sections of the stall report, dedup counters) \
+                      is unavailable, so tenants cannot be billed or \
+                      debugged individually"
+                .into(),
+            help: "set EngineConfig::telemetry = Some(TelemetryConfig { .. }) \
+                   so each tenant's service is attributable"
+                .into(),
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{AutotuneClamp, RemoteLint};
+    use crate::{AutotuneClamp, FleetLint, RemoteLint};
 
     #[test]
     fn sl032_single_shard_prefetch_warns() {
@@ -444,6 +544,76 @@ mod tests {
             ..Default::default()
         };
         assert!(lint_concurrency(&no_telemetry).is_empty());
+    }
+
+    fn fleet(tenants: usize, weights: &[u64], admission_budget: u64) -> FleetLint {
+        FleetLint {
+            tenants,
+            weights: weights.to_vec(),
+            admission_budget,
+        }
+    }
+
+    /// Telemetry on so SL040 stays quiet and the SL039 cases are isolated.
+    fn fleet_opts(f: FleetLint) -> LintOptions {
+        LintOptions {
+            fleet: Some(f),
+            telemetry: Some(sand_telemetry::TelemetryConfig::default()),
+            memory_budget: 64 << 20,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sl039_empty_or_zero_sum_weights_deny() {
+        for f in [
+            fleet(0, &[], 1 << 20),
+            fleet(2, &[], 1 << 20),
+            fleet(2, &[0, 0], 1 << 20),
+        ] {
+            let opts = fleet_opts(f.clone());
+            let out = lint_concurrency(&opts);
+            assert_eq!(out.len(), 1, "{f:?}: {out:?}");
+            assert_eq!(out[0].code, "SL039");
+            assert_eq!(out[0].severity, Severity::Deny);
+        }
+    }
+
+    #[test]
+    fn sl039_admission_budget_over_store_budget_denies() {
+        let opts = fleet_opts(fleet(2, &[1, 3], (64 << 20) + 1));
+        let out = lint_concurrency(&opts);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].code, "SL039");
+        assert_eq!(out[0].severity, Severity::Deny);
+        assert_eq!(out[0].location, "fleet.admission_budget");
+    }
+
+    #[test]
+    fn sl039_silent_on_sane_fleet() {
+        let opts = fleet_opts(fleet(3, &[1, 2, 4], 32 << 20));
+        assert!(lint_concurrency(&opts).is_empty());
+        assert!(lint_concurrency(&LintOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn sl040_fleet_without_telemetry_warns() {
+        let opts = LintOptions {
+            fleet: Some(fleet(2, &[1, 2], 1 << 20)),
+            telemetry: None,
+            ..Default::default()
+        };
+        let out = lint_concurrency(&opts);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].code, "SL040");
+        assert_eq!(out[0].severity, Severity::Warn);
+        assert_eq!(out[0].location, "fleet");
+    }
+
+    #[test]
+    fn sl040_silent_with_telemetry() {
+        let opts = fleet_opts(fleet(2, &[1, 2], 1 << 20));
+        assert!(lint_concurrency(&opts).is_empty());
     }
 
     #[test]

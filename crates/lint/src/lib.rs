@@ -14,7 +14,7 @@
 //! | graph invariants | `SL010`–`SL014` | edge legality, acyclicity, dangling references |
 //! | resource feasibility | `SL020`–`SL025` | budget lower bounds, decode amplification, telemetry buckets, prefetch/shard sizing |
 //! | sharing | `SL030`–`SL031` | near-miss cross-task merge opportunities |
-//! | concurrency | `SL032`–`SL038` | single-shard prefetch contention, sanitizer-in-release, autotune wiring, dead persistent tier, remote-tier wiring |
+//! | concurrency | `SL032`–`SL040` | single-shard prefetch contention, sanitizer-in-release, autotune wiring, dead persistent tier, remote-tier wiring, fleet QoS wiring |
 //!
 //! Diagnostics render rustc-style for humans ([`LintReport::render_human`])
 //! and as JSON lines for tooling ([`LintReport::render_jsonl`]). The engine
@@ -184,6 +184,22 @@ pub struct LintOptions {
     /// Remote-tier wiring when the engine joins a cluster (`None` =
     /// single-process, its lints are skipped).
     pub remote: Option<RemoteLint>,
+    /// Fleet (multi-tenant) wiring when the engine serves several
+    /// tenants (`None` = single-tenant, its lints are skipped).
+    pub fleet: Option<FleetLint>,
+}
+
+/// Fleet facts the concurrency lints need, pre-digested so this crate
+/// does not depend on the fleet front-end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetLint {
+    /// Declared tenant count.
+    pub tenants: usize,
+    /// Per-tenant scheduler weights, in tenant order.
+    pub weights: Vec<u64>,
+    /// Admission-control working-set budget in bytes (what the fleet
+    /// will admit against).
+    pub admission_budget: u64,
 }
 
 /// Remote-tier facts the concurrency lints need, pre-digested so this
@@ -230,6 +246,7 @@ impl Default for LintOptions {
             persistent: false,
             disk_budget: 512 << 20,
             remote: None,
+            fleet: None,
         }
     }
 }

@@ -15,6 +15,15 @@
 //!
 //! The pool also supports a FIFO policy, which is the "without
 //! scheduling" ablation of Fig. 18.
+//!
+//! **Multi-tenant QoS.** When [`Scheduler::set_tenant_weights`] is set,
+//! demand picks are ordered by weighted virtual time (start-time fair
+//! queueing): each tenant accrues `busy_ns × SCALE / weight` of virtual
+//! time as its jobs run, and the demand band serves the tenant with the
+//! smallest virtual time first, EDF within a tenant. A tenant that goes
+//! idle is lifted to the band's virtual clock on its next submission, so
+//! it cannot bank service and later monopolize the band. The demand band
+//! as a whole still preempts prefetch and pre-materialization.
 
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
@@ -64,6 +73,12 @@ pub struct Job {
     /// (a live decoder session) is reused instead of rebuilt after a
     /// cold hand-off. `None` = any worker.
     pub affinity: Option<u64>,
+    /// Owning tenant slot for weighted QoS (an index into the table set
+    /// by [`Scheduler::set_tenant_weights`]). `None` = untenanted work:
+    /// it is charged to nobody and sorts ahead of tenanted work only by
+    /// virtue of a zero virtual time, which is exactly the pre-fleet
+    /// behaviour when no weights are configured.
+    pub tenant: Option<u32>,
     /// The work itself.
     pub run: Box<dyn FnOnce() + Send>,
 }
@@ -148,6 +163,41 @@ pub struct SchedStats {
     pub affinity_steals: u64,
 }
 
+/// Virtual-time scale: one nanosecond of service at weight `SCALE`
+/// advances virtual time by one unit. Keeps integer division honest for
+/// weights up to ~1k without overflowing u64 on realistic busy times.
+const VT_SCALE: u64 = 1024;
+
+/// One tenant's weighted-sharing state, reported by
+/// [`Scheduler::tenant_shares`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantShare {
+    /// Configured weight (relative share of the demand band).
+    pub weight: u64,
+    /// Weight-scaled virtual time consumed so far.
+    pub vtime: u64,
+    /// Raw busy nanoseconds charged to this tenant.
+    pub busy_ns: u64,
+}
+
+/// The demand band's fair-queueing state: one slot per tenant id plus
+/// the band's virtual clock.
+struct TenantTable {
+    shares: Vec<TenantShare>,
+    /// Virtual time of the most recent demand pick. Newly submitted
+    /// tenant work is lifted to at least this value, bounding the lag a
+    /// tenant can accumulate while idle (CFS-style sleeper placement).
+    vclock: u64,
+}
+
+impl TenantTable {
+    fn vtime_of(&self, tenant: Option<u32>) -> u64 {
+        tenant
+            .and_then(|t| self.shares.get(t as usize))
+            .map_or(0, |s| s.vtime)
+    }
+}
+
 /// Queue entry with a stable submission sequence for FIFO.
 struct Entry {
     seq: u64,
@@ -175,6 +225,11 @@ struct Shared {
     /// preferred worker is busy (i.e. backlogged), otherwise it is left
     /// for that worker to pick up on its next dequeue.
     worker_busy: Vec<AtomicBool>,
+    /// Weighted-QoS tenant table; `None` until
+    /// [`Scheduler::set_tenant_weights`] installs one. Lock order:
+    /// always after `queue` when both are held (pick path), never while
+    /// holding `stats`.
+    tenants: TrackedMutex<Option<TenantTable>>,
     /// Telemetry handles: queue depth, per-kind queue wait, deadline
     /// slack at pick time, and demand affinity hit/miss counters.
     metrics: Option<SchedMetrics>,
@@ -244,6 +299,7 @@ impl Scheduler {
             demand_slack: AtomicU64::new(config.demand_slack),
             config,
             worker_busy: (0..threads).map(|_| AtomicBool::new(false)).collect(),
+            tenants: TrackedMutex::new("sched.tenants", None),
             metrics,
         });
         let (done_tx, done_rx) = bounded(1024);
@@ -278,6 +334,18 @@ impl Scheduler {
 
     /// Submits a job.
     pub fn submit(&self, job: Job) {
+        if let Some(tid) = job.tenant {
+            // Sleeper placement: lift the tenant to the band's virtual
+            // clock so service it did not use while idle is forgotten,
+            // not banked (a returning tenant competes from "now").
+            let mut tenants = self.shared.tenants.lock();
+            if let Some(table) = tenants.as_mut() {
+                let vclock = table.vclock;
+                if let Some(s) = table.shares.get_mut(tid as usize) {
+                    s.vtime = s.vtime.max(vclock);
+                }
+            }
+        }
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let submitted = self.shared.metrics.as_ref().map(|m| {
             m.queue_depth.add(1);
@@ -317,6 +385,41 @@ impl Scheduler {
     #[must_use]
     pub fn demand_slack(&self) -> u64 {
         self.shared.demand_slack.load(Ordering::Relaxed)
+    }
+
+    /// Installs (or clears, with an empty slice) the weighted-QoS tenant
+    /// table. `weights[i]` is tenant `i`'s relative share of the demand
+    /// band; zero weights are clamped to 1 (the lint layer denies
+    /// zero-sum configs before they get here). Resets virtual times, so
+    /// this is meant to be called once at fleet construction.
+    pub fn set_tenant_weights(&self, weights: &[u64]) {
+        let table = if weights.is_empty() {
+            None
+        } else {
+            Some(TenantTable {
+                shares: weights
+                    .iter()
+                    .map(|&w| TenantShare {
+                        weight: w.max(1),
+                        vtime: 0,
+                        busy_ns: 0,
+                    })
+                    .collect(),
+                vclock: 0,
+            })
+        };
+        *self.shared.tenants.lock() = table;
+    }
+
+    /// Snapshot of per-tenant weights, virtual times, and charged busy
+    /// time. `None` when no tenant table is installed.
+    #[must_use]
+    pub fn tenant_shares(&self) -> Option<Vec<TenantShare>> {
+        self.shared
+            .tenants
+            .lock()
+            .as_ref()
+            .map(|t| t.shares.clone())
     }
 
     /// Number of queued (not yet started) jobs.
@@ -387,19 +490,23 @@ fn pick_index(
     pressure_milli: u64,
     w: WorkerCtx,
     worker_busy: &[AtomicBool],
+    tenants: Option<&TenantTable>,
 ) -> Option<(usize, &'static str)> {
     if entries.is_empty() {
         return None;
     }
     let sticky = config.sticky_affinity && config.policy == Policy::Priority;
-    // Demand selection is earliest-deadline-first with a bounded slack
-    // window: a job at home on this worker may be preferred while its
+    // Demand selection is weighted-fair across tenants, then earliest-
+    // deadline-first with a bounded slack window within a virtual-time
+    // tie group: a job at home on this worker may be preferred while its
     // deadline sits within `demand_slack` clock ticks of the most
-    // urgent queued demand deadline. With the default slack of 0 the
-    // window is exactly the EDF tie group, so an affinity match only
-    // breaks deadline ties — a GPU-blocking read never waits for a
-    // particular worker beyond the configured bound.
+    // urgent queued demand deadline. With no tenant table every entry's
+    // virtual time is 0 and the order degenerates to the pre-fleet
+    // bounded-EDF: an affinity match only breaks deadline ties — a
+    // GPU-blocking read never waits for a particular worker beyond the
+    // configured bound.
     let slack = demand_slack;
+    let vtime = |e: &Entry| tenants.map_or(0, |t| t.vtime_of(e.job.tenant));
     let pick_demand = |entries: &[Entry]| {
         let urgent = entries
             .iter()
@@ -414,6 +521,7 @@ fn pick_index(
                 let at_home_in_window =
                     sticky && e.job.deadline <= urgent.saturating_add(slack) && w.prefers(e);
                 (
+                    vtime(e),
                     u8::from(!at_home_in_window),
                     e.job.deadline,
                     u8::from(sticky && !w.prefers(e)),
@@ -495,9 +603,20 @@ fn worker_loop(shared: &Arc<Shared>, done: &Sender<()>, w: WorkerCtx) {
                 }
                 let pressure = shared.memory_pressure_milli.load(Ordering::Relaxed);
                 let slack = shared.demand_slack.load(Ordering::Relaxed);
-                if let Some((idx, mode)) =
-                    pick_index(&q, &shared.config, slack, pressure, w, &shared.worker_busy)
-                {
+                let picked = {
+                    // Lock order queue → tenants; dropped before any wait.
+                    let tenants = shared.tenants.lock();
+                    pick_index(
+                        &q,
+                        &shared.config,
+                        slack,
+                        pressure,
+                        w,
+                        &shared.worker_busy,
+                        tenants.as_ref(),
+                    )
+                };
+                if let Some((idx, mode)) = picked {
                     if let Some(m) = &shared.metrics {
                         let picked = &q[idx];
                         // Slack of this pick relative to the most urgent
@@ -529,6 +648,16 @@ fn worker_loop(shared: &Arc<Shared>, done: &Sender<()>, w: WorkerCtx) {
                         }
                     }
                     let entry = q.swap_remove(idx);
+                    if let Some(tid) = entry.job.tenant {
+                        // Advance the band's virtual clock to this pick's
+                        // virtual time: it is the fair-queueing "now"
+                        // that newly woken tenants are lifted to.
+                        let mut tenants = shared.tenants.lock();
+                        if let Some(table) = tenants.as_mut() {
+                            let v = table.vtime_of(Some(tid));
+                            table.vclock = table.vclock.max(v);
+                        }
+                    }
                     // Account the pick while still holding the lock.
                     let mut stats = shared.stats.lock();
                     match entry.job.kind {
@@ -572,9 +701,21 @@ fn worker_loop(shared: &Arc<Shared>, done: &Sender<()>, w: WorkerCtx) {
             }
         };
         let started = std::time::Instant::now();
+        let tenant = entry.job.tenant;
         (entry.job.run)();
         let busy = started.elapsed().as_nanos() as u64;
         shared.worker_busy[w.id].store(false, Ordering::SeqCst);
+        if let Some(tid) = tenant {
+            // Charge the service: virtual time advances inversely to
+            // weight, so heavier tenants stay eligible longer.
+            let mut tenants = shared.tenants.lock();
+            if let Some(table) = tenants.as_mut() {
+                if let Some(s) = table.shares.get_mut(tid as usize) {
+                    s.busy_ns += busy;
+                    s.vtime += busy.saturating_mul(VT_SCALE) / s.weight.max(1);
+                }
+            }
+        }
         shared.stats.lock().busy_nanos += busy;
         shared.running.fetch_sub(1, Ordering::SeqCst);
         shared.idle.notify_all();
@@ -598,6 +739,7 @@ mod tests {
             deadline,
             remaining_work: work,
             affinity: None,
+            tenant: None,
             run: Box::new(f),
         }
     }
@@ -608,6 +750,7 @@ mod tests {
             deadline: 1,
             remaining_work: 1,
             affinity: Some(affinity),
+            tenant: None,
             run: Box::new(f),
         }
     }
@@ -686,6 +829,7 @@ mod tests {
                 deadline,
                 remaining_work: 1,
                 affinity: None,
+                tenant: None,
                 run: Box::new(move || o.lock().push(name)),
             });
         }
@@ -725,6 +869,7 @@ mod tests {
                 deadline: i,
                 remaining_work: 1,
                 affinity: None,
+                tenant: None,
                 run: Box::new(|| {}),
             });
         }
@@ -968,6 +1113,7 @@ mod tests {
                         deadline,
                         remaining_work: 1,
                         affinity: Some(affinity),
+                        tenant: None,
                         run: Box::new(|| {}),
                     },
                     submitted: None,
@@ -976,7 +1122,7 @@ mod tests {
         };
         let pick = |slack: u64, q: &[Entry]| {
             let config = SchedConfig::default();
-            pick_index(q, &config, slack, 0, w, &busy).map(|(i, _)| i)
+            pick_index(q, &config, slack, 0, w, &busy, None).map(|(i, _)| i)
         };
         // Key 0 → worker 1 (foreign), key 1 → worker 2 (at home).
         let q = entries([(5, 0), (6, 1)]);
@@ -1049,6 +1195,106 @@ mod tests {
             snap.histogram("sched.deadline_slack").map(|h| h.count),
             Some(20)
         );
+    }
+
+    /// Weighted virtual time dominates the demand order: the tenant that
+    /// has consumed less weight-scaled service is picked first even when
+    /// the other tenant's job has the earlier deadline; within one
+    /// tenant the order is still EDF.
+    #[test]
+    fn tenant_virtual_time_orders_demand_band() {
+        let w = WorkerCtx {
+            id: 1,
+            demand_only: false,
+            reserved: 1,
+            threads: 2,
+        };
+        let busy: Vec<AtomicBool> = (0..2).map(|_| AtomicBool::new(false)).collect();
+        let entries = |jobs: &[(u64, Option<u32>)]| -> Vec<Entry> {
+            jobs.iter()
+                .enumerate()
+                .map(|(i, &(deadline, tenant))| Entry {
+                    seq: i as u64,
+                    job: Job {
+                        kind: JobKind::Demand,
+                        deadline,
+                        remaining_work: 1,
+                        affinity: None,
+                        tenant,
+                        run: Box::new(|| {}),
+                    },
+                    submitted: None,
+                })
+                .collect()
+        };
+        let table = TenantTable {
+            shares: vec![
+                TenantShare {
+                    weight: 1,
+                    vtime: 5000,
+                    busy_ns: 0,
+                },
+                TenantShare {
+                    weight: 4,
+                    vtime: 100,
+                    busy_ns: 0,
+                },
+            ],
+            vclock: 0,
+        };
+        let config = SchedConfig::default();
+        let pick = |q: &[Entry], t: Option<&TenantTable>| {
+            pick_index(q, &config, 0, 0, w, &busy, t).map(|(i, _)| i)
+        };
+        // Tenant 1 is behind in virtual time: it wins despite the later
+        // deadline. Without a table, plain EDF picks the earlier one.
+        let q = entries(&[(1, Some(0)), (9, Some(1))]);
+        assert_eq!(pick(&q, Some(&table)), Some(1), "min vtime wins");
+        assert_eq!(pick(&q, None), Some(0), "no table: strict EDF");
+        // Within one tenant: EDF.
+        let q = entries(&[(7, Some(1)), (3, Some(1))]);
+        assert_eq!(pick(&q, Some(&table)), Some(1));
+        // Untenanted work has virtual time 0 and sorts first.
+        let q = entries(&[(9, Some(1)), (9, None)]);
+        assert_eq!(pick(&q, Some(&table)), Some(1 /* index of None entry */));
+    }
+
+    /// End-to-end charging: two tenants do the same amount of real work,
+    /// and the lighter-weight tenant ends up with the larger virtual
+    /// time (it consumed its smaller share faster).
+    #[test]
+    fn tenant_charges_scale_inversely_with_weight() {
+        let sched = Scheduler::new(SchedConfig {
+            threads: 1,
+            ..Default::default()
+        });
+        sched.set_tenant_weights(&[1, 4]);
+        for tenant in [0u32, 1] {
+            for i in 0..4 {
+                sched.submit(Job {
+                    kind: JobKind::Demand,
+                    deadline: i,
+                    remaining_work: 1,
+                    affinity: None,
+                    tenant: Some(tenant),
+                    run: Box::new(|| std::thread::sleep(Duration::from_millis(2))),
+                });
+            }
+        }
+        sched.wait_idle();
+        let shares = sched.tenant_shares().unwrap();
+        assert_eq!(shares.len(), 2);
+        assert!(shares[0].busy_ns > 0 && shares[1].busy_ns > 0);
+        assert!(
+            shares[0].vtime > shares[1].vtime,
+            "weight-1 tenant must burn virtual time faster: {shares:?}"
+        );
+        // Weights are observable and zero weights are clamped.
+        assert_eq!(shares[0].weight, 1);
+        assert_eq!(shares[1].weight, 4);
+        sched.set_tenant_weights(&[]);
+        assert!(sched.tenant_shares().is_none());
+        sched.shutdown();
     }
 
     /// Every pinned pre-materialization pick is accounted as either a

@@ -59,6 +59,7 @@ proptest! {
                 deadline: spec.deadline,
                 remaining_work: spec.work,
                 affinity: spec.affinity,
+                tenant: None,
                 run: Box::new(move || {
                     c.fetch_add(1, Ordering::SeqCst);
                 }),
@@ -86,6 +87,7 @@ proptest! {
                 deadline: spec.deadline,
                 remaining_work: spec.work,
                 affinity: spec.affinity,
+                tenant: None,
                 run: Box::new(move || {
                     d.fetch_add(1, Ordering::SeqCst);
                 }),

@@ -691,6 +691,10 @@ pub struct NetMetrics {
     /// retries (timeout, refused connection, protocol error). Each one
     /// falls back to local materialization — never a wrong answer.
     pub fetch_errors: Counter,
+    /// Concurrent local misses for a key that piggybacked on an already
+    /// in-flight fetch instead of issuing their own RPC (the remote
+    /// tier's singleflight).
+    pub fetch_coalesced: Counter,
     /// Transport-level retry attempts (all verbs).
     pub retries: Counter,
     /// Materialized objects pushed to their ring owner.
@@ -719,6 +723,7 @@ impl NetMetrics {
             fetch_hits: r.counter("net.fetch_hits"),
             fetch_misses: r.counter("net.fetch_misses"),
             fetch_errors: r.counter("net.fetch_errors"),
+            fetch_coalesced: r.counter("net.fetch_coalesced"),
             retries: r.counter("net.retries"),
             pushes: r.counter("net.pushes"),
             push_errors: r.counter("net.push_errors"),
@@ -835,6 +840,63 @@ impl LoaderMetrics {
             stall_us: r.histogram(&format!("loader.{loader}.stall_us"), &c.latency_buckets_us),
             batches: r.counter(&format!("loader.{loader}.batches")),
             cpu_work_us: r.counter(&format!("loader.{loader}.cpu_work_us")),
+        })
+    }
+}
+
+/// Per-tenant attribution metrics (`tenant.<id>.*`), registered by the
+/// engine for every admitted fleet tenant so each tenant's service is
+/// visible in any snapshot alongside the fleet-wide counters.
+#[derive(Clone, Debug)]
+pub struct TenantMetrics {
+    /// Batches served to this tenant.
+    pub batches_served: Counter,
+    /// Per-batch serve latency for this tenant's batches.
+    pub serve_us: Histogram,
+    /// This tenant's batches that exceeded the stall budget.
+    pub stalled: Counter,
+}
+
+impl TenantMetrics {
+    /// `tenant` is the fleet-assigned tenant id; it becomes part of the
+    /// metric names.
+    pub fn register(t: &Telemetry, tenant: &str) -> Option<Self> {
+        let (r, c) = (t.registry()?, t.config()?);
+        Some(Self {
+            batches_served: r.counter(&format!("tenant.{tenant}.batches_served")),
+            serve_us: r.histogram(&format!("tenant.{tenant}.serve_us"), &c.latency_buckets_us),
+            stalled: r.counter(&format!("tenant.{tenant}.stalled")),
+        })
+    }
+}
+
+/// Fleet-wide cross-job dedup metrics (`fleet.*`), recorded by the
+/// engine's singleflight claim map: how many materializations were won
+/// (computed once) versus adopted zero-copy by a racing tenant.
+#[derive(Clone, Debug)]
+pub struct FleetMetrics {
+    /// Materializations computed by a singleflight winner.
+    pub dedup_wins: Counter,
+    /// Materializations adopted from a concurrent winner's `Arc` —
+    /// work another tenant would otherwise have duplicated.
+    pub dedup_adoptions: Counter,
+    /// Time waiters spent blocked on a winner's in-flight computation.
+    pub dedup_wait_us: Histogram,
+    /// Tenants admitted by the fleet's admission control.
+    pub admitted: Gauge,
+    /// Tenants rejected because their working set would blow the budget.
+    pub rejected: Counter,
+}
+
+impl FleetMetrics {
+    pub fn register(t: &Telemetry) -> Option<Self> {
+        let (r, c) = (t.registry()?, t.config()?);
+        Some(Self {
+            dedup_wins: r.counter("fleet.dedup_wins"),
+            dedup_adoptions: r.counter("fleet.dedup_adoptions"),
+            dedup_wait_us: r.histogram("fleet.dedup_wait_us", &c.latency_buckets_us),
+            admitted: r.gauge("fleet.admitted"),
+            rejected: r.counter("fleet.rejected"),
         })
     }
 }
@@ -994,6 +1056,7 @@ mod tests {
             let trace = probe.finish(
                 BatchMeta {
                     task: "t".into(),
+                    tenant: None,
                     epoch: 0,
                     iteration: i,
                     clock: i,

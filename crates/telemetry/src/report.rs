@@ -137,6 +137,9 @@ pub struct BatchProbe {
 #[derive(Clone, Debug)]
 pub struct BatchMeta {
     pub task: String,
+    /// Owning tenant id when the engine runs in fleet mode; `None` for
+    /// single-tenant engines (the field is then absent from exports).
+    pub tenant: Option<String>,
     pub epoch: u64,
     pub iteration: u64,
     pub clock: u64,
@@ -236,6 +239,7 @@ impl BatchProbe {
             .min(exec_ns - decode_ns - store_ns - remote_ns - persist_ns);
         BatchTrace {
             task: meta.task,
+            tenant: meta.tenant,
             epoch: meta.epoch,
             iteration: meta.iteration,
             clock: meta.clock,
@@ -285,6 +289,8 @@ pub const STAGE_LABELS: [&str; 10] = [
 #[derive(Clone, Debug)]
 pub struct BatchTrace {
     pub task: String,
+    /// Owning tenant id in fleet mode (see [`BatchMeta::tenant`]).
+    pub tenant: Option<String>,
     pub epoch: u64,
     pub iteration: u64,
     pub clock: u64,
@@ -343,6 +349,9 @@ impl BatchTrace {
             self.serve_ns / 1_000,
             self.stalled,
         );
+        if let Some(tenant) = &self.tenant {
+            s.push_str(&format!(",\"tenant\":\"{}\"", json_escape(tenant)));
+        }
         for (label, ns) in STAGE_LABELS.iter().zip(b.iter()) {
             s.push_str(&format!(",\"{}_us\":{}", label, ns / 1_000));
         }
@@ -366,6 +375,38 @@ pub struct StallReport {
 impl StallReport {
     pub fn stalled(&self) -> Vec<&BatchTrace> {
         self.traces.iter().filter(|t| t.stalled).collect()
+    }
+
+    /// Traces grouped by tenant, sorted by tenant id. Empty when no
+    /// trace carries tenant attribution (single-tenant engines).
+    pub fn tenant_sections(&self) -> Vec<(String, Vec<&BatchTrace>)> {
+        let mut sections: Vec<(String, Vec<&BatchTrace>)> = Vec::new();
+        for t in &self.traces {
+            let Some(tenant) = &t.tenant else { continue };
+            match sections.iter_mut().find(|(id, _)| id == tenant) {
+                Some((_, v)) => v.push(t),
+                None => sections.push((tenant.clone(), vec![t])),
+            }
+        }
+        sections.sort_by(|a, b| a.0.cmp(&b.0));
+        sections
+    }
+
+    /// Per-tenant totals in nanoseconds: `(serve, [ten segments])`,
+    /// summed over the tenant's traces. Because every trace's segments
+    /// sum exactly to its serve latency, the tenant's segment totals sum
+    /// exactly to the tenant's serve total — the per-tenant split keeps
+    /// the exact-sum invariant.
+    fn tenant_totals(traces: &[&BatchTrace]) -> (u64, [u64; 10]) {
+        let mut serve = 0u64;
+        let mut segs = [0u64; 10];
+        for t in traces {
+            serve += t.serve_ns;
+            for (acc, v) in segs.iter_mut().zip(t.breakdown_ns()) {
+                *acc += v;
+            }
+        }
+        (serve, segs)
     }
 
     /// Human-readable stall-attribution table: one row per stalled
@@ -414,6 +455,32 @@ impl StallReport {
                 b[9] / 1_000,
             ));
         }
+        let sections = self.tenant_sections();
+        if !sections.is_empty() {
+            let fleet_serve: u64 = sections
+                .iter()
+                .map(|(_, ts)| Self::tenant_totals(ts).0)
+                .sum();
+            out.push_str(&format!("per-tenant attribution ({}):\n", sections.len()));
+            for (tenant, traces) in &sections {
+                let (serve, segs) = Self::tenant_totals(traces);
+                let share = if fleet_serve > 0 {
+                    serve as f64 / fleet_serve as f64 * 100.0
+                } else {
+                    0.0
+                };
+                let stalled = traces.iter().filter(|t| t.stalled).count();
+                out.push_str(&format!(
+                    "  {tenant:<12} {:>4} batch(es), {:>9} µs serve ({share:>5.1}%), {stalled} stalled |",
+                    traces.len(),
+                    serve / 1_000,
+                ));
+                for (label, ns) in STAGE_LABELS.iter().zip(segs.iter()) {
+                    out.push_str(&format!(" {label} {}", ns / 1_000));
+                }
+                out.push('\n');
+            }
+        }
         if !self.decisions.is_empty() {
             out.push_str(&format!("autotune decisions ({}):\n", self.decisions.len()));
             for d in &self.decisions {
@@ -431,6 +498,24 @@ impl StallReport {
         let mut out = String::new();
         for t in &self.traces {
             out.push_str(&t.render_json());
+            out.push('\n');
+        }
+        // Per-tenant rollups in exact nanoseconds: consumers can verify
+        // that each tenant's segment totals reassemble its serve total
+        // without re-deriving them from the (µs-rounded) trace lines.
+        for (tenant, traces) in self.tenant_sections() {
+            let (serve, segs) = Self::tenant_totals(&traces);
+            let mut line = format!(
+                "{{\"type\":\"tenant_summary\",\"tenant\":\"{}\",\"batches\":{},\"serve_ns\":{}",
+                json_escape(&tenant),
+                traces.len(),
+                serve,
+            );
+            for (label, ns) in STAGE_LABELS.iter().zip(segs.iter()) {
+                line.push_str(&format!(",\"{label}_ns\":{ns}"));
+            }
+            line.push('}');
+            out.push_str(&line);
             out.push('\n');
         }
         for d in &self.decisions {
@@ -451,9 +536,20 @@ mod tests {
     fn meta() -> BatchMeta {
         BatchMeta {
             task: "train".into(),
+            tenant: None,
             epoch: 0,
             iteration: 3,
             clock: 7,
+        }
+    }
+
+    fn tenant_meta(tenant: &str, iteration: u64) -> BatchMeta {
+        BatchMeta {
+            task: "train".into(),
+            tenant: Some(tenant.into()),
+            epoch: 0,
+            iteration,
+            clock: iteration,
         }
     }
 
@@ -595,6 +691,92 @@ mod tests {
         };
         assert!(!silent.render_table().contains("autotune"));
         assert!(!silent.render_jsonl().contains("autotune"));
+    }
+
+    /// Tenant attribution: traces group by tenant, the table gains a
+    /// per-tenant section, and the JSONL rollup's nanosecond segment
+    /// totals reassemble each tenant's serve total exactly.
+    #[test]
+    fn tenant_sections_split_exactly() {
+        let mut traces = Vec::new();
+        for (tenant, iters) in [("alpha", 3u64), ("beta", 2)] {
+            for i in 0..iters {
+                let probe = BatchProbe::new(1);
+                probe.mark_submitted(0);
+                probe.run_sample(0, || {
+                    record_stage(Stage::Aug, Duration::from_micros(120));
+                    thread::sleep(Duration::from_micros(300));
+                });
+                traces.push(probe.finish(tenant_meta(tenant, i), 0));
+            }
+        }
+        // One untenanted trace must stay out of every section.
+        let probe = BatchProbe::new(1);
+        probe.mark_submitted(0);
+        probe.run_sample(0, || {});
+        traces.push(probe.finish(meta(), 0));
+
+        let report = StallReport {
+            budget_us: 0,
+            traces,
+            decisions: Vec::new(),
+        };
+        let sections = report.tenant_sections();
+        assert_eq!(sections.len(), 2);
+        assert_eq!(sections[0].0, "alpha");
+        assert_eq!(sections[0].1.len(), 3);
+        assert_eq!(sections[1].0, "beta");
+        assert_eq!(sections[1].1.len(), 2);
+        assert!(report
+            .render_table()
+            .contains("per-tenant attribution (2):"));
+
+        let jsonl = report.render_jsonl();
+        let summaries: Vec<_> = jsonl
+            .lines()
+            .filter(|l| l.contains("tenant_summary"))
+            .collect();
+        assert_eq!(summaries.len(), 2);
+        for line in summaries {
+            let v = crate::parse_json(line).expect("summary parses");
+            let serve = v
+                .get("serve_ns")
+                .and_then(|x| x.as_u64())
+                .expect("serve_ns present");
+            let seg_sum: u64 = STAGE_LABELS
+                .iter()
+                .map(|l| {
+                    v.get(&format!("{l}_ns"))
+                        .and_then(|x| x.as_u64())
+                        .expect("segment present")
+                })
+                .sum();
+            assert_eq!(seg_sum, serve, "tenant split broke exact-sum: {line}");
+            assert!(serve > 0);
+        }
+        // Trace lines carry the tenant field; the untenanted one omits it.
+        let with_tenant = jsonl
+            .lines()
+            .filter(|l| l.contains("\"type\":\"trace\"") && l.contains("\"tenant\":"))
+            .count();
+        assert_eq!(with_tenant, 5);
+    }
+
+    /// Without tenant attribution nothing tenant-flavoured is emitted —
+    /// the single-tenant export format is unchanged.
+    #[test]
+    fn no_tenants_means_no_tenant_sections() {
+        let probe = BatchProbe::new(1);
+        probe.mark_submitted(0);
+        probe.run_sample(0, || {});
+        let report = StallReport {
+            budget_us: 0,
+            traces: vec![probe.finish(meta(), 0)],
+            decisions: Vec::new(),
+        };
+        assert!(report.tenant_sections().is_empty());
+        assert!(!report.render_table().contains("per-tenant"));
+        assert!(!report.render_jsonl().contains("tenant"));
     }
 
     #[test]

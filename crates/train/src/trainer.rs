@@ -508,7 +508,7 @@ dataset:
             .unwrap(),
         );
         let cfg = parse_task_config(TASK).unwrap();
-        let plan = TaskPlan::single_task(&cfg, &ds, 0..8, 7).unwrap();
+        let plan = TaskPlan::single_task(&cfg, &ds, 0..8, 17).unwrap();
         let mut loader = IdealLoader::new(&ds, &plan).unwrap();
         let mut tc = config(0..8);
         tc.iters_per_epoch = 4;
